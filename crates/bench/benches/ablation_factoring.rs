@@ -1,0 +1,40 @@
+//! Criterion bench for ablation AB1: analytic unfactored counting versus
+//! actually materialising the unfactored (classic, one-choice-point-per-
+//! element) document.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imprecise::datagen::scenarios;
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise_bench::fig5_oracles;
+use std::hint::black_box;
+
+fn bench_factoring(c: &mut Criterion) {
+    // fig5 n=6 with the title-only rule: small enough to materialise the
+    // unfactored equivalent (~8 × 10⁴ nodes), big enough to matter.
+    let scenario = scenarios::fig5(6);
+    let [(_, title_only), _] = fig5_oracles();
+    let integrated = integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        &title_only,
+        Some(&scenario.schema),
+        &IntegrationOptions::default(),
+    )
+    .expect("integration succeeds");
+    let doc = integrated.doc;
+    let mut group = c.benchmark_group("ablation-factoring");
+    group.sample_size(20);
+    group.bench_function("analytic-count", |b| {
+        b.iter(|| black_box(doc.unfactored_node_count()))
+    });
+    group.bench_function("materialize-unfactored", |b| {
+        b.iter(|| black_box(doc.to_unfactored(10_000_000).expect("fits").reachable_count()))
+    });
+    group.bench_function("factored-count", |b| {
+        b.iter(|| black_box(doc.reachable_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_factoring);
+criterion_main!(benches);

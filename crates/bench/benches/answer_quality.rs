@@ -1,0 +1,35 @@
+//! Criterion bench for the answer-quality machinery: the ε-pruning pass
+//! itself and the prune-then-query pipeline on the §VI database.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imprecise::query::{eval_px, parse_query};
+use imprecise_bench::{build_query_db, run_answer_quality, HORROR_QUERY};
+use std::hint::black_box;
+
+fn bench_answer_quality(c: &mut Criterion) {
+    let base = build_query_db().doc;
+    let horror = parse_query(HORROR_QUERY).expect("query parses");
+    let mut group = c.benchmark_group("answer_quality");
+    group.sample_size(20);
+    group.bench_function("prune_below/0.1", |b| {
+        b.iter(|| {
+            let mut doc = base.clone();
+            black_box(doc.prune_below(black_box(0.1)));
+            doc
+        })
+    });
+    group.bench_function("prune_then_query", |b| {
+        b.iter(|| {
+            let mut doc = base.clone();
+            doc.prune_below(0.1);
+            black_box(eval_px(&doc, &horror).expect("evaluates"))
+        })
+    });
+    group.bench_function("full_sweep", |b| {
+        b.iter(|| black_box(run_answer_quality(black_box(&[0.0, 0.1, 0.3, 1.1]))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_answer_quality);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the Figure 5 experiment: integration time as the
+//! IMDB side grows, under the figure's two rule configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imprecise::datagen::scenarios;
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise_bench::fig5_oracles;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let options = IntegrationOptions::default();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for (label, oracle) in fig5_oracles() {
+        for n in [6usize, 18, 30] {
+            let scenario = scenarios::fig5(n);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let result = integrate_xml(
+                        black_box(&scenario.mpeg7),
+                        black_box(&scenario.imdb),
+                        &oracle,
+                        Some(&scenario.schema),
+                        &options,
+                    )
+                    .expect("integration succeeds");
+                    black_box(result.doc.reachable_count())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

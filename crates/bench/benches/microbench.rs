@@ -1,0 +1,116 @@
+//! Microbenchmarks of the substrates: XML parsing, fingerprinting,
+//! similarity measures, matching enumeration and event probability —
+//! the per-pair and per-node costs everything else multiplies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imprecise::datagen::movies::{catalog_to_xml, random_catalog, SourceStyle};
+use imprecise::integrate::matching::{enumerate_matchings, Candidate, Component};
+use imprecise::pxml::from_xml;
+use imprecise::query::event::{probability, ChoiceAtom, Event};
+use imprecise::sim;
+use imprecise::xml::{parse, subtree_fingerprint, to_string};
+use std::hint::black_box;
+
+fn bench_xml(c: &mut Criterion) {
+    let movies = random_catalog(1, 200);
+    let doc = catalog_to_xml(&movies, SourceStyle::Imdb);
+    let text = to_string(&doc);
+    let mut group = c.benchmark_group("xmlkit");
+    group.bench_function("parse-200-movies", |b| {
+        b.iter(|| black_box(parse(black_box(&text)).expect("parses")))
+    });
+    group.bench_function("serialize-200-movies", |b| {
+        b.iter(|| black_box(to_string(black_box(&doc))))
+    });
+    group.bench_function("fingerprint-200-movies", |b| {
+        b.iter(|| black_box(subtree_fingerprint(black_box(&doc), doc.root())))
+    });
+    group.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.bench_function("title-similarity", |b| {
+        b.iter(|| {
+            black_box(sim::title_similarity(
+                black_box("Mission: Impossible II"),
+                black_box("Impossible Mission 2 (TV)"),
+            ))
+        })
+    });
+    group.bench_function("person-name-similarity", |b| {
+        b.iter(|| {
+            black_box(sim::person_name_similarity(
+                black_box("McTiernan, John"),
+                black_box("John McTiernan"),
+            ))
+        })
+    });
+    group.bench_function("levenshtein-20", |b| {
+        b.iter(|| {
+            black_box(sim::levenshtein(
+                black_box("die hard with a vengeance"),
+                black_box("die hard 2 die harder"),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let full_4x4 = Component {
+        a_nodes: (0..4).collect(),
+        b_nodes: (0..4).collect(),
+        forced: vec![],
+        possible: (0..4)
+            .flat_map(|a| (0..4).map(move |b| Candidate { a, b, p: 0.5 }))
+            .collect(),
+    };
+    let mut group = c.benchmark_group("matching");
+    group.bench_function("enumerate-4x4-complete", |b| {
+        b.iter(|| black_box(enumerate_matchings(black_box(&full_4x4), 1 << 20).expect("fits")))
+    });
+    group.finish();
+}
+
+fn bench_events(c: &mut Criterion) {
+    // A document with 8 independent ternary choices and an event touching
+    // all of them.
+    let mut xml = imprecise::xml::XmlDoc::new("doc");
+    let root = xml.root();
+    for i in 0..8 {
+        xml.add_text_element(root, "x", format!("{i}"));
+    }
+    let mut px = from_xml(&xml);
+    let poss = px.children(px.root())[0];
+    let doc_elem = px.children(poss)[0];
+    let mut vars = Vec::new();
+    for _ in 0..8 {
+        let prob = px.add_prob(doc_elem);
+        for w in [0.2, 0.3, 0.5] {
+            let p = px.add_poss(prob, w);
+            px.add_text_elem(p, "v", "1");
+        }
+        vars.push(prob);
+    }
+    let event = Event::any(vars.iter().map(|&v| {
+        Event::Atom(ChoiceAtom {
+            prob_node: v,
+            poss_index: 0,
+        })
+    }));
+    let mut group = c.benchmark_group("events");
+    group.bench_function("probability-8-var-disjunction", |b| {
+        b.iter(|| black_box(probability(black_box(&px), black_box(&event))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_xml,
+    bench_sim,
+    bench_matching,
+    bench_events
+);
+criterion_main!(benches);

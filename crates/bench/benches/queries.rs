@@ -1,0 +1,35 @@
+//! Criterion bench for the §VI query experiments: the exact symbolic
+//! evaluator against the naive all-worlds evaluator on the integrated
+//! query database (the baseline the "amalgamated answer" construction is
+//! meant to beat).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imprecise::query::{eval_px, eval_px_naive, parse_query};
+use imprecise_bench::{build_query_db, HORROR_QUERY, JOHN_QUERY};
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    let db = build_query_db().doc;
+    let horror = parse_query(HORROR_QUERY).expect("horror query parses");
+    let john = parse_query(JOHN_QUERY).expect("john query parses");
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(20);
+    group.bench_function("horror/exact", |b| {
+        b.iter(|| black_box(eval_px(black_box(&db), &horror).expect("evaluates")))
+    });
+    group.bench_function("john/exact", |b| {
+        b.iter(|| black_box(eval_px(black_box(&db), &john).expect("evaluates")))
+    });
+    group.sample_size(10);
+    group.bench_function("horror/naive-all-worlds", |b| {
+        b.iter(|| {
+            black_box(
+                eval_px_naive(black_box(&db), &horror, 1_000_000).expect("worlds enumerate"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for the Table I experiment: integration time of the
+//! sequels workload per effective rule set. The two heaviest rows
+//! ("none" and "Genre rule", millions of nodes) are exercised by the
+//! `table1` binary harness instead; timing them per-iteration would
+//! dominate `cargo bench` for no insight.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imprecise::datagen::scenarios;
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise::oracle::presets::TableIRuleSet;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let scenario = scenarios::sequels_t1();
+    let options = IntegrationOptions::default();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    for rule_set in [
+        TableIRuleSet::Title,
+        TableIRuleSet::GenreTitle,
+        TableIRuleSet::GenreTitleYear,
+    ] {
+        let oracle = rule_set.oracle();
+        group.bench_function(rule_set.label(), |b| {
+            b.iter(|| {
+                let result = integrate_xml(
+                    black_box(&scenario.mpeg7),
+                    black_box(&scenario.imdb),
+                    &oracle,
+                    Some(&scenario.schema),
+                    &options,
+                )
+                .expect("integration succeeds");
+                black_box(result.doc.reachable_count())
+            })
+        });
+    }
+    // Counting the unfactored (paper-equivalent) size is analytic and must
+    // stay cheap even for large rule-free results.
+    let full = TableIRuleSet::GenreTitleYear.oracle();
+    let integrated = integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        &full,
+        Some(&scenario.schema),
+        &options,
+    )
+    .expect("integration succeeds");
+    group.bench_function("unfactored-count", |b| {
+        b.iter(|| black_box(integrated.doc.unfactored_node_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the §V typical-conditions experiment: the full
+//! 6 × 60 integration with all rules effective — the paper's
+//! "good-is-good-enough" sweet spot, which must stay fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imprecise::datagen::scenarios;
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig};
+use std::hint::black_box;
+
+fn bench_typical(c: &mut Criterion) {
+    let scenario = scenarios::typical();
+    let oracle = movie_oracle(MovieOracleConfig {
+        graded_prior: false,
+        ..MovieOracleConfig::default()
+    });
+    let options = IntegrationOptions::default();
+    let mut group = c.benchmark_group("typical");
+    group.sample_size(20);
+    group.bench_function("integrate-6x60", |b| {
+        b.iter(|| {
+            let result = integrate_xml(
+                black_box(&scenario.mpeg7),
+                black_box(&scenario.imdb),
+                &oracle,
+                Some(&scenario.schema),
+                &options,
+            )
+            .expect("integration succeeds");
+            black_box(result.stats.judged_possible)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_typical);
+criterion_main!(benches);

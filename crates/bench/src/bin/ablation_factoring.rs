@@ -1,0 +1,52 @@
+//! Ablation **AB1**: factored vs unfactored representation size.
+//!
+//! The paper's engine stored one choice point per element (the strict
+//! layered model); the companion IIDB'06 paper ("Taming data explosion in
+//! probabilistic information integration") argues for keeping independent
+//! choice points separate. This reproduction always *builds* the factored
+//! form and computes the unfactored size analytically — this harness
+//! quantifies the gap on every workload, which is exactly the "taming"
+//! win.
+//!
+//! Run with `cargo run --release -p imprecise-bench --bin ablation_factoring`.
+
+use imprecise_bench::{fig5_oracles, measure, run_table1};
+use imprecise::datagen::scenarios;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    println!("== Ablation: factored (this engine) vs unfactored (classic) representation ==\n");
+    println!(
+        "{:<40} {:>12} {:>14} {:>10}",
+        "workload", "factored", "unfactored", "ratio"
+    );
+    for row in run_table1() {
+        println!(
+            "{:<40} {:>12} {:>14.3e} {:>9.1}x",
+            format!("table1 / {}", row.label),
+            row.factored_nodes,
+            row.unfactored_nodes,
+            row.unfactored_nodes / row.factored_nodes as f64
+        );
+    }
+    let [(label_a, oracle_a), (label_b, oracle_b)] = fig5_oracles();
+    for n in [12usize, 36, 60] {
+        let scenario = scenarios::fig5(n);
+        for (label, oracle) in [(&label_a, &oracle_a), (&label_b, &oracle_b)] {
+            let m = measure(format!("fig5 n={n} / {label}"), &scenario, oracle);
+            println!(
+                "{:<40} {:>12} {:>14.3e} {:>9.1}x",
+                m.label,
+                m.factored_nodes,
+                m.unfactored_nodes,
+                m.unfactored_nodes / m.factored_nodes as f64
+            );
+        }
+    }
+    println!(
+        "\nReading: the factored representation is exponentially smaller on \
+         confusing workloads\n(independent components multiply in the classic \
+         form), while on near-certain\nworkloads the two coincide."
+    );
+    println!("\nelapsed: {:?}", t0.elapsed());
+}

@@ -1,0 +1,110 @@
+//! Print every Oracle judgment for a scenario's movie pairs — the
+//! decision-trace view of the integration ("why did these two movies
+//! merge?"). Usage:
+//!
+//! ```text
+//! cargo run -p imprecise-bench --bin explain [scenario] [ruleset]
+//!   scenario: table1 | fig5:<n> | typical | query-db   (default table1)
+//!   ruleset:  none | genre | title | genre+title | full (default full)
+//! ```
+
+use imprecise::datagen::scenarios::{self, MovieScenario};
+use imprecise::oracle::presets::TableIRuleSet;
+use imprecise::oracle::{Decision, ElemRef};
+use imprecise::pxml::{from_xml, PxDoc};
+
+fn scenario_from_arg(arg: &str) -> MovieScenario {
+    if let Some(n) = arg.strip_prefix("fig5:") {
+        return scenarios::fig5(n.parse().expect("fig5:<n> with numeric n"));
+    }
+    match arg {
+        "table1" => scenarios::sequels_t1(),
+        "typical" => scenarios::typical(),
+        "query-db" => scenarios::query_db(),
+        other => panic!("unknown scenario {other:?} (table1 | fig5:<n> | typical | query-db)"),
+    }
+}
+
+fn ruleset_from_arg(arg: &str) -> TableIRuleSet {
+    match arg {
+        "none" => TableIRuleSet::None,
+        "genre" => TableIRuleSet::Genre,
+        "title" => TableIRuleSet::Title,
+        "genre+title" => TableIRuleSet::GenreTitle,
+        "full" => TableIRuleSet::GenreTitleYear,
+        other => panic!("unknown ruleset {other:?} (none | genre | title | genre+title | full)"),
+    }
+}
+
+/// The movie elements under the catalog root of a certain document.
+fn movies(px: &PxDoc) -> Vec<imprecise::pxml::PxNodeId> {
+    let poss = px.children(px.root())[0];
+    let catalog = px.children(poss)[0];
+    px.children(catalog)
+        .iter()
+        .copied()
+        .filter(|&c| px.tag(c) == Some("movie"))
+        .collect()
+}
+
+/// First `title` child's text, for labelling.
+fn title_of(px: &PxDoc, movie: imprecise::pxml::PxNodeId) -> String {
+    px.children(movie)
+        .iter()
+        .find(|&&c| px.tag(c) == Some("title"))
+        .map(|&c| px.certain_text(c))
+        .unwrap_or_else(|| "<untitled>".to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = scenario_from_arg(args.first().map(String::as_str).unwrap_or("table1"));
+    let rule_set = ruleset_from_arg(args.get(1).map(String::as_str).unwrap_or("full"));
+    let oracle = rule_set.oracle();
+
+    println!(
+        "== Oracle decisions: scenario {} under rule set {:?} ==",
+        scenario.info.name, rule_set
+    );
+    println!(
+        "sources: {} MPEG-7 movies x {} IMDB movies, {} shared rwos\n",
+        scenario.info.mpeg7_movies, scenario.info.imdb_movies, scenario.info.shared_rwos
+    );
+
+    let pa = from_xml(&scenario.mpeg7);
+    let pb = from_xml(&scenario.imdb);
+    let (mut match_n, mut nonmatch_n, mut possible_n) = (0usize, 0usize, 0usize);
+    for &ma in &movies(&pa) {
+        for &mb in &movies(&pb) {
+            let j = oracle.judge(
+                &ElemRef { doc: &pa, node: ma },
+                &ElemRef { doc: &pb, node: mb },
+            );
+            let (verdict, count) = match j.decision {
+                Decision::Match => ("MATCH    ", &mut match_n),
+                Decision::NonMatch => ("non-match", &mut nonmatch_n),
+                Decision::Possible(_) => ("possible ", &mut possible_n),
+            };
+            *count += 1;
+            // Only print the interesting (non-rejected) pairs unless the
+            // caller asked for everything.
+            let verbose = args.iter().any(|a| a == "--all");
+            if verbose || !matches!(j.decision, Decision::NonMatch) {
+                let p = match j.decision {
+                    Decision::Possible(p) => format!("p={p:.3}"),
+                    _ => String::new(),
+                };
+                println!(
+                    "{verdict} {:<40} ~ {:<40} rule={} {}",
+                    title_of(&pa, ma),
+                    title_of(&pb, mb),
+                    j.rule.as_deref().unwrap_or("(prior)"),
+                    p
+                );
+            }
+        }
+    }
+    println!(
+        "\ntotals: {match_n} certain matches, {nonmatch_n} certain non-matches, {possible_n} undecided"
+    );
+}

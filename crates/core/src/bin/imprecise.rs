@@ -1,0 +1,483 @@
+//! `imprecise` — command-line front end to the probabilistic XML
+//! integration engine.
+//!
+//! ```text
+//! imprecise integrate --out merged.xml [--rules FILE|movie|addressbook]
+//!                     [--dtd FILE] [--weights A,B] a.xml b.xml
+//! imprecise query db.xml QUERY [--min-probability P]
+//! imprecise stats db.xml
+//! imprecise worlds db.xml [--limit N]
+//! imprecise prune db.xml --epsilon E --out pruned.xml
+//! imprecise feedback db.xml --query Q --value V --verdict correct|incorrect
+//!                    --out conditioned.xml
+//! ```
+//!
+//! Probabilistic documents are read and written as *annotated XML*
+//! (`px:prob` / `px:poss` elements), so integration outputs can be fed
+//! back in as inputs (incremental integration) or post-processed by any
+//! XML tooling.
+
+use imprecise::oracle::dsl::{ADDRESSBOOK_RULES, MOVIE_RULES};
+use imprecise::Session;
+use std::fmt;
+use std::io::Write;
+use std::process::ExitCode;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Integrate {
+        a: String,
+        b: String,
+        out: String,
+        rules: Option<String>,
+        dtd: Option<String>,
+        weights: (f64, f64),
+    },
+    Query {
+        db: String,
+        query: String,
+        min_probability: f64,
+    },
+    Stats {
+        db: String,
+    },
+    Worlds {
+        db: String,
+        limit: usize,
+    },
+    Prune {
+        db: String,
+        epsilon: f64,
+        out: String,
+    },
+    Feedback {
+        db: String,
+        query: String,
+        value: String,
+        correct: bool,
+        out: String,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct UsageError(String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+const USAGE: &str = "\
+imprecise — probabilistic XML data integration (IMPrECISE reproduction)
+
+USAGE:
+  imprecise integrate --out FILE [--rules FILE|movie|addressbook]
+                      [--dtd FILE] [--weights A,B] A.xml B.xml
+  imprecise query DB.xml QUERY [--min-probability P]
+  imprecise stats DB.xml
+  imprecise worlds DB.xml [--limit N]
+  imprecise prune DB.xml --epsilon E --out FILE
+  imprecise feedback DB.xml --query Q --value V
+                     --verdict correct|incorrect --out FILE
+
+Probabilistic documents use px:prob/px:poss annotated XML; plain XML is
+accepted anywhere and treated as certain.";
+
+fn parse_args(args: &[String]) -> Result<Command, UsageError> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut flags: Vec<(&str, Option<&str>)> = Vec::new();
+    let mut it = args.iter().map(String::as_str).peekable();
+    let sub = it.next().ok_or_else(|| UsageError(USAGE.into()))?;
+    while let Some(tok) = it.next() {
+        if let Some(name) = tok.strip_prefix("--") {
+            let value = match name {
+                // flags with a value
+                "out" | "rules" | "dtd" | "weights" | "min-probability" | "limit" | "epsilon"
+                | "query" | "value" | "verdict" => Some(
+                    it.next()
+                        .ok_or_else(|| UsageError(format!("--{name} needs a value")))?,
+                ),
+                other => return Err(UsageError(format!("unknown flag --{other}"))),
+            };
+            flags.push((name, value));
+        } else {
+            positional.push(tok);
+        }
+    }
+    let flag = |name: &str| -> Option<&str> {
+        flags
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| *v)
+    };
+    let required = |name: &str| -> Result<String, UsageError> {
+        flag(name)
+            .map(str::to_string)
+            .ok_or_else(|| UsageError(format!("missing required flag --{name}")))
+    };
+    let pos = |i: usize, what: &str| -> Result<String, UsageError> {
+        positional
+            .get(i)
+            .map(|s| s.to_string())
+            .ok_or_else(|| UsageError(format!("missing {what}")))
+    };
+    match sub {
+        "integrate" => {
+            let weights = match flag("weights") {
+                None => (0.5, 0.5),
+                Some(w) => {
+                    let (a, b) = w
+                        .split_once(',')
+                        .ok_or_else(|| UsageError(format!("--weights wants A,B, got {w:?}")))?;
+                    let pa: f64 = a
+                        .trim()
+                        .parse()
+                        .map_err(|_| UsageError(format!("bad weight {a:?}")))?;
+                    let pb: f64 = b
+                        .trim()
+                        .parse()
+                        .map_err(|_| UsageError(format!("bad weight {b:?}")))?;
+                    if pa <= 0.0 || pb <= 0.0 {
+                        return Err(UsageError("weights must be positive".into()));
+                    }
+                    (pa, pb)
+                }
+            };
+            Ok(Command::Integrate {
+                a: pos(0, "source A")?,
+                b: pos(1, "source B")?,
+                out: required("out")?,
+                rules: flag("rules").map(str::to_string),
+                dtd: flag("dtd").map(str::to_string),
+                weights,
+            })
+        }
+        "query" => Ok(Command::Query {
+            db: pos(0, "database file")?,
+            query: pos(1, "query")?,
+            min_probability: parse_f64_flag(flag("min-probability"), 0.0, "min-probability")?,
+        }),
+        "stats" => Ok(Command::Stats {
+            db: pos(0, "database file")?,
+        }),
+        "worlds" => Ok(Command::Worlds {
+            db: pos(0, "database file")?,
+            limit: parse_usize_flag(flag("limit"), 10, "limit")?,
+        }),
+        "prune" => Ok(Command::Prune {
+            db: pos(0, "database file")?,
+            epsilon: parse_f64_flag(flag("epsilon"), f64::NAN, "epsilon").and_then(|e| {
+                if e.is_nan() {
+                    Err(UsageError("missing required flag --epsilon".into()))
+                } else {
+                    Ok(e)
+                }
+            })?,
+            out: required("out")?,
+        }),
+        "feedback" => {
+            let correct = match flag("verdict") {
+                Some("correct") => true,
+                Some("incorrect") => false,
+                Some(other) => {
+                    return Err(UsageError(format!(
+                        "--verdict must be correct|incorrect, got {other:?}"
+                    )))
+                }
+                None => return Err(UsageError("missing required flag --verdict".into())),
+            };
+            Ok(Command::Feedback {
+                db: pos(0, "database file")?,
+                query: required("query")?,
+                value: required("value")?,
+                correct,
+                out: required("out")?,
+            })
+        }
+        "help" | "--help" | "-h" => Err(UsageError(USAGE.into())),
+        other => Err(UsageError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn parse_f64_flag(v: Option<&str>, default: f64, name: &str) -> Result<f64, UsageError> {
+    match v {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| UsageError(format!("--{name} is not a number: {s:?}"))),
+    }
+}
+
+fn parse_usize_flag(v: Option<&str>, default: usize, name: &str) -> Result<usize, UsageError> {
+    match v {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| UsageError(format!("--{name} is not an integer: {s:?}"))),
+    }
+}
+
+/// Resolve a `--rules` argument: a named preset or a file path.
+fn rules_text(arg: &str) -> Result<String, String> {
+    match arg {
+        "movie" => Ok(MOVIE_RULES.to_string()),
+        "addressbook" => Ok(ADDRESSBOOK_RULES.to_string()),
+        path => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read rule file {path}: {e}")),
+    }
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    let mut session = Session::new();
+    let load = |session: &mut Session, name: &str, path: &str| -> Result<(), String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        session
+            .load_xml(name, &text)
+            .map_err(|e| format!("{path}: {e}"))
+    };
+    match cmd {
+        Command::Integrate {
+            a,
+            b,
+            out,
+            rules,
+            dtd,
+            weights,
+        } => {
+            if let Some(r) = rules {
+                let text = rules_text(&r)?;
+                session.load_rules(&text).map_err(|e| e.to_string())?;
+            }
+            if let Some(d) = dtd {
+                let text =
+                    std::fs::read_to_string(&d).map_err(|e| format!("cannot read {d}: {e}"))?;
+                session.load_schema(&text).map_err(|e| e.to_string())?;
+            }
+            session.set_options(imprecise::integrate::IntegrationOptions {
+                source_weights: weights,
+                ..imprecise::integrate::IntegrationOptions::default()
+            });
+            load(&mut session, "a", &a)?;
+            load(&mut session, "b", &b)?;
+            let stats = session
+                .integrate("a", "b", "result")
+                .map_err(|e| e.to_string())?;
+            let text = session.export("result").map_err(|e| e.to_string())?;
+            std::fs::write(&out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            let doc_stats = session.stats("result").map_err(|e| e.to_string())?;
+            eprintln!(
+                "integrated: {} pairs judged ({} match / {} non-match / {} undecided), \
+                 {} possible worlds, {} nodes -> {out}",
+                stats.pairs_judged,
+                stats.judged_match,
+                stats.judged_nonmatch,
+                stats.judged_possible,
+                doc_stats.worlds,
+                doc_stats.breakdown.total(),
+            );
+            Ok(())
+        }
+        Command::Query {
+            db,
+            query,
+            min_probability,
+        } => {
+            load(&mut session, "db", &db)?;
+            let answers = session.query("db", &query).map_err(|e| e.to_string())?;
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            for item in &answers.items {
+                if item.probability >= min_probability {
+                    // A closed pipe (e.g. `| head`) is a normal way for the
+                    // reader to stop; exit quietly instead of panicking.
+                    if writeln!(out, "{:5.1}% {}", item.probability * 100.0, item.value).is_err()
+                    {
+                        return Ok(());
+                    }
+                }
+            }
+            Ok(())
+        }
+        Command::Stats { db } => {
+            load(&mut session, "db", &db)?;
+            let s = session.stats("db").map_err(|e| e.to_string())?;
+            println!("worlds:               {}", s.worlds);
+            println!("certain:              {}", s.certain);
+            println!("nodes (factored):     {}", s.breakdown.total());
+            println!("  probability nodes:  {}", s.breakdown.prob);
+            println!("  possibility nodes:  {}", s.breakdown.poss);
+            println!("  element nodes:      {}", s.breakdown.elem);
+            println!("  text nodes:         {}", s.breakdown.text);
+            println!("nodes (unfactored):   {}", s.unfactored_nodes);
+            println!("expected world size:  {:.1}", s.expected_world_size);
+            Ok(())
+        }
+        Command::Worlds { db, limit } => {
+            load(&mut session, "db", &db)?;
+            let doc = session.doc("db").map_err(|e| e.to_string())?;
+            let total = doc.world_count();
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            if writeln!(out, "{total} possible worlds; showing up to {limit}:").is_err() {
+                return Ok(());
+            }
+            for (i, world) in doc.worlds_iter().take(limit).enumerate() {
+                let ok = writeln!(out, "-- world {i} (p = {:.6})", world.prob).is_ok()
+                    && writeln!(out, "{}", imprecise::xml::to_pretty_string(&world.doc)).is_ok();
+                if !ok {
+                    return Ok(());
+                }
+            }
+            Ok(())
+        }
+        Command::Prune { db, epsilon, out } => {
+            load(&mut session, "db", &db)?;
+            let mut doc = session.doc("db").map_err(|e| e.to_string())?.clone();
+            let stats = doc.prune_below(epsilon);
+            session.store("pruned", doc);
+            let text = session.export("pruned").map_err(|e| e.to_string())?;
+            std::fs::write(&out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!(
+                "pruned {} possibilities ({} choice points, max mass {:.3}): \
+                 {} -> {} nodes, {} -> {} worlds -> {out}",
+                stats.possibilities_removed,
+                stats.probs_affected,
+                stats.max_mass_removed,
+                stats.nodes_before,
+                stats.nodes_after,
+                stats.worlds_before,
+                stats.worlds_after,
+            );
+            Ok(())
+        }
+        Command::Feedback {
+            db,
+            query,
+            value,
+            correct,
+            out,
+        } => {
+            load(&mut session, "db", &db)?;
+            let report = session
+                .feedback("db", &query, &value, correct)
+                .map_err(|e| e.to_string())?;
+            let text = session.export("db").map_err(|e| e.to_string())?;
+            std::fs::write(&out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!(
+                "conditioned ({:?}): worlds {} -> {}, nodes {} -> {} -> {out}",
+                report.method,
+                report.worlds_before,
+                report.worlds_after,
+                report.nodes_before,
+                report.nodes_after,
+            );
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(cmd) => match run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(usage) => {
+            eprintln!("{usage}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Command, UsageError> {
+        parse_args(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn integrate_command_parses() {
+        let cmd = parse(&[
+            "integrate", "--out", "m.xml", "--rules", "movie", "--weights", "0.8,0.2", "a.xml",
+            "b.xml",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Integrate {
+                a: "a.xml".into(),
+                b: "b.xml".into(),
+                out: "m.xml".into(),
+                rules: Some("movie".into()),
+                dtd: None,
+                weights: (0.8, 0.2),
+            }
+        );
+    }
+
+    #[test]
+    fn query_command_parses_with_default_threshold() {
+        let cmd = parse(&["query", "db.xml", "//movie/title"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                db: "db.xml".into(),
+                query: "//movie/title".into(),
+                min_probability: 0.0,
+            }
+        );
+    }
+
+    #[test]
+    fn feedback_verdict_is_validated() {
+        let err = parse(&[
+            "feedback", "db.xml", "--query", "q", "--value", "v", "--verdict", "maybe", "--out",
+            "o.xml",
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("correct|incorrect"));
+    }
+
+    #[test]
+    fn missing_required_flags_are_reported() {
+        assert!(parse(&["integrate", "a.xml", "b.xml"])
+            .unwrap_err()
+            .0
+            .contains("--out"));
+        assert!(parse(&["prune", "db.xml", "--out", "o.xml"])
+            .unwrap_err()
+            .0
+            .contains("--epsilon"));
+    }
+
+    #[test]
+    fn unknown_command_and_flags_error() {
+        assert!(parse(&["frobnicate"]).unwrap_err().0.contains("unknown command"));
+        assert!(parse(&["query", "--frobnicate", "x"])
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn weights_validation() {
+        assert!(parse(&["integrate", "--out", "o", "--weights", "nope", "a", "b"]).is_err());
+        assert!(parse(&["integrate", "--out", "o", "--weights", "0,-1", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn preset_rules_resolve() {
+        assert!(rules_text("movie").unwrap().contains("movie"));
+        assert!(rules_text("addressbook").unwrap().contains("person"));
+        assert!(rules_text("/nonexistent/rules.txt").is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! # imprecise — good-is-good-enough data integration
+//!
+//! A from-scratch Rust reproduction of **IMPrECISE** (A. de Keijzer &
+//! M. van Keulen, *IMPrECISE: Good-is-good-enough data integration*,
+//! ICDE 2008): a probabilistic XML database engine that integrates XML
+//! sources *near-automatically* by keeping unresolvable matching decisions
+//! as possibilities instead of forcing a human to resolve them up front.
+//!
+//! The original system was an XQuery module on MonetDB/XQuery; this
+//! reproduction implements the whole stack natively:
+//!
+//! | Layer | Crate (re-exported as) |
+//! |---|---|
+//! | XML substrate: parser, DOM, DTD-lite, serializer | [`xml`] |
+//! | Probabilistic XML tree, possible worlds, counting | [`pxml`] |
+//! | String similarity & convention normalisation | [`sim`] |
+//! | "The Oracle": knowledge rules + priors | [`oracle`] |
+//! | Probabilistic integration engine | [`integrate`] |
+//! | Query engine (XPath subset, exact ranking) | [`query`] |
+//! | Answer-quality measures (precision/recall) | [`quality`] |
+//! | User feedback (world conditioning) | [`feedback`] |
+//! | Synthetic IMDB/MPEG-7 corpora & experiment workloads | [`datagen`] |
+//!
+//! The [`Session`] type ties the layers together in the shape of the
+//! paper's demo: load sources, configure the Oracle, integrate, query,
+//! give feedback.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use imprecise::Session;
+//! use imprecise::oracle::presets::addressbook_oracle;
+//!
+//! let mut session = Session::new();
+//! session.set_oracle(addressbook_oracle());
+//! session
+//!     .load_schema(
+//!         "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
+//!          <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>",
+//!     )
+//!     .unwrap();
+//! session
+//!     .load_xml("a", "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>")
+//!     .unwrap();
+//! session
+//!     .load_xml("b", "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>")
+//!     .unwrap();
+//! let stats = session.integrate("a", "b", "merged").unwrap();
+//! assert_eq!(stats.judged_possible, 1); // one undecided person pair
+//! let answers = session.query("merged", "//person/tel").unwrap();
+//! assert!((answers.probability_of("1111") - 0.75).abs() < 1e-9);
+//! // The user confirms 1111 is John's number:
+//! session.feedback("merged", "//person/tel", "1111", true).unwrap();
+//! let after = session.query("merged", "//person/tel").unwrap();
+//! assert!((after.probability_of("1111") - 1.0).abs() < 1e-9);
+//! ```
+
+pub use imprecise_datagen as datagen;
+pub use imprecise_feedback as feedback;
+pub use imprecise_integrate as integrate;
+pub use imprecise_oracle as oracle;
+pub use imprecise_pxml as pxml;
+pub use imprecise_quality as quality;
+pub use imprecise_query as query;
+pub use imprecise_sim as sim;
+pub use imprecise_xmlkit as xml;
+
+mod session;
+
+pub use session::{DocStats, Session, SessionError};

@@ -1,0 +1,330 @@
+//! The [`Session`] façade: the reproduction's equivalent of the paper's
+//! "XQuery module on an XML DBMS" surface — named documents, a configured
+//! Oracle, and integrate / query / feedback operations.
+
+use imprecise_feedback::{apply_feedback, FeedbackError, FeedbackReport};
+use imprecise_integrate::{
+    integrate_px, IntegrateError, IntegrationOptions, IntegrationStats,
+};
+use imprecise_oracle::Oracle;
+use imprecise_pxml::{parse_annotated, to_annotated_xml, NodeBreakdown, PxDoc};
+use imprecise_query::{eval_px, parse_query, EvalError, QueryParseError, RankedAnswers};
+use imprecise_xmlkit::{parse, to_string, Schema, XmlError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors surfaced by [`Session`] operations.
+#[derive(Debug)]
+pub enum SessionError {
+    /// No document stored under this name.
+    NoSuchDocument(String),
+    /// XML parsing or schema error.
+    Xml(XmlError),
+    /// Integration failed.
+    Integrate(IntegrateError),
+    /// Query text could not be parsed.
+    QueryParse(QueryParseError),
+    /// Query evaluation failed.
+    Eval(EvalError),
+    /// Feedback could not be applied.
+    Feedback(FeedbackError),
+    /// A rule file could not be parsed.
+    Rules(imprecise_oracle::DslError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::NoSuchDocument(name) => write!(f, "no document named {name:?}"),
+            SessionError::Xml(e) => write!(f, "XML error: {e}"),
+            SessionError::Integrate(e) => write!(f, "integration error: {e}"),
+            SessionError::QueryParse(e) => write!(f, "{e}"),
+            SessionError::Eval(e) => write!(f, "evaluation error: {e}"),
+            SessionError::Feedback(e) => write!(f, "feedback error: {e}"),
+            SessionError::Rules(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<XmlError> for SessionError {
+    fn from(e: XmlError) -> Self {
+        SessionError::Xml(e)
+    }
+}
+impl From<IntegrateError> for SessionError {
+    fn from(e: IntegrateError) -> Self {
+        SessionError::Integrate(e)
+    }
+}
+impl From<QueryParseError> for SessionError {
+    fn from(e: QueryParseError) -> Self {
+        SessionError::QueryParse(e)
+    }
+}
+impl From<EvalError> for SessionError {
+    fn from(e: EvalError) -> Self {
+        SessionError::Eval(e)
+    }
+}
+impl From<FeedbackError> for SessionError {
+    fn from(e: FeedbackError) -> Self {
+        SessionError::Feedback(e)
+    }
+}
+
+/// Size/uncertainty statistics of one stored document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocStats {
+    /// Node counts of the compact (factored) representation.
+    pub breakdown: NodeBreakdown,
+    /// Node count of the paper-equivalent unfactored representation.
+    pub unfactored_nodes: f64,
+    /// Number of possible worlds.
+    pub worlds: f64,
+    /// Expected size of a world.
+    pub expected_world_size: f64,
+    /// True when the document has a single world.
+    pub certain: bool,
+}
+
+/// An in-memory probabilistic XML database session.
+///
+/// Documents are stored by name; integration reads two stored documents
+/// and stores the probabilistic result under a new name. Queries and
+/// feedback address stored documents. The Oracle, schema and integration
+/// options are session-wide configuration ("configure the system with a
+/// few simple knowledge rules", §VII).
+pub struct Session {
+    docs: BTreeMap<String, PxDoc>,
+    oracle: Oracle,
+    schema: Option<Schema>,
+    options: IntegrationOptions,
+    /// Cap used by feedback's world-rebuild fallback.
+    feedback_world_cap: usize,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("documents", &self.document_names())
+            .field("oracle", &self.oracle)
+            .field("schema_declared", &self.schema.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// A session with an uninformed Oracle (no rules, uniform prior) and
+    /// default options.
+    pub fn new() -> Self {
+        Session {
+            docs: BTreeMap::new(),
+            oracle: Oracle::uninformed(),
+            schema: None,
+            options: IntegrationOptions::default(),
+            feedback_world_cap: 100_000,
+        }
+    }
+
+    /// Replace the Oracle.
+    pub fn set_oracle(&mut self, oracle: Oracle) -> &mut Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Configure the Oracle from a rule file (see
+    /// [`imprecise_oracle::dsl`] for the language).
+    pub fn load_rules(&mut self, text: &str) -> Result<&mut Self, SessionError> {
+        self.oracle = imprecise_oracle::parse_rules(text).map_err(SessionError::Rules)?;
+        Ok(self)
+    }
+
+    /// Set the DTD-lite schema from its textual declarations.
+    pub fn load_schema(&mut self, dtd: &str) -> Result<&mut Self, SessionError> {
+        self.schema = Some(Schema::parse(dtd)?);
+        Ok(self)
+    }
+
+    /// Set an already-parsed schema.
+    pub fn set_schema(&mut self, schema: Schema) -> &mut Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Adjust integration options.
+    pub fn set_options(&mut self, options: IntegrationOptions) -> &mut Self {
+        self.options = options;
+        self
+    }
+
+    /// Names of all stored documents.
+    pub fn document_names(&self) -> Vec<&str> {
+        self.docs.keys().map(String::as_str).collect()
+    }
+
+    /// Load an XML document (plain, or annotated probabilistic XML using
+    /// `px:prob`/`px:poss` markers) under `name`.
+    pub fn load_xml(&mut self, name: &str, text: &str) -> Result<(), SessionError> {
+        let doc = parse(text)?;
+        let px = parse_annotated(&doc)?;
+        self.docs.insert(name.to_string(), px);
+        Ok(())
+    }
+
+    /// Store an already-built probabilistic document under `name`.
+    pub fn store(&mut self, name: &str, doc: PxDoc) {
+        self.docs.insert(name.to_string(), doc);
+    }
+
+    /// Borrow a stored document.
+    pub fn doc(&self, name: &str) -> Result<&PxDoc, SessionError> {
+        self.docs
+            .get(name)
+            .ok_or_else(|| SessionError::NoSuchDocument(name.to_string()))
+    }
+
+    /// Integrate documents `a` and `b` into a new document `out`,
+    /// returning the integration statistics.
+    pub fn integrate(
+        &mut self,
+        a: &str,
+        b: &str,
+        out: &str,
+    ) -> Result<IntegrationStats, SessionError> {
+        let da = self.doc(a)?;
+        let db = self.doc(b)?;
+        let result = integrate_px(da, db, &self.oracle, self.schema.as_ref(), &self.options)?;
+        self.docs.insert(out.to_string(), result.doc);
+        Ok(result.stats)
+    }
+
+    /// Run a query against a stored document, returning ranked answers.
+    pub fn query(&self, name: &str, query_text: &str) -> Result<RankedAnswers, SessionError> {
+        let doc = self.doc(name)?;
+        let query = parse_query(query_text)?;
+        Ok(eval_px(doc, &query)?)
+    }
+
+    /// Apply user feedback: `value` is a correct/incorrect answer of
+    /// `query_text` on document `name`. The document is replaced by its
+    /// conditioned version in place.
+    pub fn feedback(
+        &mut self,
+        name: &str,
+        query_text: &str,
+        value: &str,
+        correct: bool,
+    ) -> Result<FeedbackReport, SessionError> {
+        let query = parse_query(query_text)?;
+        let doc = self.doc(name)?;
+        let (conditioned, report) =
+            apply_feedback(doc, &query, value, correct, self.feedback_world_cap)?;
+        self.docs.insert(name.to_string(), conditioned);
+        Ok(report)
+    }
+
+    /// Export a stored document as annotated XML text.
+    pub fn export(&self, name: &str) -> Result<String, SessionError> {
+        let doc = self.doc(name)?;
+        Ok(to_string(&to_annotated_xml(doc)))
+    }
+
+    /// Size/uncertainty statistics of a stored document.
+    pub fn stats(&self, name: &str) -> Result<DocStats, SessionError> {
+        let doc = self.doc(name)?;
+        Ok(DocStats {
+            breakdown: doc.node_breakdown(),
+            unfactored_nodes: doc.unfactored_node_count(),
+            worlds: doc.world_count_f64(),
+            expected_world_size: doc.expected_world_size(),
+            certain: doc.is_certain(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imprecise_oracle::presets::addressbook_oracle;
+
+    fn john_session() -> Session {
+        let mut s = Session::new();
+        s.set_oracle(addressbook_oracle());
+        s.load_schema(
+            "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
+             <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>",
+        )
+        .unwrap();
+        s.load_xml(
+            "a",
+            "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>",
+        )
+        .unwrap();
+        s.load_xml(
+            "b",
+            "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>",
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn full_cycle() {
+        let mut s = john_session();
+        let stats = s.integrate("a", "b", "merged").unwrap();
+        assert_eq!(stats.judged_possible, 1);
+        let doc_stats = s.stats("merged").unwrap();
+        assert_eq!(doc_stats.worlds, 3.0);
+        assert!(!doc_stats.certain);
+        let answers = s.query("merged", "//person/tel").unwrap();
+        assert!((answers.probability_of("1111") - 0.75).abs() < 1e-9);
+        let report = s.feedback("merged", "//person/tel", "2222", false).unwrap();
+        assert!(report.worlds_after < report.worlds_before);
+        assert!(s.stats("merged").unwrap().certain);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut s = john_session();
+        s.integrate("a", "b", "merged").unwrap();
+        let text = s.export("merged").unwrap();
+        let mut s2 = Session::new();
+        s2.load_xml("copy", &text).unwrap();
+        assert_eq!(s2.stats("copy").unwrap().worlds, 3.0);
+    }
+
+    #[test]
+    fn missing_documents_are_reported() {
+        let mut s = Session::new();
+        assert!(matches!(
+            s.query("nope", "//a"),
+            Err(SessionError::NoSuchDocument(_))
+        ));
+        assert!(s.integrate("nope", "nope2", "out").is_err());
+        assert!(s.export("nope").is_err());
+    }
+
+    #[test]
+    fn bad_query_is_reported() {
+        let mut s = john_session();
+        s.integrate("a", "b", "m").unwrap();
+        assert!(matches!(
+            s.query("m", "movie["),
+            Err(SessionError::QueryParse(_))
+        ));
+    }
+
+    #[test]
+    fn document_names_listed() {
+        let s = john_session();
+        assert_eq!(s.document_names(), vec!["a", "b"]);
+    }
+}

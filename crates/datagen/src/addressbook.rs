@@ -1,0 +1,180 @@
+//! Address-book sources (the paper's Fig. 2 scenario) and larger random
+//! address books for stress testing.
+
+use imprecise_xmlkit::{Schema, XmlDoc};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One address-book entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Person {
+    /// Real-world identity (ground truth for overlap).
+    pub rwo: u64,
+    /// Name.
+    pub name: String,
+    /// Phone number, if known to the source.
+    pub tel: Option<String>,
+}
+
+/// The address-book DTD: each person has one name and at most one phone
+/// number — the constraint that rejects the two-phone world in Fig. 2.
+pub fn addressbook_schema_text() -> &'static str {
+    "<!ELEMENT addressbook (person*)>\
+     <!ELEMENT person (nm, tel?)>\
+     <!ELEMENT nm (#PCDATA)>\
+     <!ELEMENT tel (#PCDATA)>"
+}
+
+/// Parsed form of [`addressbook_schema_text`].
+pub fn addressbook_schema() -> Schema {
+    Schema::parse(addressbook_schema_text()).expect("static schema is valid")
+}
+
+/// Render an address book.
+pub fn addressbook_to_xml(persons: &[Person]) -> XmlDoc {
+    let mut doc = XmlDoc::new("addressbook");
+    let root = doc.root();
+    for p in persons {
+        let el = doc.add_element(root, "person");
+        doc.add_text_element(el, "nm", p.name.clone());
+        if let Some(tel) = &p.tel {
+            doc.add_text_element(el, "tel", tel.clone());
+        }
+    }
+    doc
+}
+
+/// The two sources of the paper's Fig. 2: both know a "John", with
+/// conflicting phone numbers.
+pub fn fig2_sources() -> (XmlDoc, XmlDoc) {
+    let a = addressbook_to_xml(&[Person {
+        rwo: 1,
+        name: "John".into(),
+        tel: Some("1111".into()),
+    }]);
+    let b = addressbook_to_xml(&[Person {
+        rwo: 1,
+        name: "John".into(),
+        tel: Some("2222".into()),
+    }]);
+    (a, b)
+}
+
+const FIRST_NAMES: [&str; 10] = [
+    "John", "Mary", "Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace", "Heidi",
+];
+
+/// Generate a pair of address books with `n` persons each, of which
+/// `overlap` refer to the same rwos; conflicting phone numbers appear for
+/// a fraction of the shared persons. Deterministic per seed.
+pub fn random_addressbook_pair(
+    seed: u64,
+    n: usize,
+    overlap: usize,
+    conflict_fraction: f64,
+) -> (Vec<Person>, Vec<Person>) {
+    assert!(overlap <= n, "overlap cannot exceed size");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut source_a = Vec::with_capacity(n);
+    let mut source_b = Vec::with_capacity(n);
+    for i in 0..n {
+        let name = format!(
+            "{} {}",
+            FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+            (b'A' + (i % 26) as u8) as char
+        );
+        let tel: u32 = rng.gen_range(1000..9999);
+        source_a.push(Person {
+            rwo: i as u64,
+            name: name.clone(),
+            tel: Some(tel.to_string()),
+        });
+        if i < overlap {
+            let conflicted = rng.gen_bool(conflict_fraction);
+            let b_tel = if conflicted {
+                rng.gen_range(1000..9999)
+            } else {
+                tel
+            };
+            source_b.push(Person {
+                rwo: i as u64,
+                name,
+                tel: Some(b_tel.to_string()),
+            });
+        } else {
+            let other: u32 = rng.gen_range(1000..9999);
+            source_b.push(Person {
+                rwo: (n + i) as u64,
+                name: format!(
+                    "{} {}",
+                    FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+                    (b'a' + (i % 26) as u8) as char
+                ),
+                tel: Some(other.to_string()),
+            });
+        }
+    }
+    (source_a, source_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imprecise_xmlkit::to_string;
+
+    #[test]
+    fn fig2_sources_match_paper() {
+        let (a, b) = fig2_sources();
+        assert_eq!(
+            to_string(&a),
+            "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>"
+        );
+        assert!(to_string(&b).contains("2222"));
+    }
+
+    #[test]
+    fn schema_enforces_single_phone() {
+        let s = addressbook_schema();
+        assert!(s.is_single_valued("person", "tel"));
+        assert!(s.is_single_valued("person", "nm"));
+    }
+
+    #[test]
+    fn person_without_phone_renders_without_tel() {
+        let doc = addressbook_to_xml(&[Person {
+            rwo: 0,
+            name: "Mary".into(),
+            tel: None,
+        }]);
+        let s = to_string(&doc);
+        assert!(s.contains("<nm>Mary</nm>"));
+        assert!(!s.contains("<tel>"));
+        addressbook_schema().validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn random_pair_has_requested_overlap() {
+        let (a, b) = random_addressbook_pair(9, 10, 4, 0.5);
+        assert_eq!(a.len(), 10);
+        assert_eq!(b.len(), 10);
+        let shared = a
+            .iter()
+            .filter(|pa| b.iter().any(|pb| pb.rwo == pa.rwo))
+            .count();
+        assert_eq!(shared, 4);
+        // Deterministic.
+        let (a2, _) = random_addressbook_pair(9, 10, 4, 0.5);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn shared_persons_share_names() {
+        let (a, b) = random_addressbook_pair(3, 8, 3, 1.0);
+        for pa in &a[..3] {
+            let pb = b.iter().find(|p| p.rwo == pa.rwo).unwrap();
+            assert_eq!(pa.name, pb.name);
+            // conflict_fraction = 1.0: phones always differ.
+            assert_ne!(pa.tel, pb.tel);
+        }
+    }
+}

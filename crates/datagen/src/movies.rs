@@ -1,0 +1,276 @@
+//! The movie model, per-source rendering conventions, and random catalogs.
+
+use imprecise_xmlkit::{Schema, XmlDoc};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A movie as a real-world object (before source conventions distort it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Movie {
+    /// Identity of the real-world object. Two `Movie` values with the same
+    /// `rwo` describe the same movie (ground truth for experiments).
+    pub rwo: u64,
+    /// Canonical title.
+    pub title: String,
+    /// Release year.
+    pub year: u32,
+    /// Genres (canonical capitalised spelling).
+    pub genres: Vec<String>,
+    /// Directors in `Given Family` order.
+    pub directors: Vec<String>,
+}
+
+/// Fluent construction of [`Movie`] values.
+#[derive(Debug, Clone)]
+pub struct MovieBuilder {
+    movie: Movie,
+}
+
+impl MovieBuilder {
+    /// Start a movie with identity, title and year.
+    pub fn new(rwo: u64, title: impl Into<String>, year: u32) -> Self {
+        MovieBuilder {
+            movie: Movie {
+                rwo,
+                title: title.into(),
+                year,
+                genres: Vec::new(),
+                directors: Vec::new(),
+            },
+        }
+    }
+
+    /// Add a genre.
+    pub fn genre(mut self, g: impl Into<String>) -> Self {
+        self.movie.genres.push(g.into());
+        self
+    }
+
+    /// Add a director.
+    pub fn director(mut self, d: impl Into<String>) -> Self {
+        self.movie.directors.push(d.into());
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Movie {
+        self.movie
+    }
+}
+
+/// Rendering conventions of the two sources (§V: "The sources use
+/// different conventions for, e.g., naming directors, so these never
+/// match exactly").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceStyle {
+    /// IMDB-style: `Family, Given` directors, arabic sequel numbers,
+    /// lowercase genres.
+    Imdb,
+    /// MPEG-7-style: `Given Family` directors, roman sequel numbers,
+    /// capitalised genres.
+    Mpeg7,
+}
+
+impl SourceStyle {
+    fn render_title(&self, title: &str) -> String {
+        match self {
+            // IMDB writes sequel numbers with arabic numerals.
+            SourceStyle::Imdb => arabicise_last_token(title),
+            SourceStyle::Mpeg7 => title.to_string(),
+        }
+    }
+
+    fn render_director(&self, name: &str) -> String {
+        match self {
+            SourceStyle::Imdb => match name.rsplit_once(' ') {
+                Some((given, family)) => format!("{family}, {given}"),
+                None => name.to_string(),
+            },
+            SourceStyle::Mpeg7 => name.to_string(),
+        }
+    }
+
+    fn render_genre(&self, genre: &str) -> String {
+        match self {
+            SourceStyle::Imdb => genre.to_lowercase(),
+            SourceStyle::Mpeg7 => genre.to_string(),
+        }
+    }
+}
+
+/// Replace a trailing roman sequel numeral with its arabic form
+/// ("Jaws III" → "Jaws 3"). Leaves other titles untouched. The roman
+/// table is the similarity substrate's (sequels i..xx).
+fn arabicise_last_token(title: &str) -> String {
+    match title.rsplit_once(' ') {
+        Some((head, last)) if last.chars().all(|c| "IVXivx".contains(c)) => {
+            let normalized = imprecise_sim::normalize_token(last);
+            if normalized.chars().all(|c| c.is_ascii_digit()) {
+                format!("{head} {normalized}")
+            } else {
+                title.to_string()
+            }
+        }
+        _ => title.to_string(),
+    }
+}
+
+/// The DTD of the movie catalogs, as the paper's experiments assume it
+/// (one title, at most one year, any number of genres and directors).
+pub fn movie_schema_text() -> &'static str {
+    "<!ELEMENT catalog (movie*)>\
+     <!ELEMENT movie (title, year?, genre*, director*)>\
+     <!ELEMENT title (#PCDATA)>\
+     <!ELEMENT year (#PCDATA)>\
+     <!ELEMENT genre (#PCDATA)>\
+     <!ELEMENT director (#PCDATA)>"
+}
+
+/// Parsed form of [`movie_schema_text`].
+pub fn movie_schema() -> Schema {
+    Schema::parse(movie_schema_text()).expect("static schema is valid")
+}
+
+/// Render a catalog of movies as one source's XML document, applying the
+/// source's conventions.
+pub fn catalog_to_xml(movies: &[Movie], style: SourceStyle) -> XmlDoc {
+    let mut doc = XmlDoc::new("catalog");
+    let root = doc.root();
+    for m in movies {
+        let el = doc.add_element(root, "movie");
+        doc.add_text_element(el, "title", style.render_title(&m.title));
+        doc.add_text_element(el, "year", m.year.to_string());
+        for g in &m.genres {
+            doc.add_text_element(el, "genre", style.render_genre(g));
+        }
+        for d in &m.directors {
+            doc.add_text_element(el, "director", style.render_director(d));
+        }
+    }
+    doc
+}
+
+const GENRE_POOL: [&str; 8] = [
+    "Action", "Horror", "Thriller", "Comedy", "Drama", "Sci-Fi", "Crime", "Adventure",
+];
+
+const GIVEN_NAMES: [&str; 8] = [
+    "John", "Steven", "Kathryn", "Ridley", "Sofia", "James", "Ann", "Werner",
+];
+
+const FAMILY_NAMES: [&str; 8] = [
+    "Woo", "Spielberg", "Bigelow", "Scott", "Coppola", "Cameron", "Hui", "Herzog",
+];
+
+const TITLE_WORDS: [&str; 12] = [
+    "Midnight", "Harbor", "Vengeance", "Echo", "Glass", "Hollow", "Iron", "Paper", "Silent",
+    "Crimson", "Golden", "Last",
+];
+
+/// Generate `n` random distinct movies (for stress tests and benches).
+/// Deterministic for a given seed.
+pub fn random_catalog(seed: u64, n: usize) -> Vec<Movie> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut movies = Vec::with_capacity(n);
+    for i in 0..n {
+        let w1 = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+        let w2 = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+        let title = format!("{w1} {w2} {i}");
+        let year = rng.gen_range(1950..2008);
+        let mut b = MovieBuilder::new(i as u64, title, year);
+        let genre_count = rng.gen_range(1..=2);
+        let mut pool: Vec<&str> = GENRE_POOL.to_vec();
+        pool.shuffle(&mut rng);
+        for g in pool.iter().take(genre_count) {
+            b = b.genre(*g);
+        }
+        let given = GIVEN_NAMES[rng.gen_range(0..GIVEN_NAMES.len())];
+        let family = FAMILY_NAMES[rng.gen_range(0..FAMILY_NAMES.len())];
+        b = b.director(format!("{given} {family}"));
+        movies.push(b.build());
+    }
+    movies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imprecise_xmlkit::to_string;
+
+    fn mi2() -> Movie {
+        MovieBuilder::new(1, "Mission: Impossible II", 2000)
+            .genre("Action")
+            .director("John Woo")
+            .build()
+    }
+
+    #[test]
+    fn mpeg7_style_keeps_canonical_forms() {
+        let doc = catalog_to_xml(&[mi2()], SourceStyle::Mpeg7);
+        let s = to_string(&doc);
+        assert!(s.contains("<title>Mission: Impossible II</title>"));
+        assert!(s.contains("<director>John Woo</director>"));
+        assert!(s.contains("<genre>Action</genre>"));
+    }
+
+    #[test]
+    fn imdb_style_applies_conventions() {
+        let doc = catalog_to_xml(&[mi2()], SourceStyle::Imdb);
+        let s = to_string(&doc);
+        assert!(s.contains("<title>Mission: Impossible 2</title>"), "{s}");
+        assert!(s.contains("<director>Woo, John</director>"));
+        assert!(s.contains("<genre>action</genre>"));
+    }
+
+    #[test]
+    fn styles_never_match_exactly_but_normalise_equal() {
+        // The paper's premise: conventions differ, yet the underlying
+        // values co-refer.
+        let a = SourceStyle::Imdb.render_director("John Woo");
+        let b = SourceStyle::Mpeg7.render_director("John Woo");
+        assert_ne!(a, b);
+        assert!(imprecise_sim::person_name_similarity(&a, &b) > 0.99);
+        let ta = SourceStyle::Imdb.render_title("Mission: Impossible II");
+        let tb = SourceStyle::Mpeg7.render_title("Mission: Impossible II");
+        assert_ne!(ta, tb);
+        assert_eq!(imprecise_sim::title_similarity(&ta, &tb), 1.0);
+    }
+
+    #[test]
+    fn non_sequel_titles_are_untouched() {
+        assert_eq!(SourceStyle::Imdb.render_title("Jaws"), "Jaws");
+        assert_eq!(
+            SourceStyle::Imdb.render_title("Die Hard: With a Vengeance"),
+            "Die Hard: With a Vengeance"
+        );
+    }
+
+    #[test]
+    fn schema_parses_and_constrains() {
+        let s = movie_schema();
+        assert!(s.is_single_valued("movie", "title"));
+        assert!(!s.is_single_valued("movie", "genre"));
+    }
+
+    #[test]
+    fn random_catalog_is_deterministic_and_distinct() {
+        let a = random_catalog(42, 20);
+        let b = random_catalog(42, 20);
+        assert_eq!(a, b);
+        let c = random_catalog(43, 20);
+        assert_ne!(a, c);
+        // Titles are distinct (indexed suffix).
+        let mut titles: Vec<&str> = a.iter().map(|m| m.title.as_str()).collect();
+        titles.sort_unstable();
+        titles.dedup();
+        assert_eq!(titles.len(), 20);
+    }
+
+    #[test]
+    fn catalog_documents_validate_against_schema() {
+        let movies = random_catalog(7, 10);
+        let doc = catalog_to_xml(&movies, SourceStyle::Imdb);
+        movie_schema().validate(&doc).unwrap();
+    }
+}

@@ -1,0 +1,446 @@
+//! Workload builders for every experiment in the paper (see DESIGN.md §5).
+//!
+//! The original IMDB / MPEG-7 snapshots were never published, so each
+//! scenario reconstructs the *described* structure: which movies exist in
+//! which source, which refer to the same real-world object, and which
+//! confusions (sequels, TV variants, convention mismatches) are present.
+//! All builders are deterministic.
+
+use crate::movies::{catalog_to_xml, movie_schema, Movie, MovieBuilder, SourceStyle};
+use imprecise_xmlkit::{Schema, XmlDoc};
+
+/// Ground-truth metadata of a generated scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioInfo {
+    /// Scenario name (experiment id).
+    pub name: String,
+    /// Movies in the MPEG-7 source.
+    pub mpeg7_movies: usize,
+    /// Movies in the IMDB source.
+    pub imdb_movies: usize,
+    /// Real-world objects present in both sources.
+    pub shared_rwos: usize,
+}
+
+/// A two-source movie workload plus its schema and ground truth.
+#[derive(Debug, Clone)]
+pub struct MovieScenario {
+    /// The MPEG-7-style source document.
+    pub mpeg7: XmlDoc,
+    /// The IMDB-style source document.
+    pub imdb: XmlDoc,
+    /// The movie DTD both sources conform to.
+    pub schema: Schema,
+    /// Ground truth.
+    pub info: ScenarioInfo,
+}
+
+/// One franchise: base title, base year, sequel year, genres, directors.
+struct Franchise {
+    base: &'static str,
+    base_year: u32,
+    sequel_year: u32,
+    genres: [&'static str; 2],
+    directors: [&'static str; 3],
+}
+
+const FRANCHISES: [Franchise; 3] = [
+    Franchise {
+        base: "Mission: Impossible",
+        base_year: 1996,
+        sequel_year: 2000,
+        genres: ["Action", "Adventure"],
+        directors: ["Brian De Palma", "John Woo", "Rob Cohen"],
+    },
+    Franchise {
+        base: "Die Hard",
+        base_year: 1988,
+        sequel_year: 1995,
+        genres: ["Action", "Thriller"],
+        directors: ["John McTiernan", "Renny Harlin", "Len Wiseman"],
+    },
+    Franchise {
+        base: "Jaws",
+        base_year: 1975,
+        sequel_year: 1978,
+        genres: ["Horror", "Thriller"],
+        directors: ["Steven Spielberg", "Jeannot Szwarc", "Joe Alves"],
+    },
+];
+
+const ROMAN: [&str; 20] = [
+    "", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XII", "XIII", "XIV",
+    "XV", "XVI", "XVII", "XVIII", "XIX", "XX",
+];
+
+impl Franchise {
+    fn title(&self, sequel: usize) -> String {
+        if sequel <= 1 {
+            self.base.to_string()
+        } else {
+            let numeral = ROMAN[(sequel - 1).min(ROMAN.len() - 1)];
+            format!("{} {}", self.base, numeral)
+        }
+    }
+
+    fn year(&self, sequel: usize) -> u32 {
+        match sequel {
+            0 | 1 => self.base_year,
+            2 => self.sequel_year,
+            k => self.sequel_year + 4 * (k as u32 - 2),
+        }
+    }
+}
+
+/// rwo id for franchise `f`, variant key `v`.
+fn rwo(f: usize, v: usize) -> u64 {
+    (f as u64) * 1000 + v as u64
+}
+
+/// The sequels workload of Table I: per franchise, both sources hold two
+/// entries, exactly one of which co-refers across sources.
+///
+/// * MPEG-7: the base movie and sequel II;
+/// * IMDB: sequel II (the shared rwo) and a same-year TV remake of the
+///   base (a different rwo that only the year cannot separate).
+///
+/// Every movie carries two genres and one director, so that the genre rule
+/// has sub-choices to eliminate, exactly like the paper's Table I.
+pub fn sequels_t1() -> MovieScenario {
+    let mut mpeg7 = Vec::new();
+    let mut imdb = Vec::new();
+    for (f, fr) in FRANCHISES.iter().enumerate() {
+        mpeg7.push(
+            MovieBuilder::new(rwo(f, 1), fr.title(1), fr.year(1))
+                .genre(fr.genres[0])
+                .genre(fr.genres[1])
+                .director(fr.directors[0])
+                .build(),
+        );
+        mpeg7.push(
+            MovieBuilder::new(rwo(f, 2), fr.title(2), fr.year(2))
+                .genre(fr.genres[0])
+                .genre(fr.genres[1])
+                .director(fr.directors[1])
+                .build(),
+        );
+        imdb.push(
+            MovieBuilder::new(rwo(f, 2), fr.title(2), fr.year(2))
+                .genre(fr.genres[0])
+                .genre(fr.genres[1])
+                .director(fr.directors[1])
+                .build(),
+        );
+        imdb.push(
+            MovieBuilder::new(rwo(f, 100), format!("{} (TV)", fr.base), fr.year(1))
+                .genre(fr.genres[0])
+                .genre(fr.genres[1])
+                .director(fr.directors[2])
+                .build(),
+        );
+    }
+    build("table1-sequels", &mpeg7, &imdb, 3)
+}
+
+/// The Figure 5 workload: the 6 MPEG-7 movies of [`sequels_t1`] against a
+/// growing number of IMDB franchise entries — "only sequels, TV-shows,
+/// etc. with 'Impossible Mission', 'Jaws', and 'Die Hard' in the title".
+///
+/// IMDB entries cycle through the franchises; per franchise the variants
+/// are, in order: the shared sequel II, a TV remake of the base (same
+/// year as the base), sequel III, a TV remake of sequel II (same year as
+/// sequel II), sequel IV, a video edition of the base (base year), then
+/// further sequels V, VI, … with fresh years.
+pub fn fig5(n_imdb: usize) -> MovieScenario {
+    let mut mpeg7 = Vec::new();
+    for (f, fr) in FRANCHISES.iter().enumerate() {
+        for v in [1usize, 2] {
+            mpeg7.push(
+                MovieBuilder::new(rwo(f, v), fr.title(v), fr.year(v))
+                    .genre(fr.genres[0])
+                    .director(fr.directors[(v - 1) % 3])
+                    .build(),
+            );
+        }
+    }
+    let mut imdb = Vec::new();
+    let mut shared = 0usize;
+    for i in 0..n_imdb {
+        let f = i % FRANCHISES.len();
+        let v = i / FRANCHISES.len();
+        let fr = &FRANCHISES[f];
+        let movie = match v {
+            0 => {
+                shared += 1;
+                MovieBuilder::new(rwo(f, 2), fr.title(2), fr.year(2))
+                    .genre(fr.genres[0])
+                    .director(fr.directors[1])
+                    .build()
+            }
+            1 => MovieBuilder::new(rwo(f, 101), format!("{} (TV)", fr.base), fr.year(1))
+                .genre(fr.genres[0])
+                .director(fr.directors[2])
+                .build(),
+            2 => MovieBuilder::new(rwo(f, 3), fr.title(3), fr.year(3))
+                .genre(fr.genres[0])
+                .director(fr.directors[2])
+                .build(),
+            3 => MovieBuilder::new(rwo(f, 102), format!("{} (TV)", fr.title(2)), fr.year(2))
+                .genre(fr.genres[1])
+                .director(fr.directors[0])
+                .build(),
+            4 => MovieBuilder::new(rwo(f, 4), fr.title(4), fr.year(4))
+                .genre(fr.genres[1])
+                .director(fr.directors[1])
+                .build(),
+            5 => MovieBuilder::new(rwo(f, 103), format!("{} (Video)", fr.base), fr.year(1))
+                .genre(fr.genres[0])
+                .director(fr.directors[2])
+                .build(),
+            // Beyond the staple variants, catalogs keep accumulating
+            // sequels and re-editions; re-editions share the year of the
+            // movie they re-issue, so the year rule cannot separate them.
+            k if k % 3 == 1 => MovieBuilder::new(
+                rwo(f, 200 + k),
+                format!("{} (Special Edition)", fr.title(2)),
+                fr.year(2),
+            )
+            .genre(fr.genres[k % 2])
+            .director(fr.directors[k % 3])
+            .build(),
+            k if k % 3 == 2 => MovieBuilder::new(
+                rwo(f, 300 + k),
+                format!("{} (Restored)", fr.base),
+                fr.year(1),
+            )
+            .genre(fr.genres[k % 2])
+            .director(fr.directors[k % 3])
+            .build(),
+            k => MovieBuilder::new(rwo(f, k), fr.title(k), fr.year(k))
+                .genre(fr.genres[k % 2])
+                .director(fr.directors[k % 3])
+                .build(),
+        };
+        imdb.push(movie);
+    }
+    let mut scenario = build("fig5", &mpeg7, &imdb, shared.min(3));
+    scenario.info.name = format!("fig5-n{n_imdb}");
+    scenario
+}
+
+/// Titles for the typical-conditions IMDB catalog (distinct, non-sequel).
+const TYPICAL_TITLES: [&str; 12] = [
+    "Heat",
+    "Fargo",
+    "Casino",
+    "Twister",
+    "Braveheart",
+    "Apollo 13",
+    "The Usual Suspects",
+    "Waterworld",
+    "Golden Eye",
+    "Seven",
+    "Toy Story",
+    "Babe",
+];
+
+/// The typical-conditions workload of §V: 6 movies produced in 1995 from
+/// the MPEG-7 source against 60 IMDB movies, of which two refer to the
+/// same rwo. Shared movies carry an extra genre in the IMDB source (and
+/// IMDB-only director credits), so the Oracle cannot decide them by
+/// deep-equality — these are the paper's "two occasions" where no
+/// absolute decision is possible.
+pub fn typical() -> MovieScenario {
+    let mut mpeg7 = Vec::new();
+    for (i, title) in TYPICAL_TITLES.iter().take(6).enumerate() {
+        mpeg7.push(
+            MovieBuilder::new(5000 + i as u64, *title, 1995)
+                .genre("Drama")
+                .build(),
+        );
+    }
+    let mut imdb = Vec::new();
+    // The two shared rwos: same title and year, an extra genre, and
+    // IMDB-side director credits.
+    for (i, title) in TYPICAL_TITLES.iter().take(2).enumerate() {
+        imdb.push(
+            MovieBuilder::new(5000 + i as u64, *title, 1995)
+                .genre("Drama")
+                .genre("Crime")
+                .director("Michael Mann")
+                .build(),
+        );
+    }
+    // 58 unrelated movies with distinct titles and spread years.
+    for i in 0..58usize {
+        let base = TYPICAL_TITLES[(i + 6) % TYPICAL_TITLES.len()];
+        let title = if i < 6 {
+            base.to_string()
+        } else {
+            format!("{base} Chronicles {i}")
+        };
+        imdb.push(
+            MovieBuilder::new(6000 + i as u64, title, 1950 + (i as u32 * 7) % 55)
+                .genre("Comedy")
+                .director("Ann Hui")
+                .build(),
+        );
+    }
+    build("typical", &mpeg7, &imdb, 2)
+}
+
+/// The §VI query database: the confusing franchise catalog that the two
+/// demo queries run against. Built so that, with the title rule only,
+/// the rankings of the paper emerge:
+///
+/// * `//movie[.//genre="Horror"]/title` → 'Jaws' and 'Jaws 2' at a high
+///   equal rank (they only miss certainty through unlikely cross-matches);
+/// * the John query → 'Die Hard: With a Vengeance' certain,
+///   'Mission: Impossible II' high, 'Mission: Impossible' low (the
+///   possibility that the "II" is a typing mistake).
+pub fn query_db() -> MovieScenario {
+    let mpeg7 = vec![
+        MovieBuilder::new(1, "Jaws", 1975)
+            .genre("Horror")
+            .director("Steven Spielberg")
+            .build(),
+        MovieBuilder::new(2, "Jaws 2", 1978)
+            .genre("Horror")
+            .director("Jeannot Szwarc")
+            .build(),
+        MovieBuilder::new(3, "Mission: Impossible II", 2000)
+            .genre("Action")
+            .director("John Woo")
+            .build(),
+        MovieBuilder::new(4, "Die Hard: With a Vengeance", 1995)
+            .genre("Action")
+            .director("John McTiernan")
+            .build(),
+    ];
+    let imdb = vec![
+        MovieBuilder::new(1, "Jaws", 1975)
+            .genre("Horror")
+            .director("Steven Spielberg")
+            .build(),
+        MovieBuilder::new(2, "Jaws 2", 1978)
+            .genre("Horror")
+            .director("Jeannot Szwarc")
+            .build(),
+        // The typo-suspect: Mission: Impossible (a different movie whose
+        // title may be the II-less misspelling of the MPEG-7 entry).
+        MovieBuilder::new(30, "Mission: Impossible", 1996)
+            .genre("Action")
+            .director("Brian De Palma")
+            .build(),
+        MovieBuilder::new(40, "Die Hard 2", 1990)
+            .genre("Action")
+            .director("Renny Harlin")
+            .build(),
+        MovieBuilder::new(4, "Die Hard: With a Vengeance", 1995)
+            .genre("Action")
+            .director("John McTiernan")
+            .build(),
+    ];
+    build("query-db", &mpeg7, &imdb, 3)
+}
+
+fn build(name: &str, mpeg7: &[Movie], imdb: &[Movie], shared: usize) -> MovieScenario {
+    MovieScenario {
+        mpeg7: catalog_to_xml(mpeg7, SourceStyle::Mpeg7),
+        imdb: catalog_to_xml(imdb, SourceStyle::Imdb),
+        schema: movie_schema(),
+        info: ScenarioInfo {
+            name: name.to_string(),
+            mpeg7_movies: mpeg7.len(),
+            imdb_movies: imdb.len(),
+            shared_rwos: shared,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imprecise_xmlkit::to_string;
+
+    #[test]
+    fn t1_has_six_versus_six() {
+        let s = sequels_t1();
+        assert_eq!(s.info.mpeg7_movies, 6);
+        assert_eq!(s.info.imdb_movies, 6);
+        assert_eq!(s.info.shared_rwos, 3);
+        s.schema.validate(&s.mpeg7).unwrap();
+        s.schema.validate(&s.imdb).unwrap();
+        // Franchise structure present.
+        let m = to_string(&s.mpeg7);
+        assert!(m.contains("Mission: Impossible II"));
+        assert!(m.contains("Jaws"));
+        let i = to_string(&s.imdb);
+        assert!(i.contains("Mission: Impossible 2")); // IMDB convention
+        assert!(i.contains("(TV)"));
+    }
+
+    #[test]
+    fn fig5_scales_with_n() {
+        for n in [0, 6, 30, 60] {
+            let s = fig5(n);
+            assert_eq!(s.info.mpeg7_movies, 6);
+            assert_eq!(s.info.imdb_movies, n);
+            s.schema.validate(&s.imdb).unwrap();
+        }
+        // Shared rwos appear once n covers all three franchises.
+        assert_eq!(fig5(3).info.shared_rwos, 3);
+        assert_eq!(fig5(2).info.shared_rwos, 2);
+    }
+
+    #[test]
+    fn fig5_titles_stay_in_franchises() {
+        let s = fig5(60);
+        let text = to_string(&s.imdb);
+        for needle in ["Mission", "Die Hard", "Jaws"] {
+            assert!(text.contains(needle));
+        }
+        // No unrelated franchise sneaks in.
+        assert!(!text.contains("Heat"));
+    }
+
+    #[test]
+    fn typical_structure() {
+        let s = typical();
+        assert_eq!(s.info.mpeg7_movies, 6);
+        assert_eq!(s.info.imdb_movies, 60);
+        assert_eq!(s.info.shared_rwos, 2);
+        s.schema.validate(&s.mpeg7).unwrap();
+        s.schema.validate(&s.imdb).unwrap();
+        // All MPEG-7 movies are from 1995 (the paper's selection).
+        let m = to_string(&s.mpeg7);
+        assert_eq!(m.matches("<year>1995</year>").count(), 6);
+        // IMDB titles are distinct.
+        let i = to_string(&s.imdb);
+        assert_eq!(i.matches("<title>Heat</title>").count(), 1);
+    }
+
+    #[test]
+    fn query_db_contains_the_demo_movies() {
+        let s = query_db();
+        let all = format!("{}{}", to_string(&s.mpeg7), to_string(&s.imdb));
+        for t in [
+            "Jaws",
+            "Jaws 2",
+            "Mission: Impossible II",
+            "Mission: Impossible",
+            "Die Hard: With a Vengeance",
+        ] {
+            assert!(all.contains(t), "missing {t}");
+        }
+        assert!(all.contains("McTiernan, John")); // IMDB director convention
+        assert!(all.contains("John McTiernan")); // MPEG-7 convention
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        assert_eq!(to_string(&sequels_t1().mpeg7), to_string(&sequels_t1().mpeg7));
+        assert_eq!(to_string(&fig5(30).imdb), to_string(&fig5(30).imdb));
+        assert_eq!(to_string(&typical().imdb), to_string(&typical().imdb));
+    }
+}

@@ -1,0 +1,201 @@
+//! Local enumeration of choice points inside input child lists.
+//!
+//! When an input document is already probabilistic (incremental
+//! integration, §I's "improved incrementally while the integrated source is
+//! being used"), a child list may contain probability nodes. Matching needs
+//! concrete child lists, so the engine enumerates the *local* alternative
+//! combinations of the list — the cross product of the list's choice
+//! points, flattened recursively — and integrates each combination.
+
+use imprecise_pxml::{PxDoc, PxNodeId, PxNodeKind};
+
+/// Error: local enumeration exceeded the configured cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalWorldsOverflow {
+    /// The cap that was exceeded.
+    pub cap: usize,
+}
+
+/// All alternative concrete versions of an item list, with probabilities.
+///
+/// Items that are regular nodes stay; probability nodes expand into their
+/// possibilities (recursively, since a possibility may itself directly
+/// contain nested choice points). Order is preserved. The weights of the
+/// returned combinations sum to 1.
+pub fn local_combos(
+    doc: &PxDoc,
+    items: &[PxNodeId],
+    cap: usize,
+) -> Result<Vec<(Vec<PxNodeId>, f64)>, LocalWorldsOverflow> {
+    let mut acc: Vec<(Vec<PxNodeId>, f64)> = vec![(Vec::new(), 1.0)];
+    for &item in items {
+        match doc.kind(item) {
+            PxNodeKind::Prob => {
+                let alternatives = prob_alternatives(doc, item, cap)?;
+                let mut next = Vec::with_capacity(acc.len().saturating_mul(alternatives.len()));
+                for (row, rw) in &acc {
+                    for (alt_items, w) in &alternatives {
+                        let mut row2 = row.clone();
+                        row2.extend_from_slice(alt_items);
+                        next.push((row2, rw * w));
+                    }
+                }
+                acc = next;
+                if acc.len() > cap {
+                    return Err(LocalWorldsOverflow { cap });
+                }
+            }
+            PxNodeKind::Poss(_) => unreachable!("poss node in a child item list"),
+            _ => {
+                for (row, _) in &mut acc {
+                    row.push(item);
+                }
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// The flattened alternatives of one probability node: each alternative is
+/// a list of regular nodes with its probability.
+pub fn prob_alternatives(
+    doc: &PxDoc,
+    prob: PxNodeId,
+    cap: usize,
+) -> Result<Vec<(Vec<PxNodeId>, f64)>, LocalWorldsOverflow> {
+    debug_assert!(doc.is_prob(prob));
+    let mut out: Vec<(Vec<PxNodeId>, f64)> = Vec::new();
+    for &poss in doc.children(prob) {
+        let w = doc.poss_prob(poss).expect("prob child is poss");
+        let inner = local_combos(doc, doc.children(poss), cap)?;
+        for (items, iw) in inner {
+            out.push((items, w * iw));
+            if out.len() > cap {
+                return Err(LocalWorldsOverflow { cap });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imprecise_pxml::PxDoc;
+
+    /// doc element with children: <x/>, prob{0.4: <y1/>; 0.6: <y2/>}, <z/>.
+    fn simple() -> (PxDoc, PxNodeId) {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        px.add_elem(e, "x");
+        let p = px.add_prob(e);
+        let p1 = px.add_poss(p, 0.4);
+        px.add_elem(p1, "y1");
+        let p2 = px.add_poss(p, 0.6);
+        px.add_elem(p2, "y2");
+        px.add_elem(e, "z");
+        (px, e)
+    }
+
+    #[test]
+    fn certain_list_is_single_combo() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        px.add_elem(e, "x");
+        px.add_elem(e, "y");
+        let combos = local_combos(&px, px.children(e), 100).unwrap();
+        assert_eq!(combos.len(), 1);
+        assert_eq!(combos[0].0.len(), 2);
+        assert!((combos[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_choice_expands_in_order() {
+        let (px, e) = simple();
+        let combos = local_combos(&px, px.children(e), 100).unwrap();
+        assert_eq!(combos.len(), 2);
+        let tags0: Vec<&str> = combos[0].0.iter().filter_map(|&n| px.tag(n)).collect();
+        assert_eq!(tags0, vec!["x", "y1", "z"]);
+        assert!((combos[0].1 - 0.4).abs() < 1e-12);
+        let tags1: Vec<&str> = combos[1].0.iter().filter_map(|&n| px.tag(n)).collect();
+        assert_eq!(tags1, vec!["x", "y2", "z"]);
+        assert!((combos[1].1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_choices_cross_product() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        for (t1, t2) in [("a1", "a2"), ("b1", "b2")] {
+            let p = px.add_prob(e);
+            let x = px.add_poss(p, 0.5);
+            px.add_elem(x, t1);
+            let y = px.add_poss(p, 0.5);
+            px.add_elem(y, t2);
+        }
+        let combos = local_combos(&px, px.children(e), 100).unwrap();
+        assert_eq!(combos.len(), 4);
+        let total: f64 = combos.iter().map(|c| c.1).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_choices_flatten() {
+        // prob{0.5: prob{0.5: <a/>, 0.5: <b/>}; 0.5: <c/>} → 3 alternatives.
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        let outer = px.add_prob(e);
+        let o1 = px.add_poss(outer, 0.5);
+        let inner = px.add_prob(o1);
+        let i1 = px.add_poss(inner, 0.5);
+        px.add_elem(i1, "a");
+        let i2 = px.add_poss(inner, 0.5);
+        px.add_elem(i2, "b");
+        let o2 = px.add_poss(outer, 0.5);
+        px.add_elem(o2, "c");
+        let combos = local_combos(&px, px.children(e), 100).unwrap();
+        assert_eq!(combos.len(), 3);
+        let weights: Vec<f64> = combos.iter().map(|c| c.1).collect();
+        assert!((weights[0] - 0.25).abs() < 1e-12);
+        assert!((weights[1] - 0.25).abs() < 1e-12);
+        assert!((weights[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn possibility_with_empty_content_yields_empty_items() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        let p = px.add_prob(e);
+        let with = px.add_poss(p, 0.5);
+        px.add_elem(with, "present");
+        let _without = px.add_poss(p, 0.5);
+        let combos = local_combos(&px, px.children(e), 100).unwrap();
+        assert_eq!(combos.len(), 2);
+        assert_eq!(combos[0].0.len(), 1);
+        assert!(combos[1].0.is_empty());
+    }
+
+    #[test]
+    fn cap_enforced() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        for _ in 0..6 {
+            let p = px.add_prob(e);
+            for weight in [0.5, 0.5] {
+                let poss = px.add_poss(p, weight);
+                px.add_elem(poss, "v");
+            }
+        }
+        // 2^6 = 64 combos > cap 32.
+        assert_eq!(
+            local_combos(&px, px.children(e), 32).unwrap_err(),
+            LocalWorldsOverflow { cap: 32 }
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! # imprecise-integrate — probabilistic XML integration
+//!
+//! §III of the IMPrECISE paper: *"The probabilistic integration process is
+//! executed in a recursive fashion starting from the roots of both source
+//! documents. The integration function tries to match the child nodes of
+//! both sources. Two child nodes match if they refer to the same rwo. …
+//! In many cases, this can't be established with certainty, so the system
+//! needs to consider two cases."*
+//!
+//! The engine works bottom-up per element pair:
+//!
+//! 1. Child elements of two matched parents are grouped by tag.
+//! 2. For a tag the schema declares single-valued, one element per side is
+//!    merged unconditionally (the parent identity implies the child
+//!    identity: a movie has exactly one real title); conflicting text
+//!    values become a mutually exclusive choice (this is exactly the
+//!    paper's "persons only have one phone number" pruning).
+//! 3. For multi-valued tags, every cross-source pair is judged by the
+//!    Oracle. Certain non-matches are discarded, certain matches forced,
+//!    undecided pairs enumerated: each injective set of undecided pairs
+//!    (a *matching*) becomes one possibility, weighted by
+//!    ∏ p · ∏ (1 − p) over taken/not-taken candidate pairs and normalised.
+//!    The "no two siblings in one source refer to the same rwo" generic
+//!    rule is what makes matchings injective.
+//! 4. Connected components of the candidate graph have independent
+//!    matchings and get independent probability nodes (the *factored*
+//!    representation; the classic engine's unfactored equivalent is
+//!    available analytically via `imprecise-pxml`).
+//!
+//! Inputs may already be probabilistic (incremental integration): choice
+//! points encountered in a child list are locally enumerated (with a cap)
+//! and the alternatives integrated per combination.
+//!
+//! ## Example: the paper's Fig. 2
+//!
+//! ```
+//! use imprecise_integrate::{integrate_xml, IntegrationOptions};
+//! use imprecise_oracle::presets::addressbook_oracle;
+//! use imprecise_xmlkit::{parse, Schema};
+//!
+//! let a = parse("<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>").unwrap();
+//! let b = parse("<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>").unwrap();
+//! let schema = Schema::parse(
+//!     "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
+//!      <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>").unwrap();
+//! let oracle = addressbook_oracle();
+//! let result = integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+//! // One person with an uncertain phone, or two persons: 3 possible worlds.
+//! assert_eq!(result.doc.world_count(), 3);
+//! ```
+
+pub mod combos;
+pub mod matching;
+mod merge;
+
+pub use matching::{Candidate, Component, Matching, TooManyMatchings};
+
+use imprecise_oracle::Oracle;
+use imprecise_pxml::{from_xml, PxDoc, PxInvariantError};
+use imprecise_xmlkit::{Schema, XmlDoc};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Tuning knobs of the integration engine.
+#[derive(Debug, Clone, Copy)]
+pub struct IntegrationOptions {
+    /// Relative trust in (source a, source b), used to weight value
+    /// conflicts and attribute conflicts. Normalised internally.
+    pub source_weights: (f64, f64),
+    /// Hard cap on the number of matchings enumerated for one connected
+    /// component of the candidate graph.
+    pub max_matchings_per_component: usize,
+    /// Hard cap on locally enumerated alternative combinations when an
+    /// input child list contains choice points (incremental integration).
+    pub max_local_worlds: usize,
+    /// Hard cap on the total size of the output arena (a memory guard for
+    /// parameter sweeps; exceeded ⇒ [`IntegrateError::OutputTooLarge`]).
+    pub max_output_nodes: usize,
+    /// Run pxml simplification on the result (drop zero-probability
+    /// possibilities, merge equal ones, collapse certain choice points).
+    pub simplify: bool,
+}
+
+impl Default for IntegrationOptions {
+    fn default() -> Self {
+        IntegrationOptions {
+            source_weights: (0.5, 0.5),
+            max_matchings_per_component: 1 << 18,
+            max_local_worlds: 4096,
+            max_output_nodes: 40_000_000,
+            simplify: true,
+        }
+    }
+}
+
+/// Why an integration was aborted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntegrateError {
+    /// The two documents have differently tagged roots — the paper assumes
+    /// schemas are already aligned, so this is a usage error.
+    RootTagMismatch {
+        /// Root tag of source a.
+        a: String,
+        /// Root tag of source b.
+        b: String,
+    },
+    /// A candidate-graph component admits more matchings than the cap.
+    TooManyMatchings {
+        /// Number of undecided candidate pairs in the component.
+        component_pairs: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// Local enumeration of input choice points exceeded the cap.
+    TooManyLocalWorlds {
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The output grew beyond [`IntegrationOptions::max_output_nodes`].
+    OutputTooLarge {
+        /// The configured cap.
+        cap: usize,
+    },
+    /// An input document violates the probabilistic XML invariants.
+    InvalidInput(PxInvariantError),
+}
+
+impl fmt::Display for IntegrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrateError::RootTagMismatch { a, b } => {
+                write!(f, "root tags differ: <{a}> vs <{b}> (schemas not aligned?)")
+            }
+            IntegrateError::TooManyMatchings {
+                component_pairs,
+                cap,
+            } => write!(
+                f,
+                "a component with {component_pairs} undecided pairs exceeds {cap} matchings; \
+                 add rules to let the Oracle make absolute decisions"
+            ),
+            IntegrateError::TooManyLocalWorlds { cap } => {
+                write!(f, "more than {cap} local alternative combinations")
+            }
+            IntegrateError::OutputTooLarge { cap } => {
+                write!(f, "integration result exceeds {cap} nodes")
+            }
+            IntegrateError::InvalidInput(e) => write!(f, "invalid input document: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrateError {}
+
+impl From<PxInvariantError> for IntegrateError {
+    fn from(e: PxInvariantError) -> Self {
+        IntegrateError::InvalidInput(e)
+    }
+}
+
+/// Counters describing what the engine (and its Oracle) did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntegrationStats {
+    /// Distinct element pairs submitted to the Oracle.
+    pub pairs_judged: usize,
+    /// … of which certainly matched.
+    pub judged_match: usize,
+    /// … of which certainly non-matched.
+    pub judged_nonmatch: usize,
+    /// … of which stayed undecided (the paper's "occasions the Oracle
+    /// could not make an absolute decision").
+    pub judged_possible: usize,
+    /// Undecided pairs broken down by element tag (movie-level confusion
+    /// vs nested value confusion such as director-name conventions).
+    pub undecided_by_tag: BTreeMap<String, usize>,
+    /// Absolute decisions per rule name.
+    pub rule_decisions: BTreeMap<String, usize>,
+    /// Tag-group components processed.
+    pub components_total: usize,
+    /// … of which required a choice point (more than one matching).
+    pub components_with_choice: usize,
+    /// Total matchings enumerated across all components.
+    pub matchings_enumerated: usize,
+    /// Largest per-component matching count seen.
+    pub max_component_matchings: usize,
+    /// Text-value conflicts turned into choices.
+    pub value_conflicts: usize,
+    /// Attribute conflicts turned into element-variant choices.
+    pub attr_conflicts: usize,
+    /// Forced (certain-match) pairs demoted to undecided because they
+    /// conflicted with another forced pair on the same element
+    /// (contradictory knowledge in the sources).
+    pub demoted_forced: usize,
+}
+
+/// An integration result: the probabilistic document plus statistics.
+#[derive(Debug, Clone)]
+pub struct Integration {
+    /// The integrated probabilistic document.
+    pub doc: PxDoc,
+    /// What happened during integration.
+    pub stats: IntegrationStats,
+}
+
+/// Integrate two certain XML documents.
+pub fn integrate_xml(
+    a: &XmlDoc,
+    b: &XmlDoc,
+    oracle: &Oracle,
+    schema: Option<&Schema>,
+    options: &IntegrationOptions,
+) -> Result<Integration, IntegrateError> {
+    let pa = from_xml(a);
+    let pb = from_xml(b);
+    integrate_px(&pa, &pb, oracle, schema, options)
+}
+
+/// Integrate two (possibly already probabilistic) documents.
+pub fn integrate_px(
+    a: &PxDoc,
+    b: &PxDoc,
+    oracle: &Oracle,
+    schema: Option<&Schema>,
+    options: &IntegrationOptions,
+) -> Result<Integration, IntegrateError> {
+    a.validate()?;
+    b.validate()?;
+    let mut builder = merge::Builder::new(a, b, oracle, schema, options);
+    builder.integrate_roots()?;
+    let (mut doc, stats) = builder.finish();
+    if options.simplify {
+        doc.simplify();
+    }
+    Ok(Integration { doc, stats })
+}

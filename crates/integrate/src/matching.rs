@@ -1,0 +1,450 @@
+//! Candidate graphs and enumeration of injective matchings.
+//!
+//! For a tag group with `n_a` left and `n_b` right elements the Oracle
+//! produces, per cross pair, a certain match (forced), a certain non-match
+//! (discarded), or an undecided probability. A *matching* is a set of
+//! undecided pairs that, together with the forced pairs, uses every element
+//! at most once — injectivity is the structural form of the paper's "no
+//! two siblings in one source refer to the same rwo" rule.
+//!
+//! The number of matchings of a complete bipartite n×m candidate graph is
+//! `Σ_k C(n,k)·C(m,k)·k!` — 13 327 already for 6×6, which is precisely the
+//! paper's "exploding number of theoretical possibilities". Rules shrink
+//! the graph; connected components factor the enumeration.
+
+use std::fmt;
+
+/// An undecided candidate pair with its match probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Index into the left (source a) element list.
+    pub a: usize,
+    /// Index into the right (source b) element list.
+    pub b: usize,
+    /// Oracle probability that the pair co-refers, strictly in `(0, 1)`.
+    pub p: f64,
+}
+
+/// A connected component of the candidate graph over one tag group.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Component {
+    /// Left element indices in this component (ascending).
+    pub a_nodes: Vec<usize>,
+    /// Right element indices in this component (ascending).
+    pub b_nodes: Vec<usize>,
+    /// Certainly matched pairs (always part of every matching).
+    pub forced: Vec<(usize, usize)>,
+    /// Undecided pairs to enumerate over.
+    pub possible: Vec<Candidate>,
+}
+
+/// One enumerated matching with its normalised probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    /// The matched pairs (forced pairs included), in deterministic order.
+    pub pairs: Vec<(usize, usize)>,
+    /// Normalised probability of this matching within its component.
+    pub weight: f64,
+}
+
+/// Error: a component admits more matchings than the configured cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooManyMatchings {
+    /// Undecided pairs in the offending component.
+    pub component_pairs: usize,
+    /// The cap that was exceeded.
+    pub cap: usize,
+}
+
+impl fmt::Display for TooManyMatchings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "component with {} undecided pairs exceeds {} matchings",
+            self.component_pairs, self.cap
+        )
+    }
+}
+
+impl std::error::Error for TooManyMatchings {}
+
+/// Split a tag group's candidate graph into connected components.
+///
+/// Every left/right element index in `0..n_a` / `0..n_b` appears in exactly
+/// one component; elements without any edge become singleton components.
+/// Components are ordered by their smallest member (left-first), which
+/// keeps integration output deterministic.
+pub fn split_components(
+    n_a: usize,
+    n_b: usize,
+    forced: &[(usize, usize)],
+    possible: &[Candidate],
+) -> Vec<Component> {
+    // Union-find over n_a + n_b node slots (left first).
+    let mut parent: Vec<usize> = (0..n_a + n_b).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let union = |parent: &mut [usize], x: usize, y: usize| {
+        let rx = find(parent, x);
+        let ry = find(parent, y);
+        if rx != ry {
+            parent[rx.max(ry)] = rx.min(ry);
+        }
+    };
+    for &(a, b) in forced {
+        union(&mut parent, a, n_a + b);
+    }
+    for c in possible {
+        union(&mut parent, c.a, n_a + c.b);
+    }
+    // Group by root, in order of first appearance (ascending slot id =
+    // left elements first in index order, then right).
+    let mut components: Vec<Component> = Vec::new();
+    let mut root_to_idx: Vec<Option<usize>> = vec![None; n_a + n_b];
+    for slot in 0..n_a + n_b {
+        let root = find(&mut parent, slot);
+        let idx = match root_to_idx[root] {
+            Some(i) => i,
+            None => {
+                root_to_idx[root] = Some(components.len());
+                components.push(Component::default());
+                components.len() - 1
+            }
+        };
+        if slot < n_a {
+            components[idx].a_nodes.push(slot);
+        } else {
+            components[idx].b_nodes.push(slot - n_a);
+        }
+    }
+    for &(a, b) in forced {
+        let root = find(&mut parent, a);
+        let idx = root_to_idx[root].expect("component exists");
+        components[idx].forced.push((a, b));
+    }
+    for c in possible {
+        let root = find(&mut parent, c.a);
+        let idx = root_to_idx[root].expect("component exists");
+        components[idx].possible.push(*c);
+    }
+    components
+}
+
+/// Enumerate all injective matchings of a component, normalised.
+///
+/// Forced pairs are part of every matching. Undecided pairs whose
+/// endpoints are consumed by forced pairs can never be taken; their
+/// `(1 − p)` factors are constant across matchings and cancel under
+/// normalisation, so they are excluded up front.
+pub fn enumerate_matchings(
+    component: &Component,
+    cap: usize,
+) -> Result<Vec<Matching>, TooManyMatchings> {
+    let mut used_a: Vec<usize> = component.forced.iter().map(|&(a, _)| a).collect();
+    let mut used_b: Vec<usize> = component.forced.iter().map(|&(_, b)| b).collect();
+    used_a.sort_unstable();
+    used_b.sort_unstable();
+    let live: Vec<Candidate> = component
+        .possible
+        .iter()
+        .copied()
+        .filter(|c| used_a.binary_search(&c.a).is_err() && used_b.binary_search(&c.b).is_err())
+        .collect();
+    let mut out: Vec<Matching> = Vec::new();
+    let mut taken: Vec<(usize, usize)> = Vec::new();
+    let mut err: Option<TooManyMatchings> = None;
+    recurse(
+        &live, 0, 1.0, &mut taken, &mut out, cap, &mut err, component,
+    );
+    if let Some(e) = err {
+        return Err(e);
+    }
+    let total: f64 = out.iter().map(|m| m.weight).sum();
+    debug_assert!(total > 0.0, "at least the empty matching exists");
+    for m in &mut out {
+        m.weight /= total;
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    live: &[Candidate],
+    i: usize,
+    weight: f64,
+    taken: &mut Vec<(usize, usize)>,
+    out: &mut Vec<Matching>,
+    cap: usize,
+    err: &mut Option<TooManyMatchings>,
+    component: &Component,
+) {
+    if err.is_some() {
+        return;
+    }
+    if i == live.len() {
+        if out.len() >= cap {
+            *err = Some(TooManyMatchings {
+                component_pairs: live.len(),
+                cap,
+            });
+            return;
+        }
+        let mut pairs = component.forced.clone();
+        pairs.extend_from_slice(taken);
+        pairs.sort_unstable();
+        out.push(Matching { pairs, weight });
+        return;
+    }
+    let c = live[i];
+    // Exclude edge i.
+    recurse(
+        live,
+        i + 1,
+        weight * (1.0 - c.p),
+        taken,
+        out,
+        cap,
+        err,
+        component,
+    );
+    // Include edge i when both endpoints are free.
+    let free = !taken.iter().any(|&(a, b)| a == c.a || b == c.b);
+    if free {
+        taken.push((c.a, c.b));
+        recurse(live, i + 1, weight * c.p, taken, out, cap, err, component);
+        taken.pop();
+    }
+}
+
+/// Closed-form count of matchings of the complete bipartite graph
+/// `n × m`: `Σ_k C(n,k)·C(m,k)·k!`. Used by tests and by the experiment
+/// harnesses to report the theoretical possibility count.
+pub fn complete_bipartite_matchings(n: u64, m: u64) -> u128 {
+    let k_max = n.min(m);
+    let mut total: u128 = 0;
+    for k in 0..=k_max {
+        total = total.saturating_add(
+            binomial(n, k)
+                .saturating_mul(binomial(m, k))
+                .saturating_mul(factorial(k)),
+        );
+    }
+    total
+}
+
+fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num.saturating_mul((n - i) as u128) / (i + 1) as u128;
+    }
+    num
+}
+
+fn factorial(k: u64) -> u128 {
+    (1..=k as u128).fold(1u128, |acc, x| acc.saturating_mul(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_graph(n: usize, m: usize, p: f64) -> Component {
+        let mut possible = Vec::new();
+        for a in 0..n {
+            for b in 0..m {
+                possible.push(Candidate { a, b, p });
+            }
+        }
+        Component {
+            a_nodes: (0..n).collect(),
+            b_nodes: (0..m).collect(),
+            forced: Vec::new(),
+            possible,
+        }
+    }
+
+    #[test]
+    fn closed_form_counts() {
+        assert_eq!(complete_bipartite_matchings(1, 1), 2);
+        assert_eq!(complete_bipartite_matchings(2, 2), 7);
+        assert_eq!(complete_bipartite_matchings(3, 3), 34);
+        assert_eq!(complete_bipartite_matchings(6, 6), 13_327);
+        assert_eq!(complete_bipartite_matchings(2, 20), 421);
+        assert_eq!(complete_bipartite_matchings(0, 5), 1);
+    }
+
+    #[test]
+    fn enumeration_matches_closed_form() {
+        for (n, m) in [(1, 1), (2, 2), (2, 3), (3, 3), (2, 5)] {
+            let c = full_graph(n, m, 0.5);
+            let matchings = enumerate_matchings(&c, 1_000_000).unwrap();
+            assert_eq!(
+                matchings.len() as u128,
+                complete_bipartite_matchings(n as u64, m as u64),
+                "{n}x{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_normalise_to_one() {
+        let c = full_graph(2, 2, 0.3);
+        let matchings = enumerate_matchings(&c, 1000).unwrap();
+        let total: f64 = matchings.iter().map(|m| m.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_probability_gives_uniform_matchings() {
+        // p = 0.5 makes every matching weight (0.5)^|edges|, uniform.
+        let c = full_graph(2, 2, 0.5);
+        let matchings = enumerate_matchings(&c, 1000).unwrap();
+        assert_eq!(matchings.len(), 7);
+        for m in &matchings {
+            assert!((m.weight - 1.0 / 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn high_probability_favours_larger_matchings() {
+        let c = full_graph(1, 1, 0.9);
+        let matchings = enumerate_matchings(&c, 10).unwrap();
+        assert_eq!(matchings.len(), 2);
+        let empty = matchings.iter().find(|m| m.pairs.is_empty()).unwrap();
+        let taken = matchings.iter().find(|m| !m.pairs.is_empty()).unwrap();
+        assert!((taken.weight - 0.9).abs() < 1e-12);
+        assert!((empty.weight - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forced_pairs_appear_in_every_matching() {
+        let c = Component {
+            a_nodes: vec![0, 1],
+            b_nodes: vec![0, 1],
+            forced: vec![(0, 0)],
+            possible: vec![Candidate { a: 1, b: 1, p: 0.5 }],
+        };
+        let matchings = enumerate_matchings(&c, 100).unwrap();
+        assert_eq!(matchings.len(), 2);
+        for m in &matchings {
+            assert!(m.pairs.contains(&(0, 0)));
+        }
+    }
+
+    #[test]
+    fn dead_candidates_are_pruned() {
+        // (0,0) forced; candidate (0,1) can never be taken.
+        let c = Component {
+            a_nodes: vec![0],
+            b_nodes: vec![0, 1],
+            forced: vec![(0, 0)],
+            possible: vec![Candidate { a: 0, b: 1, p: 0.7 }],
+        };
+        let matchings = enumerate_matchings(&c, 100).unwrap();
+        assert_eq!(matchings.len(), 1);
+        assert!((matchings[0].weight - 1.0).abs() < 1e-12);
+        assert_eq!(matchings[0].pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // Two candidates sharing a left node can never both be taken.
+        let c = Component {
+            a_nodes: vec![0],
+            b_nodes: vec![0, 1],
+            forced: vec![],
+            possible: vec![
+                Candidate { a: 0, b: 0, p: 0.5 },
+                Candidate { a: 0, b: 1, p: 0.5 },
+            ],
+        };
+        let matchings = enumerate_matchings(&c, 100).unwrap();
+        // ∅, {(0,0)}, {(0,1)} — not both.
+        assert_eq!(matchings.len(), 3);
+        for m in &matchings {
+            assert!(m.pairs.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let c = full_graph(3, 3, 0.5);
+        let err = enumerate_matchings(&c, 10).unwrap_err();
+        assert_eq!(err.cap, 10);
+    }
+
+    #[test]
+    fn component_split_groups_connected_elements() {
+        // Edges: (0,0), (1,0) → one component {a0,a1,b0}; a2, b1 isolated.
+        let possible = vec![
+            Candidate { a: 0, b: 0, p: 0.5 },
+            Candidate { a: 1, b: 0, p: 0.5 },
+        ];
+        let comps = split_components(3, 2, &[], &possible);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].a_nodes, vec![0, 1]);
+        assert_eq!(comps[0].b_nodes, vec![0]);
+        assert_eq!(comps[0].possible.len(), 2);
+        assert_eq!(comps[1].a_nodes, vec![2]);
+        assert!(comps[1].b_nodes.is_empty());
+        assert_eq!(comps[2].b_nodes, vec![1]);
+        assert!(comps[2].a_nodes.is_empty());
+    }
+
+    #[test]
+    fn forced_edges_also_connect() {
+        let comps = split_components(2, 2, &[(0, 1)], &[]);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].a_nodes, vec![0]);
+        assert_eq!(comps[0].b_nodes, vec![1]);
+        assert_eq!(comps[0].forced, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_group_is_one_empty_matching() {
+        let c = Component {
+            a_nodes: vec![0],
+            b_nodes: vec![],
+            forced: vec![],
+            possible: vec![],
+        };
+        let matchings = enumerate_matchings(&c, 10).unwrap();
+        assert_eq!(matchings.len(), 1);
+        assert!(matchings[0].pairs.is_empty());
+        assert!((matchings[0].weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_component_counts() {
+        // a0-b0, a1-b0, a1-b1: matchings: ∅, {a0b0}, {a1b0}, {a1b1},
+        // {a0b0,a1b1} = 5.
+        let possible = vec![
+            Candidate { a: 0, b: 0, p: 0.5 },
+            Candidate { a: 1, b: 0, p: 0.5 },
+            Candidate { a: 1, b: 1, p: 0.5 },
+        ];
+        let c = Component {
+            a_nodes: vec![0, 1],
+            b_nodes: vec![0, 1],
+            forced: vec![],
+            possible,
+        };
+        let matchings = enumerate_matchings(&c, 100).unwrap();
+        assert_eq!(matchings.len(), 5);
+    }
+}

@@ -1,0 +1,461 @@
+//! The recursive merge builder: walks both sources in lockstep, consults
+//! the Oracle, enumerates matchings, and assembles the output document.
+
+use crate::combos::{local_combos, prob_alternatives, LocalWorldsOverflow};
+use crate::matching::{enumerate_matchings, split_components, Candidate, Component, Matching};
+use crate::{IntegrateError, IntegrationOptions, IntegrationStats};
+use imprecise_oracle::{Decision, ElemRef, Judgment, Oracle};
+use imprecise_pxml::{px_deep_equal, PxDoc, PxNodeId};
+use imprecise_xmlkit::{Attr, Schema};
+use std::collections::HashMap;
+
+impl From<LocalWorldsOverflow> for IntegrateError {
+    fn from(e: LocalWorldsOverflow) -> Self {
+        IntegrateError::TooManyLocalWorlds { cap: e.cap }
+    }
+}
+
+pub(crate) struct Builder<'a> {
+    a: &'a PxDoc,
+    b: &'a PxDoc,
+    oracle: &'a Oracle,
+    schema: Option<&'a Schema>,
+    opts: &'a IntegrationOptions,
+    out: PxDoc,
+    /// Normalised source weights.
+    w_a: f64,
+    w_b: f64,
+    /// Judgment cache: the same element pair is judged once even when it
+    /// participates in thousands of enumerated matchings.
+    judgments: HashMap<(PxNodeId, PxNodeId), Judgment>,
+    stats: IntegrationStats,
+}
+
+impl<'a> Builder<'a> {
+    pub(crate) fn new(
+        a: &'a PxDoc,
+        b: &'a PxDoc,
+        oracle: &'a Oracle,
+        schema: Option<&'a Schema>,
+        opts: &'a IntegrationOptions,
+    ) -> Self {
+        let (ra, rb) = opts.source_weights;
+        let total = ra + rb;
+        let (w_a, w_b) = if total > 0.0 {
+            (ra / total, rb / total)
+        } else {
+            (0.5, 0.5)
+        };
+        Builder {
+            a,
+            b,
+            oracle,
+            schema,
+            opts,
+            out: PxDoc::new(),
+            w_a,
+            w_b,
+            judgments: HashMap::new(),
+            stats: IntegrationStats::default(),
+        }
+    }
+
+    pub(crate) fn finish(self) -> (PxDoc, IntegrationStats) {
+        (self.out, self.stats)
+    }
+
+    /// Integrate the two root probability nodes: the cross product of the
+    /// sources' top-level alternatives, each pair of root elements merged
+    /// as the same real-world object (aligned schemas ⇒ the documents
+    /// describe the same collection).
+    pub(crate) fn integrate_roots(&mut self) -> Result<(), IntegrateError> {
+        let cap = self.opts.max_local_worlds;
+        let alts_a = prob_alternatives(self.a, self.a.root(), cap)?;
+        let alts_b = prob_alternatives(self.b, self.b.root(), cap)?;
+        if alts_a.len().saturating_mul(alts_b.len()) > cap {
+            return Err(IntegrateError::TooManyLocalWorlds { cap });
+        }
+        for (items_a, wa) in &alts_a {
+            for (items_b, wb) in &alts_b {
+                // Validated documents guarantee exactly one root element
+                // per alternative.
+                let ea = items_a[0];
+                let eb = items_b[0];
+                let tag_a = self.a.tag(ea).expect("root content is an element");
+                let tag_b = self.b.tag(eb).expect("root content is an element");
+                if tag_a != tag_b {
+                    return Err(IntegrateError::RootTagMismatch {
+                        a: tag_a.to_string(),
+                        b: tag_b.to_string(),
+                    });
+                }
+                let root = self.out.root();
+                let poss = self.out.add_poss(root, wa * wb);
+                self.merge_pair(poss, ea, eb)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consult the Oracle (through the cache) about one cross-source pair.
+    fn judge(&mut self, an: PxNodeId, bn: PxNodeId) -> Judgment {
+        if let Some(j) = self.judgments.get(&(an, bn)) {
+            return j.clone();
+        }
+        let j = self.oracle.judge(
+            &ElemRef {
+                doc: self.a,
+                node: an,
+            },
+            &ElemRef {
+                doc: self.b,
+                node: bn,
+            },
+        );
+        self.stats.pairs_judged += 1;
+        match j.decision {
+            Decision::Match => self.stats.judged_match += 1,
+            Decision::NonMatch => self.stats.judged_nonmatch += 1,
+            Decision::Possible(_) => {
+                self.stats.judged_possible += 1;
+                if let Some(tag) = self.a.tag(an) {
+                    *self
+                        .stats
+                        .undecided_by_tag
+                        .entry(tag.to_string())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        if let Some(rule) = &j.rule {
+            *self.stats.rule_decisions.entry(rule.clone()).or_insert(0) += 1;
+        }
+        self.judgments.insert((an, bn), j.clone());
+        j
+    }
+
+    fn guard_size(&self) -> Result<(), IntegrateError> {
+        if self.out.arena_len() > self.opts.max_output_nodes {
+            Err(IntegrateError::OutputTooLarge {
+                cap: self.opts.max_output_nodes,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Merge two elements that refer to the same real-world object,
+    /// appending the merged element (or, on attribute conflict, a choice
+    /// of element variants) under `parent` in the output.
+    fn merge_pair(
+        &mut self,
+        parent: PxNodeId,
+        ae: PxNodeId,
+        be: PxNodeId,
+    ) -> Result<(), IntegrateError> {
+        self.guard_size()?;
+        let tag = self
+            .a
+            .tag(ae)
+            .expect("merge_pair called on elements")
+            .to_string();
+        debug_assert_eq!(self.b.tag(be), Some(tag.as_str()));
+        let attrs_a = self.a.attrs(ae).to_vec();
+        let attrs_b = self.b.attrs(be).to_vec();
+        let mut conflicts = false;
+        for x in &attrs_a {
+            if let Some(y) = attrs_b.iter().find(|y| y.name == x.name) {
+                if y.value != x.value {
+                    conflicts = true;
+                    break;
+                }
+            }
+        }
+        if !conflicts {
+            let el = self.out.add_elem(parent, tag);
+            for attr in union_attrs(&attrs_a, &attrs_b) {
+                self.out.set_attr(el, attr.name, attr.value);
+            }
+            self.merge_children(el, &tag_of(self.a, ae), ae, be)
+        } else {
+            // The true attribute set is either source a's or source b's:
+            // a two-way choice between complete element variants, each with
+            // its own copy of the merged children.
+            self.stats.attr_conflicts += 1;
+            let prob = self.out.add_prob(parent);
+            let (wa, wb) = (self.w_a, self.w_b);
+            let poss_a = self.out.add_poss(prob, wa);
+            let el_a = self.out.add_elem(poss_a, tag.clone());
+            for attr in union_attrs(&attrs_a, &attrs_b) {
+                self.out.set_attr(el_a, attr.name, attr.value);
+            }
+            self.merge_children(el_a, &tag, ae, be)?;
+            let poss_b = self.out.add_poss(prob, wb);
+            let el_b = self.out.add_elem(poss_b, tag.clone());
+            for attr in union_attrs(&attrs_b, &attrs_a) {
+                self.out.set_attr(el_b, attr.name, attr.value);
+            }
+            self.merge_children(el_b, &tag, ae, be)
+        }
+    }
+
+    /// Merge the child lists of two matched elements into `el_out`.
+    fn merge_children(
+        &mut self,
+        el_out: PxNodeId,
+        parent_tag: &str,
+        ae: PxNodeId,
+        be: PxNodeId,
+    ) -> Result<(), IntegrateError> {
+        let a_items = self.a.children(ae).to_vec();
+        let b_items = self.b.children(be).to_vec();
+        let has_choice = a_items.iter().any(|&n| self.a.is_prob(n))
+            || b_items.iter().any(|&n| self.b.is_prob(n));
+        if !has_choice {
+            return self.integrate_lists(el_out, parent_tag, &a_items, &b_items);
+        }
+        let cap = self.opts.max_local_worlds;
+        let combos_a = local_combos(self.a, &a_items, cap)?;
+        let combos_b = local_combos(self.b, &b_items, cap)?;
+        if combos_a.len().saturating_mul(combos_b.len()) > cap {
+            return Err(IntegrateError::TooManyLocalWorlds { cap });
+        }
+        if combos_a.len() == 1 && combos_b.len() == 1 {
+            return self.integrate_lists(el_out, parent_tag, &combos_a[0].0, &combos_b[0].0);
+        }
+        let prob = self.out.add_prob(el_out);
+        for (la, wa) in &combos_a {
+            for (lb, wb) in &combos_b {
+                let poss = self.out.add_poss(prob, wa * wb);
+                self.integrate_lists(poss, parent_tag, la, lb)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Integrate two concrete (choice-free at top level) item lists under
+    /// `parent` (an element or possibility node of the output).
+    fn integrate_lists(
+        &mut self,
+        parent: PxNodeId,
+        parent_tag: &str,
+        a_items: &[PxNodeId],
+        b_items: &[PxNodeId],
+    ) -> Result<(), IntegrateError> {
+        self.guard_size()?;
+        // 1. Character data: compare the concatenated text of both sides.
+        let text_a = concat_text(self.a, a_items);
+        let text_b = concat_text(self.b, b_items);
+        match (text_a.is_empty(), text_b.is_empty()) {
+            (true, true) => {}
+            (false, true) => {
+                self.out.add_text(parent, text_a);
+            }
+            (true, false) => {
+                self.out.add_text(parent, text_b);
+            }
+            (false, false) => {
+                if text_a == text_b {
+                    self.out.add_text(parent, text_a);
+                } else {
+                    // A value conflict: exactly one of the observations is
+                    // right (the paper's John-phone-number situation).
+                    self.stats.value_conflicts += 1;
+                    let prob = self.out.add_prob(parent);
+                    let (wa, wb) = (self.w_a, self.w_b);
+                    let pa = self.out.add_poss(prob, wa);
+                    self.out.add_text(pa, text_a);
+                    let pb = self.out.add_poss(prob, wb);
+                    self.out.add_text(pb, text_b);
+                }
+            }
+        }
+        // 2. Elements, grouped by tag in order of first appearance.
+        let groups = group_by_tag(self.a, a_items, self.b, b_items);
+        for (tag, ga, gb) in groups {
+            self.integrate_group(parent, parent_tag, &tag, &ga, &gb)?;
+        }
+        Ok(())
+    }
+
+    /// Integrate one tag group.
+    fn integrate_group(
+        &mut self,
+        parent: PxNodeId,
+        parent_tag: &str,
+        tag: &str,
+        ga: &[PxNodeId],
+        gb: &[PxNodeId],
+    ) -> Result<(), IntegrateError> {
+        // One-sided groups copy over unchanged (certain content).
+        if ga.is_empty() {
+            for &n in gb {
+                self.out.graft_px(parent, self.b, n);
+            }
+            return Ok(());
+        }
+        if gb.is_empty() {
+            for &n in ga {
+                self.out.graft_px(parent, self.a, n);
+            }
+            return Ok(());
+        }
+        // Schema-declared single-valued children of a matched parent refer
+        // to the same rwo by construction (a movie has one real title): a
+        // forced merge, with conflicting text handled as a value choice.
+        let single = self
+            .schema
+            .is_some_and(|s| s.is_single_valued(parent_tag, tag));
+        if single && ga.len() == 1 && gb.len() == 1 {
+            if px_deep_equal(self.a, ga[0], self.b, gb[0]) {
+                self.out.graft_px(parent, self.a, ga[0]);
+            } else {
+                self.merge_pair(parent, ga[0], gb[0])?;
+            }
+            return Ok(());
+        }
+        // Multi-valued: consult the Oracle about every cross pair.
+        let mut forced_raw: Vec<(usize, usize)> = Vec::new();
+        let mut possible: Vec<Candidate> = Vec::new();
+        for (ai, &an) in ga.iter().enumerate() {
+            for (bi, &bn) in gb.iter().enumerate() {
+                match self.judge(an, bn).decision {
+                    Decision::Match => forced_raw.push((ai, bi)),
+                    Decision::NonMatch => {}
+                    Decision::Possible(p) => possible.push(Candidate { a: ai, b: bi, p }),
+                }
+            }
+        }
+        // Forced pairs must be injective; contradictory certain knowledge
+        // (e.g. one source holding two elements deep-equal to the same
+        // element of the other source) demotes the later pair to a highly
+        // probable undecided pair.
+        let mut forced: Vec<(usize, usize)> = Vec::new();
+        let mut used_a = vec![false; ga.len()];
+        let mut used_b = vec![false; gb.len()];
+        for (ai, bi) in forced_raw {
+            if used_a[ai] || used_b[bi] {
+                self.stats.demoted_forced += 1;
+                possible.push(Candidate {
+                    a: ai,
+                    b: bi,
+                    p: 1.0 - 1e-6,
+                });
+            } else {
+                used_a[ai] = true;
+                used_b[bi] = true;
+                forced.push((ai, bi));
+            }
+        }
+        let components = split_components(ga.len(), gb.len(), &forced, &possible);
+        for comp in &components {
+            self.stats.components_total += 1;
+            let matchings = enumerate_matchings(comp, self.opts.max_matchings_per_component)
+                .map_err(|e| IntegrateError::TooManyMatchings {
+                    component_pairs: e.component_pairs,
+                    cap: e.cap,
+                })?;
+            self.stats.matchings_enumerated += matchings.len();
+            self.stats.max_component_matchings =
+                self.stats.max_component_matchings.max(matchings.len());
+            if matchings.len() == 1 {
+                self.emit_matching(parent, ga, gb, comp, &matchings[0])?;
+            } else {
+                self.stats.components_with_choice += 1;
+                let prob = self.out.add_prob(parent);
+                for m in &matchings {
+                    self.guard_size()?;
+                    let poss = self.out.add_poss(prob, m.weight);
+                    self.emit_matching(poss, ga, gb, comp, m)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit one matching of a component: merged pairs at the position of
+    /// their left element, then unmatched right elements.
+    fn emit_matching(
+        &mut self,
+        parent: PxNodeId,
+        ga: &[PxNodeId],
+        gb: &[PxNodeId],
+        comp: &Component,
+        m: &Matching,
+    ) -> Result<(), IntegrateError> {
+        let mut b_of_a: HashMap<usize, usize> = HashMap::with_capacity(m.pairs.len());
+        let mut b_used: Vec<bool> = vec![false; gb.len()];
+        for &(ai, bi) in &m.pairs {
+            b_of_a.insert(ai, bi);
+            b_used[bi] = true;
+        }
+        for &ai in &comp.a_nodes {
+            match b_of_a.get(&ai) {
+                Some(&bi) => self.merge_pair(parent, ga[ai], gb[bi])?,
+                None => {
+                    self.out.graft_px(parent, self.a, ga[ai]);
+                }
+            }
+        }
+        for &bi in &comp.b_nodes {
+            if !b_used[bi] {
+                self.out.graft_px(parent, self.b, gb[bi]);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn tag_of(doc: &PxDoc, node: PxNodeId) -> String {
+    doc.tag(node).expect("element node").to_string()
+}
+
+/// Union of two attribute lists; on shared names, `primary` wins.
+fn union_attrs(primary: &[Attr], secondary: &[Attr]) -> Vec<Attr> {
+    let mut out: Vec<Attr> = primary.to_vec();
+    for attr in secondary {
+        if !out.iter().any(|x| x.name == attr.name) {
+            out.push(attr.clone());
+        }
+    }
+    out
+}
+
+/// Concatenated text of the text items of a list.
+fn concat_text(doc: &PxDoc, items: &[PxNodeId]) -> String {
+    let mut out = String::new();
+    for &n in items {
+        if let Some(t) = doc.text(n) {
+            out.push_str(t);
+        }
+    }
+    out
+}
+
+/// Group the element items of both lists by tag, in order of first
+/// appearance (left list scanned first).
+fn group_by_tag(
+    a: &PxDoc,
+    a_items: &[PxNodeId],
+    b: &PxDoc,
+    b_items: &[PxNodeId],
+) -> Vec<(String, Vec<PxNodeId>, Vec<PxNodeId>)> {
+    let mut groups: Vec<(String, Vec<PxNodeId>, Vec<PxNodeId>)> = Vec::new();
+    for &n in a_items {
+        if let Some(tag) = a.tag(n) {
+            match groups.iter_mut().find(|g| g.0 == tag) {
+                Some(g) => g.1.push(n),
+                None => groups.push((tag.to_string(), vec![n], Vec::new())),
+            }
+        }
+    }
+    for &n in b_items {
+        if let Some(tag) = b.tag(n) {
+            match groups.iter_mut().find(|g| g.0 == tag) {
+                Some(g) => g.2.push(n),
+                None => groups.push((tag.to_string(), Vec::new(), vec![n])),
+            }
+        }
+    }
+    groups
+}

@@ -1,0 +1,451 @@
+//! End-to-end tests of the integration engine against the behaviours the
+//! paper describes.
+
+use imprecise_integrate::{integrate_px, integrate_xml, IntegrateError, IntegrationOptions};
+use imprecise_oracle::presets::{addressbook_oracle, movie_oracle, MovieOracleConfig};
+use imprecise_oracle::Oracle;
+use imprecise_xmlkit::{parse, to_string, Schema, XmlDoc};
+
+fn addressbook_schema() -> Schema {
+    Schema::parse(
+        "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
+         <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>",
+    )
+    .unwrap()
+}
+
+fn movie_schema() -> Schema {
+    Schema::parse(
+        "<!ELEMENT catalog (movie*)>\
+         <!ELEMENT movie (title, year?, genre*, director*)>\
+         <!ELEMENT title (#PCDATA)><!ELEMENT year (#PCDATA)>\
+         <!ELEMENT genre (#PCDATA)><!ELEMENT director (#PCDATA)>",
+    )
+    .unwrap()
+}
+
+fn john(tel: &str) -> XmlDoc {
+    parse(&format!(
+        "<addressbook><person><nm>John</nm><tel>{tel}</tel></person></addressbook>"
+    ))
+    .unwrap()
+}
+
+#[test]
+fn fig2_three_worlds_with_dtd() {
+    let schema = addressbook_schema();
+    let oracle = addressbook_oracle();
+    let result = integrate_xml(
+        &john("1111"),
+        &john("2222"),
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
+    result.doc.validate().unwrap();
+    assert_eq!(result.doc.world_count(), 3);
+    let dist = result.doc.world_distribution(100).unwrap();
+    assert_eq!(dist.len(), 3);
+    // Most probable world: two distinct persons (p = 0.5).
+    assert!((dist[0].prob - 0.5).abs() < 1e-9);
+    assert_eq!(to_string(&dist[0].doc).matches("<person>").count(), 2);
+    // The two one-person worlds at 0.25 each, phone either 1111 or 2222.
+    for w in &dist[1..] {
+        assert!((w.prob - 0.25).abs() < 1e-9);
+        let s = to_string(&w.doc);
+        assert_eq!(s.matches("<person>").count(), 1);
+        assert_eq!(s.matches("<tel>").count(), 1);
+    }
+    // No world gives a single John two phone numbers: the DTD rejected it
+    // (the two-person world has both numbers, but on different persons).
+    for w in &dist {
+        let s = to_string(&w.doc);
+        if s.matches("<person>").count() == 1 {
+            assert!(!(s.contains("1111") && s.contains("2222")), "{s}");
+        }
+    }
+}
+
+#[test]
+fn without_dtd_john_can_have_two_phones() {
+    // The same integration without schema knowledge: the two-phone world
+    // exists (the paper's motivation for DTD-based pruning).
+    let oracle = addressbook_oracle();
+    let result = integrate_xml(
+        &john("1111"),
+        &john("2222"),
+        &oracle,
+        None,
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
+    result.doc.validate().unwrap();
+    let dist = result.doc.world_distribution(100).unwrap();
+    assert_eq!(dist.len(), 2);
+    let two_phone = dist
+        .iter()
+        .find(|w| to_string(&w.doc).matches("<tel>").count() == 2
+            && to_string(&w.doc).matches("<person>").count() == 1);
+    assert!(
+        two_phone.is_some(),
+        "expected a world where John has both phones"
+    );
+}
+
+#[test]
+fn identical_sources_integrate_to_certainty() {
+    let schema = addressbook_schema();
+    let oracle = addressbook_oracle();
+    let a = john("1111");
+    let result = integrate_xml(
+        &a,
+        &john("1111"),
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(result.doc.world_count(), 1);
+    assert!(result.doc.is_certain());
+    let worlds = result.doc.worlds(10).unwrap();
+    assert!(imprecise_xmlkit::deep_equal(&worlds[0].doc, &a));
+    assert_eq!(result.stats.judged_match, 1);
+}
+
+#[test]
+fn disjoint_persons_concatenate() {
+    let schema = addressbook_schema();
+    let oracle = addressbook_oracle();
+    let a = parse("<addressbook><person><nm>Alice</nm><tel>1</tel></person></addressbook>")
+        .unwrap();
+    let b = parse("<addressbook><person><nm>Bob</nm><tel>2</tel></person></addressbook>").unwrap();
+    let result =
+        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    assert_eq!(result.doc.world_count(), 1);
+    let s = to_string(&result.doc.worlds(10).unwrap()[0].doc);
+    assert!(s.contains("Alice") && s.contains("Bob"));
+    assert_eq!(result.stats.judged_nonmatch, 1);
+    assert_eq!(
+        result.stats.rule_decisions.get("person-name").copied(),
+        Some(1)
+    );
+}
+
+#[test]
+fn undecided_movie_pair_creates_two_worlds() {
+    let schema = movie_schema();
+    let oracle = movie_oracle(MovieOracleConfig::default());
+    let a = parse(
+        "<catalog><movie><title>Jaws</title><year>1975</year><genre>Horror</genre></movie></catalog>",
+    )
+    .unwrap();
+    let b = parse(
+        "<catalog><movie><title>Jaws (TV)</title><year>1975</year><genre>Horror</genre></movie></catalog>",
+    )
+    .unwrap();
+    let result =
+        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    result.doc.validate().unwrap();
+    assert_eq!(result.stats.judged_possible, 1);
+    // Match world (title conflict inside) + non-match world.
+    let dist = result.doc.world_distribution(100).unwrap();
+    // Worlds: {merged movie w/ title Jaws}, {merged w/ title Jaws (TV)},
+    // {two movies} — 3 worlds.
+    assert_eq!(dist.len(), 3);
+    let two_movies = dist
+        .iter()
+        .filter(|w| to_string(&w.doc).matches("<movie>").count() == 2)
+        .count();
+    assert_eq!(two_movies, 1);
+}
+
+#[test]
+fn year_rule_separates_different_years() {
+    let schema = movie_schema();
+    let oracle = movie_oracle(MovieOracleConfig::default());
+    let a = parse("<catalog><movie><title>Jaws</title><year>1975</year></movie></catalog>")
+        .unwrap();
+    let b = parse("<catalog><movie><title>Jaws</title><year>1978</year></movie></catalog>")
+        .unwrap();
+    let result =
+        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    // Certainly two distinct movies.
+    assert_eq!(result.doc.world_count(), 1);
+    assert_eq!(
+        result.stats.rule_decisions.get("movie-year").copied(),
+        Some(1)
+    );
+    let s = to_string(&result.doc.worlds(10).unwrap()[0].doc);
+    assert_eq!(s.matches("<movie>").count(), 2);
+}
+
+#[test]
+fn genre_union_on_matched_movies() {
+    // Matched movies with different genres (genre rule on): both genres
+    // are kept — genre* is multi-valued.
+    let schema = movie_schema();
+    let oracle = movie_oracle(MovieOracleConfig::default());
+    let a = parse(
+        "<catalog><movie><title>Jaws</title><year>1975</year><genre>Horror</genre></movie></catalog>",
+    )
+    .unwrap();
+    let b = parse(
+        "<catalog><movie><title>Jaws</title><year>1975</year><genre>Thriller</genre></movie></catalog>",
+    )
+    .unwrap();
+    let result =
+        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    // Movies deep-differ only in genre; the movie pair is undecided (prior)
+    // but in the match-world the merged movie holds both genres certainly.
+    let dist = result.doc.world_distribution(100).unwrap();
+    let merged = dist
+        .iter()
+        .find(|w| to_string(&w.doc).matches("<movie>").count() == 1)
+        .expect("match world exists");
+    let s = to_string(&merged.doc);
+    assert!(s.contains("Horror") && s.contains("Thriller"));
+}
+
+#[test]
+fn matching_cap_aborts_gracefully() {
+    let schema = movie_schema();
+    let oracle = movie_oracle(MovieOracleConfig {
+        genre_rule: false,
+        title_rule: false,
+        year_rule: false,
+        graded_prior: false,
+        ..MovieOracleConfig::default()
+    });
+    // 4×4 all-undecided movies → 209 matchings > cap 100.
+    let mk = |src: usize| {
+        let mut s = String::from("<catalog>");
+        for i in 0..4 {
+            s.push_str(&format!(
+                "<movie><title>M{src}{i}</title><year>19{i}0</year></movie>"
+            ));
+        }
+        s.push_str("</catalog>");
+        parse(&s).unwrap()
+    };
+    let opts = IntegrationOptions {
+        max_matchings_per_component: 100,
+        ..IntegrationOptions::default()
+    };
+    let err = integrate_xml(&mk(1), &mk(2), &oracle, Some(&schema), &opts).unwrap_err();
+    assert!(matches!(err, IntegrateError::TooManyMatchings { .. }), "{err}");
+}
+
+#[test]
+fn root_tag_mismatch_is_reported() {
+    let oracle = Oracle::uninformed();
+    let a = parse("<catalog/>").unwrap();
+    let b = parse("<addressbook/>").unwrap();
+    let err = integrate_xml(&a, &b, &oracle, None, &IntegrationOptions::default()).unwrap_err();
+    assert_eq!(
+        err,
+        IntegrateError::RootTagMismatch {
+            a: "catalog".into(),
+            b: "addressbook".into()
+        }
+    );
+}
+
+#[test]
+fn incremental_integration_of_probabilistic_result() {
+    // Integrate two sources, then integrate a third (certain) source into
+    // the probabilistic result — the paper's incremental improvement loop.
+    let schema = addressbook_schema();
+    let oracle = addressbook_oracle();
+    let first = integrate_xml(
+        &john("1111"),
+        &john("2222"),
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(first.doc.world_count(), 3);
+    let third = imprecise_pxml::from_xml(
+        &parse("<addressbook><person><nm>Mary</nm><tel>3333</tel></person></addressbook>")
+            .unwrap(),
+    );
+    let second = integrate_px(
+        &first.doc,
+        &third,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
+    second.doc.validate().unwrap();
+    // Mary matches nobody (name rule): worlds unchanged in count, each
+    // now containing Mary.
+    assert_eq!(second.doc.world_count(), 3);
+    for w in second.doc.worlds(100).unwrap() {
+        assert!(to_string(&w.doc).contains("Mary"));
+    }
+}
+
+#[test]
+fn integration_is_symmetric_in_world_count() {
+    let schema = movie_schema();
+    let oracle = movie_oracle(MovieOracleConfig::default());
+    let a = parse(
+        "<catalog><movie><title>Jaws</title><year>1975</year></movie>\
+         <movie><title>Jaws 2</title><year>1978</year></movie></catalog>",
+    )
+    .unwrap();
+    let b = parse("<catalog><movie><title>Jaws</title><year>1975</year></movie></catalog>")
+        .unwrap();
+    let ab = integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default())
+        .unwrap();
+    let ba = integrate_xml(&b, &a, &oracle, Some(&schema), &IntegrationOptions::default())
+        .unwrap();
+    assert_eq!(ab.doc.world_count(), ba.doc.world_count());
+    assert_eq!(ab.stats.judged_possible, ba.stats.judged_possible);
+}
+
+#[test]
+fn attribute_conflicts_become_variants() {
+    let oracle = addressbook_oracle();
+    let schema = addressbook_schema();
+    let a = parse("<addressbook><person id=\"p1\"><nm>John</nm><tel>1111</tel></person></addressbook>")
+        .unwrap();
+    let b = parse("<addressbook><person id=\"p9\"><nm>John</nm><tel>1111</tel></person></addressbook>")
+        .unwrap();
+    let result =
+        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    result.doc.validate().unwrap();
+    assert!(result.stats.attr_conflicts >= 1);
+    // Two worlds for the match case (id=p1 / id=p9) + the two-person world.
+    let dist = result.doc.world_distribution(100).unwrap();
+    let ids: Vec<String> = dist
+        .iter()
+        .map(|w| to_string(&w.doc))
+        .filter(|s| s.matches("<person").count() == 1)
+        .collect();
+    assert!(ids.iter().any(|s| s.contains("id=\"p1\"")));
+    assert!(ids.iter().any(|s| s.contains("id=\"p9\"")));
+}
+
+#[test]
+fn simplify_does_not_change_world_distribution() {
+    let schema = movie_schema();
+    let oracle = movie_oracle(MovieOracleConfig::default());
+    let a = parse(
+        "<catalog><movie><title>Jaws</title><year>1975</year><genre>Horror</genre></movie></catalog>",
+    )
+    .unwrap();
+    let b = parse(
+        "<catalog><movie><title>Jaws (TV)</title><year>1975</year><genre>Horror</genre></movie></catalog>",
+    )
+    .unwrap();
+    let plain = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions {
+            simplify: false,
+            ..IntegrationOptions::default()
+        },
+    )
+    .unwrap();
+    let simplified = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
+    let d1 = plain.doc.world_distribution(1000).unwrap();
+    let d2 = simplified.doc.world_distribution(1000).unwrap();
+    assert_eq!(d1.len(), d2.len());
+    for (x, y) in d1.iter().zip(d2.iter()) {
+        assert!((x.prob - y.prob).abs() < 1e-9);
+        assert!(imprecise_xmlkit::deep_equal(&x.doc, &y.doc));
+    }
+    assert!(simplified.doc.reachable_count() <= plain.doc.reachable_count());
+}
+
+#[test]
+fn empty_catalogs_integrate_to_empty_catalog() {
+    let oracle = Oracle::uninformed();
+    let a = parse("<catalog/>").unwrap();
+    let b = parse("<catalog/>").unwrap();
+    let result = integrate_xml(&a, &b, &oracle, None, &IntegrationOptions::default()).unwrap();
+    assert_eq!(result.doc.world_count(), 1);
+    assert_eq!(to_string(&result.doc.worlds(2).unwrap()[0].doc), "<catalog/>");
+}
+
+#[test]
+fn one_sided_content_copies_certainly() {
+    let oracle = movie_oracle(MovieOracleConfig::default());
+    let schema = movie_schema();
+    let a = parse("<catalog><movie><title>Jaws</title><year>1975</year></movie></catalog>")
+        .unwrap();
+    let b = parse("<catalog/>").unwrap();
+    let result =
+        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    assert_eq!(result.doc.world_count(), 1);
+    assert!(to_string(&result.doc.worlds(2).unwrap()[0].doc).contains("Jaws"));
+    assert_eq!(result.stats.pairs_judged, 0);
+}
+
+#[test]
+fn value_conflict_weights_follow_source_weights() {
+    let schema = addressbook_schema();
+    let oracle = addressbook_oracle();
+    let opts = IntegrationOptions {
+        source_weights: (3.0, 1.0),
+        ..IntegrationOptions::default()
+    };
+    let result = integrate_xml(&john("1111"), &john("2222"), &oracle, Some(&schema), &opts)
+        .unwrap();
+    let dist = result.doc.world_distribution(100).unwrap();
+    // Match world splits 0.5 × (0.75 / 0.25) between the phones.
+    let p1111 = dist
+        .iter()
+        .find(|w| {
+            let s = to_string(&w.doc);
+            s.matches("<person>").count() == 1 && s.contains("1111")
+        })
+        .unwrap();
+    let p2222 = dist
+        .iter()
+        .find(|w| {
+            let s = to_string(&w.doc);
+            s.matches("<person>").count() == 1 && s.contains("2222")
+        })
+        .unwrap();
+    assert!((p1111.prob - 0.375).abs() < 1e-9);
+    assert!((p2222.prob - 0.125).abs() < 1e-9);
+}
+
+#[test]
+fn stats_track_components_and_matchings() {
+    let schema = movie_schema();
+    let oracle = movie_oracle(MovieOracleConfig::default());
+    // Two franchises, one undecided pair each → two components with two
+    // matchings each (match / no-match).
+    let a = parse(
+        "<catalog><movie><title>Jaws</title><year>1975</year></movie>\
+         <movie><title>Die Hard</title><year>1988</year></movie></catalog>",
+    )
+    .unwrap();
+    let b = parse(
+        "<catalog><movie><title>Jaws (TV)</title><year>1975</year></movie>\
+         <movie><title>Die Hard (TV)</title><year>1988</year></movie></catalog>",
+    )
+    .unwrap();
+    let result =
+        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    assert_eq!(result.stats.judged_possible, 2);
+    assert_eq!(result.stats.components_with_choice, 2);
+    assert_eq!(result.stats.max_component_matchings, 2);
+    // Factored: per franchise, no-match (1 world) or match with an internal
+    // title-value choice (2 worlds) → 3 worlds each, 3 × 3 = 9 total.
+    assert_eq!(result.doc.world_count(), 9);
+}

@@ -1,0 +1,60 @@
+//! Oracle decisions.
+
+/// The Oracle's verdict on whether two elements refer to the same
+/// real-world object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Certainly the same real-world object.
+    Match,
+    /// Certainly different real-world objects.
+    NonMatch,
+    /// Undecided: they match with this probability (strictly inside
+    /// `(0, 1)`). These pairs are what create possibilities during
+    /// integration.
+    Possible(f64),
+}
+
+impl Decision {
+    /// True when the decision is absolute (match or non-match).
+    pub fn is_certain(&self) -> bool {
+        !matches!(self, Decision::Possible(_))
+    }
+
+    /// The match probability implied by the decision.
+    pub fn probability(&self) -> f64 {
+        match self {
+            Decision::Match => 1.0,
+            Decision::NonMatch => 0.0,
+            Decision::Possible(p) => *p,
+        }
+    }
+}
+
+/// A decision together with the name of the rule that produced it
+/// (`None` when the prior model produced it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Judgment {
+    /// The verdict.
+    pub decision: Decision,
+    /// Name of the deciding rule, if any.
+    pub rule: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certainty_classification() {
+        assert!(Decision::Match.is_certain());
+        assert!(Decision::NonMatch.is_certain());
+        assert!(!Decision::Possible(0.5).is_certain());
+    }
+
+    #[test]
+    fn probabilities() {
+        assert_eq!(Decision::Match.probability(), 1.0);
+        assert_eq!(Decision::NonMatch.probability(), 0.0);
+        assert_eq!(Decision::Possible(0.3).probability(), 0.3);
+    }
+}

@@ -1,0 +1,585 @@
+//! Arena representation of probabilistic XML trees.
+
+use imprecise_xmlkit::{Attr, NodeId as XmlNodeId, NodeKind as XmlNodeKind, XmlDoc};
+
+/// Handle to a node inside a [`PxDoc`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PxNodeId(pub(crate) u32);
+
+impl PxNodeId {
+    /// Raw arena index, for dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Payload of a probabilistic XML node (see the crate docs for the model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PxNodeKind {
+    /// A probability node (`▽`): a choice point whose children are
+    /// mutually exclusive possibility nodes.
+    Prob,
+    /// A possibility node (`○`) with its probability of being the chosen
+    /// alternative of its parent probability node.
+    Poss(f64),
+    /// A regular element node.
+    Elem {
+        /// Tag name.
+        tag: String,
+        /// Attributes in document order.
+        attrs: Vec<Attr>,
+    },
+    /// A regular text node.
+    Text(String),
+}
+
+impl PxNodeKind {
+    /// True for regular XML nodes (element or text).
+    #[inline]
+    pub fn is_regular(&self) -> bool {
+        matches!(self, PxNodeKind::Elem { .. } | PxNodeKind::Text(_))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PxNodeData {
+    kind: PxNodeKind,
+    parent: Option<PxNodeId>,
+    children: Vec<PxNodeId>,
+}
+
+/// A probabilistic XML document.
+///
+/// The root is always a probability node; each of its possibilities holds
+/// one root element of a possible world. Nodes live in a flat arena.
+///
+/// Detached nodes can temporarily exist while the integration engine
+/// assembles a result; [`PxDoc::reachable_count`] and the counters in
+/// [`crate::count`] only consider nodes reachable from the root.
+#[derive(Debug, Clone)]
+pub struct PxDoc {
+    nodes: Vec<PxNodeData>,
+    root: PxNodeId,
+}
+
+impl Default for PxDoc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PxDoc {
+    /// Create an empty document: a root probability node with no
+    /// possibilities yet. Add at least one possibility before use.
+    pub fn new() -> Self {
+        PxDoc {
+            nodes: vec![PxNodeData {
+                kind: PxNodeKind::Prob,
+                parent: None,
+                children: Vec::new(),
+            }],
+            root: PxNodeId(0),
+        }
+    }
+
+    /// The root probability node.
+    #[inline]
+    pub fn root(&self) -> PxNodeId {
+        self.root
+    }
+
+    /// Total number of arena slots (including detached nodes).
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn node(&self, id: PxNodeId) -> &PxNodeData {
+        &self.nodes[id.index()]
+    }
+
+    #[inline]
+    fn node_mut(&mut self, id: PxNodeId) -> &mut PxNodeData {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The node payload.
+    #[inline]
+    pub fn kind(&self, id: PxNodeId) -> &PxNodeKind {
+        &self.node(id).kind
+    }
+
+    /// Parent of a node (`None` for the root).
+    #[inline]
+    pub fn parent(&self, id: PxNodeId) -> Option<PxNodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of a node in document order.
+    #[inline]
+    pub fn children(&self, id: PxNodeId) -> &[PxNodeId] {
+        &self.node(id).children
+    }
+
+    /// True if `id` is a probability node.
+    #[inline]
+    pub fn is_prob(&self, id: PxNodeId) -> bool {
+        matches!(self.node(id).kind, PxNodeKind::Prob)
+    }
+
+    /// True if `id` is a possibility node.
+    #[inline]
+    pub fn is_poss(&self, id: PxNodeId) -> bool {
+        matches!(self.node(id).kind, PxNodeKind::Poss(_))
+    }
+
+    /// True if `id` is an element node.
+    #[inline]
+    pub fn is_elem(&self, id: PxNodeId) -> bool {
+        matches!(self.node(id).kind, PxNodeKind::Elem { .. })
+    }
+
+    /// True if `id` is a text node.
+    #[inline]
+    pub fn is_text(&self, id: PxNodeId) -> bool {
+        matches!(self.node(id).kind, PxNodeKind::Text(_))
+    }
+
+    /// Element tag, or `None` for other node kinds.
+    #[inline]
+    pub fn tag(&self, id: PxNodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            PxNodeKind::Elem { tag, .. } => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// Text payload, or `None` for other node kinds.
+    #[inline]
+    pub fn text(&self, id: PxNodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            PxNodeKind::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Probability of a possibility node, or `None` for other kinds.
+    #[inline]
+    pub fn poss_prob(&self, id: PxNodeId) -> Option<f64> {
+        match self.node(id).kind {
+            PxNodeKind::Poss(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Set the probability of a possibility node.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a possibility node.
+    pub fn set_poss_prob(&mut self, id: PxNodeId, p: f64) {
+        match &mut self.node_mut(id).kind {
+            PxNodeKind::Poss(old) => *old = p,
+            other => panic!("set_poss_prob on non-possibility node {other:?}"),
+        }
+    }
+
+    /// Attributes of an element (empty for other kinds).
+    pub fn attrs(&self, id: PxNodeId) -> &[Attr] {
+        match &self.node(id).kind {
+            PxNodeKind::Elem { attrs, .. } => attrs,
+            _ => &[],
+        }
+    }
+
+    /// Value of attribute `name` on element `id`.
+    pub fn attr(&self, id: PxNodeId, name: &str) -> Option<&str> {
+        self.attrs(id)
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Set (or replace) an attribute on an element node.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an element.
+    pub fn set_attr(&mut self, id: PxNodeId, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        match &mut self.node_mut(id).kind {
+            PxNodeKind::Elem { attrs, .. } => {
+                if let Some(a) = attrs.iter_mut().find(|a| a.name == name) {
+                    a.value = value;
+                } else {
+                    attrs.push(Attr { name, value });
+                }
+            }
+            other => panic!("set_attr on non-element node {other:?}"),
+        }
+    }
+
+    fn push(&mut self, parent: PxNodeId, kind: PxNodeKind) -> PxNodeId {
+        let id = PxNodeId(self.nodes.len() as u32);
+        self.nodes.push(PxNodeData {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.node_mut(parent).children.push(id);
+        id
+    }
+
+    /// Append a probability node under an element or possibility node.
+    ///
+    /// A probability node directly under a possibility is a *nested
+    /// choice* — a choice whose availability depends on the outer
+    /// possibility being chosen. Such nodes arise when integrating
+    /// documents that already carry uncertainty; the strict layered form
+    /// of the paper is recovered by flattening (see `count`).
+    pub fn add_prob(&mut self, parent: PxNodeId) -> PxNodeId {
+        debug_assert!(
+            self.is_elem(parent) || self.is_poss(parent),
+            "prob nodes hang under elements or possibilities"
+        );
+        self.push(parent, PxNodeKind::Prob)
+    }
+
+    /// Append a possibility node with probability `p` under a probability
+    /// node.
+    pub fn add_poss(&mut self, parent: PxNodeId, p: f64) -> PxNodeId {
+        debug_assert!(self.is_prob(parent), "poss nodes hang under prob nodes");
+        self.push(parent, PxNodeKind::Poss(p))
+    }
+
+    /// Append an element node under a possibility or element node.
+    pub fn add_elem(&mut self, parent: PxNodeId, tag: impl Into<String>) -> PxNodeId {
+        debug_assert!(
+            self.is_poss(parent) || self.is_elem(parent),
+            "elements hang under possibilities or elements"
+        );
+        self.push(
+            parent,
+            PxNodeKind::Elem {
+                tag: tag.into(),
+                attrs: Vec::new(),
+            },
+        )
+    }
+
+    /// Append a text node under a possibility or element node.
+    pub fn add_text(&mut self, parent: PxNodeId, text: impl Into<String>) -> PxNodeId {
+        debug_assert!(
+            self.is_poss(parent) || self.is_elem(parent),
+            "text hangs under possibilities or elements"
+        );
+        self.push(parent, PxNodeKind::Text(text.into()))
+    }
+
+    /// Convenience: `<tag>text</tag>` under `parent`.
+    pub fn add_text_elem(
+        &mut self,
+        parent: PxNodeId,
+        tag: impl Into<String>,
+        text: impl Into<String>,
+    ) -> PxNodeId {
+        let el = self.add_elem(parent, tag);
+        self.add_text(el, text);
+        el
+    }
+
+    /// Deep-copy a subtree of an ordinary [`XmlDoc`] as a new child of
+    /// `parent`. Returns the id of the copied root.
+    pub fn graft_xml(&mut self, parent: PxNodeId, src: &XmlDoc, src_node: XmlNodeId) -> PxNodeId {
+        match src.kind(src_node) {
+            XmlNodeKind::Element { tag, attrs } => {
+                let el = self.add_elem(parent, tag.clone());
+                for a in attrs {
+                    self.set_attr(el, a.name.clone(), a.value.clone());
+                }
+                for &c in src.children(src_node) {
+                    self.graft_xml(el, src, c);
+                }
+                el
+            }
+            XmlNodeKind::Text(t) => self.add_text(parent, t.clone()),
+        }
+    }
+
+    /// Deep-copy a subtree of another [`PxDoc`] (or of `self`, via a
+    /// snapshot) as a new child of `parent`.
+    pub fn graft_px(&mut self, parent: PxNodeId, src: &PxDoc, src_node: PxNodeId) -> PxNodeId {
+        let id = match src.kind(src_node).clone() {
+            PxNodeKind::Prob => self.push(parent, PxNodeKind::Prob),
+            PxNodeKind::Poss(p) => self.push(parent, PxNodeKind::Poss(p)),
+            PxNodeKind::Elem { tag, attrs } => self.push(parent, PxNodeKind::Elem { tag, attrs }),
+            PxNodeKind::Text(t) => self.push(parent, PxNodeKind::Text(t)),
+        };
+        for &c in src.children(src_node) {
+            self.graft_px(id, src, c);
+        }
+        id
+    }
+
+    /// Detach `child` from its parent's child list (the node stays in the
+    /// arena but becomes unreachable). Used by simplification.
+    pub fn detach(&mut self, child: PxNodeId) {
+        if let Some(parent) = self.node(child).parent {
+            let list = &mut self.node_mut(parent).children;
+            if let Some(pos) = list.iter().position(|&c| c == child) {
+                list.remove(pos);
+            }
+            self.node_mut(child).parent = None;
+        }
+    }
+
+    /// Replace `old` in its parent's child list with `replacements`
+    /// (splicing them in at the same position). `old` becomes detached.
+    ///
+    /// # Panics
+    /// Panics if `old` has no parent.
+    pub fn splice(&mut self, old: PxNodeId, replacements: &[PxNodeId]) {
+        let parent = self.node(old).parent.expect("splice target has a parent");
+        let pos = self
+            .node(parent)
+            .children
+            .iter()
+            .position(|&c| c == old)
+            .expect("old is a child of its parent");
+        let mut new_children = self.node(parent).children.clone();
+        new_children.splice(pos..=pos, replacements.iter().copied());
+        self.node_mut(parent).children = new_children;
+        self.node_mut(old).parent = None;
+        for &r in replacements {
+            self.node_mut(r).parent = Some(parent);
+        }
+    }
+
+    /// Pre-order traversal of the subtree rooted at `id` (inclusive).
+    pub fn descendants(&self, id: PxNodeId) -> PxDescendants<'_> {
+        PxDescendants {
+            doc: self,
+            stack: vec![id],
+        }
+    }
+
+    /// Number of nodes reachable from the root (the factored representation
+    /// size; the paper's headline metric is the *unfactored* variant, see
+    /// [`crate::count`]).
+    pub fn reachable_count(&self) -> usize {
+        self.descendants(self.root).count()
+    }
+
+    /// All probability nodes reachable from the root, in document order.
+    pub fn prob_nodes(&self) -> Vec<PxNodeId> {
+        self.descendants(self.root)
+            .filter(|&n| self.is_prob(n))
+            .collect()
+    }
+
+    /// True when the document is certain: every reachable probability node
+    /// has exactly one possibility with probability (numerically) 1.
+    pub fn is_certain(&self) -> bool {
+        self.prob_nodes().iter().all(|&p| {
+            let kids = self.children(p);
+            kids.len() == 1
+                && self
+                    .poss_prob(kids[0])
+                    .is_some_and(|w| (w - 1.0).abs() < crate::PROB_EPSILON)
+        })
+    }
+
+    /// The possibility children of a probability node together with their
+    /// probabilities.
+    pub fn possibilities(&self, prob: PxNodeId) -> Vec<(PxNodeId, f64)> {
+        debug_assert!(self.is_prob(prob));
+        self.children(prob)
+            .iter()
+            .map(|&c| (c, self.poss_prob(c).expect("prob child is poss")))
+            .collect()
+    }
+
+    /// Index of `poss` within its parent probability node's child list.
+    pub fn poss_index(&self, poss: PxNodeId) -> usize {
+        let parent = self.parent(poss).expect("poss has a parent");
+        self.children(parent)
+            .iter()
+            .position(|&c| c == poss)
+            .expect("poss is a child of its parent")
+    }
+
+    /// Concatenated text of all *certain* descendant text nodes of `id`
+    /// (descending through elements only — stops at probability nodes).
+    ///
+    /// For a fully certain subtree this is the XPath `string()` value.
+    pub fn certain_text(&self, id: PxNodeId) -> String {
+        let mut out = String::new();
+        self.certain_text_into(id, &mut out);
+        out
+    }
+
+    fn certain_text_into(&self, id: PxNodeId, out: &mut String) {
+        match self.kind(id) {
+            PxNodeKind::Text(t) => out.push_str(t),
+            PxNodeKind::Elem { .. } => {
+                for &c in self.children(id) {
+                    self.certain_text_into(c, out);
+                }
+            }
+            PxNodeKind::Prob | PxNodeKind::Poss(_) => {}
+        }
+    }
+}
+
+/// Pre-order iterator returned by [`PxDoc::descendants`].
+pub struct PxDescendants<'a> {
+    doc: &'a PxDoc,
+    stack: Vec<PxNodeId>,
+}
+
+impl Iterator for PxDescendants<'_> {
+    type Item = PxNodeId;
+
+    fn next(&mut self) -> Option<PxNodeId> {
+        let id = self.stack.pop()?;
+        for &c in self.doc.children(id).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use imprecise_xmlkit::parse;
+
+    /// Build the paper's Fig. 2 tree (used by several test modules).
+    pub(crate) fn fig2() -> PxDoc {
+        let mut px = PxDoc::new();
+        let root = px.root();
+        let w1 = px.add_poss(root, 0.5);
+        let ab1 = px.add_elem(w1, "addressbook");
+        let p1 = px.add_elem(ab1, "person");
+        px.add_text_elem(p1, "nm", "John");
+        let tel_choice = px.add_prob(p1);
+        let t1 = px.add_poss(tel_choice, 0.5);
+        px.add_text_elem(t1, "tel", "1111");
+        let t2 = px.add_poss(tel_choice, 0.5);
+        px.add_text_elem(t2, "tel", "2222");
+        let w2 = px.add_poss(root, 0.5);
+        let ab2 = px.add_elem(w2, "addressbook");
+        for tel in ["1111", "2222"] {
+            let p = px.add_elem(ab2, "person");
+            px.add_text_elem(p, "nm", "John");
+            px.add_text_elem(p, "tel", tel);
+        }
+        px
+    }
+
+    #[test]
+    fn build_fig2_structure() {
+        let px = fig2();
+        assert!(px.is_prob(px.root()));
+        let poss = px.possibilities(px.root());
+        assert_eq!(poss.len(), 2);
+        assert!((poss[0].1 - 0.5).abs() < 1e-12);
+        assert!(!px.is_certain());
+    }
+
+    #[test]
+    fn certain_doc_detected() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "a");
+        px.add_text(e, "x");
+        assert!(px.is_certain());
+    }
+
+    #[test]
+    fn graft_xml_copies_subtree() {
+        let xml = parse("<person><nm>John</nm><tel>1111</tel></person>").unwrap();
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let copied = px.graft_xml(w, &xml, xml.root());
+        assert_eq!(px.tag(copied), Some("person"));
+        assert_eq!(px.certain_text(copied), "John1111");
+    }
+
+    #[test]
+    fn graft_px_copies_probabilistic_subtree() {
+        let src = fig2();
+        let mut dst = PxDoc::new();
+        let w = dst.add_poss(dst.root(), 1.0);
+        let e = dst.add_elem(w, "wrapper");
+        // Graft the whole first possibility's addressbook.
+        let src_poss = src.children(src.root())[0];
+        let src_ab = src.children(src_poss)[0];
+        let copied = dst.graft_px(e, &src, src_ab);
+        assert_eq!(dst.tag(copied), Some("addressbook"));
+        // The nested tel choice came along.
+        let person = dst.children(copied)[0];
+        assert!(dst.children(person).iter().any(|&c| dst.is_prob(c)));
+    }
+
+    #[test]
+    fn splice_replaces_in_place() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "list");
+        let a = px.add_text_elem(e, "i", "a");
+        let b = px.add_text_elem(e, "i", "b");
+        let c = px.add_text_elem(e, "i", "c");
+        // Replace b with two fresh items. Create them detached under e then
+        // splice (they are appended first, then moved).
+        let x = px.add_text_elem(e, "i", "x");
+        let y = px.add_text_elem(e, "i", "y");
+        px.detach(x);
+        px.detach(y);
+        px.splice(b, &[x, y]);
+        let kids = px.children(e).to_vec();
+        assert_eq!(kids, vec![a, x, y, c]);
+        assert_eq!(px.parent(x), Some(e));
+        assert_eq!(px.parent(b), None);
+    }
+
+    #[test]
+    fn detach_makes_unreachable() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "a");
+        let before = px.reachable_count();
+        let child = px.add_text_elem(e, "b", "t");
+        assert_eq!(px.reachable_count(), before + 2);
+        px.detach(child);
+        assert_eq!(px.reachable_count(), before);
+        assert!(px.arena_len() > px.reachable_count());
+    }
+
+    #[test]
+    fn poss_index_reports_position() {
+        let px = fig2();
+        let poss = px.children(px.root()).to_vec();
+        assert_eq!(px.poss_index(poss[0]), 0);
+        assert_eq!(px.poss_index(poss[1]), 1);
+    }
+
+    #[test]
+    fn attrs_on_px_elements() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "movie");
+        px.set_attr(e, "year", "1995");
+        assert_eq!(px.attr(e, "year"), Some("1995"));
+        px.set_attr(e, "year", "1996");
+        assert_eq!(px.attr(e, "year"), Some("1996"));
+        assert_eq!(px.attrs(e).len(), 1);
+    }
+
+    #[test]
+    fn prob_nodes_lists_reachable_choice_points() {
+        let px = fig2();
+        assert_eq!(px.prob_nodes().len(), 2); // root + tel choice
+    }
+}

@@ -1,0 +1,263 @@
+//! Possibility reduction by likelihood thresholding.
+//!
+//! Rules let the Oracle make *absolute* decisions; pruning is the blunter
+//! instrument: discard possibilities the integration considered unlikely.
+//! §V of the paper warns that *"reduction should not be pushed too far,
+//! because eliminating valid possibilities reduces the quality of query
+//! answers"* — the statistics returned here (in particular the removed
+//! probability mass) are what the answer-quality experiment plots against
+//! precision/recall to quantify exactly that trade-off.
+//!
+//! Pruning is **lossy**: unlike [`PxDoc::simplify`], the possible-world
+//! distribution changes (surviving siblings are renormalised, Bayes-style,
+//! as if the removed possibilities had been refuted by feedback).
+
+use crate::node::{PxDoc, PxNodeId};
+
+/// What a pruning pass removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PruneStats {
+    /// Possibilities removed across all choice points.
+    pub possibilities_removed: usize,
+    /// Choice points that lost at least one possibility.
+    pub probs_affected: usize,
+    /// Largest probability mass removed from a single choice point — the
+    /// worst-case local information loss.
+    pub max_mass_removed: f64,
+    /// Representation nodes before / after (including the simplification
+    /// cascade that pruning enables).
+    pub nodes_before: usize,
+    /// See [`PruneStats::nodes_before`].
+    pub nodes_after: usize,
+    /// Possible worlds before / after.
+    pub worlds_before: f64,
+    /// See [`PruneStats::worlds_before`].
+    pub worlds_after: f64,
+}
+
+impl PxDoc {
+    /// Remove every possibility with probability below `epsilon`,
+    /// renormalising the survivors. The most probable possibility of each
+    /// choice point always survives, so the document never becomes
+    /// contradictory (even with `epsilon > 1`, which degenerates into
+    /// keeping only the per-choice argmax — the MAP-shaped document).
+    ///
+    /// Runs [`PxDoc::simplify`] afterwards so newly certain choice points
+    /// collapse; the returned statistics cover the whole effect.
+    pub fn prune_below(&mut self, epsilon: f64) -> PruneStats {
+        self.prune_with(|poss_probs| {
+            let argmax = argmax_index(poss_probs);
+            poss_probs
+                .iter()
+                .enumerate()
+                .filter(|&(i, &p)| p < epsilon && i != argmax)
+                .map(|(i, _)| i)
+                .collect()
+        })
+    }
+
+    /// Keep only the `k` most probable possibilities of every choice point
+    /// (`k = 1` yields the MAP-shaped certain document; `k = 0` is treated
+    /// as `k = 1`).
+    pub fn prune_keep_top(&mut self, k: usize) -> PruneStats {
+        let k = k.max(1);
+        self.prune_with(|poss_probs| {
+            if poss_probs.len() <= k {
+                return Vec::new();
+            }
+            // Indices sorted by descending probability (stable: earlier
+            // possibilities win ties, matching document order intuition).
+            let mut order: Vec<usize> = (0..poss_probs.len()).collect();
+            order.sort_by(|&a, &b| {
+                poss_probs[b]
+                    .partial_cmp(&poss_probs[a])
+                    .expect("finite probabilities")
+            });
+            order[k..].to_vec()
+        })
+    }
+
+    /// Shared driver: `select` returns the indices to remove, given the
+    /// possibility probabilities of one choice point.
+    fn prune_with(&mut self, select: impl Fn(&[f64]) -> Vec<usize>) -> PruneStats {
+        let mut stats = PruneStats {
+            nodes_before: self.reachable_count(),
+            worlds_before: self.world_count_f64(),
+            ..PruneStats::default()
+        };
+        for prob in self.prob_nodes() {
+            // prob_nodes() only lists reachable nodes, but earlier
+            // iterations of this loop may have detached this one's subtree.
+            if self.parent(prob).is_none() && prob != self.root() {
+                continue;
+            }
+            let kids: Vec<PxNodeId> = self.children(prob).to_vec();
+            let probs: Vec<f64> = kids
+                .iter()
+                .map(|&c| self.poss_prob(c).expect("prob child is poss"))
+                .collect();
+            let remove = select(&probs);
+            if remove.is_empty() {
+                continue;
+            }
+            let mass: f64 = remove.iter().map(|&i| probs[i]).sum();
+            stats.possibilities_removed += remove.len();
+            stats.probs_affected += 1;
+            stats.max_mass_removed = stats.max_mass_removed.max(mass);
+            for &i in &remove {
+                self.detach(kids[i]);
+            }
+            self.renormalize(prob);
+        }
+        self.simplify();
+        stats.nodes_after = self.reachable_count();
+        stats.worlds_after = self.world_count_f64();
+        stats
+    }
+}
+
+fn argmax_index(probs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &p) in probs.iter().enumerate() {
+        if p > probs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// doc with one 3-way choice: 0.6 / 0.3 / 0.1.
+    fn three_way() -> (PxDoc, PxNodeId) {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        let c = px.add_prob(e);
+        for (p, v) in [(0.6, "a"), (0.3, "b"), (0.1, "c")] {
+            let poss = px.add_poss(c, p);
+            px.add_text_elem(poss, "v", v);
+        }
+        (px, c)
+    }
+
+    #[test]
+    fn prune_below_removes_and_renormalizes() {
+        let (mut px, _) = three_way();
+        let stats = px.prune_below(0.2);
+        assert_eq!(stats.possibilities_removed, 1);
+        assert_eq!(stats.probs_affected, 1);
+        assert!((stats.max_mass_removed - 0.1).abs() < 1e-12);
+        assert_eq!(stats.worlds_before, 3.0);
+        assert_eq!(stats.worlds_after, 2.0);
+        px.validate().unwrap();
+        // Survivors renormalised to 2/3 and 1/3.
+        let poss = px.possibilities(px.prob_nodes()[1]);
+        assert!((poss[0].1 - 0.6 / 0.9).abs() < 1e-12);
+        assert!((poss[1].1 - 0.3 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_below_never_empties_a_choice() {
+        let (mut px, _) = three_way();
+        // Threshold above every probability: only the argmax survives and
+        // the choice collapses to certainty.
+        let stats = px.prune_below(2.0);
+        assert_eq!(stats.possibilities_removed, 2);
+        assert!(px.is_certain());
+        assert_eq!(stats.worlds_after, 1.0);
+        px.validate().unwrap();
+    }
+
+    #[test]
+    fn prune_keep_top_k() {
+        let (mut px, _) = three_way();
+        let stats = px.prune_keep_top(2);
+        assert_eq!(stats.possibilities_removed, 1);
+        assert_eq!(px.world_count(), 2);
+        let (mut px2, _) = three_way();
+        px2.prune_keep_top(1);
+        assert!(px2.is_certain());
+        // k = 0 behaves like k = 1 instead of emptying the node.
+        let (mut px3, _) = three_way();
+        px3.prune_keep_top(0);
+        assert!(px3.is_certain());
+    }
+
+    #[test]
+    fn prune_keep_one_is_greedy_not_map() {
+        // When every choice has a strict local argmax on the MAP path the
+        // greedy per-choice pruning and the exact MAP world coincide …
+        let mut px = PxDoc::new();
+        let w1 = px.add_poss(px.root(), 0.3);
+        let e1 = px.add_elem(w1, "doc");
+        px.add_text(e1, "minor");
+        let w2 = px.add_poss(px.root(), 0.7);
+        let e2 = px.add_elem(w2, "doc");
+        let c = px.add_prob(e2);
+        let c1 = px.add_poss(c, 0.2);
+        px.add_text_elem(c1, "v", "rare");
+        let c2 = px.add_poss(c, 0.8);
+        px.add_text_elem(c2, "v", "common");
+        let map = px.most_probable_world();
+        let mut pruned = px.clone();
+        pruned.prune_keep_top(1);
+        let only = pruned.worlds(2).unwrap();
+        assert!(imprecise_xmlkit::deep_equal(&only[0].doc, &map.doc));
+
+        // … but greedy pruning is *not* MAP in general: a locally likely
+        // possibility whose nested choices dilute the product can lose to
+        // a locally less likely but choice-free sibling.
+        let mut px = PxDoc::new();
+        let w1 = px.add_poss(px.root(), 0.4);
+        let e1 = px.add_elem(w1, "doc");
+        px.add_text(e1, "plain");
+        let w2 = px.add_poss(px.root(), 0.6);
+        let e2 = px.add_elem(w2, "doc");
+        let c = px.add_prob(e2);
+        for (p, v) in [(0.5, "x"), (0.5, "y")] {
+            let poss = px.add_poss(c, p);
+            px.add_text_elem(poss, "v", v);
+        }
+        let map = px.most_probable_world(); // the 0.4 "plain" world
+        assert!((map.prob - 0.4).abs() < 1e-12);
+        let mut pruned = px.clone();
+        pruned.prune_keep_top(1); // greedily keeps the 0.6 branch
+        let only = pruned.worlds(2).unwrap();
+        assert!(!imprecise_xmlkit::deep_equal(&only[0].doc, &map.doc));
+    }
+
+    #[test]
+    fn zero_epsilon_is_a_noop() {
+        let (mut px, _) = three_way();
+        let stats = px.prune_below(0.0);
+        assert_eq!(stats.possibilities_removed, 0);
+        assert_eq!(stats.nodes_before, stats.nodes_after);
+        assert_eq!(px.world_count(), 3);
+    }
+
+    #[test]
+    fn pruning_nested_choices_cascades() {
+        // An unlikely outer possibility containing an inner choice: pruning
+        // the outer one removes the inner choice point entirely.
+        let mut px = PxDoc::new();
+        let w1 = px.add_poss(px.root(), 0.9);
+        let e1 = px.add_elem(w1, "doc");
+        px.add_text_elem(e1, "v", "main");
+        let w2 = px.add_poss(px.root(), 0.1);
+        let e2 = px.add_elem(w2, "doc");
+        let inner = px.add_prob(e2);
+        for (p, v) in [(0.5, "x"), (0.5, "y")] {
+            let poss = px.add_poss(inner, p);
+            px.add_text_elem(poss, "v", v);
+        }
+        assert_eq!(px.world_count(), 3);
+        let stats = px.prune_below(0.2);
+        assert!(px.is_certain());
+        assert_eq!(stats.worlds_after, 1.0);
+        assert!(stats.nodes_after < stats.nodes_before);
+        px.validate().unwrap();
+    }
+}

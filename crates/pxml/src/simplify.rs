@@ -1,0 +1,318 @@
+//! Simplification of probabilistic XML trees.
+//!
+//! These are the compaction rules the companion paper (ICDE 2005) applies
+//! to keep the representation small; all of them preserve the possible
+//! world distribution exactly:
+//!
+//! 1. possibilities with probability 0 are removed;
+//! 2. deep-equal sibling possibilities are merged, summing probabilities;
+//! 3. a non-root probability node with a single possibility of
+//!    probability 1 is collapsed — its contents splice into the parent
+//!    element;
+//! 4. weights are renormalised when rule 1 leaves a deficit (used by the
+//!    feedback layer, which conditions by zeroing possibilities).
+
+use crate::fingerprint::poss_content_fingerprint;
+use crate::node::{PxDoc, PxNodeId};
+use crate::PROB_EPSILON;
+use std::collections::HashMap;
+
+/// Statistics returned by [`PxDoc::simplify`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Zero-probability possibilities removed.
+    pub zero_dropped: usize,
+    /// Possibility pairs merged because their contents were deep-equal.
+    pub merged: usize,
+    /// Certain probability nodes collapsed into their parent element.
+    pub collapsed: usize,
+}
+
+impl SimplifyStats {
+    /// True when the pass changed nothing.
+    pub fn is_noop(&self) -> bool {
+        *self == SimplifyStats::default()
+    }
+}
+
+impl PxDoc {
+    /// Rescale the possibility weights of `prob` so they sum to 1.
+    ///
+    /// # Panics
+    /// Panics if all weights are (numerically) zero — the conditioned
+    /// document would be contradictory, which callers must detect first.
+    pub fn renormalize(&mut self, prob: PxNodeId) {
+        let total: f64 = self
+            .children(prob)
+            .iter()
+            .map(|&c| self.poss_prob(c).expect("prob child is poss"))
+            .sum();
+        assert!(
+            total > PROB_EPSILON,
+            "cannot renormalize: all possibilities have probability 0"
+        );
+        for c in self.children(prob).to_vec() {
+            let p = self.poss_prob(c).expect("prob child is poss");
+            self.set_poss_prob(c, p / total);
+        }
+    }
+
+    /// Run all simplification rules to fixpoint; returns cumulative stats.
+    pub fn simplify(&mut self) -> SimplifyStats {
+        let mut total = SimplifyStats::default();
+        loop {
+            let pass = self.simplify_pass();
+            total.zero_dropped += pass.zero_dropped;
+            total.merged += pass.merged;
+            total.collapsed += pass.collapsed;
+            if pass.is_noop() {
+                return total;
+            }
+        }
+    }
+
+    fn simplify_pass(&mut self) -> SimplifyStats {
+        let mut stats = SimplifyStats::default();
+        // Bottom-up: collect in document order, process in reverse so child
+        // choice points simplify before their ancestors (a collapse lower
+        // down can enable a merge higher up within the same call via the
+        // fixpoint loop).
+        let probs = self.prob_nodes();
+        for &prob in probs.iter().rev() {
+            // The node may have been detached by an earlier collapse.
+            if self.parent(prob).is_none() && prob != self.root() {
+                continue;
+            }
+            stats.zero_dropped += self.drop_zero_possibilities(prob);
+            stats.merged += self.merge_equal_possibilities(prob);
+            if prob != self.root() && self.try_collapse_certain(prob) {
+                stats.collapsed += 1;
+            }
+        }
+        stats
+    }
+
+    /// Remove possibilities with probability below [`PROB_EPSILON`].
+    /// Keeps at least one possibility (never empties a probability node).
+    fn drop_zero_possibilities(&mut self, prob: PxNodeId) -> usize {
+        let zeros: Vec<PxNodeId> = self
+            .children(prob)
+            .iter()
+            .copied()
+            .filter(|&c| self.poss_prob(c).expect("poss") < PROB_EPSILON)
+            .collect();
+        let keep = self.children(prob).len() - zeros.len();
+        if keep == 0 {
+            return 0; // contradictory node: leave for the caller to handle
+        }
+        let n = zeros.len();
+        for z in zeros {
+            self.detach(z);
+        }
+        if n > 0 {
+            self.renormalize(prob);
+        }
+        n
+    }
+
+    /// Merge sibling possibilities whose contents are deep-equal.
+    fn merge_equal_possibilities(&mut self, prob: PxNodeId) -> usize {
+        let kids = self.children(prob).to_vec();
+        if kids.len() < 2 {
+            return 0;
+        }
+        let mut first_by_fp: HashMap<u64, PxNodeId> = HashMap::with_capacity(kids.len());
+        let mut merged = 0;
+        for k in kids {
+            let fp = poss_content_fingerprint(self, k);
+            match first_by_fp.get(&fp) {
+                Some(&canonical) => {
+                    let p_dup = self.poss_prob(k).expect("poss");
+                    let p_keep = self.poss_prob(canonical).expect("poss");
+                    self.set_poss_prob(canonical, p_keep + p_dup);
+                    self.detach(k);
+                    merged += 1;
+                }
+                None => {
+                    first_by_fp.insert(fp, k);
+                }
+            }
+        }
+        merged
+    }
+
+    /// Collapse `prob` into its parent element or possibility when it has
+    /// exactly one possibility of probability ≈ 1. Returns true on success.
+    fn try_collapse_certain(&mut self, prob: PxNodeId) -> bool {
+        let kids = self.children(prob);
+        if kids.len() != 1 {
+            return false;
+        }
+        let poss = kids[0];
+        let p = self.poss_prob(poss).expect("prob child is poss");
+        if (p - 1.0).abs() > PROB_EPSILON {
+            return false;
+        }
+        let Some(parent) = self.parent(prob) else {
+            return false;
+        };
+        if !self.is_elem(parent) && !self.is_poss(parent) {
+            return false;
+        }
+        let contents = self.children(poss).to_vec();
+        for &c in &contents {
+            self.detach(c);
+        }
+        self.splice(prob, &contents);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_possibilities_dropped_and_renormalized() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        let c = px.add_prob(e);
+        let a = px.add_poss(c, 0.0);
+        px.add_text_elem(a, "v", "dead");
+        let b = px.add_poss(c, 0.4);
+        px.add_text_elem(b, "v", "x");
+        let d = px.add_poss(c, 0.6);
+        px.add_text_elem(d, "v", "y");
+        // Weights 0.4/0.6 after dropping 0 already sum to 1; also test a
+        // deficit case below.
+        let stats = px.simplify();
+        assert_eq!(stats.zero_dropped, 1);
+        px.validate().unwrap();
+        assert_eq!(px.world_count(), 2);
+    }
+
+    #[test]
+    fn renormalize_after_conditioning() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        let c = px.add_prob(e);
+        let a = px.add_poss(c, 0.25);
+        px.add_text_elem(a, "v", "x");
+        let b = px.add_poss(c, 0.75);
+        px.add_text_elem(b, "v", "y");
+        // Feedback-style conditioning: possibility b is impossible.
+        px.set_poss_prob(b, 0.0);
+        let stats = px.simplify();
+        assert_eq!(stats.zero_dropped, 1);
+        // Now certain: v=x with probability 1, and the choice collapses.
+        assert!(px.is_certain());
+        px.validate().unwrap();
+    }
+
+    #[test]
+    fn equal_possibilities_merge() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        let c = px.add_prob(e);
+        for p in [0.25, 0.35] {
+            let poss = px.add_poss(c, p);
+            px.add_text_elem(poss, "v", "same");
+        }
+        let other = px.add_poss(c, 0.4);
+        px.add_text_elem(other, "v", "different");
+        let stats = px.simplify();
+        assert_eq!(stats.merged, 1);
+        px.validate().unwrap();
+        let poss = px.possibilities(c);
+        assert_eq!(poss.len(), 2);
+        assert!((poss[0].1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_prob_collapses_into_parent() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "movie");
+        px.add_text_elem(e, "title", "Jaws");
+        let c = px.add_prob(e);
+        let only = px.add_poss(c, 1.0);
+        px.add_text_elem(only, "year", "1975");
+        px.add_text_elem(e, "genre", "Horror");
+        let before_worlds = px.world_count();
+        let stats = px.simplify();
+        assert_eq!(stats.collapsed, 1);
+        assert_eq!(px.world_count(), before_worlds);
+        px.validate().unwrap();
+        // year spliced between title and genre.
+        let tags: Vec<&str> = px
+            .children(e)
+            .iter()
+            .filter_map(|&c| px.tag(c))
+            .collect();
+        assert_eq!(tags, vec!["title", "year", "genre"]);
+        assert!(px.is_certain());
+    }
+
+    #[test]
+    fn merge_then_collapse_reaches_fixpoint() {
+        // Two equal possibilities at 0.5 each merge into a certain single
+        // possibility, which then collapses.
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        let c = px.add_prob(e);
+        for _ in 0..2 {
+            let poss = px.add_poss(c, 0.5);
+            px.add_text_elem(poss, "v", "same");
+        }
+        let stats = px.simplify();
+        assert_eq!(stats.merged, 1);
+        assert_eq!(stats.collapsed, 1);
+        px.validate().unwrap();
+        assert!(px.is_certain());
+        assert_eq!(px.world_count(), 1);
+    }
+
+    #[test]
+    fn simplify_preserves_world_distribution() {
+        let mut px = crate::node::tests::fig2();
+        // Add a mergeable choice under the second world's addressbook.
+        let poss2 = px.children(px.root())[1];
+        let ab2 = px.children(poss2)[0];
+        let c = px.add_prob(ab2);
+        for p in [0.5, 0.5] {
+            let poss = px.add_poss(c, p);
+            px.add_text_elem(poss, "note", "dup");
+        }
+        let before = px.world_distribution(1000).unwrap();
+        let stats = px.simplify();
+        assert!(!stats.is_noop());
+        let after = px.world_distribution(1000).unwrap();
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(after.iter()) {
+            assert!((a.prob - b.prob).abs() < 1e-12);
+            assert!(imprecise_xmlkit::deep_equal(&a.doc, &b.doc));
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let mut px = crate::node::tests::fig2();
+        px.simplify();
+        let again = px.simplify();
+        assert!(again.is_noop());
+    }
+
+    #[test]
+    fn root_prob_is_never_collapsed() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        px.add_elem(w, "doc");
+        px.simplify();
+        assert!(px.is_prob(px.root()));
+        px.validate().unwrap();
+    }
+}

@@ -1,0 +1,663 @@
+//! Possible-world semantics: enumeration, counting, and the most probable
+//! world.
+//!
+//! "In theory, the semantics of a query is the set of possible answers
+//! obtained by evaluating the query in each of the possible worlds
+//! separately" (§VI). Enumeration is exponential and only used on small
+//! documents and as a correctness oracle in tests; the analytic counters
+//! scale to the paper's millions-of-worlds documents.
+
+use crate::node::{PxDoc, PxNodeId, PxNodeKind};
+use imprecise_xmlkit::{subtree_fingerprint, XmlDoc};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One possible world: a plain XML document and its probability.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The world's document.
+    pub doc: XmlDoc,
+    /// The world's probability (product of the chosen possibilities).
+    pub prob: f64,
+}
+
+/// Error returned when enumeration would exceed the requested cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooManyWorlds {
+    /// The cap that would have been exceeded.
+    pub cap: usize,
+}
+
+impl fmt::Display for TooManyWorlds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "more than {} possible worlds", self.cap)
+    }
+}
+
+impl std::error::Error for TooManyWorlds {}
+
+/// A fragment of a world under construction: either a completed element
+/// subtree (as a standalone document) or a text node.
+enum Frag {
+    Elem(XmlDoc),
+    Text(String),
+}
+
+impl PxDoc {
+    /// Exact number of possible worlds, saturating at `u128::MAX`.
+    pub fn world_count(&self) -> u128 {
+        self.world_count_node(self.root())
+    }
+
+    fn world_count_node(&self, node: PxNodeId) -> u128 {
+        match self.kind(node) {
+            PxNodeKind::Text(_) => 1,
+            PxNodeKind::Elem { .. } | PxNodeKind::Poss(_) => self
+                .children(node)
+                .iter()
+                .fold(1u128, |acc, &c| acc.saturating_mul(self.world_count_node(c))),
+            PxNodeKind::Prob => self
+                .children(node)
+                .iter()
+                .fold(0u128, |acc, &c| acc.saturating_add(self.world_count_node(c))),
+        }
+    }
+
+    /// Number of possible worlds as an `f64` (exact until precision runs
+    /// out, then a close approximation; never saturates). This is what the
+    /// Figure 5 style log-scale plots use.
+    pub fn world_count_f64(&self) -> f64 {
+        self.world_count_f64_node(self.root())
+    }
+
+    fn world_count_f64_node(&self, node: PxNodeId) -> f64 {
+        match self.kind(node) {
+            PxNodeKind::Text(_) => 1.0,
+            PxNodeKind::Elem { .. } | PxNodeKind::Poss(_) => self
+                .children(node)
+                .iter()
+                .map(|&c| self.world_count_f64_node(c))
+                .product(),
+            PxNodeKind::Prob => self
+                .children(node)
+                .iter()
+                .map(|&c| self.world_count_f64_node(c))
+                .sum(),
+        }
+    }
+
+    /// Lazily iterate over all possible worlds, in the same deterministic
+    /// order as [`PxDoc::worlds`] (possibilities in document order,
+    /// leftmost choice varying slowest).
+    ///
+    /// Each world is built on demand by mixed-radix decoding of its index
+    /// against the per-subtree world counts, so short-circuiting searches
+    /// (`any`, `find`, `take`) never materialise the full — potentially
+    /// astronomically large — world set.
+    pub fn worlds_iter(&self) -> WorldIter<'_> {
+        WorldIter {
+            doc: self,
+            next: 0,
+            count: self.world_count(),
+        }
+    }
+
+    /// The `k`-th possible world (0-based, [`PxDoc::worlds`] order), or
+    /// `None` when `k` is out of range.
+    pub fn nth_world(&self, k: u128) -> Option<World> {
+        if k >= self.world_count() {
+            return None;
+        }
+        // The root is a probability node; locate the chosen possibility
+        // bucket, then decode the remainder over its single element.
+        let mut rem = k;
+        for &poss in self.children(self.root()) {
+            let bucket = self.world_count_node(poss);
+            if rem < bucket {
+                let weight = self.poss_prob(poss).expect("root child is poss");
+                let elem = self.children(poss)[0];
+                let tag = self.tag(elem).expect("root content is an element");
+                let mut doc = XmlDoc::new(tag);
+                for a in self.attrs(elem) {
+                    doc.set_attr(doc.root(), a.name.clone(), a.value.clone());
+                }
+                let root = doc.root();
+                let mut prob = weight;
+                self.decode_children(self.children(elem), rem, &mut doc, root, &mut prob);
+                return Some(World { doc, prob });
+            }
+            rem -= bucket;
+        }
+        unreachable!("k < world_count implies a bucket holds it")
+    }
+
+    /// Decode world index `k` over a sibling sequence (mixed radix,
+    /// leftmost sibling most significant) and build the chosen fragments.
+    fn decode_children(
+        &self,
+        nodes: &[PxNodeId],
+        mut k: u128,
+        doc: &mut XmlDoc,
+        parent: imprecise_xmlkit::NodeId,
+        prob: &mut f64,
+    ) {
+        // Suffix products of the per-sibling world counts.
+        let mut suffix = vec![1u128; nodes.len() + 1];
+        for (i, &n) in nodes.iter().enumerate().rev() {
+            suffix[i] = suffix[i + 1].saturating_mul(self.world_count_node(n));
+        }
+        for (i, &n) in nodes.iter().enumerate() {
+            let digit = k / suffix[i + 1];
+            k %= suffix[i + 1];
+            self.decode_node(n, digit, doc, parent, prob);
+        }
+    }
+
+    /// Build the `digit`-th world fragment of a single node.
+    fn decode_node(
+        &self,
+        node: PxNodeId,
+        digit: u128,
+        doc: &mut XmlDoc,
+        parent: imprecise_xmlkit::NodeId,
+        prob: &mut f64,
+    ) {
+        match self.kind(node) {
+            PxNodeKind::Text(t) => {
+                debug_assert_eq!(digit, 0);
+                doc.add_text(parent, t.clone());
+            }
+            PxNodeKind::Elem { tag, attrs } => {
+                let el = doc.add_element(parent, tag.clone());
+                for a in attrs {
+                    doc.set_attr(el, a.name.clone(), a.value.clone());
+                }
+                self.decode_children(self.children(node), digit, doc, el, prob);
+            }
+            PxNodeKind::Prob => {
+                let mut rem = digit;
+                for &poss in self.children(node) {
+                    let bucket = self.world_count_node(poss);
+                    if rem < bucket {
+                        *prob *= self.poss_prob(poss).expect("prob child is poss");
+                        self.decode_children(self.children(poss), rem, doc, parent, prob);
+                        return;
+                    }
+                    rem -= bucket;
+                }
+                unreachable!("digit < bucket sum by construction")
+            }
+            PxNodeKind::Poss(_) => unreachable!("poss decoded via its prob parent"),
+        }
+    }
+
+    /// Enumerate all possible worlds with their probabilities.
+    ///
+    /// Returns an error as soon as more than `cap` worlds would be
+    /// produced. Worlds appear in deterministic order (possibilities in
+    /// document order, leftmost choice varying slowest).
+    pub fn worlds(&self, cap: usize) -> Result<Vec<World>, TooManyWorlds> {
+        let combos = self.node_worlds(self.root(), cap)?;
+        let mut out = Vec::with_capacity(combos.len());
+        for (frags, prob) in combos {
+            debug_assert_eq!(frags.len(), 1, "validated root poss holds one element");
+            match frags.into_iter().next() {
+                Some(Frag::Elem(doc)) => out.push(World { doc, prob }),
+                _ => unreachable!("root possibility content is a single element"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Enumerate worlds and aggregate deep-equal documents, summing their
+    /// probabilities. Sorted by descending probability (ties: first seen
+    /// first). Useful as a semantic oracle: two representations are
+    /// equivalent iff their distributions match.
+    pub fn world_distribution(&self, cap: usize) -> Result<Vec<World>, TooManyWorlds> {
+        let worlds = self.worlds(cap)?;
+        let mut order: Vec<World> = Vec::new();
+        let mut index: HashMap<u64, usize> = HashMap::new();
+        for w in worlds {
+            let fp = subtree_fingerprint(&w.doc, w.doc.root());
+            match index.get(&fp) {
+                Some(&i) => order[i].prob += w.prob,
+                None => {
+                    index.insert(fp, order.len());
+                    order.push(w);
+                }
+            }
+        }
+        order.sort_by(|a, b| b.prob.partial_cmp(&a.prob).expect("finite probabilities"));
+        Ok(order)
+    }
+
+    /// The single most probable world (MAP world), computed exactly by
+    /// bottom-up dynamic programming.
+    ///
+    /// A greedy top-down argmax is *not* exact: a locally less likely
+    /// possibility whose contents hold no further choices can dominate a
+    /// more likely possibility whose nested choices dilute the product.
+    /// The DP scores every node with the best achievable probability of
+    /// its subtree first, then reconstructs the choices.
+    pub fn most_probable_world(&self) -> World {
+        let mut best = vec![f64::NAN; self.arena_len()];
+        self.map_score(self.root(), &mut best);
+        let root_poss = self.best_poss(self.root(), &best);
+        let prob = best[self.root().index()];
+        // The root possibility holds exactly one element (validated).
+        let root_elem = self.children(root_poss)[0];
+        let tag = self.tag(root_elem).expect("root content is an element");
+        let mut doc = XmlDoc::new(tag);
+        for a in self.attrs(root_elem) {
+            doc.set_attr(doc.root(), a.name.clone(), a.value.clone());
+        }
+        let root = doc.root();
+        for &c in self.children(root_elem) {
+            self.build_map_world(c, &best, &mut doc, root);
+        }
+        World { doc, prob }
+    }
+
+    /// Best achievable subtree probability of `node`, memoised in `best`.
+    fn map_score(&self, node: PxNodeId, best: &mut Vec<f64>) -> f64 {
+        let score = match self.kind(node) {
+            PxNodeKind::Text(_) => 1.0,
+            PxNodeKind::Elem { .. } | PxNodeKind::Poss(_) => {
+                let base = match self.kind(node) {
+                    PxNodeKind::Poss(p) => *p,
+                    _ => 1.0,
+                };
+                self.children(node)
+                    .iter()
+                    .fold(base, |acc, &c| acc * self.map_score(c, best))
+            }
+            PxNodeKind::Prob => self
+                .children(node)
+                .iter()
+                .map(|&c| self.map_score(c, best))
+                .fold(f64::NEG_INFINITY, f64::max),
+        };
+        best[node.index()] = score;
+        score
+    }
+
+    /// The possibility of `prob_node` achieving the best score.
+    fn best_poss(&self, prob_node: PxNodeId, best: &[f64]) -> PxNodeId {
+        self.children(prob_node)
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                best[a.index()]
+                    .partial_cmp(&best[b.index()])
+                    .expect("finite scores")
+            })
+            .expect("probability node has possibilities")
+    }
+
+    fn build_map_world(
+        &self,
+        node: PxNodeId,
+        best: &[f64],
+        doc: &mut XmlDoc,
+        parent: imprecise_xmlkit::NodeId,
+    ) {
+        match self.kind(node) {
+            PxNodeKind::Text(t) => {
+                doc.add_text(parent, t.clone());
+            }
+            PxNodeKind::Elem { tag, attrs } => {
+                let el = doc.add_element(parent, tag.clone());
+                for a in attrs {
+                    doc.set_attr(el, a.name.clone(), a.value.clone());
+                }
+                for &c in self.children(node) {
+                    self.build_map_world(c, best, doc, el);
+                }
+            }
+            PxNodeKind::Prob => {
+                let chosen = self.best_poss(node, best);
+                for &c in self.children(chosen) {
+                    self.build_map_world(c, best, doc, parent);
+                }
+            }
+            PxNodeKind::Poss(_) => unreachable!("poss reached outside prob handling"),
+        }
+    }
+
+    /// Worlds of `node`'s content as fragment sequences.
+    fn node_worlds(
+        &self,
+        node: PxNodeId,
+        cap: usize,
+    ) -> Result<Vec<(Vec<Frag>, f64)>, TooManyWorlds> {
+        match self.kind(node) {
+            PxNodeKind::Text(t) => Ok(vec![(vec![Frag::Text(t.clone())], 1.0)]),
+            PxNodeKind::Elem { tag, attrs } => {
+                let content = self.seq_worlds(self.children(node), cap)?;
+                let mut out = Vec::with_capacity(content.len());
+                for (frags, p) in content {
+                    let mut doc = XmlDoc::new(tag.clone());
+                    for a in attrs {
+                        doc.set_attr(doc.root(), a.name.clone(), a.value.clone());
+                    }
+                    let root = doc.root();
+                    attach_frags(&mut doc, root, frags);
+                    out.push((vec![Frag::Elem(doc)], p));
+                }
+                Ok(out)
+            }
+            PxNodeKind::Prob => {
+                let mut out = Vec::new();
+                for &poss in self.children(node) {
+                    let weight = self.poss_prob(poss).expect("prob child is poss");
+                    let content = self.seq_worlds(self.children(poss), cap)?;
+                    for (frags, p) in content {
+                        if out.len() >= cap {
+                            return Err(TooManyWorlds { cap });
+                        }
+                        out.push((frags, p * weight));
+                    }
+                }
+                Ok(out)
+            }
+            PxNodeKind::Poss(_) => unreachable!("poss handled by its prob parent"),
+        }
+    }
+
+    /// Cross product of the worlds of a sequence of sibling nodes.
+    fn seq_worlds(
+        &self,
+        nodes: &[PxNodeId],
+        cap: usize,
+    ) -> Result<Vec<(Vec<Frag>, f64)>, TooManyWorlds> {
+        let mut acc: Vec<(Vec<Frag>, f64)> = vec![(Vec::new(), 1.0)];
+        for &n in nodes {
+            let options = self.node_worlds(n, cap)?;
+            if options.len() == 1 {
+                // Fast path: extend every accumulated row in place by
+                // cloning the single option.
+                let (frags, p) = &options[0];
+                for row in &mut acc {
+                    row.0.extend(frags.iter().map(clone_frag));
+                    row.1 *= p;
+                }
+                continue;
+            }
+            let mut next = Vec::with_capacity(acc.len().saturating_mul(options.len()));
+            if acc.len().saturating_mul(options.len()) > cap {
+                return Err(TooManyWorlds { cap });
+            }
+            for (row, rp) in &acc {
+                for (frags, p) in &options {
+                    let mut combined: Vec<Frag> = Vec::with_capacity(row.len() + frags.len());
+                    combined.extend(row.iter().map(clone_frag));
+                    combined.extend(frags.iter().map(clone_frag));
+                    next.push((combined, rp * p));
+                }
+            }
+            acc = next;
+        }
+        Ok(acc)
+    }
+}
+
+/// Lazy possible-world iterator, created by [`PxDoc::worlds_iter`].
+///
+/// Yields worlds in the same order as [`PxDoc::worlds`]. `size_hint` is
+/// exact when the world count fits a `usize`.
+pub struct WorldIter<'a> {
+    doc: &'a PxDoc,
+    next: u128,
+    count: u128,
+}
+
+impl Iterator for WorldIter<'_> {
+    type Item = World;
+
+    fn next(&mut self) -> Option<World> {
+        if self.next >= self.count {
+            return None;
+        }
+        let world = self.doc.nth_world(self.next);
+        self.next += 1;
+        world
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.count - self.next;
+        match usize::try_from(remaining) {
+            Ok(n) => (n, Some(n)),
+            Err(_) => (usize::MAX, None),
+        }
+    }
+}
+
+fn clone_frag(f: &Frag) -> Frag {
+    match f {
+        Frag::Elem(d) => Frag::Elem(d.clone()),
+        Frag::Text(t) => Frag::Text(t.clone()),
+    }
+}
+
+fn attach_frags(doc: &mut XmlDoc, parent: imprecise_xmlkit::NodeId, frags: Vec<Frag>) {
+    for f in frags {
+        match f {
+            Frag::Elem(sub) => {
+                let sub_root = sub.root();
+                doc.graft(parent, &sub, sub_root);
+            }
+            Frag::Text(t) => {
+                doc.add_text(parent, t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imprecise_xmlkit::to_string;
+
+    #[test]
+    fn fig2_has_three_worlds() {
+        let px = crate::node::tests::fig2();
+        assert_eq!(px.world_count(), 3);
+        assert_eq!(px.world_count_f64(), 3.0);
+        let worlds = px.worlds(100).unwrap();
+        assert_eq!(worlds.len(), 3);
+        let total: f64 = worlds.iter().map(|w| w.prob).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let texts: Vec<String> = worlds.iter().map(|w| to_string(&w.doc)).collect();
+        assert!(texts[0].contains("<tel>1111</tel>"));
+        assert!(!texts[0].contains("2222"));
+        assert!(texts[1].contains("<tel>2222</tel>"));
+        // Third world: two persons.
+        assert_eq!(texts[2].matches("<person>").count(), 2);
+    }
+
+    #[test]
+    fn world_probabilities_multiply_along_choices() {
+        let px = crate::node::tests::fig2();
+        let worlds = px.worlds(100).unwrap();
+        // Worlds 1 and 2 each require two choices of 0.5 → 0.25.
+        assert!((worlds[0].prob - 0.25).abs() < 1e-12);
+        assert!((worlds[1].prob - 0.25).abs() < 1e-12);
+        assert!((worlds[2].prob - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_doc_has_one_world() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "a");
+        px.add_text_elem(e, "b", "x");
+        assert_eq!(px.world_count(), 1);
+        let worlds = px.worlds(10).unwrap();
+        assert_eq!(worlds.len(), 1);
+        assert_eq!(to_string(&worlds[0].doc), "<a><b>x</b></a>");
+        assert!((worlds[0].prob - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_choices_multiply() {
+        // Element with two independent binary choices → 4 worlds.
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "movie");
+        for (tag, v1, v2) in [("year", "1995", "1996"), ("rating", "A", "B")] {
+            let c = px.add_prob(e);
+            let p1 = px.add_poss(c, 0.5);
+            px.add_text_elem(p1, tag, v1);
+            let p2 = px.add_poss(c, 0.5);
+            px.add_text_elem(p2, tag, v2);
+        }
+        assert_eq!(px.world_count(), 4);
+        let worlds = px.worlds(10).unwrap();
+        assert_eq!(worlds.len(), 4);
+        for w in &worlds {
+            assert!((w.prob - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let px = crate::node::tests::fig2();
+        assert_eq!(px.worlds(2).unwrap_err(), TooManyWorlds { cap: 2 });
+    }
+
+    #[test]
+    fn nested_choice_worlds_do_not_multiply_across_exclusive_branches() {
+        // A choice whose first branch contains a nested choice: worlds = 2 + 1.
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        let outer = px.add_prob(e);
+        let a = px.add_poss(outer, 0.6);
+        let inner_holder = px.add_elem(a, "x");
+        let inner = px.add_prob(inner_holder);
+        let a1 = px.add_poss(inner, 0.5);
+        px.add_text_elem(a1, "v", "1");
+        let a2 = px.add_poss(inner, 0.5);
+        px.add_text_elem(a2, "v", "2");
+        let b = px.add_poss(outer, 0.4);
+        px.add_text_elem(b, "y", "3");
+        assert_eq!(px.world_count(), 3);
+        let worlds = px.worlds(10).unwrap();
+        let probs: Vec<f64> = worlds.iter().map(|w| w.prob).collect();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((probs[0] - 0.3).abs() < 1e-12);
+        assert!((probs[2] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_merges_equal_worlds() {
+        // Two possibilities with identical content → one world at p=1.
+        let mut px = PxDoc::new();
+        for p in [0.5, 0.5] {
+            let w = px.add_poss(px.root(), p);
+            let e = px.add_elem(w, "a");
+            px.add_text(e, "same");
+        }
+        let dist = px.world_distribution(10).unwrap();
+        assert_eq!(dist.len(), 1);
+        assert!((dist[0].prob - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worlds_iter_matches_materialized_enumeration() {
+        for px in [crate::node::tests::fig2(), {
+            let mut px = PxDoc::new();
+            let w = px.add_poss(px.root(), 1.0);
+            let e = px.add_elem(w, "movie");
+            for (tag, v1, v2) in [("year", "1995", "1996"), ("rating", "A", "B")] {
+                let c = px.add_prob(e);
+                let p1 = px.add_poss(c, 0.3);
+                px.add_text_elem(p1, tag, v1);
+                let p2 = px.add_poss(c, 0.7);
+                px.add_text_elem(p2, tag, v2);
+            }
+            px
+        }] {
+            let eager = px.worlds(1000).unwrap();
+            let lazy: Vec<World> = px.worlds_iter().collect();
+            assert_eq!(eager.len(), lazy.len());
+            for (a, b) in eager.iter().zip(&lazy) {
+                assert_eq!(to_string(&a.doc), to_string(&b.doc));
+                assert!((a.prob - b.prob).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nth_world_bounds() {
+        let px = crate::node::tests::fig2();
+        assert!(px.nth_world(2).is_some());
+        assert!(px.nth_world(3).is_none());
+    }
+
+    #[test]
+    fn worlds_iter_short_circuits_on_huge_spaces() {
+        // 40 independent binary choices → 2^40 worlds; taking a handful
+        // must not enumerate the space.
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        for i in 0..40 {
+            let c = px.add_prob(e);
+            let a = px.add_poss(c, 0.5);
+            px.add_text_elem(a, "v", format!("{i}a"));
+            let b = px.add_poss(c, 0.5);
+            px.add_text_elem(b, "v", format!("{i}b"));
+        }
+        assert_eq!(px.world_count(), 1u128 << 40);
+        let first: Vec<World> = px.worlds_iter().take(3).collect();
+        assert_eq!(first.len(), 3);
+        // First world: every choice takes its first possibility.
+        assert!(to_string(&first[0].doc).contains("<v>0a</v>"));
+        assert!(!to_string(&first[0].doc).contains("<v>0b</v>"));
+        // Second world: only the last (least significant) choice flips.
+        assert!(to_string(&first[1].doc).contains("<v>39b</v>"));
+        assert!(to_string(&first[1].doc).contains("<v>0a</v>"));
+        // A short-circuiting search succeeds without materialisation.
+        assert!(px
+            .worlds_iter()
+            .take(10)
+            .any(|w| to_string(&w.doc).contains("<v>38b</v>")));
+    }
+
+    #[test]
+    fn worlds_iter_size_hint_is_exact_when_it_fits() {
+        let px = crate::node::tests::fig2();
+        let mut it = px.worlds_iter();
+        assert_eq!(it.size_hint(), (3, Some(3)));
+        it.next();
+        assert_eq!(it.size_hint(), (2, Some(2)));
+    }
+
+    #[test]
+    fn most_probable_world_picks_argmax_everywhere() {
+        let mut px = PxDoc::new();
+        let w1 = px.add_poss(px.root(), 0.3);
+        let e1 = px.add_elem(w1, "doc");
+        px.add_text(e1, "minor");
+        let w2 = px.add_poss(px.root(), 0.7);
+        let e2 = px.add_elem(w2, "doc");
+        let c = px.add_prob(e2);
+        let c1 = px.add_poss(c, 0.2);
+        px.add_text_elem(c1, "v", "rare");
+        let c2 = px.add_poss(c, 0.8);
+        px.add_text_elem(c2, "v", "common");
+        let map = px.most_probable_world();
+        assert!((map.prob - 0.56).abs() < 1e-12);
+        assert_eq!(to_string(&map.doc), "<doc><v>common</v></doc>");
+    }
+
+    #[test]
+    fn map_world_is_among_enumerated_worlds_with_max_prob() {
+        let px = crate::node::tests::fig2();
+        let map = px.most_probable_world();
+        let worlds = px.worlds(100).unwrap();
+        let max = worlds.iter().map(|w| w.prob).fold(f64::MIN, f64::max);
+        assert!((map.prob - max).abs() < 1e-12);
+    }
+}

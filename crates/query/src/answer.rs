@@ -1,0 +1,124 @@
+//! Amalgamated, likelihood-ranked answers.
+
+use std::fmt;
+
+/// One ranked answer value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedAnswer {
+    /// The answer's string value (e.g. a movie title).
+    pub value: String,
+    /// Exact probability that this value occurs in the query answer.
+    pub probability: f64,
+}
+
+/// The amalgamated answer: distinct values ranked by likelihood.
+///
+/// This is the paper's "sequence of possible result elements ranked by
+/// likelihood" — e.g. `97% Jaws`, `97% Jaws 2` for the Horror query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankedAnswers {
+    /// Answers sorted by descending probability (ties: lexicographic by
+    /// value, for deterministic output).
+    pub items: Vec<RankedAnswer>,
+}
+
+impl RankedAnswers {
+    /// Build from unordered `(value, probability)` pairs.
+    pub fn from_pairs(pairs: Vec<(String, f64)>) -> Self {
+        let mut items: Vec<RankedAnswer> = pairs
+            .into_iter()
+            .map(|(value, probability)| RankedAnswer { value, probability })
+            .collect();
+        items.sort_by(|a, b| {
+            b.probability
+                .partial_cmp(&a.probability)
+                .expect("finite probabilities")
+                .then_with(|| a.value.cmp(&b.value))
+        });
+        RankedAnswers { items }
+    }
+
+    /// The probability of a specific value (0 when absent).
+    pub fn probability_of(&self, value: &str) -> f64 {
+        self.items
+            .iter()
+            .find(|a| a.value == value)
+            .map_or(0.0, |a| a.probability)
+    }
+
+    /// Answers with probability at least `threshold`.
+    pub fn at_least(&self, threshold: f64) -> impl Iterator<Item = &RankedAnswer> {
+        self.items.iter().filter(move |a| a.probability >= threshold)
+    }
+
+    /// Number of distinct answer values.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no answers.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl fmt::Display for RankedAnswers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in &self.items {
+            writeln!(f, "{:>5.1}% {}", a.probability * 100.0, a.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_is_descending_with_lexicographic_ties() {
+        let answers = RankedAnswers::from_pairs(vec![
+            ("Mission: Impossible".into(), 0.21),
+            ("Die Hard: With a Vengeance".into(), 1.0),
+            ("Mission: Impossible II".into(), 0.96),
+        ]);
+        let values: Vec<&str> = answers.items.iter().map(|a| a.value.as_str()).collect();
+        assert_eq!(
+            values,
+            vec![
+                "Die Hard: With a Vengeance",
+                "Mission: Impossible II",
+                "Mission: Impossible"
+            ]
+        );
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        let answers = RankedAnswers::from_pairs(vec![
+            ("Jaws 2".into(), 0.97),
+            ("Jaws".into(), 0.97),
+        ]);
+        assert_eq!(answers.items[0].value, "Jaws");
+        assert_eq!(answers.items[1].value, "Jaws 2");
+    }
+
+    #[test]
+    fn lookups_and_thresholds() {
+        let answers = RankedAnswers::from_pairs(vec![
+            ("A".into(), 0.9),
+            ("B".into(), 0.2),
+        ]);
+        assert_eq!(answers.probability_of("A"), 0.9);
+        assert_eq!(answers.probability_of("missing"), 0.0);
+        assert_eq!(answers.at_least(0.5).count(), 1);
+        assert_eq!(answers.len(), 2);
+        assert!(!answers.is_empty());
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let answers = RankedAnswers::from_pairs(vec![("Jaws".into(), 0.97)]);
+        assert_eq!(answers.to_string(), " 97.0% Jaws\n");
+    }
+}

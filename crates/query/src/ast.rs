@@ -1,0 +1,259 @@
+//! Query abstract syntax.
+
+use std::fmt;
+
+/// A complete query: an absolute path from the document root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The steps, applied from the (virtual) document node.
+    pub steps: Vec<Step>,
+}
+
+/// A relative path (used inside predicates), applied from a context node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelPath {
+    /// The steps; an empty list denotes the context node itself (`.`).
+    pub steps: Vec<Step>,
+}
+
+impl RelPath {
+    /// The path `.` — the context node itself.
+    pub fn self_path() -> Self {
+        RelPath { steps: Vec::new() }
+    }
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// `/` (child) or `//` (descendant).
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Zero or more predicates, all of which must hold.
+    pub predicates: Vec<Expr>,
+}
+
+/// Step axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/x` — element children.
+    Child,
+    /// `//x` — element descendants (descendant-or-self then child, as in
+    /// XPath's abbreviated syntax).
+    Descendant,
+}
+
+/// Node test of a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A tag name.
+    Tag(String),
+    /// `*` — any element.
+    Any,
+}
+
+/// Ordering/inequality operator of a general comparison predicate
+/// (`=` is the separate [`Expr::Eq`] variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Does `value OP literal` hold? Numeric comparison when both sides
+    /// parse as numbers (XPath-style), byte-wise string ordering
+    /// otherwise.
+    pub fn holds(&self, value: &str, literal: &str) -> bool {
+        let ord = match (value.trim().parse::<f64>(), literal.trim().parse::<f64>()) {
+            (Ok(a), Ok(b)) => a.partial_cmp(&b),
+            _ => Some(value.cmp(literal)),
+        };
+        let Some(ord) = ord else {
+            return false; // NaN compares false under every operator
+        };
+        match self {
+            CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+            CmpOp::Lt => ord == std::cmp::Ordering::Less,
+            CmpOp::Le => ord != std::cmp::Ordering::Greater,
+            CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+            CmpOp::Ge => ord != std::cmp::Ordering::Less,
+        }
+    }
+
+    /// The operator's surface syntax.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A predicate expression (boolean, with XPath's existential semantics for
+/// paths and comparisons).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A relative path: true iff it selects at least one node.
+    Exists(RelPath),
+    /// `path = "literal"`: true iff some selected node's string value
+    /// equals the literal.
+    Eq(RelPath, String),
+    /// `path OP literal` for the ordering/inequality operators: true iff
+    /// some selected node's value satisfies the comparison (existential,
+    /// like XPath: `year != "1995"` holds when *some* year differs).
+    Cmp(RelPath, CmpOp, String),
+    /// `contains(path, "literal")`: true iff some selected node's string
+    /// value contains the literal as a substring.
+    Contains(RelPath, String),
+    /// `starts-with(path, "literal")`: true iff some selected node's
+    /// string value starts with the literal.
+    StartsWith(RelPath, String),
+    /// `some $x in path satisfies cond`: true iff some selected node
+    /// satisfies `cond` evaluated with that node as context.
+    Some {
+        /// The range path.
+        path: RelPath,
+        /// The condition, in which [`RelPath::self_path`] refers to the
+        /// bound variable.
+        cond: Box<Expr>,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation (`not(…)`).
+    Not(Box<Expr>),
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Child => write!(f, "/"),
+            Axis::Descendant => write!(f, "//"),
+        }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Tag(t) => write!(f, "{t}"),
+            NodeTest::Any => write!(f, "*"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Exists(p) => write!(f, "{p}"),
+            Expr::Eq(p, lit) => write!(f, "{p}={lit:?}"),
+            Expr::Cmp(p, op, lit) => write!(f, "{p}{}{lit:?}", op.symbol()),
+            Expr::Contains(p, lit) => write!(f, "contains({p},{lit:?})"),
+            Expr::StartsWith(p, lit) => write!(f, "starts-with({p},{lit:?})"),
+            Expr::Some { path, cond } => write!(f, "some $x in {path} satisfies {cond}"),
+            Expr::And(a, b) => write!(f, "{a} and {b}"),
+            Expr::Or(a, b) => write!(f, "{a} or {b}"),
+            Expr::Not(e) => write!(f, "not({e})"),
+        }
+    }
+}
+
+impl fmt::Display for RelPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return write!(f, ".");
+        }
+        write!(f, ".")?;
+        for s in &self.steps {
+            write!(f, "{}{}", s.axis, s.test)?;
+            for p in &s.predicates {
+                write!(f, "[{p}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            write!(f, "{}{}", s.axis, s.test)?;
+            for p in &s.predicates {
+                write!(f, "[{p}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_simple_shapes() {
+        let q = Query {
+            steps: vec![
+                Step {
+                    axis: Axis::Descendant,
+                    test: NodeTest::Tag("movie".into()),
+                    predicates: vec![Expr::Eq(
+                        RelPath {
+                            steps: vec![Step {
+                                axis: Axis::Descendant,
+                                test: NodeTest::Tag("genre".into()),
+                                predicates: vec![],
+                            }],
+                        },
+                        "Horror".into(),
+                    )],
+                },
+                Step {
+                    axis: Axis::Child,
+                    test: NodeTest::Tag("title".into()),
+                    predicates: vec![],
+                },
+            ],
+        };
+        assert_eq!(q.to_string(), "//movie[.//genre=\"Horror\"]/title");
+    }
+
+    #[test]
+    fn self_path_displays_as_dot() {
+        assert_eq!(RelPath::self_path().to_string(), ".");
+    }
+
+    #[test]
+    fn cmp_op_numeric_and_string_semantics() {
+        assert!(CmpOp::Ge.holds("1995", "1995"));
+        assert!(CmpOp::Lt.holds("978", "1995")); // numeric, not byte-wise
+        assert!(!CmpOp::Lt.holds("1995", "1995"));
+        assert!(CmpOp::Ne.holds("a", "b"));
+        assert!(CmpOp::Le.holds("abc", "abd")); // string ordering fallback
+        assert!(CmpOp::Gt.holds("b", "a"));
+        // NaN literals never satisfy an ordering.
+        assert!(!CmpOp::Lt.holds("NaN", "NaN"));
+        assert!(CmpOp::Ge.holds(" 7 ", "7")); // values are trimmed
+    }
+
+    #[test]
+    fn cmp_symbols_round_trip() {
+        for op in [CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert!(!op.symbol().is_empty());
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! The event algebra over choice points, and exact probability
+//! computation.
+//!
+//! Every probability node of a [`PxDoc`] is an independent random variable
+//! that selects one of its possibilities. Any query-related event (a node
+//! exists, a predicate holds, a value appears in the answer) is a boolean
+//! combination of *atoms* "probability node v selected possibility i".
+//! Probabilities of such events are computed exactly by Shannon expansion:
+//! pick a variable occurring in the event, split on its possibilities,
+//! recurse on the simplified cofactors. Expansion in ascending node-id
+//! order follows document order, which keeps cofactors small because an
+//! outer choice's atoms dominate the events of everything beneath it.
+
+use imprecise_pxml::{PxDoc, PxNodeId};
+
+/// An atom: "probability node `prob_node` selects possibility `poss_index`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChoiceAtom {
+    /// The probability node (the variable).
+    pub prob_node: PxNodeId,
+    /// Index of the selected possibility within it.
+    pub poss_index: u32,
+}
+
+/// A boolean event over choice atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// A single atom.
+    Atom(ChoiceAtom),
+    /// All of the inner events (flattened, never empty).
+    And(Vec<Event>),
+    /// Any of the inner events (flattened, never empty).
+    Or(Vec<Event>),
+    /// Negation.
+    Not(Box<Event>),
+}
+
+impl Event {
+    /// Smart conjunction with eager simplification.
+    pub fn and(a: Event, b: Event) -> Event {
+        match (a, b) {
+            (Event::False, _) | (_, Event::False) => Event::False,
+            (Event::True, x) | (x, Event::True) => x,
+            (a, b) => {
+                let mut parts = Vec::new();
+                flatten_and(a, &mut parts);
+                flatten_and(b, &mut parts);
+                // Contradictory or duplicate atoms on the same variable.
+                let mut seen: Vec<ChoiceAtom> = Vec::new();
+                let mut out: Vec<Event> = Vec::new();
+                for e in parts {
+                    if let Event::Atom(atom) = &e {
+                        if let Some(prev) = seen.iter().find(|x| x.prob_node == atom.prob_node) {
+                            if prev.poss_index == atom.poss_index {
+                                continue; // duplicate
+                            }
+                            return Event::False; // contradiction
+                        }
+                        seen.push(*atom);
+                    }
+                    out.push(e);
+                }
+                match out.len() {
+                    0 => Event::True,
+                    1 => out.pop().expect("len checked"),
+                    _ => Event::And(out),
+                }
+            }
+        }
+    }
+
+    /// Smart disjunction with eager simplification.
+    pub fn or(a: Event, b: Event) -> Event {
+        match (a, b) {
+            (Event::True, _) | (_, Event::True) => Event::True,
+            (Event::False, x) | (x, Event::False) => x,
+            (a, b) => {
+                let mut parts = Vec::new();
+                flatten_or(a, &mut parts);
+                flatten_or(b, &mut parts);
+                // Cheap duplicate elimination for identical events.
+                let mut out: Vec<Event> = Vec::new();
+                for e in parts {
+                    if !out.contains(&e) {
+                        out.push(e);
+                    }
+                }
+                match out.len() {
+                    0 => Event::False,
+                    1 => out.pop().expect("len checked"),
+                    _ => Event::Or(out),
+                }
+            }
+        }
+    }
+
+    /// Negation with eager simplification (an associated constructor in
+    /// the spirit of `Event::and`/`Event::or`, not the `!` operator).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Event) -> Event {
+        match e {
+            Event::True => Event::False,
+            Event::False => Event::True,
+            Event::Not(inner) => *inner,
+            other => Event::Not(Box::new(other)),
+        }
+    }
+
+    /// Disjunction of many events.
+    pub fn any(events: impl IntoIterator<Item = Event>) -> Event {
+        events.into_iter().fold(Event::False, Event::or)
+    }
+
+    /// Conjunction of many events.
+    pub fn all(events: impl IntoIterator<Item = Event>) -> Event {
+        events.into_iter().fold(Event::True, Event::and)
+    }
+
+    /// The smallest variable (probability node) occurring in the event.
+    fn first_variable(&self) -> Option<PxNodeId> {
+        match self {
+            Event::True | Event::False => None,
+            Event::Atom(a) => Some(a.prob_node),
+            Event::And(parts) | Event::Or(parts) => {
+                parts.iter().filter_map(Event::first_variable).min()
+            }
+            Event::Not(inner) => inner.first_variable(),
+        }
+    }
+
+    /// Substitute "variable `v` selects possibility `idx`" and simplify.
+    fn assign(&self, v: PxNodeId, idx: u32) -> Event {
+        match self {
+            Event::True => Event::True,
+            Event::False => Event::False,
+            Event::Atom(a) => {
+                if a.prob_node == v {
+                    if a.poss_index == idx {
+                        Event::True
+                    } else {
+                        Event::False
+                    }
+                } else {
+                    Event::Atom(*a)
+                }
+            }
+            Event::And(parts) => parts
+                .iter()
+                .fold(Event::True, |acc, p| Event::and(acc, p.assign(v, idx))),
+            Event::Or(parts) => parts
+                .iter()
+                .fold(Event::False, |acc, p| Event::or(acc, p.assign(v, idx))),
+            Event::Not(inner) => Event::not(inner.assign(v, idx)),
+        }
+    }
+}
+
+/// A partial assignment of choice points: each listed probability node is
+/// fixed to the possibility at the paired index. Unlisted variables stay
+/// free (their distributions are untouched).
+pub type PartialAssignment = Vec<(PxNodeId, u32)>;
+
+/// All satisfying partial assignments of `event`, each with its prior
+/// weight (the product of the assigned possibilities' probabilities).
+///
+/// The assignments are produced by Shannon expansion in ascending variable
+/// order, so they are mutually exclusive and cover the event exactly:
+/// the weights sum to [`probability`]`(doc, event)`. An assignment stops
+/// extending as soon as the cofactor is decided, so variables the event no
+/// longer depends on are left free (their weight is marginalised out).
+///
+/// Returns `None` when more than `cap` satisfying assignments would be
+/// produced — the caller should fall back to coarser machinery.
+pub fn satisfying_assignments(
+    doc: &PxDoc,
+    event: &Event,
+    cap: usize,
+) -> Option<Vec<(PartialAssignment, f64)>> {
+    let mut sat: Vec<(PartialAssignment, f64)> = Vec::new();
+    let mut pending: Vec<(Event, PartialAssignment, f64)> =
+        vec![(event.clone(), Vec::new(), 1.0)];
+    while let Some((e, assignment, weight)) = pending.pop() {
+        match e {
+            Event::False => {}
+            Event::True => {
+                if sat.len() >= cap {
+                    return None;
+                }
+                sat.push((assignment, weight));
+            }
+            other => {
+                let v = other
+                    .first_variable()
+                    .expect("non-constant event has a variable");
+                for (idx, &poss) in doc.children(v).iter().enumerate() {
+                    let p = doc.poss_prob(poss).expect("prob child is poss");
+                    if p == 0.0 {
+                        continue;
+                    }
+                    let cofactor = other.assign(v, idx as u32);
+                    if cofactor == Event::False {
+                        continue;
+                    }
+                    let mut extended = assignment.clone();
+                    extended.push((v, idx as u32));
+                    pending.push((cofactor, extended, weight * p));
+                }
+            }
+        }
+    }
+    Some(sat)
+}
+
+fn flatten_and(e: Event, out: &mut Vec<Event>) {
+    match e {
+        Event::And(parts) => {
+            for p in parts {
+                flatten_and(p, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+fn flatten_or(e: Event, out: &mut Vec<Event>) {
+    match e {
+        Event::Or(parts) => {
+            for p in parts {
+                flatten_or(p, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+/// Exact probability of an event under the document's choice weights,
+/// by Shannon expansion in ascending variable order.
+pub fn probability(doc: &PxDoc, event: &Event) -> f64 {
+    match event {
+        Event::True => 1.0,
+        Event::False => 0.0,
+        _ => {
+            let v = event
+                .first_variable()
+                .expect("non-constant event has a variable");
+            let mut total = 0.0;
+            for (idx, &poss) in doc.children(v).iter().enumerate() {
+                let w = doc.poss_prob(poss).expect("prob child is poss");
+                if w == 0.0 {
+                    continue;
+                }
+                let cofactor = event.assign(v, idx as u32);
+                total += w * probability(doc, &cofactor);
+            }
+            total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A document with two independent binary choices (30/70 and 40/60).
+    fn doc2() -> (PxDoc, PxNodeId, PxNodeId) {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        let c1 = px.add_prob(e);
+        let a = px.add_poss(c1, 0.3);
+        px.add_text_elem(a, "x", "1");
+        let b = px.add_poss(c1, 0.7);
+        px.add_text_elem(b, "x", "2");
+        let c2 = px.add_prob(e);
+        let c = px.add_poss(c2, 0.4);
+        px.add_text_elem(c, "y", "1");
+        let d = px.add_poss(c2, 0.6);
+        px.add_text_elem(d, "y", "2");
+        (px, c1, c2)
+    }
+
+    fn atom(v: PxNodeId, i: u32) -> Event {
+        Event::Atom(ChoiceAtom {
+            prob_node: v,
+            poss_index: i,
+        })
+    }
+
+    #[test]
+    fn constants() {
+        let (px, _, _) = doc2();
+        assert_eq!(probability(&px, &Event::True), 1.0);
+        assert_eq!(probability(&px, &Event::False), 0.0);
+    }
+
+    #[test]
+    fn single_atom_probability() {
+        let (px, c1, _) = doc2();
+        assert!((probability(&px, &atom(c1, 0)) - 0.3).abs() < 1e-12);
+        assert!((probability(&px, &atom(c1, 1)) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_conjunction_multiplies() {
+        let (px, c1, c2) = doc2();
+        let e = Event::and(atom(c1, 0), atom(c2, 1));
+        assert!((probability(&px, &e) - 0.3 * 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjunction_inclusion_exclusion() {
+        let (px, c1, c2) = doc2();
+        let e = Event::or(atom(c1, 0), atom(c2, 0));
+        let expected = 0.3 + 0.4 - 0.3 * 0.4;
+        assert!((probability(&px, &e) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contradictory_atoms_conjoin_to_false() {
+        let (_, c1, _) = doc2();
+        assert_eq!(Event::and(atom(c1, 0), atom(c1, 1)), Event::False);
+        assert_eq!(Event::and(atom(c1, 0), atom(c1, 0)), atom(c1, 0));
+    }
+
+    #[test]
+    fn exclusive_atoms_add() {
+        let (px, c1, _) = doc2();
+        let e = Event::or(atom(c1, 0), atom(c1, 1));
+        assert!((probability(&px, &e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negation_complements() {
+        let (px, c1, _) = doc2();
+        let e = Event::not(atom(c1, 0));
+        assert!((probability(&px, &e) - 0.7).abs() < 1e-12);
+        assert_eq!(Event::not(Event::not(atom(c1, 0))), atom(c1, 0));
+    }
+
+    #[test]
+    fn shared_variable_correlation_is_exact() {
+        let (px, c1, c2) = doc2();
+        // (c1=0 ∧ c2=0) ∨ (c1=0 ∧ c2=1) = c1=0 → 0.3, not 0.12+0.18 minus
+        // anything approximate.
+        let e = Event::or(
+            Event::and(atom(c1, 0), atom(c2, 0)),
+            Event::and(atom(c1, 0), atom(c2, 1)),
+        );
+        assert!((probability(&px, &e) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn de_morgan_consistency() {
+        let (px, c1, c2) = doc2();
+        let a = atom(c1, 0);
+        let b = atom(c2, 0);
+        let lhs = Event::not(Event::and(a.clone(), b.clone()));
+        let rhs = Event::or(Event::not(a), Event::not(b));
+        assert!((probability(&px, &lhs) - probability(&px, &rhs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn any_and_all_helpers() {
+        let (px, c1, c2) = doc2();
+        let e = Event::all([atom(c1, 1), atom(c2, 1), Event::True]);
+        assert!((probability(&px, &e) - 0.42).abs() < 1e-12);
+        let e = Event::any([Event::False, atom(c1, 0)]);
+        assert!((probability(&px, &e) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn satisfying_assignments_cover_the_event_exactly() {
+        let (px, c1, c2) = doc2();
+        for event in [
+            atom(c1, 0),
+            Event::or(atom(c1, 0), atom(c2, 0)),
+            Event::and(atom(c1, 1), atom(c2, 0)),
+            Event::not(Event::and(atom(c1, 0), atom(c2, 0))),
+            Event::or(
+                Event::and(atom(c1, 0), atom(c2, 0)),
+                Event::and(atom(c1, 0), atom(c2, 1)),
+            ),
+        ] {
+            let sat = satisfying_assignments(&px, &event, 1000).expect("under cap");
+            let total: f64 = sat.iter().map(|(_, w)| w).sum();
+            assert!(
+                (total - probability(&px, &event)).abs() < 1e-12,
+                "{event:?}: weights {total} vs probability"
+            );
+            // Assignments are mutually exclusive: they differ on their
+            // first shared variable or one extends the other — never both
+            // satisfied in one world. Verified pairwise on the variables.
+            for (i, (a, _)) in sat.iter().enumerate() {
+                for (b, _) in &sat[i + 1..] {
+                    let conflict = a
+                        .iter()
+                        .any(|(v, x)| b.iter().any(|(w, y)| v == w && x != y));
+                    assert!(conflict, "{a:?} and {b:?} overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn satisfying_assignments_constants_and_cap() {
+        let (px, c1, _) = doc2();
+        assert_eq!(
+            satisfying_assignments(&px, &Event::False, 10),
+            Some(vec![])
+        );
+        let all = satisfying_assignments(&px, &Event::True, 10).unwrap();
+        assert_eq!(all, vec![(vec![], 1.0)]);
+        // Cap of 1 cannot hold the two satisfying assignments of a
+        // disjunction across two variables.
+        let e = Event::or(atom(c1, 0), atom(c1, 1));
+        assert!(satisfying_assignments(&px, &e, 1).is_none());
+    }
+
+    #[test]
+    fn satisfying_assignments_leave_decided_variables_free() {
+        let (px, c1, _) = doc2();
+        // c1=0 decides the event: c2 never appears in any assignment.
+        let sat = satisfying_assignments(&px, &atom(c1, 0), 10).unwrap();
+        assert_eq!(sat.len(), 1);
+        assert_eq!(sat[0].0, vec![(c1, 0)]);
+        assert!((sat[0].1 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_way_choice() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let e = px.add_elem(w, "doc");
+        let c = px.add_prob(e);
+        for (i, weight) in [0.2, 0.3, 0.5].iter().enumerate() {
+            let poss = px.add_poss(c, *weight);
+            px.add_text_elem(poss, "v", format!("{i}"));
+        }
+        let ev = Event::or(atom(c, 0), atom(c, 2));
+        assert!((probability(&px, &ev) - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! # imprecise-query — querying probabilistic XML
+//!
+//! §VI of the IMPrECISE paper: *"In theory, the semantics of a query is the
+//! set of possible answers obtained by evaluating the query in each of the
+//! possible worlds separately. … Because XQuery answers are always
+//! sequences, we can construct an amalgamated answer by merging and ranking
+//! the elements of all possible answers."*
+//!
+//! This crate provides:
+//!
+//! * a parser ([`parse_query`]) for the XPath fragment the paper's demo
+//!   queries use — `/` and `//` steps, `*` and tag tests, predicates with
+//!   `=`, `contains(…)`, `and` / `or` / `not(…)`, and XQuery's
+//!   `some $x in path satisfies cond` (which the second demo query needs);
+//! * evaluation over ordinary certain documents ([`eval_xml`]);
+//! * **exact** probabilistic evaluation over [`imprecise_pxml::PxDoc`]
+//!   ([`eval_px`]): every answer value's probability is the exact
+//!   probability of the event "some occurrence of this value is in the
+//!   query result", computed symbolically over the document's choice
+//!   points — no world enumeration;
+//! * a naive all-worlds evaluator ([`eval_px_naive`]) used as a semantic
+//!   oracle in tests (`eval_px` ≡ `eval_px_naive` on every document).
+//!
+//! ## The paper's example
+//!
+//! ```
+//! use imprecise_query::{parse_query, eval_px};
+//! use imprecise_pxml::PxDoc;
+//!
+//! // An integrated movie database where "Jaws" certainly exists and
+//! // "Jaws 2" exists in half the worlds.
+//! let mut px = PxDoc::new();
+//! let w = px.add_poss(px.root(), 1.0);
+//! let cat = px.add_elem(w, "catalog");
+//! let m1 = px.add_elem(cat, "movie");
+//! px.add_text_elem(m1, "title", "Jaws");
+//! px.add_text_elem(m1, "genre", "Horror");
+//! let choice = px.add_prob(cat);
+//! let yes = px.add_poss(choice, 0.5);
+//! let m2 = px.add_elem(yes, "movie");
+//! px.add_text_elem(m2, "title", "Jaws 2");
+//! px.add_text_elem(m2, "genre", "Horror");
+//! px.add_poss(choice, 0.5); // world without Jaws 2
+//!
+//! let q = parse_query("//movie[genre=\"Horror\"]/title").unwrap();
+//! let answers = eval_px(&px, &q).unwrap();
+//! assert_eq!(answers.items[0].value, "Jaws");
+//! assert!((answers.items[0].probability - 1.0).abs() < 1e-12);
+//! assert_eq!(answers.items[1].value, "Jaws 2");
+//! assert!((answers.items[1].probability - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod answer;
+pub mod ast;
+pub mod event;
+pub mod naive;
+pub mod parse;
+pub mod px_eval;
+pub mod xml_eval;
+
+pub use answer::{RankedAnswer, RankedAnswers};
+pub use ast::{Axis, Expr, NodeTest, Query, RelPath, Step};
+pub use event::{satisfying_assignments, ChoiceAtom, Event, PartialAssignment};
+pub use naive::eval_px_naive;
+pub use parse::{parse_query, QueryParseError};
+pub use px_eval::{answer_event, answer_events, eval_px, EvalError};
+pub use xml_eval::eval_xml;

@@ -1,0 +1,129 @@
+//! The naive possible-worlds evaluator: the literal reading of §VI.
+//!
+//! "In theory, the semantics of a query is the set of possible answers
+//! obtained by evaluating the query in each of the possible worlds
+//! separately." This module does exactly that — enumerate worlds, run the
+//! ordinary evaluator in each, sum world probabilities per answer value.
+//! It is exponential and only exists as the semantic reference that the
+//! exact symbolic evaluator ([`crate::eval_px`]) is tested against, and as
+//! the baseline that the `queries` bench compares against.
+
+use crate::answer::RankedAnswers;
+use crate::ast::Query;
+use crate::xml_eval::eval_xml_values;
+use imprecise_pxml::{PxDoc, TooManyWorlds};
+use std::collections::HashMap;
+
+/// Evaluate by full world enumeration (up to `world_cap` worlds).
+pub fn eval_px_naive(
+    doc: &PxDoc,
+    query: &Query,
+    world_cap: usize,
+) -> Result<RankedAnswers, TooManyWorlds> {
+    let worlds = doc.worlds(world_cap)?;
+    let mut order: Vec<String> = Vec::new();
+    let mut acc: HashMap<String, f64> = HashMap::new();
+    for world in &worlds {
+        for value in eval_xml_values(&world.doc, query) {
+            match acc.get_mut(&value) {
+                Some(p) => *p += world.prob,
+                None => {
+                    order.push(value.clone());
+                    acc.insert(value, world.prob);
+                }
+            }
+        }
+    }
+    let pairs = order
+        .into_iter()
+        .map(|v| {
+            let p = acc[&v];
+            (v, p)
+        })
+        .collect();
+    Ok(RankedAnswers::from_pairs(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval_px;
+    use crate::parse::parse_query;
+    use imprecise_pxml::PxDoc;
+
+    /// Build a catalog with one certain movie and one 30% movie, plus an
+    /// uncertain genre on the certain movie.
+    fn mixed_doc() -> PxDoc {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let cat = px.add_elem(w, "catalog");
+        let m1 = px.add_elem(cat, "movie");
+        px.add_text_elem(m1, "title", "Jaws");
+        let g = px.add_elem(m1, "genre");
+        let gc = px.add_prob(g);
+        let g1 = px.add_poss(gc, 0.9);
+        px.add_text(g1, "Horror");
+        let g2 = px.add_poss(gc, 0.1);
+        px.add_text(g2, "Thriller");
+        let mc = px.add_prob(cat);
+        let with = px.add_poss(mc, 0.3);
+        let m2 = px.add_elem(with, "movie");
+        px.add_text_elem(m2, "title", "Jaws 2");
+        px.add_text_elem(m2, "genre", "Horror");
+        px.add_poss(mc, 0.7);
+        px
+    }
+
+    #[test]
+    fn naive_agrees_with_exact_on_mixed_doc() {
+        let px = mixed_doc();
+        for q in [
+            "//movie/title",
+            "//movie[genre=\"Horror\"]/title",
+            "//movie[not(genre=\"Horror\")]/title",
+            "//movie[contains(title,\"2\")]/title",
+            "//title",
+        ] {
+            let query = parse_query(q).unwrap();
+            let naive = eval_px_naive(&px, &query, 10_000).unwrap();
+            let exact = eval_px(&px, &query).unwrap();
+            assert_eq!(naive.len(), exact.len(), "query {q}");
+            for item in &naive.items {
+                let p = exact.probability_of(&item.value);
+                assert!(
+                    (p - item.probability).abs() < 1e-9,
+                    "query {q}, value {}: naive {} vs exact {p}",
+                    item.value,
+                    item.probability
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn world_cap_respected() {
+        let px = mixed_doc();
+        let q = parse_query("//movie/title").unwrap();
+        assert!(eval_px_naive(&px, &q, 1).is_err());
+    }
+
+    #[test]
+    fn per_world_duplicates_count_once() {
+        // Two movies with the same title in the same world: value counted
+        // once, P = 1, not 2.
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let cat = px.add_elem(w, "catalog");
+        for _ in 0..2 {
+            let m = px.add_elem(cat, "movie");
+            px.add_text_elem(m, "title", "Jaws");
+        }
+        let q = parse_query("//movie/title").unwrap();
+        let naive = eval_px_naive(&px, &q, 100).unwrap();
+        assert_eq!(naive.len(), 1);
+        assert!((naive.items[0].probability - 1.0).abs() < 1e-12);
+        // Exact evaluator agrees.
+        let exact = eval_px(&px, &q).unwrap();
+        assert!((exact.probability_of("Jaws") - 1.0).abs() < 1e-12);
+    }
+}

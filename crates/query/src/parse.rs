@@ -1,0 +1,558 @@
+//! Parser for the XPath fragment used by the paper's demo queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query      := ( '/' | '//' ) step ( ( '/' | '//' ) step )*
+//! step       := ( name | '*' ) predicate*
+//! predicate  := '[' expr ']'
+//! expr       := and_expr ( 'or' and_expr )*
+//! and_expr   := unary ( 'and' unary )*
+//! unary      := 'not' '(' expr ')' | comparison
+//! comparison := operand ( '=' literal )?
+//! operand    := relpath
+//!             | 'contains' '(' relpath ',' literal ')'
+//!             | 'some' '$' name 'in' relpath 'satisfies' expr
+//! relpath    := '$' name | '.' ( ('/'|'//') step )* | ('/'|'//')? step ( ... )*
+//! literal    := '"' chars '"' | "'" chars "'"
+//! ```
+//!
+//! Inside a `satisfies` condition, `$x` denotes the bound node and parses
+//! to the self path.
+
+use crate::ast::{Axis, CmpOp, Expr, NodeTest, Query, RelPath, Step};
+use std::fmt;
+
+/// A query parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset of the problem.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parse an absolute query like `//movie[.//genre="Horror"]/title`.
+pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
+    let mut p = Parser {
+        src: input,
+        bytes: input.as_bytes(),
+        pos: 0,
+        bound_var: None,
+    };
+    p.skip_ws();
+    let steps = p.parse_absolute_path()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content"));
+    }
+    if steps.is_empty() {
+        return Err(QueryParseError {
+            offset: 0,
+            message: "empty query".into(),
+        });
+    }
+    Ok(Query { steps })
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    /// Name of the variable bound by an enclosing `some` (for `$x` uses).
+    bound_var: Option<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> QueryParseError {
+        QueryParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.src[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Try to eat a keyword (must not be followed by a name character).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.src[self.pos..].starts_with(kw) {
+            let after = self.pos + kw.len();
+            let boundary = !self.bytes.get(after).copied().is_some_and(is_name_byte);
+            if boundary {
+                self.pos = after;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_absolute_path(&mut self) -> Result<Vec<Step>, QueryParseError> {
+        let mut steps = Vec::new();
+        loop {
+            self.skip_ws();
+            let axis = if self.eat("//") {
+                Axis::Descendant
+            } else if self.eat("/") {
+                Axis::Child
+            } else if steps.is_empty() {
+                return Err(self.err("query must start with '/' or '//'"));
+            } else {
+                break;
+            };
+            steps.push(self.parse_step(axis)?);
+        }
+        Ok(steps)
+    }
+
+    fn parse_step(&mut self, axis: Axis) -> Result<Step, QueryParseError> {
+        self.skip_ws();
+        let test = if self.eat("*") {
+            NodeTest::Any
+        } else {
+            NodeTest::Tag(self.parse_name()?)
+        };
+        let mut predicates = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat("[") {
+                let expr = self.parse_expr()?;
+                self.skip_ws();
+                if !self.eat("]") {
+                    return Err(self.err("expected ']'"));
+                }
+                predicates.push(expr);
+            } else {
+                break;
+            }
+        }
+        Ok(Step {
+            axis,
+            test,
+            predicates,
+        })
+    }
+
+    fn parse_name(&mut self) -> Result<String, QueryParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(is_name_byte) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, QueryParseError> {
+        let mut left = self.parse_and_expr()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("or") {
+                let right = self.parse_and_expr()?;
+                left = Expr::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_and_expr(&mut self) -> Result<Expr, QueryParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("and") {
+                let right = self.parse_unary()?;
+                left = Expr::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, QueryParseError> {
+        self.skip_ws();
+        if self.eat_keyword("not") {
+            self.skip_ws();
+            if !self.eat("(") {
+                return Err(self.err("expected '(' after not"));
+            }
+            let inner = self.parse_expr()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, QueryParseError> {
+        self.skip_ws();
+        if self.eat_keyword("contains") {
+            let (path, lit) = self.parse_string_fn_args("contains")?;
+            return Ok(Expr::Contains(path, lit));
+        }
+        if self.eat_keyword("starts-with") {
+            let (path, lit) = self.parse_string_fn_args("starts-with")?;
+            return Ok(Expr::StartsWith(path, lit));
+        }
+        if self.eat_keyword("some") {
+            self.skip_ws();
+            if !self.eat("$") {
+                return Err(self.err("expected '$variable' after some"));
+            }
+            let var = self.parse_name()?;
+            self.skip_ws();
+            if !self.eat_keyword("in") {
+                return Err(self.err("expected 'in'"));
+            }
+            let path = self.parse_relpath()?;
+            self.skip_ws();
+            if !self.eat_keyword("satisfies") {
+                return Err(self.err("expected 'satisfies'"));
+            }
+            let saved = self.bound_var.replace(var);
+            let cond = self.parse_expr()?;
+            self.bound_var = saved;
+            return Ok(Expr::Some {
+                path,
+                cond: Box::new(cond),
+            });
+        }
+        let path = self.parse_relpath()?;
+        self.skip_ws();
+        // Two-character operators before their one-character prefixes.
+        for (sym, op) in [
+            ("!=", Some(CmpOp::Ne)),
+            ("<=", Some(CmpOp::Le)),
+            (">=", Some(CmpOp::Ge)),
+            ("=", None),
+            ("<", Some(CmpOp::Lt)),
+            (">", Some(CmpOp::Gt)),
+        ] {
+            if self.eat(sym) {
+                self.skip_ws();
+                let lit = self.parse_literal_or_number()?;
+                return Ok(match op {
+                    None => Expr::Eq(path, lit),
+                    Some(op) => Expr::Cmp(path, op, lit),
+                });
+            }
+        }
+        Ok(Expr::Exists(path))
+    }
+
+    /// `name(relpath, "literal")` argument lists of the string functions.
+    fn parse_string_fn_args(
+        &mut self,
+        name: &str,
+    ) -> Result<(RelPath, String), QueryParseError> {
+        self.skip_ws();
+        if !self.eat("(") {
+            return Err(self.err(format!("expected '(' after {name}")));
+        }
+        let path = self.parse_relpath()?;
+        self.skip_ws();
+        if !self.eat(",") {
+            return Err(self.err(format!("expected ',' in {name}")));
+        }
+        self.skip_ws();
+        let lit = self.parse_literal()?;
+        self.skip_ws();
+        if !self.eat(")") {
+            return Err(self.err("expected ')'"));
+        }
+        Ok((path, lit))
+    }
+
+    /// A quoted string, or a bare (possibly signed, possibly fractional)
+    /// number — `[year >= 1995]` reads naturally without quotes.
+    fn parse_literal_or_number(&mut self) -> Result<String, QueryParseError> {
+        if matches!(self.peek(), Some(b'"' | b'\'')) {
+            return self.parse_literal();
+        }
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut seen_digit = false;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                seen_digit = true;
+                self.pos += 1;
+            } else if b == b'.' && seen_digit {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if !seen_digit {
+            self.pos = start;
+            return Err(self.err("expected a string or numeric literal"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn parse_relpath(&mut self) -> Result<RelPath, QueryParseError> {
+        self.skip_ws();
+        if self.eat("$") {
+            let var = self.parse_name()?;
+            match &self.bound_var {
+                Some(bound) if *bound == var => return Ok(RelPath::self_path()),
+                _ => {
+                    return Err(self.err(format!("unbound variable ${var}")));
+                }
+            }
+        }
+        let mut steps = Vec::new();
+        // Optional leading '.' (context node).
+        let had_dot = self.eat(".");
+        loop {
+            self.skip_ws();
+            let axis = if self.eat("//") {
+                Axis::Descendant
+            } else if self.eat("/") {
+                Axis::Child
+            } else if steps.is_empty() && !had_dot {
+                // Bare name: a single child step.
+                let test = if self.eat("*") {
+                    NodeTest::Any
+                } else {
+                    NodeTest::Tag(self.parse_name()?)
+                };
+                steps.push(Step {
+                    axis: Axis::Child,
+                    test,
+                    predicates: Vec::new(),
+                });
+                continue;
+            } else {
+                break;
+            };
+            let step = self.parse_step(axis)?;
+            steps.push(step);
+        }
+        if steps.is_empty() && !had_dot {
+            return Err(self.err("expected a path"));
+        }
+        Ok(RelPath { steps })
+    }
+
+    fn parse_literal(&mut self) -> Result<String, QueryParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a string literal")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let s = self.src[start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string literal"))
+    }
+}
+
+/// Bytes allowed in names. `.` is deliberately excluded so that `x.//y`
+/// style inputs fail loudly instead of parsing a dotted name.
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b':' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_paths() {
+        let q = parse_query("/catalog/movie/title").unwrap();
+        assert_eq!(q.steps.len(), 3);
+        assert_eq!(q.steps[0].axis, Axis::Child);
+        assert_eq!(q.steps[0].test, NodeTest::Tag("catalog".into()));
+        let q = parse_query("//title").unwrap();
+        assert_eq!(q.steps[0].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn parse_wildcard() {
+        let q = parse_query("//movie/*").unwrap();
+        assert_eq!(q.steps[1].test, NodeTest::Any);
+    }
+
+    #[test]
+    fn parse_paper_query_one() {
+        let q = parse_query("//movie[.//genre=\"Horror\"]/title").unwrap();
+        assert_eq!(q.steps.len(), 2);
+        let pred = &q.steps[0].predicates[0];
+        match pred {
+            Expr::Eq(path, lit) => {
+                assert_eq!(lit, "Horror");
+                assert_eq!(path.steps.len(), 1);
+                assert_eq!(path.steps[0].axis, Axis::Descendant);
+                assert_eq!(path.steps[0].test, NodeTest::Tag("genre".into()));
+            }
+            other => panic!("expected Eq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_paper_query_two() {
+        let q = parse_query(
+            "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
+        )
+        .unwrap();
+        let pred = &q.steps[0].predicates[0];
+        match pred {
+            Expr::Some { path, cond } => {
+                assert_eq!(path.steps[0].test, NodeTest::Tag("director".into()));
+                match cond.as_ref() {
+                    Expr::Contains(p, lit) => {
+                        assert_eq!(lit, "John");
+                        assert!(p.steps.is_empty(), "variable use is the self path");
+                    }
+                    other => panic!("expected Contains, got {other:?}"),
+                }
+            }
+            other => panic!("expected Some, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_boolean_combinations() {
+        let q = parse_query("//movie[genre=\"Horror\" and not(year=\"1975\") or title]").unwrap();
+        match &q.steps[0].predicates[0] {
+            Expr::Or(left, right) => {
+                assert!(matches!(left.as_ref(), Expr::And(_, _)));
+                assert!(matches!(right.as_ref(), Expr::Exists(_)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_bare_name_predicate_is_child_path() {
+        let q = parse_query("//movie[genre=\"Horror\"]").unwrap();
+        match &q.steps[0].predicates[0] {
+            Expr::Eq(path, _) => {
+                assert_eq!(path.steps[0].axis, Axis::Child);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_single_quoted_literal() {
+        let q = parse_query("//movie[genre='Horror']").unwrap();
+        assert!(matches!(&q.steps[0].predicates[0], Expr::Eq(_, lit) if lit == "Horror"));
+    }
+
+    #[test]
+    fn parse_multiple_predicates() {
+        let q = parse_query("//movie[genre=\"Horror\"][year=\"1975\"]/title").unwrap();
+        assert_eq!(q.steps[0].predicates.len(), 2);
+    }
+
+    #[test]
+    fn parse_comparison_operators() {
+        for (src, op) in [
+            ("//movie[year != \"1995\"]", CmpOp::Ne),
+            ("//movie[year < 1995]", CmpOp::Lt),
+            ("//movie[year <= 1995]", CmpOp::Le),
+            ("//movie[year > 1995]", CmpOp::Gt),
+            ("//movie[year >= 1995]", CmpOp::Ge),
+        ] {
+            let q = parse_query(src).unwrap();
+            match &q.steps[0].predicates[0] {
+                Expr::Cmp(_, parsed, lit) => {
+                    assert_eq!(*parsed, op, "{src}");
+                    assert_eq!(lit, "1995");
+                }
+                other => panic!("{src}: expected Cmp, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_numeric_literals() {
+        let q = parse_query("//movie[rating >= 7.5]").unwrap();
+        assert!(matches!(&q.steps[0].predicates[0], Expr::Cmp(_, _, lit) if lit == "7.5"));
+        let q = parse_query("//sensor[delta > -3]").unwrap();
+        assert!(matches!(&q.steps[0].predicates[0], Expr::Cmp(_, _, lit) if lit == "-3"));
+        // '=' still accepts numbers too.
+        let q = parse_query("//movie[year = 1995]").unwrap();
+        assert!(matches!(&q.steps[0].predicates[0], Expr::Eq(_, lit) if lit == "1995"));
+    }
+
+    #[test]
+    fn parse_starts_with() {
+        let q = parse_query("//movie[starts-with(title, \"Die Hard\")]/year").unwrap();
+        match &q.steps[0].predicates[0] {
+            Expr::StartsWith(path, lit) => {
+                assert_eq!(path.steps[0].test, NodeTest::Tag("title".into()));
+                assert_eq!(lit, "Die Hard");
+            }
+            other => panic!("expected StartsWith, got {other:?}"),
+        }
+        // An element genuinely called starts-with-x still parses as a path.
+        let q = parse_query("//movie[starts-with-x]").unwrap();
+        assert!(matches!(&q.steps[0].predicates[0], Expr::Exists(_)));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("movie/title").is_err()); // not absolute
+        assert!(parse_query("//movie[").is_err());
+        assert!(parse_query("//movie[genre=]").is_err());
+        assert!(parse_query("//movie]").is_err());
+        assert!(parse_query("//movie[$x]").is_err()); // unbound variable
+        assert!(parse_query("//movie[contains(title \"x\")]").is_err());
+        assert!(parse_query("//movie[some $d in .//director satisfies contains($e,\"x\")]")
+            .is_err()); // wrong variable
+    }
+
+    #[test]
+    fn keywords_do_not_swallow_names() {
+        // An element called "order" starts with keyword "or".
+        let q = parse_query("//order[notes=\"x\"]").unwrap();
+        assert_eq!(q.steps[0].test, NodeTest::Tag("order".into()));
+        assert!(matches!(&q.steps[0].predicates[0], Expr::Eq(p, _)
+            if p.steps[0].test == NodeTest::Tag("notes".into())));
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let q = parse_query("  //movie[ .//genre = \"Horror\" ] / title ").unwrap();
+        assert_eq!(q.steps.len(), 2);
+        assert_eq!(q.to_string(), "//movie[.//genre=\"Horror\"]/title");
+    }
+}

@@ -1,0 +1,677 @@
+//! Exact probabilistic query evaluation over the compact representation.
+//!
+//! Instead of enumerating worlds, the evaluator walks the probabilistic
+//! tree once, carrying for every intermediate node the [`Event`] under
+//! which that node exists in a world. Predicates evaluate to events too.
+//! The answer probability of a value is the exact probability of the
+//! disjunction of all its occurrence events, computed by Shannon
+//! expansion ([`crate::event::probability`]).
+//!
+//! This is the paper's "amalgamated answer" — merged over worlds, ranked
+//! by likelihood — computed without touching worlds.
+
+use crate::answer::RankedAnswers;
+use crate::ast::{Axis, Expr, NodeTest, Query, RelPath, Step};
+use crate::event::{probability, ChoiceAtom, Event};
+use imprecise_pxml::{PxDoc, PxNodeId, PxNodeKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Cap on the number of distinct string values one element may take
+/// across worlds (guards `value_events` against pathological nesting).
+const MAX_VALUE_VARIANTS: usize = 4096;
+
+/// Probabilistic evaluation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An element's string value takes too many distinct forms.
+    TooManyValueVariants {
+        /// The cap that was exceeded.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TooManyValueVariants { cap } => {
+                write!(f, "an element's value takes more than {cap} distinct forms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The event "`value` occurs in the query answer", or `None` when the
+/// value cannot occur in any world. Used by the feedback layer to
+/// condition a document on user confirmation/rejection of an answer.
+pub fn answer_event(doc: &PxDoc, query: &Query, value: &str) -> Result<Option<Event>, EvalError> {
+    let events = answer_events(doc, query)?;
+    Ok(events
+        .into_iter()
+        .find(|(v, _)| v == value)
+        .map(|(_, e)| e))
+}
+
+/// The events of all possible answer values (unranked).
+pub fn answer_events(doc: &PxDoc, query: &Query) -> Result<Vec<(String, Event)>, EvalError> {
+    let (order, mut events) = collect_answer_events(doc, query)?;
+    Ok(order
+        .into_iter()
+        .map(|v| {
+            let e = events.remove(&v).expect("collected above");
+            (v, e)
+        })
+        .collect())
+}
+
+/// Evaluate a query over a probabilistic document; returns ranked answers.
+pub fn eval_px(doc: &PxDoc, query: &Query) -> Result<RankedAnswers, EvalError> {
+    let (order, events) = collect_answer_events(doc, query)?;
+    let mut pairs = Vec::with_capacity(order.len());
+    for value in order {
+        let ev = &events[&value];
+        let p = probability(doc, ev);
+        if p > 0.0 {
+            pairs.push((value, p));
+        }
+    }
+    Ok(RankedAnswers::from_pairs(pairs))
+}
+
+fn collect_answer_events(
+    doc: &PxDoc,
+    query: &Query,
+) -> Result<(Vec<String>, HashMap<String, Event>), EvalError> {
+    // Contexts: (element, event under which it exists). The virtual
+    // document node has no uncertainty; stepping expands choice points.
+    let mut current: Vec<(Option<PxNodeId>, Event)> = vec![(None, Event::True)];
+    for step in &query.steps {
+        let mut next: Vec<(Option<PxNodeId>, Event)> = Vec::new();
+        let mut index: HashMap<PxNodeId, usize> = HashMap::new();
+        for (ctx, ctx_event) in current {
+            for (node, ev) in apply_step(doc, ctx, ctx_event.clone(), step)? {
+                match index.get(&node) {
+                    Some(&i) => {
+                        let old = std::mem::replace(&mut next[i].1, Event::False);
+                        next[i].1 = Event::or(old, ev);
+                    }
+                    None => {
+                        index.insert(node, next.len());
+                        next.push((Some(node), ev));
+                    }
+                }
+            }
+        }
+        current = next;
+    }
+    // Amalgamate: every result node contributes each of its possible
+    // string values under (existence ∧ value) events.
+    let mut order: Vec<String> = Vec::new();
+    let mut events: HashMap<String, Event> = HashMap::new();
+    for (node, ctx_event) in current {
+        let node = node.expect("after ≥1 steps contexts are real nodes");
+        for (value, val_event) in value_events(doc, node)? {
+            let combined = Event::and(ctx_event.clone(), val_event);
+            match events.get_mut(&value) {
+                Some(e) => {
+                    let old = std::mem::replace(e, Event::False);
+                    *e = Event::or(old, combined);
+                }
+                None => {
+                    order.push(value.clone());
+                    events.insert(value, combined);
+                }
+            }
+        }
+    }
+    Ok((order, events))
+}
+
+/// Apply one step from a context node (None = virtual document node).
+fn apply_step(
+    doc: &PxDoc,
+    ctx: Option<PxNodeId>,
+    ctx_event: Event,
+    step: &Step,
+) -> Result<Vec<(PxNodeId, Event)>, EvalError> {
+    let mut found: Vec<(PxNodeId, Event)> = Vec::new();
+    match ctx {
+        None => match step.axis {
+            Axis::Child => {
+                collect_top_elems(doc, doc.root(), Event::True, &mut |n, e| {
+                    if test_matches(doc, n, &step.test) {
+                        found.push((n, e));
+                    }
+                });
+            }
+            Axis::Descendant => {
+                collect_descendant_elems(doc, doc.root(), Event::True, &mut |n, e| {
+                    if test_matches(doc, n, &step.test) {
+                        found.push((n, e));
+                    }
+                });
+            }
+        },
+        Some(e) => match step.axis {
+            Axis::Child => {
+                for &c in doc.children(e) {
+                    collect_items(doc, c, Event::True, &mut |n, ev| {
+                        if doc.is_elem(n) && test_matches(doc, n, &step.test) {
+                            found.push((n, ev));
+                        }
+                    });
+                }
+            }
+            Axis::Descendant => {
+                for &c in doc.children(e) {
+                    collect_descendant_elems(doc, c, Event::True, &mut |n, ev| {
+                        if test_matches(doc, n, &step.test) {
+                            found.push((n, ev));
+                        }
+                    });
+                }
+            }
+        },
+    }
+    // Combine with the context's own existence event and the predicates.
+    let mut out = Vec::with_capacity(found.len());
+    for (node, local_event) in found {
+        let mut ev = Event::and(ctx_event.clone(), local_event);
+        for pred in &step.predicates {
+            if matches!(ev, Event::False) {
+                break;
+            }
+            let pe = eval_expr_event(doc, node, pred)?;
+            ev = Event::and(ev, pe);
+        }
+        if !matches!(ev, Event::False) {
+            out.push((node, ev));
+        }
+    }
+    Ok(out)
+}
+
+fn test_matches(doc: &PxDoc, node: PxNodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Any => true,
+        NodeTest::Tag(t) => doc.tag(node) == Some(t.as_str()),
+    }
+}
+
+/// The atom for choosing possibility `idx` of `prob` — or `True` when the
+/// choice point has a single possibility (a certain choice contributes no
+/// uncertainty, and keeping it out of events preserves their
+/// decomposability for the feedback layer).
+fn atom_for(doc: &PxDoc, prob: PxNodeId, idx: usize) -> Event {
+    if doc.children(prob).len() == 1 {
+        Event::True
+    } else {
+        Event::Atom(ChoiceAtom {
+            prob_node: prob,
+            poss_index: idx as u32,
+        })
+    }
+}
+
+/// Visit the top-level *items* reachable from `node` without descending
+/// into elements: the node itself if regular, or — for a choice point —
+/// the top-level items of each possibility (with the atom conjoined).
+fn collect_items(
+    doc: &PxDoc,
+    node: PxNodeId,
+    event: Event,
+    visit: &mut impl FnMut(PxNodeId, Event),
+) {
+    match doc.kind(node) {
+        PxNodeKind::Prob => {
+            for (idx, &poss) in doc.children(node).iter().enumerate() {
+                let atom = atom_for(doc, node, idx);
+                let ev = Event::and(event.clone(), atom);
+                for &c in doc.children(poss) {
+                    collect_items(doc, c, ev.clone(), visit);
+                }
+            }
+        }
+        PxNodeKind::Poss(_) => unreachable!("poss visited outside its prob"),
+        _ => visit(node, event),
+    }
+}
+
+/// Visit the top-level *element* items of a probability node (used for the
+/// virtual document's children: the root choice's alternatives).
+fn collect_top_elems(
+    doc: &PxDoc,
+    prob: PxNodeId,
+    event: Event,
+    visit: &mut impl FnMut(PxNodeId, Event),
+) {
+    collect_items(doc, prob, event, &mut |n, e| {
+        if doc.is_elem(n) {
+            visit(n, e);
+        }
+    });
+}
+
+/// Visit every descendant element below `node` (including `node` itself if
+/// it is an element reached through choices), with existence events.
+fn collect_descendant_elems(
+    doc: &PxDoc,
+    node: PxNodeId,
+    event: Event,
+    visit: &mut impl FnMut(PxNodeId, Event),
+) {
+    match doc.kind(node) {
+        PxNodeKind::Prob => {
+            for (idx, &poss) in doc.children(node).iter().enumerate() {
+                let atom = atom_for(doc, node, idx);
+                let ev = Event::and(event.clone(), atom);
+                for &c in doc.children(poss) {
+                    collect_descendant_elems(doc, c, ev.clone(), visit);
+                }
+            }
+        }
+        PxNodeKind::Poss(_) => unreachable!("poss visited outside its prob"),
+        PxNodeKind::Elem { .. } => {
+            visit(node, event.clone());
+            for &c in doc.children(node) {
+                collect_descendant_elems(doc, c, event.clone(), visit);
+            }
+        }
+        PxNodeKind::Text(_) => {}
+    }
+}
+
+/// Evaluate a predicate to the event "the predicate holds", with `ctx` as
+/// context node. Events are relative to `ctx`'s own existence (they only
+/// mention choice points at or below the places the expression inspects).
+fn eval_expr_event(doc: &PxDoc, ctx: PxNodeId, expr: &Expr) -> Result<Event, EvalError> {
+    match expr {
+        Expr::Exists(path) => {
+            let nodes = eval_rel_events(doc, ctx, path)?;
+            Ok(Event::any(nodes.into_iter().map(|(_, e)| e)))
+        }
+        Expr::Eq(path, lit) => {
+            let nodes = eval_rel_events(doc, ctx, path)?;
+            let mut out = Event::False;
+            for (n, e) in nodes {
+                let val = value_match_event(doc, n, |v| v == lit.as_str())?;
+                out = Event::or(out, Event::and(e, val));
+            }
+            Ok(out)
+        }
+        Expr::Cmp(path, op, lit) => {
+            let nodes = eval_rel_events(doc, ctx, path)?;
+            let mut out = Event::False;
+            for (n, e) in nodes {
+                let val = value_match_event(doc, n, |v| op.holds(v, lit.as_str()))?;
+                out = Event::or(out, Event::and(e, val));
+            }
+            Ok(out)
+        }
+        Expr::Contains(path, lit) => {
+            let nodes = eval_rel_events(doc, ctx, path)?;
+            let mut out = Event::False;
+            for (n, e) in nodes {
+                let val = value_match_event(doc, n, |v| v.contains(lit.as_str()))?;
+                out = Event::or(out, Event::and(e, val));
+            }
+            Ok(out)
+        }
+        Expr::StartsWith(path, lit) => {
+            let nodes = eval_rel_events(doc, ctx, path)?;
+            let mut out = Event::False;
+            for (n, e) in nodes {
+                let val = value_match_event(doc, n, |v| v.starts_with(lit.as_str()))?;
+                out = Event::or(out, Event::and(e, val));
+            }
+            Ok(out)
+        }
+        Expr::Some { path, cond } => {
+            let nodes = eval_rel_events(doc, ctx, path)?;
+            let mut out = Event::False;
+            for (n, e) in nodes {
+                let c = eval_expr_event(doc, n, cond)?;
+                out = Event::or(out, Event::and(e, c));
+            }
+            Ok(out)
+        }
+        Expr::And(a, b) => Ok(Event::and(
+            eval_expr_event(doc, ctx, a)?,
+            eval_expr_event(doc, ctx, b)?,
+        )),
+        Expr::Or(a, b) => Ok(Event::or(
+            eval_expr_event(doc, ctx, a)?,
+            eval_expr_event(doc, ctx, b)?,
+        )),
+        Expr::Not(inner) => Ok(Event::not(eval_expr_event(doc, ctx, inner)?)),
+    }
+}
+
+/// Evaluate a relative path from `ctx`, returning nodes with the events
+/// under which the path reaches them.
+fn eval_rel_events(
+    doc: &PxDoc,
+    ctx: PxNodeId,
+    path: &RelPath,
+) -> Result<Vec<(PxNodeId, Event)>, EvalError> {
+    let mut current: Vec<(PxNodeId, Event)> = vec![(ctx, Event::True)];
+    for step in &path.steps {
+        let mut next: Vec<(PxNodeId, Event)> = Vec::new();
+        let mut index: HashMap<PxNodeId, usize> = HashMap::new();
+        for (c, ce) in current {
+            for (node, ev) in apply_step(doc, Some(c), ce, step)? {
+                match index.get(&node) {
+                    Some(&i) => {
+                        let old = std::mem::replace(&mut next[i].1, Event::False);
+                        next[i].1 = Event::or(old, ev);
+                    }
+                    None => {
+                        index.insert(node, next.len());
+                        next.push((node, ev));
+                    }
+                }
+            }
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+/// The event "the string value of `node` satisfies `test`".
+fn value_match_event(
+    doc: &PxDoc,
+    node: PxNodeId,
+    test: impl Fn(&str) -> bool,
+) -> Result<Event, EvalError> {
+    let variants = value_events(doc, node)?;
+    Ok(Event::any(
+        variants
+            .into_iter()
+            .filter(|(v, _)| test(v))
+            .map(|(_, e)| e),
+    ))
+}
+
+/// All possible string values of `node` with the events selecting them.
+///
+/// Values are grouped (equal values' events are disjoined), so the result
+/// has one entry per distinct possible value.
+pub fn value_events(doc: &PxDoc, node: PxNodeId) -> Result<Vec<(String, Event)>, EvalError> {
+    let raw = node_value_events(doc, node)?;
+    let mut order: Vec<String> = Vec::new();
+    let mut merged: HashMap<String, Event> = HashMap::new();
+    for (v, e) in raw {
+        match merged.get_mut(&v) {
+            Some(existing) => {
+                let old = std::mem::replace(existing, Event::False);
+                *existing = Event::or(old, e);
+            }
+            None => {
+                order.push(v.clone());
+                merged.insert(v, e);
+            }
+        }
+    }
+    Ok(order
+        .into_iter()
+        .map(|v| {
+            let e = merged.remove(&v).expect("inserted above");
+            (v, e)
+        })
+        .collect())
+}
+
+fn node_value_events(doc: &PxDoc, node: PxNodeId) -> Result<Vec<(String, Event)>, EvalError> {
+    match doc.kind(node) {
+        PxNodeKind::Text(t) => Ok(vec![(t.clone(), Event::True)]),
+        PxNodeKind::Elem { .. } => items_value_events(doc, doc.children(node)),
+        PxNodeKind::Prob => {
+            let mut out: Vec<(String, Event)> = Vec::new();
+            for (idx, &poss) in doc.children(node).iter().enumerate() {
+                let atom = atom_for(doc, node, idx);
+                for (v, e) in items_value_events(doc, doc.children(poss))? {
+                    out.push((v, Event::and(atom.clone(), e)));
+                    if out.len() > MAX_VALUE_VARIANTS {
+                        return Err(EvalError::TooManyValueVariants {
+                            cap: MAX_VALUE_VARIANTS,
+                        });
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PxNodeKind::Poss(_) => unreachable!("poss visited outside its prob"),
+    }
+}
+
+fn items_value_events(
+    doc: &PxDoc,
+    items: &[PxNodeId],
+) -> Result<Vec<(String, Event)>, EvalError> {
+    let mut acc: Vec<(String, Event)> = vec![(String::new(), Event::True)];
+    for &item in items {
+        let parts = node_value_events(doc, item)?;
+        if parts.len() == 1 {
+            let (v, e) = &parts[0];
+            for (av, ae) in &mut acc {
+                av.push_str(v);
+                if !matches!(e, Event::True) {
+                    let old = std::mem::replace(ae, Event::False);
+                    *ae = Event::and(old, e.clone());
+                }
+            }
+            continue;
+        }
+        let mut next = Vec::with_capacity(acc.len() * parts.len());
+        for (av, ae) in &acc {
+            for (v, e) in &parts {
+                let mut combined_v = av.clone();
+                combined_v.push_str(v);
+                let combined_e = Event::and(ae.clone(), e.clone());
+                if !matches!(combined_e, Event::False) {
+                    next.push((combined_v, combined_e));
+                }
+            }
+        }
+        acc = next;
+        if acc.len() > MAX_VALUE_VARIANTS {
+            return Err(EvalError::TooManyValueVariants {
+                cap: MAX_VALUE_VARIANTS,
+            });
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use imprecise_pxml::from_xml;
+    use imprecise_xmlkit::parse;
+
+    #[test]
+    fn certain_document_matches_xml_eval() {
+        let xml = parse(
+            "<catalog><movie><title>Jaws</title><genre>Horror</genre></movie>\
+             <movie><title>Heat</title><genre>Crime</genre></movie></catalog>",
+        )
+        .unwrap();
+        let px = from_xml(&xml);
+        let q = parse_query("//movie[genre=\"Horror\"]/title").unwrap();
+        let answers = eval_px(&px, &q).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers.items[0].value, "Jaws");
+        assert!((answers.items[0].probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertain_movie_probability() {
+        // Jaws 2 exists with p = 0.3.
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let cat = px.add_elem(w, "catalog");
+        let m1 = px.add_elem(cat, "movie");
+        px.add_text_elem(m1, "title", "Jaws");
+        let c = px.add_prob(cat);
+        let yes = px.add_poss(c, 0.3);
+        let m2 = px.add_elem(yes, "movie");
+        px.add_text_elem(m2, "title", "Jaws 2");
+        px.add_poss(c, 0.7);
+        let q = parse_query("//movie/title").unwrap();
+        let answers = eval_px(&px, &q).unwrap();
+        assert!((answers.probability_of("Jaws") - 1.0).abs() < 1e-12);
+        assert!((answers.probability_of("Jaws 2") - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertain_value_splits_probability() {
+        // One movie whose title is a 60/40 choice.
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let cat = px.add_elem(w, "catalog");
+        let m = px.add_elem(cat, "movie");
+        let t = px.add_elem(m, "title");
+        let c = px.add_prob(t);
+        let a = px.add_poss(c, 0.6);
+        px.add_text(a, "Jaws");
+        let b = px.add_poss(c, 0.4);
+        px.add_text(b, "Jaws!");
+        let q = parse_query("//movie/title").unwrap();
+        let answers = eval_px(&px, &q).unwrap();
+        assert!((answers.probability_of("Jaws") - 0.6).abs() < 1e-12);
+        assert!((answers.probability_of("Jaws!") - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicate_and_value_in_same_choice_are_correlated() {
+        // A movie that is EITHER (genre Horror, title Jaws) OR (genre
+        // Action, title Heat). P(title of Horror movie = Jaws) = 0.5 and
+        // Heat must NOT appear in the Horror answer.
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let cat = px.add_elem(w, "catalog");
+        let c = px.add_prob(cat);
+        let p1 = px.add_poss(c, 0.5);
+        let m1 = px.add_elem(p1, "movie");
+        px.add_text_elem(m1, "title", "Jaws");
+        px.add_text_elem(m1, "genre", "Horror");
+        let p2 = px.add_poss(c, 0.5);
+        let m2 = px.add_elem(p2, "movie");
+        px.add_text_elem(m2, "title", "Heat");
+        px.add_text_elem(m2, "genre", "Action");
+        let q = parse_query("//movie[genre=\"Horror\"]/title").unwrap();
+        let answers = eval_px(&px, &q).unwrap();
+        assert!((answers.probability_of("Jaws") - 0.5).abs() < 1e-12);
+        assert_eq!(answers.probability_of("Heat"), 0.0);
+        assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn same_value_from_exclusive_worlds_adds() {
+        // "Jaws" appears in both branches of a choice: P = 0.4 + 0.6 = 1.
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let cat = px.add_elem(w, "catalog");
+        let c = px.add_prob(cat);
+        for (weight, extra) in [(0.4, "A"), (0.6, "B")] {
+            let poss = px.add_poss(c, weight);
+            let m = px.add_elem(poss, "movie");
+            px.add_text_elem(m, "title", "Jaws");
+            px.add_text_elem(m, "note", extra);
+        }
+        let q = parse_query("//movie/title").unwrap();
+        let answers = eval_px(&px, &q).unwrap();
+        assert!((answers.probability_of("Jaws") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_predicate_over_uncertain_director() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let cat = px.add_elem(w, "catalog");
+        let m = px.add_elem(cat, "movie");
+        px.add_text_elem(m, "title", "MI2");
+        let d = px.add_elem(m, "director");
+        let c = px.add_prob(d);
+        let a = px.add_poss(c, 0.8);
+        px.add_text(a, "John Woo");
+        let b = px.add_poss(c, 0.2);
+        px.add_text(b, "Woo Jon"); // no "John"
+        let q = parse_query(
+            "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
+        )
+        .unwrap();
+        let answers = eval_px(&px, &q).unwrap();
+        assert!((answers.probability_of("MI2") - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_predicate_is_exact() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let cat = px.add_elem(w, "catalog");
+        let m = px.add_elem(cat, "movie");
+        px.add_text_elem(m, "title", "X");
+        let g = px.add_elem(m, "genre");
+        let c = px.add_prob(g);
+        let a = px.add_poss(c, 0.25);
+        px.add_text(a, "Horror");
+        let b = px.add_poss(c, 0.75);
+        px.add_text(b, "Action");
+        let q = parse_query("//movie[not(genre=\"Horror\")]/title").unwrap();
+        let answers = eval_px(&px, &q).unwrap();
+        assert!((answers.probability_of("X") - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_comparison_over_uncertain_year() {
+        // A movie whose year is 1994 (0.3) or 1996 (0.7): P(year >= 1995)
+        // must be exactly the 1996 branch.
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let cat = px.add_elem(w, "catalog");
+        let m = px.add_elem(cat, "movie");
+        px.add_text_elem(m, "title", "X");
+        let y = px.add_elem(m, "year");
+        let c = px.add_prob(y);
+        let a = px.add_poss(c, 0.3);
+        px.add_text(a, "1994");
+        let b = px.add_poss(c, 0.7);
+        px.add_text(b, "1996");
+        let q = parse_query("//movie[year >= 1995]/title").unwrap();
+        let answers = eval_px(&px, &q).unwrap();
+        assert!((answers.probability_of("X") - 0.7).abs() < 1e-12);
+        let q = parse_query("//movie[year != 1996]/title").unwrap();
+        let answers = eval_px(&px, &q).unwrap();
+        assert!((answers.probability_of("X") - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starts_with_over_uncertain_title() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let cat = px.add_elem(w, "catalog");
+        let m = px.add_elem(cat, "movie");
+        let t = px.add_elem(m, "title");
+        let c = px.add_prob(t);
+        let a = px.add_poss(c, 0.6);
+        px.add_text(a, "Die Hard 2");
+        let b = px.add_poss(c, 0.4);
+        px.add_text(b, "Live Free or Die Hard");
+        px.add_text_elem(m, "year", "1990");
+        let q = parse_query("//movie[starts-with(title, \"Die Hard\")]/year").unwrap();
+        let answers = eval_px(&px, &q).unwrap();
+        assert!((answers.probability_of("1990") - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result_set() {
+        let px = from_xml(&parse("<catalog/>").unwrap());
+        let q = parse_query("//movie/title").unwrap();
+        let answers = eval_px(&px, &q).unwrap();
+        assert!(answers.is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! Query evaluation over certain (ordinary) XML documents.
+//!
+//! Also the world-level evaluator used by the naive possible-worlds
+//! semantics: evaluate in every world separately, then amalgamate.
+
+use crate::ast::{Axis, Expr, NodeTest, Query, RelPath, Step};
+use imprecise_xmlkit::{NodeId, XmlDoc};
+
+/// Evaluate an absolute query, returning matching nodes in document order
+/// (without duplicates).
+pub fn eval_xml(doc: &XmlDoc, query: &Query) -> Vec<NodeId> {
+    // The virtual document node is represented by `None`.
+    let mut current: Vec<Option<NodeId>> = vec![None];
+    for step in &query.steps {
+        let mut next: Vec<Option<NodeId>> = Vec::new();
+        for ctx in current {
+            for node in apply_step(doc, ctx, step) {
+                if !next.contains(&Some(node)) {
+                    next.push(Some(node));
+                }
+            }
+        }
+        current = next;
+    }
+    current.into_iter().flatten().collect()
+}
+
+/// String values of the query result, with per-document duplicates removed
+/// (the amalgamated-answer semantics of §VI treats a value as "in the
+/// answer" regardless of multiplicity).
+pub fn eval_xml_values(doc: &XmlDoc, query: &Query) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for node in eval_xml(doc, query) {
+        let v = doc.text_content(node);
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn apply_step(doc: &XmlDoc, ctx: Option<NodeId>, step: &Step) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = Vec::new();
+    match (ctx, step.axis) {
+        (None, Axis::Child) => {
+            if test_matches(doc, doc.root(), &step.test) {
+                nodes.push(doc.root());
+            }
+        }
+        (None, Axis::Descendant) => {
+            for n in doc.descendants(doc.root()) {
+                if doc.is_element(n) && test_matches(doc, n, &step.test) {
+                    nodes.push(n);
+                }
+            }
+        }
+        (Some(e), Axis::Child) => {
+            for c in doc.child_elements(e) {
+                if test_matches(doc, c, &step.test) {
+                    nodes.push(c);
+                }
+            }
+        }
+        (Some(e), Axis::Descendant) => {
+            for n in doc.descendants(e).skip(1) {
+                if doc.is_element(n) && test_matches(doc, n, &step.test) {
+                    nodes.push(n);
+                }
+            }
+        }
+    }
+    nodes.retain(|&n| step.predicates.iter().all(|p| eval_expr(doc, n, p)));
+    nodes
+}
+
+fn test_matches(doc: &XmlDoc, node: NodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Any => true,
+        NodeTest::Tag(t) => doc.tag(node) == Some(t.as_str()),
+    }
+}
+
+/// Evaluate a predicate expression with `ctx` as the context node.
+pub fn eval_expr(doc: &XmlDoc, ctx: NodeId, expr: &Expr) -> bool {
+    match expr {
+        Expr::Exists(path) => !eval_rel(doc, ctx, path).is_empty(),
+        Expr::Eq(path, lit) => eval_rel(doc, ctx, path)
+            .iter()
+            .any(|&n| doc.text_content(n) == *lit),
+        Expr::Cmp(path, op, lit) => eval_rel(doc, ctx, path)
+            .iter()
+            .any(|&n| op.holds(&doc.text_content(n), lit)),
+        Expr::Contains(path, lit) => eval_rel(doc, ctx, path)
+            .iter()
+            .any(|&n| doc.text_content(n).contains(lit.as_str())),
+        Expr::StartsWith(path, lit) => eval_rel(doc, ctx, path)
+            .iter()
+            .any(|&n| doc.text_content(n).starts_with(lit.as_str())),
+        Expr::Some { path, cond } => eval_rel(doc, ctx, path)
+            .iter()
+            .any(|&n| eval_expr(doc, n, cond)),
+        Expr::And(a, b) => eval_expr(doc, ctx, a) && eval_expr(doc, ctx, b),
+        Expr::Or(a, b) => eval_expr(doc, ctx, a) || eval_expr(doc, ctx, b),
+        Expr::Not(inner) => !eval_expr(doc, ctx, inner),
+    }
+}
+
+/// Evaluate a relative path from a context node.
+pub fn eval_rel(doc: &XmlDoc, ctx: NodeId, path: &RelPath) -> Vec<NodeId> {
+    let mut current: Vec<NodeId> = vec![ctx];
+    for step in &path.steps {
+        let mut next: Vec<NodeId> = Vec::new();
+        for c in current {
+            for node in apply_step(doc, Some(c), step) {
+                if !next.contains(&node) {
+                    next.push(node);
+                }
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use imprecise_xmlkit::parse;
+
+    fn catalog() -> XmlDoc {
+        parse(
+            "<catalog>\
+               <movie><title>Jaws</title><year>1975</year>\
+                 <genre>Horror</genre><director>Steven Spielberg</director></movie>\
+               <movie><title>Jaws 2</title><year>1978</year>\
+                 <genre>Horror</genre><director>Jeannot Szwarc</director></movie>\
+               <movie><title>Die Hard: With a Vengeance</title><year>1995</year>\
+                 <genre>Action</genre><director>John McTiernan</director></movie>\
+               <movie><title>Mission: Impossible II</title><year>2000</year>\
+                 <genre>Action</genre><director>John Woo</director></movie>\
+             </catalog>",
+        )
+        .unwrap()
+    }
+
+    fn values(doc: &XmlDoc, q: &str) -> Vec<String> {
+        eval_xml_values(doc, &parse_query(q).unwrap())
+    }
+
+    #[test]
+    fn simple_child_path() {
+        let doc = catalog();
+        let titles = values(&doc, "/catalog/movie/title");
+        assert_eq!(titles.len(), 4);
+        assert_eq!(titles[0], "Jaws");
+    }
+
+    #[test]
+    fn descendant_axis_finds_all() {
+        let doc = catalog();
+        assert_eq!(values(&doc, "//title").len(), 4);
+        assert_eq!(values(&doc, "//genre").len(), 2); // deduped values
+        assert_eq!(eval_xml(&doc, &parse_query("//genre").unwrap()).len(), 4);
+    }
+
+    #[test]
+    fn paper_horror_query() {
+        let doc = catalog();
+        let titles = values(&doc, "//movie[.//genre=\"Horror\"]/title");
+        assert_eq!(titles, vec!["Jaws", "Jaws 2"]);
+    }
+
+    #[test]
+    fn paper_john_query() {
+        let doc = catalog();
+        let titles = values(
+            &doc,
+            "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
+        );
+        assert_eq!(
+            titles,
+            vec!["Die Hard: With a Vengeance", "Mission: Impossible II"]
+        );
+    }
+
+    #[test]
+    fn equality_predicate_on_child() {
+        let doc = catalog();
+        let titles = values(&doc, "//movie[year=\"1975\"]/title");
+        assert_eq!(titles, vec!["Jaws"]);
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let doc = catalog();
+        let and_titles = values(
+            &doc,
+            "//movie[genre=\"Action\" and contains(director,\"Woo\")]/title",
+        );
+        assert_eq!(and_titles, vec!["Mission: Impossible II"]);
+        let or_titles = values(&doc, "//movie[year=\"1975\" or year=\"1978\"]/title");
+        assert_eq!(or_titles, vec!["Jaws", "Jaws 2"]);
+        let not_titles = values(&doc, "//movie[not(genre=\"Action\")]/title");
+        assert_eq!(not_titles, vec!["Jaws", "Jaws 2"]);
+    }
+
+    #[test]
+    fn comparison_predicates_are_numeric_when_possible() {
+        let doc = catalog();
+        assert_eq!(
+            values(&doc, "//movie[year >= 1995]/title"),
+            vec!["Die Hard: With a Vengeance", "Mission: Impossible II"]
+        );
+        assert_eq!(values(&doc, "//movie[year < 1978]/title"), vec!["Jaws"]);
+        // != is existential like XPath: every movie has a year != 2000
+        // except MI2 (single year node each).
+        assert_eq!(values(&doc, "//movie[year != 2000]/title").len(), 3);
+        // Numeric comparison, not lexicographic: "978" < "1995" as strings
+        // would be false byte-wise ('9' > '1'), but 978 < 1995 numerically.
+        let doc2 = parse("<c><m><y>978</y><t>old</t></m></c>").unwrap();
+        assert_eq!(values(&doc2, "//m[y < 1995]/t"), vec!["old"]);
+    }
+
+    #[test]
+    fn starts_with_predicate() {
+        let doc = catalog();
+        assert_eq!(
+            values(&doc, "//movie[starts-with(title, \"Jaws\")]/year"),
+            vec!["1975", "1978"]
+        );
+        assert!(values(&doc, "//movie[starts-with(title, \"aws\")]/year").is_empty());
+    }
+
+    #[test]
+    fn exists_predicate() {
+        let doc = catalog();
+        assert_eq!(values(&doc, "//movie[director]/title").len(), 4);
+        assert!(values(&doc, "//movie[rating]/title").is_empty());
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let doc = catalog();
+        // All grandchildren of movies.
+        let vals = eval_xml(&doc, &parse_query("//movie/*").unwrap());
+        assert_eq!(vals.len(), 16);
+    }
+
+    #[test]
+    fn descendant_excludes_self() {
+        let doc = parse("<a><a><b>x</b></a></a>").unwrap();
+        // Inner //a from outer a: only the nested one.
+        let q = parse_query("/a//a").unwrap();
+        assert_eq!(eval_xml(&doc, &q).len(), 1);
+        // But //a from the document finds both.
+        let q = parse_query("//a").unwrap();
+        assert_eq!(eval_xml(&doc, &q).len(), 2);
+    }
+
+    #[test]
+    fn no_duplicate_results_from_overlapping_paths() {
+        let doc = parse("<a><x><x><t>v</t></x></x></a>").unwrap();
+        // //x//t reaches t via both x's.
+        let q = parse_query("//x//t").unwrap();
+        assert_eq!(eval_xml(&doc, &q).len(), 1);
+    }
+
+    #[test]
+    fn mismatched_root_child_step() {
+        let doc = catalog();
+        assert!(values(&doc, "/library/movie").is_empty());
+    }
+}

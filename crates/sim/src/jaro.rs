@@ -1,0 +1,119 @@
+//! Jaro and Jaro-Winkler similarity for short strings (person names).
+
+/// Jaro similarity between two strings in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    let (la, lb) = (a_chars.len(), b_chars.len());
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    let window = (la.max(lb) / 2).saturating_sub(1);
+    let mut b_used = vec![false; lb];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a_chars.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(lb);
+        for j in lo..hi {
+            if !b_used[j] && b_chars[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b_chars
+        .iter()
+        .zip(b_used.iter())
+        .filter(|(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / la as f64 + m / lb as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted for a shared prefix (up to four
+/// characters, scaling factor 0.1 — the standard parameters).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let base = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    base + prefix * 0.1 * (1.0 - base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn textbook_values() {
+        // Classic examples from the record-linkage literature.
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.944));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.767));
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.961));
+        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.813));
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        assert_eq!(jaro("john", "john"), 1.0);
+        assert_eq!(jaro_winkler("john", "john"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("john woo", "woo john"), ("martha", "marhta"), ("x", "xy")] {
+            assert!(close(jaro(a, b), jaro(b, a)));
+            assert!(close(jaro_winkler(a, b), jaro_winkler(b, a)));
+        }
+    }
+
+    #[test]
+    fn winkler_boosts_prefix_matches() {
+        let plain = jaro("prefixed", "prefixes");
+        let boosted = jaro_winkler("prefixed", "prefixes");
+        assert!(boosted > plain);
+        // No shared prefix → no boost.
+        assert_eq!(jaro("abc", "zbc"), jaro_winkler("abc", "zbc"));
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        for (a, b) in [
+            ("john mctiernan", "john woo"),
+            ("steven spielberg", "spielberg steven"),
+            ("a", "aaaaaaaaaaaa"),
+        ] {
+            let j = jaro(a, b);
+            let jw = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&j), "jaro {j}");
+            assert!((0.0..=1.0).contains(&jw), "jw {jw}");
+            assert!(jw >= j);
+        }
+    }
+}

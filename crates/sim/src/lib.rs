@@ -1,0 +1,101 @@
+//! # imprecise-sim — string similarity substrate
+//!
+//! The Oracle's domain rules compare element values: *"two movies cannot
+//! match if their titles are not sufficiently similar"*, and the movie
+//! sources "use different conventions for, e.g., naming directors, so these
+//! never match exactly" (§V). This crate supplies the string machinery that
+//! those rules are built on — edit distance, Jaro/Jaro-Winkler, token-set
+//! measures, and the normalisers that reconcile source conventions
+//! (`"Woo, John"` vs `"John Woo"`, roman vs arabic sequel numbers).
+//!
+//! Everything is implemented here (no third-party similarity crates), is
+//! allocation-conscious, and is deterministic across platforms.
+
+pub mod edit;
+pub mod jaro;
+pub mod normalize;
+pub mod token;
+
+pub use edit::{levenshtein, levenshtein_similarity};
+pub use jaro::{jaro, jaro_winkler};
+pub use normalize::{normalize_person_name, normalize_title, normalize_token};
+pub use token::{dice_trigram, jaccard_tokens, tokenize};
+
+/// Similarity between two movie titles in `[0, 1]`.
+///
+/// Titles are normalised (case, punctuation, roman numerals) and compared
+/// with a blend of token-set Jaccard (robust to re-ordering and subtitle
+/// punctuation) and character-level Levenshtein (robust to typos). The
+/// blend takes the maximum: either signal alone suffices to call two titles
+/// "sufficiently similar" in the sense of the paper's title rule.
+pub fn title_similarity(a: &str, b: &str) -> f64 {
+    let na = normalize_title(a);
+    let nb = normalize_title(b);
+    if na.is_empty() && nb.is_empty() {
+        return 1.0;
+    }
+    let token_sim = jaccard_tokens(&na, &nb);
+    let char_sim = levenshtein_similarity(&na, &nb);
+    token_sim.max(char_sim)
+}
+
+/// Similarity between two person names in `[0, 1]`.
+///
+/// Names are normalised into `given family` order (fixing the
+/// `"Family, Given"` convention of one source) before a Jaro-Winkler
+/// comparison, which is the standard measure for short person names.
+pub fn person_name_similarity(a: &str, b: &str) -> f64 {
+    let na = normalize_person_name(a);
+    let nb = normalize_person_name(b);
+    if na.is_empty() && nb.is_empty() {
+        return 1.0;
+    }
+    jaro_winkler(&na, &nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_titles_score_one() {
+        assert_eq!(title_similarity("Jaws", "Jaws"), 1.0);
+    }
+
+    #[test]
+    fn sequels_are_similar_but_not_identical() {
+        let s = title_similarity("Mission: Impossible", "Mission: Impossible II");
+        assert!(s > 0.6 && s < 1.0, "similarity {s}");
+    }
+
+    #[test]
+    fn roman_and_arabic_sequel_numbers_unify() {
+        let s = title_similarity("Mission: Impossible II", "Mission Impossible 2");
+        assert_eq!(s, 1.0, "roman numeral normalisation should make these equal");
+    }
+
+    #[test]
+    fn unrelated_titles_score_low() {
+        let s = title_similarity("Jaws", "Die Hard: With a Vengeance");
+        assert!(s < 0.35, "similarity {s}");
+    }
+
+    #[test]
+    fn director_conventions_unify() {
+        let s = person_name_similarity("McTiernan, John", "John McTiernan");
+        assert!(s > 0.99, "similarity {s}");
+    }
+
+    #[test]
+    fn different_johns_are_distinguishable() {
+        let s = person_name_similarity("John Woo", "John McTiernan");
+        assert!(s < 0.9, "similarity {s}");
+    }
+
+    #[test]
+    fn empty_strings() {
+        assert_eq!(title_similarity("", ""), 1.0);
+        assert_eq!(person_name_similarity("", ""), 1.0);
+        assert!(title_similarity("Jaws", "") < 0.1);
+    }
+}

@@ -1,0 +1,458 @@
+//! Arena-based XML document model.
+//!
+//! Every node lives in a flat `Vec` owned by [`XmlDoc`]; [`NodeId`] is a
+//! 32-bit index. This is the classic pattern for tree-heavy database code:
+//! no `Rc` cycles, cheap copies of handles, good locality, and subtree
+//! operations are simple index walks. The probabilistic layers of the
+//! reproduction (`imprecise-pxml`) use the same pattern.
+
+use crate::error::{XmlError, XmlResult};
+
+/// Handle to a node inside a specific [`XmlDoc`].
+///
+/// A `NodeId` is only meaningful together with the document that produced
+/// it; mixing ids across documents is a logic error (checked in debug
+/// builds where cheap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw arena index, useful for dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single attribute (`name="value"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attr {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute value (unescaped).
+    pub value: String,
+}
+
+/// The payload of a node: an element with a tag and attributes, or a text
+/// node carrying character data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element node like `<movie year="1995">…</movie>`.
+    Element {
+        /// Tag name.
+        tag: String,
+        /// Attributes in document order.
+        attrs: Vec<Attr>,
+    },
+    /// A text node. Adjacent text nodes are merged by the parser.
+    Text(String),
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// An XML document: an arena of nodes plus a distinguished root element.
+#[derive(Debug, Clone)]
+pub struct XmlDoc {
+    nodes: Vec<NodeData>,
+    root: NodeId,
+}
+
+impl XmlDoc {
+    /// Create a document whose root element has tag `root_tag`.
+    pub fn new(root_tag: impl Into<String>) -> Self {
+        let root_data = NodeData {
+            kind: NodeKind::Element {
+                tag: root_tag.into(),
+                attrs: Vec::new(),
+            },
+            parent: None,
+            children: Vec::new(),
+        };
+        XmlDoc {
+            nodes: vec![root_data],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root element of the document.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes (elements + text) in the arena, including any
+    /// detached nodes. For documents built only through the public API this
+    /// equals the number of reachable nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the arena holds only the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    #[inline]
+    fn node(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    #[inline]
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The node payload.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.node(id).kind
+    }
+
+    /// The element tag, or `None` for text nodes.
+    #[inline]
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { tag, .. } => Some(tag),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The text payload, or `None` for element nodes.
+    #[inline]
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// True if `id` is an element node.
+    #[inline]
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Element { .. })
+    }
+
+    /// True if `id` is a text node.
+    #[inline]
+    pub fn is_text(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Text(_))
+    }
+
+    /// Parent of a node (`None` for the root).
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of a node in document order (empty for text nodes).
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Iterator over the element children of a node.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(move |&c| self.is_element(c))
+    }
+
+    /// Element children with the given tag, in document order.
+    pub fn children_with_tag<'a>(
+        &'a self,
+        id: NodeId,
+        tag: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.child_elements(id)
+            .filter(move |&c| self.tag(c) == Some(tag))
+    }
+
+    /// First element child with the given tag.
+    pub fn first_child_with_tag(&self, id: NodeId, tag: &str) -> Option<NodeId> {
+        self.children_with_tag(id, tag).next()
+    }
+
+    /// Attributes of an element (empty slice for text nodes).
+    pub fn attrs(&self, id: NodeId) -> &[Attr] {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => attrs,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Value of the attribute `name` on element `id`, if present.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attrs(id)
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Set (or replace) an attribute on an element.
+    ///
+    /// # Panics
+    /// Panics if `id` is a text node.
+    pub fn set_attr(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        match &mut self.node_mut(id).kind {
+            NodeKind::Element { attrs, .. } => {
+                if let Some(a) = attrs.iter_mut().find(|a| a.name == name) {
+                    a.value = value;
+                } else {
+                    attrs.push(Attr { name, value });
+                }
+            }
+            NodeKind::Text(_) => panic!("set_attr on a text node"),
+        }
+    }
+
+    /// Append a new element child with tag `tag` under `parent` and return
+    /// its id.
+    pub fn add_element(&mut self, parent: NodeId, tag: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            kind: NodeKind::Element {
+                tag: tag.into(),
+                attrs: Vec::new(),
+            },
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.node_mut(parent).children.push(id);
+        id
+    }
+
+    /// Append a text child under `parent` and return its id.
+    ///
+    /// If the previous child of `parent` is already a text node the new text
+    /// is merged into it (mirroring parser behaviour) and the existing id is
+    /// returned.
+    pub fn add_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        let text = text.into();
+        if let Some(&last) = self.node(parent).children.last() {
+            if self.is_text(last) {
+                if let NodeKind::Text(t) = &mut self.node_mut(last).kind {
+                    t.push_str(&text);
+                }
+                return last;
+            }
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            kind: NodeKind::Text(text),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.node_mut(parent).children.push(id);
+        id
+    }
+
+    /// Convenience: add `<tag>text</tag>` under `parent`, returning the new
+    /// element's id. This is the dominant shape in the paper's documents
+    /// (`<nm>John</nm>`, `<tel>1111</tel>`, `<title>Jaws</title>`…).
+    pub fn add_text_element(
+        &mut self,
+        parent: NodeId,
+        tag: impl Into<String>,
+        text: impl Into<String>,
+    ) -> NodeId {
+        let el = self.add_element(parent, tag);
+        self.add_text(el, text);
+        el
+    }
+
+    /// Concatenated text of all descendant text nodes of `id` (the XPath
+    /// `string()` value of an element).
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Element { .. } => {
+                for &c in self.children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Pre-order traversal of the subtree rooted at `id` (inclusive).
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: vec![id],
+        }
+    }
+
+    /// Number of nodes in the subtree rooted at `id` (inclusive).
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.descendants(id).count()
+    }
+
+    /// Deep-copy the subtree rooted at `src_node` of `src_doc` as a new
+    /// child of `parent` in `self`. Returns the id of the copy's root.
+    pub fn graft(&mut self, parent: NodeId, src_doc: &XmlDoc, src_node: NodeId) -> NodeId {
+        match src_doc.kind(src_node).clone() {
+            NodeKind::Element { tag, attrs } => {
+                let el = self.add_element(parent, tag);
+                for a in attrs {
+                    self.set_attr(el, a.name, a.value);
+                }
+                for &c in src_doc.children(src_node) {
+                    self.graft(el, src_doc, c);
+                }
+                el
+            }
+            NodeKind::Text(t) => self.add_text(parent, t),
+        }
+    }
+
+    /// Extract the subtree rooted at `id` into a standalone document whose
+    /// root is a copy of `id` (which must be an element).
+    pub fn subtree_to_doc(&self, id: NodeId) -> XmlResult<XmlDoc> {
+        let tag = self.tag(id).ok_or_else(|| XmlError::BadDocumentStructure {
+            message: "cannot make a document from a text node".into(),
+        })?;
+        let mut out = XmlDoc::new(tag);
+        for a in self.attrs(id) {
+            out.set_attr(out.root(), a.name.clone(), a.value.clone());
+        }
+        for &c in self.children(id) {
+            out.graft(out.root(), self, c);
+        }
+        Ok(out)
+    }
+}
+
+/// Pre-order iterator returned by [`XmlDoc::descendants`].
+pub struct Descendants<'a> {
+    doc: &'a XmlDoc,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        // Push children in reverse so the left-most child is visited first.
+        for &c in self.doc.children(id).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (XmlDoc, NodeId, NodeId) {
+        let mut d = XmlDoc::new("addressbook");
+        let p = d.add_element(d.root(), "person");
+        let nm = d.add_text_element(p, "nm", "John");
+        d.add_text_element(p, "tel", "1111");
+        (d, p, nm)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (d, p, nm) = sample();
+        assert_eq!(d.tag(d.root()), Some("addressbook"));
+        assert_eq!(d.parent(p), Some(d.root()));
+        assert_eq!(d.parent(nm), Some(p));
+        assert_eq!(d.children(p).len(), 2);
+        assert_eq!(d.text_content(p), "John1111");
+        assert_eq!(d.text_content(nm), "John");
+    }
+
+    #[test]
+    fn children_with_tag_filters() {
+        let (d, p, _) = sample();
+        let tels: Vec<_> = d.children_with_tag(p, "tel").collect();
+        assert_eq!(tels.len(), 1);
+        assert_eq!(d.text_content(tels[0]), "1111");
+        assert!(d.first_child_with_tag(p, "email").is_none());
+    }
+
+    #[test]
+    fn attributes_roundtrip() {
+        let mut d = XmlDoc::new("movie");
+        d.set_attr(d.root(), "year", "1995");
+        assert_eq!(d.attr(d.root(), "year"), Some("1995"));
+        d.set_attr(d.root(), "year", "1996");
+        assert_eq!(d.attr(d.root(), "year"), Some("1996"));
+        assert_eq!(d.attrs(d.root()).len(), 1);
+        assert_eq!(d.attr(d.root(), "missing"), None);
+    }
+
+    #[test]
+    fn adjacent_text_merges() {
+        let mut d = XmlDoc::new("t");
+        let a = d.add_text(d.root(), "foo");
+        let b = d.add_text(d.root(), "bar");
+        assert_eq!(a, b);
+        assert_eq!(d.text_content(d.root()), "foobar");
+        assert_eq!(d.children(d.root()).len(), 1);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (d, p, nm) = sample();
+        let order: Vec<_> = d.descendants(d.root()).collect();
+        assert_eq!(order[0], d.root());
+        assert_eq!(order[1], p);
+        assert_eq!(order[2], nm);
+        assert_eq!(d.subtree_size(d.root()), 6); // root, person, nm, "John", tel, "1111"
+    }
+
+    #[test]
+    fn graft_copies_deeply() {
+        let (src, p, _) = sample();
+        let mut dst = XmlDoc::new("merged");
+        let copy = dst.graft(dst.root(), &src, p);
+        assert_eq!(dst.tag(copy), Some("person"));
+        assert_eq!(dst.text_content(copy), "John1111");
+        assert_eq!(dst.subtree_size(copy), 5);
+    }
+
+    #[test]
+    fn subtree_to_doc_preserves_attrs() {
+        let mut d = XmlDoc::new("catalog");
+        let m = d.add_element(d.root(), "movie");
+        d.set_attr(m, "id", "m1");
+        d.add_text_element(m, "title", "Jaws");
+        let sub = d.subtree_to_doc(m).unwrap();
+        assert_eq!(sub.tag(sub.root()), Some("movie"));
+        assert_eq!(sub.attr(sub.root(), "id"), Some("m1"));
+        assert_eq!(sub.text_content(sub.root()), "Jaws");
+    }
+
+    #[test]
+    fn subtree_to_doc_rejects_text_nodes() {
+        let mut d = XmlDoc::new("t");
+        let txt = d.add_text(d.root(), "x");
+        assert!(d.subtree_to_doc(txt).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "set_attr on a text node")]
+    fn set_attr_on_text_panics() {
+        let mut d = XmlDoc::new("t");
+        let txt = d.add_text(d.root(), "x");
+        d.set_attr(txt, "a", "b");
+    }
+}

@@ -1,0 +1,267 @@
+//! Structural (deep) equality and fingerprinting of XML subtrees.
+//!
+//! The paper's first generic Oracle rule is *"two deep-equal elements refer
+//! to the same real-world object"*; this module supplies the underlying
+//! deep-equality predicate (modelled on XQuery's `fn:deep-equal`) plus a
+//! 64-bit structural fingerprint so the integration engine can bucket
+//! candidate elements instead of comparing all pairs quadratically.
+
+use crate::doc::{NodeId, NodeKind, XmlDoc};
+
+/// Deep equality of two whole documents (root against root).
+pub fn deep_equal(a: &XmlDoc, b: &XmlDoc) -> bool {
+    deep_equal_nodes(a, a.root(), b, b.root())
+}
+
+/// Deep equality of two subtrees, possibly from different documents.
+///
+/// Elements are equal when their tags match, their attribute *sets* match
+/// (order-insensitive, per `fn:deep-equal`), and their child sequences are
+/// pairwise deep-equal (order-sensitive). Text nodes compare by content.
+pub fn deep_equal_nodes(a: &XmlDoc, an: NodeId, b: &XmlDoc, bn: NodeId) -> bool {
+    match (a.kind(an), b.kind(bn)) {
+        (NodeKind::Text(ta), NodeKind::Text(tb)) => ta == tb,
+        (
+            NodeKind::Element {
+                tag: tag_a,
+                attrs: attrs_a,
+            },
+            NodeKind::Element {
+                tag: tag_b,
+                attrs: attrs_b,
+            },
+        ) => {
+            if tag_a != tag_b || attrs_a.len() != attrs_b.len() {
+                return false;
+            }
+            for attr in attrs_a {
+                match attrs_b.iter().find(|x| x.name == attr.name) {
+                    Some(other) if other.value == attr.value => {}
+                    _ => return false,
+                }
+            }
+            let ca = a.children(an);
+            let cb = b.children(bn);
+            ca.len() == cb.len()
+                && ca
+                    .iter()
+                    .zip(cb.iter())
+                    .all(|(&x, &y)| deep_equal_nodes(a, x, b, y))
+        }
+        _ => false,
+    }
+}
+
+/// Deep equality ignoring the order of element children.
+///
+/// Useful when two sources list the same sub-elements in different orders
+/// (a common benign discrepancy between catalog exports). Quadratic in the
+/// number of children, which is fine for the small fan-outs of record-style
+/// documents.
+pub fn deep_equal_nodes_unordered(a: &XmlDoc, an: NodeId, b: &XmlDoc, bn: NodeId) -> bool {
+    match (a.kind(an), b.kind(bn)) {
+        (NodeKind::Text(ta), NodeKind::Text(tb)) => ta == tb,
+        (
+            NodeKind::Element {
+                tag: tag_a,
+                attrs: attrs_a,
+            },
+            NodeKind::Element {
+                tag: tag_b,
+                attrs: attrs_b,
+            },
+        ) => {
+            if tag_a != tag_b || attrs_a.len() != attrs_b.len() {
+                return false;
+            }
+            for attr in attrs_a {
+                match attrs_b.iter().find(|x| x.name == attr.name) {
+                    Some(other) if other.value == attr.value => {}
+                    _ => return false,
+                }
+            }
+            let ca = a.children(an);
+            let cb = b.children(bn);
+            if ca.len() != cb.len() {
+                return false;
+            }
+            let mut used = vec![false; cb.len()];
+            'outer: for &x in ca {
+                for (i, &y) in cb.iter().enumerate() {
+                    if !used[i] && deep_equal_nodes_unordered(a, x, b, y) {
+                        used[i] = true;
+                        continue 'outer;
+                    }
+                }
+                return false;
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// A 64-bit structural fingerprint of the subtree rooted at `node`.
+///
+/// Two deep-equal subtrees always have equal fingerprints; unequal subtrees
+/// collide only with hash probability. Attribute order does not influence
+/// the fingerprint (attributes are folded in sorted order), matching the
+/// semantics of [`deep_equal_nodes`].
+pub fn subtree_fingerprint(doc: &XmlDoc, node: NodeId) -> u64 {
+    let mut h = Fnv1a::new();
+    fingerprint_into(doc, node, &mut h);
+    h.finish()
+}
+
+fn fingerprint_into(doc: &XmlDoc, node: NodeId, h: &mut Fnv1a) {
+    match doc.kind(node) {
+        NodeKind::Text(t) => {
+            h.write_u8(0x01);
+            h.write_str(t);
+        }
+        NodeKind::Element { tag, attrs } => {
+            h.write_u8(0x02);
+            h.write_str(tag);
+            // Fold attributes order-insensitively: sort (name, value) pairs.
+            if !attrs.is_empty() {
+                let mut sorted: Vec<_> = attrs
+                    .iter()
+                    .map(|a| (a.name.as_str(), a.value.as_str()))
+                    .collect();
+                sorted.sort_unstable();
+                for (name, value) in sorted {
+                    h.write_u8(0x03);
+                    h.write_str(name);
+                    h.write_u8(0x04);
+                    h.write_str(value);
+                }
+            }
+            h.write_u8(0x05);
+            for &c in doc.children(node) {
+                fingerprint_into(doc, c, h);
+            }
+            h.write_u8(0x06);
+        }
+    }
+}
+
+/// Minimal FNV-1a hasher: tiny, deterministic across runs and platforms,
+/// quite sufficient for fingerprint bucketing (HashDoS is not a concern on
+/// generated corpora).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    #[inline]
+    fn write_u8(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    #[inline]
+    fn write_str(&mut self, s: &str) {
+        for &b in s.as_bytes() {
+            self.write_u8(b);
+        }
+        // Length terminator so "ab"+"c" != "a"+"bc".
+        self.write_u8(0x00);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn identical_docs_are_deep_equal() {
+        let a = parse("<a x=\"1\"><b>t</b></a>").unwrap();
+        let b = parse("<a x=\"1\"><b>t</b></a>").unwrap();
+        assert!(deep_equal(&a, &b));
+    }
+
+    #[test]
+    fn attribute_order_is_ignored() {
+        let a = parse("<a x=\"1\" y=\"2\"/>").unwrap();
+        let b = parse("<a y=\"2\" x=\"1\"/>").unwrap();
+        assert!(deep_equal(&a, &b));
+        assert_eq!(
+            subtree_fingerprint(&a, a.root()),
+            subtree_fingerprint(&b, b.root())
+        );
+    }
+
+    #[test]
+    fn attribute_value_matters() {
+        let a = parse("<a x=\"1\"/>").unwrap();
+        let b = parse("<a x=\"2\"/>").unwrap();
+        assert!(!deep_equal(&a, &b));
+        assert_ne!(
+            subtree_fingerprint(&a, a.root()),
+            subtree_fingerprint(&b, b.root())
+        );
+    }
+
+    #[test]
+    fn child_order_matters_in_ordered_compare() {
+        let a = parse("<a><b/><c/></a>").unwrap();
+        let b = parse("<a><c/><b/></a>").unwrap();
+        assert!(!deep_equal(&a, &b));
+        assert!(deep_equal_nodes_unordered(&a, a.root(), &b, b.root()));
+    }
+
+    #[test]
+    fn unordered_compare_respects_multiplicity() {
+        let a = parse("<a><b/><b/><c/></a>").unwrap();
+        let b = parse("<a><b/><c/><c/></a>").unwrap();
+        assert!(!deep_equal_nodes_unordered(&a, a.root(), &b, b.root()));
+    }
+
+    #[test]
+    fn text_content_matters() {
+        let a = parse("<a><b>x</b></a>").unwrap();
+        let b = parse("<a><b>y</b></a>").unwrap();
+        assert!(!deep_equal(&a, &b));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_nesting() {
+        // <a><b/><c/></a> vs <a><b><c/></b></a>
+        let flat = parse("<a><b/><c/></a>").unwrap();
+        let nested = parse("<a><b><c/></b></a>").unwrap();
+        assert_ne!(
+            subtree_fingerprint(&flat, flat.root()),
+            subtree_fingerprint(&nested, nested.root())
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_text_split() {
+        let a = parse("<a><b>ab</b><b>c</b></a>").unwrap();
+        let b = parse("<a><b>a</b><b>bc</b></a>").unwrap();
+        assert_ne!(
+            subtree_fingerprint(&a, a.root()),
+            subtree_fingerprint(&b, b.root())
+        );
+    }
+
+    #[test]
+    fn fingerprint_equal_for_deep_equal_subtrees_across_docs() {
+        let a = parse("<catalog><movie><title>Jaws</title></movie></catalog>").unwrap();
+        let b = parse("<other><movie><title>Jaws</title></movie></other>").unwrap();
+        let ma = a.first_child_with_tag(a.root(), "movie").unwrap();
+        let mb = b.first_child_with_tag(b.root(), "movie").unwrap();
+        assert!(deep_equal_nodes(&a, ma, &b, mb));
+        assert_eq!(subtree_fingerprint(&a, ma), subtree_fingerprint(&b, mb));
+    }
+}

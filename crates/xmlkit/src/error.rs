@@ -1,0 +1,123 @@
+//! Error type shared by the XML substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the XML substrate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// An error raised while parsing or validating XML.
+///
+/// Every variant carries enough positional context to point a user at the
+/// offending byte of the input document. The substrate is used on generated
+/// and on hand-written documents, so diagnostics matter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// The input ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        context: &'static str,
+    },
+    /// A structural syntax error at a byte offset.
+    Syntax {
+        /// Byte offset into the input where the problem was detected.
+        offset: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A closing tag did not match the currently open element.
+    MismatchedTag {
+        /// Byte offset of the close tag.
+        offset: usize,
+        /// Name of the element that is open.
+        expected: String,
+        /// Name found in the close tag.
+        found: String,
+    },
+    /// An entity reference that the substrate does not understand.
+    UnknownEntity {
+        /// Byte offset of the `&`.
+        offset: usize,
+        /// The entity name (without `&`/`;`).
+        name: String,
+    },
+    /// The document contained no root element, or trailing content after it.
+    BadDocumentStructure {
+        /// Description of the structural issue.
+        message: String,
+    },
+    /// A DTD-lite declaration could not be parsed.
+    BadSchema {
+        /// Description of the schema problem.
+        message: String,
+    },
+    /// A document failed validation against a [`crate::Schema`].
+    Invalid {
+        /// Description of the validity violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            XmlError::Syntax { offset, message } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            XmlError::MismatchedTag {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "mismatched close tag at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::UnknownEntity { offset, name } => {
+                write!(f, "unknown entity &{name}; at byte {offset}")
+            }
+            XmlError::BadDocumentStructure { message } => {
+                write!(f, "bad document structure: {message}")
+            }
+            XmlError::BadSchema { message } => write!(f, "bad schema: {message}"),
+            XmlError::Invalid { message } => write!(f, "document invalid: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = XmlError::Syntax {
+            offset: 12,
+            message: "expected '>'".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("byte 12"));
+        assert!(s.contains("expected '>'"));
+    }
+
+    #[test]
+    fn mismatched_tag_display_names_both_tags() {
+        let e = XmlError::MismatchedTag {
+            offset: 3,
+            expected: "movie".into(),
+            found: "title".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("</movie>"));
+        assert!(s.contains("</title>"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XmlError>();
+    }
+}

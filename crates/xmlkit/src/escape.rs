@@ -1,0 +1,128 @@
+//! Escaping and unescaping of XML character data and attribute values.
+
+use std::borrow::Cow;
+
+/// Escape a string for use as XML character data (element text content).
+///
+/// Only escapes what must be escaped (`&`, `<`, `>`); returns a borrowed
+/// `Cow` when no escaping is required, which is the overwhelmingly common
+/// case for the movie/address-book corpora.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_impl(s, false)
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+///
+/// Escapes `&`, `<`, `>` and `"`.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_impl(s, true)
+}
+
+fn escape_impl(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s
+        .bytes()
+        .any(|b| b == b'&' || b == b'<' || b == b'>' || (attr && b == b'"'));
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve a predefined or character entity name to its replacement text.
+///
+/// `name` is the content between `&` and `;`. Supports the five XML
+/// predefined entities plus decimal (`#nnn`) and hexadecimal (`#xhh`)
+/// character references. Returns `None` for anything else.
+pub fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => {
+            let rest = name.strip_prefix('#')?;
+            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X'))
+            {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_is_borrowed() {
+        assert!(matches!(escape_text("Die Hard"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn ampersand_and_angles_escaped() {
+        assert_eq!(escape_text("Tom & Jerry <3"), "Tom &amp; Jerry &lt;3");
+        assert_eq!(escape_text("a>b"), "a&gt;b");
+    }
+
+    #[test]
+    fn attr_escapes_quotes_text_does_not() {
+        assert_eq!(escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+        assert_eq!(escape_text(r#"say "hi""#), r#"say "hi""#);
+    }
+
+    #[test]
+    fn resolve_predefined_entities() {
+        assert_eq!(resolve_entity("amp"), Some('&'));
+        assert_eq!(resolve_entity("lt"), Some('<'));
+        assert_eq!(resolve_entity("gt"), Some('>'));
+        assert_eq!(resolve_entity("quot"), Some('"'));
+        assert_eq!(resolve_entity("apos"), Some('\''));
+    }
+
+    #[test]
+    fn resolve_character_references() {
+        assert_eq!(resolve_entity("#65"), Some('A'));
+        assert_eq!(resolve_entity("#x41"), Some('A'));
+        assert_eq!(resolve_entity("#x263A"), Some('\u{263A}'));
+    }
+
+    #[test]
+    fn resolve_rejects_garbage() {
+        assert_eq!(resolve_entity("nbsp"), None);
+        assert_eq!(resolve_entity("#"), None);
+        assert_eq!(resolve_entity("#xZZ"), None);
+        // Surrogate code point is not a valid char.
+        assert_eq!(resolve_entity("#xD800"), None);
+    }
+
+    #[test]
+    fn escape_unescape_roundtrip() {
+        let original = r#"<a attr="v&x">1 < 2 && 3 > 2</a>"#;
+        let escaped = escape_attr(original);
+        // Manually unescape via resolve_entity.
+        let mut out = String::new();
+        let mut rest = escaped.as_ref();
+        while let Some(pos) = rest.find('&') {
+            out.push_str(&rest[..pos]);
+            let semi = rest[pos..].find(';').unwrap() + pos;
+            out.push(resolve_entity(&rest[pos + 1..semi]).unwrap());
+            rest = &rest[semi + 1..];
+        }
+        out.push_str(rest);
+        assert_eq!(out, original);
+    }
+}

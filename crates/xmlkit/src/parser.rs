@@ -1,0 +1,638 @@
+//! A recursive-descent parser for data-centric XML 1.0.
+//!
+//! Supported: elements, attributes, character data, the five predefined
+//! entities plus character references, comments, CDATA sections, the XML
+//! declaration / processing instructions (skipped), and a `<!DOCTYPE …[ … ]>`
+//! internal subset whose `<!ELEMENT …>` declarations are collected into a
+//! DTD-lite [`Schema`]. Not supported (rejected or skipped, see code):
+//! namespaces-as-semantics (prefixes are kept as part of the tag string),
+//! external DTD subsets, parameter entities.
+
+use crate::doc::{NodeId, XmlDoc};
+use crate::error::{XmlError, XmlResult};
+use crate::escape::resolve_entity;
+use crate::schema::Schema;
+
+/// How the parser treats character data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TextPolicy {
+    /// Drop whitespace-only text nodes and trim leading/trailing whitespace
+    /// from the rest. The right choice for data-centric documents like the
+    /// paper's address books and movie catalogs, and the default.
+    #[default]
+    TrimAndDropBlank,
+    /// Keep character data exactly as written.
+    Preserve,
+}
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParseOptions {
+    /// Character-data policy (see [`TextPolicy`]).
+    pub text: TextPolicy,
+}
+
+/// Result of [`parse_full`]: the document plus any schema found in the
+/// internal DTD subset.
+#[derive(Debug, Clone)]
+pub struct Parsed {
+    /// The parsed document.
+    pub doc: XmlDoc,
+    /// Schema assembled from `<!ELEMENT …>` declarations, if a DOCTYPE with
+    /// an internal subset was present.
+    pub schema: Option<Schema>,
+}
+
+/// Parse a document with default options, returning only the tree.
+pub fn parse(input: &str) -> XmlResult<XmlDoc> {
+    parse_with_options(input, ParseOptions::default())
+}
+
+/// Parse a document with explicit options, returning only the tree.
+pub fn parse_with_options(input: &str, options: ParseOptions) -> XmlResult<XmlDoc> {
+    parse_full(input, options).map(|p| p.doc)
+}
+
+/// Parse a document and also return the DTD-lite schema declared in its
+/// internal subset, if any.
+pub fn parse_full(input: &str, options: ParseOptions) -> XmlResult<Parsed> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        text: input,
+        pos: 0,
+        options,
+    };
+    p.parse_document()
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    options: ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_document(&mut self) -> XmlResult<Parsed> {
+        // Optional UTF-8 BOM.
+        if self.text.as_bytes().starts_with(&[0xEF, 0xBB, 0xBF]) {
+            self.pos = 3;
+        }
+        let mut schema: Option<Schema> = None;
+        // Prolog: whitespace, XML declaration, PIs, comments, DOCTYPE.
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                schema = self.parse_doctype()?;
+            } else {
+                break;
+            }
+        }
+        if !self.starts_with("<") {
+            return Err(XmlError::BadDocumentStructure {
+                message: "expected a root element".into(),
+            });
+        }
+        let mut doc = self.parse_root_element()?;
+        // Epilog: only whitespace / comments / PIs allowed.
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else {
+                break;
+            }
+        }
+        if self.pos != self.input.len() {
+            return Err(XmlError::BadDocumentStructure {
+                message: format!("trailing content at byte {}", self.pos),
+            });
+        }
+        // Shrink-to-fit is irrelevant for arena Vec; leave as built.
+        let _ = &mut doc;
+        Ok(Parsed { doc, schema })
+    }
+
+    fn parse_root_element(&mut self) -> XmlResult<XmlDoc> {
+        self.expect(b'<')?;
+        let tag = self.read_name("element name")?;
+        let mut doc = XmlDoc::new(tag);
+        let root = doc.root();
+        let self_closing = self.parse_attrs_and_tag_end(&mut doc, root)?;
+        if !self_closing {
+            self.parse_content(&mut doc, root)?;
+        }
+        Ok(doc)
+    }
+
+    /// Parse attributes and the `>` / `/>` terminator for the element whose
+    /// open tag we are inside. Returns true when the tag was self-closing.
+    fn parse_attrs_and_tag_end(&mut self, doc: &mut XmlDoc, el: NodeId) -> XmlResult<bool> {
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(false);
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(true);
+                }
+                Some(_) => {
+                    let name = self.read_name("attribute name")?;
+                    self.skip_whitespace();
+                    self.expect(b'=')?;
+                    self.skip_whitespace();
+                    let value = self.read_attr_value()?;
+                    doc.set_attr(el, name, value);
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "element open tag",
+                    })
+                }
+            }
+        }
+    }
+
+    /// Parse element content until (and including) the matching close tag.
+    fn parse_content(&mut self, doc: &mut XmlDoc, el: NodeId) -> XmlResult<()> {
+        let mut text_buf = String::new();
+        loop {
+            if self.pos >= self.input.len() {
+                return Err(XmlError::UnexpectedEof {
+                    context: "element content",
+                });
+            }
+            if self.starts_with("</") {
+                self.flush_text(doc, el, &mut text_buf);
+                self.pos += 2;
+                let offset = self.pos;
+                let name = self.read_name("close tag name")?;
+                self.skip_whitespace();
+                self.expect(b'>')?;
+                let open = doc.tag(el).expect("content parent is an element");
+                if name != open {
+                    return Err(XmlError::MismatchedTag {
+                        offset,
+                        expected: open.to_string(),
+                        found: name,
+                    });
+                }
+                return Ok(());
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<![CDATA[") {
+                let data = self.read_cdata()?;
+                text_buf.push_str(data);
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<") {
+                self.flush_text(doc, el, &mut text_buf);
+                self.pos += 1;
+                let tag = self.read_name("element name")?;
+                let child = doc.add_element(el, tag);
+                let self_closing = self.parse_attrs_and_tag_end(doc, child)?;
+                if !self_closing {
+                    self.parse_content(doc, child)?;
+                }
+            } else {
+                self.read_char_data(&mut text_buf)?;
+            }
+        }
+    }
+
+    fn flush_text(&self, doc: &mut XmlDoc, el: NodeId, buf: &mut String) {
+        if buf.is_empty() {
+            return;
+        }
+        match self.options.text {
+            TextPolicy::Preserve => {
+                doc.add_text(el, buf.clone());
+            }
+            TextPolicy::TrimAndDropBlank => {
+                let trimmed = buf.trim();
+                if !trimmed.is_empty() {
+                    doc.add_text(el, trimmed.to_string());
+                }
+            }
+        }
+        buf.clear();
+    }
+
+    /// Read raw character data up to the next `<`, resolving entities.
+    fn read_char_data(&mut self, out: &mut String) -> XmlResult<()> {
+        while let Some(b) = self.peek() {
+            match b {
+                b'<' => break,
+                b'&' => {
+                    let offset = self.pos;
+                    self.pos += 1;
+                    let semi = self.find_byte(b';').ok_or(XmlError::UnexpectedEof {
+                        context: "entity reference",
+                    })?;
+                    let name = &self.text[self.pos..semi];
+                    let c = resolve_entity(name).ok_or_else(|| XmlError::UnknownEntity {
+                        offset,
+                        name: name.to_string(),
+                    })?;
+                    out.push(c);
+                    self.pos = semi + 1;
+                }
+                _ => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' || b == b'&' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.text[start..self.pos]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_attr_value(&mut self) -> XmlResult<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => {
+                return Err(XmlError::Syntax {
+                    offset: self.pos,
+                    message: "expected quoted attribute value".into(),
+                })
+            }
+        };
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "attribute value",
+                    })
+                }
+                Some(b) if b == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'&') => {
+                    let offset = self.pos;
+                    self.pos += 1;
+                    let semi = self.find_byte(b';').ok_or(XmlError::UnexpectedEof {
+                        context: "entity reference",
+                    })?;
+                    let name = &self.text[self.pos..semi];
+                    let c = resolve_entity(name).ok_or_else(|| XmlError::UnknownEntity {
+                        offset,
+                        name: name.to_string(),
+                    })?;
+                    out.push(c);
+                    self.pos = semi + 1;
+                }
+                Some(b'<') => {
+                    return Err(XmlError::Syntax {
+                        offset: self.pos,
+                        message: "'<' not allowed in attribute value".into(),
+                    })
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.input.len() && !self.text.is_char_boundary(end) {
+                        end += 1;
+                    }
+                    out.push_str(&self.text[start..end]);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn read_name(&mut self, what: &'static str) -> XmlResult<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || b == b'-'
+                || b == b'.'
+                || b == b':'
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XmlError::Syntax {
+                offset: start,
+                message: format!("expected {what}"),
+            });
+        }
+        let first = self.input[start];
+        if first.is_ascii_digit() || first == b'-' || first == b'.' {
+            return Err(XmlError::Syntax {
+                offset: start,
+                message: format!("{what} may not start with '{}'", first as char),
+            });
+        }
+        Ok(self.text[start..self.pos].to_string())
+    }
+
+    fn read_cdata(&mut self) -> XmlResult<&'a str> {
+        debug_assert!(self.starts_with("<![CDATA["));
+        self.pos += "<![CDATA[".len();
+        let rest = &self.text[self.pos..];
+        let end = rest.find("]]>").ok_or(XmlError::UnexpectedEof {
+            context: "CDATA section",
+        })?;
+        let data = &rest[..end];
+        self.pos += end + 3;
+        Ok(data)
+    }
+
+    fn skip_comment(&mut self) -> XmlResult<()> {
+        debug_assert!(self.starts_with("<!--"));
+        self.pos += 4;
+        let rest = &self.text[self.pos..];
+        let end = rest.find("-->").ok_or(XmlError::UnexpectedEof {
+            context: "comment",
+        })?;
+        self.pos += end + 3;
+        Ok(())
+    }
+
+    fn skip_pi(&mut self) -> XmlResult<()> {
+        debug_assert!(self.starts_with("<?"));
+        self.pos += 2;
+        let rest = &self.text[self.pos..];
+        let end = rest.find("?>").ok_or(XmlError::UnexpectedEof {
+            context: "processing instruction",
+        })?;
+        self.pos += end + 2;
+        Ok(())
+    }
+
+    /// Parse `<!DOCTYPE name [ internal-subset ]>` (external ids are
+    /// tolerated and ignored). Returns a schema when `<!ELEMENT>`
+    /// declarations are present.
+    fn parse_doctype(&mut self) -> XmlResult<Option<Schema>> {
+        debug_assert!(self.starts_with("<!DOCTYPE"));
+        self.pos += "<!DOCTYPE".len();
+        self.skip_whitespace();
+        let _root_name = self.read_name("doctype name")?;
+        // Scan forward; an optional `[...]` internal subset may appear before
+        // the closing `>`.
+        let mut schema = Schema::new();
+        let mut saw_decl = false;
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "DOCTYPE declaration",
+                    })
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'[') => {
+                    self.pos += 1;
+                    loop {
+                        self.skip_whitespace();
+                        if self.starts_with("]") {
+                            self.pos += 1;
+                            break;
+                        } else if self.starts_with("<!ELEMENT") {
+                            let end = self.find_byte(b'>').ok_or(XmlError::UnexpectedEof {
+                                context: "ELEMENT declaration",
+                            })?;
+                            let decl = &self.text[self.pos..=end];
+                            schema.add_element_decl(decl)?;
+                            saw_decl = true;
+                            self.pos = end + 1;
+                        } else if self.starts_with("<!--") {
+                            self.skip_comment()?;
+                        } else if self.starts_with("<!") || self.starts_with("<?") {
+                            // ATTLIST / ENTITY / NOTATION / PI: skip to '>'.
+                            let end = self.find_byte(b'>').ok_or(XmlError::UnexpectedEof {
+                                context: "markup declaration",
+                            })?;
+                            self.pos = end + 1;
+                        } else {
+                            return Err(XmlError::Syntax {
+                                offset: self.pos,
+                                message: "unexpected content in DTD internal subset".into(),
+                            });
+                        }
+                    }
+                }
+                Some(_) => {
+                    // SYSTEM/PUBLIC external id tokens: skip one token.
+                    while let Some(b) = self.peek() {
+                        if b.is_ascii_whitespace() || b == b'[' || b == b'>' {
+                            break;
+                        }
+                        if b == b'"' || b == b'\'' {
+                            let q = b;
+                            self.pos += 1;
+                            while let Some(c) = self.peek() {
+                                self.pos += 1;
+                                if c == q {
+                                    break;
+                                }
+                            }
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        Ok(if saw_decl { Some(schema) } else { None })
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn expect(&mut self, b: u8) -> XmlResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(XmlError::Syntax {
+                offset: self.pos,
+                message: format!("expected '{}'", b as char),
+            })
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn find_byte(&self, b: u8) -> Option<usize> {
+        self.input[self.pos..]
+            .iter()
+            .position(|&x| x == b)
+            .map(|i| i + self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::to_string;
+
+    #[test]
+    fn parse_minimal() {
+        let d = parse("<a/>").unwrap();
+        assert_eq!(d.tag(d.root()), Some("a"));
+        assert!(d.children(d.root()).is_empty());
+    }
+
+    #[test]
+    fn parse_nested_with_text() {
+        let d = parse("<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>")
+            .unwrap();
+        let person = d.first_child_with_tag(d.root(), "person").unwrap();
+        let nm = d.first_child_with_tag(person, "nm").unwrap();
+        assert_eq!(d.text_content(nm), "John");
+    }
+
+    #[test]
+    fn parse_attributes() {
+        let d = parse(r#"<movie year="1995" genre='Horror'/>"#).unwrap();
+        assert_eq!(d.attr(d.root(), "year"), Some("1995"));
+        assert_eq!(d.attr(d.root(), "genre"), Some("Horror"));
+    }
+
+    #[test]
+    fn whitespace_dropped_by_default() {
+        let d = parse("<a>\n  <b>x</b>\n  <c> y </c>\n</a>").unwrap();
+        assert_eq!(d.children(d.root()).len(), 2);
+        let c = d.first_child_with_tag(d.root(), "c").unwrap();
+        assert_eq!(d.text_content(c), "y");
+    }
+
+    #[test]
+    fn whitespace_preserved_on_request() {
+        let opts = ParseOptions {
+            text: TextPolicy::Preserve,
+        };
+        let d = parse_with_options("<a> <b>x</b> </a>", opts).unwrap();
+        assert_eq!(d.children(d.root()).len(), 3);
+    }
+
+    #[test]
+    fn entities_resolved() {
+        let d = parse("<a>Tom &amp; Jerry &lt;3 &#65;</a>").unwrap();
+        assert_eq!(d.text_content(d.root()), "Tom & Jerry <3 A");
+    }
+
+    #[test]
+    fn entities_in_attribute() {
+        let d = parse(r#"<a t="x&amp;y"/>"#).unwrap();
+        assert_eq!(d.attr(d.root(), "t"), Some("x&y"));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        let e = parse("<a>&nbsp;</a>").unwrap_err();
+        assert!(matches!(e, XmlError::UnknownEntity { .. }));
+    }
+
+    #[test]
+    fn comments_and_pis_skipped() {
+        let d = parse("<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/><?pi data?></a>")
+            .unwrap();
+        assert_eq!(d.children(d.root()).len(), 1);
+    }
+
+    #[test]
+    fn cdata_preserved() {
+        let d = parse("<a><![CDATA[1 < 2 & 3]]></a>").unwrap();
+        assert_eq!(d.text_content(d.root()), "1 < 2 & 3");
+    }
+
+    #[test]
+    fn mismatched_tag_detected() {
+        let e = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(e, XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let e = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(e, XmlError::BadDocumentStructure { .. }));
+    }
+
+    #[test]
+    fn unterminated_document_rejected() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn doctype_with_internal_subset_yields_schema() {
+        let input = r#"<!DOCTYPE addressbook [
+            <!ELEMENT addressbook (person*)>
+            <!ELEMENT person (nm, tel?)>
+            <!ELEMENT nm (#PCDATA)>
+            <!ELEMENT tel (#PCDATA)>
+        ]>
+        <addressbook><person><nm>John</nm></person></addressbook>"#;
+        let parsed = parse_full(input, ParseOptions::default()).unwrap();
+        let schema = parsed.schema.expect("schema present");
+        assert!(schema.max_occurs("person", "nm").is_some());
+    }
+
+    #[test]
+    fn doctype_without_subset_is_skipped() {
+        let parsed = parse_full("<!DOCTYPE a SYSTEM \"a.dtd\"><a/>", ParseOptions::default())
+            .unwrap();
+        assert!(parsed.schema.is_none());
+        assert_eq!(parsed.doc.tag(parsed.doc.root()), Some("a"));
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let src = "<addressbook><person rating=\"A&amp;B\"><nm>Jo &amp; Ann</nm></person></addressbook>";
+        let d = parse(src).unwrap();
+        let out = to_string(&d);
+        let d2 = parse(&out).unwrap();
+        assert!(crate::eq::deep_equal(&d, &d2));
+    }
+
+    #[test]
+    fn utf8_content_survives() {
+        let d = parse("<a t=\"snövit\">Amélie — ★</a>").unwrap();
+        assert_eq!(d.text_content(d.root()), "Amélie — ★");
+        assert_eq!(d.attr(d.root(), "t"), Some("snövit"));
+    }
+}

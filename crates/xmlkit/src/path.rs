@@ -1,0 +1,110 @@
+//! Small navigation helpers used across the reproduction.
+//!
+//! These are not the query language (that lives in `imprecise-query`); they
+//! are the handful of tree-walking utilities that the integration engine
+//! and the generators need: slash-separated child paths, descendant
+//! collection by tag, and root-path computation.
+
+use crate::doc::{NodeId, XmlDoc};
+
+/// Resolve a simple slash-separated child path (`"person/nm"`) starting at
+/// `from`, returning the first match.
+///
+/// Each step moves to the first element child with the given tag. Returns
+/// `None` as soon as a step has no match. An empty path returns `from`.
+pub fn first_at_path(doc: &XmlDoc, from: NodeId, path: &str) -> Option<NodeId> {
+    let mut cur = from;
+    for step in path.split('/').filter(|s| !s.is_empty()) {
+        cur = doc.first_child_with_tag(cur, step)?;
+    }
+    Some(cur)
+}
+
+/// Text content of the first node at a slash-separated path, if it exists.
+pub fn text_at_path(doc: &XmlDoc, from: NodeId, path: &str) -> Option<String> {
+    first_at_path(doc, from, path).map(|n| doc.text_content(n))
+}
+
+/// All descendant elements (including `from` itself if it matches) with the
+/// given tag, in document order.
+pub fn descendants_with_tag(doc: &XmlDoc, from: NodeId, tag: &str) -> Vec<NodeId> {
+    doc.descendants(from)
+        .filter(|&n| doc.tag(n) == Some(tag))
+        .collect()
+}
+
+/// The chain of ancestors from the root down to `node` (inclusive).
+pub fn root_path(doc: &XmlDoc, node: NodeId) -> Vec<NodeId> {
+    let mut path = Vec::new();
+    let mut cur = Some(node);
+    while let Some(n) = cur {
+        path.push(n);
+        cur = doc.parent(n);
+    }
+    path.reverse();
+    path
+}
+
+/// Depth of `node` (root has depth 0).
+pub fn depth(doc: &XmlDoc, node: NodeId) -> usize {
+    let mut d = 0;
+    let mut cur = doc.parent(node);
+    while let Some(n) = cur {
+        d += 1;
+        cur = doc.parent(n);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn doc() -> XmlDoc {
+        parse(
+            "<catalog><movie><title>Jaws</title><genre>Horror</genre></movie>\
+             <movie><title>Jaws 2</title><genre>Horror</genre></movie></catalog>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn path_resolution() {
+        let d = doc();
+        let title = first_at_path(&d, d.root(), "movie/title").unwrap();
+        assert_eq!(d.text_content(title), "Jaws");
+        assert_eq!(
+            text_at_path(&d, d.root(), "movie/genre"),
+            Some("Horror".to_string())
+        );
+        assert!(first_at_path(&d, d.root(), "movie/rating").is_none());
+    }
+
+    #[test]
+    fn empty_path_is_identity() {
+        let d = doc();
+        assert_eq!(first_at_path(&d, d.root(), ""), Some(d.root()));
+        assert_eq!(first_at_path(&d, d.root(), "///"), Some(d.root()));
+    }
+
+    #[test]
+    fn descendant_collection() {
+        let d = doc();
+        let titles = descendants_with_tag(&d, d.root(), "title");
+        assert_eq!(titles.len(), 2);
+        assert_eq!(d.text_content(titles[1]), "Jaws 2");
+    }
+
+    #[test]
+    fn root_path_and_depth() {
+        let d = doc();
+        let title = first_at_path(&d, d.root(), "movie/title").unwrap();
+        let path = root_path(&d, title);
+        assert_eq!(path.first().copied(), Some(d.root()));
+        assert_eq!(path.last().copied(), Some(title));
+        assert_eq!(path.len(), 3);
+        assert_eq!(depth(&d, title), 2);
+        assert_eq!(depth(&d, d.root()), 0);
+    }
+}

@@ -1,0 +1,704 @@
+//! DTD-lite content models.
+//!
+//! The paper uses DTD knowledge to reject impossible worlds during
+//! integration: *"the DTD specified that persons also only have one phone
+//! number, hence the possibility of John having two phone numbers is
+//! rejected"*. This module provides the corresponding machinery: per-tag
+//! content models with child cardinalities, parsed from `<!ELEMENT …>`
+//! declarations or built programmatically.
+//!
+//! The grammar accepted is the practically useful subset of DTD content
+//! models: `EMPTY`, `ANY`, `(#PCDATA)`, mixed content
+//! `(#PCDATA | a | b)*`, and sequence/choice groups of named children with
+//! `?`, `*`, `+` occurrence markers. Nested groups are flattened, combining
+//! occurrence markers conservatively (a child inside `( … )*` is recorded as
+//! repeatable regardless of its inner marker). What integration needs from
+//! the schema is exactly the per-(parent, child) *cardinality*, so the
+//! flattening loses nothing relevant.
+
+use crate::doc::{NodeId, XmlDoc};
+use crate::error::{XmlError, XmlResult};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How many times a child tag may occur under its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cardinality {
+    /// Exactly one (`a`).
+    One,
+    /// Zero or one (`a?`).
+    Optional,
+    /// Zero or more (`a*`).
+    Many,
+    /// One or more (`a+`).
+    OneOrMore,
+}
+
+impl Cardinality {
+    /// True when at most one occurrence is allowed — the property that turns
+    /// a merge conflict into a mutually exclusive choice.
+    #[inline]
+    pub fn is_single(self) -> bool {
+        matches!(self, Cardinality::One | Cardinality::Optional)
+    }
+
+    /// True when at least one occurrence is required.
+    #[inline]
+    pub fn is_required(self) -> bool {
+        matches!(self, Cardinality::One | Cardinality::OneOrMore)
+    }
+
+    /// Combine an inner occurrence marker with an enclosing group's marker
+    /// (e.g. `b?` inside `( … )*` behaves like `b*`).
+    fn under(self, outer: Cardinality) -> Cardinality {
+        use Cardinality::*;
+        match (outer, self) {
+            (One, inner) => inner,
+            (Optional, One) => Optional,
+            (Optional, inner) => match inner {
+                OneOrMore => Many,
+                other => other,
+            },
+            (Many, _) => Many,
+            (OneOrMore, One) => OneOrMore,
+            (OneOrMore, OneOrMore) => OneOrMore,
+            (OneOrMore, _) => Many,
+        }
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cardinality::One => "1",
+            Cardinality::Optional => "?",
+            Cardinality::Many => "*",
+            Cardinality::OneOrMore => "+",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named child slot in a flattened content model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChildSpec {
+    /// Child tag name.
+    pub tag: String,
+    /// Allowed occurrences.
+    pub card: Cardinality,
+    /// True when the slot came from a choice group: its minimum occurrence
+    /// is not individually enforced during validation.
+    pub from_choice: bool,
+}
+
+/// Content model of one element type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentModel {
+    /// `EMPTY` — no children at all.
+    Empty,
+    /// `ANY` — anything goes (also the behaviour for undeclared elements).
+    Any,
+    /// `(#PCDATA)` — text only.
+    Pcdata,
+    /// `(#PCDATA | a | b)*` — text mixed with the listed child tags.
+    Mixed(Vec<String>),
+    /// Element content: a flattened sequence of child slots.
+    Children(Vec<ChildSpec>),
+}
+
+/// A DTD-lite schema: a map from element tag to its content model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    models: BTreeMap<String, ContentModel>,
+}
+
+impl Schema {
+    /// Create an empty schema (every element implicitly `ANY`).
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Parse a string of `<!ELEMENT …>` declarations (whitespace/comments
+    /// between declarations are ignored).
+    pub fn parse(dtd: &str) -> XmlResult<Self> {
+        let mut schema = Schema::new();
+        let mut rest = dtd;
+        loop {
+            rest = rest.trim_start();
+            if rest.is_empty() {
+                break;
+            }
+            if let Some(after) = rest.strip_prefix("<!--") {
+                let end = after.find("-->").ok_or(XmlError::UnexpectedEof {
+                    context: "comment in DTD",
+                })?;
+                rest = &after[end + 3..];
+                continue;
+            }
+            if rest.starts_with("<!ELEMENT") {
+                let end = rest.find('>').ok_or(XmlError::UnexpectedEof {
+                    context: "ELEMENT declaration",
+                })?;
+                schema.add_element_decl(&rest[..=end])?;
+                rest = &rest[end + 1..];
+                continue;
+            }
+            return Err(XmlError::BadSchema {
+                message: format!(
+                    "expected <!ELEMENT …> declaration, found: {}",
+                    &rest[..rest.len().min(30)]
+                ),
+            });
+        }
+        Ok(schema)
+    }
+
+    /// Add one `<!ELEMENT name model>` declaration.
+    pub fn add_element_decl(&mut self, decl: &str) -> XmlResult<()> {
+        let body = decl
+            .trim()
+            .strip_prefix("<!ELEMENT")
+            .and_then(|s| s.strip_suffix('>'))
+            .ok_or_else(|| XmlError::BadSchema {
+                message: format!("not an ELEMENT declaration: {decl}"),
+            })?
+            .trim();
+        let (name, model_src) =
+            body.split_once(char::is_whitespace)
+                .ok_or_else(|| XmlError::BadSchema {
+                    message: format!("missing content model in: {decl}"),
+                })?;
+        let model = parse_content_model(model_src.trim())?;
+        self.models.insert(name.to_string(), model);
+        Ok(())
+    }
+
+    /// Programmatically declare an element with sequence content.
+    pub fn declare(&mut self, tag: impl Into<String>, children: &[(&str, Cardinality)]) {
+        let specs = children
+            .iter()
+            .map(|(t, c)| ChildSpec {
+                tag: (*t).to_string(),
+                card: *c,
+                from_choice: false,
+            })
+            .collect();
+        self.models
+            .insert(tag.into(), ContentModel::Children(specs));
+    }
+
+    /// Programmatically declare a text-only element.
+    pub fn declare_text(&mut self, tag: impl Into<String>) {
+        self.models.insert(tag.into(), ContentModel::Pcdata);
+    }
+
+    /// The content model declared for `tag`, if any.
+    pub fn model(&self, tag: &str) -> Option<&ContentModel> {
+        self.models.get(tag)
+    }
+
+    /// Number of declared element types.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when nothing has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Cardinality of `child` under `parent`, if the schema pins it down.
+    ///
+    /// Returns `None` when the parent is undeclared, declared `ANY`, or does
+    /// not mention the child — in which case integration falls back to
+    /// treating the child as repeatable (no knowledge ⇒ no pruning, exactly
+    /// the paper's "too little semantical knowledge" regime).
+    pub fn max_occurs(&self, parent: &str, child: &str) -> Option<Cardinality> {
+        match self.models.get(parent)? {
+            ContentModel::Children(specs) => {
+                specs.iter().find(|s| s.tag == child).map(|s| s.card)
+            }
+            ContentModel::Mixed(tags) => tags
+                .iter()
+                .any(|t| t == child)
+                .then_some(Cardinality::Many),
+            _ => None,
+        }
+    }
+
+    /// True when the schema says `child` occurs at most once under `parent`.
+    pub fn is_single_valued(&self, parent: &str, child: &str) -> bool {
+        self.max_occurs(parent, child)
+            .is_some_and(Cardinality::is_single)
+    }
+
+    /// Validate a document against the schema.
+    ///
+    /// Checks, for every element with a declared model: `EMPTY` elements
+    /// have no children; `PCDATA` elements have no element children;
+    /// element-content elements have no text children, no undeclared child
+    /// tags, and per-tag occurrence counts within the declared cardinality.
+    /// (Sequence *order* is not enforced: integrated documents interleave
+    /// children from two sources, and the paper's engine is order-agnostic.)
+    pub fn validate(&self, doc: &XmlDoc) -> XmlResult<()> {
+        self.validate_node(doc, doc.root())
+    }
+
+    fn validate_node(&self, doc: &XmlDoc, node: NodeId) -> XmlResult<()> {
+        if let Some(tag) = doc.tag(node) {
+            if let Some(model) = self.models.get(tag) {
+                self.check_element(doc, node, tag, model)?;
+            }
+            for &c in doc.children(node) {
+                self.validate_node(doc, c)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_element(
+        &self,
+        doc: &XmlDoc,
+        node: NodeId,
+        tag: &str,
+        model: &ContentModel,
+    ) -> XmlResult<()> {
+        let children = doc.children(node);
+        match model {
+            ContentModel::Any => Ok(()),
+            ContentModel::Empty => {
+                if children.is_empty() {
+                    Ok(())
+                } else {
+                    Err(XmlError::Invalid {
+                        message: format!("<{tag}> is declared EMPTY but has children"),
+                    })
+                }
+            }
+            ContentModel::Pcdata => {
+                if children.iter().any(|&c| doc.is_element(c)) {
+                    Err(XmlError::Invalid {
+                        message: format!("<{tag}> is declared (#PCDATA) but has element children"),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            ContentModel::Mixed(tags) => {
+                for &c in children {
+                    if let Some(child_tag) = doc.tag(c) {
+                        if !tags.iter().any(|t| t == child_tag) {
+                            return Err(XmlError::Invalid {
+                                message: format!(
+                                    "<{child_tag}> not allowed in mixed content of <{tag}>"
+                                ),
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+            ContentModel::Children(specs) => {
+                if children.iter().any(|&c| doc.is_text(c)) {
+                    return Err(XmlError::Invalid {
+                        message: format!("text not allowed inside <{tag}> (element content)"),
+                    });
+                }
+                let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+                for &c in children {
+                    let child_tag = doc.tag(c).expect("element child");
+                    let spec =
+                        specs
+                            .iter()
+                            .find(|s| s.tag == child_tag)
+                            .ok_or_else(|| XmlError::Invalid {
+                                message: format!("<{child_tag}> not allowed inside <{tag}>"),
+                            })?;
+                    let n = counts.entry(spec.tag.as_str()).or_insert(0);
+                    *n += 1;
+                    if spec.card.is_single() && *n > 1 {
+                        return Err(XmlError::Invalid {
+                            message: format!(
+                                "<{child_tag}> occurs {n} times inside <{tag}> but cardinality is {}",
+                                spec.card
+                            ),
+                        });
+                    }
+                }
+                for spec in specs {
+                    if spec.card.is_required()
+                        && !spec.from_choice
+                        && !counts.contains_key(spec.tag.as_str())
+                    {
+                        return Err(XmlError::Invalid {
+                            message: format!("required child <{}> missing in <{tag}>", spec.tag),
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Parse a DTD content model expression into a flattened [`ContentModel`].
+fn parse_content_model(src: &str) -> XmlResult<ContentModel> {
+    let src = src.trim();
+    match src {
+        "EMPTY" => return Ok(ContentModel::Empty),
+        "ANY" => return Ok(ContentModel::Any),
+        "(#PCDATA)" | "( #PCDATA )" => return Ok(ContentModel::Pcdata),
+        _ => {}
+    }
+    if !src.starts_with('(') {
+        return Err(XmlError::BadSchema {
+            message: format!("content model must be EMPTY, ANY or a group: {src}"),
+        });
+    }
+    // Mixed content: (#PCDATA | a | b)* or (#PCDATA).
+    let inner_for_mixed = src
+        .trim_end_matches('*')
+        .trim()
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .map(str::trim);
+    if let Some(inner) = inner_for_mixed {
+        if inner.starts_with("#PCDATA") {
+            let tags: Vec<String> = inner
+                .split('|')
+                .skip(1)
+                .map(|t| t.trim().to_string())
+                .filter(|t| !t.is_empty())
+                .collect();
+            return Ok(if tags.is_empty() {
+                ContentModel::Pcdata
+            } else {
+                ContentModel::Mixed(tags)
+            });
+        }
+    }
+    let mut specs = Vec::new();
+    let mut pos = 0usize;
+    parse_group(src.as_bytes(), src, &mut pos, Cardinality::One, &mut specs)?;
+    // Trailing occurrence marker on the outermost group was consumed by
+    // parse_group; ensure nothing but whitespace remains.
+    if src[pos..].trim() != "" {
+        return Err(XmlError::BadSchema {
+            message: format!("trailing content in model: {}", &src[pos..]),
+        });
+    }
+    // Deduplicate repeated mentions (e.g. from choices) keeping the loosest
+    // cardinality.
+    let mut merged: Vec<ChildSpec> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        if let Some(existing) = merged.iter_mut().find(|s| s.tag == spec.tag) {
+            existing.card = loosest(existing.card, spec.card);
+            existing.from_choice = existing.from_choice || spec.from_choice;
+        } else {
+            merged.push(spec);
+        }
+    }
+    Ok(ContentModel::Children(merged))
+}
+
+fn loosest(a: Cardinality, b: Cardinality) -> Cardinality {
+    use Cardinality::*;
+    match (a, b) {
+        (Many, _) | (_, Many) => Many,
+        (Optional, OneOrMore) | (OneOrMore, Optional) => Many,
+        (Optional, _) | (_, Optional) => Optional,
+        (OneOrMore, _) | (_, OneOrMore) => OneOrMore,
+        (One, One) => One,
+    }
+}
+
+/// Recursive-descent parse of a `( … )` group starting at `pos` (which must
+/// point at `(`). Appends flattened child specs. `outer` is the occurrence
+/// context contributed by enclosing groups.
+fn parse_group(
+    bytes: &[u8],
+    src: &str,
+    pos: &mut usize,
+    outer: Cardinality,
+    specs: &mut Vec<ChildSpec>,
+) -> XmlResult<()> {
+    if bytes.get(*pos) != Some(&b'(') {
+        return Err(XmlError::BadSchema {
+            message: format!("expected '(' at {} in: {src}", *pos),
+        });
+    }
+    *pos += 1;
+    let mut is_choice = false;
+    let mut group_items: Vec<ChildSpec> = Vec::new();
+    loop {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => {
+                return Err(XmlError::UnexpectedEof {
+                    context: "content model group",
+                })
+            }
+            Some(b')') => {
+                *pos += 1;
+                break;
+            }
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'|') => {
+                is_choice = true;
+                *pos += 1;
+            }
+            Some(b'(') => {
+                let mut inner = Vec::new();
+                parse_group(bytes, src, pos, Cardinality::One, &mut inner)?;
+                // The occurrence marker for the sub-group was applied inside;
+                // lift into this group's item list.
+                group_items.extend(inner);
+            }
+            Some(_) => {
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b','
+                        || b == b'|'
+                        || b == b')'
+                        || b == b'?'
+                        || b == b'*'
+                        || b == b'+'
+                        || b.is_ascii_whitespace()
+                    {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let name = &src[start..*pos];
+                if name.is_empty() {
+                    return Err(XmlError::BadSchema {
+                        message: format!("empty name in content model: {src}"),
+                    });
+                }
+                let card = read_occurrence(bytes, pos);
+                group_items.push(ChildSpec {
+                    tag: name.to_string(),
+                    card,
+                    from_choice: false,
+                });
+            }
+        }
+    }
+    let group_card = read_occurrence(bytes, pos);
+    let effective_outer = group_card.under(outer);
+    for mut item in group_items {
+        item.card = item.card.under(effective_outer);
+        if is_choice {
+            item.from_choice = true;
+            // Members of a choice are individually optional.
+            item.card = match item.card {
+                Cardinality::One => Cardinality::Optional,
+                Cardinality::OneOrMore => Cardinality::Many,
+                other => other,
+            };
+        }
+        specs.push(item);
+    }
+    Ok(())
+}
+
+fn read_occurrence(bytes: &[u8], pos: &mut usize) -> Cardinality {
+    match bytes.get(*pos) {
+        Some(b'?') => {
+            *pos += 1;
+            Cardinality::Optional
+        }
+        Some(b'*') => {
+            *pos += 1;
+            Cardinality::Many
+        }
+        Some(b'+') => {
+            *pos += 1;
+            Cardinality::OneOrMore
+        }
+        _ => Cardinality::One,
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if b.is_ascii_whitespace() {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn movie_schema() -> Schema {
+        Schema::parse(
+            r#"
+            <!ELEMENT catalog (movie*)>
+            <!ELEMENT movie (title, year?, genre*, director+)>
+            <!ELEMENT title (#PCDATA)>
+            <!ELEMENT year (#PCDATA)>
+            <!ELEMENT genre (#PCDATA)>
+            <!ELEMENT director (#PCDATA)>
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_declarations() {
+        let s = movie_schema();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.max_occurs("movie", "title"), Some(Cardinality::One));
+        assert_eq!(s.max_occurs("movie", "year"), Some(Cardinality::Optional));
+        assert_eq!(s.max_occurs("movie", "genre"), Some(Cardinality::Many));
+        assert_eq!(
+            s.max_occurs("movie", "director"),
+            Some(Cardinality::OneOrMore)
+        );
+        assert_eq!(s.max_occurs("movie", "rating"), None);
+        assert_eq!(s.max_occurs("unknown", "x"), None);
+    }
+
+    #[test]
+    fn single_valuedness() {
+        let s = movie_schema();
+        assert!(s.is_single_valued("movie", "title"));
+        assert!(s.is_single_valued("movie", "year"));
+        assert!(!s.is_single_valued("movie", "genre"));
+        assert!(!s.is_single_valued("movie", "director"));
+        assert!(!s.is_single_valued("movie", "unheard_of"));
+    }
+
+    #[test]
+    fn programmatic_declaration() {
+        let mut s = Schema::new();
+        s.declare(
+            "person",
+            &[("nm", Cardinality::One), ("tel", Cardinality::Optional)],
+        );
+        s.declare_text("nm");
+        assert!(s.is_single_valued("person", "tel"));
+        assert_eq!(s.model("nm"), Some(&ContentModel::Pcdata));
+    }
+
+    #[test]
+    fn empty_and_any() {
+        let s = Schema::parse("<!ELEMENT br EMPTY><!ELEMENT blob ANY>").unwrap();
+        assert_eq!(s.model("br"), Some(&ContentModel::Empty));
+        assert_eq!(s.model("blob"), Some(&ContentModel::Any));
+    }
+
+    #[test]
+    fn mixed_content_parses() {
+        let s = Schema::parse("<!ELEMENT p (#PCDATA | em | strong)*>").unwrap();
+        match s.model("p") {
+            Some(ContentModel::Mixed(tags)) => {
+                assert_eq!(tags, &["em".to_string(), "strong".to_string()]);
+            }
+            other => panic!("expected mixed, got {other:?}"),
+        }
+        assert_eq!(s.max_occurs("p", "em"), Some(Cardinality::Many));
+    }
+
+    #[test]
+    fn choice_group_members_are_optional() {
+        let s = Schema::parse("<!ELEMENT media (video | audio)>").unwrap();
+        assert_eq!(s.max_occurs("media", "video"), Some(Cardinality::Optional));
+        assert_eq!(s.max_occurs("media", "audio"), Some(Cardinality::Optional));
+    }
+
+    #[test]
+    fn starred_group_makes_members_repeatable() {
+        let s = Schema::parse("<!ELEMENT log ((entry, note?))*>").unwrap();
+        assert_eq!(s.max_occurs("log", "entry"), Some(Cardinality::Many));
+        assert_eq!(s.max_occurs("log", "note"), Some(Cardinality::Many));
+    }
+
+    #[test]
+    fn validate_accepts_conforming_document() {
+        let s = movie_schema();
+        let d = parse(
+            "<catalog><movie><title>Jaws</title><year>1975</year>\
+             <genre>Horror</genre><director>Spielberg</director></movie></catalog>",
+        )
+        .unwrap();
+        s.validate(&d).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_double_single_child() {
+        let s = movie_schema();
+        let d = parse(
+            "<catalog><movie><title>A</title><title>B</title><director>X</director></movie></catalog>",
+        )
+        .unwrap();
+        let e = s.validate(&d).unwrap_err();
+        assert!(matches!(e, XmlError::Invalid { .. }), "{e}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_required_child() {
+        let s = movie_schema();
+        let d = parse("<catalog><movie><title>A</title></movie></catalog>").unwrap();
+        // director+ is required.
+        assert!(s.validate(&d).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_undeclared_child() {
+        let s = movie_schema();
+        let d = parse(
+            "<catalog><movie><title>A</title><director>X</director><rating>5</rating></movie></catalog>",
+        )
+        .unwrap();
+        assert!(s.validate(&d).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_text_in_element_content() {
+        let s = movie_schema();
+        let d = parse("<catalog>stray text</catalog>").unwrap();
+        assert!(s.validate(&d).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_elements_inside_pcdata() {
+        let s = movie_schema();
+        let d = parse(
+            "<catalog><movie><title><b>A</b></title><director>X</director></movie></catalog>",
+        )
+        .unwrap();
+        assert!(s.validate(&d).is_err());
+    }
+
+    #[test]
+    fn undeclared_elements_are_unconstrained() {
+        let s = movie_schema();
+        let d = parse("<whatever><goes/><here>text</here></whatever>").unwrap();
+        s.validate(&d).unwrap();
+    }
+
+    #[test]
+    fn bad_declaration_is_rejected() {
+        assert!(Schema::parse("<!ELEMENT broken").is_err());
+        assert!(Schema::parse("<!ATTLIST a b CDATA #IMPLIED>").is_err());
+        assert!(Schema::parse("<!ELEMENT a >").is_err());
+    }
+
+    #[test]
+    fn loosest_combination() {
+        use Cardinality::*;
+        assert_eq!(loosest(One, One), One);
+        assert_eq!(loosest(One, Optional), Optional);
+        assert_eq!(loosest(Optional, OneOrMore), Many);
+        assert_eq!(loosest(Many, One), Many);
+        assert_eq!(loosest(OneOrMore, One), OneOrMore);
+    }
+}

@@ -1,0 +1,182 @@
+//! Serialization of [`XmlDoc`] trees back to XML text.
+
+use crate::doc::{NodeId, NodeKind, XmlDoc};
+use crate::escape::{escape_attr, escape_text};
+use std::fmt::Write;
+
+/// Serialize the whole document compactly (no added whitespace).
+pub fn to_string(doc: &XmlDoc) -> String {
+    let mut out = String::with_capacity(doc.len() * 16);
+    write_node(doc, doc.root(), &mut out);
+    out
+}
+
+/// Serialize the subtree rooted at `node` compactly.
+pub fn node_to_string(doc: &XmlDoc, node: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, node, &mut out);
+    out
+}
+
+/// Serialize the whole document with two-space indentation.
+///
+/// Text-only elements are kept on one line (`<nm>John</nm>`); mixed content
+/// falls back to compact serialization for that element so no whitespace is
+/// invented inside it.
+pub fn to_pretty_string(doc: &XmlDoc) -> String {
+    let mut out = String::with_capacity(doc.len() * 24);
+    write_pretty(doc, doc.root(), 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_node(doc: &XmlDoc, node: NodeId, out: &mut String) {
+    match doc.kind(node) {
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Element { tag, attrs } => {
+            out.push('<');
+            out.push_str(tag);
+            for a in attrs {
+                let _ = write!(out, " {}=\"{}\"", a.name, escape_attr(&a.value));
+            }
+            let children = doc.children(node);
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for &c in children {
+                    write_node(doc, c, out);
+                }
+                out.push_str("</");
+                out.push_str(tag);
+                out.push('>');
+            }
+        }
+    }
+}
+
+fn write_pretty(doc: &XmlDoc, node: NodeId, depth: usize, out: &mut String) {
+    const INDENT: &str = "  ";
+    for _ in 0..depth {
+        out.push_str(INDENT);
+    }
+    match doc.kind(node) {
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Element { tag, attrs } => {
+            out.push('<');
+            out.push_str(tag);
+            for a in attrs {
+                let _ = write!(out, " {}=\"{}\"", a.name, escape_attr(&a.value));
+            }
+            let children = doc.children(node);
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            let only_text = children.iter().all(|&c| doc.is_text(c));
+            let has_text = children.iter().any(|&c| doc.is_text(c));
+            if only_text {
+                out.push('>');
+                for &c in children {
+                    if let NodeKind::Text(t) = doc.kind(c) {
+                        out.push_str(&escape_text(t));
+                    }
+                }
+                out.push_str("</");
+                out.push_str(tag);
+                out.push('>');
+            } else if has_text {
+                // Mixed content: compact to avoid inventing whitespace.
+                out.push('>');
+                for &c in children {
+                    write_node(doc, c, out);
+                }
+                out.push_str("</");
+                out.push_str(tag);
+                out.push('>');
+            } else {
+                out.push('>');
+                out.push('\n');
+                for &c in children {
+                    write_pretty(doc, c, depth + 1, out);
+                    out.push('\n');
+                }
+                for _ in 0..depth {
+                    out.push_str(INDENT);
+                }
+                out.push_str("</");
+                out.push_str(tag);
+                out.push('>');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compact_roundtrip() {
+        let src = "<a x=\"1\"><b>t</b><c/></a>";
+        let d = parse(src).unwrap();
+        assert_eq!(to_string(&d), src);
+    }
+
+    #[test]
+    fn text_is_escaped_on_output() {
+        let mut d = XmlDoc::new("a");
+        d.add_text(d.root(), "1 < 2 & 3");
+        assert_eq!(to_string(&d), "<a>1 &lt; 2 &amp; 3</a>");
+    }
+
+    #[test]
+    fn attr_is_escaped_on_output() {
+        let mut d = XmlDoc::new("a");
+        d.set_attr(d.root(), "t", "say \"hi\" & bye");
+        assert_eq!(to_string(&d), "<a t=\"say &quot;hi&quot; &amp; bye\"/>");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let d = parse("<a><b></b></a>").unwrap();
+        assert_eq!(to_string(&d), "<a><b/></a>");
+    }
+
+    #[test]
+    fn pretty_prints_indented() {
+        let d = parse("<a><b><c>x</c></b><d/></a>").unwrap();
+        let pretty = to_pretty_string(&d);
+        assert_eq!(pretty, "<a>\n  <b>\n    <c>x</c>\n  </b>\n  <d/>\n</a>\n");
+    }
+
+    #[test]
+    fn pretty_keeps_mixed_content_compact() {
+        let src = "<p>hello <b>world</b> bye</p>";
+        let d = crate::parser::parse_with_options(
+            src,
+            crate::parser::ParseOptions {
+                text: crate::parser::TextPolicy::Preserve,
+            },
+        )
+        .unwrap();
+        let pretty = to_pretty_string(&d);
+        assert_eq!(pretty, "<p>hello <b>world</b> bye</p>\n");
+    }
+
+    #[test]
+    fn pretty_roundtrips_through_parse() {
+        let src = "<catalog><movie><title>Jaws</title><year>1975</year></movie></catalog>";
+        let d = parse(src).unwrap();
+        let d2 = parse(&to_pretty_string(&d)).unwrap();
+        assert!(crate::eq::deep_equal(&d, &d2));
+    }
+
+    #[test]
+    fn node_to_string_serializes_subtree() {
+        let d = parse("<a><b>x</b></a>").unwrap();
+        let b = d.first_child_with_tag(d.root(), "b").unwrap();
+        assert_eq!(node_to_string(&d, b), "<b>x</b>");
+    }
+}

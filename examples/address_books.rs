@@ -1,0 +1,72 @@
+//! The paper's Fig. 2/Fig. 3 walkthrough in full detail: integrate the two
+//! John address books, inspect every possible world, see the compact
+//! probabilistic tree in its annotated-XML form, and observe how the DTD
+//! ("persons only have one phone number") prunes the two-phone world.
+//!
+//! Run with `cargo run --example address_books`.
+
+use imprecise::datagen::addressbook::{addressbook_schema, fig2_sources};
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise::oracle::presets::addressbook_oracle;
+use imprecise::pxml::to_annotated_xml;
+use imprecise::xml::{to_pretty_string, to_string};
+
+fn main() {
+    let (source_a, source_b) = fig2_sources();
+    println!("source 1: {}", to_string(&source_a));
+    println!("source 2: {}\n", to_string(&source_b));
+
+    let oracle = addressbook_oracle();
+    let options = IntegrationOptions::default();
+
+    // --- With the DTD: the paper's Fig. 2 — three possible worlds. ---
+    let schema = addressbook_schema();
+    let with_dtd = integrate_xml(&source_a, &source_b, &oracle, Some(&schema), &options)
+        .expect("integration succeeds");
+    println!("== with DTD (person has at most one tel) ==");
+    println!(
+        "compact representation: {}\n",
+        with_dtd.doc.node_breakdown()
+    );
+    println!("annotated probabilistic XML:");
+    println!("{}", to_pretty_string(&to_annotated_xml(&with_dtd.doc)));
+    println!("the {} possible worlds:", with_dtd.doc.world_count());
+    for (i, world) in with_dtd
+        .doc
+        .world_distribution(100)
+        .expect("small document")
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  world {} (p = {:.2}): {}",
+            i + 1,
+            world.prob,
+            to_string(&world.doc)
+        );
+    }
+
+    // --- Without the DTD: John may simply have both numbers. ---
+    let without_dtd = integrate_xml(&source_a, &source_b, &oracle, None, &options)
+        .expect("integration succeeds");
+    println!("\n== without DTD ==");
+    println!("the {} possible worlds:", without_dtd.doc.world_count());
+    for (i, world) in without_dtd
+        .doc
+        .world_distribution(100)
+        .expect("small document")
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  world {} (p = {:.2}): {}",
+            i + 1,
+            world.prob,
+            to_string(&world.doc)
+        );
+    }
+    println!(
+        "\nThe DTD is what rejects the \"John has two phone numbers\" possibility —\n\
+         exactly the paper's §II example."
+    );
+}

@@ -1,0 +1,62 @@
+//! Integrating the movie catalogs of §V: two sources with different
+//! conventions (IMDB vs MPEG-7 style), franchise confusion, and the
+//! knowledge rules that keep the possibility space tame.
+//!
+//! Run with `cargo run --example movie_integration`.
+
+use imprecise::datagen::scenarios;
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise::oracle::presets::TableIRuleSet;
+use imprecise::xml::to_pretty_string;
+
+fn main() {
+    // A small confusing workload: 6 MPEG-7 movies vs 6 IMDB franchise
+    // entries (sequels and TV variants).
+    let scenario = scenarios::fig5(6);
+    println!("MPEG-7 source:\n{}", to_pretty_string(&scenario.mpeg7));
+    println!("IMDB source:\n{}", to_pretty_string(&scenario.imdb));
+
+    println!(
+        "{:<36} {:>10} {:>12} {:>12} {:>10}",
+        "effective rules", "undecided", "nodes", "worlds", "decisions"
+    );
+    for rule_set in TableIRuleSet::ALL {
+        let oracle = rule_set.oracle();
+        let result = integrate_xml(
+            &scenario.mpeg7,
+            &scenario.imdb,
+            &oracle,
+            Some(&scenario.schema),
+            &IntegrationOptions::default(),
+        )
+        .expect("integration succeeds");
+        let decided: usize = result.stats.rule_decisions.values().sum();
+        println!(
+            "{:<36} {:>10} {:>12.4e} {:>12.4e} {:>10}",
+            rule_set.label(),
+            result.stats.judged_possible,
+            result.doc.unfactored_node_count(),
+            result.doc.world_count_f64(),
+            decided,
+        );
+    }
+
+    // Show what the full rule set decided, per rule.
+    let full = TableIRuleSet::GenreTitleYear.oracle();
+    let result = integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        &full,
+        Some(&scenario.schema),
+        &IntegrationOptions::default(),
+    )
+    .expect("integration succeeds");
+    println!("\nabsolute decisions by rule (full rule set):");
+    for (rule, count) in &result.stats.rule_decisions {
+        println!("  {rule:<24} {count}");
+    }
+    println!(
+        "\n\"In theory, data sources can be integrated fully automatically using our\n\
+         method\" — the rules just keep the number of possibilities manageable (§V)."
+    );
+}

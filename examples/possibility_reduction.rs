@@ -1,0 +1,96 @@
+//! Possibility reduction end to end: configure the Oracle from a textual
+//! rule file, integrate the confusing §VI movie catalog, prune the result
+//! at increasing thresholds, and watch the paper's warning play out —
+//! *"reduction should not be pushed too far, because eliminating valid
+//! possibilities reduces the quality of query answers"* (§V).
+//!
+//! Also exports the pruned tree as GraphViz for the Fig. 2-style picture:
+//!
+//! ```text
+//! cargo run --example possibility_reduction -- --dot | dot -Tsvg > db.svg
+//! ```
+
+use imprecise::datagen::scenarios;
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise::oracle::parse_rules;
+use imprecise::pxml::to_dot;
+use imprecise::quality::evaluate;
+use imprecise::query::{eval_px, parse_query};
+
+/// The §VI configuration written as the rule file a user would keep next
+/// to their data (no year rule — "the II may be a typing mistake").
+const RULES: &str = "\
+rule deep-equal
+rule exact-text genre                              # no typos in genres
+rule similarity movie title >= 0.55 using title    # the paper's title rule
+prior similarity movie title range 0.05 0.95 using title
+";
+
+fn main() {
+    let dot_mode = std::env::args().any(|a| a == "--dot");
+    let scenario = scenarios::query_db();
+    let oracle = parse_rules(RULES).expect("rule file parses");
+    let result = integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        &oracle,
+        Some(&scenario.schema),
+        &IntegrationOptions {
+            source_weights: (0.8, 0.2), // the MPEG-7 source is curated
+            ..IntegrationOptions::default()
+        },
+    )
+    .expect("integration succeeds");
+
+    let john = parse_query(
+        "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
+    )
+    .expect("query parses");
+    let truth = ["Die Hard: With a Vengeance", "Mission: Impossible II"];
+
+    if dot_mode {
+        // Print the heavily pruned tree (small enough to render readably).
+        let mut doc = result.doc.clone();
+        doc.prune_below(0.3);
+        print!("{}", to_dot(&doc));
+        return;
+    }
+
+    println!("rules in effect:\n{RULES}");
+    println!(
+        "integrated: {} worlds, {} nodes\n",
+        result.doc.world_count_f64(),
+        result.doc.reachable_count()
+    );
+    println!(
+        "{:>5} {:>7} {:>10} {:>7} {:>7} {:>7}   answers (p >= 1%)",
+        "eps", "nodes", "worlds", "P", "R", "F"
+    );
+    for eps in [0.0, 0.05, 0.1, 0.2, 0.3, 0.6] {
+        let mut doc = result.doc.clone();
+        doc.prune_below(eps);
+        let answers = eval_px(&doc, &john).expect("query evaluates");
+        let q = evaluate(&answers, &truth);
+        let listing: Vec<String> = answers
+            .items
+            .iter()
+            .filter(|a| a.probability >= 0.01)
+            .map(|a| format!("{} ({:.0}%)", a.value, a.probability * 100.0))
+            .collect();
+        println!(
+            "{:>5.2} {:>7} {:>10.3e} {:>7.3} {:>7.3} {:>7.3}   {}",
+            eps,
+            doc.reachable_count(),
+            doc.world_count_f64(),
+            q.precision,
+            q.recall,
+            q.f_measure,
+            listing.join(", ")
+        );
+    }
+    println!(
+        "\nMild pruning discards the unlikely typo-merge (precision up);\n\
+         the dip on the way shows a valid possibility going before the\n\
+         noise does — reduction must not be pushed too far."
+    );
+}

@@ -1,0 +1,67 @@
+//! How much does each individual rule contribute? An ablation over the
+//! eight on/off combinations of the three domain rules on a confusing
+//! franchise workload — extending Table I from five rows to the full
+//! lattice.
+//!
+//! Run with `cargo run --example rule_ablation` (release recommended).
+
+use imprecise::datagen::scenarios;
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig};
+
+fn main() {
+    let scenario = scenarios::fig5(9);
+    println!(
+        "workload: {} MPEG-7 movies x {} IMDB movies (franchise confusion)\n",
+        scenario.info.mpeg7_movies, scenario.info.imdb_movies
+    );
+    println!(
+        "{:>6} {:>6} {:>5} | {:>10} {:>14} {:>14}",
+        "genre", "title", "year", "undecided", "nodes", "worlds"
+    );
+    for mask in 0u8..8 {
+        let config = MovieOracleConfig {
+            genre_rule: mask & 1 != 0,
+            title_rule: mask & 2 != 0,
+            year_rule: mask & 4 != 0,
+            graded_prior: false,
+            ..MovieOracleConfig::default()
+        };
+        let oracle = movie_oracle(config);
+        let flags = format!(
+            "{:>6} {:>6} {:>5}",
+            if config.genre_rule { "on" } else { "-" },
+            if config.title_rule { "on" } else { "-" },
+            if config.year_rule { "on" } else { "-" },
+        );
+        match integrate_xml(
+            &scenario.mpeg7,
+            &scenario.imdb,
+            &oracle,
+            Some(&scenario.schema),
+            &IntegrationOptions::default(),
+        ) {
+            Ok(result) => println!(
+                "{flags} | {:>10} {:>14.4e} {:>14.4e}",
+                result.stats.judged_possible,
+                result.doc.unfactored_node_count(),
+                result.doc.world_count_f64(),
+            ),
+            // With too few rules the possibility space genuinely explodes —
+            // the engine refuses past its memory guard, which *is* the
+            // datapoint ("too little semantical knowledge", §V).
+            Err(imprecise::integrate::IntegrateError::OutputTooLarge { cap }) => println!(
+                "{flags} | {:>10} {:>14} {:>14}",
+                "(many)", format!("> {cap:.0e}"), "exploded"
+            ),
+            Err(e) => panic!("integration failed: {e}"),
+        }
+    }
+    println!(
+        "\nReading: with no value-based rule the possibility space explodes past the\n\
+         engine's memory guard (§V's 'too little semantical knowledge'). Any rule\n\
+         that disconnects the candidate graph tames it — here the year rule bites\n\
+         hardest (the workload's TV remakes share titles but not years), and the\n\
+         combination reproduces Table I's monotone collapse."
+    );
+}

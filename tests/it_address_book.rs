@@ -1,0 +1,133 @@
+//! End-to-end reproduction of the paper's §II example (Fig. 2): the
+//! address-book integration, checked through the public façade.
+
+use imprecise::datagen::addressbook::{
+    addressbook_schema, addressbook_to_xml, fig2_sources, random_addressbook_pair,
+};
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise::oracle::presets::addressbook_oracle;
+use imprecise::query::{eval_px, eval_px_naive, parse_query};
+use imprecise::xml::to_string;
+
+#[test]
+fn fig2_reproduces_the_three_worlds() {
+    let (a, b) = fig2_sources();
+    let schema = addressbook_schema();
+    let oracle = addressbook_oracle();
+    let result = integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default())
+        .expect("integration succeeds");
+    result.doc.validate().expect("valid px document");
+    assert_eq!(result.doc.world_count(), 3);
+
+    let dist = result.doc.world_distribution(100).expect("small doc");
+    // The paper's three possible worlds, with the two-person reading most
+    // probable (0.5) and the one-person readings at 0.25 each.
+    assert!((dist[0].prob - 0.5).abs() < 1e-9);
+    assert_eq!(to_string(&dist[0].doc).matches("<person>").count(), 2);
+    for w in &dist[1..] {
+        assert!((w.prob - 0.25).abs() < 1e-9);
+        assert_eq!(to_string(&w.doc).matches("<person>").count(), 1);
+    }
+}
+
+#[test]
+fn fig2_queries_rank_phone_numbers() {
+    let (a, b) = fig2_sources();
+    let result = integrate_xml(
+        &a,
+        &b,
+        &addressbook_oracle(),
+        Some(&addressbook_schema()),
+        &IntegrationOptions::default(),
+    )
+    .expect("integration succeeds");
+    let q = parse_query("//person/tel").expect("parses");
+    let answers = eval_px(&result.doc, &q).expect("evaluates");
+    // Both numbers appear with probability 0.25 (their one-person world)
+    // + 0.5 (the two-person world) = 0.75.
+    assert!((answers.probability_of("1111") - 0.75).abs() < 1e-9);
+    assert!((answers.probability_of("2222") - 0.75).abs() < 1e-9);
+    // The exact evaluator agrees with the possible-worlds definition.
+    let naive = eval_px_naive(&result.doc, &q, 1000).expect("few worlds");
+    for item in &naive.items {
+        assert!((answers.probability_of(&item.value) - item.probability).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn larger_address_books_stay_manageable_and_correct() {
+    let (pa, pb) = random_addressbook_pair(17, 12, 5, 0.6);
+    let a = addressbook_to_xml(&pa);
+    let b = addressbook_to_xml(&pb);
+    let schema = addressbook_schema();
+    let oracle = addressbook_oracle();
+    let result = integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default())
+        .expect("integration succeeds");
+    result.doc.validate().expect("valid px document");
+    // Shared persons with equal phones merge certainly; with conflicting
+    // phones they stay undecided; coincidental same-name persons across
+    // sources also stay undecided. Uncertainty remains far below the 144
+    // theoretical pairs.
+    assert!(result.stats.judged_possible > 0);
+    assert!(result.stats.judged_possible < 20);
+    assert!(result.stats.judged_nonmatch > 50);
+    // Every name value is possible, none impossible; names of unmatched
+    // persons are certain, names involved in case-variant merges ("Alice A"
+    // vs "Alice a") keep at least the no-match + own-spelling mass.
+    let q = parse_query("//person/nm").expect("parses");
+    let answers = eval_px(&result.doc, &q).expect("evaluates");
+    assert!(!answers.is_empty());
+    let certain = answers
+        .items
+        .iter()
+        .filter(|i| (i.probability - 1.0).abs() < 1e-9)
+        .count();
+    assert!(certain > 0, "most names are unambiguous");
+    for item in &answers.items {
+        assert!(item.probability > 0.25, "{item:?}");
+        assert!(item.probability <= 1.0 + 1e-12, "{item:?}");
+    }
+}
+
+#[test]
+fn every_world_of_the_integration_validates_against_the_dtd() {
+    let (a, b) = fig2_sources();
+    let schema = addressbook_schema();
+    let result = integrate_xml(
+        &a,
+        &b,
+        &addressbook_oracle(),
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .expect("integration succeeds");
+    for world in result.doc.worlds(100).expect("small doc") {
+        schema
+            .validate(&world.doc)
+            .expect("world conforms to the DTD");
+    }
+}
+
+#[test]
+fn without_schema_some_world_violates_the_dtd() {
+    // The same integration without schema knowledge produces the
+    // two-phone world, which the DTD would reject — the paper's point.
+    let (a, b) = fig2_sources();
+    let schema = addressbook_schema();
+    let result = integrate_xml(
+        &a,
+        &b,
+        &addressbook_oracle(),
+        None,
+        &IntegrationOptions::default(),
+    )
+    .expect("integration succeeds");
+    let violations = result
+        .doc
+        .worlds(100)
+        .expect("small doc")
+        .iter()
+        .filter(|w| schema.validate(&w.doc).is_err())
+        .count();
+    assert!(violations > 0);
+}

@@ -1,0 +1,203 @@
+//! End-to-end tests of the `imprecise` command-line binary: the full
+//! integrate → stats → query → prune → feedback cycle over real files,
+//! exactly as a downstream user would drive it.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+struct Workdir {
+    dir: PathBuf,
+}
+
+impl Workdir {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "imprecise-cli-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create workdir");
+        Workdir { dir }
+    }
+
+    fn write(&self, name: &str, contents: &str) -> PathBuf {
+        let path = self.dir.join(name);
+        std::fs::write(&path, contents).expect("write fixture");
+        path
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl Drop for Workdir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn imprecise(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_imprecise"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+const SOURCE_A: &str =
+    "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>";
+const SOURCE_B: &str =
+    "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>";
+const DTD: &str = "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
+                   <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>";
+
+/// Run the integrate step of the paper's Fig. 2 scenario in `w`.
+fn integrate_fig2(w: &Workdir) -> PathBuf {
+    let a = w.write("a.xml", SOURCE_A);
+    let b = w.write("b.xml", SOURCE_B);
+    let dtd = w.write("ab.dtd", DTD);
+    let merged = w.path("merged.xml");
+    let out = imprecise(&[
+        "integrate",
+        "--out",
+        merged.to_str().unwrap(),
+        "--rules",
+        "addressbook",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "integrate failed: {}", stderr(&out));
+    assert!(stderr(&out).contains("3 possible worlds"), "{}", stderr(&out));
+    merged
+}
+
+#[test]
+fn integrate_then_query_reproduces_fig2() {
+    let w = Workdir::new("fig2");
+    let merged = integrate_fig2(&w);
+    let out = imprecise(&["query", merged.to_str().unwrap(), "//person/tel"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("75.0% 1111"), "{text}");
+    assert!(text.contains("75.0% 2222"), "{text}");
+}
+
+#[test]
+fn stats_and_worlds_describe_the_database() {
+    let w = Workdir::new("stats");
+    let merged = integrate_fig2(&w);
+    let out = imprecise(&["stats", merged.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("worlds:               3"), "{text}");
+    assert!(text.contains("certain:              false"), "{text}");
+
+    let out = imprecise(&["worlds", merged.to_str().unwrap(), "--limit", "10"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("3 possible worlds"), "{text}");
+    // All three Fig. 2 worlds materialise.
+    assert_eq!(text.matches("-- world").count(), 3, "{text}");
+}
+
+#[test]
+fn feedback_conditions_and_roundtrips() {
+    let w = Workdir::new("feedback");
+    let merged = integrate_fig2(&w);
+    let conditioned = w.path("conditioned.xml");
+    let out = imprecise(&[
+        "feedback",
+        merged.to_str().unwrap(),
+        "--query",
+        "//person/tel",
+        "--value",
+        "2222",
+        "--verdict",
+        "incorrect",
+        "--out",
+        conditioned.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("worlds 3 -> 1"), "{}", stderr(&out));
+    // The conditioned file is a valid input again.
+    let out = imprecise(&["query", conditioned.to_str().unwrap(), "//person/tel"]);
+    let text = stdout(&out);
+    assert!(text.contains("100.0% 1111"), "{text}");
+    assert!(!text.contains("2222"), "{text}");
+}
+
+#[test]
+fn prune_shrinks_the_database() {
+    let w = Workdir::new("prune");
+    let merged = integrate_fig2(&w);
+    let pruned = w.path("pruned.xml");
+    let out = imprecise(&[
+        "prune",
+        merged.to_str().unwrap(),
+        "--epsilon",
+        "0.6",
+        "--out",
+        pruned.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = imprecise(&["stats", pruned.to_str().unwrap()]);
+    assert!(stdout(&out).contains("certain:              true"), "{}", stdout(&out));
+}
+
+#[test]
+fn rule_files_are_read_from_disk() {
+    let w = Workdir::new("rules");
+    let a = w.write("a.xml", SOURCE_A);
+    let b = w.write("b.xml", SOURCE_B);
+    let rules = w.write(
+        "rules.txt",
+        "rule deep-equal\nrule similarity person nm >= 0.85 using person-name\n",
+    );
+    let merged = w.path("m.xml");
+    let out = imprecise(&[
+        "integrate",
+        "--out",
+        merged.to_str().unwrap(),
+        "--rules",
+        rules.to_str().unwrap(),
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // A malformed rule file is reported with its line number.
+    let bad = w.write("bad.txt", "rule deep-equal\nrule sounds-like x\n");
+    let out = imprecise(&[
+        "integrate",
+        "--out",
+        merged.to_str().unwrap(),
+        "--rules",
+        bad.to_str().unwrap(),
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("line 2"), "{}", stderr(&out));
+}
+
+#[test]
+fn usage_errors_exit_nonzero() {
+    let out = imprecise(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+    let out = imprecise(&["query", "/nonexistent/file.xml", "//a"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"));
+    let out = imprecise(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("USAGE"));
+}

@@ -1,0 +1,121 @@
+//! Smoke tests of the experiment shapes at test-friendly scale: the same
+//! claims EXPERIMENTS.md records, checked on every `cargo test` run.
+//! (The full-scale numbers come from the `imprecise-bench` harnesses.)
+
+use imprecise::datagen::scenarios;
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig, TableIRuleSet};
+
+#[test]
+fn t1_shape_nodes_drop_by_orders_of_magnitude() {
+    // Table I at reduced scale (n=6 franchise entries on the IMDB side).
+    let scenario = scenarios::fig5(6);
+    let mut nodes = Vec::new();
+    for rule_set in TableIRuleSet::ALL {
+        let result = integrate_xml(
+            &scenario.mpeg7,
+            &scenario.imdb,
+            &rule_set.oracle(),
+            Some(&scenario.schema),
+            &IntegrationOptions::default(),
+        )
+        .expect("integration succeeds");
+        nodes.push(result.doc.unfactored_node_count());
+    }
+    // none ≫ full rules — at least two orders of magnitude, as in Table I.
+    assert!(
+        nodes[0] / nodes[4] > 100.0,
+        "reduction only {}x: {nodes:?}",
+        nodes[0] / nodes[4]
+    );
+    assert!(nodes.windows(2).all(|w| w[0] >= w[1]), "{nodes:?}");
+}
+
+#[test]
+fn f5_shape_title_only_explodes_title_year_tames() {
+    let mk = |year_rule: bool| {
+        movie_oracle(MovieOracleConfig {
+            genre_rule: false,
+            title_rule: true,
+            year_rule,
+            graded_prior: false,
+            ..MovieOracleConfig::default()
+        })
+    };
+    let title_only = mk(false);
+    let title_year = mk(true);
+    let scenario = scenarios::fig5(12);
+    let upper = integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        &title_only,
+        Some(&scenario.schema),
+        &IntegrationOptions::default(),
+    )
+    .expect("integrates")
+    .doc
+    .unfactored_node_count();
+    let lower = integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        &title_year,
+        Some(&scenario.schema),
+        &IntegrationOptions::default(),
+    )
+    .expect("integrates")
+    .doc
+    .unfactored_node_count();
+    assert!(
+        upper / lower > 10.0,
+        "title-only {upper} should dominate title+year {lower}"
+    );
+}
+
+#[test]
+fn factoring_ablation_gap_grows_with_confusion() {
+    // The factored representation's advantage must grow with the workload.
+    let oracle = movie_oracle(MovieOracleConfig {
+        genre_rule: false,
+        title_rule: true,
+        year_rule: false,
+        graded_prior: false,
+        ..MovieOracleConfig::default()
+    });
+    let mut last_ratio = 0.0;
+    for n in [3usize, 6, 12] {
+        let scenario = scenarios::fig5(n);
+        let doc = integrate_xml(
+            &scenario.mpeg7,
+            &scenario.imdb,
+            &oracle,
+            Some(&scenario.schema),
+            &IntegrationOptions::default(),
+        )
+        .expect("integrates")
+        .doc;
+        let ratio = doc.unfactored_node_count() / doc.reachable_count() as f64;
+        assert!(ratio >= 1.0);
+        assert!(
+            ratio >= last_ratio,
+            "factoring advantage shrank at n={n}: {ratio} < {last_ratio}"
+        );
+        last_ratio = ratio;
+    }
+    assert!(last_ratio > 10.0, "advantage should be large: {last_ratio}");
+}
+
+#[test]
+fn world_counts_agree_between_analytic_and_enumeration() {
+    let scenario = scenarios::fig5(3);
+    let result = integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        &TableIRuleSet::GenreTitleYear.oracle(),
+        Some(&scenario.schema),
+        &IntegrationOptions::default(),
+    )
+    .expect("integrates");
+    let analytic = result.doc.world_count();
+    let enumerated = result.doc.worlds(1_000_000).expect("bounded").len();
+    assert_eq!(analytic, enumerated as u128);
+}

@@ -1,0 +1,134 @@
+//! The feedback loop across the whole pipeline: integrate, query, give
+//! feedback, verify the distribution was conditioned correctly.
+
+use imprecise::datagen::addressbook::{addressbook_schema, fig2_sources};
+use imprecise::datagen::scenarios;
+use imprecise::feedback::{apply_feedback, FeedbackError};
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise::oracle::presets::{addressbook_oracle, movie_oracle, MovieOracleConfig};
+use imprecise::query::{eval_px, eval_px_naive, parse_query};
+
+#[test]
+fn feedback_conditions_exactly_like_bayes() {
+    let (a, b) = fig2_sources();
+    let result = integrate_xml(
+        &a,
+        &b,
+        &addressbook_oracle(),
+        Some(&addressbook_schema()),
+        &IntegrationOptions::default(),
+    )
+    .expect("integration succeeds");
+    let q = parse_query("//person/tel").expect("parses");
+    let before = eval_px(&result.doc, &q).expect("evaluates");
+    let p_1111 = before.probability_of("1111");
+    let (after, report) = apply_feedback(&result.doc, &q, "1111", true, 100_000)
+        .expect("feedback applies");
+    // Bayes: P(2222 | 1111 in answer) = P(both in answer) / P(1111).
+    // Both appear together only in the two-person world (p = 0.5).
+    let after_answers = eval_px(&after, &q).expect("evaluates");
+    let expected_2222 = 0.5 / p_1111;
+    assert!(
+        (after_answers.probability_of("2222") - expected_2222).abs() < 1e-9,
+        "got {}, expected {expected_2222}",
+        after_answers.probability_of("2222")
+    );
+    assert!((report.event_probability - p_1111).abs() < 1e-9);
+    after.validate().expect("conditioned doc is valid");
+}
+
+#[test]
+fn sequential_feedback_reaches_certainty() {
+    let (a, b) = fig2_sources();
+    let mut doc = integrate_xml(
+        &a,
+        &b,
+        &addressbook_oracle(),
+        Some(&addressbook_schema()),
+        &IntegrationOptions::default(),
+    )
+    .expect("integration succeeds")
+    .doc;
+    let q = parse_query("//person/tel").expect("parses");
+    // Reject 2222 → only the one-John-1111 world remains.
+    let (next, _) = apply_feedback(&doc, &q, "2222", false, 100_000).expect("applies");
+    doc = next;
+    assert!(doc.is_certain());
+    let answers = eval_px(&doc, &q).expect("evaluates");
+    assert!((answers.probability_of("1111") - 1.0).abs() < 1e-9);
+    assert_eq!(answers.probability_of("2222"), 0.0);
+    // Further consistent feedback is a no-op; contradictory feedback errs.
+    let (same, report) = apply_feedback(&doc, &q, "1111", true, 100_000).expect("applies");
+    assert_eq!(report.worlds_after, 1.0);
+    assert!(same.is_certain());
+    assert!(matches!(
+        apply_feedback(&doc, &q, "2222", true, 100_000),
+        Err(FeedbackError::Contradiction)
+    ));
+}
+
+#[test]
+fn feedback_on_movie_titles_prunes_typo_worlds() {
+    let scenario = scenarios::query_db();
+    let oracle = movie_oracle(MovieOracleConfig {
+        genre_rule: true,
+        title_rule: true,
+        year_rule: false,
+        graded_prior: true,
+        ..MovieOracleConfig::default()
+    });
+    let doc = integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        &oracle,
+        Some(&scenario.schema),
+        &IntegrationOptions {
+            source_weights: (0.8, 0.2),
+            ..IntegrationOptions::default()
+        },
+    )
+    .expect("integration succeeds")
+    .doc;
+    let john = parse_query(
+        "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
+    )
+    .expect("parses");
+    let before = eval_px(&doc, &john).expect("evaluates");
+    assert!(before.probability_of("Mission: Impossible") > 0.0);
+    // The user knows Mission: Impossible (the 1996 one) was NOT directed
+    // by a John: rejecting it kills the typo-merge worlds.
+    let (after, report) =
+        apply_feedback(&doc, &john, "Mission: Impossible", false, 1_000_000)
+            .expect("feedback applies");
+    assert!(report.worlds_after < report.worlds_before);
+    let after_answers = eval_px(&after, &john).expect("evaluates");
+    assert_eq!(after_answers.probability_of("Mission: Impossible"), 0.0);
+    // The legitimate answers survive, stronger than before.
+    assert!((after_answers.probability_of("Die Hard: With a Vengeance") - 1.0).abs() < 1e-9);
+    assert!(
+        after_answers.probability_of("Mission: Impossible II")
+            >= before.probability_of("Mission: Impossible II") - 1e-9
+    );
+}
+
+#[test]
+fn feedback_agrees_with_naive_conditioning() {
+    // Conditioning then querying must equal filtering worlds by hand.
+    let (a, b) = fig2_sources();
+    let doc = integrate_xml(
+        &a,
+        &b,
+        &addressbook_oracle(),
+        Some(&addressbook_schema()),
+        &IntegrationOptions::default(),
+    )
+    .expect("integration succeeds")
+    .doc;
+    let q = parse_query("//person/tel").expect("parses");
+    let (conditioned, _) = apply_feedback(&doc, &q, "1111", true, 100_000).expect("applies");
+    let exact = eval_px(&conditioned, &q).expect("evaluates");
+    let naive = eval_px_naive(&conditioned, &q, 100_000).expect("bounded");
+    for item in &naive.items {
+        assert!((exact.probability_of(&item.value) - item.probability).abs() < 1e-9);
+    }
+}

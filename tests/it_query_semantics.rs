@@ -1,0 +1,136 @@
+//! Query semantics across the whole pipeline: integrate real scenarios,
+//! then check that the exact symbolic evaluator, the naive possible-worlds
+//! evaluator, and the paper's reported answer shapes all agree.
+
+use imprecise::datagen::scenarios;
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig};
+use imprecise::pxml::PxDoc;
+use imprecise::quality::evaluate;
+use imprecise::query::{eval_px, eval_px_naive, parse_query};
+
+fn query_db() -> PxDoc {
+    let scenario = scenarios::query_db();
+    let oracle = movie_oracle(MovieOracleConfig {
+        genre_rule: true,
+        title_rule: true,
+        year_rule: false,
+        graded_prior: true,
+        ..MovieOracleConfig::default()
+    });
+    let options = IntegrationOptions {
+        source_weights: (0.8, 0.2),
+        ..IntegrationOptions::default()
+    };
+    integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        &oracle,
+        Some(&scenario.schema),
+        &options,
+    )
+    .expect("integration succeeds")
+    .doc
+}
+
+#[test]
+fn horror_query_shape() {
+    let db = query_db();
+    let q = parse_query("//movie[.//genre=\"Horror\"]/title").expect("parses");
+    let answers = eval_px(&db, &q).expect("evaluates");
+    // Exactly the two horror movies, both nearly certain, equal ranked.
+    assert_eq!(answers.len(), 2);
+    assert!(answers.probability_of("Jaws") > 0.9);
+    assert!(answers.probability_of("Jaws 2") > 0.9);
+    assert!(
+        (answers.probability_of("Jaws") - answers.probability_of("Jaws 2")).abs() < 0.05,
+        "equal rank like the paper's 97%/97%"
+    );
+    let quality = evaluate(&answers, &["Jaws", "Jaws 2"]);
+    assert_eq!(quality.precision, 1.0);
+    assert!(quality.recall > 0.9);
+}
+
+#[test]
+fn john_query_shape() {
+    let db = query_db();
+    let q = parse_query(
+        "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
+    )
+    .expect("parses");
+    let answers = eval_px(&db, &q).expect("evaluates");
+    let dh = answers.probability_of("Die Hard: With a Vengeance");
+    let mi2 = answers.probability_of("Mission: Impossible II");
+    let mi = answers.probability_of("Mission: Impossible");
+    assert!((dh - 1.0).abs() < 1e-9, "Die Hard is certain (paper: 100%)");
+    assert!(mi2 > 0.5 && mi2 < 1.0, "true sequel high (paper: 96%), got {mi2}");
+    assert!(mi > 0.0 && mi < 0.5, "typo match low (paper: 21%), got {mi}");
+    assert!(dh > mi2 && mi2 > mi, "ranking order matches the paper");
+}
+
+#[test]
+fn exact_matches_naive_on_the_query_database() {
+    let db = query_db();
+    for text in [
+        "//movie/title",
+        "//movie[.//genre=\"Horror\"]/title",
+        "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
+        "//movie[year=\"1975\"]/title",
+        "//movie[not(genre=\"Action\")]/title",
+        "//director",
+    ] {
+        let q = parse_query(text).expect("parses");
+        let exact = eval_px(&db, &q).expect("evaluates");
+        let naive = eval_px_naive(&db, &q, 1_000_000).expect("bounded worlds");
+        assert_eq!(exact.len(), naive.len(), "query {text}");
+        for item in &naive.items {
+            let p = exact.probability_of(&item.value);
+            assert!(
+                (p - item.probability).abs() < 1e-9,
+                "query {text}, value {}: exact {p} vs naive {}",
+                item.value,
+                item.probability
+            );
+        }
+    }
+}
+
+#[test]
+fn query_on_certain_integration_gives_certain_answers() {
+    // Typical conditions + feedbackless querying: the vast majority of
+    // content is certain, and certain content must rank at exactly 1.
+    let scenario = scenarios::typical();
+    let oracle = movie_oracle(MovieOracleConfig {
+        graded_prior: false,
+        ..MovieOracleConfig::default()
+    });
+    let db = integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        &oracle,
+        Some(&scenario.schema),
+        &IntegrationOptions::default(),
+    )
+    .expect("integration succeeds")
+    .doc;
+    let q = parse_query("//movie[year=\"1995\"]/title").expect("parses");
+    let answers = eval_px(&db, &q).expect("evaluates");
+    // All six MPEG-7 movies are from 1995 and certainly present.
+    assert!(answers.len() >= 6);
+    assert!((answers.probability_of("Heat") - 1.0).abs() < 1e-9);
+    assert!((answers.probability_of("Fargo") - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn rankings_are_probability_sorted() {
+    let db = query_db();
+    let q = parse_query("//movie/title").expect("parses");
+    let answers = eval_px(&db, &q).expect("evaluates");
+    for pair in answers.items.windows(2) {
+        assert!(pair[0].probability >= pair[1].probability - 1e-12);
+    }
+    // And all probabilities are valid.
+    for item in &answers.items {
+        assert!(item.probability > 0.0 && item.probability <= 1.0 + 1e-12);
+    }
+}

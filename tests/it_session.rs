@@ -1,0 +1,95 @@
+//! Session façade tests: the user-visible surface of the system.
+
+use imprecise::datagen::movies::movie_schema_text;
+use imprecise::datagen::scenarios;
+use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig};
+use imprecise::xml::to_string;
+use imprecise::{Session, SessionError};
+
+fn movie_session() -> Session {
+    let scenario = scenarios::query_db();
+    let mut s = Session::new();
+    s.set_oracle(movie_oracle(MovieOracleConfig {
+        year_rule: false,
+        graded_prior: true,
+        ..MovieOracleConfig::default()
+    }));
+    s.load_schema(movie_schema_text()).expect("schema parses");
+    s.load_xml("mpeg7", &to_string(&scenario.mpeg7)).expect("loads");
+    s.load_xml("imdb", &to_string(&scenario.imdb)).expect("loads");
+    s
+}
+
+#[test]
+fn movie_session_full_cycle() {
+    let mut s = movie_session();
+    let stats = s.integrate("mpeg7", "imdb", "db").expect("integrates");
+    assert!(stats.judged_possible > 0);
+    let doc_stats = s.stats("db").expect("exists");
+    assert!(doc_stats.worlds > 1.0);
+    assert!(!doc_stats.certain);
+    let answers = s
+        .query("db", "//movie[.//genre=\"Horror\"]/title")
+        .expect("query runs");
+    assert_eq!(answers.len(), 2);
+    // Feedback through the façade.
+    let report = s
+        .feedback("db", "//movie/title", "Jaws", true)
+        .expect("feedback applies");
+    assert!(report.worlds_after <= report.worlds_before);
+}
+
+#[test]
+fn incremental_three_source_integration() {
+    let mut s = movie_session();
+    s.integrate("mpeg7", "imdb", "db").expect("first integration");
+    // A third source arrives: integrate it into the probabilistic result.
+    s.load_xml(
+        "late",
+        "<catalog><movie><title>Alien</title><year>1979</year>\
+         <genre>Horror</genre><director>Ridley Scott</director></movie></catalog>",
+    )
+    .expect("loads");
+    s.integrate("db", "late", "db2").expect("incremental integration");
+    let answers = s
+        .query("db2", "//movie[.//genre=\"Horror\"]/title")
+        .expect("query runs");
+    assert!((answers.probability_of("Alien") - 1.0).abs() < 1e-9);
+    assert!(answers.probability_of("Jaws") > 0.9);
+}
+
+#[test]
+fn export_reimport_preserves_distribution() {
+    let mut s = movie_session();
+    s.integrate("mpeg7", "imdb", "db").expect("integrates");
+    let worlds_before = s.stats("db").expect("exists").worlds;
+    let text = s.export("db").expect("exports");
+    assert!(text.contains("px:prob"));
+    let mut s2 = Session::new();
+    s2.load_xml("db", &text).expect("reimports");
+    assert_eq!(s2.stats("db").expect("exists").worlds, worlds_before);
+}
+
+#[test]
+fn errors_are_descriptive() {
+    let mut s = Session::new();
+    let err = s.query("ghost", "//a").unwrap_err();
+    assert!(err.to_string().contains("ghost"));
+    s.load_xml("x", "<a/>").expect("loads");
+    let err = s.query("x", "not a query").unwrap_err();
+    assert!(matches!(err, SessionError::QueryParse(_)));
+    let err = s.load_xml("bad", "<a><b></a>").unwrap_err();
+    assert!(matches!(err, SessionError::Xml(_)));
+    let err = s.load_schema("<!GIBBERISH>").unwrap_err();
+    assert!(matches!(err, SessionError::Xml(_)));
+}
+
+#[test]
+fn stats_report_both_representations() {
+    let mut s = movie_session();
+    s.integrate("mpeg7", "imdb", "db").expect("integrates");
+    let stats = s.stats("db").expect("exists");
+    // Factored representation never exceeds the unfactored equivalent.
+    assert!(stats.breakdown.total() as f64 <= stats.unfactored_nodes);
+    assert!(stats.expected_world_size > 0.0);
+}

@@ -1,0 +1,258 @@
+//! Cross-crate property tests: random two-source movie workloads are
+//! integrated and the end-to-end invariants checked — validity, world
+//! preservation, query-semantics agreement, serialization round-trips.
+
+use imprecise::datagen::movies::{catalog_to_xml, movie_schema, Movie, MovieBuilder, SourceStyle};
+use imprecise::integrate::{integrate_xml, IntegrationOptions};
+use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig};
+use imprecise::pxml::{parse_annotated, px_fingerprint, to_annotated_xml};
+use imprecise::query::{eval_px, eval_px_naive, parse_query};
+use proptest::prelude::*;
+
+const TITLE_POOL: [&str; 6] = ["Jaws", "Jaws 2", "Heat", "Fargo", "Die Hard", "Casino"];
+const GENRE_POOL: [&str; 3] = ["Horror", "Action", "Crime"];
+const DIRECTOR_POOL: [&str; 3] = ["John Woo", "Steven Spielberg", "Michael Mann"];
+
+#[derive(Debug, Clone)]
+struct Spec {
+    title: u8,
+    year: u8,
+    genre: u8,
+    director: Option<u8>,
+}
+
+fn movie_from(spec: &Spec, rwo: u64) -> Movie {
+    let mut b = MovieBuilder::new(
+        rwo,
+        TITLE_POOL[spec.title as usize % TITLE_POOL.len()],
+        1970 + u32::from(spec.year % 8),
+    )
+    .genre(GENRE_POOL[spec.genre as usize % GENRE_POOL.len()]);
+    if let Some(d) = spec.director {
+        b = b.director(DIRECTOR_POOL[d as usize % DIRECTOR_POOL.len()]);
+    }
+    b.build()
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (
+        0u8..TITLE_POOL.len() as u8,
+        0u8..8,
+        0u8..GENRE_POOL.len() as u8,
+        proptest::option::of(0u8..DIRECTOR_POOL.len() as u8),
+    )
+        .prop_map(|(title, year, genre, director)| Spec {
+            title,
+            year,
+            genre,
+            director,
+        })
+}
+
+fn oracle() -> imprecise::oracle::Oracle {
+    movie_oracle(MovieOracleConfig {
+        graded_prior: false,
+        ..MovieOracleConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn integration_invariants_hold(
+        a_specs in proptest::collection::vec(spec_strategy(), 0..4),
+        b_specs in proptest::collection::vec(spec_strategy(), 0..4),
+    ) {
+        let a: Vec<Movie> = a_specs.iter().enumerate().map(|(i, s)| movie_from(s, i as u64)).collect();
+        let b: Vec<Movie> = b_specs.iter().enumerate().map(|(i, s)| movie_from(s, 100 + i as u64)).collect();
+        let doc_a = catalog_to_xml(&a, SourceStyle::Mpeg7);
+        let doc_b = catalog_to_xml(&b, SourceStyle::Imdb);
+        let schema = movie_schema();
+        let result = integrate_xml(&doc_a, &doc_b, &oracle(), Some(&schema), &IntegrationOptions::default());
+        let result = result.expect("integration succeeds on well-formed inputs");
+
+        // 1. The result is a valid probabilistic document.
+        result.doc.validate().expect("valid px invariants");
+
+        // 2. World count agrees with enumeration (bounded workload).
+        let worlds = result.doc.worlds(1_000_000).expect("bounded");
+        prop_assert_eq!(result.doc.world_count(), worlds.len() as u128);
+        let total: f64 = worlds.iter().map(|w| w.prob).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "world probabilities sum to {total}");
+
+        // 3. Every world conforms to the DTD.
+        for w in &worlds {
+            schema.validate(&w.doc).expect("world is DTD-valid");
+        }
+
+        // 4. Annotated serialization round-trips exactly.
+        let text = imprecise::xml::to_string(&to_annotated_xml(&result.doc));
+        let reparsed = parse_annotated(&imprecise::xml::parse(&text).expect("parses"))
+            .expect("decodes");
+        prop_assert_eq!(
+            px_fingerprint(&result.doc, result.doc.root()),
+            px_fingerprint(&reparsed, reparsed.root())
+        );
+    }
+
+    #[test]
+    fn query_semantics_agree_after_integration(
+        a_specs in proptest::collection::vec(spec_strategy(), 1..3),
+        b_specs in proptest::collection::vec(spec_strategy(), 1..3),
+        query_idx in 0usize..4,
+    ) {
+        let queries = [
+            "//movie/title",
+            "//movie[genre=\"Horror\"]/title",
+            "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
+            "//movie[year=\"1975\"]/title",
+        ];
+        let a: Vec<Movie> = a_specs.iter().enumerate().map(|(i, s)| movie_from(s, i as u64)).collect();
+        let b: Vec<Movie> = b_specs.iter().enumerate().map(|(i, s)| movie_from(s, 100 + i as u64)).collect();
+        let doc_a = catalog_to_xml(&a, SourceStyle::Mpeg7);
+        let doc_b = catalog_to_xml(&b, SourceStyle::Imdb);
+        let schema = movie_schema();
+        let result = integrate_xml(&doc_a, &doc_b, &oracle(), Some(&schema), &IntegrationOptions::default())
+            .expect("integration succeeds");
+        let q = parse_query(queries[query_idx]).expect("parses");
+        let exact = eval_px(&result.doc, &q).expect("evaluates");
+        let naive = eval_px_naive(&result.doc, &q, 1_000_000).expect("bounded");
+        prop_assert_eq!(exact.len(), naive.len());
+        for item in &naive.items {
+            let p = exact.probability_of(&item.value);
+            prop_assert!(
+                (p - item.probability).abs() < 1e-9,
+                "value {}: exact {} vs naive {}", item.value, p, item.probability
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_equals_world_filtering(
+        a_specs in proptest::collection::vec(spec_strategy(), 1..3),
+        b_specs in proptest::collection::vec(spec_strategy(), 1..3),
+        pick in 0usize..8,
+        correct in proptest::bool::ANY,
+    ) {
+        let a: Vec<Movie> = a_specs.iter().enumerate().map(|(i, s)| movie_from(s, i as u64)).collect();
+        let b: Vec<Movie> = b_specs.iter().enumerate().map(|(i, s)| movie_from(s, 100 + i as u64)).collect();
+        let doc_a = catalog_to_xml(&a, SourceStyle::Mpeg7);
+        let doc_b = catalog_to_xml(&b, SourceStyle::Imdb);
+        let schema = movie_schema();
+        let result = integrate_xml(&doc_a, &doc_b, &oracle(), Some(&schema), &IntegrationOptions::default())
+            .expect("integration succeeds");
+        let q = parse_query("//movie/title").expect("parses");
+        let answers = eval_px(&result.doc, &q).expect("evaluates");
+        prop_assume!(!answers.is_empty());
+        let value = answers.items[pick % answers.len()].value.clone();
+
+        // Reference: filter the enumerated worlds by hand.
+        let worlds = result.doc.worlds(100_000).expect("bounded");
+        let surviving: Vec<(u64, f64)> = worlds
+            .iter()
+            .filter(|w| {
+                let has = imprecise::query::xml_eval::eval_xml_values(&w.doc, &q)
+                    .contains(&value);
+                has == correct
+            })
+            .map(|w| (imprecise::xml::subtree_fingerprint(&w.doc, w.doc.root()), w.prob))
+            .collect();
+        let total: f64 = surviving.iter().map(|(_, p)| p).sum();
+
+        match imprecise::feedback::apply_feedback(&result.doc, &q, &value, correct, 100_000) {
+            Err(imprecise::feedback::FeedbackError::Contradiction) => {
+                prop_assert!(total <= 1e-9, "feedback said contradiction but mass {total} survives");
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+            Ok((conditioned, report)) => {
+                conditioned.validate().expect("conditioned doc is valid");
+                prop_assert!((report.worlds_before - worlds.len() as f64).abs() < 1e-6);
+                // The conditioned distribution equals the filtered one.
+                let mut expected: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+                for (fp, p) in &surviving {
+                    *expected.entry(*fp).or_insert(0.0) += p / total;
+                }
+                let conditioned_dist = conditioned.world_distribution(100_000).expect("bounded");
+                prop_assert_eq!(conditioned_dist.len(), expected.len());
+                for w in &conditioned_dist {
+                    let fp = imprecise::xml::subtree_fingerprint(&w.doc, w.doc.root());
+                    let e = expected.get(&fp).copied().unwrap_or(f64::NAN);
+                    prop_assert!((w.prob - e).abs() < 1e-9, "world prob {} vs expected {e}", w.prob);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_a_valid_subset_of_worlds(
+        a_specs in proptest::collection::vec(spec_strategy(), 0..3),
+        b_specs in proptest::collection::vec(spec_strategy(), 0..3),
+        eps_tenths in 0u8..10,
+    ) {
+        let a: Vec<Movie> = a_specs.iter().enumerate().map(|(i, s)| movie_from(s, i as u64)).collect();
+        let b: Vec<Movie> = b_specs.iter().enumerate().map(|(i, s)| movie_from(s, 100 + i as u64)).collect();
+        let doc_a = catalog_to_xml(&a, SourceStyle::Mpeg7);
+        let doc_b = catalog_to_xml(&b, SourceStyle::Imdb);
+        let schema = movie_schema();
+        let result = integrate_xml(&doc_a, &doc_b, &oracle(), Some(&schema), &IntegrationOptions::default())
+            .expect("integration succeeds");
+        let before: std::collections::HashMap<u64, f64> = result
+            .doc
+            .world_distribution(100_000)
+            .expect("bounded")
+            .into_iter()
+            .map(|w| (imprecise::xml::subtree_fingerprint(&w.doc, w.doc.root()), w.prob))
+            .collect();
+        let mut pruned = result.doc.clone();
+        let stats = pruned.prune_below(f64::from(eps_tenths) / 10.0);
+        pruned.validate().expect("pruned doc is valid");
+        prop_assert!(stats.worlds_after <= stats.worlds_before);
+        // Every surviving world existed before, and pruning + renormalising
+        // never lowers a surviving world's probability.
+        for w in pruned.world_distribution(100_000).expect("bounded") {
+            let fp = imprecise::xml::subtree_fingerprint(&w.doc, w.doc.root());
+            let old = before.get(&fp);
+            prop_assert!(old.is_some(), "pruning invented a world");
+            prop_assert!(w.prob >= old.copied().unwrap_or(2.0) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn lazy_world_iteration_matches_enumeration(
+        a_specs in proptest::collection::vec(spec_strategy(), 0..3),
+        b_specs in proptest::collection::vec(spec_strategy(), 0..3),
+    ) {
+        let a: Vec<Movie> = a_specs.iter().enumerate().map(|(i, s)| movie_from(s, i as u64)).collect();
+        let b: Vec<Movie> = b_specs.iter().enumerate().map(|(i, s)| movie_from(s, 100 + i as u64)).collect();
+        let doc_a = catalog_to_xml(&a, SourceStyle::Mpeg7);
+        let doc_b = catalog_to_xml(&b, SourceStyle::Imdb);
+        let result = integrate_xml(&doc_a, &doc_b, &oracle(), Some(&movie_schema()), &IntegrationOptions::default())
+            .expect("integration succeeds");
+        let eager = result.doc.worlds(100_000).expect("bounded");
+        let lazy: Vec<imprecise::pxml::World> = result.doc.worlds_iter().collect();
+        prop_assert_eq!(eager.len(), lazy.len());
+        for (e, l) in eager.iter().zip(&lazy) {
+            prop_assert!(imprecise::xml::deep_equal(&e.doc, &l.doc));
+            prop_assert!((e.prob - l.prob).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn source_order_preserves_world_count(
+        a_specs in proptest::collection::vec(spec_strategy(), 0..3),
+        b_specs in proptest::collection::vec(spec_strategy(), 0..3),
+    ) {
+        let a: Vec<Movie> = a_specs.iter().enumerate().map(|(i, s)| movie_from(s, i as u64)).collect();
+        let b: Vec<Movie> = b_specs.iter().enumerate().map(|(i, s)| movie_from(s, 100 + i as u64)).collect();
+        let doc_a = catalog_to_xml(&a, SourceStyle::Mpeg7);
+        let doc_b = catalog_to_xml(&b, SourceStyle::Imdb);
+        let schema = movie_schema();
+        let ab = integrate_xml(&doc_a, &doc_b, &oracle(), Some(&schema), &IntegrationOptions::default())
+            .expect("a⊕b succeeds");
+        let ba = integrate_xml(&doc_b, &doc_a, &oracle(), Some(&schema), &IntegrationOptions::default())
+            .expect("b⊕a succeeds");
+        prop_assert_eq!(ab.doc.world_count(), ba.doc.world_count());
+        prop_assert_eq!(ab.stats.judged_possible, ba.stats.judged_possible);
+    }
+}
