@@ -28,7 +28,13 @@ fn bench_factoring(c: &mut Criterion) {
         b.iter(|| black_box(doc.unfactored_node_count()))
     });
     group.bench_function("materialize-unfactored", |b| {
-        b.iter(|| black_box(doc.to_unfactored(10_000_000).expect("fits").reachable_count()))
+        b.iter(|| {
+            black_box(
+                doc.to_unfactored(10_000_000)
+                    .expect("fits")
+                    .reachable_count(),
+            )
+        })
     });
     group.bench_function("factored-count", |b| {
         b.iter(|| black_box(doc.reachable_count()))

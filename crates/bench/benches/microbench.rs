@@ -106,11 +106,5 @@ fn bench_events(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_xml,
-    bench_sim,
-    bench_matching,
-    bench_events
-);
+criterion_group!(benches, bench_xml, bench_sim, bench_matching, bench_events);
 criterion_main!(benches);

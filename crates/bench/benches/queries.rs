@@ -23,9 +23,7 @@ fn bench_queries(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("horror/naive-all-worlds", |b| {
         b.iter(|| {
-            black_box(
-                eval_px_naive(black_box(&db), &horror, 1_000_000).expect("worlds enumerate"),
-            )
+            black_box(eval_px_naive(black_box(&db), &horror, 1_000_000).expect("worlds enumerate"))
         })
     });
     group.finish();

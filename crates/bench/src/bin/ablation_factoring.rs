@@ -10,8 +10,8 @@
 //!
 //! Run with `cargo run --release -p imprecise-bench --bin ablation_factoring`.
 
-use imprecise_bench::{fig5_oracles, measure, run_table1};
 use imprecise::datagen::scenarios;
+use imprecise_bench::{fig5_oracles, measure, run_table1};
 
 fn main() {
     let t0 = std::time::Instant::now();

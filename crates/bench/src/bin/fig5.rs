@@ -30,8 +30,10 @@ fn main() {
     }
     // ASCII rendition of the figure.
     println!("\nlog-scale sketch (each column = one n, height = log10 nodes):");
-    for (series_label, marker) in [("Only movie title rule", '#'), ("Movie title+year rule", '+')]
-    {
+    for (series_label, marker) in [
+        ("Only movie title rule", '#'),
+        ("Movie title+year rule", '+'),
+    ] {
         let series: Vec<f64> = rows
             .iter()
             .filter(|(s, _, _)| s == series_label)

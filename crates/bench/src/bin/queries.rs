@@ -21,7 +21,10 @@ fn main() {
     println!("paper-reported answer:\n  97.0% Jaws\n  97.0% Jaws 2\n");
     println!(
         "quality vs truth {:?}: precision {:.3}, recall {:.3}, F {:.3}\n",
-        HORROR_TRUTH, q.horror_quality.precision, q.horror_quality.recall, q.horror_quality.f_measure
+        HORROR_TRUTH,
+        q.horror_quality.precision,
+        q.horror_quality.recall,
+        q.horror_quality.f_measure
     );
 
     println!("query 2: {JOHN_QUERY}");

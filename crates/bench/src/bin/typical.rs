@@ -13,10 +13,22 @@ fn main() {
     let t0 = std::time::Instant::now();
     let outcome = run_typical();
     let m = &outcome.measurement;
-    println!("undecided pairs (Oracle non-decisions): {} (paper: 2)", outcome.undecided);
-    println!("possible worlds:                        {} (paper: 4)", m.worlds);
-    println!("integrated document nodes (factored):   {} (paper: ~3500)", m.factored_nodes);
-    println!("integrated document nodes (unfactored): {:.0}", m.unfactored_nodes);
+    println!(
+        "undecided pairs (Oracle non-decisions): {} (paper: 2)",
+        outcome.undecided
+    );
+    println!(
+        "possible worlds:                        {} (paper: 4)",
+        m.worlds
+    );
+    println!(
+        "integrated document nodes (factored):   {} (paper: ~3500)",
+        m.factored_nodes
+    );
+    println!(
+        "integrated document nodes (unfactored): {:.0}",
+        m.unfactored_nodes
+    );
     println!("matchings enumerated:                   {}", m.matchings);
     println!("\nShape checks:");
     println!("  exactly two undecided pairs: {}", outcome.undecided == 2);

@@ -31,7 +31,11 @@ pub struct IntegrationMeasurement {
 }
 
 /// Integrate a scenario under an oracle and measure the result.
-pub fn measure(label: impl Into<String>, scenario: &MovieScenario, oracle: &Oracle) -> IntegrationMeasurement {
+pub fn measure(
+    label: impl Into<String>,
+    scenario: &MovieScenario,
+    oracle: &Oracle,
+) -> IntegrationMeasurement {
     let options = IntegrationOptions::default();
     let result = integrate_xml(
         &scenario.mpeg7,
@@ -281,7 +285,10 @@ mod tests {
                 .filter(|(s, _, _)| s == series)
                 .map(|(_, _, m)| m.unfactored_nodes)
                 .collect();
-            assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "{series}: {sizes:?}");
+            assert!(
+                sizes.windows(2).all(|w| w[0] <= w[1]),
+                "{series}: {sizes:?}"
+            );
         }
     }
 

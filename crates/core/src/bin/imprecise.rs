@@ -107,10 +107,7 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
         }
     }
     let flag = |name: &str| -> Option<&str> {
-        flags
-            .iter()
-            .find(|(n, _)| *n == name)
-            .and_then(|(_, v)| *v)
+        flags.iter().find(|(n, _)| *n == name).and_then(|(_, v)| *v)
     };
     let required = |name: &str| -> Result<String, UsageError> {
         flag(name)
@@ -224,16 +221,16 @@ fn rules_text(arg: &str) -> Result<String, String> {
     match arg {
         "movie" => Ok(MOVIE_RULES.to_string()),
         "addressbook" => Ok(ADDRESSBOOK_RULES.to_string()),
-        path => std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read rule file {path}: {e}")),
+        path => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read rule file {path}: {e}"))
+        }
     }
 }
 
 fn run(cmd: Command) -> Result<(), String> {
     let mut session = Session::new();
     let load = |session: &mut Session, name: &str, path: &str| -> Result<(), String> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         session
             .load_xml(name, &text)
             .map_err(|e| format!("{path}: {e}"))
@@ -293,8 +290,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 if item.probability >= min_probability {
                     // A closed pipe (e.g. `| head`) is a normal way for the
                     // reader to stop; exit quietly instead of panicking.
-                    if writeln!(out, "{:5.1}% {}", item.probability * 100.0, item.value).is_err()
-                    {
+                    if writeln!(out, "{:5.1}% {}", item.probability * 100.0, item.value).is_err() {
                         return Ok(());
                     }
                 }
@@ -304,15 +300,19 @@ fn run(cmd: Command) -> Result<(), String> {
         Command::Stats { db } => {
             load(&mut session, "db", &db)?;
             let s = session.stats("db").map_err(|e| e.to_string())?;
-            println!("worlds:               {}", s.worlds);
-            println!("certain:              {}", s.certain);
-            println!("nodes (factored):     {}", s.breakdown.total());
-            println!("  probability nodes:  {}", s.breakdown.prob);
-            println!("  possibility nodes:  {}", s.breakdown.poss);
-            println!("  element nodes:      {}", s.breakdown.elem);
-            println!("  text nodes:         {}", s.breakdown.text);
-            println!("nodes (unfactored):   {}", s.unfactored_nodes);
-            println!("expected world size:  {:.1}", s.expected_world_size);
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            // As in `query`/`worlds`: a closed pipe (e.g. `| head`) is a
+            // normal way for the reader to stop.
+            let _ = writeln!(out, "worlds:               {}", s.worlds).is_ok()
+                && writeln!(out, "certain:              {}", s.certain).is_ok()
+                && writeln!(out, "nodes (factored):     {}", s.breakdown.total()).is_ok()
+                && writeln!(out, "  probability nodes:  {}", s.breakdown.prob).is_ok()
+                && writeln!(out, "  possibility nodes:  {}", s.breakdown.poss).is_ok()
+                && writeln!(out, "  element nodes:      {}", s.breakdown.elem).is_ok()
+                && writeln!(out, "  text nodes:         {}", s.breakdown.text).is_ok()
+                && writeln!(out, "nodes (unfactored):   {}", s.unfactored_nodes).is_ok()
+                && writeln!(out, "expected world size:  {:.1}", s.expected_world_size).is_ok();
             Ok(())
         }
         Command::Worlds { db, limit } => {
@@ -407,7 +407,14 @@ mod tests {
     #[test]
     fn integrate_command_parses() {
         let cmd = parse(&[
-            "integrate", "--out", "m.xml", "--rules", "movie", "--weights", "0.8,0.2", "a.xml",
+            "integrate",
+            "--out",
+            "m.xml",
+            "--rules",
+            "movie",
+            "--weights",
+            "0.8,0.2",
+            "a.xml",
             "b.xml",
         ])
         .unwrap();
@@ -440,7 +447,15 @@ mod tests {
     #[test]
     fn feedback_verdict_is_validated() {
         let err = parse(&[
-            "feedback", "db.xml", "--query", "q", "--value", "v", "--verdict", "maybe", "--out",
+            "feedback",
+            "db.xml",
+            "--query",
+            "q",
+            "--value",
+            "v",
+            "--verdict",
+            "maybe",
+            "--out",
             "o.xml",
         ])
         .unwrap_err();
@@ -461,7 +476,10 @@ mod tests {
 
     #[test]
     fn unknown_command_and_flags_error() {
-        assert!(parse(&["frobnicate"]).unwrap_err().0.contains("unknown command"));
+        assert!(parse(&["frobnicate"])
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
         assert!(parse(&["query", "--frobnicate", "x"])
             .unwrap_err()
             .0

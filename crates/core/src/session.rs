@@ -3,9 +3,7 @@
 //! Oracle, and integrate / query / feedback operations.
 
 use imprecise_feedback::{apply_feedback, FeedbackError, FeedbackReport};
-use imprecise_integrate::{
-    integrate_px, IntegrateError, IntegrationOptions, IntegrationStats,
-};
+use imprecise_integrate::{integrate_px, IntegrateError, IntegrationOptions, IntegrationStats};
 use imprecise_oracle::Oracle;
 use imprecise_pxml::{parse_annotated, to_annotated_xml, NodeBreakdown, PxDoc};
 use imprecise_query::{eval_px, parse_query, EvalError, QueryParseError, RankedAnswers};

@@ -152,7 +152,14 @@ pub fn catalog_to_xml(movies: &[Movie], style: SourceStyle) -> XmlDoc {
 }
 
 const GENRE_POOL: [&str; 8] = [
-    "Action", "Horror", "Thriller", "Comedy", "Drama", "Sci-Fi", "Crime", "Adventure",
+    "Action",
+    "Horror",
+    "Thriller",
+    "Comedy",
+    "Drama",
+    "Sci-Fi",
+    "Crime",
+    "Adventure",
 ];
 
 const GIVEN_NAMES: [&str; 8] = [
@@ -160,12 +167,29 @@ const GIVEN_NAMES: [&str; 8] = [
 ];
 
 const FAMILY_NAMES: [&str; 8] = [
-    "Woo", "Spielberg", "Bigelow", "Scott", "Coppola", "Cameron", "Hui", "Herzog",
+    "Woo",
+    "Spielberg",
+    "Bigelow",
+    "Scott",
+    "Coppola",
+    "Cameron",
+    "Hui",
+    "Herzog",
 ];
 
 const TITLE_WORDS: [&str; 12] = [
-    "Midnight", "Harbor", "Vengeance", "Echo", "Glass", "Hollow", "Iron", "Paper", "Silent",
-    "Crimson", "Golden", "Last",
+    "Midnight",
+    "Harbor",
+    "Vengeance",
+    "Echo",
+    "Glass",
+    "Hollow",
+    "Iron",
+    "Paper",
+    "Silent",
+    "Crimson",
+    "Golden",
+    "Last",
 ];
 
 /// Generate `n` random distinct movies (for stress tests and benches).

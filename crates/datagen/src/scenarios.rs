@@ -69,8 +69,8 @@ const FRANCHISES: [Franchise; 3] = [
 ];
 
 const ROMAN: [&str; 20] = [
-    "", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XII", "XIII", "XIV",
-    "XV", "XVI", "XVII", "XVIII", "XIX", "XX",
+    "", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XII", "XIII", "XIV", "XV",
+    "XVI", "XVII", "XVIII", "XIX", "XX",
 ];
 
 impl Franchise {
@@ -439,7 +439,10 @@ mod tests {
 
     #[test]
     fn builders_are_deterministic() {
-        assert_eq!(to_string(&sequels_t1().mpeg7), to_string(&sequels_t1().mpeg7));
+        assert_eq!(
+            to_string(&sequels_t1().mpeg7),
+            to_string(&sequels_t1().mpeg7)
+        );
         assert_eq!(to_string(&fig5(30).imdb), to_string(&fig5(30).imdb));
         assert_eq!(to_string(&typical().imdb), to_string(&typical().imdb));
     }

@@ -36,7 +36,7 @@
 use imprecise_pxml::{PxDoc, PxNodeId, PxNodeKind, TooManyWorlds};
 use imprecise_query::event::satisfying_assignments;
 use imprecise_query::xml_eval::eval_xml_values;
-use imprecise_query::{answer_event, Event, EvalError, Query};
+use imprecise_query::{answer_event, EvalError, Event, Query};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
@@ -128,11 +128,7 @@ pub fn apply_feedback(
     let worlds_before = doc.world_count_f64();
     let nodes_before = doc.reachable_count();
     let event = answer_event(doc, query, value)?.unwrap_or(Event::False);
-    let target = if correct {
-        event
-    } else {
-        Event::not(event)
-    };
+    let target = if correct { event } else { Event::not(event) };
     let p_event = imprecise_query::event::probability(doc, &target);
     if p_event <= 0.0 {
         return Err(FeedbackError::Contradiction);
@@ -171,10 +167,7 @@ pub fn apply_feedback(
 
 /// Try to decompose an event into a conjunction of independent per-choice
 /// constraints: `∧_v (v ∈ allowed_v)` over *distinct* choice points.
-fn decompose_independent(
-    doc: &PxDoc,
-    event: &Event,
-) -> Option<BTreeMap<PxNodeId, BTreeSet<u32>>> {
+fn decompose_independent(doc: &PxDoc, event: &Event) -> Option<BTreeMap<PxNodeId, BTreeSet<u32>>> {
     let mut constraints: BTreeMap<PxNodeId, BTreeSet<u32>> = BTreeMap::new();
     if collect_conjuncts(doc, event, &mut constraints) {
         Some(constraints)
@@ -192,9 +185,7 @@ fn collect_conjuncts(
         Event::True => true,
         Event::False => false,
         Event::Atom(a) => insert_constraint(constraints, a.prob_node, [a.poss_index]),
-        Event::And(parts) => parts
-            .iter()
-            .all(|p| collect_conjuncts(doc, p, constraints)),
+        Event::And(parts) => parts.iter().all(|p| collect_conjuncts(doc, p, constraints)),
         Event::Or(parts) => {
             // A disjunction is a single constraint only when every disjunct
             // is an atom of the same choice point.
@@ -220,8 +211,7 @@ fn collect_conjuncts(
             // ¬(v = i) ⇒ v ∈ all \ {i}.
             Event::Atom(a) => {
                 let n = doc.children(a.prob_node).len() as u32;
-                let allowed: BTreeSet<u32> =
-                    (0..n).filter(|&i| i != a.poss_index).collect();
+                let allowed: BTreeSet<u32> = (0..n).filter(|&i| i != a.poss_index).collect();
                 insert_constraint(constraints, a.prob_node, allowed)
             }
             // ¬(v ∈ S) for single-variable S.
@@ -386,9 +376,7 @@ fn rebuild_from_worlds(
     let mut index: BTreeMap<u64, usize> = BTreeMap::new();
     let mut total = 0.0;
     for w in worlds {
-        let has_value = eval_xml_values(&w.doc, query)
-            .iter()
-            .any(|v| v == value);
+        let has_value = eval_xml_values(&w.doc, query).iter().any(|v| v == value);
         if has_value != correct {
             continue;
         }
@@ -581,9 +569,8 @@ mod tests {
         let px = fig2();
         let q = parse_query("//person/tel").unwrap();
         for (value, correct) in [("1111", true), ("2222", false), ("1111", false)] {
-            let expanded =
-                condition_by_expansion(&px, &verdict_event(&px, &q, value, correct))
-                    .expect("under cap");
+            let expanded = condition_by_expansion(&px, &verdict_event(&px, &q, value, correct))
+                .expect("under cap");
             let rebuilt = rebuild_from_worlds(&px, &q, value, correct, 10_000).unwrap();
             let d1 = expanded.world_distribution(1000).unwrap();
             let d2 = rebuilt.world_distribution(1000).unwrap();

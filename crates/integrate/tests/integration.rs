@@ -83,10 +83,10 @@ fn without_dtd_john_can_have_two_phones() {
     result.doc.validate().unwrap();
     let dist = result.doc.world_distribution(100).unwrap();
     assert_eq!(dist.len(), 2);
-    let two_phone = dist
-        .iter()
-        .find(|w| to_string(&w.doc).matches("<tel>").count() == 2
-            && to_string(&w.doc).matches("<person>").count() == 1);
+    let two_phone = dist.iter().find(|w| {
+        to_string(&w.doc).matches("<tel>").count() == 2
+            && to_string(&w.doc).matches("<person>").count() == 1
+    });
     assert!(
         two_phone.is_some(),
         "expected a world where John has both phones"
@@ -117,11 +117,17 @@ fn identical_sources_integrate_to_certainty() {
 fn disjoint_persons_concatenate() {
     let schema = addressbook_schema();
     let oracle = addressbook_oracle();
-    let a = parse("<addressbook><person><nm>Alice</nm><tel>1</tel></person></addressbook>")
-        .unwrap();
+    let a =
+        parse("<addressbook><person><nm>Alice</nm><tel>1</tel></person></addressbook>").unwrap();
     let b = parse("<addressbook><person><nm>Bob</nm><tel>2</tel></person></addressbook>").unwrap();
-    let result =
-        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    let result = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
     assert_eq!(result.doc.world_count(), 1);
     let s = to_string(&result.doc.worlds(10).unwrap()[0].doc);
     assert!(s.contains("Alice") && s.contains("Bob"));
@@ -144,8 +150,14 @@ fn undecided_movie_pair_creates_two_worlds() {
         "<catalog><movie><title>Jaws (TV)</title><year>1975</year><genre>Horror</genre></movie></catalog>",
     )
     .unwrap();
-    let result =
-        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    let result = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
     result.doc.validate().unwrap();
     assert_eq!(result.stats.judged_possible, 1);
     // Match world (title conflict inside) + non-match world.
@@ -164,12 +176,18 @@ fn undecided_movie_pair_creates_two_worlds() {
 fn year_rule_separates_different_years() {
     let schema = movie_schema();
     let oracle = movie_oracle(MovieOracleConfig::default());
-    let a = parse("<catalog><movie><title>Jaws</title><year>1975</year></movie></catalog>")
-        .unwrap();
-    let b = parse("<catalog><movie><title>Jaws</title><year>1978</year></movie></catalog>")
-        .unwrap();
-    let result =
-        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    let a =
+        parse("<catalog><movie><title>Jaws</title><year>1975</year></movie></catalog>").unwrap();
+    let b =
+        parse("<catalog><movie><title>Jaws</title><year>1978</year></movie></catalog>").unwrap();
+    let result = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
     // Certainly two distinct movies.
     assert_eq!(result.doc.world_count(), 1);
     assert_eq!(
@@ -194,8 +212,14 @@ fn genre_union_on_matched_movies() {
         "<catalog><movie><title>Jaws</title><year>1975</year><genre>Thriller</genre></movie></catalog>",
     )
     .unwrap();
-    let result =
-        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    let result = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
     // Movies deep-differ only in genre; the movie pair is undecided (prior)
     // but in the match-world the merged movie holds both genres certainly.
     let dist = result.doc.world_distribution(100).unwrap();
@@ -233,7 +257,10 @@ fn matching_cap_aborts_gracefully() {
         ..IntegrationOptions::default()
     };
     let err = integrate_xml(&mk(1), &mk(2), &oracle, Some(&schema), &opts).unwrap_err();
-    assert!(matches!(err, IntegrateError::TooManyMatchings { .. }), "{err}");
+    assert!(
+        matches!(err, IntegrateError::TooManyMatchings { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -267,8 +294,7 @@ fn incremental_integration_of_probabilistic_result() {
     .unwrap();
     assert_eq!(first.doc.world_count(), 3);
     let third = imprecise_pxml::from_xml(
-        &parse("<addressbook><person><nm>Mary</nm><tel>3333</tel></person></addressbook>")
-            .unwrap(),
+        &parse("<addressbook><person><nm>Mary</nm><tel>3333</tel></person></addressbook>").unwrap(),
     );
     let second = integrate_px(
         &first.doc,
@@ -296,12 +322,24 @@ fn integration_is_symmetric_in_world_count() {
          <movie><title>Jaws 2</title><year>1978</year></movie></catalog>",
     )
     .unwrap();
-    let b = parse("<catalog><movie><title>Jaws</title><year>1975</year></movie></catalog>")
-        .unwrap();
-    let ab = integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default())
-        .unwrap();
-    let ba = integrate_xml(&b, &a, &oracle, Some(&schema), &IntegrationOptions::default())
-        .unwrap();
+    let b =
+        parse("<catalog><movie><title>Jaws</title><year>1975</year></movie></catalog>").unwrap();
+    let ab = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
+    let ba = integrate_xml(
+        &b,
+        &a,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
     assert_eq!(ab.doc.world_count(), ba.doc.world_count());
     assert_eq!(ab.stats.judged_possible, ba.stats.judged_possible);
 }
@@ -310,12 +348,20 @@ fn integration_is_symmetric_in_world_count() {
 fn attribute_conflicts_become_variants() {
     let oracle = addressbook_oracle();
     let schema = addressbook_schema();
-    let a = parse("<addressbook><person id=\"p1\"><nm>John</nm><tel>1111</tel></person></addressbook>")
-        .unwrap();
-    let b = parse("<addressbook><person id=\"p9\"><nm>John</nm><tel>1111</tel></person></addressbook>")
-        .unwrap();
-    let result =
-        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    let a =
+        parse("<addressbook><person id=\"p1\"><nm>John</nm><tel>1111</tel></person></addressbook>")
+            .unwrap();
+    let b =
+        parse("<addressbook><person id=\"p9\"><nm>John</nm><tel>1111</tel></person></addressbook>")
+            .unwrap();
+    let result = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
     result.doc.validate().unwrap();
     assert!(result.stats.attr_conflicts >= 1);
     // Two worlds for the match case (id=p1 / id=p9) + the two-person world.
@@ -377,18 +423,27 @@ fn empty_catalogs_integrate_to_empty_catalog() {
     let b = parse("<catalog/>").unwrap();
     let result = integrate_xml(&a, &b, &oracle, None, &IntegrationOptions::default()).unwrap();
     assert_eq!(result.doc.world_count(), 1);
-    assert_eq!(to_string(&result.doc.worlds(2).unwrap()[0].doc), "<catalog/>");
+    assert_eq!(
+        to_string(&result.doc.worlds(2).unwrap()[0].doc),
+        "<catalog/>"
+    );
 }
 
 #[test]
 fn one_sided_content_copies_certainly() {
     let oracle = movie_oracle(MovieOracleConfig::default());
     let schema = movie_schema();
-    let a = parse("<catalog><movie><title>Jaws</title><year>1975</year></movie></catalog>")
-        .unwrap();
+    let a =
+        parse("<catalog><movie><title>Jaws</title><year>1975</year></movie></catalog>").unwrap();
     let b = parse("<catalog/>").unwrap();
-    let result =
-        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    let result = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
     assert_eq!(result.doc.world_count(), 1);
     assert!(to_string(&result.doc.worlds(2).unwrap()[0].doc).contains("Jaws"));
     assert_eq!(result.stats.pairs_judged, 0);
@@ -402,8 +457,8 @@ fn value_conflict_weights_follow_source_weights() {
         source_weights: (3.0, 1.0),
         ..IntegrationOptions::default()
     };
-    let result = integrate_xml(&john("1111"), &john("2222"), &oracle, Some(&schema), &opts)
-        .unwrap();
+    let result =
+        integrate_xml(&john("1111"), &john("2222"), &oracle, Some(&schema), &opts).unwrap();
     let dist = result.doc.world_distribution(100).unwrap();
     // Match world splits 0.5 × (0.75 / 0.25) between the phones.
     let p1111 = dist
@@ -440,8 +495,14 @@ fn stats_track_components_and_matchings() {
          <movie><title>Die Hard (TV)</title><year>1988</year></movie></catalog>",
     )
     .unwrap();
-    let result =
-        integrate_xml(&a, &b, &oracle, Some(&schema), &IntegrationOptions::default()).unwrap();
+    let result = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
     assert_eq!(result.stats.judged_possible, 2);
     assert_eq!(result.stats.components_with_choice, 2);
     assert_eq!(result.stats.max_component_matchings, 2);

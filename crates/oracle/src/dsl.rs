@@ -308,10 +308,7 @@ mod tests {
                 "<movie><title>Jaws</title><year>1975</year></movie>",
                 "<movie><title>Jaws (TV)</title><year>1975</year></movie>",
             ),
-            (
-                "<genre>Horror</genre>",
-                "<genre>Horror</genre>",
-            ),
+            ("<genre>Horror</genre>", "<genre>Horror</genre>"),
         ];
         for (a, b) in pairs {
             let (da, db) = (px(a), px(b));
@@ -364,7 +361,9 @@ mod tests {
         let john2 = px("<person><nm>John</nm><tel>2222</tel></person>");
         let mary = px("<person><nm>Mary</nm><tel>1111</tel></person>");
         assert!(matches!(
-            oracle.judge(&root_elem(&john1), &root_elem(&john2)).decision,
+            oracle
+                .judge(&root_elem(&john1), &root_elem(&john2))
+                .decision,
             Decision::Possible(_)
         ));
         assert_eq!(

@@ -240,7 +240,9 @@ mod tests {
         let jaws = px("<movie><title>Jaws</title><year>1975</year></movie>");
         let die_hard = px("<movie><title>Die Hard</title><year>1988</year></movie>");
         assert!(matches!(
-            oracle.judge(&root_elem(&jaws), &root_elem(&die_hard)).decision,
+            oracle
+                .judge(&root_elem(&jaws), &root_elem(&die_hard))
+                .decision,
             Decision::Possible(_)
         ));
     }
@@ -253,7 +255,9 @@ mod tests {
         let mary = px("<person><nm>Mary</nm><tel>1111</tel></person>");
         // Same name, different phone: undecided (the Fig. 2 situation).
         assert!(matches!(
-            oracle.judge(&root_elem(&john1), &root_elem(&john2)).decision,
+            oracle
+                .judge(&root_elem(&john1), &root_elem(&john2))
+                .decision,
             Decision::Possible(_)
         ));
         // Different names: certainly different persons.
@@ -264,7 +268,9 @@ mod tests {
         // Identical persons: certainly the same.
         let john1b = px("<person><nm>John</nm><tel>1111</tel></person>");
         assert_eq!(
-            oracle.judge(&root_elem(&john1), &root_elem(&john1b)).decision,
+            oracle
+                .judge(&root_elem(&john1), &root_elem(&john1b))
+                .decision,
             Decision::Match
         );
     }

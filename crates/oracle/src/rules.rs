@@ -268,9 +268,7 @@ impl Rule for KeyInequalityRule {
             (PossibleValues::Values(va), PossibleValues::Values(vb)) => {
                 // Different keys in every world ⇒ certainly distinct rwos;
                 // a single possibly-equal key pair forces abstention.
-                let all_differ = va
-                    .iter()
-                    .all(|x| vb.iter().all(|y| x.trim() != y.trim()));
+                let all_differ = va.iter().all(|x| vb.iter().all(|y| x.trim() != y.trim()));
                 if all_differ {
                     Some(Decision::NonMatch)
                 } else {
@@ -408,8 +406,7 @@ mod tests {
         // Both variants of the uncertain title are dissimilar to "Alien":
         // the rule can reject with certainty despite the uncertainty.
         let rule = SimilarityThresholdRule::movie_title(0.55);
-        let merged =
-            movie_with_uncertain_title("Mission: Impossible", "Mission: Impossible II");
+        let merged = movie_with_uncertain_title("Mission: Impossible", "Mission: Impossible II");
         let alien = px("<movie><title>Alien</title></movie>");
         let m = ElemRef {
             doc: &merged,
@@ -418,10 +415,7 @@ mod tests {
                 merged.children(poss)[0]
             },
         };
-        assert_eq!(
-            rule.judge(&m, &root_elem(&alien)),
-            Some(Decision::NonMatch)
-        );
+        assert_eq!(rule.judge(&m, &root_elem(&alien)), Some(Decision::NonMatch));
         // But a candidate similar to one variant keeps the rule abstaining.
         let mi = px("<movie><title>Mission Impossible</title></movie>");
         assert_eq!(rule.judge(&m, &root_elem(&mi)), None);

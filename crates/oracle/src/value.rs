@@ -44,7 +44,9 @@ impl ValueLookup {
 impl<'a> ElemRef<'a> {
     /// Tag of the referenced element.
     pub fn tag(&self) -> &'a str {
-        self.doc.tag(self.node).expect("ElemRef points at an element")
+        self.doc
+            .tag(self.node)
+            .expect("ElemRef points at an element")
     }
 
     /// The element's own text content, if it is certain (no descendant
@@ -251,11 +253,9 @@ fn possible_texts(doc: &PxDoc, node: PxNodeId, cap: usize) -> Option<Vec<String>
 
 /// Does any possibility of `prob` contain a top-level element with `tag`?
 fn prob_can_contain_tag(doc: &PxDoc, prob: PxNodeId, tag: &str) -> bool {
-    doc.children(prob).iter().any(|&poss| {
-        doc.children(poss)
-            .iter()
-            .any(|&c| doc.tag(c) == Some(tag))
-    })
+    doc.children(prob)
+        .iter()
+        .any(|&poss| doc.children(poss).iter().any(|&c| doc.tag(c) == Some(tag)))
 }
 
 /// Does the subtree under `node` contain any probability node?

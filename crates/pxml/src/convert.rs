@@ -110,7 +110,12 @@ fn decode_poss(doc: &XmlDoc, node: XmlNodeId, px: &mut PxDoc, prob: PxNodeId) ->
     Ok(())
 }
 
-fn decode_regular(doc: &XmlDoc, node: XmlNodeId, px: &mut PxDoc, parent: PxNodeId) -> XmlResult<()> {
+fn decode_regular(
+    doc: &XmlDoc,
+    node: XmlNodeId,
+    px: &mut PxDoc,
+    parent: PxNodeId,
+) -> XmlResult<()> {
     match doc.kind(node) {
         XmlNodeKind::Text(t) => {
             px.add_text(parent, t.clone());
@@ -208,10 +213,8 @@ mod tests {
         let doc = parse("<px:prob><a/></px:prob>").unwrap();
         assert!(parse_annotated(&doc).is_err());
         // poss in regular content.
-        let doc = parse(
-            "<px:prob><px:poss p=\"1\"><a><px:poss p=\"1\"/></a></px:poss></px:prob>",
-        )
-        .unwrap();
+        let doc = parse("<px:prob><px:poss p=\"1\"><a><px:poss p=\"1\"/></a></px:poss></px:prob>")
+            .unwrap();
         assert!(parse_annotated(&doc).is_err());
         // Non-numeric probability.
         let doc = parse("<px:prob><px:poss p=\"often\"><a/></px:poss></px:prob>").unwrap();

@@ -184,7 +184,11 @@ impl PxDoc {
         match self.kind(node) {
             PxNodeKind::Text(_) => 1.0,
             PxNodeKind::Elem { .. } => {
-                1.0 + self.children(node).iter().map(|&c| self.ews(c)).sum::<f64>()
+                1.0 + self
+                    .children(node)
+                    .iter()
+                    .map(|&c| self.ews(c))
+                    .sum::<f64>()
             }
             PxNodeKind::Prob => self
                 .children(node)
@@ -421,8 +425,7 @@ mod tests {
             // After unfactoring, no element has two prob children.
             for n in unf.descendants(unf.root()) {
                 if unf.is_elem(n) {
-                    let prob_children =
-                        unf.children(n).iter().filter(|&&c| unf.is_prob(c)).count();
+                    let prob_children = unf.children(n).iter().filter(|&&c| unf.is_prob(c)).count();
                     assert!(prob_children <= 1);
                 }
             }

@@ -83,9 +83,7 @@ pub fn px_deep_equal(da: &PxDoc, a: PxNodeId, db: &PxDoc, b: PxNodeId) -> bool {
     match (da.kind(a), db.kind(b)) {
         (PxNodeKind::Text(ta), PxNodeKind::Text(tb)) => ta == tb,
         (PxNodeKind::Prob, PxNodeKind::Prob) => children_equal(da, a, db, b),
-        (PxNodeKind::Poss(pa), PxNodeKind::Poss(pb)) => {
-            pa == pb && children_equal(da, a, db, b)
-        }
+        (PxNodeKind::Poss(pa), PxNodeKind::Poss(pb)) => pa == pb && children_equal(da, a, db, b),
         (
             PxNodeKind::Elem {
                 tag: tag_a,

@@ -247,11 +247,7 @@ mod tests {
         assert_eq!(px.world_count(), before_worlds);
         px.validate().unwrap();
         // year spliced between title and genre.
-        let tags: Vec<&str> = px
-            .children(e)
-            .iter()
-            .filter_map(|&c| px.tag(c))
-            .collect();
+        let tags: Vec<&str> = px.children(e).iter().filter_map(|&c| px.tag(c)).collect();
         assert_eq!(tags, vec!["title", "year", "genre"]);
         assert!(px.is_certain());
     }

@@ -124,8 +124,7 @@ impl PxDoc {
                     for &k in kids {
                         match self.kind(k) {
                             PxNodeKind::Poss(p) => {
-                                if !p.is_finite() || *p < -PROB_EPSILON || *p > 1.0 + PROB_EPSILON
-                                {
+                                if !p.is_finite() || *p < -PROB_EPSILON || *p > 1.0 + PROB_EPSILON {
                                     return Err(PxInvariantError::BadProbability {
                                         node: k,
                                         p: *p,

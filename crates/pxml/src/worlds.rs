@@ -52,14 +52,14 @@ impl PxDoc {
     fn world_count_node(&self, node: PxNodeId) -> u128 {
         match self.kind(node) {
             PxNodeKind::Text(_) => 1,
-            PxNodeKind::Elem { .. } | PxNodeKind::Poss(_) => self
-                .children(node)
-                .iter()
-                .fold(1u128, |acc, &c| acc.saturating_mul(self.world_count_node(c))),
-            PxNodeKind::Prob => self
-                .children(node)
-                .iter()
-                .fold(0u128, |acc, &c| acc.saturating_add(self.world_count_node(c))),
+            PxNodeKind::Elem { .. } | PxNodeKind::Poss(_) => {
+                self.children(node).iter().fold(1u128, |acc, &c| {
+                    acc.saturating_mul(self.world_count_node(c))
+                })
+            }
+            PxNodeKind::Prob => self.children(node).iter().fold(0u128, |acc, &c| {
+                acc.saturating_add(self.world_count_node(c))
+            }),
         }
     }
 

@@ -91,10 +91,7 @@ pub fn evaluate_at_threshold(
         .at_least(threshold)
         .map(|a| a.value.as_str())
         .collect();
-    let correct = selected
-        .iter()
-        .filter(|v| truth_set.contains(*v))
-        .count() as f64;
+    let correct = selected.iter().filter(|v| truth_set.contains(*v)).count() as f64;
     let precision = if selected.is_empty() {
         if truth_set.is_empty() {
             1.0
@@ -141,12 +138,7 @@ mod tests {
     use super::*;
 
     fn answers(pairs: &[(&str, f64)]) -> RankedAnswers {
-        RankedAnswers::from_pairs(
-            pairs
-                .iter()
-                .map(|(v, p)| ((*v).to_string(), *p))
-                .collect(),
-        )
+        RankedAnswers::from_pairs(pairs.iter().map(|(v, p)| ((*v).to_string(), *p)).collect())
     }
 
     #[test]

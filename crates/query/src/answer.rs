@@ -48,7 +48,9 @@ impl RankedAnswers {
 
     /// Answers with probability at least `threshold`.
     pub fn at_least(&self, threshold: f64) -> impl Iterator<Item = &RankedAnswer> {
-        self.items.iter().filter(move |a| a.probability >= threshold)
+        self.items
+            .iter()
+            .filter(move |a| a.probability >= threshold)
     }
 
     /// Number of distinct answer values.
@@ -95,20 +97,15 @@ mod tests {
 
     #[test]
     fn tie_breaking_is_deterministic() {
-        let answers = RankedAnswers::from_pairs(vec![
-            ("Jaws 2".into(), 0.97),
-            ("Jaws".into(), 0.97),
-        ]);
+        let answers =
+            RankedAnswers::from_pairs(vec![("Jaws 2".into(), 0.97), ("Jaws".into(), 0.97)]);
         assert_eq!(answers.items[0].value, "Jaws");
         assert_eq!(answers.items[1].value, "Jaws 2");
     }
 
     #[test]
     fn lookups_and_thresholds() {
-        let answers = RankedAnswers::from_pairs(vec![
-            ("A".into(), 0.9),
-            ("B".into(), 0.2),
-        ]);
+        let answers = RankedAnswers::from_pairs(vec![("A".into(), 0.9), ("B".into(), 0.2)]);
         assert_eq!(answers.probability_of("A"), 0.9);
         assert_eq!(answers.probability_of("missing"), 0.0);
         assert_eq!(answers.at_least(0.5).count(), 1);

@@ -181,8 +181,7 @@ pub fn satisfying_assignments(
     cap: usize,
 ) -> Option<Vec<(PartialAssignment, f64)>> {
     let mut sat: Vec<(PartialAssignment, f64)> = Vec::new();
-    let mut pending: Vec<(Event, PartialAssignment, f64)> =
-        vec![(event.clone(), Vec::new(), 1.0)];
+    let mut pending: Vec<(Event, PartialAssignment, f64)> = vec![(event.clone(), Vec::new(), 1.0)];
     while let Some((e, assignment, weight)) = pending.pop() {
         match e {
             Event::False => {}
@@ -408,10 +407,7 @@ mod tests {
     #[test]
     fn satisfying_assignments_constants_and_cap() {
         let (px, c1, _) = doc2();
-        assert_eq!(
-            satisfying_assignments(&px, &Event::False, 10),
-            Some(vec![])
-        );
+        assert_eq!(satisfying_assignments(&px, &Event::False, 10), Some(vec![]));
         let all = satisfying_assignments(&px, &Event::True, 10).unwrap();
         assert_eq!(all, vec![(vec![], 1.0)]);
         // Cap of 1 cannot hold the two satisfying assignments of a

@@ -34,7 +34,11 @@ pub struct QueryParseError {
 
 impl fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -80,7 +84,11 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(u8::is_ascii_whitespace)
+        {
             self.pos += 1;
         }
     }
@@ -268,10 +276,7 @@ impl<'a> Parser<'a> {
     }
 
     /// `name(relpath, "literal")` argument lists of the string functions.
-    fn parse_string_fn_args(
-        &mut self,
-        name: &str,
-    ) -> Result<(RelPath, String), QueryParseError> {
+    fn parse_string_fn_args(&mut self, name: &str) -> Result<(RelPath, String), QueryParseError> {
         self.skip_ws();
         if !self.eat("(") {
             return Err(self.err(format!("expected '(' after {name}")));
@@ -426,10 +431,9 @@ mod tests {
 
     #[test]
     fn parse_paper_query_two() {
-        let q = parse_query(
-            "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
-        )
-        .unwrap();
+        let q =
+            parse_query("//movie[some $d in .//director satisfies contains($d,\"John\")]/title")
+                .unwrap();
         let pred = &q.steps[0].predicates[0];
         match pred {
             Expr::Some { path, cond } => {
@@ -536,8 +540,9 @@ mod tests {
         assert!(parse_query("//movie]").is_err());
         assert!(parse_query("//movie[$x]").is_err()); // unbound variable
         assert!(parse_query("//movie[contains(title \"x\")]").is_err());
-        assert!(parse_query("//movie[some $d in .//director satisfies contains($e,\"x\")]")
-            .is_err()); // wrong variable
+        assert!(
+            parse_query("//movie[some $d in .//director satisfies contains($e,\"x\")]").is_err()
+        ); // wrong variable
     }
 
     #[test]

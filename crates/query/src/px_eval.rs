@@ -48,10 +48,7 @@ impl std::error::Error for EvalError {}
 /// condition a document on user confirmation/rejection of an answer.
 pub fn answer_event(doc: &PxDoc, query: &Query, value: &str) -> Result<Option<Event>, EvalError> {
     let events = answer_events(doc, query)?;
-    Ok(events
-        .into_iter()
-        .find(|(v, _)| v == value)
-        .map(|(_, e)| e))
+    Ok(events.into_iter().find(|(v, _)| v == value).map(|(_, e)| e))
 }
 
 /// The events of all possible answer values (unranked).
@@ -446,10 +443,7 @@ fn node_value_events(doc: &PxDoc, node: PxNodeId) -> Result<Vec<(String, Event)>
     }
 }
 
-fn items_value_events(
-    doc: &PxDoc,
-    items: &[PxNodeId],
-) -> Result<Vec<(String, Event)>, EvalError> {
+fn items_value_events(doc: &PxDoc, items: &[PxNodeId]) -> Result<Vec<(String, Event)>, EvalError> {
     let mut acc: Vec<(String, Event)> = vec![(String::new(), Event::True)];
     for &item in items {
         let parts = node_value_events(doc, item)?;
@@ -600,10 +594,9 @@ mod tests {
         px.add_text(a, "John Woo");
         let b = px.add_poss(c, 0.2);
         px.add_text(b, "Woo Jon"); // no "John"
-        let q = parse_query(
-            "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
-        )
-        .unwrap();
+        let q =
+            parse_query("//movie[some $d in .//director satisfies contains($d,\"John\")]/title")
+                .unwrap();
         let answers = eval_px(&px, &q).unwrap();
         assert!((answers.probability_of("MI2") - 0.8).abs() < 1e-12);
     }

@@ -43,15 +43,17 @@ fn movie_strategy() -> impl Strategy<Value = MovieSpec> {
         proptest::option::of(0u8..12u8),
         1u8..=9u8,
     )
-        .prop_map(|(title, alt_title, genre, director, year, alt_year, w)| MovieSpec {
-            title,
-            alt_title,
-            genre,
-            director,
-            year,
-            alt_year,
-            w,
-        })
+        .prop_map(
+            |(title, alt_title, genre, director, year, alt_year, w)| MovieSpec {
+                title,
+                alt_title,
+                genre,
+                director,
+                year,
+                alt_year,
+                w,
+            },
+        )
 }
 
 fn doc_strategy() -> impl Strategy<Value = DocSpec> {

@@ -71,7 +71,10 @@ mod tests {
     #[test]
     fn roman_and_arabic_sequel_numbers_unify() {
         let s = title_similarity("Mission: Impossible II", "Mission Impossible 2");
-        assert_eq!(s, 1.0, "roman numeral normalisation should make these equal");
+        assert_eq!(
+            s, 1.0,
+            "roman numeral normalisation should make these equal"
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ mod tests {
         assert_eq!(normalize_person_name("McTiernan, John"), "john mctiernan");
         assert_eq!(normalize_person_name("John McTiernan"), "john mctiernan");
         assert_eq!(normalize_person_name("Woo, John"), "john woo");
-        assert_eq!(normalize_person_name("  Spielberg ,  Steven "), "steven spielberg");
+        assert_eq!(
+            normalize_person_name("  Spielberg ,  Steven "),
+            "steven spielberg"
+        );
         assert_eq!(normalize_person_name(""), "");
     }
 

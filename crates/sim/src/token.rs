@@ -67,7 +67,10 @@ mod tests {
             tokenize("Die Hard: With a Vengeance"),
             vec!["die", "hard", "with", "a", "vengeance"]
         );
-        assert_eq!(tokenize("Mission: Impossible II"), vec!["mission", "impossible", "ii"]);
+        assert_eq!(
+            tokenize("Mission: Impossible II"),
+            vec!["mission", "impossible", "ii"]
+        );
         assert_eq!(tokenize("  --  "), Vec::<String>::new());
         assert_eq!(tokenize("R2-D2"), vec!["r2", "d2"]);
     }

@@ -365,9 +365,9 @@ impl<'a> Parser<'a> {
         debug_assert!(self.starts_with("<!--"));
         self.pos += 4;
         let rest = &self.text[self.pos..];
-        let end = rest.find("-->").ok_or(XmlError::UnexpectedEof {
-            context: "comment",
-        })?;
+        let end = rest
+            .find("-->")
+            .ok_or(XmlError::UnexpectedEof { context: "comment" })?;
         self.pos += end + 3;
         Ok(())
     }
@@ -614,15 +614,16 @@ mod tests {
 
     #[test]
     fn doctype_without_subset_is_skipped() {
-        let parsed = parse_full("<!DOCTYPE a SYSTEM \"a.dtd\"><a/>", ParseOptions::default())
-            .unwrap();
+        let parsed =
+            parse_full("<!DOCTYPE a SYSTEM \"a.dtd\"><a/>", ParseOptions::default()).unwrap();
         assert!(parsed.schema.is_none());
         assert_eq!(parsed.doc.tag(parsed.doc.root()), Some("a"));
     }
 
     #[test]
     fn serialize_parse_roundtrip() {
-        let src = "<addressbook><person rating=\"A&amp;B\"><nm>Jo &amp; Ann</nm></person></addressbook>";
+        let src =
+            "<addressbook><person rating=\"A&amp;B\"><nm>Jo &amp; Ann</nm></person></addressbook>";
         let d = parse(src).unwrap();
         let out = to_string(&d);
         let d2 = parse(&out).unwrap();

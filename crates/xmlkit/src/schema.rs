@@ -215,13 +215,10 @@ impl Schema {
     /// the paper's "too little semantical knowledge" regime).
     pub fn max_occurs(&self, parent: &str, child: &str) -> Option<Cardinality> {
         match self.models.get(parent)? {
-            ContentModel::Children(specs) => {
-                specs.iter().find(|s| s.tag == child).map(|s| s.card)
+            ContentModel::Children(specs) => specs.iter().find(|s| s.tag == child).map(|s| s.card),
+            ContentModel::Mixed(tags) => {
+                tags.iter().any(|t| t == child).then_some(Cardinality::Many)
             }
-            ContentModel::Mixed(tags) => tags
-                .iter()
-                .any(|t| t == child)
-                .then_some(Cardinality::Many),
             _ => None,
         }
     }
@@ -307,13 +304,11 @@ impl Schema {
                 let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
                 for &c in children {
                     let child_tag = doc.tag(c).expect("element child");
-                    let spec =
-                        specs
-                            .iter()
-                            .find(|s| s.tag == child_tag)
-                            .ok_or_else(|| XmlError::Invalid {
-                                message: format!("<{child_tag}> not allowed inside <{tag}>"),
-                            })?;
+                    let spec = specs.iter().find(|s| s.tag == child_tag).ok_or_else(|| {
+                        XmlError::Invalid {
+                            message: format!("<{child_tag}> not allowed inside <{tag}>"),
+                        }
+                    })?;
                     let n = counts.entry(spec.tag.as_str()).or_insert(0);
                     *n += 1;
                     if spec.card.is_single() && *n > 1 {

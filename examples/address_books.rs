@@ -47,8 +47,8 @@ fn main() {
     }
 
     // --- Without the DTD: John may simply have both numbers. ---
-    let without_dtd = integrate_xml(&source_a, &source_b, &oracle, None, &options)
-        .expect("integration succeeds");
+    let without_dtd =
+        integrate_xml(&source_a, &source_b, &oracle, None, &options).expect("integration succeeds");
     println!("\n== without DTD ==");
     println!("the {} possible worlds:", without_dtd.doc.world_count());
     for (i, world) in without_dtd

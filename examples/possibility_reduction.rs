@@ -42,10 +42,8 @@ fn main() {
     )
     .expect("integration succeeds");
 
-    let john = parse_query(
-        "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
-    )
-    .expect("query parses");
+    let john = parse_query("//movie[some $d in .//director satisfies contains($d,\"John\")]/title")
+        .expect("query parses");
     let truth = ["Die Hard: With a Vengeance", "Mission: Impossible II"];
 
     if dot_mode {

@@ -40,10 +40,7 @@ fn main() {
     );
 
     for (query_text, truth) in [
-        (
-            "//movie[.//genre=\"Horror\"]/title",
-            vec!["Jaws", "Jaws 2"],
-        ),
+        ("//movie[.//genre=\"Horror\"]/title", vec!["Jaws", "Jaws 2"]),
         (
             "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
             vec!["Die Hard: With a Vengeance", "Mission: Impossible II"],

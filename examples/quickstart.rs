@@ -34,7 +34,10 @@ fn main() {
     let stats = session
         .integrate("phone-of-alice", "phone-of-bob", "merged")
         .expect("integration succeeds");
-    println!("integrated with {} undecided pair(s)\n", stats.judged_possible);
+    println!(
+        "integrated with {} undecided pair(s)\n",
+        stats.judged_possible
+    );
 
     let doc_stats = session.stats("merged").expect("document exists");
     println!(

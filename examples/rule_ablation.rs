@@ -52,7 +52,9 @@ fn main() {
             // datapoint ("too little semantical knowledge", §V).
             Err(imprecise::integrate::IntegrateError::OutputTooLarge { cap }) => println!(
                 "{flags} | {:>10} {:>14} {:>14}",
-                "(many)", format!("> {cap:.0e}"), "exploded"
+                "(many)",
+                format!("> {cap:.0e}"),
+                "exploded"
             ),
             Err(e) => panic!("integration failed: {e}"),
         }

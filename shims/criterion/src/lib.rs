@@ -1,0 +1,323 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to a crate registry, so the real
+//! `criterion` cannot be vendored. This shim keeps the same bench authoring
+//! API — `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` — and implements a
+//! simple but honest wall-clock harness:
+//!
+//! * under `cargo bench` (cargo passes `--bench`) every benchmark is warmed
+//!   up and then measured over multiple samples; median, min and max
+//!   per-iteration times are printed in a criterion-like format;
+//! * under `cargo test` (no `--bench` argument) each benchmark body runs
+//!   exactly once, so benches stay compile- and run-checked without costing
+//!   test time;
+//! * when `IMPRECISE_BENCH_JSON` names a file, one JSON line per benchmark
+//!   (`{"id": …, "median_ns": …, …}`) is appended for baseline tracking.
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Measurement settings plus collected results.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Criterion {
+            test_mode,
+            sample_size: 30,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse harness arguments (accepted for API compatibility; only the
+    /// presence of `--bench` matters to the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        let sample_size = self.sample_size;
+        self.run_one(&id, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.test_mode {
+            let mut b = Bencher {
+                mode: Mode::Once,
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test-mode {id}: ran once");
+            return;
+        }
+        // Warm-up and calibration: find an iteration count that takes
+        // roughly one sample's worth of time.
+        let mut calibrate = Bencher {
+            mode: Mode::Time,
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let mut iters: u64 = 1;
+        loop {
+            calibrate.iters = iters;
+            f(&mut calibrate);
+            if calibrate.elapsed >= Duration::from_millis(2) || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let per_iter = calibrate.elapsed.as_secs_f64() / calibrate.iters as f64;
+        let per_sample = self.measurement_time.as_secs_f64() / sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        let mut b = Bencher {
+            mode: Mode::Time,
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        for _ in 0..sample_size {
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        let max = samples_ns[samples_ns.len() - 1];
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+        record_json(id, median, min, max, sample_size, iters_per_sample);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn record_json(id: &str, median: f64, min: f64, max: f64, samples: usize, iters: u64) {
+    let Ok(path) = std::env::var("IMPRECISE_BENCH_JSON") else {
+        return;
+    };
+    let line = format!(
+        "{{\"id\":\"{}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{samples},\"iters_per_sample\":{iters}}}\n",
+        id.replace('\\', "\\\\").replace('"', "\\\""),
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = file.write_all(line.as_bytes());
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Set the target measurement time for subsequent benchmarks.
+    /// Accepted for API compatibility; the shim keeps its own budget.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    Once,
+    Time,
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it as many times as the harness asks.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Once => {
+                std::hint::black_box(routine());
+            }
+            Mode::Time => {
+                let start = Instant::now();
+                for _ in 0..self.iters {
+                    std::hint::black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+/// A benchmark identifier with a parameter, rendered as `name/param`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `name` at parameter `param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work; benches in this
+/// workspace use `std::hint::black_box` directly.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            test_mode: false,
+            sample_size: 3,
+            measurement_time: Duration::from_millis(3),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u64;
+        group.sample_size(2).bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(100),
+        };
+        let mut runs = 0u64;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("fig5", 12).to_string(), "fig5/12");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

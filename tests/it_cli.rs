@@ -11,10 +11,7 @@ struct Workdir {
 
 impl Workdir {
     fn new(name: &str) -> Self {
-        let dir = std::env::temp_dir().join(format!(
-            "imprecise-cli-{name}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("imprecise-cli-{name}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("create workdir");
         Workdir { dir }
     }
@@ -51,10 +48,8 @@ fn stderr(out: &Output) -> String {
     String::from_utf8_lossy(&out.stderr).into_owned()
 }
 
-const SOURCE_A: &str =
-    "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>";
-const SOURCE_B: &str =
-    "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>";
+const SOURCE_A: &str = "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>";
+const SOURCE_B: &str = "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>";
 const DTD: &str = "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
                    <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>";
 
@@ -76,7 +71,11 @@ fn integrate_fig2(w: &Workdir) -> PathBuf {
         b.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "integrate failed: {}", stderr(&out));
-    assert!(stderr(&out).contains("3 possible worlds"), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("3 possible worlds"),
+        "{}",
+        stderr(&out)
+    );
     merged
 }
 
@@ -150,7 +149,11 @@ fn prune_shrinks_the_database() {
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let out = imprecise(&["stats", pruned.to_str().unwrap()]);
-    assert!(stdout(&out).contains("certain:              true"), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("certain:              true"),
+        "{}",
+        stdout(&out)
+    );
 }
 
 #[test]

@@ -22,8 +22,8 @@ fn feedback_conditions_exactly_like_bayes() {
     let q = parse_query("//person/tel").expect("parses");
     let before = eval_px(&result.doc, &q).expect("evaluates");
     let p_1111 = before.probability_of("1111");
-    let (after, report) = apply_feedback(&result.doc, &q, "1111", true, 100_000)
-        .expect("feedback applies");
+    let (after, report) =
+        apply_feedback(&result.doc, &q, "1111", true, 100_000).expect("feedback applies");
     // Bayes: P(2222 | 1111 in answer) = P(both in answer) / P(1111).
     // Both appear together only in the two-person world (p = 0.5).
     let after_answers = eval_px(&after, &q).expect("evaluates");
@@ -89,17 +89,14 @@ fn feedback_on_movie_titles_prunes_typo_worlds() {
     )
     .expect("integration succeeds")
     .doc;
-    let john = parse_query(
-        "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
-    )
-    .expect("parses");
+    let john = parse_query("//movie[some $d in .//director satisfies contains($d,\"John\")]/title")
+        .expect("parses");
     let before = eval_px(&doc, &john).expect("evaluates");
     assert!(before.probability_of("Mission: Impossible") > 0.0);
     // The user knows Mission: Impossible (the 1996 one) was NOT directed
     // by a John: rejecting it kills the typo-merge worlds.
-    let (after, report) =
-        apply_feedback(&doc, &john, "Mission: Impossible", false, 1_000_000)
-            .expect("feedback applies");
+    let (after, report) = apply_feedback(&doc, &john, "Mission: Impossible", false, 1_000_000)
+        .expect("feedback applies");
     assert!(report.worlds_after < report.worlds_before);
     let after_answers = eval_px(&after, &john).expect("evaluates");
     assert_eq!(after_answers.probability_of("Mission: Impossible"), 0.0);

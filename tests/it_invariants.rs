@@ -1,0 +1,142 @@
+//! Regression tests for the probability-sum invariant the possibility
+//! model rests on: at every choice point the possibility weights sum to 1
+//! within [`imprecise::pxml::PROB_EPSILON`], after every operation that
+//! rewrites weights — weighted merge, incremental re-integration, and
+//! pruning with renormalisation.
+
+use imprecise::datagen::movies::{catalog_to_xml, movie_schema, MovieBuilder, SourceStyle};
+use imprecise::integrate::{integrate_px, integrate_xml, IntegrationOptions};
+use imprecise::oracle::presets::{addressbook_oracle, movie_oracle, MovieOracleConfig};
+use imprecise::pxml::{PxDoc, PROB_EPSILON};
+use imprecise::xml::{parse, Schema};
+
+/// Assert the invariant directly, choice point by choice point (validate()
+/// checks the same thing, but through its own tolerance aggregation — this
+/// keeps the regression readable and the failure message specific).
+fn assert_unit_mass(doc: &PxDoc, context: &str) {
+    doc.validate()
+        .unwrap_or_else(|e| panic!("{context}: invalid document: {e}"));
+    for prob in doc.prob_nodes() {
+        let sum: f64 = doc.possibilities(prob).iter().map(|(_, p)| *p).sum();
+        let count = doc.children(prob).len() as f64;
+        assert!(
+            (sum - 1.0).abs() <= PROB_EPSILON * count.max(1.0) * 1e3,
+            "{context}: possibilities of {prob:?} sum to {sum}"
+        );
+    }
+}
+
+fn addressbook(xml: &str) -> imprecise::xml::XmlDoc {
+    parse(xml).expect("well-formed fixture")
+}
+
+fn addressbook_schema() -> Schema {
+    Schema::parse(
+        "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
+         <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>",
+    )
+    .expect("valid schema")
+}
+
+#[test]
+fn weighted_merge_keeps_unit_mass_at_every_choice_point() {
+    let a = addressbook("<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>");
+    let b = addressbook("<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>");
+    let schema = addressbook_schema();
+    let oracle = addressbook_oracle();
+    // Unnormalised and extreme weight ratios must both come out normalised.
+    for weights in [(3.0, 1.0), (0.8, 0.2), (1e6, 1.0), (0.001, 0.999)] {
+        let opts = IntegrationOptions {
+            source_weights: weights,
+            ..IntegrationOptions::default()
+        };
+        let result =
+            integrate_xml(&a, &b, &oracle, Some(&schema), &opts).expect("integration succeeds");
+        assert_unit_mass(&result.doc, &format!("weights {weights:?}"));
+        let total: f64 = result
+            .doc
+            .world_distribution(1000)
+            .expect("small doc")
+            .iter()
+            .map(|w| w.prob)
+            .sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "weights {weights:?}: world mass {total}"
+        );
+    }
+}
+
+#[test]
+fn incremental_reintegration_keeps_unit_mass() {
+    let schema = movie_schema();
+    let oracle = movie_oracle(MovieOracleConfig::default());
+    let jaws = |year: u32| {
+        catalog_to_xml(
+            &[MovieBuilder::new(1, "Jaws", year).genre("Horror").build()],
+            SourceStyle::Mpeg7,
+        )
+    };
+    let first = integrate_xml(
+        &jaws(1975),
+        &catalog_to_xml(
+            &[MovieBuilder::new(2, "Jaws", 1975).genre("horror").build()],
+            SourceStyle::Imdb,
+        ),
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .expect("first round succeeds");
+    assert_unit_mass(&first.doc, "first round");
+
+    // Feed the probabilistic result back in against a third source: the
+    // locally enumerated combinations must renormalise to unit mass too.
+    let third = imprecise::pxml::from_xml(&jaws(1976));
+    let second = integrate_px(
+        &first.doc,
+        &third,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .expect("incremental round succeeds");
+    assert_unit_mass(&second.doc, "incremental round");
+}
+
+#[test]
+fn prune_renormalises_to_unit_mass_at_every_epsilon() {
+    let a = addressbook(
+        "<addressbook>\
+         <person><nm>John</nm><tel>1111</tel></person>\
+         <person><nm>Mary</nm><tel>3333</tel></person>\
+         </addressbook>",
+    );
+    let b = addressbook(
+        "<addressbook>\
+         <person><nm>John</nm><tel>2222</tel></person>\
+         <person><nm>Mary</nm><tel>3333</tel></person>\
+         </addressbook>",
+    );
+    let result = integrate_xml(
+        &a,
+        &b,
+        &addressbook_oracle(),
+        Some(&addressbook_schema()),
+        &IntegrationOptions::default(),
+    )
+    .expect("integration succeeds");
+    for eps_tenths in 0..=10 {
+        let eps = f64::from(eps_tenths) / 10.0;
+        let mut pruned = result.doc.clone();
+        let stats = pruned.prune_below(eps);
+        assert_unit_mass(&pruned, &format!("prune eps={eps}"));
+        assert!(stats.worlds_after >= 1.0, "prune eps={eps} emptied the doc");
+    }
+    // Top-k pruning renormalises the same way.
+    for k in 1..=3 {
+        let mut pruned = result.doc.clone();
+        pruned.prune_keep_top(k);
+        assert_unit_mass(&pruned, &format!("prune top-{k}"));
+    }
+}

@@ -5,7 +5,10 @@ use imprecise::datagen::scenarios;
 use imprecise::integrate::{integrate_xml, IntegrationOptions};
 use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig, TableIRuleSet};
 
-fn integrate(scenario: &scenarios::MovieScenario, rule_set: TableIRuleSet) -> imprecise::integrate::Integration {
+fn integrate(
+    scenario: &scenarios::MovieScenario,
+    rule_set: TableIRuleSet,
+) -> imprecise::integrate::Integration {
     integrate_xml(
         &scenario.mpeg7,
         &scenario.imdb,
@@ -121,7 +124,10 @@ fn fig5_growth_is_monotone_and_ordered() {
         .unfactored_node_count();
         assert!(upper >= upper_prev, "upper series monotone at n={n}");
         assert!(lower >= lower_prev, "lower series monotone at n={n}");
-        assert!(upper >= lower, "year rule only removes possibilities at n={n}");
+        assert!(
+            upper >= lower,
+            "year rule only removes possibilities at n={n}"
+        );
         upper_prev = upper;
         lower_prev = lower;
     }
@@ -152,7 +158,10 @@ fn integration_worlds_conform_to_the_movie_dtd() {
     }
     // The last world exercises the final possibility of every choice.
     let last = result.doc.nth_world(count - 1).expect("in range");
-    scenario.schema.validate(&last.doc).expect("last world valid");
+    scenario
+        .schema
+        .validate(&last.doc)
+        .expect("last world valid");
     assert!(validated >= 100, "sampled {validated} worlds");
 }
 

@@ -54,17 +54,21 @@ fn horror_query_shape() {
 #[test]
 fn john_query_shape() {
     let db = query_db();
-    let q = parse_query(
-        "//movie[some $d in .//director satisfies contains($d,\"John\")]/title",
-    )
-    .expect("parses");
+    let q = parse_query("//movie[some $d in .//director satisfies contains($d,\"John\")]/title")
+        .expect("parses");
     let answers = eval_px(&db, &q).expect("evaluates");
     let dh = answers.probability_of("Die Hard: With a Vengeance");
     let mi2 = answers.probability_of("Mission: Impossible II");
     let mi = answers.probability_of("Mission: Impossible");
     assert!((dh - 1.0).abs() < 1e-9, "Die Hard is certain (paper: 100%)");
-    assert!(mi2 > 0.5 && mi2 < 1.0, "true sequel high (paper: 96%), got {mi2}");
-    assert!(mi > 0.0 && mi < 0.5, "typo match low (paper: 21%), got {mi}");
+    assert!(
+        mi2 > 0.5 && mi2 < 1.0,
+        "true sequel high (paper: 96%), got {mi2}"
+    );
+    assert!(
+        mi > 0.0 && mi < 0.5,
+        "typo match low (paper: 21%), got {mi}"
+    );
     assert!(dh > mi2 && mi2 > mi, "ranking order matches the paper");
 }
 

@@ -15,8 +15,10 @@ fn movie_session() -> Session {
         ..MovieOracleConfig::default()
     }));
     s.load_schema(movie_schema_text()).expect("schema parses");
-    s.load_xml("mpeg7", &to_string(&scenario.mpeg7)).expect("loads");
-    s.load_xml("imdb", &to_string(&scenario.imdb)).expect("loads");
+    s.load_xml("mpeg7", &to_string(&scenario.mpeg7))
+        .expect("loads");
+    s.load_xml("imdb", &to_string(&scenario.imdb))
+        .expect("loads");
     s
 }
 
@@ -42,7 +44,8 @@ fn movie_session_full_cycle() {
 #[test]
 fn incremental_three_source_integration() {
     let mut s = movie_session();
-    s.integrate("mpeg7", "imdb", "db").expect("first integration");
+    s.integrate("mpeg7", "imdb", "db")
+        .expect("first integration");
     // A third source arrives: integrate it into the probabilistic result.
     s.load_xml(
         "late",
@@ -50,7 +53,8 @@ fn incremental_three_source_integration() {
          <genre>Horror</genre><director>Ridley Scott</director></movie></catalog>",
     )
     .expect("loads");
-    s.integrate("db", "late", "db2").expect("incremental integration");
+    s.integrate("db", "late", "db2")
+        .expect("incremental integration");
     let answers = s
         .query("db2", "//movie[.//genre=\"Horror\"]/title")
         .expect("query runs");
