@@ -1,11 +1,12 @@
 //! Criterion bench for the §VI query experiments: the exact symbolic
 //! evaluator against the naive all-worlds evaluator on the integrated
 //! query database (the baseline the "amalgamated answer" construction is
-//! meant to beat).
+//! meant to beat), plus the `Engine` API's parse-once `PreparedQuery`
+//! path against the parse-per-call convenience path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use imprecise::query::{eval_px, eval_px_naive, parse_query};
-use imprecise_bench::{build_query_db, HORROR_QUERY, JOHN_QUERY};
+use imprecise_bench::{build_query_db, query_engine, HORROR_QUERY, JOHN_QUERY};
 use std::hint::black_box;
 
 fn bench_queries(c: &mut Criterion) {
@@ -29,5 +30,39 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries);
+/// Parse-once vs. parse-per-call through the `Engine` API: the paper's
+/// usage pattern is many queries per integration, so the parser should
+/// not be on the per-call path.
+fn bench_prepared(c: &mut Criterion) {
+    let (engine, db) = query_engine();
+    let horror = engine.prepare(HORROR_QUERY).expect("horror query parses");
+    let john = engine.prepare(JOHN_QUERY).expect("john query parses");
+    let snapshot = engine.snapshot(&db).expect("db exists");
+    let mut group = c.benchmark_group("queries_prepared");
+    group.sample_size(20);
+    group.bench_function("horror/prepared-run", |b| {
+        b.iter(|| black_box(horror.run(black_box(&snapshot)).expect("evaluates")))
+    });
+    group.bench_function("horror/parse-per-call", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .query(&db, black_box(HORROR_QUERY))
+                    .expect("evaluates"),
+            )
+        })
+    });
+    group.bench_function("john/prepared-run", |b| {
+        b.iter(|| black_box(john.run(black_box(&snapshot)).expect("evaluates")))
+    });
+    group.bench_function("john/parse-per-call", |b| {
+        b.iter(|| black_box(engine.query(&db, black_box(JOHN_QUERY)).expect("evaluates")))
+    });
+    group.bench_function("john/parse-only", |b| {
+        b.iter(|| black_box(parse_query(black_box(JOHN_QUERY)).expect("parses")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_prepared);
 criterion_main!(benches);

@@ -8,7 +8,8 @@ use imprecise::integrate::{integrate_xml, Integration, IntegrationOptions};
 use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig, TableIRuleSet};
 use imprecise::oracle::Oracle;
 use imprecise::quality::{evaluate, QualityReport};
-use imprecise::query::{eval_px, parse_query, RankedAnswers};
+use imprecise::query::RankedAnswers;
+use imprecise::{DocHandle, Engine};
 
 /// One measured integration outcome.
 #[derive(Debug, Clone)]
@@ -146,35 +147,66 @@ pub const HORROR_TRUTH: [&str; 2] = ["Jaws", "Jaws 2"];
 /// Ground truth of the John query.
 pub const JOHN_TRUTH: [&str; 2] = ["Die Hard: With a Vengeance", "Mission: Impossible II"];
 
-/// Build the integrated §VI query database. The MPEG-7 source is the
-/// curated one, so value conflicts trust it 4:1 — this is the "domain
-/// knowledge" a user would configure alongside the rules.
-pub fn build_query_db() -> Integration {
-    let scenario = scenarios::query_db();
-    let options = IntegrationOptions {
+/// Integration options of the §VI query experiments. The MPEG-7 source
+/// is the curated one, so value conflicts trust it 4:1 — this is the
+/// "domain knowledge" a user would configure alongside the rules.
+/// (Shared by [`query_engine`] and [`build_query_db`] so the two §VI
+/// build paths can never drift apart.)
+pub fn query_db_options() -> IntegrationOptions {
+    IntegrationOptions {
         source_weights: (0.8, 0.2),
         ..IntegrationOptions::default()
-    };
+    }
+}
+
+/// Build an [`Engine`] configured for the §VI query experiments with
+/// the integrated query database published inside it, returning the
+/// engine and the database's handle. The database is the one
+/// [`build_query_db`] constructs — the engine-path and raw-path benches
+/// measure the *same* document by construction.
+pub fn query_engine() -> (Engine, DocHandle) {
+    let scenario = scenarios::query_db();
+    let engine = Engine::builder()
+        .oracle(query_oracle())
+        .schema(scenario.schema)
+        .options(query_db_options())
+        .build();
+    let db = engine.insert("query-db", build_query_db().doc);
+    (engine, db)
+}
+
+/// Build the integrated §VI query database directly (no engine), for
+/// callers that want the raw [`Integration`] statistics.
+pub fn build_query_db() -> Integration {
+    let scenario = scenarios::query_db();
     integrate_xml(
         &scenario.mpeg7,
         &scenario.imdb,
         &query_oracle(),
         Some(&scenario.schema),
-        &options,
+        &query_db_options(),
     )
     .expect("query db integrates")
 }
 
-/// Run both §VI queries against the integrated query database.
+/// Run both §VI queries against the integrated query database, as one
+/// prepared batch over a single consistent snapshot.
 pub fn run_queries() -> QueryExperiment {
-    let integration = build_query_db();
-    let horror = eval_px(&integration.doc, &parse_query(HORROR_QUERY).unwrap())
-        .expect("horror query evaluates");
-    let john =
-        eval_px(&integration.doc, &parse_query(JOHN_QUERY).unwrap()).expect("john query evaluates");
+    let (engine, db) = query_engine();
+    let queries = [
+        engine.prepare(HORROR_QUERY).expect("static query parses"),
+        engine.prepare(JOHN_QUERY).expect("static query parses"),
+    ];
+    let mut answers = engine
+        .query_many(&db, &queries)
+        .expect("queries evaluate")
+        .into_iter();
+    let horror = answers.next().expect("two answers");
+    let john = answers.next().expect("two answers");
+    let stats = engine.stats(&db).expect("db exists");
     QueryExperiment {
-        worlds: integration.doc.world_count_f64(),
-        nodes: integration.doc.reachable_count(),
+        worlds: stats.worlds,
+        nodes: stats.breakdown.total(),
         horror_quality: evaluate(&horror, &HORROR_TRUTH),
         john_quality: evaluate(&john, &JOHN_TRUTH),
         horror,
@@ -228,16 +260,17 @@ pub struct QualityRow {
 /// aggressive pruning eliminates valid possibilities (recall falls) —
 /// exactly the "reduction should not be pushed too far" warning.
 pub fn run_answer_quality(epsilons: &[f64]) -> Vec<QualityRow> {
-    let base = build_query_db();
-    let horror_query = parse_query(HORROR_QUERY).expect("static query parses");
-    let john_query = parse_query(JOHN_QUERY).expect("static query parses");
+    let (engine, db) = query_engine();
+    let base = engine.snapshot(&db).expect("db exists");
+    let horror_query = engine.prepare(HORROR_QUERY).expect("static query parses");
+    let john_query = engine.prepare(JOHN_QUERY).expect("static query parses");
     epsilons
         .iter()
         .map(|&epsilon| {
-            let mut doc = base.doc.clone();
+            let mut doc = base.doc().clone();
             doc.prune_below(epsilon);
-            let horror = eval_px(&doc, &horror_query).expect("horror query evaluates");
-            let john = eval_px(&doc, &john_query).expect("john query evaluates");
+            let horror = horror_query.run_doc(&doc).expect("horror query evaluates");
+            let john = john_query.run_doc(&doc).expect("john query evaluates");
             QualityRow {
                 epsilon,
                 nodes: doc.reachable_count(),

@@ -18,7 +18,7 @@
 //! XML tooling.
 
 use imprecise::oracle::dsl::{ADDRESSBOOK_RULES, MOVIE_RULES};
-use imprecise::Session;
+use imprecise::{DocHandle, Engine, EngineBuilder};
 use std::fmt;
 use std::io::Write;
 use std::process::ExitCode;
@@ -227,14 +227,15 @@ fn rules_text(arg: &str) -> Result<String, String> {
     }
 }
 
+/// Load an XML file into the engine under `name`.
+fn load(engine: &Engine, name: &str, path: &str) -> Result<DocHandle, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    engine
+        .load_xml(name, &text)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
 fn run(cmd: Command) -> Result<(), String> {
-    let mut session = Session::new();
-    let load = |session: &mut Session, name: &str, path: &str| -> Result<(), String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        session
-            .load_xml(name, &text)
-            .map_err(|e| format!("{path}: {e}"))
-    };
     match cmd {
         Command::Integrate {
             a,
@@ -244,27 +245,31 @@ fn run(cmd: Command) -> Result<(), String> {
             dtd,
             weights,
         } => {
+            let mut builder = EngineBuilder::new();
             if let Some(r) = rules {
                 let text = rules_text(&r)?;
-                session.load_rules(&text).map_err(|e| e.to_string())?;
+                builder = builder.rules(&text).map_err(|e| e.to_string())?;
             }
             if let Some(d) = dtd {
                 let text =
                     std::fs::read_to_string(&d).map_err(|e| format!("cannot read {d}: {e}"))?;
-                session.load_schema(&text).map_err(|e| e.to_string())?;
+                builder = builder.schema_text(&text).map_err(|e| e.to_string())?;
             }
-            session.set_options(imprecise::integrate::IntegrationOptions {
-                source_weights: weights,
-                ..imprecise::integrate::IntegrationOptions::default()
-            });
-            load(&mut session, "a", &a)?;
-            load(&mut session, "b", &b)?;
-            let stats = session
-                .integrate("a", "b", "result")
+            let engine = builder
+                .options(imprecise::integrate::IntegrationOptions {
+                    source_weights: weights,
+                    ..imprecise::integrate::IntegrationOptions::default()
+                })
+                .build();
+            let ha = load(&engine, "a", &a)?;
+            let hb = load(&engine, "b", &b)?;
+            let (result, stats) = engine
+                .integrate(&ha, &hb, "result")
                 .map_err(|e| e.to_string())?;
-            let text = session.export("result").map_err(|e| e.to_string())?;
-            std::fs::write(&out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
-            let doc_stats = session.stats("result").map_err(|e| e.to_string())?;
+            let snapshot = engine.snapshot(&result).map_err(|e| e.to_string())?;
+            std::fs::write(&out, snapshot.export())
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            let doc_stats = snapshot.stats();
             eprintln!(
                 "integrated: {} pairs judged ({} match / {} non-match / {} undecided), \
                  {} possible worlds, {} nodes -> {out}",
@@ -282,8 +287,9 @@ fn run(cmd: Command) -> Result<(), String> {
             query,
             min_probability,
         } => {
-            load(&mut session, "db", &db)?;
-            let answers = session.query("db", &query).map_err(|e| e.to_string())?;
+            let engine = Engine::new();
+            let hdb = load(&engine, "db", &db)?;
+            let answers = engine.query(&hdb, &query).map_err(|e| e.to_string())?;
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
             for item in &answers.items {
@@ -298,8 +304,9 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Stats { db } => {
-            load(&mut session, "db", &db)?;
-            let s = session.stats("db").map_err(|e| e.to_string())?;
+            let engine = Engine::new();
+            let hdb = load(&engine, "db", &db)?;
+            let s = engine.stats(&hdb).map_err(|e| e.to_string())?;
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
             // As in `query`/`worlds`: a closed pipe (e.g. `| head`) is a
@@ -316,8 +323,9 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Worlds { db, limit } => {
-            load(&mut session, "db", &db)?;
-            let doc = session.doc("db").map_err(|e| e.to_string())?;
+            let engine = Engine::new();
+            let hdb = load(&engine, "db", &db)?;
+            let doc = engine.snapshot(&hdb).map_err(|e| e.to_string())?;
             let total = doc.world_count();
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
@@ -334,11 +342,16 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Prune { db, epsilon, out } => {
-            load(&mut session, "db", &db)?;
-            let mut doc = session.doc("db").map_err(|e| e.to_string())?.clone();
+            let engine = Engine::new();
+            let hdb = load(&engine, "db", &db)?;
+            let mut doc = engine
+                .snapshot(&hdb)
+                .map_err(|e| e.to_string())?
+                .doc()
+                .clone();
             let stats = doc.prune_below(epsilon);
-            session.store("pruned", doc);
-            let text = session.export("pruned").map_err(|e| e.to_string())?;
+            let pruned = engine.insert("pruned", doc);
+            let text = engine.export(&pruned).map_err(|e| e.to_string())?;
             std::fs::write(&out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
             eprintln!(
                 "pruned {} possibilities ({} choice points, max mass {:.3}): \
@@ -360,11 +373,13 @@ fn run(cmd: Command) -> Result<(), String> {
             correct,
             out,
         } => {
-            load(&mut session, "db", &db)?;
-            let report = session
-                .feedback("db", &query, &value, correct)
+            let engine = Engine::new();
+            let hdb = load(&engine, "db", &db)?;
+            let prepared = engine.prepare(&query).map_err(|e| e.to_string())?;
+            let report = engine
+                .feedback(&hdb, &prepared, &value, correct)
                 .map_err(|e| e.to_string())?;
-            let text = session.export("db").map_err(|e| e.to_string())?;
+            let text = engine.export(&hdb).map_err(|e| e.to_string())?;
             std::fs::write(&out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
             eprintln!(
                 "conditioned ({:?}): worlds {} -> {}, nodes {} -> {} -> {out}",

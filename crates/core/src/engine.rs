@@ -1,0 +1,825 @@
+//! The [`Engine`]: a thread-safe probabilistic XML database.
+//!
+//! The paper's system is "an XQuery module on an XML DBMS" that users
+//! query repeatedly while feedback incrementally shrinks the
+//! possible-world space (§VII). The engine models that shape for
+//! concurrent use:
+//!
+//! * **Configuration is immutable.** Oracle, schema, integration options
+//!   and the feedback world cap are fixed by [`EngineBuilder`] at
+//!   construction, so no query ever races a configuration change.
+//! * **Documents are versioned snapshots.** The catalog stores
+//!   [`Arc<PxDoc>`] per document; readers take a cheap [`DocSnapshot`]
+//!   and keep querying it for as long as they like, while writers
+//!   (integrate / feedback) publish a *new* version instead of mutating
+//!   in place. A reader can never observe a half-conditioned document.
+//! * **Documents are addressed by typed [`DocHandle`]s**, returned by
+//!   [`Engine::load_xml`] / [`Engine::integrate`], not by bare strings.
+//! * **Queries parse once.** [`Engine::prepare`] returns a
+//!   [`PreparedQuery`] that can be evaluated against any number of
+//!   snapshots (and shared freely across threads); [`Engine::query_many`]
+//!   runs a batch against one consistent snapshot.
+//!
+//! ```
+//! use imprecise::Engine;
+//! use imprecise::oracle::presets::addressbook_oracle;
+//!
+//! let engine = Engine::builder()
+//!     .oracle(addressbook_oracle())
+//!     .schema_text(
+//!         "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
+//!          <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>",
+//!     )
+//!     .unwrap()
+//!     .build();
+//! let a = engine
+//!     .load_xml("a", "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>")
+//!     .unwrap();
+//! let b = engine
+//!     .load_xml("b", "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>")
+//!     .unwrap();
+//! let (merged, stats) = engine.integrate(&a, &b, "merged").unwrap();
+//! assert_eq!(stats.judged_possible, 1); // one undecided person pair
+//! let tel = engine.prepare("//person/tel").unwrap();
+//! let answers = tel.run(&engine.snapshot(&merged).unwrap()).unwrap();
+//! assert!((answers.probability_of("1111") - 0.75).abs() < 1e-9);
+//! // The user confirms 1111 is John's number:
+//! engine.feedback(&merged, &tel, "1111", true).unwrap();
+//! let after = tel.run(&engine.snapshot(&merged).unwrap()).unwrap();
+//! assert!((after.probability_of("1111") - 1.0).abs() < 1e-9);
+//! ```
+
+use crate::error::ImpreciseError;
+use imprecise_feedback::{apply_feedback, FeedbackReport};
+use imprecise_integrate::{integrate_px, IntegrationOptions, IntegrationStats};
+use imprecise_oracle::Oracle;
+use imprecise_pxml::{parse_annotated, to_annotated_xml, NodeBreakdown, PxDoc};
+use imprecise_query::{eval_px, parse_query, Query, RankedAnswers};
+use imprecise_xmlkit::{parse, to_string, Schema};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// Size/uncertainty statistics of one document version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocStats {
+    /// Node counts of the compact (factored) representation.
+    pub breakdown: NodeBreakdown,
+    /// Node count of the paper-equivalent unfactored representation.
+    pub unfactored_nodes: f64,
+    /// Number of possible worlds.
+    pub worlds: f64,
+    /// Expected size of a world.
+    pub expected_world_size: f64,
+    /// True when the document has a single world.
+    pub certain: bool,
+}
+
+/// A typed reference to a document stored in an [`Engine`].
+///
+/// Handles are cheap to clone and hash, stay valid for the lifetime of
+/// the engine, and address the document *slot*: when a writer publishes
+/// a new version (incremental integration into the same name, feedback
+/// conditioning), the handle observes the latest version while
+/// previously taken [`DocSnapshot`]s keep their old one.
+#[derive(Clone)]
+pub struct DocHandle {
+    /// Identity of the engine that issued the handle (see
+    /// [`Catalog::engine_id`]): handles never resolve on another engine.
+    engine_id: u64,
+    id: u64,
+    name: Arc<str>,
+}
+
+impl DocHandle {
+    /// The human-readable name the document was stored under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Debug for DocHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DocHandle({:?}#{})", self.name, self.id)
+    }
+}
+
+impl PartialEq for DocHandle {
+    fn eq(&self, other: &Self) -> bool {
+        (self.engine_id, self.id) == (other.engine_id, other.id)
+    }
+}
+impl Eq for DocHandle {}
+impl std::hash::Hash for DocHandle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.engine_id, self.id).hash(state);
+    }
+}
+
+/// An immutable view of one version of one document.
+///
+/// Snapshots are `Arc`-backed: taking one is O(1), holding one never
+/// blocks writers, and the underlying document is guaranteed not to
+/// change — concurrent feedback publishes a *new* version instead.
+#[derive(Clone, Debug)]
+pub struct DocSnapshot {
+    handle: DocHandle,
+    version: u64,
+    doc: Arc<PxDoc>,
+}
+
+impl DocSnapshot {
+    /// The handle this snapshot was taken from.
+    pub fn handle(&self) -> &DocHandle {
+        &self.handle
+    }
+
+    /// The published version this snapshot pinned (starts at 1,
+    /// incremented by every publish into the slot).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The underlying probabilistic document.
+    pub fn doc(&self) -> &PxDoc {
+        &self.doc
+    }
+
+    /// A shared reference to the document, for handing to other threads.
+    pub fn doc_arc(&self) -> Arc<PxDoc> {
+        Arc::clone(&self.doc)
+    }
+
+    /// Size/uncertainty statistics of this version.
+    pub fn stats(&self) -> DocStats {
+        let doc = &self.doc;
+        DocStats {
+            breakdown: doc.node_breakdown(),
+            unfactored_nodes: doc.unfactored_node_count(),
+            worlds: doc.world_count_f64(),
+            expected_world_size: doc.expected_world_size(),
+            certain: doc.is_certain(),
+        }
+    }
+
+    /// Serialize this version as annotated XML text.
+    pub fn export(&self) -> String {
+        to_string(&to_annotated_xml(&self.doc))
+    }
+}
+
+impl std::ops::Deref for DocSnapshot {
+    type Target = PxDoc;
+
+    fn deref(&self) -> &PxDoc {
+        &self.doc
+    }
+}
+
+/// A query parsed once, evaluable against any number of documents.
+///
+/// Prepared queries are immutable, cheap to clone and `Send + Sync`, so
+/// one instance can serve every thread of a server. Obtain one with
+/// [`Engine::prepare`] (or [`PreparedQuery::parse`] without an engine).
+#[derive(Clone, Debug)]
+pub struct PreparedQuery {
+    text: Arc<str>,
+    query: Arc<Query>,
+}
+
+impl PreparedQuery {
+    /// Parse `text` into a reusable query.
+    pub fn parse(text: &str) -> Result<Self, ImpreciseError> {
+        Ok(PreparedQuery {
+            text: Arc::from(text),
+            query: Arc::new(parse_query(text)?),
+        })
+    }
+
+    /// The original query text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The parsed abstract syntax.
+    pub fn ast(&self) -> &Query {
+        &self.query
+    }
+
+    /// Evaluate against a snapshot, returning ranked answers.
+    pub fn run(&self, snapshot: &DocSnapshot) -> Result<RankedAnswers, ImpreciseError> {
+        self.run_doc(snapshot.doc())
+    }
+
+    /// Evaluate against a bare probabilistic document.
+    pub fn run_doc(&self, doc: &PxDoc) -> Result<RankedAnswers, ImpreciseError> {
+        Ok(eval_px(doc, &self.query)?)
+    }
+}
+
+/// How many optimistic snapshot–compute–publish rounds a writer attempts
+/// before falling back to computing under the write lock. The fallback
+/// bounds worst-case work under contention: optimistic rounds never block
+/// readers, but a slot receiving publishes faster than one conditioning
+/// recompute would otherwise starve the writer indefinitely.
+const OPTIMISTIC_ROUNDS: usize = 8;
+
+/// One catalog slot: the current version of a named document.
+struct Slot {
+    name: Arc<str>,
+    version: u64,
+    doc: Arc<PxDoc>,
+}
+
+/// The versioned document catalog behind the engine's `RwLock`.
+///
+/// The lock is held only to look up or swap `Arc`s — never across
+/// parsing, integration, query evaluation or conditioning.
+struct Catalog {
+    /// Process-unique identity of the owning engine, stamped into every
+    /// issued [`DocHandle`] so a handle from one engine can never
+    /// resolve to an unrelated document on another (slot ids alone are
+    /// only unique per engine).
+    engine_id: u64,
+    slots: BTreeMap<u64, Slot>,
+    by_name: BTreeMap<Arc<str>, u64>,
+    next_id: u64,
+}
+
+impl Catalog {
+    fn new() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
+        Catalog {
+            engine_id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            slots: BTreeMap::new(),
+            by_name: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Publish `doc` under `name`: into the existing slot (bumping its
+    /// version) if the name is taken, else into a fresh slot.
+    fn publish(&mut self, name: &str, doc: Arc<PxDoc>) -> DocHandle {
+        if let Some(&id) = self.by_name.get(name) {
+            let slot = self.slots.get_mut(&id).expect("name index points at slot");
+            slot.version += 1;
+            slot.doc = doc;
+            return DocHandle {
+                engine_id: self.engine_id,
+                id,
+                name: Arc::clone(&slot.name),
+            };
+        }
+        let name: Arc<str> = Arc::from(name);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots.insert(
+            id,
+            Slot {
+                name: Arc::clone(&name),
+                version: 1,
+                doc,
+            },
+        );
+        self.by_name.insert(Arc::clone(&name), id);
+        DocHandle {
+            engine_id: self.engine_id,
+            id,
+            name,
+        }
+    }
+
+    /// The slot a foreign-checked handle points at, if it is ours.
+    fn slot_of(&self, handle: &DocHandle) -> Option<&Slot> {
+        (handle.engine_id == self.engine_id)
+            .then(|| self.slots.get(&handle.id))
+            .flatten()
+    }
+
+    /// Write-side counterpart of [`slot_of`](Self::slot_of): the
+    /// mutable slot of a handle issued by this engine, or the
+    /// `NoSuchDocument` error every write path reports for foreign or
+    /// unknown handles.
+    fn slot_mut_of(&mut self, handle: &DocHandle) -> Result<&mut Slot, ImpreciseError> {
+        (handle.engine_id == self.engine_id)
+            .then(|| self.slots.get_mut(&handle.id))
+            .flatten()
+            .ok_or_else(|| ImpreciseError::NoSuchDocument(handle.name.to_string()))
+    }
+}
+
+/// Session-wide configuration plus the document catalog.
+struct Shared {
+    oracle: Arc<Oracle>,
+    schema: Option<Schema>,
+    options: IntegrationOptions,
+    feedback_world_cap: usize,
+    catalog: RwLock<Catalog>,
+}
+
+/// Builds an [`Engine`] from session-wide configuration.
+///
+/// The configuration ("configure the system with a few simple knowledge
+/// rules", §VII) is frozen into the engine at [`build`](Self::build)
+/// time; this is what makes the engine's read path lock-free over
+/// config.
+pub struct EngineBuilder {
+    oracle: Arc<Oracle>,
+    schema: Option<Schema>,
+    options: IntegrationOptions,
+    feedback_world_cap: usize,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            oracle: Arc::new(Oracle::uninformed()),
+            schema: None,
+            options: IntegrationOptions::default(),
+            feedback_world_cap: 100_000,
+        }
+    }
+}
+
+impl fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("oracle", &self.oracle)
+            .field("schema_declared", &self.schema.is_some())
+            .field("feedback_world_cap", &self.feedback_world_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineBuilder {
+    /// A builder with an uninformed Oracle (no rules, uniform prior),
+    /// no schema and default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use this Oracle for integration decisions.
+    pub fn oracle(self, oracle: Oracle) -> Self {
+        self.oracle_shared(Arc::new(oracle))
+    }
+
+    /// Use an Oracle shared with other engines (rule sets hold no
+    /// per-engine state, so one Oracle can serve many engines).
+    pub fn oracle_shared(mut self, oracle: Arc<Oracle>) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Configure the Oracle from a rule file (see
+    /// [`imprecise_oracle::dsl`] for the language).
+    pub fn rules(mut self, text: &str) -> Result<Self, ImpreciseError> {
+        self.oracle = Arc::new(imprecise_oracle::parse_rules(text)?);
+        Ok(self)
+    }
+
+    /// Use this already-parsed DTD-lite schema.
+    pub fn schema(mut self, schema: Schema) -> Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Set the DTD-lite schema from its textual declarations.
+    pub fn schema_text(mut self, dtd: &str) -> Result<Self, ImpreciseError> {
+        self.schema = Some(Schema::parse(dtd)?);
+        Ok(self)
+    }
+
+    /// Adjust integration options.
+    pub fn options(mut self, options: IntegrationOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Cap used by feedback's world-rebuild fallback (default 100 000).
+    pub fn feedback_world_cap(mut self, cap: usize) -> Self {
+        self.feedback_world_cap = cap;
+        self
+    }
+
+    /// Freeze the configuration into an [`Engine`].
+    pub fn build(self) -> Engine {
+        Engine {
+            shared: Arc::new(Shared {
+                oracle: self.oracle,
+                schema: self.schema,
+                options: self.options,
+                feedback_world_cap: self.feedback_world_cap,
+                catalog: RwLock::new(Catalog::new()),
+            }),
+        }
+    }
+}
+
+/// A thread-safe probabilistic XML database: immutable configuration, a
+/// versioned catalog of [`Arc`]-shared documents, and integrate / query
+/// / feedback operations that all take `&self`.
+///
+/// `Engine` is `Send + Sync` and cheap to clone (clones share the same
+/// catalog), so one instance can serve any number of reader and writer
+/// threads; see the [module docs](self) for the concurrency model and a
+/// worked example.
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<Shared>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        EngineBuilder::default().build()
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("documents", &self.document_names())
+            .field("oracle", &self.shared.oracle)
+            .field("schema_declared", &self.shared.schema.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Start building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine with an uninformed Oracle and default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The configured Oracle.
+    pub fn oracle(&self) -> &Oracle {
+        &self.shared.oracle
+    }
+
+    /// The configured schema, if any.
+    pub fn schema(&self) -> Option<&Schema> {
+        self.shared.schema.as_ref()
+    }
+
+    /// The configured integration options.
+    pub fn options(&self) -> &IntegrationOptions {
+        &self.shared.options
+    }
+
+    /// Names of all stored documents, sorted.
+    pub fn document_names(&self) -> Vec<String> {
+        let catalog = self.shared.catalog.read().expect("catalog lock");
+        catalog.by_name.keys().map(|n| n.to_string()).collect()
+    }
+
+    /// The handle of the document stored under `name`, if any.
+    pub fn handle(&self, name: &str) -> Option<DocHandle> {
+        let catalog = self.shared.catalog.read().expect("catalog lock");
+        let &id = catalog.by_name.get(name)?;
+        let slot = &catalog.slots[&id];
+        Some(DocHandle {
+            engine_id: catalog.engine_id,
+            id,
+            name: Arc::clone(&slot.name),
+        })
+    }
+
+    /// Parse an XML document (plain, or annotated probabilistic XML
+    /// using `px:prob`/`px:poss` markers) and publish it under `name`.
+    /// Re-using a name publishes a new version into the same slot.
+    pub fn load_xml(&self, name: &str, text: &str) -> Result<DocHandle, ImpreciseError> {
+        let doc = parse(text)?;
+        let px = parse_annotated(&doc)?;
+        Ok(self.insert(name, px))
+    }
+
+    /// Publish an already-built probabilistic document under `name`.
+    pub fn insert(&self, name: &str, doc: PxDoc) -> DocHandle {
+        self.insert_arc(name, Arc::new(doc))
+    }
+
+    /// Publish an already-shared probabilistic document under `name`
+    /// without copying it (e.g. one taken from another engine's
+    /// [`DocSnapshot::doc_arc`]).
+    pub fn insert_arc(&self, name: &str, doc: Arc<PxDoc>) -> DocHandle {
+        let mut catalog = self.shared.catalog.write().expect("catalog lock");
+        catalog.publish(name, doc)
+    }
+
+    /// Pin the current version of a document for reading.
+    pub fn snapshot(&self, handle: &DocHandle) -> Result<DocSnapshot, ImpreciseError> {
+        let catalog = self.shared.catalog.read().expect("catalog lock");
+        let slot = catalog
+            .slot_of(handle)
+            .ok_or_else(|| ImpreciseError::NoSuchDocument(handle.name.to_string()))?;
+        Ok(DocSnapshot {
+            handle: handle.clone(),
+            version: slot.version,
+            doc: Arc::clone(&slot.doc),
+        })
+    }
+
+    /// Integrate documents `a` and `b` and publish the probabilistic
+    /// result under `out`, returning its handle and the integration
+    /// statistics. Runs on snapshots of `a` and `b`: the catalog lock is
+    /// not held during the integration itself.
+    ///
+    /// When `out` republishes one of the *inputs* (incremental
+    /// integration, e.g. `integrate(&merged, &late, "merged")`), the
+    /// publish is a read-modify-write of that slot and gets the same
+    /// lost-update protection as [`feedback`](Self::feedback): if
+    /// another writer published into the input slot mid-integration,
+    /// the integration is recomputed from the new version rather than
+    /// silently discarding the other writer's update. Publishing into
+    /// an *unrelated* existing name is plain replacement and needs no
+    /// such check.
+    pub fn integrate(
+        &self,
+        a: &DocHandle,
+        b: &DocHandle,
+        out: &str,
+    ) -> Result<(DocHandle, IntegrationStats), ImpreciseError> {
+        for _ in 0..OPTIMISTIC_ROUNDS {
+            let da = self.snapshot(a)?;
+            let db = self.snapshot(b)?;
+            let result = self.integrate_docs(da.doc(), db.doc())?;
+            let mut catalog = self.shared.catalog.write().expect("catalog lock");
+            let stale = catalog.by_name.get(out).is_some_and(|&out_id| {
+                (out_id == a.id && catalog.slots[&a.id].version != da.version())
+                    || (out_id == b.id && catalog.slots[&b.id].version != db.version())
+            });
+            if !stale {
+                let handle = catalog.publish(out, Arc::new(result.doc));
+                return Ok((handle, result.stats));
+            }
+            // An input we are republishing moved; retry on its new version.
+        }
+        // Contended slot: compute under the write lock so nothing can race.
+        let mut catalog = self.shared.catalog.write().expect("catalog lock");
+        let slot = |h: &DocHandle| {
+            catalog
+                .slot_of(h)
+                .map(|s| Arc::clone(&s.doc))
+                .ok_or_else(|| ImpreciseError::NoSuchDocument(h.name.to_string()))
+        };
+        let (da, db) = (slot(a)?, slot(b)?);
+        let result = self.integrate_docs(&da, &db)?;
+        let handle = catalog.publish(out, Arc::new(result.doc));
+        Ok((handle, result.stats))
+    }
+
+    /// The configured integration of two pinned documents.
+    fn integrate_docs(
+        &self,
+        a: &PxDoc,
+        b: &PxDoc,
+    ) -> Result<imprecise_integrate::Integration, ImpreciseError> {
+        let shared = &self.shared;
+        Ok(integrate_px(
+            a,
+            b,
+            &shared.oracle,
+            shared.schema.as_ref(),
+            &shared.options,
+        )?)
+    }
+
+    /// Parse `text` into a [`PreparedQuery`] usable against any
+    /// document, from any thread, without re-parsing.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery, ImpreciseError> {
+        PreparedQuery::parse(text)
+    }
+
+    /// One-shot convenience: snapshot `handle`, parse `query_text` and
+    /// evaluate it. Prefer [`prepare`](Self::prepare) +
+    /// [`PreparedQuery::run`] when the same query runs more than once.
+    pub fn query(
+        &self,
+        handle: &DocHandle,
+        query_text: &str,
+    ) -> Result<RankedAnswers, ImpreciseError> {
+        let snapshot = self.snapshot(handle)?;
+        let query = self.prepare(query_text)?;
+        query.run(&snapshot)
+    }
+
+    /// Evaluate a batch of prepared queries against one consistent
+    /// snapshot of `handle`: every answer reflects the same document
+    /// version even if writers publish mid-batch.
+    pub fn query_many(
+        &self,
+        handle: &DocHandle,
+        queries: &[PreparedQuery],
+    ) -> Result<Vec<RankedAnswers>, ImpreciseError> {
+        let snapshot = self.snapshot(handle)?;
+        queries.iter().map(|q| q.run(&snapshot)).collect()
+    }
+
+    /// Apply user feedback: `value` is a correct/incorrect answer of
+    /// `query` on the document. Publishes the conditioned document as a
+    /// new version of the same slot; concurrent readers keep their
+    /// snapshots. Lost updates are prevented by optimistic concurrency:
+    /// if another writer published between our snapshot and our publish,
+    /// the conditioning is recomputed against the new version — and
+    /// after a few failed optimistic races, under the write lock, so a
+    /// feedback call cannot be starved by sustained writer traffic.
+    pub fn feedback(
+        &self,
+        handle: &DocHandle,
+        query: &PreparedQuery,
+        value: &str,
+        correct: bool,
+    ) -> Result<FeedbackReport, ImpreciseError> {
+        let condition = |doc: &PxDoc| {
+            apply_feedback(
+                doc,
+                query.ast(),
+                value,
+                correct,
+                self.shared.feedback_world_cap,
+            )
+        };
+        for _ in 0..OPTIMISTIC_ROUNDS {
+            let snapshot = self.snapshot(handle)?;
+            let (conditioned, report) = condition(snapshot.doc())?;
+            let mut catalog = self.shared.catalog.write().expect("catalog lock");
+            let slot = catalog.slot_mut_of(handle)?;
+            if slot.version == snapshot.version() {
+                slot.version += 1;
+                slot.doc = Arc::new(conditioned);
+                return Ok(report);
+            }
+            // A writer raced us; retry against the published version.
+        }
+        // Contended slot: condition under the write lock so nothing races.
+        let mut catalog = self.shared.catalog.write().expect("catalog lock");
+        let slot = catalog.slot_mut_of(handle)?;
+        let (conditioned, report) = condition(&slot.doc)?;
+        slot.version += 1;
+        slot.doc = Arc::new(conditioned);
+        Ok(report)
+    }
+
+    /// Serialize the current version of a document as annotated XML.
+    pub fn export(&self, handle: &DocHandle) -> Result<String, ImpreciseError> {
+        Ok(self.snapshot(handle)?.export())
+    }
+
+    /// Size/uncertainty statistics of the current version of a document.
+    pub fn stats(&self, handle: &DocHandle) -> Result<DocStats, ImpreciseError> {
+        Ok(self.snapshot(handle)?.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imprecise_oracle::presets::addressbook_oracle;
+
+    fn john_engine() -> (Engine, DocHandle, DocHandle) {
+        let engine = Engine::builder()
+            .oracle(addressbook_oracle())
+            .schema_text(
+                "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
+                 <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>",
+            )
+            .unwrap()
+            .build();
+        let a = engine
+            .load_xml(
+                "a",
+                "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>",
+            )
+            .unwrap();
+        let b = engine
+            .load_xml(
+                "b",
+                "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>",
+            )
+            .unwrap();
+        (engine, a, b)
+    }
+
+    #[test]
+    fn full_cycle_reproduces_the_paper_numbers() {
+        let (engine, a, b) = john_engine();
+        let (merged, stats) = engine.integrate(&a, &b, "merged").unwrap();
+        assert_eq!(stats.judged_possible, 1);
+        let doc_stats = engine.stats(&merged).unwrap();
+        assert_eq!(doc_stats.worlds, 3.0);
+        assert!(!doc_stats.certain);
+        let tel = engine.prepare("//person/tel").unwrap();
+        let answers = tel.run(&engine.snapshot(&merged).unwrap()).unwrap();
+        assert!((answers.probability_of("1111") - 0.75).abs() < 1e-9);
+        let report = engine.feedback(&merged, &tel, "2222", false).unwrap();
+        assert!(report.worlds_after < report.worlds_before);
+        assert!(engine.stats(&merged).unwrap().certain);
+    }
+
+    #[test]
+    fn snapshots_are_immune_to_later_publishes() {
+        let (engine, a, b) = john_engine();
+        let (merged, _) = engine.integrate(&a, &b, "merged").unwrap();
+        let before = engine.snapshot(&merged).unwrap();
+        let tel = engine.prepare("//person/tel").unwrap();
+        engine.feedback(&merged, &tel, "2222", false).unwrap();
+        // The held snapshot still shows the pre-feedback distribution…
+        let answers = tel.run(&before).unwrap();
+        assert!((answers.probability_of("2222") - 0.75).abs() < 1e-9);
+        assert_eq!(before.stats().worlds, 3.0);
+        // …while a fresh snapshot shows the conditioned one.
+        let after = engine.snapshot(&merged).unwrap();
+        assert!(after.version() > before.version());
+        assert_eq!(after.stats().worlds, 1.0);
+    }
+
+    #[test]
+    fn reusing_a_name_publishes_a_new_version_of_the_same_slot() {
+        let (engine, a, b) = john_engine();
+        let (merged, _) = engine.integrate(&a, &b, "merged").unwrap();
+        let v1 = engine.snapshot(&merged).unwrap().version();
+        let (merged2, _) = engine.integrate(&a, &b, "merged").unwrap();
+        assert_eq!(merged, merged2);
+        assert!(engine.snapshot(&merged).unwrap().version() > v1);
+        assert_eq!(engine.document_names(), vec!["a", "b", "merged"]);
+    }
+
+    #[test]
+    fn incremental_integration_republishes_input_slot() {
+        let (engine, a, b) = john_engine();
+        let (merged, _) = engine.integrate(&a, &b, "merged").unwrap();
+        let v1 = engine.snapshot(&merged).unwrap().version();
+        // Integrating the result with another source under its own name
+        // is the read-modify-write case the version check guards.
+        let (merged2, _) = engine.integrate(&merged, &a, "merged").unwrap();
+        assert_eq!(merged, merged2);
+        assert!(engine.snapshot(&merged).unwrap().version() > v1);
+    }
+
+    #[test]
+    fn query_many_answers_against_one_version() {
+        let (engine, a, b) = john_engine();
+        let (merged, _) = engine.integrate(&a, &b, "merged").unwrap();
+        let queries = [
+            engine.prepare("//person/tel").unwrap(),
+            engine.prepare("//person/nm").unwrap(),
+        ];
+        let answers = engine.query_many(&merged, &queries).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert!((answers[0].probability_of("1111") - 0.75).abs() < 1e-9);
+        assert!((answers[1].probability_of("John") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let (engine, a, b) = john_engine();
+        let (merged, _) = engine.integrate(&a, &b, "merged").unwrap();
+        let text = engine.export(&merged).unwrap();
+        let other = Engine::new();
+        let copy = other.load_xml("copy", &text).unwrap();
+        assert_eq!(other.stats(&copy).unwrap().worlds, 3.0);
+    }
+
+    #[test]
+    fn foreign_handles_are_rejected() {
+        let (_engine, a, _) = john_engine();
+        let other = Engine::new();
+        // Even when the other engine has a document whose slot id
+        // collides with `a`'s, the foreign handle must not resolve.
+        let o = other.load_xml("other", "<x/>").unwrap();
+        assert!(matches!(
+            other.snapshot(&a),
+            Err(ImpreciseError::NoSuchDocument(_))
+        ));
+        assert!(other.query(&a, "//person").is_err());
+        let tel = other.prepare("//person/tel").unwrap();
+        assert!(other.feedback(&a, &tel, "1111", true).is_err());
+        assert_ne!(a, o, "handles of different engines never compare equal");
+    }
+
+    #[test]
+    fn bad_query_is_reported() {
+        let (engine, a, _) = john_engine();
+        assert!(matches!(
+            engine.query(&a, "movie["),
+            Err(ImpreciseError::QueryParse(_))
+        ));
+        assert!(matches!(
+            engine.prepare("movie["),
+            Err(ImpreciseError::QueryParse(_))
+        ));
+    }
+
+    #[test]
+    fn handles_carry_names() {
+        let (engine, a, _) = john_engine();
+        assert_eq!(a.name(), "a");
+        assert_eq!(engine.handle("a"), Some(a));
+        assert_eq!(engine.handle("ghost"), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! The crate-wide error type.
+//!
+//! Every fallible [`Engine`](crate::Engine) and [`Session`](crate::Session)
+//! operation returns [`ImpreciseError`]; the underlying layer errors are
+//! preserved and reachable through [`std::error::Error::source`], so
+//! callers can both print a self-contained message and walk the cause
+//! chain programmatically.
+
+use imprecise_feedback::FeedbackError;
+use imprecise_integrate::IntegrateError;
+use imprecise_oracle::DslError;
+use imprecise_query::{EvalError, QueryParseError};
+use imprecise_xmlkit::XmlError;
+use std::fmt;
+
+/// Errors surfaced by the public `imprecise` API.
+///
+/// Marked `#[non_exhaustive]`: future releases may add variants (e.g. for
+/// persistence or sharding) without a breaking change, so downstream
+/// matches need a wildcard arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImpreciseError {
+    /// No document stored under this name, or the handle does not belong
+    /// to this engine.
+    NoSuchDocument(String),
+    /// XML parsing or schema error.
+    Xml(XmlError),
+    /// Integration failed.
+    Integrate(IntegrateError),
+    /// Query text could not be parsed.
+    QueryParse(QueryParseError),
+    /// Query evaluation failed.
+    Eval(EvalError),
+    /// Feedback could not be applied.
+    Feedback(FeedbackError),
+    /// A rule file could not be parsed.
+    Rules(DslError),
+}
+
+// Display deliberately embeds the wrapped error's message even though
+// `source()` also exposes it: the CLI and the deprecated `Session` shim
+// print only `to_string()`, and the pre-`Engine` `SessionError` messages
+// were self-contained, so keeping them so preserves user-facing output.
+// Cause-chain walkers will see the message twice; that duplication is
+// the accepted cost of not breaking every existing error string.
+impl fmt::Display for ImpreciseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImpreciseError::NoSuchDocument(name) => write!(f, "no document named {name:?}"),
+            ImpreciseError::Xml(e) => write!(f, "XML error: {e}"),
+            ImpreciseError::Integrate(e) => write!(f, "integration error: {e}"),
+            ImpreciseError::QueryParse(e) => write!(f, "{e}"),
+            ImpreciseError::Eval(e) => write!(f, "evaluation error: {e}"),
+            ImpreciseError::Feedback(e) => write!(f, "feedback error: {e}"),
+            ImpreciseError::Rules(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImpreciseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImpreciseError::NoSuchDocument(_) => None,
+            ImpreciseError::Xml(e) => Some(e),
+            ImpreciseError::Integrate(e) => Some(e),
+            ImpreciseError::QueryParse(e) => Some(e),
+            ImpreciseError::Eval(e) => Some(e),
+            ImpreciseError::Feedback(e) => Some(e),
+            ImpreciseError::Rules(e) => Some(e),
+        }
+    }
+}
+
+impl From<XmlError> for ImpreciseError {
+    fn from(e: XmlError) -> Self {
+        ImpreciseError::Xml(e)
+    }
+}
+impl From<IntegrateError> for ImpreciseError {
+    fn from(e: IntegrateError) -> Self {
+        ImpreciseError::Integrate(e)
+    }
+}
+impl From<QueryParseError> for ImpreciseError {
+    fn from(e: QueryParseError) -> Self {
+        ImpreciseError::QueryParse(e)
+    }
+}
+impl From<EvalError> for ImpreciseError {
+    fn from(e: EvalError) -> Self {
+        ImpreciseError::Eval(e)
+    }
+}
+impl From<FeedbackError> for ImpreciseError {
+    fn from(e: FeedbackError) -> Self {
+        ImpreciseError::Feedback(e)
+    }
+}
+impl From<DslError> for ImpreciseError {
+    fn from(e: DslError) -> Self {
+        ImpreciseError::Rules(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn source_chain_is_preserved() {
+        let inner = imprecise_query::parse_query("movie[").unwrap_err();
+        let inner_text = inner.to_string();
+        let err = ImpreciseError::from(inner);
+        let source = err.source().expect("wrapped cause is reachable");
+        assert_eq!(source.to_string(), inner_text);
+    }
+
+    #[test]
+    fn no_such_document_has_no_source() {
+        let err = ImpreciseError::NoSuchDocument("ghost".into());
+        assert!(err.source().is_none());
+        assert!(err.to_string().contains("ghost"));
+    }
+}

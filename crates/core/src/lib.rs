@@ -21,37 +21,45 @@
 //! | User feedback (world conditioning) | [`feedback`] |
 //! | Synthetic IMDB/MPEG-7 corpora & experiment workloads | [`datagen`] |
 //!
-//! The [`Session`] type ties the layers together in the shape of the
-//! paper's demo: load sources, configure the Oracle, integrate, query,
-//! give feedback.
+//! The [`Engine`] type ties the layers together in the shape of the
+//! paper's demo — load sources, configure the Oracle, integrate, query,
+//! give feedback — behind a thread-safe API: an [`EngineBuilder`] for
+//! session-wide configuration, typed [`DocHandle`]s instead of bare
+//! string names, `Arc`-shared versioned [`DocSnapshot`]s so any number
+//! of readers can query while writers publish new versions, and
+//! [`PreparedQuery`] handles that parse once and run many times. (The
+//! old single-threaded [`Session`] façade remains for one release as a
+//! deprecated shim; see [`session`](session#migration-table) for the
+//! migration table.)
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use imprecise::Session;
+//! use imprecise::Engine;
 //! use imprecise::oracle::presets::addressbook_oracle;
 //!
-//! let mut session = Session::new();
-//! session.set_oracle(addressbook_oracle());
-//! session
-//!     .load_schema(
+//! let engine = Engine::builder()
+//!     .oracle(addressbook_oracle())
+//!     .schema_text(
 //!         "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
 //!          <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>",
 //!     )
-//!     .unwrap();
-//! session
+//!     .unwrap()
+//!     .build();
+//! let a = engine
 //!     .load_xml("a", "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>")
 //!     .unwrap();
-//! session
+//! let b = engine
 //!     .load_xml("b", "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>")
 //!     .unwrap();
-//! let stats = session.integrate("a", "b", "merged").unwrap();
+//! let (merged, stats) = engine.integrate(&a, &b, "merged").unwrap();
 //! assert_eq!(stats.judged_possible, 1); // one undecided person pair
-//! let answers = session.query("merged", "//person/tel").unwrap();
+//! let tel = engine.prepare("//person/tel").unwrap(); // parse once
+//! let answers = tel.run(&engine.snapshot(&merged).unwrap()).unwrap();
 //! assert!((answers.probability_of("1111") - 0.75).abs() < 1e-9);
 //! // The user confirms 1111 is John's number:
-//! session.feedback("merged", "//person/tel", "1111", true).unwrap();
-//! let after = session.query("merged", "//person/tel").unwrap();
+//! engine.feedback(&merged, &tel, "1111", true).unwrap();
+//! let after = tel.run(&engine.snapshot(&merged).unwrap()).unwrap();
 //! assert!((after.probability_of("1111") - 1.0).abs() < 1e-9);
 //! ```
 
@@ -65,6 +73,11 @@ pub use imprecise_query as query;
 pub use imprecise_sim as sim;
 pub use imprecise_xmlkit as xml;
 
-mod session;
+pub mod engine;
+pub mod error;
+pub mod session;
 
-pub use session::{DocStats, Session, SessionError};
+pub use engine::{DocHandle, DocSnapshot, DocStats, Engine, EngineBuilder, PreparedQuery};
+pub use error::ImpreciseError;
+#[allow(deprecated)]
+pub use session::{Session, SessionError};

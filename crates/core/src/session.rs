@@ -1,102 +1,68 @@
-//! The [`Session`] façade: the reproduction's equivalent of the paper's
-//! "XQuery module on an XML DBMS" surface — named documents, a configured
-//! Oracle, and integrate / query / feedback operations.
+//! The deprecated [`Session`] façade, kept for one release as a thin
+//! shim over [`Engine`].
+//!
+//! `Session` was the original single-threaded surface: `&mut self`
+//! methods, documents addressed by bare string names, and in-place
+//! document replacement. The [`Engine`] API replaces it with a
+//! `Send + Sync` handle: typed [`DocHandle`]s, `Arc`-shared
+//! [`DocSnapshot`](crate::DocSnapshot)s and parse-once
+//! [`PreparedQuery`](crate::PreparedQuery)s.
+//!
+//! ## Migration table
+//!
+//! | `Session` | `Engine` |
+//! |---|---|
+//! | `Session::new()` + `set_oracle` / `load_schema` / `set_options` | `Engine::builder().oracle(..).schema_text(..)?.options(..).build()` |
+//! | `session.load_xml("a", text)?` | `let a = engine.load_xml("a", text)?` (returns a `DocHandle`) |
+//! | `session.integrate("a", "b", "out")?` | `let (out, stats) = engine.integrate(&a, &b, "out")?` |
+//! | `session.query("out", q)?` | `engine.prepare(q)?` once, then `prepared.run(&engine.snapshot(&out)?)?` |
+//! | `session.feedback("out", q, v, ok)?` | `engine.feedback(&out, &prepared, v, ok)?` |
+//! | `session.doc("out")?` | `engine.snapshot(&out)?` (an immutable pinned version) |
+//! | `session.stats("out")?` / `session.export("out")?` | `engine.stats(&out)?` / `engine.export(&out)?` |
+//! | `SessionError` | [`ImpreciseError`] (same variants, plus `Error::source` chaining) |
+//!
+//! The shim is behavior-compatible (same operations, same results, same
+//! error messages), with three source-compatibility caveats:
+//! [`Session::doc`] now returns `Arc<PxDoc>` instead of `&PxDoc`
+//! (documents live behind the engine's lock),
+//! [`Session::document_names`] returns `Vec<String>` instead of
+//! `Vec<&str>`, and exhaustive matches on `SessionError` need a
+//! wildcard arm because [`ImpreciseError`] is `#[non_exhaustive]`.
 
-use imprecise_feedback::{apply_feedback, FeedbackError, FeedbackReport};
-use imprecise_integrate::{integrate_px, IntegrateError, IntegrationOptions, IntegrationStats};
+#![allow(deprecated)]
+
+use crate::engine::{DocHandle, DocStats, Engine};
+use crate::error::ImpreciseError;
+use imprecise_feedback::FeedbackReport;
+use imprecise_integrate::{IntegrationOptions, IntegrationStats};
 use imprecise_oracle::Oracle;
-use imprecise_pxml::{parse_annotated, to_annotated_xml, NodeBreakdown, PxDoc};
-use imprecise_query::{eval_px, parse_query, EvalError, QueryParseError, RankedAnswers};
-use imprecise_xmlkit::{parse, to_string, Schema, XmlError};
-use std::collections::BTreeMap;
+use imprecise_pxml::PxDoc;
+use imprecise_query::RankedAnswers;
+use imprecise_xmlkit::Schema;
 use std::fmt;
+use std::sync::Arc;
 
-/// Errors surfaced by [`Session`] operations.
-#[derive(Debug)]
-pub enum SessionError {
-    /// No document stored under this name.
-    NoSuchDocument(String),
-    /// XML parsing or schema error.
-    Xml(XmlError),
-    /// Integration failed.
-    Integrate(IntegrateError),
-    /// Query text could not be parsed.
-    QueryParse(QueryParseError),
-    /// Query evaluation failed.
-    Eval(EvalError),
-    /// Feedback could not be applied.
-    Feedback(FeedbackError),
-    /// A rule file could not be parsed.
-    Rules(imprecise_oracle::DslError),
-}
+/// Errors surfaced by [`Session`] operations — now an alias of the
+/// crate-wide [`ImpreciseError`], which carries the same variants plus a
+/// [`std::error::Error::source`] chain.
+#[deprecated(since = "0.2.0", note = "use `imprecise::ImpreciseError`")]
+pub type SessionError = ImpreciseError;
 
-impl fmt::Display for SessionError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SessionError::NoSuchDocument(name) => write!(f, "no document named {name:?}"),
-            SessionError::Xml(e) => write!(f, "XML error: {e}"),
-            SessionError::Integrate(e) => write!(f, "integration error: {e}"),
-            SessionError::QueryParse(e) => write!(f, "{e}"),
-            SessionError::Eval(e) => write!(f, "evaluation error: {e}"),
-            SessionError::Feedback(e) => write!(f, "feedback error: {e}"),
-            SessionError::Rules(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for SessionError {}
-
-impl From<XmlError> for SessionError {
-    fn from(e: XmlError) -> Self {
-        SessionError::Xml(e)
-    }
-}
-impl From<IntegrateError> for SessionError {
-    fn from(e: IntegrateError) -> Self {
-        SessionError::Integrate(e)
-    }
-}
-impl From<QueryParseError> for SessionError {
-    fn from(e: QueryParseError) -> Self {
-        SessionError::QueryParse(e)
-    }
-}
-impl From<EvalError> for SessionError {
-    fn from(e: EvalError) -> Self {
-        SessionError::Eval(e)
-    }
-}
-impl From<FeedbackError> for SessionError {
-    fn from(e: FeedbackError) -> Self {
-        SessionError::Feedback(e)
-    }
-}
-
-/// Size/uncertainty statistics of one stored document.
-#[derive(Debug, Clone, PartialEq)]
-pub struct DocStats {
-    /// Node counts of the compact (factored) representation.
-    pub breakdown: NodeBreakdown,
-    /// Node count of the paper-equivalent unfactored representation.
-    pub unfactored_nodes: f64,
-    /// Number of possible worlds.
-    pub worlds: f64,
-    /// Expected size of a world.
-    pub expected_world_size: f64,
-    /// True when the document has a single world.
-    pub certain: bool,
-}
-
-/// An in-memory probabilistic XML database session.
+/// An in-memory probabilistic XML database session (deprecated shim).
 ///
-/// Documents are stored by name; integration reads two stored documents
-/// and stores the probabilistic result under a new name. Queries and
-/// feedback address stored documents. The Oracle, schema and integration
-/// options are session-wide configuration ("configure the system with a
-/// few simple knowledge rules", §VII).
+/// Every operation delegates to an internal [`Engine`]; see the
+/// [module docs](self) for the migration table. The one semantic
+/// difference from the pre-`Engine` implementation: configuration
+/// setters called *after* documents are loaded republish the existing
+/// documents into a freshly configured engine (documents themselves are
+/// `Arc`-shared, so this is cheap).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `imprecise::Engine` (thread-safe, typed handles, snapshots, prepared queries)"
+)]
 pub struct Session {
-    docs: BTreeMap<String, PxDoc>,
-    oracle: Oracle,
+    engine: Engine,
+    oracle: Arc<Oracle>,
     schema: Option<Schema>,
     options: IntegrationOptions,
     /// Cap used by feedback's world-rebuild fallback.
@@ -112,7 +78,7 @@ impl Default for Session {
 impl fmt::Debug for Session {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Session")
-            .field("documents", &self.document_names())
+            .field("documents", &self.engine.document_names())
             .field("oracle", &self.oracle)
             .field("schema_declared", &self.schema.is_some())
             .finish_non_exhaustive()
@@ -123,70 +89,97 @@ impl Session {
     /// A session with an uninformed Oracle (no rules, uniform prior) and
     /// default options.
     pub fn new() -> Self {
+        let oracle = Arc::new(Oracle::uninformed());
+        let engine = Engine::builder().oracle_shared(Arc::clone(&oracle)).build();
         Session {
-            docs: BTreeMap::new(),
-            oracle: Oracle::uninformed(),
+            engine,
+            oracle,
             schema: None,
             options: IntegrationOptions::default(),
             feedback_world_cap: 100_000,
         }
     }
 
+    /// Rebuild the engine with the current configuration, carrying the
+    /// stored documents over by reference.
+    fn reconfigure(&mut self) {
+        let mut builder = Engine::builder()
+            .oracle_shared(Arc::clone(&self.oracle))
+            .options(self.options)
+            .feedback_world_cap(self.feedback_world_cap);
+        if let Some(schema) = &self.schema {
+            builder = builder.schema(schema.clone());
+        }
+        let old = std::mem::replace(&mut self.engine, builder.build());
+        for name in old.document_names() {
+            let handle = old.handle(&name).expect("listed name resolves");
+            let snapshot = old.snapshot(&handle).expect("listed doc snapshots");
+            self.engine.insert_arc(&name, snapshot.doc_arc());
+        }
+    }
+
+    /// The name-addressed handle, or the `NoSuchDocument` error.
+    fn resolve(&self, name: &str) -> Result<DocHandle, ImpreciseError> {
+        self.engine
+            .handle(name)
+            .ok_or_else(|| ImpreciseError::NoSuchDocument(name.to_string()))
+    }
+
     /// Replace the Oracle.
     pub fn set_oracle(&mut self, oracle: Oracle) -> &mut Self {
-        self.oracle = oracle;
+        self.oracle = Arc::new(oracle);
+        self.reconfigure();
         self
     }
 
     /// Configure the Oracle from a rule file (see
     /// [`imprecise_oracle::dsl`] for the language).
     pub fn load_rules(&mut self, text: &str) -> Result<&mut Self, SessionError> {
-        self.oracle = imprecise_oracle::parse_rules(text).map_err(SessionError::Rules)?;
+        self.oracle = Arc::new(imprecise_oracle::parse_rules(text).map_err(ImpreciseError::Rules)?);
+        self.reconfigure();
         Ok(self)
     }
 
     /// Set the DTD-lite schema from its textual declarations.
     pub fn load_schema(&mut self, dtd: &str) -> Result<&mut Self, SessionError> {
         self.schema = Some(Schema::parse(dtd)?);
+        self.reconfigure();
         Ok(self)
     }
 
     /// Set an already-parsed schema.
     pub fn set_schema(&mut self, schema: Schema) -> &mut Self {
         self.schema = Some(schema);
+        self.reconfigure();
         self
     }
 
     /// Adjust integration options.
     pub fn set_options(&mut self, options: IntegrationOptions) -> &mut Self {
         self.options = options;
+        self.reconfigure();
         self
     }
 
     /// Names of all stored documents.
-    pub fn document_names(&self) -> Vec<&str> {
-        self.docs.keys().map(String::as_str).collect()
+    pub fn document_names(&self) -> Vec<String> {
+        self.engine.document_names()
     }
 
     /// Load an XML document (plain, or annotated probabilistic XML using
     /// `px:prob`/`px:poss` markers) under `name`.
     pub fn load_xml(&mut self, name: &str, text: &str) -> Result<(), SessionError> {
-        let doc = parse(text)?;
-        let px = parse_annotated(&doc)?;
-        self.docs.insert(name.to_string(), px);
-        Ok(())
+        self.engine.load_xml(name, text).map(|_| ())
     }
 
     /// Store an already-built probabilistic document under `name`.
     pub fn store(&mut self, name: &str, doc: PxDoc) {
-        self.docs.insert(name.to_string(), doc);
+        self.engine.insert(name, doc);
     }
 
-    /// Borrow a stored document.
-    pub fn doc(&self, name: &str) -> Result<&PxDoc, SessionError> {
-        self.docs
-            .get(name)
-            .ok_or_else(|| SessionError::NoSuchDocument(name.to_string()))
+    /// A shared reference to the current version of a stored document.
+    pub fn doc(&self, name: &str) -> Result<Arc<PxDoc>, SessionError> {
+        Ok(self.engine.snapshot(&self.resolve(name)?)?.doc_arc())
     }
 
     /// Integrate documents `a` and `b` into a new document `out`,
@@ -197,23 +190,20 @@ impl Session {
         b: &str,
         out: &str,
     ) -> Result<IntegrationStats, SessionError> {
-        let da = self.doc(a)?;
-        let db = self.doc(b)?;
-        let result = integrate_px(da, db, &self.oracle, self.schema.as_ref(), &self.options)?;
-        self.docs.insert(out.to_string(), result.doc);
-        Ok(result.stats)
+        let ha = self.resolve(a)?;
+        let hb = self.resolve(b)?;
+        let (_, stats) = self.engine.integrate(&ha, &hb, out)?;
+        Ok(stats)
     }
 
     /// Run a query against a stored document, returning ranked answers.
     pub fn query(&self, name: &str, query_text: &str) -> Result<RankedAnswers, SessionError> {
-        let doc = self.doc(name)?;
-        let query = parse_query(query_text)?;
-        Ok(eval_px(doc, &query)?)
+        self.engine.query(&self.resolve(name)?, query_text)
     }
 
     /// Apply user feedback: `value` is a correct/incorrect answer of
-    /// `query_text` on document `name`. The document is replaced by its
-    /// conditioned version in place.
+    /// `query_text` on document `name`. The document's conditioned
+    /// version is published under the same name.
     pub fn feedback(
         &mut self,
         name: &str,
@@ -221,30 +211,19 @@ impl Session {
         value: &str,
         correct: bool,
     ) -> Result<FeedbackReport, SessionError> {
-        let query = parse_query(query_text)?;
-        let doc = self.doc(name)?;
-        let (conditioned, report) =
-            apply_feedback(doc, &query, value, correct, self.feedback_world_cap)?;
-        self.docs.insert(name.to_string(), conditioned);
-        Ok(report)
+        let query = self.engine.prepare(query_text)?;
+        self.engine
+            .feedback(&self.resolve(name)?, &query, value, correct)
     }
 
     /// Export a stored document as annotated XML text.
     pub fn export(&self, name: &str) -> Result<String, SessionError> {
-        let doc = self.doc(name)?;
-        Ok(to_string(&to_annotated_xml(doc)))
+        self.engine.export(&self.resolve(name)?)
     }
 
     /// Size/uncertainty statistics of a stored document.
     pub fn stats(&self, name: &str) -> Result<DocStats, SessionError> {
-        let doc = self.doc(name)?;
-        Ok(DocStats {
-            breakdown: doc.node_breakdown(),
-            unfactored_nodes: doc.unfactored_node_count(),
-            worlds: doc.world_count_f64(),
-            expected_world_size: doc.expected_world_size(),
-            certain: doc.is_certain(),
-        })
+        self.engine.stats(&self.resolve(name)?)
     }
 }
 
@@ -324,5 +303,15 @@ mod tests {
     fn document_names_listed() {
         let s = john_session();
         assert_eq!(s.document_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn late_configuration_keeps_documents() {
+        let mut s = john_session();
+        s.integrate("a", "b", "merged").unwrap();
+        // Reconfiguring after load republishes the stored documents.
+        s.set_options(IntegrationOptions::default());
+        assert_eq!(s.document_names(), vec!["a", "b", "merged"]);
+        assert_eq!(s.stats("merged").unwrap().worlds, 3.0);
     }
 }

@@ -6,19 +6,19 @@
 //! Run with `cargo run --example feedback_loop`.
 
 use imprecise::oracle::presets::addressbook_oracle;
-use imprecise::Session;
+use imprecise::Engine;
 
 fn main() {
-    let mut session = Session::new();
-    session.set_oracle(addressbook_oracle());
-    session
-        .load_schema(
+    let engine = Engine::builder()
+        .oracle(addressbook_oracle())
+        .schema_text(
             "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
              <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>",
         )
-        .expect("schema parses");
+        .expect("schema parses")
+        .build();
     // Three sources disagreeing about two people.
-    session
+    let s1 = engine
         .load_xml(
             "s1",
             "<addressbook>\
@@ -27,7 +27,7 @@ fn main() {
              </addressbook>",
         )
         .expect("loads");
-    session
+    let s2 = engine
         .load_xml(
             "s2",
             "<addressbook>\
@@ -36,31 +36,38 @@ fn main() {
              </addressbook>",
         )
         .expect("loads");
-    session
+    let s3 = engine
         .load_xml(
             "s3",
             "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>",
         )
         .expect("loads");
 
-    session.integrate("s1", "s2", "merged").expect("integrates");
-    session
-        .integrate("merged", "s3", "merged")
+    let (merged, _) = engine.integrate(&s1, &s2, "merged").expect("integrates");
+    // The third source arrives: publish a new version of "merged".
+    let (merged, _) = engine
+        .integrate(&merged, &s3, "merged")
         .expect("incremental integration");
-    let stats = session.stats("merged").expect("exists");
+    let stats = engine.stats(&merged).expect("exists");
     println!(
         "after integrating three sources: {} possible worlds, {} nodes",
         stats.worlds,
         stats.breakdown.total()
     );
 
-    println!("\nquery //person/tel before feedback:");
-    println!("{}", session.query("merged", "//person/tel").expect("runs"));
+    // One parse serves the whole review loop.
+    let tel = engine.prepare("//person/tel").expect("query parses");
+    println!("\nquery {} before feedback:", tel.text());
+    println!(
+        "{}",
+        tel.run(&engine.snapshot(&merged).expect("exists"))
+            .expect("runs")
+    );
 
     // The user reviews the ranked answers one by one.
     for (value, correct) in [("2222", true), ("1111", false)] {
         let verdict = if correct { "correct" } else { "wrong" };
-        match session.feedback("merged", "//person/tel", value, correct) {
+        match engine.feedback(&merged, &tel, value, correct) {
             Ok(report) => {
                 println!(
                     "feedback: {value} is {verdict} → worlds {} → {}  (method {:?})",
@@ -71,9 +78,13 @@ fn main() {
         }
     }
 
-    println!("\nquery //person/tel after feedback:");
-    println!("{}", session.query("merged", "//person/tel").expect("runs"));
-    let stats = session.stats("merged").expect("exists");
+    println!("\nquery {} after feedback:", tel.text());
+    println!(
+        "{}",
+        tel.run(&engine.snapshot(&merged).expect("exists"))
+            .expect("runs")
+    );
+    let stats = engine.stats(&merged).expect("exists");
     println!(
         "final state: {} worlds, certain = {} — \"user feedback … in a sense\n\
          continues the semantic integration process incrementally\" (§VII)",

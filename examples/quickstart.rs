@@ -6,59 +6,58 @@
 //! Run with `cargo run --example quickstart`.
 
 use imprecise::oracle::presets::addressbook_oracle;
-use imprecise::Session;
+use imprecise::Engine;
 
 fn main() {
-    let mut session = Session::new();
-    session.set_oracle(addressbook_oracle());
-    session
-        .load_schema(
+    let engine = Engine::builder()
+        .oracle(addressbook_oracle())
+        .schema_text(
             "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
              <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>",
         )
-        .expect("schema parses");
+        .expect("schema parses")
+        .build();
 
-    session
+    let alice = engine
         .load_xml(
             "phone-of-alice",
             "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>",
         )
         .expect("source a loads");
-    session
+    let bob = engine
         .load_xml(
             "phone-of-bob",
             "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>",
         )
         .expect("source b loads");
 
-    let stats = session
-        .integrate("phone-of-alice", "phone-of-bob", "merged")
+    let (merged, stats) = engine
+        .integrate(&alice, &bob, "merged")
         .expect("integration succeeds");
     println!(
         "integrated with {} undecided pair(s)\n",
         stats.judged_possible
     );
 
-    let doc_stats = session.stats("merged").expect("document exists");
+    let doc_stats = engine.stats(&merged).expect("document exists");
     println!(
         "the merged address book compactly stores {} possible worlds in {} nodes\n",
         doc_stats.worlds,
         doc_stats.breakdown.total()
     );
 
-    println!("What is John's phone number?  //person/tel");
-    let answers = session.query("merged", "//person/tel").expect("query runs");
-    println!("{answers}");
+    // Parse the question once; run it against every version.
+    let tel = engine.prepare("//person/tel").expect("query parses");
+    println!("What is John's phone number?  {}", tel.text());
+    let snapshot = engine.snapshot(&merged).expect("document exists");
+    println!("{}", tel.run(&snapshot).expect("query runs"));
 
     println!("User feedback: 1111 is correct.");
-    session
-        .feedback("merged", "//person/tel", "1111", true)
+    engine
+        .feedback(&merged, &tel, "1111", true)
         .expect("feedback applies");
     println!("\nAfter feedback:");
-    let answers = session.query("merged", "//person/tel").expect("query runs");
-    println!("{answers}");
-    println!(
-        "remaining worlds: {}",
-        session.stats("merged").expect("document exists").worlds
-    );
+    let snapshot = engine.snapshot(&merged).expect("document exists");
+    println!("{}", tel.run(&snapshot).expect("query runs"));
+    println!("remaining worlds: {}", snapshot.stats().worlds);
 }

@@ -212,7 +212,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification accepted by [`vec`].
+    /// Length specification accepted by [`vec()`].
     pub trait SizeRange {
         /// Sample a length.
         fn pick(&self, rng: &mut TestRng) -> usize;

@@ -1,4 +1,11 @@
-//! Session façade tests: the user-visible surface of the system.
+//! Tests of the deprecated [`Session`] shim: the pre-`Engine` surface
+//! keeps *behaving* identically for one release — same operations,
+//! results and error messages; see the `session` module docs for the
+//! three source-level signature caveats. (The Engine-native equivalents
+//! live in `it_engine_concurrency.rs` and the `engine` module's unit
+//! tests.)
+
+#![allow(deprecated)]
 
 use imprecise::datagen::movies::movie_schema_text;
 use imprecise::datagen::scenarios;
