@@ -47,7 +47,7 @@ fn bench_prepared(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 engine
-                    .query(&db, black_box(HORROR_QUERY))
+                    .query(&db, black_box(HORROR_QUERY), None)
                     .expect("evaluates"),
             )
         })
@@ -56,7 +56,13 @@ fn bench_prepared(c: &mut Criterion) {
         b.iter(|| black_box(john.run(black_box(&snapshot)).expect("evaluates")))
     });
     group.bench_function("john/parse-per-call", |b| {
-        b.iter(|| black_box(engine.query(&db, black_box(JOHN_QUERY)).expect("evaluates")))
+        b.iter(|| {
+            black_box(
+                engine
+                    .query(&db, black_box(JOHN_QUERY), None)
+                    .expect("evaluates"),
+            )
+        })
     });
     group.bench_function("john/parse-only", |b| {
         b.iter(|| black_box(parse_query(black_box(JOHN_QUERY)).expect("parses")))

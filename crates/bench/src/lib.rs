@@ -175,6 +175,27 @@ pub fn query_engine() -> (Engine, DocHandle) {
     (engine, db)
 }
 
+/// Build an integrated *address-book* database for the `query_plan`
+/// bench: two generated books with overlapping, partially conflicting
+/// entries, integrated under the address-book oracle. Sized so the naive
+/// all-worlds evaluator stays feasible as a baseline.
+pub fn addressbook_query_db() -> imprecise::pxml::PxDoc {
+    use imprecise::datagen::addressbook::{
+        addressbook_schema, addressbook_to_xml, random_addressbook_pair,
+    };
+    use imprecise::oracle::presets::addressbook_oracle;
+    let (a, b) = random_addressbook_pair(42, 10, 6, 0.5);
+    integrate_xml(
+        &addressbook_to_xml(&a),
+        &addressbook_to_xml(&b),
+        &addressbook_oracle(),
+        Some(&addressbook_schema()),
+        &IntegrationOptions::default(),
+    )
+    .expect("address books integrate")
+    .doc
+}
+
 /// Build the integrated §VI query database directly (no engine), for
 /// callers that want the raw [`Integration`] statistics.
 pub fn build_query_db() -> Integration {
@@ -198,7 +219,7 @@ pub fn run_queries() -> QueryExperiment {
         engine.prepare(JOHN_QUERY).expect("static query parses"),
     ];
     let mut answers = engine
-        .query_many(&db, &queries)
+        .query_many(&db, &queries, None)
         .expect("queries evaluate")
         .into_iter();
     let horror = answers.next().expect("two answers");
@@ -323,6 +344,21 @@ mod tests {
                 "{series}: {sizes:?}"
             );
         }
+    }
+
+    #[test]
+    fn addressbook_query_db_is_uncertain_but_enumerable() {
+        let db = addressbook_query_db();
+        let worlds = db.world_count_f64();
+        assert!(worlds > 1.0, "conflicts must create uncertainty");
+        assert!(
+            worlds <= 1_000_000.0,
+            "the naive bench baseline needs enumerable worlds, got {worlds}"
+        );
+        // The bench queries find answers on it.
+        let q = imprecise::query::parse_query("//person/tel").unwrap();
+        let answers = imprecise::query::eval_px(&db, &q).unwrap();
+        assert!(!answers.is_empty());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! ```text
 //! imprecise integrate --out merged.xml [--rules FILE|movie|addressbook]
 //!                     [--dtd FILE] [--weights A,B] a.xml b.xml
-//! imprecise query db.xml QUERY [--min-probability P]
+//! imprecise query db.xml QUERY [--threshold P] [--min-probability P]
+//! imprecise explain QUERY [--threshold P]
 //! imprecise stats db.xml
 //! imprecise worlds db.xml [--limit N]
 //! imprecise prune db.xml --epsilon E --out pruned.xml
@@ -18,6 +19,7 @@
 //! XML tooling.
 
 use imprecise::oracle::dsl::{ADDRESSBOOK_RULES, MOVIE_RULES};
+use imprecise::query::QueryPlan;
 use imprecise::{DocHandle, Engine, EngineBuilder};
 use std::fmt;
 use std::io::Write;
@@ -37,7 +39,15 @@ enum Command {
     Query {
         db: String,
         query: String,
+        /// Pushed down into plan execution (prunes before probability
+        /// computation); `None` evaluates everything.
+        threshold: Option<f64>,
+        /// Post-filter applied to the printed answers.
         min_probability: f64,
+    },
+    Explain {
+        query: String,
+        threshold: Option<f64>,
     },
     Stats {
         db: String,
@@ -75,7 +85,8 @@ imprecise — probabilistic XML data integration (IMPrECISE reproduction)
 USAGE:
   imprecise integrate --out FILE [--rules FILE|movie|addressbook]
                       [--dtd FILE] [--weights A,B] A.xml B.xml
-  imprecise query DB.xml QUERY [--min-probability P]
+  imprecise query DB.xml QUERY [--threshold P] [--min-probability P]
+  imprecise explain QUERY [--threshold P]
   imprecise stats DB.xml
   imprecise worlds DB.xml [--limit N]
   imprecise prune DB.xml --epsilon E --out FILE
@@ -94,8 +105,8 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
         if let Some(name) = tok.strip_prefix("--") {
             let value = match name {
                 // flags with a value
-                "out" | "rules" | "dtd" | "weights" | "min-probability" | "limit" | "epsilon"
-                | "query" | "value" | "verdict" => Some(
+                "out" | "rules" | "dtd" | "weights" | "min-probability" | "threshold" | "limit"
+                | "epsilon" | "query" | "value" | "verdict" => Some(
                     it.next()
                         .ok_or_else(|| UsageError(format!("--{name} needs a value")))?,
                 ),
@@ -154,7 +165,12 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
         "query" => Ok(Command::Query {
             db: pos(0, "database file")?,
             query: pos(1, "query")?,
+            threshold: parse_opt_f64_flag(flag("threshold"), "threshold")?,
             min_probability: parse_f64_flag(flag("min-probability"), 0.0, "min-probability")?,
+        }),
+        "explain" => Ok(Command::Explain {
+            query: pos(0, "query")?,
+            threshold: parse_opt_f64_flag(flag("threshold"), "threshold")?,
         }),
         "stats" => Ok(Command::Stats {
             db: pos(0, "database file")?,
@@ -205,6 +221,14 @@ fn parse_f64_flag(v: Option<&str>, default: f64, name: &str) -> Result<f64, Usag
             .parse()
             .map_err(|_| UsageError(format!("--{name} is not a number: {s:?}"))),
     }
+}
+
+fn parse_opt_f64_flag(v: Option<&str>, name: &str) -> Result<Option<f64>, UsageError> {
+    v.map(|s| {
+        s.parse()
+            .map_err(|_| UsageError(format!("--{name} is not a number: {s:?}")))
+    })
+    .transpose()
 }
 
 fn parse_usize_flag(v: Option<&str>, default: usize, name: &str) -> Result<usize, UsageError> {
@@ -285,11 +309,16 @@ fn run(cmd: Command) -> Result<(), String> {
         Command::Query {
             db,
             query,
+            threshold,
             min_probability,
         } => {
             let engine = Engine::new();
             let hdb = load(&engine, "db", &db)?;
-            let answers = engine.query(&hdb, &query).map_err(|e| e.to_string())?;
+            // --threshold takes the pushdown fast path: the plan prunes
+            // sub-threshold candidates before computing probabilities.
+            let answers = engine
+                .query(&hdb, &query, threshold)
+                .map_err(|e| e.to_string())?;
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
             for item in &answers.items {
@@ -301,6 +330,14 @@ fn run(cmd: Command) -> Result<(), String> {
                     }
                 }
             }
+            Ok(())
+        }
+        Command::Explain { query, threshold } => {
+            let mut plan = QueryPlan::parse(&query).map_err(|e| e.to_string())?;
+            if let Some(t) = threshold {
+                plan = plan.with_min_probability(t);
+            }
+            println!("{plan}");
             Ok(())
         }
         Command::Stats { db } => {
@@ -454,9 +491,46 @@ mod tests {
             Command::Query {
                 db: "db.xml".into(),
                 query: "//movie/title".into(),
+                threshold: None,
                 min_probability: 0.0,
             }
         );
+    }
+
+    #[test]
+    fn query_threshold_flag_parses() {
+        let cmd = parse(&["query", "db.xml", "//movie/title", "--threshold", "0.5"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                db: "db.xml".into(),
+                query: "//movie/title".into(),
+                threshold: Some(0.5),
+                min_probability: 0.0,
+            }
+        );
+        assert!(parse(&["query", "db.xml", "q", "--threshold", "high"]).is_err());
+    }
+
+    #[test]
+    fn explain_command_parses() {
+        let cmd = parse(&["explain", "//movie/title"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Explain {
+                query: "//movie/title".into(),
+                threshold: None,
+            }
+        );
+        let cmd = parse(&["explain", "//movie/title", "--threshold", "0.25"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Explain {
+                query: "//movie/title".into(),
+                threshold: Some(0.25),
+            }
+        );
+        assert!(parse(&["explain"]).is_err());
     }
 
     #[test]

@@ -15,10 +15,14 @@
 //!   in place. A reader can never observe a half-conditioned document.
 //! * **Documents are addressed by typed [`DocHandle`]s**, returned by
 //!   [`Engine::load_xml`] / [`Engine::integrate`], not by bare strings.
-//! * **Queries parse once.** [`Engine::prepare`] returns a
-//!   [`PreparedQuery`] that can be evaluated against any number of
-//!   snapshots (and shared freely across threads); [`Engine::query_many`]
-//!   runs a batch against one consistent snapshot.
+//! * **Queries compile once.** [`Engine::prepare`] returns a
+//!   [`PreparedQuery`] that owns a compiled [`QueryPlan`], re-binds it
+//!   per snapshot (the last run is cached keyed by document version) and
+//!   can be evaluated against any number of snapshots from any thread;
+//!   [`Engine::query_many`] runs a batch against one consistent
+//!   snapshot, and [`Engine::query_stream`] / [`PreparedQuery::stream`]
+//!   yield answers lazily with a probability threshold pushed down into
+//!   plan execution.
 //!
 //! ```
 //! use imprecise::Engine;
@@ -54,11 +58,11 @@ use imprecise_feedback::{apply_feedback, FeedbackReport};
 use imprecise_integrate::{integrate_px, IntegrationOptions, IntegrationStats};
 use imprecise_oracle::Oracle;
 use imprecise_pxml::{parse_annotated, to_annotated_xml, NodeBreakdown, PxDoc};
-use imprecise_query::{eval_px, parse_query, Query, RankedAnswers};
+use imprecise_query::{parse_query, AnswerStream, Query, QueryPlan, RankedAnswers};
 use imprecise_xmlkit::{parse, to_string, Schema};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Size/uncertainty statistics of one document version.
 #[derive(Debug, Clone, PartialEq)]
@@ -176,23 +180,54 @@ impl std::ops::Deref for DocSnapshot {
     }
 }
 
-/// A query parsed once, evaluable against any number of documents.
+/// One memoized execution of a prepared query: the full ranked answers
+/// of one (engine, slot, version) triple.
+#[derive(Debug, Clone)]
+struct CachedRun {
+    engine_id: u64,
+    slot: u64,
+    version: u64,
+    ranked: Arc<RankedAnswers>,
+}
+
+impl CachedRun {
+    fn matches(&self, snapshot: &DocSnapshot) -> bool {
+        (self.engine_id, self.slot, self.version)
+            == (
+                snapshot.handle.engine_id,
+                snapshot.handle.id,
+                snapshot.version,
+            )
+    }
+}
+
+/// A query compiled once (parse + plan), evaluable against any number of
+/// documents.
 ///
-/// Prepared queries are immutable, cheap to clone and `Send + Sync`, so
-/// one instance can serve every thread of a server. Obtain one with
+/// Prepared queries are cheap to clone and `Send + Sync`, so one
+/// instance can serve every thread of a server. Obtain one with
 /// [`Engine::prepare`] (or [`PreparedQuery::parse`] without an engine).
+///
+/// Beyond the parse, a prepared query owns a compiled
+/// [`QueryPlan`] and **re-binds it per snapshot**: the last full run is
+/// cached keyed by document version (clones share the cache), so
+/// repeated [`run`](Self::run)s against the same version return without
+/// touching the document, and a feedback/integration publish —
+/// which bumps the version — transparently invalidates it.
 #[derive(Clone, Debug)]
 pub struct PreparedQuery {
     text: Arc<str>,
-    query: Arc<Query>,
+    plan: Arc<QueryPlan>,
+    cache: Arc<Mutex<Option<CachedRun>>>,
 }
 
 impl PreparedQuery {
-    /// Parse `text` into a reusable query.
+    /// Parse and compile `text` into a reusable query plan.
     pub fn parse(text: &str) -> Result<Self, ImpreciseError> {
         Ok(PreparedQuery {
             text: Arc::from(text),
-            query: Arc::new(parse_query(text)?),
+            plan: Arc::new(QueryPlan::compile(&parse_query(text)?)),
+            cache: Arc::new(Mutex::new(None)),
         })
     }
 
@@ -201,19 +236,96 @@ impl PreparedQuery {
         &self.text
     }
 
-    /// The parsed abstract syntax.
+    /// The parsed abstract syntax (pre-normalization).
     pub fn ast(&self) -> &Query {
-        &self.query
+        self.plan.source()
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// The `imprecise explain` rendering of the compiled plan.
+    pub fn explain(&self) -> String {
+        self.plan.to_string()
     }
 
     /// Evaluate against a snapshot, returning ranked answers.
+    ///
+    /// Serves from the per-version cache when this prepared query (or a
+    /// clone) already ran against the same document version.
     pub fn run(&self, snapshot: &DocSnapshot) -> Result<RankedAnswers, ImpreciseError> {
-        self.run_doc(snapshot.doc())
+        {
+            let cache = self.cache.lock().expect("prepared-query cache lock");
+            if let Some(cached) = cache.as_ref() {
+                if cached.matches(snapshot) {
+                    return Ok((*cached.ranked).clone());
+                }
+            }
+        }
+        // Evaluate outside the lock; a racing clone at worst recomputes.
+        let ranked = self.plan.collect(snapshot.doc())?;
+        let mut cache = self.cache.lock().expect("prepared-query cache lock");
+        *cache = Some(CachedRun {
+            engine_id: snapshot.handle.engine_id,
+            slot: snapshot.handle.id,
+            version: snapshot.version,
+            ranked: Arc::new(ranked.clone()),
+        });
+        Ok(ranked)
     }
 
-    /// Evaluate against a bare probabilistic document.
+    /// Evaluate against a snapshot keeping only answers with probability
+    /// at least `min_probability`. Exactly [`run`](Self::run) filtered —
+    /// and served from the same per-version cache; use
+    /// [`stream`](Self::stream) for the threshold-pushdown path when
+    /// the full answer set is not wanted at all.
+    pub fn run_at(
+        &self,
+        snapshot: &DocSnapshot,
+        min_probability: f64,
+    ) -> Result<RankedAnswers, ImpreciseError> {
+        let full = self.run(snapshot)?;
+        Ok(RankedAnswers::from_pairs(
+            full.items
+                .into_iter()
+                .filter(|a| a.probability >= min_probability)
+                .map(|a| (a.value, a.probability))
+                .collect(),
+        ))
+    }
+
+    /// Stream answers lazily from a snapshot, with the threshold (if
+    /// any) pushed down into execution: candidates whose probability
+    /// bound falls below it are pruned before any exact probability is
+    /// computed. The stream owns what it needs and may outlive the
+    /// snapshot.
+    pub fn stream(
+        &self,
+        snapshot: &DocSnapshot,
+        min_probability: Option<f64>,
+    ) -> Result<AnswerStream, ImpreciseError> {
+        self.stream_doc(snapshot.doc(), min_probability)
+    }
+
+    /// Evaluate against a bare probabilistic document (no cache: a bare
+    /// document has no version identity).
     pub fn run_doc(&self, doc: &PxDoc) -> Result<RankedAnswers, ImpreciseError> {
-        Ok(eval_px(doc, &self.query)?)
+        Ok(self.plan.collect(doc)?)
+    }
+
+    /// Stream answers lazily from a bare probabilistic document.
+    pub fn stream_doc(
+        &self,
+        doc: &PxDoc,
+        min_probability: Option<f64>,
+    ) -> Result<AnswerStream, ImpreciseError> {
+        let stream = match min_probability {
+            None => self.plan.execute(doc)?,
+            Some(t) => self.plan.execute_at(doc, t)?,
+        };
+        Ok(stream)
     }
 }
 
@@ -589,35 +701,68 @@ impl Engine {
         )?)
     }
 
-    /// Parse `text` into a [`PreparedQuery`] usable against any
-    /// document, from any thread, without re-parsing.
+    /// Parse and compile `text` into a [`PreparedQuery`] (owning its
+    /// [`QueryPlan`]) usable against any document, from any thread,
+    /// without re-parsing. The prepared query re-binds its plan per
+    /// snapshot, caching the last run keyed by document version.
     pub fn prepare(&self, text: &str) -> Result<PreparedQuery, ImpreciseError> {
         PreparedQuery::parse(text)
     }
 
-    /// One-shot convenience: snapshot `handle`, parse `query_text` and
-    /// evaluate it. Prefer [`prepare`](Self::prepare) +
-    /// [`PreparedQuery::run`] when the same query runs more than once.
+    /// One-shot convenience: snapshot `handle`, compile `query_text` and
+    /// evaluate it. With `min_probability` set, the threshold is pushed
+    /// down into plan execution (answers below it are pruned before
+    /// their exact probability is computed). Prefer
+    /// [`prepare`](Self::prepare) + [`PreparedQuery::run`] when the same
+    /// query runs more than once.
     pub fn query(
         &self,
         handle: &DocHandle,
         query_text: &str,
+        min_probability: Option<f64>,
     ) -> Result<RankedAnswers, ImpreciseError> {
         let snapshot = self.snapshot(handle)?;
         let query = self.prepare(query_text)?;
-        query.run(&snapshot)
+        match min_probability {
+            None => query.run(&snapshot),
+            Some(_) => Ok(query.stream(&snapshot, min_probability)?.into_ranked()),
+        }
+    }
+
+    /// One-shot streaming: snapshot `handle`, compile `query_text` and
+    /// return the lazy [`AnswerStream`] (threshold pushed down when
+    /// set). The stream owns everything it needs — it stays valid
+    /// however long the caller holds it, across any concurrent
+    /// publishes.
+    pub fn query_stream(
+        &self,
+        handle: &DocHandle,
+        query_text: &str,
+        min_probability: Option<f64>,
+    ) -> Result<AnswerStream, ImpreciseError> {
+        let snapshot = self.snapshot(handle)?;
+        let query = self.prepare(query_text)?;
+        query.stream(&snapshot, min_probability)
     }
 
     /// Evaluate a batch of prepared queries against one consistent
     /// snapshot of `handle`: every answer reflects the same document
-    /// version even if writers publish mid-batch.
+    /// version even if writers publish mid-batch. With `min_probability`
+    /// set, the threshold is pushed down into every plan execution.
     pub fn query_many(
         &self,
         handle: &DocHandle,
         queries: &[PreparedQuery],
+        min_probability: Option<f64>,
     ) -> Result<Vec<RankedAnswers>, ImpreciseError> {
         let snapshot = self.snapshot(handle)?;
-        queries.iter().map(|q| q.run(&snapshot)).collect()
+        queries
+            .iter()
+            .map(|q| match min_probability {
+                None => q.run(&snapshot),
+                Some(_) => Ok(q.stream(&snapshot, min_probability)?.into_ranked()),
+            })
+            .collect()
     }
 
     /// Apply user feedback: `value` is a correct/incorrect answer of
@@ -769,10 +914,98 @@ mod tests {
             engine.prepare("//person/tel").unwrap(),
             engine.prepare("//person/nm").unwrap(),
         ];
-        let answers = engine.query_many(&merged, &queries).unwrap();
+        let answers = engine.query_many(&merged, &queries, None).unwrap();
         assert_eq!(answers.len(), 2);
         assert!((answers[0].probability_of("1111") - 0.75).abs() < 1e-9);
         assert!((answers[1].probability_of("John") - 1.0).abs() < 1e-9);
+        // With a pushed-down threshold the sub-threshold numbers vanish
+        // but surviving probabilities are untouched.
+        let at_90 = engine.query_many(&merged, &queries, Some(0.9)).unwrap();
+        assert!(at_90[0].is_empty());
+        assert!((at_90[1].probability_of("John") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepared_query_cache_tracks_document_versions() {
+        let (engine, a, b) = john_engine();
+        let (merged, _) = engine.integrate(&a, &b, "merged").unwrap();
+        let tel = engine.prepare("//person/tel").unwrap();
+        let before = engine.snapshot(&merged).unwrap();
+        let first = tel.run(&before).unwrap();
+        // Second run against the same version is served from the cache
+        // (shared with clones) and must be identical.
+        let second = tel.clone().run(&before).unwrap();
+        assert_eq!(first, second);
+        // Feedback publishes a new version: the cache must not leak the
+        // old distribution into the new snapshot…
+        engine.feedback(&merged, &tel, "2222", false).unwrap();
+        let after = engine.snapshot(&merged).unwrap();
+        assert!((tel.run(&after).unwrap().probability_of("1111") - 1.0).abs() < 1e-9);
+        // …and the old snapshot still evaluates to the old distribution.
+        assert!((tel.run(&before).unwrap().probability_of("1111") - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepared_query_cache_is_engine_scoped() {
+        let (engine, a, b) = john_engine();
+        let (merged, _) = engine.integrate(&a, &b, "merged").unwrap();
+        let tel = engine.prepare("//person/tel").unwrap();
+        assert!(
+            (tel.run(&engine.snapshot(&merged).unwrap())
+                .unwrap()
+                .probability_of("1111")
+                - 0.75)
+                .abs()
+                < 1e-9
+        );
+        // A different engine whose slot/version numbers collide must not
+        // hit the cache entry.
+        let other = Engine::new();
+        let (o1, o2) = (
+            other.load_xml("a", "<addressbook/>").unwrap(),
+            other.load_xml("b", "<addressbook/>").unwrap(),
+        );
+        let _ = (o1, o2);
+        let (om, _) = other
+            .integrate(
+                &other.handle("a").unwrap(),
+                &other.handle("b").unwrap(),
+                "merged",
+            )
+            .unwrap();
+        let empty = tel.run(&other.snapshot(&om).unwrap()).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn query_stream_pushes_threshold_down() {
+        let (engine, a, b) = john_engine();
+        let (merged, _) = engine.integrate(&a, &b, "merged").unwrap();
+        let mut stream = engine
+            .query_stream(&merged, "//person/tel", Some(0.5))
+            .unwrap();
+        let answers: Vec<_> = stream.by_ref().collect();
+        assert_eq!(answers.len(), 2); // both tels sit at 0.75
+        assert!(answers.iter().all(|ans| ans.probability >= 0.5));
+        // The stream stays usable after the engine publishes new versions.
+        let tel = engine.prepare("//person/tel").unwrap();
+        engine.feedback(&merged, &tel, "2222", false).unwrap();
+        assert_eq!(stream.next(), None);
+        // run_at is run() filtered.
+        let at = tel.run_at(&engine.snapshot(&merged).unwrap(), 0.9).unwrap();
+        assert_eq!(at.len(), 1);
+        assert!((at.probability_of("1111") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepared_query_exposes_its_plan() {
+        let engine = Engine::new();
+        let q = engine.prepare("//person[nm=\"John\"]/tel").unwrap();
+        assert_eq!(q.text(), "//person[nm=\"John\"]/tel");
+        assert_eq!(q.plan().min_probability(), 0.0);
+        let explain = q.explain();
+        assert!(explain.contains("SubtreeScan(person)"), "{explain}");
+        assert!(explain.contains("ChildScan(tel)"), "{explain}");
     }
 
     #[test]
@@ -796,7 +1029,7 @@ mod tests {
             other.snapshot(&a),
             Err(ImpreciseError::NoSuchDocument(_))
         ));
-        assert!(other.query(&a, "//person").is_err());
+        assert!(other.query(&a, "//person", None).is_err());
         let tel = other.prepare("//person/tel").unwrap();
         assert!(other.feedback(&a, &tel, "1111", true).is_err());
         assert_ne!(a, o, "handles of different engines never compare equal");
@@ -806,7 +1039,7 @@ mod tests {
     fn bad_query_is_reported() {
         let (engine, a, _) = john_engine();
         assert!(matches!(
-            engine.query(&a, "movie["),
+            engine.query(&a, "movie[", None),
             Err(ImpreciseError::QueryParse(_))
         ));
         assert!(matches!(

@@ -198,7 +198,7 @@ impl Session {
 
     /// Run a query against a stored document, returning ranked answers.
     pub fn query(&self, name: &str, query_text: &str) -> Result<RankedAnswers, SessionError> {
-        self.engine.query(&self.resolve(name)?, query_text)
+        self.engine.query(&self.resolve(name)?, query_text, None)
     }
 
     /// Apply user feedback: `value` is a correct/incorrect answer of

@@ -77,6 +77,7 @@ pub mod node;
 pub mod prune;
 pub mod simplify;
 pub mod validate;
+pub mod weights;
 pub mod worlds;
 
 pub use convert::{from_xml, parse_annotated, to_annotated_xml};
@@ -86,6 +87,7 @@ pub use fingerprint::{px_deep_equal, px_fingerprint};
 pub use node::{PxDoc, PxNodeId, PxNodeKind};
 pub use prune::PruneStats;
 pub use validate::PxInvariantError;
+pub use weights::ChoiceWeights;
 pub use worlds::{TooManyWorlds, World, WorldIter};
 
 /// Tolerance used when checking that possibility weights sum to one and in

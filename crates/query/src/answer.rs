@@ -1,5 +1,6 @@
 //! Amalgamated, likelihood-ranked answers.
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// One ranked answer value.
@@ -15,15 +16,31 @@ pub struct RankedAnswer {
 ///
 /// This is the paper's "sequence of possible result elements ranked by
 /// likelihood" — e.g. `97% Jaws`, `97% Jaws 2` for the Horror query.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct RankedAnswers {
-    /// Answers sorted by descending probability (ties: lexicographic by
-    /// value, for deterministic output).
+    /// Answers sorted by descending probability. Equal-probability
+    /// answers keep the order the evaluator produced them in — document
+    /// order of their first occurrence — so ties break deterministically
+    /// by position in the document, not alphabetically.
+    ///
+    /// Treat as read-only: the constructors maintain an internal lookup
+    /// index over these items.
     pub items: Vec<RankedAnswer>,
+    /// value → position in `items`, kept in sync by the constructors so
+    /// [`probability_of`](Self::probability_of) is O(1).
+    index: HashMap<String, usize>,
+}
+
+impl PartialEq for RankedAnswers {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
+    }
 }
 
 impl RankedAnswers {
-    /// Build from unordered `(value, probability)` pairs.
+    /// Build from `(value, probability)` pairs given in document order
+    /// (order of first occurrence). The sort is stable, so
+    /// equal-probability answers stay in document order.
     pub fn from_pairs(pairs: Vec<(String, f64)>) -> Self {
         let mut items: Vec<RankedAnswer> = pairs
             .into_iter()
@@ -33,17 +50,28 @@ impl RankedAnswers {
             b.probability
                 .partial_cmp(&a.probability)
                 .expect("finite probabilities")
-                .then_with(|| a.value.cmp(&b.value))
         });
-        RankedAnswers { items }
+        // First occurrence wins: should a caller hand in duplicate
+        // values, lookups answer with the highest-ranked one (matching
+        // the pre-index linear-scan behaviour).
+        let mut index = HashMap::with_capacity(items.len());
+        for (i, a) in items.iter().enumerate() {
+            index.entry(a.value.clone()).or_insert(i);
+        }
+        RankedAnswers { items, index }
     }
 
-    /// The probability of a specific value (0 when absent).
+    /// The probability of a specific value (0 when absent). O(1).
     pub fn probability_of(&self, value: &str) -> f64 {
-        self.items
-            .iter()
-            .find(|a| a.value == value)
-            .map_or(0.0, |a| a.probability)
+        self.index
+            .get(value)
+            .map_or(0.0, |&i| self.items[i].probability)
+    }
+
+    /// The rank (0-based position) of a value, or `None` when absent.
+    /// O(1).
+    pub fn rank_of(&self, value: &str) -> Option<usize> {
+        self.index.get(value).copied()
     }
 
     /// Answers with probability at least `threshold`.
@@ -78,7 +106,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ranking_is_descending_with_lexicographic_ties() {
+    fn ranking_is_descending() {
         let answers = RankedAnswers::from_pairs(vec![
             ("Mission: Impossible".into(), 0.21),
             ("Die Hard: With a Vengeance".into(), 1.0),
@@ -96,11 +124,22 @@ mod tests {
     }
 
     #[test]
-    fn tie_breaking_is_deterministic() {
+    fn ties_break_by_document_order() {
+        // "Jaws 2" occurs first in the document, so at equal probability
+        // it ranks first — deterministic, and independent of the values'
+        // lexicographic order.
         let answers =
             RankedAnswers::from_pairs(vec![("Jaws 2".into(), 0.97), ("Jaws".into(), 0.97)]);
-        assert_eq!(answers.items[0].value, "Jaws");
-        assert_eq!(answers.items[1].value, "Jaws 2");
+        assert_eq!(answers.items[0].value, "Jaws 2");
+        assert_eq!(answers.items[1].value, "Jaws");
+        // The tie-break is stable under a higher-ranked prefix too.
+        let answers = RankedAnswers::from_pairs(vec![
+            ("B".into(), 0.5),
+            ("A".into(), 0.5),
+            ("C".into(), 0.9),
+        ]);
+        let values: Vec<&str> = answers.items.iter().map(|a| a.value.as_str()).collect();
+        assert_eq!(values, vec!["C", "B", "A"]);
     }
 
     #[test]
@@ -108,9 +147,27 @@ mod tests {
         let answers = RankedAnswers::from_pairs(vec![("A".into(), 0.9), ("B".into(), 0.2)]);
         assert_eq!(answers.probability_of("A"), 0.9);
         assert_eq!(answers.probability_of("missing"), 0.0);
+        assert_eq!(answers.rank_of("A"), Some(0));
+        assert_eq!(answers.rank_of("B"), Some(1));
+        assert_eq!(answers.rank_of("missing"), None);
         assert_eq!(answers.at_least(0.5).count(), 1);
         assert_eq!(answers.len(), 2);
         assert!(!answers.is_empty());
+    }
+
+    #[test]
+    fn duplicate_values_resolve_to_the_highest_ranked_occurrence() {
+        let answers = RankedAnswers::from_pairs(vec![("A".into(), 0.2), ("A".into(), 0.9)]);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers.probability_of("A"), 0.9);
+        assert_eq!(answers.rank_of("A"), Some(0));
+    }
+
+    #[test]
+    fn equality_ignores_the_internal_index() {
+        let a = RankedAnswers::from_pairs(vec![("A".into(), 0.9)]);
+        let b = RankedAnswers::from_pairs(vec![("A".into(), 0.9)]);
+        assert_eq!(a, b);
     }
 
     #[test]

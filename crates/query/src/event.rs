@@ -11,7 +11,8 @@
 //! order follows document order, which keeps cofactors small because an
 //! outer choice's atoms dominate the events of everything beneath it.
 
-use imprecise_pxml::{PxDoc, PxNodeId};
+use imprecise_pxml::{ChoiceWeights, PxDoc, PxNodeId};
+use std::collections::HashMap;
 
 /// An atom: "probability node `prob_node` selects possibility `poss_index`".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -23,7 +24,7 @@ pub struct ChoiceAtom {
 }
 
 /// A boolean event over choice atoms.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Event {
     /// Always true.
     True,
@@ -260,6 +261,177 @@ pub fn probability(doc: &PxDoc, event: &Event) -> f64 {
     }
 }
 
+/// Cheap, sound bounds `(lower, upper)` on the probability of an event,
+/// computed structurally in one pass (no Shannon expansion).
+///
+/// The bounds are the Fréchet inequalities — they hold for *any*
+/// dependence between the sub-events, so they are safe to use for
+/// threshold pruning: if `upper < t`, the exact probability is `< t`.
+/// Atoms are exact (an atom's probability *is* its possibility weight).
+pub fn probability_bounds(weights: &ChoiceWeights, event: &Event) -> (f64, f64) {
+    match event {
+        Event::True => (1.0, 1.0),
+        Event::False => (0.0, 0.0),
+        Event::Atom(a) => {
+            let w = weights.of(a.prob_node)[a.poss_index as usize];
+            (w, w)
+        }
+        Event::And(parts) => {
+            // P(⋀) ≤ min Pᵢ and P(⋀) ≥ 1 - Σ(1 - Pᵢ).
+            let mut lo_deficit = 0.0;
+            let mut hi = 1.0f64;
+            for p in parts {
+                let (l, h) = probability_bounds(weights, p);
+                lo_deficit += 1.0 - l;
+                hi = hi.min(h);
+            }
+            ((1.0 - lo_deficit).max(0.0), hi)
+        }
+        Event::Or(parts) => {
+            // P(⋁) ≥ max Pᵢ and P(⋁) ≤ Σ Pᵢ.
+            let mut lo = 0.0f64;
+            let mut hi_sum = 0.0;
+            for p in parts {
+                let (l, h) = probability_bounds(weights, p);
+                lo = lo.max(l);
+                hi_sum += h;
+            }
+            (lo, hi_sum.min(1.0))
+        }
+        Event::Not(inner) => {
+            let (l, h) = probability_bounds(weights, inner);
+            (1.0 - h, 1.0 - l)
+        }
+    }
+}
+
+/// Memo table for [`probability_memo`]: exact probabilities of queried
+/// events, valid for one document version.
+///
+/// Caching is at whole-event granularity: re-asking the probability of
+/// an event already computed this execution (e.g. the same answer event
+/// reached through a later step, or a re-run over the same snapshot) is
+/// a single lookup. Expansion cofactors are deliberately *not* cached —
+/// hashing every intermediate event costs more than the expansion saves.
+/// A hit never changes a result: it returns a value previously computed
+/// by the identical expansion.
+#[derive(Debug, Clone, Default)]
+pub struct ProbMemo {
+    cache: HashMap<Event, f64>,
+}
+
+impl ProbMemo {
+    /// An empty memo table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached (event, probability) entries.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// Exact probability of an event by Shannon expansion over a
+/// precomputed [`ChoiceWeights`] table, memoized per event in `memo`
+/// (see [`ProbMemo`]). Computes bit-identical values to [`probability`].
+pub fn probability_memo(weights: &ChoiceWeights, event: &Event, memo: &mut ProbMemo) -> f64 {
+    match event {
+        Event::True => 1.0,
+        Event::False => 0.0,
+        _ => {
+            if let Some(&p) = memo.cache.get(event) {
+                return p;
+            }
+            let p = probability_weights(weights, event);
+            memo.cache.insert(event.clone(), p);
+            p
+        }
+    }
+}
+
+/// Slack subtracted from pruning thresholds (both the structural-bound
+/// gate and [`probability_above`]'s aborts) so floating-point drift in a
+/// bound can never prune an answer whose true probability sits exactly
+/// at the threshold.
+pub(crate) const ABOVE_SLACK: f64 = 1e-12;
+
+/// Branch-and-bound Shannon expansion: the exact probability of `event`,
+/// or `None` as soon as the expansion *proves* the probability is below
+/// `min_required` (the remaining unresolved probability mass can no
+/// longer lift the running total to the threshold).
+///
+/// For events that pass, the returned value is bit-identical to
+/// [`probability`] — the bound checks add comparisons, never arithmetic,
+/// on the surviving path. For events that fail, most of the expansion is
+/// skipped; this is where threshold pushdown wins over evaluate-then-
+/// filter. The abort checks carry a tiny slack so an answer whose true
+/// probability equals the threshold is never aborted by rounding drift
+/// in the bound itself.
+pub fn probability_above(weights: &ChoiceWeights, event: &Event, min_required: f64) -> Option<f64> {
+    match event {
+        Event::True => Some(1.0),
+        Event::False => Some(0.0),
+        _ => {
+            let v = event
+                .first_variable()
+                .expect("non-constant event has a variable");
+            let ws = weights.of(v);
+            let mut remaining: f64 = ws.iter().sum();
+            let mut total = 0.0;
+            for (idx, &w) in ws.iter().enumerate() {
+                remaining -= w;
+                if w == 0.0 {
+                    continue;
+                }
+                // Even if this and every later possibility contributed
+                // fully, can the total still reach the threshold?
+                if total + w + remaining < min_required - ABOVE_SLACK {
+                    return None;
+                }
+                let cofactor = event.assign(v, idx as u32);
+                // What this cofactor must contribute for the total to
+                // still be reachable, given the rest contributes fully.
+                let need = min_required - total - remaining;
+                let sub_required = if need > 0.0 { need / w } else { 0.0 };
+                let p = probability_above(weights, &cofactor, sub_required)?;
+                total += w * p;
+            }
+            Some(total)
+        }
+    }
+}
+
+/// Exact probability by Shannon expansion, reading possibility weights
+/// from the flat [`ChoiceWeights`] table instead of walking the arena.
+/// Identical arithmetic to [`probability`] (bit-identical results).
+/// Uncached: the right call when each event is asked exactly once.
+pub(crate) fn probability_weights(weights: &ChoiceWeights, event: &Event) -> f64 {
+    match event {
+        Event::True => 1.0,
+        Event::False => 0.0,
+        _ => {
+            let v = event
+                .first_variable()
+                .expect("non-constant event has a variable");
+            let mut total = 0.0;
+            for (idx, &w) in weights.of(v).iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let cofactor = event.assign(v, idx as u32);
+                total += w * probability_weights(weights, &cofactor);
+            }
+            total
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +596,88 @@ mod tests {
         assert_eq!(sat.len(), 1);
         assert_eq!(sat[0].0, vec![(c1, 0)]);
         assert!((sat[0].1 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_bracket_exact_probability() {
+        let (px, c1, c2) = doc2();
+        let weights = px.choice_weights();
+        let events = [
+            Event::True,
+            Event::False,
+            atom(c1, 0),
+            Event::not(atom(c1, 0)),
+            Event::and(atom(c1, 0), atom(c2, 1)),
+            Event::or(atom(c1, 0), atom(c2, 0)),
+            Event::or(
+                Event::and(atom(c1, 0), atom(c2, 0)),
+                Event::and(atom(c1, 1), atom(c2, 1)),
+            ),
+            Event::not(Event::and(atom(c1, 0), atom(c2, 0))),
+        ];
+        for e in events {
+            let (lo, hi) = probability_bounds(&weights, &e);
+            let p = probability(&px, &e);
+            assert!(
+                lo <= p + 1e-12 && p <= hi + 1e-12,
+                "{e:?}: {p} outside [{lo}, {hi}]"
+            );
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+        // Atoms are exact.
+        let (lo, hi) = probability_bounds(&weights, &atom(c1, 0));
+        assert_eq!((lo, hi), (0.3, 0.3));
+    }
+
+    #[test]
+    fn branch_and_bound_is_exact_for_survivors_and_sound_for_prunees() {
+        let (px, c1, c2) = doc2();
+        let weights = px.choice_weights();
+        let events = [
+            atom(c1, 0),                                      // 0.3
+            atom(c1, 1),                                      // 0.7
+            Event::or(atom(c1, 0), atom(c2, 0)),              // 0.58
+            Event::and(atom(c1, 1), atom(c2, 1)),             // 0.42
+            Event::not(Event::and(atom(c1, 0), atom(c2, 0))), // 0.88
+        ];
+        for e in &events {
+            let p = probability(&px, e);
+            for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                match probability_above(&weights, e, t) {
+                    Some(got) => assert_eq!(got.to_bits(), p.to_bits(), "{e:?} at {t}"),
+                    None => assert!(p < t, "{e:?}: aborted at {t} but p = {p}"),
+                }
+            }
+            // A threshold exactly at the probability never aborts.
+            assert_eq!(
+                probability_above(&weights, e, p).map(f64::to_bits),
+                Some(p.to_bits()),
+                "{e:?}"
+            );
+        }
+        // Constants short-circuit.
+        assert_eq!(probability_above(&weights, &Event::True, 0.9), Some(1.0));
+        assert_eq!(probability_above(&weights, &Event::False, 0.9), Some(0.0));
+    }
+
+    #[test]
+    fn memoized_probability_matches_plain() {
+        let (px, c1, c2) = doc2();
+        let weights = px.choice_weights();
+        let mut memo = ProbMemo::new();
+        let events = [
+            atom(c1, 0),
+            Event::or(atom(c1, 0), atom(c2, 0)),
+            Event::not(Event::and(atom(c1, 0), atom(c2, 0))),
+            Event::or(atom(c1, 0), atom(c2, 0)), // repeat: served from cache
+        ];
+        for e in &events {
+            let plain = probability(&px, e);
+            let memoized = probability_memo(&weights, e, &mut memo);
+            assert_eq!(plain.to_bits(), memoized.to_bits(), "{e:?}");
+        }
+        assert!(!memo.is_empty());
+        assert!(memo.len() >= 2);
     }
 
     #[test]

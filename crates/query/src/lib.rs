@@ -18,6 +18,13 @@
 //!   probability of the event "some occurrence of this value is in the
 //!   query result", computed symbolically over the document's choice
 //!   points — no world enumeration;
+//! * a **compile-then-execute pipeline** ([`QueryPlan`] compiled from the
+//!   AST, executed as a lazy [`AnswerStream`] of typed [`Answer`]s):
+//!   logical step normalization, a physical operator chain with hoisted
+//!   value tests, probability-threshold pushdown that prunes candidates
+//!   on cheap event bounds before any exact probability is computed, and
+//!   per-execution memo tables for node value events and event
+//!   probabilities;
 //! * a naive all-worlds evaluator ([`eval_px_naive`]) used as a semantic
 //!   oracle in tests (`eval_px` ≡ `eval_px_naive` on every document).
 //!
@@ -55,13 +62,20 @@ pub mod ast;
 pub mod event;
 pub mod naive;
 pub mod parse;
+pub mod plan;
 pub mod px_eval;
+pub mod stream;
 pub mod xml_eval;
 
 pub use answer::{RankedAnswer, RankedAnswers};
 pub use ast::{Axis, Expr, NodeTest, Query, RelPath, Step};
-pub use event::{satisfying_assignments, ChoiceAtom, Event, PartialAssignment};
+pub use event::{
+    probability_above, probability_bounds, probability_memo, satisfying_assignments, ChoiceAtom,
+    Event, PartialAssignment, ProbMemo,
+};
 pub use naive::eval_px_naive;
 pub use parse::{parse_query, QueryParseError};
+pub use plan::QueryPlan;
 pub use px_eval::{answer_event, answer_events, eval_px, EvalError};
+pub use stream::{Answer, AnswerStream, AnswerValue};
 pub use xml_eval::eval_xml;

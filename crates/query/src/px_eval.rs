@@ -9,6 +9,13 @@
 //!
 //! This is the paper's "amalgamated answer" — merged over worlds, ranked
 //! by likelihood — computed without touching worlds.
+//!
+//! The walk itself lives in a per-execution `Evaluator` context that
+//! memoizes each node's `value_events` so predicates and amalgamation
+//! never recompute the value distribution of the same subtree twice.
+//! [`eval_px`] drives it for the one-shot API; the planned, streaming
+//! API ([`crate::QueryPlan`] / [`crate::AnswerStream`]) drives the same
+//! walk over a normalized step chain with threshold pushdown on top.
 
 use crate::answer::RankedAnswers;
 use crate::ast::{Axis, Expr, NodeTest, Query, RelPath, Step};
@@ -16,6 +23,7 @@ use crate::event::{probability, ChoiceAtom, Event};
 use imprecise_pxml::{PxDoc, PxNodeId, PxNodeKind};
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// Cap on the number of distinct string values one element may take
 /// across worlds (guards `value_events` against pathological nesting).
@@ -51,25 +59,22 @@ pub fn answer_event(doc: &PxDoc, query: &Query, value: &str) -> Result<Option<Ev
     Ok(events.into_iter().find(|(v, _)| v == value).map(|(_, e)| e))
 }
 
-/// The events of all possible answer values (unranked).
+/// The events of all possible answer values (unranked, document order).
 pub fn answer_events(doc: &PxDoc, query: &Query) -> Result<Vec<(String, Event)>, EvalError> {
-    let (order, mut events) = collect_answer_events(doc, query)?;
-    Ok(order
-        .into_iter()
-        .map(|v| {
-            let e = events.remove(&v).expect("collected above");
-            (v, e)
-        })
-        .collect())
+    Evaluator::new(doc).collect_answer_events(&query.steps)
 }
 
 /// Evaluate a query over a probabilistic document; returns ranked answers.
+///
+/// This is the one-shot, unplanned API: events are rebuilt and every
+/// answer's probability is computed on every call. When the same query
+/// runs more than once, or only answers above a threshold are wanted,
+/// prefer compiling a [`crate::QueryPlan`] and streaming.
 pub fn eval_px(doc: &PxDoc, query: &Query) -> Result<RankedAnswers, EvalError> {
-    let (order, events) = collect_answer_events(doc, query)?;
-    let mut pairs = Vec::with_capacity(order.len());
-    for value in order {
-        let ev = &events[&value];
-        let p = probability(doc, ev);
+    let events = answer_events(doc, query)?;
+    let mut pairs = Vec::with_capacity(events.len());
+    for (value, ev) in events {
+        let p = probability(doc, &ev);
         if p > 0.0 {
             pairs.push((value, p));
         }
@@ -77,117 +82,324 @@ pub fn eval_px(doc: &PxDoc, query: &Query) -> Result<RankedAnswers, EvalError> {
     Ok(RankedAnswers::from_pairs(pairs))
 }
 
-fn collect_answer_events(
-    doc: &PxDoc,
-    query: &Query,
-) -> Result<(Vec<String>, HashMap<String, Event>), EvalError> {
-    // Contexts: (element, event under which it exists). The virtual
-    // document node has no uncertainty; stepping expands choice points.
-    let mut current: Vec<(Option<PxNodeId>, Event)> = vec![(None, Event::True)];
-    for step in &query.steps {
-        let mut next: Vec<(Option<PxNodeId>, Event)> = Vec::new();
-        let mut index: HashMap<PxNodeId, usize> = HashMap::new();
-        for (ctx, ctx_event) in current {
-            for (node, ev) in apply_step(doc, ctx, ctx_event.clone(), step)? {
-                match index.get(&node) {
-                    Some(&i) => {
-                        let old = std::mem::replace(&mut next[i].1, Event::False);
-                        next[i].1 = Event::or(old, ev);
-                    }
-                    None => {
-                        index.insert(node, next.len());
-                        next.push((Some(node), ev));
-                    }
-                }
-            }
-        }
-        current = next;
-    }
-    // Amalgamate: every result node contributes each of its possible
-    // string values under (existence ∧ value) events.
-    let mut order: Vec<String> = Vec::new();
-    let mut events: HashMap<String, Event> = HashMap::new();
-    for (node, ctx_event) in current {
-        let node = node.expect("after ≥1 steps contexts are real nodes");
-        for (value, val_event) in value_events(doc, node)? {
-            let combined = Event::and(ctx_event.clone(), val_event);
-            match events.get_mut(&value) {
-                Some(e) => {
-                    let old = std::mem::replace(e, Event::False);
-                    *e = Event::or(old, combined);
-                }
-                None => {
-                    order.push(value.clone());
-                    events.insert(value, combined);
-                }
-            }
-        }
-    }
-    Ok((order, events))
+/// One query execution over one document: the step-walk machinery plus a
+/// per-execution memo of each node's value events.
+///
+/// The memo is sound because a node's value distribution depends only on
+/// the (immutable) document; it pays off because predicates and the final
+/// amalgamation frequently revisit the same nodes through different
+/// contexts.
+pub(crate) struct Evaluator<'d> {
+    doc: &'d PxDoc,
+    values: HashMap<PxNodeId, Rc<Vec<(String, Event)>>>,
 }
 
-/// Apply one step from a context node (None = virtual document node).
-fn apply_step(
-    doc: &PxDoc,
-    ctx: Option<PxNodeId>,
-    ctx_event: Event,
-    step: &Step,
-) -> Result<Vec<(PxNodeId, Event)>, EvalError> {
-    let mut found: Vec<(PxNodeId, Event)> = Vec::new();
-    match ctx {
-        None => match step.axis {
-            Axis::Child => {
-                collect_top_elems(doc, doc.root(), Event::True, &mut |n, e| {
-                    if test_matches(doc, n, &step.test) {
-                        found.push((n, e));
+impl<'d> Evaluator<'d> {
+    pub(crate) fn new(doc: &'d PxDoc) -> Self {
+        Evaluator {
+            doc,
+            values: HashMap::new(),
+        }
+    }
+
+    /// Walk `steps` from the virtual document node and amalgamate: every
+    /// result node contributes each of its possible string values under
+    /// (existence ∧ value) events. Returns (value, event) pairs in
+    /// document order of first occurrence.
+    pub(crate) fn collect_answer_events(
+        &mut self,
+        steps: &[Step],
+    ) -> Result<Vec<(String, Event)>, EvalError> {
+        let current = self.step_contexts(steps)?;
+        self.amalgamate(current)
+    }
+
+    /// Amalgamate a final context set into (value, event) pairs in
+    /// document order of first occurrence.
+    pub(crate) fn amalgamate(
+        &mut self,
+        contexts: Vec<(Option<PxNodeId>, Event)>,
+    ) -> Result<Vec<(String, Event)>, EvalError> {
+        let mut order: Vec<String> = Vec::new();
+        let mut events: HashMap<String, Event> = HashMap::new();
+        for (node, ctx_event) in contexts {
+            let node = node.expect("after ≥1 steps contexts are real nodes");
+            for (value, val_event) in self.value_events(node)?.iter() {
+                let combined = Event::and(ctx_event.clone(), val_event.clone());
+                match events.get_mut(value) {
+                    Some(e) => {
+                        let old = std::mem::replace(e, Event::False);
+                        *e = Event::or(old, combined);
                     }
-                });
-            }
-            Axis::Descendant => {
-                collect_descendant_elems(doc, doc.root(), Event::True, &mut |n, e| {
-                    if test_matches(doc, n, &step.test) {
-                        found.push((n, e));
+                    None => {
+                        order.push(value.clone());
+                        events.insert(value.clone(), combined);
                     }
-                });
+                }
             }
-        },
-        Some(e) => match step.axis {
-            Axis::Child => {
-                for &c in doc.children(e) {
-                    collect_items(doc, c, Event::True, &mut |n, ev| {
-                        if doc.is_elem(n) && test_matches(doc, n, &step.test) {
-                            found.push((n, ev));
+        }
+        Ok(order
+            .into_iter()
+            .map(|v| {
+                let e = events.remove(&v).expect("collected above");
+                (v, e)
+            })
+            .collect())
+    }
+
+    /// Apply a step chain from the virtual document node, OR-merging the
+    /// events of contexts reached along multiple derivations.
+    fn step_contexts(
+        &mut self,
+        steps: &[Step],
+    ) -> Result<Vec<(Option<PxNodeId>, Event)>, EvalError> {
+        let mut current: Vec<(Option<PxNodeId>, Event)> = vec![(None, Event::True)];
+        for step in steps {
+            let mut merger = ContextMerger::new();
+            for (ctx, ctx_event) in current {
+                for (node, ev) in self.apply_step(ctx, ctx_event.clone(), step)? {
+                    merger.add(node, ev);
+                }
+            }
+            current = merger.into_optional_contexts();
+        }
+        Ok(current)
+    }
+
+    /// Apply one step from a context node (None = virtual document node).
+    fn apply_step(
+        &mut self,
+        ctx: Option<PxNodeId>,
+        ctx_event: Event,
+        step: &Step,
+    ) -> Result<Vec<(PxNodeId, Event)>, EvalError> {
+        let found = self.collect_step_nodes(ctx, step.axis, &step.test);
+        // Combine with the context's own existence event and the predicates.
+        let mut out = Vec::with_capacity(found.len());
+        for (node, local_event) in found {
+            let mut ev = Event::and(ctx_event.clone(), local_event);
+            for pred in &step.predicates {
+                if matches!(ev, Event::False) {
+                    break;
+                }
+                let pe = self.eval_expr_event(node, pred)?;
+                ev = Event::and(ev, pe);
+            }
+            if !matches!(ev, Event::False) {
+                out.push((node, ev));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The axis/test part of one step: nodes selected from a context
+    /// (None = virtual document node) with their local existence events,
+    /// before any context event or predicate is applied.
+    pub(crate) fn collect_step_nodes(
+        &self,
+        ctx: Option<PxNodeId>,
+        axis: Axis,
+        test: &NodeTest,
+    ) -> Vec<(PxNodeId, Event)> {
+        let doc = self.doc;
+        let mut found: Vec<(PxNodeId, Event)> = Vec::new();
+        match ctx {
+            None => match axis {
+                Axis::Child => {
+                    collect_top_elems(doc, doc.root(), Event::True, &mut |n, e| {
+                        if test_matches(doc, n, test) {
+                            found.push((n, e));
                         }
                     });
                 }
-            }
-            Axis::Descendant => {
-                for &c in doc.children(e) {
-                    collect_descendant_elems(doc, c, Event::True, &mut |n, ev| {
-                        if test_matches(doc, n, &step.test) {
-                            found.push((n, ev));
+                Axis::Descendant => {
+                    collect_descendant_elems(doc, doc.root(), Event::True, &mut |n, e| {
+                        if test_matches(doc, n, test) {
+                            found.push((n, e));
                         }
                     });
                 }
-            }
-        },
-    }
-    // Combine with the context's own existence event and the predicates.
-    let mut out = Vec::with_capacity(found.len());
-    for (node, local_event) in found {
-        let mut ev = Event::and(ctx_event.clone(), local_event);
-        for pred in &step.predicates {
-            if matches!(ev, Event::False) {
-                break;
-            }
-            let pe = eval_expr_event(doc, node, pred)?;
-            ev = Event::and(ev, pe);
+            },
+            Some(e) => match axis {
+                Axis::Child => {
+                    for &c in doc.children(e) {
+                        collect_items(doc, c, Event::True, &mut |n, ev| {
+                            if doc.is_elem(n) && test_matches(doc, n, test) {
+                                found.push((n, ev));
+                            }
+                        });
+                    }
+                }
+                Axis::Descendant => {
+                    for &c in doc.children(e) {
+                        collect_descendant_elems(doc, c, Event::True, &mut |n, ev| {
+                            if test_matches(doc, n, test) {
+                                found.push((n, ev));
+                            }
+                        });
+                    }
+                }
+            },
         }
-        if !matches!(ev, Event::False) {
-            out.push((node, ev));
+        found
+    }
+
+    /// Evaluate a predicate to the event "the predicate holds", with
+    /// `ctx` as context node. Events are relative to `ctx`'s own
+    /// existence (they only mention choice points at or below the places
+    /// the expression inspects).
+    pub(crate) fn eval_expr_event(
+        &mut self,
+        ctx: PxNodeId,
+        expr: &Expr,
+    ) -> Result<Event, EvalError> {
+        match expr {
+            Expr::Exists(path) => {
+                let nodes = self.eval_rel_events(ctx, path)?;
+                Ok(Event::any(nodes.into_iter().map(|(_, e)| e)))
+            }
+            Expr::Eq(path, lit) => self.path_value_event(ctx, path, |v| v == lit.as_str()),
+            Expr::Cmp(path, op, lit) => {
+                self.path_value_event(ctx, path, |v| op.holds(v, lit.as_str()))
+            }
+            Expr::Contains(path, lit) => {
+                self.path_value_event(ctx, path, |v| v.contains(lit.as_str()))
+            }
+            Expr::StartsWith(path, lit) => {
+                self.path_value_event(ctx, path, |v| v.starts_with(lit.as_str()))
+            }
+            Expr::Some { path, cond } => {
+                let nodes = self.eval_rel_events(ctx, path)?;
+                let mut out = Event::False;
+                for (n, e) in nodes {
+                    let c = self.eval_expr_event(n, cond)?;
+                    out = Event::or(out, Event::and(e, c));
+                }
+                Ok(out)
+            }
+            Expr::And(a, b) => Ok(Event::and(
+                self.eval_expr_event(ctx, a)?,
+                self.eval_expr_event(ctx, b)?,
+            )),
+            Expr::Or(a, b) => Ok(Event::or(
+                self.eval_expr_event(ctx, a)?,
+                self.eval_expr_event(ctx, b)?,
+            )),
+            Expr::Not(inner) => Ok(Event::not(self.eval_expr_event(ctx, inner)?)),
         }
     }
-    Ok(out)
+
+    /// The event "some node selected by `path` from `ctx` has a value
+    /// satisfying `test`" (the shared body of every value predicate).
+    pub(crate) fn path_value_event(
+        &mut self,
+        ctx: PxNodeId,
+        path: &RelPath,
+        test: impl Fn(&str) -> bool,
+    ) -> Result<Event, EvalError> {
+        let nodes = self.eval_rel_events(ctx, path)?;
+        let mut out = Event::False;
+        for (n, e) in nodes {
+            let val = self.value_match_event(n, &test)?;
+            out = Event::or(out, Event::and(e, val));
+        }
+        Ok(out)
+    }
+
+    /// Evaluate a relative path from `ctx`, returning nodes with the
+    /// events under which the path reaches them.
+    fn eval_rel_events(
+        &mut self,
+        ctx: PxNodeId,
+        path: &RelPath,
+    ) -> Result<Vec<(PxNodeId, Event)>, EvalError> {
+        let mut current: Vec<(PxNodeId, Event)> = vec![(ctx, Event::True)];
+        for step in &path.steps {
+            let mut merger = ContextMerger::new();
+            for (c, ce) in current {
+                for (node, ev) in self.apply_step(Some(c), ce, step)? {
+                    merger.add(node, ev);
+                }
+            }
+            current = merger.into_contexts();
+        }
+        Ok(current)
+    }
+
+    /// The event "the string value of `node` satisfies `test`".
+    fn value_match_event(
+        &mut self,
+        node: PxNodeId,
+        test: impl Fn(&str) -> bool,
+    ) -> Result<Event, EvalError> {
+        let variants = self.value_events(node)?;
+        Ok(Event::any(
+            variants
+                .iter()
+                .filter(|(v, _)| test(v))
+                .map(|(_, e)| e.clone()),
+        ))
+    }
+
+    /// All possible string values of `node` with the events selecting
+    /// them, memoized per execution (see [`value_events`] for the
+    /// grouping semantics).
+    pub(crate) fn value_events(
+        &mut self,
+        node: PxNodeId,
+    ) -> Result<Rc<Vec<(String, Event)>>, EvalError> {
+        if let Some(cached) = self.values.get(&node) {
+            return Ok(Rc::clone(cached));
+        }
+        let computed = Rc::new(value_events(self.doc, node)?);
+        self.values.insert(node, Rc::clone(&computed));
+        Ok(computed)
+    }
+}
+
+/// Per-step context merger: OR-merges the events of nodes reached
+/// through several derivations, preserving first-encounter (document)
+/// order. The single home of the merge logic the one-shot and planned
+/// walks both rely on — they must never diverge.
+pub(crate) struct ContextMerger {
+    next: Vec<(PxNodeId, Event)>,
+    index: HashMap<PxNodeId, usize>,
+}
+
+impl ContextMerger {
+    pub(crate) fn new() -> Self {
+        ContextMerger {
+            next: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Record that `node` was reached under `ev` (disjoined with any
+    /// earlier derivation's event).
+    pub(crate) fn add(&mut self, node: PxNodeId, ev: Event) {
+        match self.index.get(&node) {
+            Some(&i) => {
+                let old = std::mem::replace(&mut self.next[i].1, Event::False);
+                self.next[i].1 = Event::or(old, ev);
+            }
+            None => {
+                self.index.insert(node, self.next.len());
+                self.next.push((node, ev));
+            }
+        }
+    }
+
+    /// The merged contexts, in first-encounter order.
+    pub(crate) fn into_contexts(self) -> Vec<(PxNodeId, Event)> {
+        self.next
+    }
+
+    /// As [`into_contexts`](Self::into_contexts), in the
+    /// `Option`-wrapped shape the absolute-path walk threads through
+    /// (only the pre-first-step virtual document context is `None`).
+    pub(crate) fn into_optional_contexts(self) -> Vec<(Option<PxNodeId>, Event)> {
+        self.next.into_iter().map(|(n, e)| (Some(n), e)).collect()
+    }
 }
 
 fn test_matches(doc: &PxDoc, node: PxNodeId, test: &NodeTest) -> bool {
@@ -278,117 +490,6 @@ fn collect_descendant_elems(
         }
         PxNodeKind::Text(_) => {}
     }
-}
-
-/// Evaluate a predicate to the event "the predicate holds", with `ctx` as
-/// context node. Events are relative to `ctx`'s own existence (they only
-/// mention choice points at or below the places the expression inspects).
-fn eval_expr_event(doc: &PxDoc, ctx: PxNodeId, expr: &Expr) -> Result<Event, EvalError> {
-    match expr {
-        Expr::Exists(path) => {
-            let nodes = eval_rel_events(doc, ctx, path)?;
-            Ok(Event::any(nodes.into_iter().map(|(_, e)| e)))
-        }
-        Expr::Eq(path, lit) => {
-            let nodes = eval_rel_events(doc, ctx, path)?;
-            let mut out = Event::False;
-            for (n, e) in nodes {
-                let val = value_match_event(doc, n, |v| v == lit.as_str())?;
-                out = Event::or(out, Event::and(e, val));
-            }
-            Ok(out)
-        }
-        Expr::Cmp(path, op, lit) => {
-            let nodes = eval_rel_events(doc, ctx, path)?;
-            let mut out = Event::False;
-            for (n, e) in nodes {
-                let val = value_match_event(doc, n, |v| op.holds(v, lit.as_str()))?;
-                out = Event::or(out, Event::and(e, val));
-            }
-            Ok(out)
-        }
-        Expr::Contains(path, lit) => {
-            let nodes = eval_rel_events(doc, ctx, path)?;
-            let mut out = Event::False;
-            for (n, e) in nodes {
-                let val = value_match_event(doc, n, |v| v.contains(lit.as_str()))?;
-                out = Event::or(out, Event::and(e, val));
-            }
-            Ok(out)
-        }
-        Expr::StartsWith(path, lit) => {
-            let nodes = eval_rel_events(doc, ctx, path)?;
-            let mut out = Event::False;
-            for (n, e) in nodes {
-                let val = value_match_event(doc, n, |v| v.starts_with(lit.as_str()))?;
-                out = Event::or(out, Event::and(e, val));
-            }
-            Ok(out)
-        }
-        Expr::Some { path, cond } => {
-            let nodes = eval_rel_events(doc, ctx, path)?;
-            let mut out = Event::False;
-            for (n, e) in nodes {
-                let c = eval_expr_event(doc, n, cond)?;
-                out = Event::or(out, Event::and(e, c));
-            }
-            Ok(out)
-        }
-        Expr::And(a, b) => Ok(Event::and(
-            eval_expr_event(doc, ctx, a)?,
-            eval_expr_event(doc, ctx, b)?,
-        )),
-        Expr::Or(a, b) => Ok(Event::or(
-            eval_expr_event(doc, ctx, a)?,
-            eval_expr_event(doc, ctx, b)?,
-        )),
-        Expr::Not(inner) => Ok(Event::not(eval_expr_event(doc, ctx, inner)?)),
-    }
-}
-
-/// Evaluate a relative path from `ctx`, returning nodes with the events
-/// under which the path reaches them.
-fn eval_rel_events(
-    doc: &PxDoc,
-    ctx: PxNodeId,
-    path: &RelPath,
-) -> Result<Vec<(PxNodeId, Event)>, EvalError> {
-    let mut current: Vec<(PxNodeId, Event)> = vec![(ctx, Event::True)];
-    for step in &path.steps {
-        let mut next: Vec<(PxNodeId, Event)> = Vec::new();
-        let mut index: HashMap<PxNodeId, usize> = HashMap::new();
-        for (c, ce) in current {
-            for (node, ev) in apply_step(doc, Some(c), ce, step)? {
-                match index.get(&node) {
-                    Some(&i) => {
-                        let old = std::mem::replace(&mut next[i].1, Event::False);
-                        next[i].1 = Event::or(old, ev);
-                    }
-                    None => {
-                        index.insert(node, next.len());
-                        next.push((node, ev));
-                    }
-                }
-            }
-        }
-        current = next;
-    }
-    Ok(current)
-}
-
-/// The event "the string value of `node` satisfies `test`".
-fn value_match_event(
-    doc: &PxDoc,
-    node: PxNodeId,
-    test: impl Fn(&str) -> bool,
-) -> Result<Event, EvalError> {
-    let variants = value_events(doc, node)?;
-    Ok(Event::any(
-        variants
-            .into_iter()
-            .filter(|(v, _)| test(v))
-            .map(|(_, e)| e),
-    ))
 }
 
 /// All possible string values of `node` with the events selecting them.
@@ -666,5 +767,20 @@ mod tests {
         let q = parse_query("//movie/title").unwrap();
         let answers = eval_px(&px, &q).unwrap();
         assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn evaluator_memoizes_value_events() {
+        let mut px = PxDoc::new();
+        let w = px.add_poss(px.root(), 1.0);
+        let cat = px.add_elem(w, "catalog");
+        let m = px.add_elem(cat, "movie");
+        let t = px.add_text_elem(m, "title", "Jaws");
+        let mut eval = Evaluator::new(&px);
+        let first = eval.value_events(t).unwrap();
+        let second = eval.value_events(t).unwrap();
+        assert!(Rc::ptr_eq(&first, &second), "second lookup hits the memo");
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].0, "Jaws");
     }
 }

@@ -4,7 +4,7 @@
 //! the §VI query semantics.
 
 use imprecise_pxml::{PxDoc, PxNodeId};
-use imprecise_query::{eval_px, eval_px_naive, parse_query};
+use imprecise_query::{eval_px, eval_px_naive, parse_query, QueryPlan};
 use proptest::prelude::*;
 
 const TITLES: [&str; 4] = ["Jaws", "Jaws 2", "Die Hard", "MI2"];
@@ -149,6 +149,64 @@ proptest! {
             prop_assert!(
                 (p - item.probability).abs() < 1e-9,
                 "value {}: naive {} vs exact {}", item.value, item.probability, p
+            );
+        }
+    }
+
+    /// The planned, streaming pipeline is byte-identical to the one-shot
+    /// evaluator at threshold 0: same values, same probabilities (bitwise),
+    /// same ranking. The plan layer must never change a result.
+    #[test]
+    fn plan_collect_is_byte_identical_to_eval_px(
+        spec in doc_strategy(),
+        query_idx in 0usize..QUERIES.len(),
+    ) {
+        let px = build_doc(&spec);
+        let query = parse_query(QUERIES[query_idx]).unwrap();
+        let classic = eval_px(&px, &query).unwrap();
+        let planned = QueryPlan::compile(&query).collect(&px).unwrap();
+        prop_assert_eq!(planned.len(), classic.len());
+        for (p, c) in planned.items.iter().zip(&classic.items) {
+            prop_assert_eq!(&p.value, &c.value);
+            prop_assert_eq!(p.probability.to_bits(), c.probability.to_bits(),
+                "value {}: planned {} vs classic {}", p.value, p.probability, c.probability);
+        }
+    }
+
+    /// Threshold pushdown streams exactly the naive evaluator's answers
+    /// filtered at the threshold — pruning never drops an answer whose
+    /// true probability meets it, and never distorts a probability.
+    /// (Thresholds sit away from the probabilities the generated docs can
+    /// produce, so the comparison has no floating-point boundary cases.)
+    #[test]
+    fn stream_with_threshold_equals_filtered_naive(
+        spec in doc_strategy(),
+        query_idx in 0usize..QUERIES.len(),
+        threshold_idx in 0usize..4,
+    ) {
+        let threshold = [0.15037171, 0.33017171, 0.55071717, 0.90031717][threshold_idx];
+        let px = build_doc(&spec);
+        let query = parse_query(QUERIES[query_idx]).unwrap();
+        let naive = eval_px_naive(&px, &query, 100_000).unwrap();
+        let streamed: Vec<_> = QueryPlan::compile(&query)
+            .with_min_probability(threshold)
+            .execute(&px)
+            .unwrap()
+            .collect();
+        let expected: Vec<_> = naive
+            .items
+            .iter()
+            .filter(|a| a.probability >= threshold)
+            .collect();
+        prop_assert_eq!(streamed.len(), expected.len(),
+            "threshold {}: stream {:?} vs naive-filtered {:?}",
+            threshold, streamed, expected);
+        for answer in &streamed {
+            let p = naive.probability_of(answer.value.as_str());
+            prop_assert!(p >= threshold - 1e-9);
+            prop_assert!(
+                (p - answer.probability).abs() < 1e-9,
+                "value {}: stream {} vs naive {}", answer.value, answer.probability, p
             );
         }
     }

@@ -8,7 +8,7 @@ use imprecise::datagen::scenarios;
 use imprecise::integrate::{integrate_xml, IntegrationOptions};
 use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig};
 use imprecise::quality::evaluate;
-use imprecise::query::{eval_px, parse_query};
+use imprecise::query::{eval_px, parse_query, QueryPlan};
 
 fn main() {
     let scenario = scenarios::query_db();
@@ -56,6 +56,25 @@ fn main() {
             quality.precision, quality.recall, quality.f_measure
         );
     }
+    // The planned, streaming pipeline: compile once, push the
+    // good-is-good-enough threshold down into execution, and consume
+    // answers lazily (each probability is computed on demand; candidates
+    // whose probability *bound* stays below the threshold never reach
+    // probability computation at all).
+    let plan = QueryPlan::parse("//movie[.//genre=\"Horror\"]/title")
+        .expect("query parses")
+        .with_min_probability(0.5);
+    println!("{plan}\n");
+    let mut stream = plan.execute(&db.doc).expect("plan executes");
+    println!("streamed answers at threshold 0.5:");
+    for answer in stream.by_ref() {
+        println!("  {:>5.1}% {}", answer.probability * 100.0, answer.value);
+    }
+    println!(
+        "  ({} candidate(s) pruned by probability bounds alone)\n",
+        stream.pruned_by_bound()
+    );
+
     println!(
         "\"Even though the integrated document contains thousands of possible\n\
          worlds, the ranked answer contains only\" the plausible candidates (§VI)."

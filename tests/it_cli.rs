@@ -91,6 +91,58 @@ fn integrate_then_query_reproduces_fig2() {
 }
 
 #[test]
+fn query_threshold_fast_path_filters_answers() {
+    let w = Workdir::new("threshold");
+    let merged = integrate_fig2(&w);
+    // Both tels sit at 75%: a 0.5 threshold keeps them…
+    let out = imprecise(&[
+        "query",
+        merged.to_str().unwrap(),
+        "//person/tel",
+        "--threshold",
+        "0.5",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("75.0% 1111"), "{text}");
+    assert!(text.contains("75.0% 2222"), "{text}");
+    // …and a 0.9 threshold prunes both before probability computation.
+    let out = imprecise(&[
+        "query",
+        merged.to_str().unwrap(),
+        "//person/tel",
+        "--threshold",
+        "0.9",
+    ]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out), "", "no answer reaches 90%");
+}
+
+#[test]
+fn explain_prints_the_compiled_plan() {
+    let out = imprecise(&["explain", "//person[nm=\"John\"]/tel"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(
+        text.contains("plan for //person[./nm=\"John\"]/tel"),
+        "{text}"
+    );
+    assert!(text.contains("SubtreeScan(person)"), "{text}");
+    assert!(text.contains("ValueScan"), "{text}");
+    assert!(text.contains("ChildScan(tel)"), "{text}");
+    assert!(text.contains("Amalgamate"), "{text}");
+
+    let out = imprecise(&["explain", "//person/tel", "--threshold", "0.5"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("threshold: 0.5"), "{}", stdout(&out));
+
+    // A malformed query reports a parse error and exits non-zero.
+    let out = imprecise(&["explain", "person["]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("error"), "{}", stderr(&out));
+}
+
+#[test]
 fn stats_and_worlds_describe_the_database() {
     let w = Workdir::new("stats");
     let merged = integrate_fig2(&w);
