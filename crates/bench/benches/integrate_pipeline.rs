@@ -1,0 +1,174 @@
+//! Criterion bench for the staged, budgeted integration pipeline.
+//!
+//! Three axes on confusable movie workloads (see
+//! `scenarios::confusable` / `confusable_grid`: catalogs of same-year,
+//! similar-title re-editions nothing but a budget can tame):
+//!
+//! * **exhaustive vs budgeted** — `confusable5` (one 5×5 component,
+//!   1 546 matchings) is enumerable both ways; a budget of 64 keeps the
+//!   heaviest matchings at a fraction of the enumeration *and* output
+//!   cost. `confusable8` (1 441 729 matchings) is the former scaling
+//!   cliff: strict mode dies with `TooManyMatchings` at the default
+//!   cap — benched under budgets and a `min_retained_mass` stop only.
+//! * **serial vs parallel** — `grid4x5` (four independent 5×5
+//!   components, factored apart by the year rule) enumerated
+//!   exhaustively and under budget with `parallelism` 1 vs all cores
+//!   (`std::thread::scope` fan-out; on a single-core container the two
+//!   coincide, which the recorded baseline notes).
+//! * **the N-source fold** — `many_sources(4, 1)` through
+//!   `Engine::integrate_many`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imprecise::datagen::scenarios;
+use imprecise::integrate::IntegrationOptions;
+use imprecise::xml::to_string;
+use imprecise::Engine;
+use imprecise_bench::{confusion_oracle, integrate_scenario};
+use std::hint::black_box;
+
+fn options(
+    budget: usize,
+    min_mass: Option<f64>,
+    strict: bool,
+    parallelism: usize,
+) -> IntegrationOptions {
+    IntegrationOptions {
+        max_matchings_per_component: budget,
+        min_retained_mass: min_mass,
+        strict_matchings: strict,
+        parallelism,
+        ..IntegrationOptions::default()
+    }
+}
+
+fn bench_integrate_pipeline(c: &mut Criterion) {
+    let oracle = confusion_oracle();
+    let mut group = c.benchmark_group("integrate_pipeline");
+    group.sample_size(10);
+
+    // One 5×5 all-undecided component: exhaustive is feasible (1546
+    // matchings), so the budget's speedup is directly measurable.
+    let c5 = scenarios::confusable(5);
+    group.bench_function("confusable5/exhaustive-strict", |b| {
+        b.iter(|| {
+            black_box(integrate_scenario(
+                black_box(&c5),
+                &oracle,
+                &options(usize::MAX, None, true, 1),
+            ))
+        })
+    });
+    group.bench_function("confusable5/budget-64", |b| {
+        b.iter(|| {
+            black_box(integrate_scenario(
+                black_box(&c5),
+                &oracle,
+                &options(64, None, false, 1),
+            ))
+        })
+    });
+
+    // One 8×8 component (1 441 729 matchings): strict mode fails at the
+    // default cap — only budgeted runs are possible at all.
+    let c8 = scenarios::confusable(8);
+    group.bench_function("confusable8/budget-64", |b| {
+        b.iter(|| {
+            black_box(integrate_scenario(
+                black_box(&c8),
+                &oracle,
+                &options(64, None, false, 1),
+            ))
+        })
+    });
+    group.bench_function("confusable8/budget-512", |b| {
+        b.iter(|| {
+            black_box(integrate_scenario(
+                black_box(&c8),
+                &oracle,
+                &options(512, None, false, 1),
+            ))
+        })
+    });
+    group.bench_function("confusable8/min-mass-0.5", |b| {
+        b.iter(|| {
+            black_box(integrate_scenario(
+                black_box(&c8),
+                &oracle,
+                &options(usize::MAX, Some(0.5), false, 1),
+            ))
+        })
+    });
+
+    // Four independent 5×5 components: the parallel fan-out workload.
+    let grid = scenarios::confusable_grid(4, 5);
+    group.bench_function("grid4x5/exhaustive-serial", |b| {
+        b.iter(|| {
+            black_box(integrate_scenario(
+                black_box(&grid),
+                &oracle,
+                &options(usize::MAX, None, false, 1),
+            ))
+        })
+    });
+    group.bench_function("grid4x5/exhaustive-parallel", |b| {
+        b.iter(|| {
+            black_box(integrate_scenario(
+                black_box(&grid),
+                &oracle,
+                &options(usize::MAX, None, false, 0),
+            ))
+        })
+    });
+    group.bench_function("grid4x5/budget-128-serial", |b| {
+        b.iter(|| {
+            black_box(integrate_scenario(
+                black_box(&grid),
+                &oracle,
+                &options(128, None, false, 1),
+            ))
+        })
+    });
+    group.bench_function("grid4x5/budget-128-parallel", |b| {
+        b.iter(|| {
+            black_box(integrate_scenario(
+                black_box(&grid),
+                &oracle,
+                &options(128, None, false, 0),
+            ))
+        })
+    });
+
+    // The engine-level N-source fold on the overlapping-sources
+    // scenario (satellite of the same PR).
+    let ms = scenarios::many_sources(4, 1);
+    let engine = Engine::builder()
+        .oracle(imprecise::oracle::presets::movie_oracle(
+            imprecise::oracle::presets::MovieOracleConfig::default(),
+        ))
+        .schema(ms.schema.clone())
+        .build();
+    let handles: Vec<_> = ms
+        .sources
+        .iter()
+        .enumerate()
+        .map(|(i, doc)| {
+            engine
+                .load_xml(&format!("src-{i}"), &to_string(doc))
+                .expect("source loads")
+        })
+        .collect();
+    group.bench_function("many-sources-n4/integrate_many", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .integrate_many(black_box(&handles), "bench-db")
+                    .expect("fold completes"),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_integrate_pipeline);
+criterion_main!(benches);

@@ -196,6 +196,37 @@ pub fn addressbook_query_db() -> imprecise::pxml::PxDoc {
     .doc
 }
 
+/// The oracle of the budgeted-pipeline benches: year rule on (it is
+/// what factors the confusable grid into independent components), title
+/// rule off so similar titles are never force-separated, similarity
+/// prior graded — every cross pair inside a component stays undecided
+/// with a probability graded by title similarity. This is the
+/// "weak-knowledge" regime where matching possibilities explode and
+/// budgets earn their keep.
+pub fn confusion_oracle() -> Oracle {
+    movie_oracle(MovieOracleConfig {
+        title_rule: false,
+        ..MovieOracleConfig::default()
+    })
+}
+
+/// Integrate a two-source scenario under explicit pipeline options
+/// (used by the `integrate_pipeline` bench and its tests).
+pub fn integrate_scenario(
+    scenario: &MovieScenario,
+    oracle: &Oracle,
+    options: &IntegrationOptions,
+) -> Integration {
+    integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        oracle,
+        Some(&scenario.schema),
+        options,
+    )
+    .unwrap_or_else(|e| panic!("integration failed for {:?}: {e}", scenario.info.name))
+}
+
 /// Build the integrated §VI query database directly (no engine), for
 /// callers that want the raw [`Integration`] statistics.
 pub fn build_query_db() -> Integration {
@@ -327,6 +358,58 @@ pub fn format_table1(rows: &[IntegrationMeasurement]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn confusable_is_one_full_component_under_the_confusion_oracle() {
+        // The budgeted-pipeline bench relies on this shape: all n² cross
+        // pairs undecided, one component, graded probabilities.
+        let scenario = scenarios::confusable(5);
+        let result = integrate_scenario(
+            &scenario,
+            &confusion_oracle(),
+            &IntegrationOptions::default(),
+        );
+        // All 25 movie cross pairs stay undecided (further undecided
+        // pairs arise below movie level, e.g. director credits).
+        assert_eq!(result.stats.undecided_by_tag.get("movie"), Some(&25));
+        // 5×5 complete bipartite graph: 1546 matchings in one component.
+        assert_eq!(result.stats.max_component_matchings, 1546);
+        assert!(result.stats.is_exact(), "default budget is ample at n=5");
+    }
+
+    #[test]
+    fn confusable_8_dies_strictly_but_completes_under_budget() {
+        // The acceptance scenario of the budgeted pipeline: 1 441 729
+        // matchings exceed the default cap in strict mode…
+        let scenario = scenarios::confusable(8);
+        let strict = integrate_xml(
+            &scenario.mpeg7,
+            &scenario.imdb,
+            &confusion_oracle(),
+            Some(&scenario.schema),
+            &IntegrationOptions {
+                strict_matchings: true,
+                ..IntegrationOptions::default()
+            },
+        );
+        assert!(matches!(
+            strict,
+            Err(imprecise::integrate::IntegrateError::TooManyMatchings { .. })
+        ));
+        // …while the budgeted pipeline completes and accounts the tail.
+        let budgeted = integrate_scenario(
+            &scenario,
+            &confusion_oracle(),
+            &IntegrationOptions {
+                max_matchings_per_component: 64,
+                ..IntegrationOptions::default()
+            },
+        );
+        let t = &budgeted.stats.truncated_components[0];
+        assert_eq!(t.live_pairs, 64);
+        assert_eq!(t.kept, 64);
+        assert!(t.discarded_mass > 0.0 && t.discarded_mass < 1.0);
+    }
 
     #[test]
     fn fig5_small_sweep_is_monotone() {

@@ -3,7 +3,9 @@
 //!
 //! ```text
 //! imprecise integrate --out merged.xml [--rules FILE|movie|addressbook]
-//!                     [--dtd FILE] [--weights A,B] a.xml b.xml
+//!                     [--dtd FILE] [--weights A,B] [--budget K]
+//!                     [--min-mass P] [--strict] [--threads N]
+//!                     a.xml b.xml [c.xml ...]
 //! imprecise query db.xml QUERY [--threshold P] [--min-probability P]
 //! imprecise explain QUERY [--threshold P]
 //! imprecise stats db.xml
@@ -29,12 +31,20 @@ use std::process::ExitCode;
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
     Integrate {
-        a: String,
-        b: String,
+        /// Two or more source files, integrated by left-fold.
+        sources: Vec<String>,
         out: String,
         rules: Option<String>,
         dtd: Option<String>,
         weights: (f64, f64),
+        /// Matching budget per candidate-graph component.
+        budget: Option<usize>,
+        /// Early stop once this fraction of each component's mass is kept.
+        min_mass: Option<f64>,
+        /// Fail (classic behaviour) instead of truncating over budget.
+        strict: bool,
+        /// Worker threads for matching enumeration (0 = all cores).
+        threads: Option<usize>,
     },
     Query {
         db: String,
@@ -84,7 +94,9 @@ imprecise — probabilistic XML data integration (IMPrECISE reproduction)
 
 USAGE:
   imprecise integrate --out FILE [--rules FILE|movie|addressbook]
-                      [--dtd FILE] [--weights A,B] A.xml B.xml
+                      [--dtd FILE] [--weights A,B]
+                      [--budget K] [--min-mass P] [--strict] [--threads N]
+                      A.xml B.xml [C.xml ...]
   imprecise query DB.xml QUERY [--threshold P] [--min-probability P]
   imprecise explain QUERY [--threshold P]
   imprecise stats DB.xml
@@ -106,10 +118,14 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let value = match name {
                 // flags with a value
                 "out" | "rules" | "dtd" | "weights" | "min-probability" | "threshold" | "limit"
-                | "epsilon" | "query" | "value" | "verdict" => Some(
-                    it.next()
-                        .ok_or_else(|| UsageError(format!("--{name} needs a value")))?,
-                ),
+                | "epsilon" | "query" | "value" | "verdict" | "budget" | "min-mass" | "threads" => {
+                    Some(
+                        it.next()
+                            .ok_or_else(|| UsageError(format!("--{name} needs a value")))?,
+                    )
+                }
+                // boolean flags
+                "strict" => None,
                 other => return Err(UsageError(format!("unknown flag --{other}"))),
             };
             flags.push((name, value));
@@ -120,6 +136,7 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
     let flag = |name: &str| -> Option<&str> {
         flags.iter().find(|(n, _)| *n == name).and_then(|(_, v)| *v)
     };
+    let has_flag = |name: &str| -> bool { flags.iter().any(|(n, _)| *n == name) };
     let required = |name: &str| -> Result<String, UsageError> {
         flag(name)
             .map(str::to_string)
@@ -153,13 +170,32 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                     (pa, pb)
                 }
             };
+            let sources: Vec<String> = positional.iter().map(|s| s.to_string()).collect();
+            if sources.len() < 2 {
+                return Err(UsageError(
+                    "integrate needs at least two source files".into(),
+                ));
+            }
+            let min_mass = parse_opt_f64_flag(flag("min-mass"), "min-mass")?;
+            if let Some(m) = min_mass {
+                if !(m > 0.0 && m <= 1.0) {
+                    return Err(UsageError(format!("--min-mass must be in (0, 1], got {m}")));
+                }
+            }
+            let budget = parse_opt_usize_flag(flag("budget"), "budget")?;
+            if budget == Some(0) {
+                return Err(UsageError("--budget must be at least 1".into()));
+            }
             Ok(Command::Integrate {
-                a: pos(0, "source A")?,
-                b: pos(1, "source B")?,
+                sources,
                 out: required("out")?,
                 rules: flag("rules").map(str::to_string),
                 dtd: flag("dtd").map(str::to_string),
                 weights,
+                budget,
+                min_mass,
+                strict: has_flag("strict"),
+                threads: parse_opt_usize_flag(flag("threads"), "threads")?,
             })
         }
         "query" => Ok(Command::Query {
@@ -240,6 +276,14 @@ fn parse_usize_flag(v: Option<&str>, default: usize, name: &str) -> Result<usize
     }
 }
 
+fn parse_opt_usize_flag(v: Option<&str>, name: &str) -> Result<Option<usize>, UsageError> {
+    v.map(|s| {
+        s.parse()
+            .map_err(|_| UsageError(format!("--{name} is not an integer: {s:?}")))
+    })
+    .transpose()
+}
+
 /// Resolve a `--rules` argument: a named preset or a file path.
 fn rules_text(arg: &str) -> Result<String, String> {
     match arg {
@@ -262,12 +306,15 @@ fn load(engine: &Engine, name: &str, path: &str) -> Result<DocHandle, String> {
 fn run(cmd: Command) -> Result<(), String> {
     match cmd {
         Command::Integrate {
-            a,
-            b,
+            sources,
             out,
             rules,
             dtd,
             weights,
+            budget,
+            min_mass,
+            strict,
+            threads,
         } => {
             let mut builder = EngineBuilder::new();
             if let Some(r) = rules {
@@ -279,31 +326,66 @@ fn run(cmd: Command) -> Result<(), String> {
                     std::fs::read_to_string(&d).map_err(|e| format!("cannot read {d}: {e}"))?;
                 builder = builder.schema_text(&text).map_err(|e| e.to_string())?;
             }
+            let defaults = imprecise::integrate::IntegrationOptions::default();
             let engine = builder
                 .options(imprecise::integrate::IntegrationOptions {
                     source_weights: weights,
-                    ..imprecise::integrate::IntegrationOptions::default()
+                    max_matchings_per_component: budget
+                        .unwrap_or(defaults.max_matchings_per_component),
+                    min_retained_mass: min_mass,
+                    strict_matchings: strict,
+                    parallelism: threads.unwrap_or(defaults.parallelism),
+                    ..defaults
                 })
                 .build();
-            let ha = load(&engine, "a", &a)?;
-            let hb = load(&engine, "b", &b)?;
-            let (result, stats) = engine
-                .integrate(&ha, &hb, "result")
+            let handles = sources
+                .iter()
+                .enumerate()
+                .map(|(i, path)| load(&engine, &format!("source-{i}"), path))
+                .collect::<Result<Vec<_>, _>>()?;
+            let (result, steps) = engine
+                .integrate_many(&handles, "result")
                 .map_err(|e| e.to_string())?;
             let snapshot = engine.snapshot(&result).map_err(|e| e.to_string())?;
             std::fs::write(&out, snapshot.export())
                 .map_err(|e| format!("cannot write {out}: {e}"))?;
             let doc_stats = snapshot.stats();
+            // Aggregate the per-step statistics of the fold.
+            let sum = |f: fn(&imprecise::integrate::IntegrationStats) -> usize| -> usize {
+                steps.iter().map(f).sum()
+            };
+            let truncated = sum(|s| s.components_truncated());
+            let max_discarded = steps
+                .iter()
+                .map(|s| s.max_discarded_mass)
+                .fold(0.0f64, f64::max);
             eprintln!(
                 "integrated: {} pairs judged ({} match / {} non-match / {} undecided), \
                  {} possible worlds, {} nodes -> {out}",
-                stats.pairs_judged,
-                stats.judged_match,
-                stats.judged_nonmatch,
-                stats.judged_possible,
+                sum(|s| s.pairs_judged),
+                sum(|s| s.judged_match),
+                sum(|s| s.judged_nonmatch),
+                sum(|s| s.judged_possible),
                 doc_stats.worlds,
                 doc_stats.breakdown.total(),
             );
+            if truncated > 0 {
+                eprintln!(
+                    "budget: {} component(s) truncated, max discarded mass {:.4}; \
+                     matchings kept per component <= {}",
+                    truncated,
+                    max_discarded,
+                    engine.options().max_matchings_per_component,
+                );
+                for step in &steps {
+                    for t in &step.truncated_components {
+                        eprintln!(
+                            "  {} — {} live pairs, kept {} matchings, discarded mass {:.4}",
+                            t.path, t.live_pairs, t.kept, t.discarded_mass
+                        );
+                    }
+                }
+            }
             Ok(())
         }
         Command::Query {
@@ -473,14 +555,60 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Integrate {
-                a: "a.xml".into(),
-                b: "b.xml".into(),
+                sources: vec!["a.xml".into(), "b.xml".into()],
                 out: "m.xml".into(),
                 rules: Some("movie".into()),
                 dtd: None,
                 weights: (0.8, 0.2),
+                budget: None,
+                min_mass: None,
+                strict: false,
+                threads: None,
             }
         );
+    }
+
+    #[test]
+    fn integrate_budget_flags_parse() {
+        let cmd = parse(&[
+            "integrate",
+            "--out",
+            "m.xml",
+            "--budget",
+            "64",
+            "--min-mass",
+            "0.95",
+            "--strict",
+            "--threads",
+            "0",
+            "a.xml",
+            "b.xml",
+            "c.xml",
+            "d.xml",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Integrate {
+                sources,
+                budget,
+                min_mass,
+                strict,
+                threads,
+                ..
+            } => {
+                assert_eq!(sources.len(), 4);
+                assert_eq!(budget, Some(64));
+                assert_eq!(min_mass, Some(0.95));
+                assert!(strict);
+                assert_eq!(threads, Some(0));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["integrate", "--out", "m.xml", "--budget", "lots", "a", "b"]).is_err());
+        assert!(parse(&["integrate", "--out", "m.xml", "only-one.xml"])
+            .unwrap_err()
+            .0
+            .contains("at least two"));
     }
 
     #[test]

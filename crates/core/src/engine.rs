@@ -55,7 +55,9 @@
 
 use crate::error::ImpreciseError;
 use imprecise_feedback::{apply_feedback, FeedbackReport};
-use imprecise_integrate::{integrate_px, IntegrationOptions, IntegrationStats};
+use imprecise_integrate::{
+    integrate_many_px, integrate_px, IntegrateError, IntegrationOptions, IntegrationStats,
+};
 use imprecise_oracle::Oracle;
 use imprecise_pxml::{parse_annotated, to_annotated_xml, NodeBreakdown, PxDoc};
 use imprecise_query::{parse_query, AnswerStream, Query, QueryPlan, RankedAnswers};
@@ -685,6 +687,73 @@ impl Engine {
         Ok((handle, result.stats))
     }
 
+    /// Integrate any number of source documents by left-fold
+    /// (`((s₀ ⊕ s₁) ⊕ s₂) ⊕ …`) and publish the result under `out`,
+    /// returning its handle plus the statistics of every pairwise step.
+    /// This is the batch form of the paper's incremental integration
+    /// loop; budgets ([`IntegrationOptions`]) apply per step, so an
+    /// N-source fold degrades gracefully instead of exploding.
+    ///
+    /// Runs on one consistent set of snapshots taken together; like
+    /// [`integrate`](Self::integrate), republishing one of the *inputs*
+    /// gets lost-update protection (the fold is recomputed if that
+    /// input moved mid-integration).
+    pub fn integrate_many(
+        &self,
+        sources: &[DocHandle],
+        out: &str,
+    ) -> Result<(DocHandle, Vec<IntegrationStats>), ImpreciseError> {
+        if sources.is_empty() {
+            return Err(ImpreciseError::Integrate(IntegrateError::NoSources));
+        }
+        let shared = &self.shared;
+        for _ in 0..OPTIMISTIC_ROUNDS {
+            let snapshots: Vec<DocSnapshot> = sources
+                .iter()
+                .map(|h| self.snapshot(h))
+                .collect::<Result<_, _>>()?;
+            let docs: Vec<&PxDoc> = snapshots.iter().map(|s| s.doc()).collect();
+            let result = integrate_many_px(
+                &docs,
+                &shared.oracle,
+                shared.schema.as_ref(),
+                &shared.options,
+            )?;
+            let mut catalog = shared.catalog.write().expect("catalog lock");
+            let stale = catalog.by_name.get(out).is_some_and(|&out_id| {
+                sources
+                    .iter()
+                    .zip(&snapshots)
+                    .any(|(h, s)| out_id == h.id && catalog.slots[&h.id].version != s.version())
+            });
+            if !stale {
+                let handle = catalog.publish(out, Arc::new(result.doc));
+                return Ok((handle, result.steps));
+            }
+            // An input we are republishing moved; retry on its new version.
+        }
+        // Contended slot: compute under the write lock so nothing can race.
+        let mut catalog = shared.catalog.write().expect("catalog lock");
+        let docs: Vec<Arc<PxDoc>> = sources
+            .iter()
+            .map(|h| {
+                catalog
+                    .slot_of(h)
+                    .map(|s| Arc::clone(&s.doc))
+                    .ok_or_else(|| ImpreciseError::NoSuchDocument(h.name.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        let refs: Vec<&PxDoc> = docs.iter().map(Arc::as_ref).collect();
+        let result = integrate_many_px(
+            &refs,
+            &shared.oracle,
+            shared.schema.as_ref(),
+            &shared.options,
+        )?;
+        let handle = catalog.publish(out, Arc::new(result.doc));
+        Ok((handle, result.steps))
+    }
+
     /// The configured integration of two pinned documents.
     fn integrate_docs(
         &self,
@@ -904,6 +973,50 @@ mod tests {
         let (merged2, _) = engine.integrate(&merged, &a, "merged").unwrap();
         assert_eq!(merged, merged2);
         assert!(engine.snapshot(&merged).unwrap().version() > v1);
+    }
+
+    #[test]
+    fn integrate_many_folds_n_sources() {
+        let (engine, a, b) = john_engine();
+        let c = engine
+            .load_xml(
+                "c",
+                "<addressbook><person><nm>Mary</nm><tel>3333</tel></person></addressbook>",
+            )
+            .unwrap();
+        let d = engine
+            .load_xml(
+                "d",
+                "<addressbook><person><nm>Mary</nm><tel>3333</tel></person></addressbook>",
+            )
+            .unwrap();
+        let (merged, steps) = engine
+            .integrate_many(&[a.clone(), b, c, d], "merged")
+            .unwrap();
+        assert_eq!(steps.len(), 3);
+        // Step 1 is the John/John fold; Mary arrives certain afterwards.
+        assert_eq!(steps[0].judged_possible, 1);
+        let names = engine.prepare("//person/nm").unwrap();
+        let answers = names.run(&engine.snapshot(&merged).unwrap()).unwrap();
+        assert!((answers.probability_of("Mary") - 1.0).abs() < 1e-9);
+        assert!((answers.probability_of("John") - 1.0).abs() < 1e-9);
+        // A single source publishes unchanged with no steps.
+        let (solo, steps) = engine.integrate_many(&[a], "solo").unwrap();
+        assert!(steps.is_empty());
+        assert_eq!(engine.stats(&solo).unwrap().worlds, 1.0);
+    }
+
+    #[test]
+    fn integrate_many_rejects_empty_and_foreign() {
+        let (engine, a, _) = john_engine();
+        assert!(matches!(
+            engine.integrate_many(&[], "out"),
+            Err(ImpreciseError::Integrate(
+                imprecise_integrate::IntegrateError::NoSources
+            ))
+        ));
+        let other = Engine::new();
+        assert!(other.integrate_many(&[a], "out").is_err());
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! The crate-wide error type.
 //!
-//! Every fallible [`Engine`](crate::Engine) and [`Session`](crate::Session)
-//! operation returns [`ImpreciseError`]; the underlying layer errors are
-//! preserved and reachable through [`std::error::Error::source`], so
-//! callers can both print a self-contained message and walk the cause
-//! chain programmatically.
+//! Every fallible [`Engine`](crate::Engine) operation returns
+//! [`ImpreciseError`]; the underlying layer errors are preserved and
+//! reachable through [`std::error::Error::source`], so callers can both
+//! print a self-contained message and walk the cause chain
+//! programmatically.
 
 use imprecise_feedback::FeedbackError;
 use imprecise_integrate::IntegrateError;
@@ -39,11 +39,11 @@ pub enum ImpreciseError {
 }
 
 // Display deliberately embeds the wrapped error's message even though
-// `source()` also exposes it: the CLI and the deprecated `Session` shim
-// print only `to_string()`, and the pre-`Engine` `SessionError` messages
-// were self-contained, so keeping them so preserves user-facing output.
-// Cause-chain walkers will see the message twice; that duplication is
-// the accepted cost of not breaking every existing error string.
+// `source()` also exposes it: the CLI prints only `to_string()`, and
+// the historical `SessionError` messages were self-contained, so
+// keeping them so preserves user-facing output. Cause-chain walkers
+// will see the message twice; that duplication is the accepted cost of
+// not breaking every existing error string.
 impl fmt::Display for ImpreciseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -27,10 +27,10 @@
 //! session-wide configuration, typed [`DocHandle`]s instead of bare
 //! string names, `Arc`-shared versioned [`DocSnapshot`]s so any number
 //! of readers can query while writers publish new versions, and
-//! [`PreparedQuery`] handles that parse once and run many times. (The
-//! old single-threaded [`Session`] façade remains for one release as a
-//! deprecated shim; see [`session`](session#migration-table) for the
-//! migration table.)
+//! [`PreparedQuery`] handles that parse once and run many times.
+//! (The deprecated single-threaded `Session` façade was removed after
+//! its one release of grace; the README's migration table maps every
+//! `Session` call onto its `Engine` equivalent.)
 //!
 //! ## Quickstart
 //!
@@ -75,9 +75,6 @@ pub use imprecise_xmlkit as xml;
 
 pub mod engine;
 pub mod error;
-pub mod session;
 
 pub use engine::{DocHandle, DocSnapshot, DocStats, Engine, EngineBuilder, PreparedQuery};
 pub use error::ImpreciseError;
-#[allow(deprecated)]
-pub use session::{Session, SessionError};

@@ -344,6 +344,169 @@ pub fn query_db() -> MovieScenario {
     build("query-db", &mpeg7, &imdb, 3)
 }
 
+/// An N-source workload plus its schema and ground truth, for the
+/// `Engine::integrate_many` fold and the budgeted-pipeline benches.
+#[derive(Debug, Clone)]
+pub struct ManySourceScenario {
+    /// The source documents, in fold order (all MPEG-7 style, so
+    /// identical real-world entries are recognisably equal — the
+    /// certain backbone of the fold).
+    pub sources: Vec<XmlDoc>,
+    /// The movie DTD all sources conform to.
+    pub schema: Schema,
+    /// Scenario name.
+    pub name: String,
+    /// Movies per source document.
+    pub movies_per_source: usize,
+    /// Ambiguous (same-year, similar-title) re-edition variants each
+    /// source adds to the Jaws franchise — the knob that grows the
+    /// matching components across the fold.
+    pub ambiguous_per_source: usize,
+}
+
+/// An overlapping N-source catalog workload (N ≥ 2; the interesting
+/// regime is N ≥ 4): every source carries the three franchises' base
+/// movie and sequel II (identical entries — a certain backbone that
+/// folds without new uncertainty), its own clean later sequel (pure
+/// growth, separated by the year rule), and `ambiguous` same-year
+/// re-edition variants of the Jaws base whose titles only *resemble*
+/// the base and each other. Re-editions from different sources can
+/// never be separated by year or title, so each fold step enlarges one
+/// matching component — uncertainty compounds across the fold, which is
+/// exactly the load the budgeted pipeline (and `min_retained_mass`) is
+/// for. Ambiguity is confined to one franchise so the cross-franchise
+/// local-worlds product stays bounded at moderate N.
+pub fn many_sources(n_sources: usize, ambiguous: usize) -> ManySourceScenario {
+    assert!(n_sources >= 2, "a fold needs at least two sources");
+    let mut sources = Vec::with_capacity(n_sources);
+    let mut movies_per_source = 0;
+    const EDITIONS: [&str; 4] = ["TV", "Video", "Archive", "Restored"];
+    for s in 0..n_sources {
+        let mut movies = Vec::new();
+        for (f, fr) in FRANCHISES.iter().enumerate() {
+            // The shared backbone: identical real-world data in every
+            // source, deep-equal across folds.
+            movies.push(
+                MovieBuilder::new(rwo(f, 1), fr.title(1), fr.year(1))
+                    .genre(fr.genres[0])
+                    .director(fr.directors[0])
+                    .build(),
+            );
+            movies.push(
+                MovieBuilder::new(rwo(f, 2), fr.title(2), fr.year(2))
+                    .genre(fr.genres[0])
+                    .director(fr.directors[1])
+                    .build(),
+            );
+            // This source's own later sequel: a fresh year, so the year
+            // rule keeps it cleanly distinct.
+            movies.push(
+                MovieBuilder::new(rwo(f, 10 + s), fr.title(3 + s), fr.year(3 + s))
+                    .genre(fr.genres[1])
+                    .director(fr.directors[s % 3])
+                    .build(),
+            );
+        }
+        // Ambiguous re-editions of the Jaws base: the base year with an
+        // edition-marked title — similar to the base and to every other
+        // source's re-editions, never decidable by the year rule.
+        let jaws = &FRANCHISES[2];
+        for v in 0..ambiguous {
+            let edition = EDITIONS[(s + v) % EDITIONS.len()];
+            movies.push(
+                MovieBuilder::new(
+                    rwo(2, 100 + 10 * s + v),
+                    format!("{} ({edition} {s})", jaws.base),
+                    jaws.year(1),
+                )
+                .genre(jaws.genres[0])
+                .director(jaws.directors[(s + v + 1) % 3])
+                .build(),
+            );
+        }
+        movies_per_source = movies.len();
+        sources.push(catalog_to_xml(&movies, SourceStyle::Mpeg7));
+    }
+    ManySourceScenario {
+        sources,
+        schema: movie_schema(),
+        name: format!("many-sources-n{n_sources}-a{ambiguous}"),
+        movies_per_source,
+        ambiguous_per_source: ambiguous,
+    }
+}
+
+/// The worst-case matching workload: one franchise's first `n` sequels
+/// against `n` same-year TV re-editions of those sequels — a 1975
+/// retrospective box set against a TV archive, say. Every entry shares
+/// the year (the year rule never separates) and every title resembles
+/// every other (one franchise), so under a title-similarity *prior*
+/// (title rule off) the candidate graph is one complete `n × n`
+/// component with `Σ_k C(n,k)²·k!` matchings — 1 441 729 at n = 8,
+/// past the default cap: this is the scenario that used to die with
+/// `TooManyMatchings` and now completes under a budget. Crucially the
+/// graded prior skews the matching weights (same-rank pairs are far
+/// likelier than cross-rank ones), so a small budget retains most of
+/// the probability mass — good is good enough.
+pub fn confusable(n: usize) -> MovieScenario {
+    let fr = &FRANCHISES[2]; // Jaws
+    let mpeg7: Vec<Movie> = (0..n)
+        .map(|i| {
+            MovieBuilder::new(i as u64, fr.title(i + 1), 1975)
+                .genre(fr.genres[0])
+                .director(fr.directors[i % 3])
+                .build()
+        })
+        .collect();
+    let imdb: Vec<Movie> = (0..n)
+        .map(|j| {
+            MovieBuilder::new(1000 + j as u64, format!("{} (TV)", fr.title(j + 1)), 1975)
+                .genre(fr.genres[0])
+                .director(fr.directors[(j + 1) % 3])
+                .build()
+        })
+        .collect();
+    let mut scenario = build("confusable", &mpeg7, &imdb, 0);
+    scenario.info.name = format!("confusable-n{n}");
+    scenario
+}
+
+/// `groups` independent copies of the [`confusable`] block, each pinned
+/// to its own year so the year rule separates the groups while nothing
+/// separates entries *within* a group: the candidate graph factors into
+/// `groups` complete `n × n` components. This is the workload for
+/// parallel per-component enumeration — the components are large,
+/// independent, and equally expensive.
+pub fn confusable_grid(groups: usize, n: usize) -> MovieScenario {
+    let mut mpeg7 = Vec::new();
+    let mut imdb = Vec::new();
+    for g in 0..groups {
+        let fr = &FRANCHISES[g % FRANCHISES.len()];
+        let year = 1900 + 10 * g as u32;
+        for i in 0..n {
+            mpeg7.push(
+                MovieBuilder::new((g * 1000 + i) as u64, fr.title(i + 1), year)
+                    .genre(fr.genres[0])
+                    .director(fr.directors[i % 3])
+                    .build(),
+            );
+            imdb.push(
+                MovieBuilder::new(
+                    (100_000 + g * 1000 + i) as u64,
+                    format!("{} (TV)", fr.title(i + 1)),
+                    year,
+                )
+                .genre(fr.genres[0])
+                .director(fr.directors[(i + 1) % 3])
+                .build(),
+            );
+        }
+    }
+    let mut scenario = build("confusable-grid", &mpeg7, &imdb, 0);
+    scenario.info.name = format!("confusable-grid-{groups}x{n}");
+    scenario
+}
+
 fn build(name: &str, mpeg7: &[Movie], imdb: &[Movie], shared: usize) -> MovieScenario {
     MovieScenario {
         mpeg7: catalog_to_xml(mpeg7, SourceStyle::Mpeg7),
@@ -435,6 +598,76 @@ mod tests {
         }
         assert!(all.contains("McTiernan, John")); // IMDB director convention
         assert!(all.contains("John McTiernan")); // MPEG-7 convention
+    }
+
+    #[test]
+    fn many_sources_structure() {
+        let s = many_sources(4, 1);
+        assert_eq!(s.sources.len(), 4);
+        // 3 franchises × (base + sequel II + own sequel) + 1 ambiguous.
+        assert_eq!(s.movies_per_source, 10);
+        for doc in &s.sources {
+            s.schema.validate(doc).unwrap();
+        }
+        // The backbone is identical in every source; each source adds
+        // its own edition-marked Jaws re-edition at the base year.
+        let editions = ["TV", "Video", "Archive", "Restored"];
+        for (i, doc) in s.sources.iter().enumerate() {
+            let text = to_string(doc);
+            assert!(text.contains("<title>Jaws</title>"), "source {i}");
+            assert!(text.contains("Mission: Impossible II"), "source {i}");
+            let marker = format!("Jaws ({} {i})", editions[i % 4]);
+            assert!(
+                text.contains(&marker),
+                "source {i} missing {marker}: {text}"
+            );
+        }
+        // The backbone folds certainly: source 0 and 1 share it verbatim.
+        let t0 = to_string(&s.sources[0]);
+        let t1 = to_string(&s.sources[1]);
+        assert!(t0.contains("<title>Die Hard</title>") && t1.contains("<title>Die Hard</title>"));
+    }
+
+    #[test]
+    fn many_sources_is_deterministic() {
+        assert_eq!(
+            to_string(&many_sources(5, 2).sources[3]),
+            to_string(&many_sources(5, 2).sources[3])
+        );
+    }
+
+    #[test]
+    fn confusable_is_one_indistinguishable_block() {
+        let s = confusable(8);
+        assert_eq!(s.info.mpeg7_movies, 8);
+        assert_eq!(s.info.imdb_movies, 8);
+        s.schema.validate(&s.mpeg7).unwrap();
+        s.schema.validate(&s.imdb).unwrap();
+        let a = to_string(&s.mpeg7);
+        let b = to_string(&s.imdb);
+        // One franchise, one shared year everywhere — the year rule can
+        // never separate a pair, and every title resembles every other.
+        assert_eq!(a.matches("<year>1975</year>").count(), 8);
+        assert_eq!(b.matches("<year>1975</year>").count(), 8);
+        assert_eq!(a.matches("Jaws").count(), 8);
+        assert_eq!(b.matches("Jaws").count(), 8);
+        assert_eq!(b.matches("(TV)").count(), 8);
+        // Titles within one source stay distinct (sequel numbering).
+        assert!(a.contains("<title>Jaws</title>"));
+        assert!(a.contains("<title>Jaws VIII</title>"));
+    }
+
+    #[test]
+    fn confusable_grid_separates_groups_by_year() {
+        let s = confusable_grid(4, 6);
+        assert_eq!(s.info.mpeg7_movies, 24);
+        assert_eq!(s.info.imdb_movies, 24);
+        s.schema.validate(&s.mpeg7).unwrap();
+        s.schema.validate(&s.imdb).unwrap();
+        let a = to_string(&s.mpeg7);
+        for year in [1900, 1910, 1920, 1930] {
+            assert_eq!(a.matches(&format!("<year>{year}</year>")).count(), 6);
+        }
     }
 
     #[test]

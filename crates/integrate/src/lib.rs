@@ -27,6 +27,31 @@
 //!    representation; the classic engine's unfactored equivalent is
 //!    available analytically via `imprecise-pxml`).
 //!
+//! ## The staged pipeline and matching budgets
+//!
+//! Step 3 is where the paper's "exploding number of theoretical
+//! possibilities" lives, and it runs as an explicit four-stage pipeline
+//! per tag group (see [`pipeline`]):
+//!
+//! 1. **candidate generation** — Oracle judgments become forced pairs
+//!    and undecided [`Candidate`]s;
+//! 2. **component split** — [`matching::split_components`] factors the
+//!    candidate graph;
+//! 3. **budgeted matching enumeration** — a best-first branch-and-bound
+//!    search yields each component's matchings in descending weight and
+//!    stops at the configured budget, renormalising the kept matchings
+//!    and recording the *discarded probability mass* in
+//!    [`IntegrationStats`] (good is good enough: keep the heavy
+//!    matchings, account honestly for the tail). Independent components
+//!    run in parallel under [`IntegrationOptions::parallelism`];
+//! 4. **merge** — the builder consumes per-component
+//!    [`pipeline::ComponentOutcome`]s, agnostic to how (or on how many
+//!    threads) the matchings were produced.
+//!
+//! Strict mode ([`IntegrationOptions::strict_matchings`]) restores the
+//! historical fail-fast behaviour: a component over budget aborts
+//! integration with [`IntegrateError::TooManyMatchings`].
+//!
 //! Inputs may already be probabilistic (incremental integration): choice
 //! points encountered in a child list are locally enumerated (with a cap)
 //! and the alternatives integrated per combination.
@@ -52,8 +77,10 @@
 pub mod combos;
 pub mod matching;
 mod merge;
+pub mod pipeline;
 
-pub use matching::{Candidate, Component, Matching, TooManyMatchings};
+pub use matching::{Candidate, Component, MatchBudget, Matching, TooManyMatchings};
+pub use pipeline::ComponentOutcome;
 
 use imprecise_oracle::Oracle;
 use imprecise_pxml::{from_xml, PxDoc, PxInvariantError};
@@ -67,9 +94,25 @@ pub struct IntegrationOptions {
     /// Relative trust in (source a, source b), used to weight value
     /// conflicts and attribute conflicts. Normalised internally.
     pub source_weights: (f64, f64),
-    /// Hard cap on the number of matchings enumerated for one connected
-    /// component of the candidate graph.
+    /// Matching budget: at most this many matchings are kept per
+    /// connected component of the candidate graph. Budgeted mode (the
+    /// default) keeps the heaviest ones and records the discarded
+    /// probability mass; strict mode errors instead.
     pub max_matchings_per_component: usize,
+    /// Optional early stop for budgeted enumeration: a component's
+    /// enumeration ends as soon as the kept matchings are guaranteed to
+    /// cover this fraction of the component's probability mass. `None`
+    /// enumerates up to `max_matchings_per_component`.
+    pub min_retained_mass: Option<f64>,
+    /// Fail with [`IntegrateError::TooManyMatchings`] instead of
+    /// truncating when a component exceeds the budget (the historical
+    /// behaviour; exact or nothing).
+    pub strict_matchings: bool,
+    /// Worker threads for per-component matching enumeration: `1` is
+    /// serial, `0` uses all available cores. Results are deterministic
+    /// regardless of the setting — components are independent and
+    /// reassembled in document order.
+    pub parallelism: usize,
     /// Hard cap on locally enumerated alternative combinations when an
     /// input child list contains choice points (incremental integration).
     pub max_local_worlds: usize,
@@ -86,10 +129,44 @@ impl Default for IntegrationOptions {
         IntegrationOptions {
             source_weights: (0.5, 0.5),
             max_matchings_per_component: 1 << 18,
+            min_retained_mass: None,
+            strict_matchings: false,
+            parallelism: 1,
             max_local_worlds: 4096,
             max_output_nodes: 40_000_000,
             simplify: true,
         }
+    }
+}
+
+impl IntegrationOptions {
+    /// The per-component matching budget these options describe.
+    pub fn match_budget(&self) -> MatchBudget {
+        MatchBudget {
+            max_matchings: self.max_matchings_per_component,
+            min_retained_mass: self.min_retained_mass,
+        }
+    }
+
+    /// Check the options for nonsensical values (every integration entry
+    /// point calls this): a `min_retained_mass` outside `(0, 1]` would
+    /// silently discard almost everything (≤ 0) or silently never stop
+    /// (> 1), and a zero matching budget cannot keep the one matching
+    /// every component has.
+    pub fn validate(&self) -> Result<(), IntegrateError> {
+        if let Some(t) = self.min_retained_mass {
+            if !(t > 0.0 && t <= 1.0) {
+                return Err(IntegrateError::InvalidOptions(format!(
+                    "min_retained_mass must be in (0, 1], got {t}"
+                )));
+            }
+        }
+        if self.max_matchings_per_component == 0 {
+            return Err(IntegrateError::InvalidOptions(
+                "max_matchings_per_component must be at least 1".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -104,13 +181,23 @@ pub enum IntegrateError {
         /// Root tag of source b.
         b: String,
     },
-    /// A candidate-graph component admits more matchings than the cap.
+    /// A candidate-graph component admits more matchings than the cap
+    /// (strict mode only; budgeted mode truncates and records the
+    /// discarded mass instead).
     TooManyMatchings {
         /// Number of undecided candidate pairs in the component.
         component_pairs: usize,
         /// The configured cap.
         cap: usize,
+        /// Element path of the offending component's tag group
+        /// (e.g. `/catalog/movie`).
+        path: String,
     },
+    /// [`integrate_many_px`] was called with no sources.
+    NoSources,
+    /// The [`IntegrationOptions`] contain a nonsensical value (see
+    /// [`IntegrationOptions::validate`]).
+    InvalidOptions(String),
     /// Local enumeration of input choice points exceeded the cap.
     TooManyLocalWorlds {
         /// The configured cap.
@@ -134,11 +221,26 @@ impl fmt::Display for IntegrateError {
             IntegrateError::TooManyMatchings {
                 component_pairs,
                 cap,
-            } => write!(
-                f,
-                "a component with {component_pairs} undecided pairs exceeds {cap} matchings; \
-                 add rules to let the Oracle make absolute decisions"
-            ),
+                path,
+            } => {
+                let at = if path.is_empty() {
+                    String::new()
+                } else {
+                    format!(" at {path}")
+                };
+                write!(
+                    f,
+                    "a component with {component_pairs} undecided pairs{at} exceeds {cap} \
+                     matchings; add rules to let the Oracle make absolute decisions, or \
+                     disable strict matching to integrate under a budget"
+                )
+            }
+            IntegrateError::NoSources => {
+                write!(f, "integrate_many called with no source documents")
+            }
+            IntegrateError::InvalidOptions(why) => {
+                write!(f, "invalid integration options: {why}")
+            }
             IntegrateError::TooManyLocalWorlds { cap } => {
                 write!(f, "more than {cap} local alternative combinations")
             }
@@ -158,8 +260,22 @@ impl From<PxInvariantError> for IntegrateError {
     }
 }
 
+/// One component whose matching enumeration was cut short by the budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruncatedComponent {
+    /// Element path of the component's tag group (e.g. `/catalog/movie`).
+    pub path: String,
+    /// Live undecided pairs in the component.
+    pub live_pairs: usize,
+    /// Matchings kept (the heaviest ones).
+    pub kept: usize,
+    /// Probability mass dropped with the unenumerated matchings — a
+    /// conservative upper bound; the kept matchings were renormalised.
+    pub discarded_mass: f64,
+}
+
 /// Counters describing what the engine (and its Oracle) did.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IntegrationStats {
     /// Distinct element pairs submitted to the Oracle.
     pub pairs_judged: usize,
@@ -191,6 +307,25 @@ pub struct IntegrationStats {
     /// conflicted with another forced pair on the same element
     /// (contradictory knowledge in the sources).
     pub demoted_forced: usize,
+    /// Components whose matching enumeration hit the budget: what was
+    /// dropped, where, and how much mass it carried.
+    pub truncated_components: Vec<TruncatedComponent>,
+    /// Largest per-component discarded mass (0.0 when nothing was
+    /// truncated): the coarsest fidelity indicator of a budgeted run.
+    pub max_discarded_mass: f64,
+}
+
+impl IntegrationStats {
+    /// Number of components whose enumeration was cut short.
+    pub fn components_truncated(&self) -> usize {
+        self.truncated_components.len()
+    }
+
+    /// True when every component was enumerated exhaustively (the
+    /// result is the exact integration, budget or not).
+    pub fn is_exact(&self) -> bool {
+        self.truncated_components.is_empty()
+    }
 }
 
 /// An integration result: the probabilistic document plus statistics.
@@ -223,6 +358,7 @@ pub fn integrate_px(
     schema: Option<&Schema>,
     options: &IntegrationOptions,
 ) -> Result<Integration, IntegrateError> {
+    options.validate()?;
     a.validate()?;
     b.validate()?;
     let mut builder = merge::Builder::new(a, b, oracle, schema, options);
@@ -232,4 +368,43 @@ pub fn integrate_px(
         doc.simplify();
     }
     Ok(Integration { doc, stats })
+}
+
+/// The result of an N-source fold: the integrated document plus the
+/// statistics of each pairwise step, in fold order.
+#[derive(Debug, Clone)]
+pub struct ManyIntegration {
+    /// The integrated probabilistic document.
+    pub doc: PxDoc,
+    /// One [`IntegrationStats`] per pairwise integration
+    /// (`sources.len() - 1` entries; empty for a single source).
+    pub steps: Vec<IntegrationStats>,
+}
+
+/// Integrate any number of sources by left-fold:
+/// `((s₀ ⊕ s₁) ⊕ s₂) ⊕ …` — the paper's incremental integration loop
+/// ("improved incrementally while the integrated source is being used")
+/// run to a fixpoint over a batch of sources.
+///
+/// Each intermediate result is already probabilistic, so later steps
+/// exercise the local-worlds machinery; budgets apply per step. Errors
+/// with [`IntegrateError::NoSources`] on an empty slice; a single
+/// source is validated and returned unchanged.
+pub fn integrate_many_px(
+    sources: &[&PxDoc],
+    oracle: &Oracle,
+    schema: Option<&Schema>,
+    options: &IntegrationOptions,
+) -> Result<ManyIntegration, IntegrateError> {
+    options.validate()?;
+    let (first, rest) = sources.split_first().ok_or(IntegrateError::NoSources)?;
+    first.validate()?;
+    let mut doc: PxDoc = (*first).clone();
+    let mut steps = Vec::with_capacity(rest.len());
+    for source in rest {
+        let integration = integrate_px(&doc, source, oracle, schema, options)?;
+        doc = integration.doc;
+        steps.push(integration.stats);
+    }
+    Ok(ManyIntegration { doc, steps })
 }

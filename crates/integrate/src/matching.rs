@@ -11,7 +11,20 @@
 //! `Σ_k C(n,k)·C(m,k)·k!` — 13 327 already for 6×6, which is precisely the
 //! paper's "exploding number of theoretical possibilities". Rules shrink
 //! the graph; connected components factor the enumeration.
+//!
+//! Two enumerators share one canonical output form (matchings sorted by
+//! descending weight, normalised in that order):
+//!
+//! * [`enumerate_matchings`] — the exhaustive recursion; errors with
+//!   [`TooManyMatchings`] past a cap (strict mode);
+//! * [`enumerate_budgeted`] — a best-first branch-and-bound search that
+//!   yields matchings in descending weight and stops at a
+//!   [`MatchBudget`], renormalising what was kept and accounting the
+//!   probability mass it dropped (the paper's "good is good enough"
+//!   trade, made explicit).
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// An undecided candidate pair with its match probability.
@@ -47,13 +60,25 @@ pub struct Matching {
     pub weight: f64,
 }
 
-/// Error: a component admits more matchings than the configured cap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Error: a component admits more matchings than the configured cap
+/// (strict mode only — budgeted enumeration truncates instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TooManyMatchings {
     /// Undecided pairs in the offending component.
     pub component_pairs: usize,
     /// The cap that was exceeded.
     pub cap: usize,
+    /// Element path of the component's tag group (e.g. `/catalog/movie`),
+    /// empty when the enumerator was called outside the merge pipeline.
+    pub path: String,
+}
+
+impl TooManyMatchings {
+    /// Attach the tag-group element path the pipeline was working under.
+    pub(crate) fn at_path(mut self, path: &str) -> Self {
+        self.path = path.to_string();
+        self
+    }
 }
 
 impl fmt::Display for TooManyMatchings {
@@ -62,11 +87,60 @@ impl fmt::Display for TooManyMatchings {
             f,
             "component with {} undecided pairs exceeds {} matchings",
             self.component_pairs, self.cap
-        )
+        )?;
+        if !self.path.is_empty() {
+            write!(f, " at {}", self.path)?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for TooManyMatchings {}
+
+/// How much of a component's matching distribution to enumerate.
+///
+/// The budget stops best-first enumeration once *either* limit is hit:
+/// at most `max_matchings` matchings, or — when `min_retained_mass` is
+/// set — as soon as the retained (heaviest-first) matchings are
+/// guaranteed to cover that fraction of the component's total
+/// probability mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchBudget {
+    /// Keep at most this many matchings (the heaviest ones).
+    pub max_matchings: usize,
+    /// Stop early once the retained mass fraction reaches this value.
+    pub min_retained_mass: Option<f64>,
+}
+
+impl MatchBudget {
+    /// No budget: enumerate everything (equivalent to the exhaustive
+    /// enumerator, byte for byte).
+    pub const UNLIMITED: MatchBudget = MatchBudget {
+        max_matchings: usize::MAX,
+        min_retained_mass: None,
+    };
+}
+
+/// The result of budgeted enumeration of one component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetedMatchings {
+    /// The retained matchings in canonical order (descending weight),
+    /// renormalised so their weights sum to 1.
+    pub matchings: Vec<Matching>,
+    /// Live undecided pairs the search ran over (undecided pairs whose
+    /// endpoints were not consumed by forced pairs).
+    pub live_pairs: usize,
+    /// Fraction of the component's probability mass the retained
+    /// matchings cover: `1.0` when enumeration completed, otherwise a
+    /// guaranteed lower bound (the frontier bound over-estimates what
+    /// remains, never what was kept).
+    pub retained_mass: f64,
+    /// Fraction of mass dropped by the budget — a conservative upper
+    /// bound on the true loss; `retained_mass + discarded_mass == 1`.
+    pub discarded_mass: f64,
+    /// True when the budget cut enumeration short.
+    pub truncated: bool,
+}
 
 /// Split a tag group's candidate graph into connected components.
 ///
@@ -141,26 +215,50 @@ pub fn split_components(
     components
 }
 
-/// Enumerate all injective matchings of a component, normalised.
-///
-/// Forced pairs are part of every matching. Undecided pairs whose
-/// endpoints are consumed by forced pairs can never be taken; their
-/// `(1 − p)` factors are constant across matchings and cancel under
-/// normalisation, so they are excluded up front.
-pub fn enumerate_matchings(
-    component: &Component,
-    cap: usize,
-) -> Result<Vec<Matching>, TooManyMatchings> {
+/// The undecided candidates that can actually be taken: pairs whose
+/// endpoints are consumed by forced pairs can never be part of a
+/// matching; their `(1 − p)` factors are constant across matchings and
+/// cancel under normalisation, so they are excluded up front.
+pub fn live_candidates(component: &Component) -> Vec<Candidate> {
     let mut used_a: Vec<usize> = component.forced.iter().map(|&(a, _)| a).collect();
     let mut used_b: Vec<usize> = component.forced.iter().map(|&(_, b)| b).collect();
     used_a.sort_unstable();
     used_b.sort_unstable();
-    let live: Vec<Candidate> = component
+    component
         .possible
         .iter()
         .copied()
         .filter(|c| used_a.binary_search(&c.a).is_err() && used_b.binary_search(&c.b).is_err())
-        .collect();
+        .collect()
+}
+
+/// Canonical output form shared by both enumerators: descending weight,
+/// ties broken by the pair list, normalised by a sum taken in that
+/// order. Two enumerators producing the same matching set therefore
+/// produce bit-identical weights.
+fn canonicalise(mut out: Vec<Matching>) -> Vec<Matching> {
+    out.sort_by(|x, y| {
+        y.weight
+            .total_cmp(&x.weight)
+            .then_with(|| x.pairs.cmp(&y.pairs))
+    });
+    let total: f64 = out.iter().map(|m| m.weight).sum();
+    debug_assert!(total > 0.0, "at least the empty matching exists");
+    for m in &mut out {
+        m.weight /= total;
+    }
+    out
+}
+
+/// Enumerate all injective matchings of a component, normalised, in
+/// canonical (descending weight) order. Errors past `cap` — this is the
+/// strict-mode enumerator; see [`enumerate_budgeted`] for the graceful
+/// one.
+pub fn enumerate_matchings(
+    component: &Component,
+    cap: usize,
+) -> Result<Vec<Matching>, TooManyMatchings> {
+    let live = live_candidates(component);
     let mut out: Vec<Matching> = Vec::new();
     let mut taken: Vec<(usize, usize)> = Vec::new();
     let mut err: Option<TooManyMatchings> = None;
@@ -170,12 +268,351 @@ pub fn enumerate_matchings(
     if let Some(e) = err {
         return Err(e);
     }
-    let total: f64 = out.iter().map(|m| m.weight).sum();
-    debug_assert!(total > 0.0, "at least the empty matching exists");
-    for m in &mut out {
-        m.weight /= total;
+    Ok(canonicalise(out))
+}
+
+/// A frontier state of the best-first search: the first `idx` live
+/// candidates are decided, `weight` is the product of their factors.
+struct SearchState {
+    /// Admissible bound on the weight of any completion (`weight` times
+    /// the best possible remaining factors). Complete states have
+    /// `bound == weight`, so states pop in descending true weight.
+    bound: f64,
+    /// Insertion sequence number; equal bounds at equal depth pop
+    /// newest-first, which keeps the search deterministic.
+    seq: u64,
+    idx: usize,
+    weight: f64,
+    taken: Vec<(usize, usize)>,
+}
+
+impl PartialEq for SearchState {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
     }
-    Ok(out)
+}
+impl Eq for SearchState {}
+impl PartialOrd for SearchState {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SearchState {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Equal bounds break toward the DEEPER state (then newest):
+        // admissibility already guarantees completes pop in descending
+        // true weight, and on tie plateaus (e.g. a uniform-p component,
+        // where every bound is identical) depth-first reaches complete
+        // matchings after O(depth) pops where breadth-first would
+        // materialise the whole exponential frontier first.
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| self.idx.cmp(&other.idx))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// The per-suffix ingredients of the branch-and-bound weight bound.
+///
+/// For a state that has decided the first `i` candidates with `k`
+/// further inclusions still structurally possible, the best completion
+/// weight is at most `base[i] · gain[i][min(k, gain[i].len())]`:
+/// `base[i]` excludes every remaining candidate, and `gain[i]` holds
+/// cumulative products of the sorted inclusion ratios `p/(1−p) > 1` —
+/// the most any `k` inclusions could multiply the all-excluded weight
+/// by, ignoring which endpoints they need. This is what makes the
+/// search dive instead of drowning in high-probability dense graphs.
+struct SuffixBounds {
+    base: Vec<f64>,
+    gain: Vec<Vec<f64>>,
+}
+
+impl SuffixBounds {
+    fn new(live: &[Candidate], max_take: usize) -> Self {
+        let n = live.len();
+        let mut base = vec![1.0f64; n + 1];
+        for i in (0..n).rev() {
+            base[i] = base[i + 1] * (1.0 - live[i].p);
+        }
+        let mut gain: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let mut ratios: Vec<f64> = live[i..]
+                .iter()
+                .map(|c| c.p / (1.0 - c.p))
+                .filter(|r| *r > 1.0)
+                .collect();
+            ratios.sort_by(|a, b| b.total_cmp(a));
+            ratios.truncate(max_take);
+            let mut cum = Vec::with_capacity(ratios.len());
+            let mut acc = 1.0f64;
+            for r in ratios {
+                acc *= r;
+                cum.push(acc);
+            }
+            gain.push(cum);
+        }
+        SuffixBounds { base, gain }
+    }
+
+    /// Upper bound on the product of the undecided factors of a state at
+    /// candidate index `i` that can still include at most `k` edges.
+    fn remaining(&self, i: usize, k: usize) -> f64 {
+        let gain = &self.gain[i];
+        match k.min(gain.len()) {
+            0 => self.base[i],
+            t => self.base[i] * gain[t - 1],
+        }
+    }
+}
+
+/// Exact total mass of all injective matchings over the live edges:
+/// `Σ_M Π_{e∈M} p_e · Π_{e∉M} (1−p_e)`, computed *without* enumeration
+/// by a bitmask dynamic program over the smaller side (processing the
+/// larger side node by node, tracking which smaller-side nodes are
+/// matched). `O(larger · 2^smaller · degree)` — exact up to
+/// [`EXACT_MASS_MAX_SIDE`] smaller-side nodes, `None` beyond that
+/// (callers fall back to the conservative frontier bound).
+fn exact_total_mass(live: &[Candidate]) -> Option<f64> {
+    if live.is_empty() {
+        return Some(1.0);
+    }
+    let mut a_ids: Vec<usize> = live.iter().map(|c| c.a).collect();
+    let mut b_ids: Vec<usize> = live.iter().map(|c| c.b).collect();
+    a_ids.sort_unstable();
+    a_ids.dedup();
+    b_ids.sort_unstable();
+    b_ids.dedup();
+    // Mask the smaller side; walk the larger one.
+    let (small, large, small_is_a) = if a_ids.len() <= b_ids.len() {
+        (a_ids, b_ids, true)
+    } else {
+        (b_ids, a_ids, false)
+    };
+    if small.len() > EXACT_MASS_MAX_SIDE {
+        return None;
+    }
+    // All-excluded product, factored out so the DP runs in ratio space.
+    let base: f64 = live.iter().map(|c| 1.0 - c.p).product();
+    let small_index = |id: usize| small.binary_search(&id).expect("live endpoint");
+    let mut dp = vec![0.0f64; 1 << small.len()];
+    dp[0] = 1.0;
+    for &l in &large {
+        // The edges of this larger-side node, as (small bit, ratio).
+        let edges: Vec<(usize, f64)> = live
+            .iter()
+            .filter(|c| if small_is_a { c.b == l } else { c.a == l })
+            .map(|c| {
+                let s = small_index(if small_is_a { c.a } else { c.b });
+                (1usize << s, c.p / (1.0 - c.p))
+            })
+            .collect();
+        for mask in (0..dp.len()).rev() {
+            if dp[mask] == 0.0 {
+                continue;
+            }
+            for &(bit, r) in &edges {
+                if mask & bit == 0 {
+                    dp[mask | bit] += dp[mask] * r;
+                }
+            }
+        }
+    }
+    Some(base * dp.iter().sum::<f64>())
+}
+
+/// Largest smaller-side size the exact-mass DP handles (`2^16` masks).
+const EXACT_MASS_MAX_SIDE: usize = 16;
+
+/// `min_retained_mass` never truncates a component below this many
+/// matchings: cutting a handful of matchings saves nothing and would
+/// destroy small components' uncertainty outright (a single undecided
+/// pair at p ≥ t would collapse to its match case).
+const MASS_STOP_FLOOR: usize = 16;
+
+/// Enumerate the heaviest matchings of a component under a budget.
+///
+/// A best-first branch-and-bound search over the live candidates yields
+/// complete matchings in descending weight order and stops once the
+/// budget is satisfied. The retained matchings are renormalised among
+/// themselves; the mass of the unenumerated tail is reported as
+/// [`BudgetedMatchings::discarded_mass`] — computed *exactly* against
+/// the component's total matching mass (a bitmask dynamic program over
+/// the smaller side) whenever that side has at most 16 nodes, and as a
+/// conservative frontier upper bound beyond that.
+///
+/// With [`MatchBudget::UNLIMITED`] the search drains completely and the
+/// result is bit-identical to [`enumerate_matchings`].
+pub fn enumerate_budgeted(component: &Component, budget: &MatchBudget) -> BudgetedMatchings {
+    let live = live_candidates(component);
+    // Inclusions can never exceed the free endpoints on either side
+    // (forced pairs already consumed theirs, and live candidates avoid
+    // them by construction).
+    let max_take = component
+        .a_nodes
+        .len()
+        .min(component.b_nodes.len())
+        .saturating_sub(component.forced.len());
+    let bounds = SuffixBounds::new(&live, max_take);
+    let mut heap: BinaryHeap<SearchState> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    heap.push(SearchState {
+        bound: bounds.remaining(0, max_take),
+        seq,
+        idx: 0,
+        weight: 1.0,
+        taken: Vec::new(),
+    });
+    // The exact total matching mass, when the component is small enough
+    // for the bitmask DP: makes both the `min_retained_mass` stop and
+    // the final discarded-mass figure exact. Computed lazily — a run
+    // that completes without truncation (the common case) never pays
+    // for the DP.
+    let mut total_mass_cache: Option<Option<f64>> = None;
+    let total_mass =
+        |cache: &mut Option<Option<f64>>| *cache.get_or_insert_with(|| exact_total_mass(&live));
+    // Fallback frontier bound: each state's subtree mass is at most its
+    // weight (remaining factors sum to at most 1 per candidate, and
+    // injectivity only removes terms). Summed from the heap on demand —
+    // an incrementally maintained running sum would be destroyed by
+    // floating-point absorption once weights shrink tens of orders of
+    // magnitude below the root's 1.0.
+    let frontier_mass =
+        |heap: &BinaryHeap<SearchState>| -> f64 { heap.iter().map(|s| s.weight).sum() };
+    let mut out: Vec<Matching> = Vec::new();
+    let mut retained: f64 = 0.0;
+    // Without an exact total, early-stop checks cost O(frontier), so
+    // they run at exponentially spaced yield counts — total checking
+    // cost stays linear, at the price of overshooting the requested
+    // mass by at most one doubling of the kept matchings.
+    let mut next_mass_check = MASS_STOP_FLOOR;
+    // Safety valve: with the ratio-capped bound the search dives almost
+    // straight at complete matchings, but a pathological component could
+    // still explore far more partial states than it yields; cap the
+    // expansions (never active when unlimited, never before the first
+    // matching) and fall back to honest mass accounting for whatever
+    // was not reached.
+    let max_expansions = if budget.max_matchings == usize::MAX {
+        usize::MAX
+    } else {
+        budget
+            .max_matchings
+            .saturating_mul(live.len().max(1))
+            .saturating_mul(8)
+            .max(1 << 14)
+    };
+    let mut expansions = 0usize;
+    while let Some(state) = heap.pop() {
+        if state.idx == live.len() {
+            let mut pairs = component.forced.clone();
+            pairs.extend_from_slice(&state.taken);
+            pairs.sort_unstable();
+            retained += state.weight;
+            out.push(Matching {
+                pairs,
+                weight: state.weight,
+            });
+            if out.len() >= budget.max_matchings {
+                break;
+            }
+            if let Some(t) = budget.min_retained_mass {
+                if out.len() >= MASS_STOP_FLOOR {
+                    match total_mass(&mut total_mass_cache) {
+                        Some(z) => {
+                            if retained >= t * z {
+                                break;
+                            }
+                        }
+                        None => {
+                            if out.len() >= next_mass_check {
+                                next_mass_check = out.len().saturating_mul(2);
+                                let pending = frontier_mass(&heap);
+                                if retained / (retained + pending) >= t {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        expansions += 1;
+        if expansions > max_expansions {
+            // Re-queue the popped state so the final accounting still
+            // sees its subtree mass. (If nothing complete was reached
+            // yet, the all-excluded matching is synthesised below.)
+            heap.push(state);
+            break;
+        }
+        let c = live[state.idx];
+        let takeable = max_take - state.taken.len();
+        // Exclude edge idx.
+        let w_excl = state.weight * (1.0 - c.p);
+        seq += 1;
+        heap.push(SearchState {
+            bound: w_excl * bounds.remaining(state.idx + 1, takeable),
+            seq,
+            idx: state.idx + 1,
+            weight: w_excl,
+            taken: state.taken.clone(),
+        });
+        // Include edge idx when both endpoints are free; a blocked
+        // inclusion's mass never existed among valid matchings, so it
+        // simply vanishes from the frontier (tightening the bound).
+        let free = takeable > 0 && !state.taken.iter().any(|&(a, b)| a == c.a || b == c.b);
+        if free {
+            let w_incl = state.weight * c.p;
+            let mut taken = state.taken;
+            taken.push((c.a, c.b));
+            seq += 1;
+            heap.push(SearchState {
+                bound: w_incl * bounds.remaining(state.idx + 1, takeable - 1),
+                seq,
+                idx: state.idx + 1,
+                weight: w_incl,
+                taken,
+            });
+        }
+    }
+    if out.is_empty() {
+        // The expansion valve fired before any complete matching was
+        // reached (a pathological bound landscape): fall back to the
+        // one matching that always exists — everything excluded.
+        retained = bounds.base[0];
+        out.push(Matching {
+            pairs: component.forced.clone(),
+            weight: retained,
+        });
+    }
+    // The enumeration is complete exactly when the frontier drained;
+    // then the kept matchings carry everything regardless of float
+    // residue in the mass figures.
+    let truncated = !heap.is_empty();
+    let (retained_mass, discarded_mass) = if !truncated {
+        (1.0, 0.0)
+    } else {
+        match total_mass(&mut total_mass_cache) {
+            // Exact: the tail mass is the total minus what was kept
+            // (clamped — the two are summed in different orders).
+            Some(z) if z > 0.0 => {
+                let kept = (retained / z).clamp(0.0, 1.0);
+                (kept, 1.0 - kept)
+            }
+            // Conservative: the frontier bound over-estimates the tail.
+            _ => {
+                let pending = frontier_mass(&heap);
+                let total = retained + pending;
+                (retained / total, pending / total)
+            }
+        }
+    };
+    BudgetedMatchings {
+        matchings: canonicalise(out),
+        live_pairs: live.len(),
+        retained_mass,
+        discarded_mass,
+        truncated,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -197,6 +634,7 @@ fn recurse(
             *err = Some(TooManyMatchings {
                 component_pairs: live.len(),
                 cap,
+                path: String::new(),
             });
             return;
         }
@@ -427,6 +865,177 @@ mod tests {
         assert_eq!(matchings.len(), 1);
         assert!(matchings[0].pairs.is_empty());
         assert!((matchings[0].weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matchings_come_out_heaviest_first() {
+        let c = full_graph(2, 2, 0.8);
+        let matchings = enumerate_matchings(&c, 1000).unwrap();
+        assert!(matchings
+            .windows(2)
+            .all(|w| w[0].weight >= w[1].weight - 1e-15));
+        // The heaviest matching of a high-p graph is a maximum matching.
+        assert_eq!(matchings[0].pairs.len(), 2);
+    }
+
+    #[test]
+    fn unlimited_budget_equals_exhaustive_bitwise() {
+        for (n, m, p) in [(2, 2, 0.3), (3, 3, 0.7), (2, 5, 0.5), (4, 3, 0.9)] {
+            let c = full_graph(n, m, p);
+            let exhaustive = enumerate_matchings(&c, usize::MAX).unwrap();
+            let budgeted = enumerate_budgeted(&c, &MatchBudget::UNLIMITED);
+            assert!(!budgeted.truncated);
+            assert_eq!(budgeted.retained_mass, 1.0);
+            assert_eq!(budgeted.discarded_mass, 0.0);
+            assert_eq!(budgeted.matchings.len(), exhaustive.len());
+            for (a, b) in budgeted.matchings.iter().zip(&exhaustive) {
+                assert_eq!(a.pairs, b.pairs);
+                assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "{n}x{m} p={p}");
+            }
+        }
+    }
+
+    /// A full bipartite graph whose edge probabilities are all distinct,
+    /// so every matching weight is distinct and the top-K is unique.
+    fn graded_graph(n: usize, m: usize) -> Component {
+        let mut possible = Vec::new();
+        for a in 0..n {
+            for b in 0..m {
+                possible.push(Candidate {
+                    a,
+                    b,
+                    p: 0.30 + 0.047 * (a * m + b) as f64,
+                });
+            }
+        }
+        Component {
+            a_nodes: (0..n).collect(),
+            b_nodes: (0..m).collect(),
+            forced: Vec::new(),
+            possible,
+        }
+    }
+
+    #[test]
+    fn budget_keeps_the_heaviest_matchings() {
+        let c = graded_graph(3, 3);
+        let all = enumerate_matchings(&c, usize::MAX).unwrap();
+        let kept = enumerate_budgeted(
+            &c,
+            &MatchBudget {
+                max_matchings: 5,
+                min_retained_mass: None,
+            },
+        );
+        assert!(kept.truncated);
+        assert_eq!(kept.matchings.len(), 5);
+        // The kept set is exactly the 5 heaviest of the full enumeration
+        // (comparing unnormalised rank via the pair lists).
+        for (k, a) in kept.matchings.iter().zip(&all) {
+            assert_eq!(k.pairs, a.pairs);
+        }
+        // Renormalised among themselves…
+        let total: f64 = kept.matchings.iter().map(|m| m.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // …with the dropped mass accounted.
+        assert!(kept.discarded_mass > 0.0);
+        assert!((kept.retained_mass + kept.discarded_mass - 1.0).abs() < 1e-12);
+        // The bound is conservative: true retained mass ≥ reported.
+        let true_retained: f64 = all[..5].iter().map(|m| m.weight).sum();
+        assert!(kept.retained_mass <= true_retained + 1e-12);
+    }
+
+    #[test]
+    fn min_retained_mass_stops_early() {
+        let c = full_graph(3, 3, 0.2);
+        let result = enumerate_budgeted(
+            &c,
+            &MatchBudget {
+                max_matchings: usize::MAX,
+                min_retained_mass: Some(0.6),
+            },
+        );
+        assert!(result.truncated);
+        assert!(result.retained_mass >= 0.6, "{}", result.retained_mass);
+        assert!(result.matchings.len() < 34, "did not stop early");
+    }
+
+    #[test]
+    fn budgeted_empty_component_is_one_empty_matching() {
+        let c = Component {
+            a_nodes: vec![0],
+            b_nodes: vec![],
+            forced: vec![],
+            possible: vec![],
+        };
+        let result = enumerate_budgeted(
+            &c,
+            &MatchBudget {
+                max_matchings: 1,
+                min_retained_mass: None,
+            },
+        );
+        assert!(!result.truncated);
+        assert_eq!(result.matchings.len(), 1);
+        assert!(result.matchings[0].pairs.is_empty());
+        assert_eq!(result.discarded_mass, 0.0);
+    }
+
+    #[test]
+    fn budgeted_respects_forced_pairs() {
+        let c = Component {
+            a_nodes: vec![0, 1],
+            b_nodes: vec![0, 1],
+            forced: vec![(0, 0)],
+            possible: vec![Candidate { a: 1, b: 1, p: 0.5 }],
+        };
+        let result = enumerate_budgeted(
+            &c,
+            &MatchBudget {
+                max_matchings: 1,
+                min_retained_mass: None,
+            },
+        );
+        assert_eq!(result.matchings.len(), 1);
+        assert!(result.matchings[0].pairs.contains(&(0, 0)));
+        assert!((result.retained_mass - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_probability_plateau_stays_fast() {
+        // p = 0.5 everywhere makes every inclusion ratio 1.0, so every
+        // search-state bound ties — the tie-break must dive (depth
+        // first) instead of materialising the exponential frontier
+        // breadth-first. A 10×10 component has ~2.3e10 matchings; a
+        // budget of 16 must return promptly with sane accounting.
+        let c = full_graph(10, 10, 0.5);
+        let result = enumerate_budgeted(
+            &c,
+            &MatchBudget {
+                max_matchings: 16,
+                min_retained_mass: None,
+            },
+        );
+        assert_eq!(result.matchings.len(), 16);
+        assert!(result.truncated);
+        assert!(result.discarded_mass > 0.0);
+        assert!((result.retained_mass + result.discarded_mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_many_matchings_reports_path() {
+        let err = TooManyMatchings {
+            component_pairs: 9,
+            cap: 4,
+            path: "/catalog/movie".into(),
+        };
+        assert!(err.to_string().contains("/catalog/movie"), "{err}");
+        let bare = TooManyMatchings {
+            component_pairs: 9,
+            cap: 4,
+            path: String::new(),
+        };
+        assert!(!bare.to_string().contains(" at "), "{bare}");
     }
 
     #[test]

@@ -1,9 +1,14 @@
-//! The recursive merge builder: walks both sources in lockstep, consults
-//! the Oracle, enumerates matchings, and assembles the output document.
+//! The merge stage of the integration pipeline: walks both sources in
+//! lockstep, consults the Oracle (stage 1: candidate generation), and
+//! assembles the output document from the per-component
+//! [`ComponentOutcome`]s the pipeline hands back (stages 2–3 live in
+//! [`crate::pipeline`]; this layer is agnostic to how — or on how many
+//! threads — the matchings were produced).
 
 use crate::combos::{local_combos, prob_alternatives, LocalWorldsOverflow};
-use crate::matching::{enumerate_matchings, split_components, Candidate, Component, Matching};
-use crate::{IntegrateError, IntegrationOptions, IntegrationStats};
+use crate::matching::{Candidate, Component, Matching};
+use crate::pipeline::{self, CandidateSet, ComponentOutcome};
+use crate::{IntegrateError, IntegrationOptions, IntegrationStats, TruncatedComponent};
 use imprecise_oracle::{Decision, ElemRef, Judgment, Oracle};
 use imprecise_pxml::{px_deep_equal, PxDoc, PxNodeId};
 use imprecise_xmlkit::{Attr, Schema};
@@ -28,6 +33,10 @@ pub(crate) struct Builder<'a> {
     /// Judgment cache: the same element pair is judged once even when it
     /// participates in thousands of enumerated matchings.
     judgments: HashMap<(PxNodeId, PxNodeId), Judgment>,
+    /// Element-tag stack from the root to the pair currently being
+    /// merged; tag groups report their position as
+    /// `/<stack>/<group tag>` in errors and truncation records.
+    path: Vec<String>,
     stats: IntegrationStats,
 }
 
@@ -56,8 +65,21 @@ impl<'a> Builder<'a> {
             w_a,
             w_b,
             judgments: HashMap::new(),
+            path: Vec::new(),
             stats: IntegrationStats::default(),
         }
+    }
+
+    /// The element path of a tag group under the current merge position.
+    fn group_path(&self, tag: &str) -> String {
+        let mut out = String::new();
+        for segment in &self.path {
+            out.push('/');
+            out.push_str(segment);
+        }
+        out.push('/');
+        out.push_str(tag);
+        out
     }
 
     pub(crate) fn finish(self) -> (PxDoc, IntegrationStats) {
@@ -160,6 +182,19 @@ impl<'a> Builder<'a> {
             .expect("merge_pair called on elements")
             .to_string();
         debug_assert_eq!(self.b.tag(be), Some(tag.as_str()));
+        self.path.push(tag.clone());
+        let result = self.merge_pair_inner(parent, ae, be, tag);
+        self.path.pop();
+        result
+    }
+
+    fn merge_pair_inner(
+        &mut self,
+        parent: PxNodeId,
+        ae: PxNodeId,
+        be: PxNodeId,
+        tag: String,
+    ) -> Result<(), IntegrateError> {
         let attrs_a = self.a.attrs(ae).to_vec();
         let attrs_b = self.b.attrs(be).to_vec();
         let mut conflicts = false;
@@ -314,7 +349,10 @@ impl<'a> Builder<'a> {
             }
             return Ok(());
         }
-        // Multi-valued: consult the Oracle about every cross pair.
+        // Multi-valued: run the staged matching pipeline.
+        //
+        // Stage 1 — candidate generation: consult the Oracle about every
+        // cross pair, then make the forced set injective.
         let mut forced_raw: Vec<(usize, usize)> = Vec::new();
         let mut possible: Vec<Candidate> = Vec::new();
         for (ai, &an) in ga.iter().enumerate() {
@@ -326,49 +364,68 @@ impl<'a> Builder<'a> {
                 }
             }
         }
-        // Forced pairs must be injective; contradictory certain knowledge
-        // (e.g. one source holding two elements deep-equal to the same
-        // element of the other source) demotes the later pair to a highly
-        // probable undecided pair.
-        let mut forced: Vec<(usize, usize)> = Vec::new();
-        let mut used_a = vec![false; ga.len()];
-        let mut used_b = vec![false; gb.len()];
-        for (ai, bi) in forced_raw {
-            if used_a[ai] || used_b[bi] {
-                self.stats.demoted_forced += 1;
-                possible.push(Candidate {
-                    a: ai,
-                    b: bi,
-                    p: 1.0 - 1e-6,
-                });
-            } else {
-                used_a[ai] = true;
-                used_b[bi] = true;
-                forced.push((ai, bi));
-            }
-        }
-        let components = split_components(ga.len(), gb.len(), &forced, &possible);
-        for comp in &components {
-            self.stats.components_total += 1;
-            let matchings = enumerate_matchings(comp, self.opts.max_matchings_per_component)
-                .map_err(|e| IntegrateError::TooManyMatchings {
+        let candidates = CandidateSet::resolve(forced_raw, possible);
+        self.stats.demoted_forced += candidates.demoted;
+        // Stage 2 — component split.
+        let components = pipeline::split(&candidates, ga.len(), gb.len());
+        // Stage 3 — budgeted (or strict) matching enumeration, possibly
+        // fanned out over worker threads; independent of this builder.
+        let group_path = self.group_path(tag);
+        let outcomes =
+            pipeline::enumerate_components(components, self.opts, &group_path).map_err(|e| {
+                IntegrateError::TooManyMatchings {
                     component_pairs: e.component_pairs,
                     cap: e.cap,
-                })?;
-            self.stats.matchings_enumerated += matchings.len();
-            self.stats.max_component_matchings =
-                self.stats.max_component_matchings.max(matchings.len());
-            if matchings.len() == 1 {
-                self.emit_matching(parent, ga, gb, comp, &matchings[0])?;
-            } else {
-                self.stats.components_with_choice += 1;
-                let prob = self.out.add_prob(parent);
-                for m in &matchings {
-                    self.guard_size()?;
-                    let poss = self.out.add_poss(prob, m.weight);
-                    self.emit_matching(poss, ga, gb, comp, m)?;
+                    path: e.path,
                 }
-            }
+            })?;
+        // Stage 4 — merge the outcomes into the output document.
+        for outcome in &outcomes {
+            self.record_outcome(&group_path, outcome);
+            self.emit_outcome(parent, ga, gb, outcome)?;
+        }
+        Ok(())
+    }
+
+    /// Fold one component outcome into the integration statistics.
+    fn record_outcome(&mut self, group_path: &str, outcome: &ComponentOutcome) {
+        self.stats.components_total += 1;
+        self.stats.matchings_enumerated += outcome.matchings.len();
+        self.stats.max_component_matchings = self
+            .stats
+            .max_component_matchings
+            .max(outcome.matchings.len());
+        if outcome.truncated {
+            self.stats.max_discarded_mass =
+                self.stats.max_discarded_mass.max(outcome.discarded_mass);
+            self.stats.truncated_components.push(TruncatedComponent {
+                path: group_path.to_string(),
+                live_pairs: outcome.live_pairs,
+                kept: outcome.matchings.len(),
+                discarded_mass: outcome.discarded_mass,
+            });
+        }
+    }
+
+    /// Emit one component outcome: a single certain matching inline, or
+    /// a probability node holding one possibility per kept matching.
+    fn emit_outcome(
+        &mut self,
+        parent: PxNodeId,
+        ga: &[PxNodeId],
+        gb: &[PxNodeId],
+        outcome: &ComponentOutcome,
+    ) -> Result<(), IntegrateError> {
+        let comp = &outcome.component;
+        if outcome.matchings.len() == 1 {
+            return self.emit_matching(parent, ga, gb, comp, &outcome.matchings[0]);
+        }
+        self.stats.components_with_choice += 1;
+        let prob = self.out.add_prob(parent);
+        for m in &outcome.matchings {
+            self.guard_size()?;
+            let poss = self.out.add_poss(prob, m.weight);
+            self.emit_matching(poss, ga, gb, comp, m)?;
         }
         Ok(())
     }

@@ -1,0 +1,365 @@
+//! The staged integration pipeline for one tag group.
+//!
+//! Matching a multi-valued tag group runs as four explicit stages:
+//!
+//! 1. **Candidate generation** — Oracle judgments over the cross product
+//!    become a [`CandidateSet`]: forced pairs (certain matches, made
+//!    injective by demotion) plus undecided [`Candidate`]s.
+//! 2. **Component split** — [`split`] factors the candidate graph into
+//!    independent connected [`Component`]s.
+//! 3. **Budgeted enumeration** — [`enumerate_components`] turns each
+//!    component into a [`ComponentOutcome`]: its matchings in
+//!    descending weight, cut off at the configured [`MatchBudget`] with
+//!    the dropped probability mass accounted (or, in strict mode, a
+//!    [`TooManyMatchings`] error). Components are independent, so this
+//!    stage fans out over [`std::thread::scope`] when
+//!    [`IntegrationOptions::parallelism`] allows.
+//! 4. **Merge** — the builder in `merge` consumes the outcomes and
+//!    assembles the output document; it never sees how (or on how many
+//!    threads) the matchings were produced.
+//!
+//! Every stage is deterministic: outcomes are reassembled in component
+//! order and each component's enumeration is self-contained, so serial
+//! and parallel runs build bit-identical documents.
+
+use crate::matching::{
+    enumerate_budgeted, enumerate_matchings, split_components, Candidate, Component, MatchBudget,
+    Matching, TooManyMatchings,
+};
+use crate::IntegrationOptions;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Stage-1 output: the judged cross product of one tag group.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CandidateSet {
+    /// Certainly matched pairs, injective (see [`CandidateSet::resolve`]).
+    pub forced: Vec<(usize, usize)>,
+    /// Undecided pairs with their match probabilities.
+    pub possible: Vec<Candidate>,
+    /// Forced pairs demoted to near-certain candidates because they
+    /// conflicted with an earlier forced pair on the same element.
+    pub demoted: usize,
+}
+
+impl CandidateSet {
+    /// Build a candidate set from raw Oracle output, demoting forced
+    /// pairs that would break injectivity (contradictory certain
+    /// knowledge — e.g. one source holding two elements deep-equal to
+    /// the same element of the other source) to highly probable
+    /// undecided pairs.
+    pub fn resolve(raw_forced: Vec<(usize, usize)>, mut possible: Vec<Candidate>) -> Self {
+        let mut forced: Vec<(usize, usize)> = Vec::new();
+        let n_a = raw_forced.iter().map(|&(a, _)| a + 1).max().unwrap_or(0);
+        let n_b = raw_forced.iter().map(|&(_, b)| b + 1).max().unwrap_or(0);
+        let mut used_a = vec![false; n_a];
+        let mut used_b = vec![false; n_b];
+        let mut demoted = 0;
+        for (ai, bi) in raw_forced {
+            if used_a[ai] || used_b[bi] {
+                demoted += 1;
+                possible.push(Candidate {
+                    a: ai,
+                    b: bi,
+                    p: 1.0 - 1e-6,
+                });
+            } else {
+                used_a[ai] = true;
+                used_b[bi] = true;
+                forced.push((ai, bi));
+            }
+        }
+        CandidateSet {
+            forced,
+            possible,
+            demoted,
+        }
+    }
+}
+
+/// Stage 2: factor the candidate graph of a `n_a × n_b` tag group into
+/// independent connected components.
+pub fn split(set: &CandidateSet, n_a: usize, n_b: usize) -> Vec<Component> {
+    split_components(n_a, n_b, &set.forced, &set.possible)
+}
+
+/// Stage-3 output: one component's enumerated matchings plus the mass
+/// accounting the merge layer records into `IntegrationStats`. The
+/// merge layer is agnostic to how the outcome was produced — strict or
+/// budgeted, serial or parallel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentOutcome {
+    /// The component these matchings belong to.
+    pub component: Component,
+    /// Matchings in canonical (descending weight) order, weights
+    /// normalised to sum to 1 over the *kept* matchings.
+    pub matchings: Vec<Matching>,
+    /// Live undecided pairs the enumerator actually searched over.
+    pub live_pairs: usize,
+    /// Guaranteed lower bound on the probability mass the kept
+    /// matchings cover (1.0 when enumeration completed).
+    pub retained_mass: f64,
+    /// Conservative upper bound on the mass dropped by the budget
+    /// (`retained_mass + discarded_mass == 1`).
+    pub discarded_mass: f64,
+    /// True when the budget cut this component's enumeration short.
+    pub truncated: bool,
+}
+
+/// A component is worth shipping to a worker thread only when its
+/// enumeration is non-trivial; below this many undecided pairs the
+/// search is cheaper than the scheduling.
+const MIN_PARALLEL_PAIRS: usize = 8;
+
+fn effective_parallelism(parallelism: usize) -> usize {
+    match parallelism {
+        0 => {
+            // Cached: the pipeline runs once per tag group, and
+            // `available_parallelism` is a cgroup/sysfs read.
+            static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+            *CORES.get_or_init(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+        }
+        n => n,
+    }
+}
+
+/// Stage 3: enumerate the matchings of every component under the
+/// options' budget, in parallel when allowed and worthwhile.
+///
+/// In budgeted mode (the default) this never fails: over-budget
+/// components are truncated to their heaviest matchings with the
+/// dropped mass recorded on the outcome. In strict mode
+/// ([`IntegrationOptions::strict_matchings`]) an over-budget component
+/// aborts with [`TooManyMatchings`] carrying `path` (the tag group's
+/// element path).
+pub fn enumerate_components(
+    components: Vec<Component>,
+    options: &IntegrationOptions,
+    path: &str,
+) -> Result<Vec<ComponentOutcome>, TooManyMatchings> {
+    let threads = effective_parallelism(options.parallelism);
+    let busy = components
+        .iter()
+        .filter(|c| c.possible.len() >= MIN_PARALLEL_PAIRS)
+        .count();
+    if threads > 1 && busy >= 2 {
+        let results = enumerate_parallel(&components, options, threads.min(components.len()));
+        components
+            .into_iter()
+            .zip(results)
+            .map(|(component, result)| {
+                result
+                    .map(|e| e.into_outcome(component))
+                    .map_err(|e| e.at_path(path))
+            })
+            .collect()
+    } else {
+        // Serial: components move into their outcomes, and a strict-mode
+        // failure short-circuits before later components are enumerated.
+        components
+            .into_iter()
+            .map(|component| {
+                enumerate_one(&component, options)
+                    .map(|e| e.into_outcome(component))
+                    .map_err(|e| e.at_path(path))
+            })
+            .collect()
+    }
+}
+
+/// The component-independent part of a [`ComponentOutcome`]: what the
+/// enumerator produced, before the component is moved back in.
+struct Enumerated {
+    matchings: Vec<Matching>,
+    live_pairs: usize,
+    retained_mass: f64,
+    discarded_mass: f64,
+    truncated: bool,
+}
+
+impl Enumerated {
+    fn into_outcome(self, component: Component) -> ComponentOutcome {
+        ComponentOutcome {
+            component,
+            matchings: self.matchings,
+            live_pairs: self.live_pairs,
+            retained_mass: self.retained_mass,
+            discarded_mass: self.discarded_mass,
+            truncated: self.truncated,
+        }
+    }
+}
+
+/// Enumerate one component under the options' policy.
+fn enumerate_one(
+    component: &Component,
+    options: &IntegrationOptions,
+) -> Result<Enumerated, TooManyMatchings> {
+    if options.strict_matchings {
+        let live_pairs = crate::matching::live_candidates(component).len();
+        let matchings = enumerate_matchings(component, options.max_matchings_per_component)?;
+        Ok(Enumerated {
+            matchings,
+            live_pairs,
+            retained_mass: 1.0,
+            discarded_mass: 0.0,
+            truncated: false,
+        })
+    } else {
+        let budget: MatchBudget = options.match_budget();
+        let result = enumerate_budgeted(component, &budget);
+        Ok(Enumerated {
+            matchings: result.matchings,
+            live_pairs: result.live_pairs,
+            retained_mass: result.retained_mass,
+            discarded_mass: result.discarded_mass,
+            truncated: result.truncated,
+        })
+    }
+}
+
+/// Fan the components out over scoped worker threads (no extra deps:
+/// plain [`std::thread::scope`]). Workers pull indices from a shared
+/// counter — natural load balancing when component sizes are skewed —
+/// and the results are reassembled in component order, so the output is
+/// identical to the serial path.
+fn enumerate_parallel(
+    components: &[Component],
+    options: &IntegrationOptions,
+    threads: usize,
+) -> Vec<Result<Enumerated, TooManyMatchings>> {
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= components.len() {
+                    break;
+                }
+                let outcome = enumerate_one(&components[i], options);
+                if tx.send((i, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<Result<Enumerated, TooManyMatchings>>> =
+        components.iter().map(|_| None).collect();
+    for (i, outcome) in rx {
+        slots[i] = Some(outcome);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every component was enumerated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_graph(n: usize, m: usize, p: f64) -> Component {
+        let mut possible = Vec::new();
+        for a in 0..n {
+            for b in 0..m {
+                possible.push(Candidate { a, b, p });
+            }
+        }
+        Component {
+            a_nodes: (0..n).collect(),
+            b_nodes: (0..m).collect(),
+            forced: Vec::new(),
+            possible,
+        }
+    }
+
+    #[test]
+    fn resolve_demotes_conflicting_forced_pairs() {
+        let set = CandidateSet::resolve(vec![(0, 0), (1, 0)], vec![]);
+        assert_eq!(set.forced, vec![(0, 0)]);
+        assert_eq!(set.demoted, 1);
+        assert_eq!(set.possible.len(), 1);
+        assert_eq!((set.possible[0].a, set.possible[0].b), (1, 0));
+        assert!(set.possible[0].p > 0.99);
+    }
+
+    #[test]
+    fn split_matches_split_components() {
+        let set = CandidateSet::resolve(vec![(0, 1)], vec![Candidate { a: 1, b: 0, p: 0.5 }]);
+        let comps = split(&set, 2, 2);
+        assert_eq!(comps, split_components(2, 2, &set.forced, &set.possible));
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn strict_mode_errors_with_path() {
+        let components = vec![full_graph(3, 3, 0.5)];
+        let opts = IntegrationOptions {
+            strict_matchings: true,
+            max_matchings_per_component: 10,
+            ..IntegrationOptions::default()
+        };
+        let err = enumerate_components(components, &opts, "/catalog/movie").unwrap_err();
+        assert_eq!(err.path, "/catalog/movie");
+        assert_eq!(err.cap, 10);
+    }
+
+    #[test]
+    fn budgeted_mode_truncates_instead_of_erroring() {
+        let components = vec![full_graph(3, 3, 0.5)];
+        let opts = IntegrationOptions {
+            max_matchings_per_component: 10,
+            ..IntegrationOptions::default()
+        };
+        let outcomes = enumerate_components(components, &opts, "/catalog/movie").unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].truncated);
+        assert_eq!(outcomes[0].matchings.len(), 10);
+        assert!(outcomes[0].discarded_mass > 0.0);
+        assert!(
+            (outcomes[0].retained_mass + outcomes[0].discarded_mass - 1.0).abs() < 1e-9,
+            "mass accounting must close"
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let components: Vec<Component> = (0..6)
+            .map(|i| full_graph(3, 3, 0.3 + 0.05 * i as f64))
+            .collect();
+        let serial_opts = IntegrationOptions {
+            max_matchings_per_component: 12,
+            parallelism: 1,
+            ..IntegrationOptions::default()
+        };
+        let parallel_opts = IntegrationOptions {
+            parallelism: 4,
+            ..serial_opts
+        };
+        let serial = enumerate_components(components.clone(), &serial_opts, "/x").unwrap();
+        let parallel = enumerate_components(components, &parallel_opts, "/x").unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.matchings.len(), p.matchings.len());
+            for (a, b) in s.matchings.iter().zip(&p.matchings) {
+                assert_eq!(a.pairs, b.pairs);
+                assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+            }
+            assert_eq!(s.discarded_mass.to_bits(), p.discarded_mass.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallelism_zero_means_all_cores() {
+        assert!(effective_parallelism(0) >= 1);
+        assert_eq!(effective_parallelism(3), 3);
+    }
+}

@@ -231,20 +231,12 @@ fn genre_union_on_matched_movies() {
     assert!(s.contains("Horror") && s.contains("Thriller"));
 }
 
-#[test]
-fn matching_cap_aborts_gracefully() {
-    let schema = movie_schema();
-    let oracle = movie_oracle(MovieOracleConfig {
-        genre_rule: false,
-        title_rule: false,
-        year_rule: false,
-        graded_prior: false,
-        ..MovieOracleConfig::default()
-    });
-    // 4×4 all-undecided movies → 209 matchings > cap 100.
+/// An `n × n` all-undecided movie catalog pair (no rules can separate
+/// the entries): one candidate component with `n²` live pairs.
+fn confusable_catalogs(n: usize) -> (imprecise_xmlkit::XmlDoc, imprecise_xmlkit::XmlDoc) {
     let mk = |src: usize| {
         let mut s = String::from("<catalog>");
-        for i in 0..4 {
+        for i in 0..n {
             s.push_str(&format!(
                 "<movie><title>M{src}{i}</title><year>19{i}0</year></movie>"
             ));
@@ -252,15 +244,203 @@ fn matching_cap_aborts_gracefully() {
         s.push_str("</catalog>");
         parse(&s).unwrap()
     };
+    (mk(1), mk(2))
+}
+
+fn uninformed_movie_oracle() -> Oracle {
+    movie_oracle(MovieOracleConfig {
+        genre_rule: false,
+        title_rule: false,
+        year_rule: false,
+        graded_prior: false,
+        ..MovieOracleConfig::default()
+    })
+}
+
+#[test]
+fn strict_mode_aborts_with_component_path() {
+    let schema = movie_schema();
+    // 4×4 all-undecided movies → 209 matchings > cap 100.
+    let (a, b) = confusable_catalogs(4);
+    let opts = IntegrationOptions {
+        max_matchings_per_component: 100,
+        strict_matchings: true,
+        ..IntegrationOptions::default()
+    };
+    let err = integrate_xml(&a, &b, &uninformed_movie_oracle(), Some(&schema), &opts).unwrap_err();
+    match &err {
+        IntegrateError::TooManyMatchings {
+            component_pairs,
+            cap,
+            path,
+        } => {
+            assert_eq!(*component_pairs, 16);
+            assert_eq!(*cap, 100);
+            assert_eq!(path, "/catalog/movie", "{err}");
+        }
+        other => panic!("expected TooManyMatchings, got {other:?}"),
+    }
+    assert!(err.to_string().contains("/catalog/movie"), "{err}");
+}
+
+#[test]
+fn budget_completes_where_strict_mode_fails() {
+    let schema = movie_schema();
+    let oracle = uninformed_movie_oracle();
+    // The same over-cap scenario without strict mode: integration
+    // completes, keeping the 100 heaviest matchings and reporting the
+    // dropped probability mass.
+    let (a, b) = confusable_catalogs(4);
     let opts = IntegrationOptions {
         max_matchings_per_component: 100,
         ..IntegrationOptions::default()
     };
-    let err = integrate_xml(&mk(1), &mk(2), &oracle, Some(&schema), &opts).unwrap_err();
-    assert!(
-        matches!(err, IntegrateError::TooManyMatchings { .. }),
-        "{err}"
+    let result = integrate_xml(&a, &b, &oracle, Some(&schema), &opts).unwrap();
+    result.doc.validate().unwrap();
+    assert_eq!(result.stats.components_truncated(), 1);
+    assert!(!result.stats.is_exact());
+    let t = &result.stats.truncated_components[0];
+    assert_eq!(t.path, "/catalog/movie");
+    assert_eq!(t.live_pairs, 16);
+    assert_eq!(t.kept, 100);
+    assert!(t.discarded_mass > 0.0, "{t:?}");
+    assert!(t.discarded_mass < 1.0, "{t:?}");
+    assert!((result.stats.max_discarded_mass - t.discarded_mass).abs() < 1e-15);
+    // The kept worlds renormalise to a proper distribution.
+    let dist = result.doc.world_distribution(1_000_000).unwrap();
+    let total: f64 = dist.iter().map(|w| w.prob).sum();
+    assert!((total - 1.0).abs() < 1e-9, "world mass {total}");
+}
+
+#[test]
+fn min_retained_mass_stops_component_enumeration_early() {
+    let schema = movie_schema();
+    let oracle = uninformed_movie_oracle();
+    let (a, b) = confusable_catalogs(4);
+    let opts = IntegrationOptions {
+        min_retained_mass: Some(0.5),
+        ..IntegrationOptions::default()
+    };
+    let result = integrate_xml(&a, &b, &oracle, Some(&schema), &opts).unwrap();
+    result.doc.validate().unwrap();
+    // 209 total matchings, but half the mass needs far fewer.
+    assert!(result.stats.matchings_enumerated < 209);
+    let t = &result.stats.truncated_components[0];
+    assert!(t.discarded_mass <= 0.5 + 1e-9, "{t:?}");
+}
+
+#[test]
+fn nonsensical_options_are_rejected() {
+    let schema = movie_schema();
+    let oracle = uninformed_movie_oracle();
+    let (a, b) = confusable_catalogs(2);
+    for bad in [-0.5, 0.0, 1.5] {
+        let err = integrate_xml(
+            &a,
+            &b,
+            &oracle,
+            Some(&schema),
+            &IntegrationOptions {
+                min_retained_mass: Some(bad),
+                ..IntegrationOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, IntegrateError::InvalidOptions(_)),
+            "min_retained_mass {bad}: {err}"
+        );
+    }
+    let err = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions {
+            max_matchings_per_component: 0,
+            ..IntegrationOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, IntegrateError::InvalidOptions(_)), "{err}");
+}
+
+#[test]
+fn uniform_prior_catalogs_integrate_under_budget() {
+    // Ten indistinguishable records per side under the uninformed 0.5
+    // prior: every search bound ties, which used to degenerate the
+    // budgeted enumerator into an exponential breadth-first sweep.
+    let schema = movie_schema();
+    let oracle = uninformed_movie_oracle();
+    let (a, b) = confusable_catalogs(10);
+    let result = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions {
+            max_matchings_per_component: 16,
+            ..IntegrationOptions::default()
+        },
+    )
+    .unwrap();
+    result.doc.validate().unwrap();
+    let t = &result.stats.truncated_components[0];
+    assert_eq!(t.live_pairs, 100);
+    assert_eq!(t.kept, 16);
+    assert!(t.discarded_mass > 0.0 && t.discarded_mass < 1.0);
+}
+
+#[test]
+fn parallel_integration_is_deterministic() {
+    use imprecise_pxml::px_fingerprint;
+    let schema = movie_schema();
+    // Three year-groups of 4 movies per source: the year rule separates
+    // the groups, everything within a group stays undecided → three
+    // independent 4×4 components, enough to engage the worker threads.
+    let mk = |src: usize| {
+        let mut s = String::from("<catalog>");
+        for g in 0..3 {
+            for i in 0..4 {
+                s.push_str(&format!(
+                    "<movie><title>G{g} M{src}{i}</title><year>{}</year></movie>",
+                    1900 + g * 10
+                ));
+            }
+        }
+        s.push_str("</catalog>");
+        parse(&s).unwrap()
+    };
+    let oracle = movie_oracle(MovieOracleConfig {
+        genre_rule: false,
+        title_rule: false,
+        year_rule: true,
+        graded_prior: false,
+        ..MovieOracleConfig::default()
+    });
+    let run = |parallelism: usize| {
+        integrate_xml(
+            &mk(1),
+            &mk(2),
+            &oracle,
+            Some(&schema),
+            &IntegrationOptions {
+                max_matchings_per_component: 64,
+                parallelism,
+                ..IntegrationOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let serial = run(1);
+    let parallel = run(0);
+    assert_eq!(serial.stats.components_truncated(), 3);
+    assert_eq!(
+        px_fingerprint(&serial.doc, serial.doc.root()),
+        px_fingerprint(&parallel.doc, parallel.doc.root()),
+        "parallel enumeration must not change the result"
     );
+    assert_eq!(serial.stats, parallel.stats);
 }
 
 #[test]

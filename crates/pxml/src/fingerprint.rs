@@ -16,6 +16,16 @@ pub fn px_fingerprint(doc: &PxDoc, node: PxNodeId) -> u64 {
     h.finish()
 }
 
+impl PxDoc {
+    /// The whole document's structural fingerprint
+    /// ([`px_fingerprint`] at the root): equal fingerprints mean
+    /// bit-identical distributions, which is how the budgeted
+    /// integration pipeline is checked against the exhaustive one.
+    pub fn fingerprint(&self) -> u64 {
+        px_fingerprint(self, self.root())
+    }
+}
+
 /// Fingerprint of a possibility's *content* — its child sequence — ignoring
 /// the possibility's own probability. Two possibilities with equal content
 /// fingerprints are candidates for merging (their probabilities add).

@@ -208,6 +208,95 @@ fn prune_shrinks_the_database() {
     );
 }
 
+/// An n-movie confusable catalog: no oracle rule separates the entries,
+/// so every cross pair stays undecided (one big component).
+fn confusable_catalog(src: usize, n: usize) -> String {
+    let mut s = String::from("<catalog>");
+    for i in 0..n {
+        s.push_str(&format!(
+            "<movie><title>M{src}{i}</title><year>19{i}0</year></movie>"
+        ));
+    }
+    s.push_str("</catalog>");
+    s
+}
+
+#[test]
+fn integrate_budget_truncates_and_reports_discarded_mass() {
+    let w = Workdir::new("budget");
+    let a = w.write("a.xml", &confusable_catalog(1, 4));
+    let b = w.write("b.xml", &confusable_catalog(2, 4));
+    let merged = w.path("merged.xml");
+    // 4×4 all-undecided → 209 matchings; a budget of 50 truncates.
+    let out = imprecise(&[
+        "integrate",
+        "--out",
+        merged.to_str().unwrap(),
+        "--budget",
+        "50",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stderr(&out);
+    assert!(text.contains("budget:"), "{text}");
+    assert!(text.contains("discarded mass"), "{text}");
+    assert!(text.contains("/catalog/movie"), "{text}");
+    // The truncated result is still a valid probabilistic database.
+    let out = imprecise(&["stats", merged.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("certain:              false"));
+
+    // The same scenario under --strict fails with the component's path.
+    let out = imprecise(&[
+        "integrate",
+        "--out",
+        merged.to_str().unwrap(),
+        "--budget",
+        "50",
+        "--strict",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("/catalog/movie"), "{}", stderr(&out));
+}
+
+#[test]
+fn integrate_folds_more_than_two_sources() {
+    let w = Workdir::new("nfold");
+    let a = w.write("a.xml", SOURCE_A);
+    let b = w.write("b.xml", SOURCE_B);
+    let c = w.write(
+        "c.xml",
+        "<addressbook><person><nm>Mary</nm><tel>3333</tel></person></addressbook>",
+    );
+    let dtd = w.write("ab.dtd", DTD);
+    let merged = w.path("merged.xml");
+    let out = imprecise(&[
+        "integrate",
+        "--out",
+        merged.to_str().unwrap(),
+        "--rules",
+        "addressbook",
+        "--dtd",
+        dtd.to_str().unwrap(),
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        c.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("3 possible worlds"),
+        "{}",
+        stderr(&out)
+    );
+    let out = imprecise(&["query", merged.to_str().unwrap(), "//person/nm"]);
+    let text = stdout(&out);
+    assert!(text.contains("100.0% Mary"), "{text}");
+    assert!(text.contains("100.0% John"), "{text}");
+}
+
 #[test]
 fn rule_files_are_read_from_disk() {
     let w = Workdir::new("rules");

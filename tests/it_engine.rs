@@ -1,0 +1,183 @@
+//! End-to-end tests of the [`Engine`] façade over the movie workload —
+//! the assertions of the retired `Session` suite, migrated onto the
+//! thread-safe API (the `Session` shim itself was removed after its one
+//! release of grace). Concurrency-specific behaviour lives in
+//! `it_engine_concurrency.rs`.
+
+use imprecise::datagen::movies::movie_schema_text;
+use imprecise::datagen::scenarios;
+use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig};
+use imprecise::xml::to_string;
+use imprecise::{DocHandle, Engine, ImpreciseError};
+
+fn movie_engine() -> (Engine, DocHandle, DocHandle) {
+    let scenario = scenarios::query_db();
+    let engine = Engine::builder()
+        .oracle(movie_oracle(MovieOracleConfig {
+            year_rule: false,
+            graded_prior: true,
+            ..MovieOracleConfig::default()
+        }))
+        .schema_text(movie_schema_text())
+        .expect("schema parses")
+        .build();
+    let mpeg7 = engine
+        .load_xml("mpeg7", &to_string(&scenario.mpeg7))
+        .expect("loads");
+    let imdb = engine
+        .load_xml("imdb", &to_string(&scenario.imdb))
+        .expect("loads");
+    (engine, mpeg7, imdb)
+}
+
+#[test]
+fn movie_engine_full_cycle() {
+    let (engine, mpeg7, imdb) = movie_engine();
+    let (db, stats) = engine.integrate(&mpeg7, &imdb, "db").expect("integrates");
+    assert!(stats.judged_possible > 0);
+    assert!(stats.is_exact(), "default budget is ample here");
+    let doc_stats = engine.stats(&db).expect("exists");
+    assert!(doc_stats.worlds > 1.0);
+    assert!(!doc_stats.certain);
+    let horror = engine
+        .prepare("//movie[.//genre=\"Horror\"]/title")
+        .expect("parses");
+    let answers = horror
+        .run(&engine.snapshot(&db).expect("exists"))
+        .expect("query runs");
+    assert_eq!(answers.len(), 2);
+    // Feedback through the engine.
+    let title = engine.prepare("//movie/title").expect("parses");
+    let report = engine
+        .feedback(&db, &title, "Jaws", true)
+        .expect("feedback applies");
+    assert!(report.worlds_after <= report.worlds_before);
+}
+
+#[test]
+fn incremental_three_source_integration() {
+    let (engine, mpeg7, imdb) = movie_engine();
+    let (db, _) = engine.integrate(&mpeg7, &imdb, "db").expect("first");
+    // A third source arrives: integrate it into the probabilistic result.
+    let late = engine
+        .load_xml(
+            "late",
+            "<catalog><movie><title>Alien</title><year>1979</year>\
+             <genre>Horror</genre><director>Ridley Scott</director></movie></catalog>",
+        )
+        .expect("loads");
+    let (db2, _) = engine.integrate(&db, &late, "db2").expect("incremental");
+    let horror = engine
+        .prepare("//movie[.//genre=\"Horror\"]/title")
+        .expect("parses");
+    let answers = horror
+        .run(&engine.snapshot(&db2).expect("exists"))
+        .expect("query runs");
+    assert!((answers.probability_of("Alien") - 1.0).abs() < 1e-9);
+    assert!(answers.probability_of("Jaws") > 0.9);
+}
+
+#[test]
+fn integrate_many_matches_manual_fold() {
+    let (engine, mpeg7, imdb) = movie_engine();
+    let late = engine
+        .load_xml(
+            "late",
+            "<catalog><movie><title>Alien</title><year>1979</year>\
+             <genre>Horror</genre><director>Ridley Scott</director></movie></catalog>",
+        )
+        .expect("loads");
+    // The N-source fold is the two manual steps in one call.
+    let (db_manual, _) = engine.integrate(&mpeg7, &imdb, "manual-1").expect("step 1");
+    let (db_manual, _) = engine
+        .integrate(&db_manual, &late, "manual-2")
+        .expect("step 2");
+    let (db_fold, steps) = engine
+        .integrate_many(&[mpeg7, imdb, late], "fold")
+        .expect("folds");
+    assert_eq!(steps.len(), 2);
+    let manual = engine.stats(&db_manual).expect("exists");
+    let folded = engine.stats(&db_fold).expect("exists");
+    assert_eq!(manual.worlds, folded.worlds);
+    assert_eq!(manual.breakdown, folded.breakdown);
+}
+
+#[test]
+fn many_sources_scenario_folds_with_bounded_uncertainty() {
+    let scenario = imprecise::datagen::scenarios::many_sources(4, 1);
+    let engine = Engine::builder()
+        .oracle(movie_oracle(MovieOracleConfig::default()))
+        .schema(scenario.schema.clone())
+        .build();
+    let handles: Vec<DocHandle> = scenario
+        .sources
+        .iter()
+        .enumerate()
+        .map(|(i, doc)| {
+            engine
+                .load_xml(&format!("src-{i}"), &to_string(doc))
+                .expect("loads")
+        })
+        .collect();
+    let (db, steps) = engine.integrate_many(&handles, "db").expect("folds");
+    assert_eq!(steps.len(), 3);
+    // The deep-equal backbone folds certainly; only the same-year
+    // re-editions stay undecided, and more of them per step.
+    assert!(steps.iter().all(|s| s.judged_possible > 0));
+    let stats = engine.stats(&db).expect("exists");
+    assert!(stats.worlds > 1.0);
+    assert!(stats.worlds < 1e6, "uncertainty stays bounded at N=4");
+    // Certain backbone titles answer with probability 1 after the fold.
+    let q = engine.prepare("//movie/title").expect("parses");
+    let answers = q.run(&engine.snapshot(&db).expect("exists")).expect("runs");
+    assert!((answers.probability_of("Die Hard") - 1.0).abs() < 1e-9);
+    assert!((answers.probability_of("Mission: Impossible II") - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn export_reimport_preserves_distribution() {
+    let (engine, mpeg7, imdb) = movie_engine();
+    let (db, _) = engine.integrate(&mpeg7, &imdb, "db").expect("integrates");
+    let worlds_before = engine.stats(&db).expect("exists").worlds;
+    let text = engine.export(&db).expect("exports");
+    assert!(text.contains("px:prob"));
+    let engine2 = Engine::new();
+    let copy = engine2.load_xml("db", &text).expect("reimports");
+    assert_eq!(engine2.stats(&copy).expect("exists").worlds, worlds_before);
+}
+
+#[test]
+fn errors_are_descriptive() {
+    let engine = Engine::new();
+    let ghost = {
+        // A handle from another engine is this engine's "no such
+        // document" case (names alone no longer dangle).
+        let other = Engine::new();
+        other.load_xml("ghost", "<a/>").expect("loads")
+    };
+    let err = engine.query(&ghost, "//a", None).unwrap_err();
+    assert!(err.to_string().contains("ghost"));
+    let x = engine.load_xml("x", "<a/>").expect("loads");
+    let err = engine.query(&x, "not a query", None).unwrap_err();
+    assert!(matches!(err, ImpreciseError::QueryParse(_)));
+    let err = engine.load_xml("bad", "<a><b></a>").unwrap_err();
+    assert!(matches!(err, ImpreciseError::Xml(_)));
+    let err = Engine::builder().schema_text("<!GIBBERISH>").unwrap_err();
+    assert!(matches!(err, ImpreciseError::Xml(_)));
+}
+
+#[test]
+fn document_names_listed() {
+    let (engine, _, _) = movie_engine();
+    assert_eq!(engine.document_names(), vec!["imdb", "mpeg7"]);
+}
+
+#[test]
+fn stats_report_both_representations() {
+    let (engine, mpeg7, imdb) = movie_engine();
+    let (db, _) = engine.integrate(&mpeg7, &imdb, "db").expect("integrates");
+    let stats = engine.stats(&db).expect("exists");
+    // Factored representation never exceeds the unfactored equivalent.
+    assert!(stats.breakdown.total() as f64 <= stats.unfactored_nodes);
+    assert!(stats.expected_world_size > 0.0);
+}

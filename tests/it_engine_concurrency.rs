@@ -73,10 +73,10 @@ fn assert_coherent(snapshot: &DocSnapshot, tel: &PreparedQuery) {
     }
 }
 
-/// PreparedQuery on the John document reproduces the Session results
+/// PreparedQuery on the John document reproduces the paper's numbers
 /// exactly: 0.75 after integration, certainty after feedback.
 #[test]
-fn prepared_query_reproduces_session_results() {
+fn prepared_query_reproduces_paper_results() {
     let (engine, a, b) = john_engine();
     let (merged, stats) = engine.integrate(&a, &b, "merged").expect("integrates");
     assert_eq!(stats.judged_possible, 1);
