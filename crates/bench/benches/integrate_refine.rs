@@ -1,0 +1,178 @@
+//! Criterion bench for resumable integration: one-shot big budgets vs
+//! staged small-budget refinements on the confusable workloads.
+//!
+//! The pay-as-you-go question this answers: how much does splitting a
+//! matching budget of `K` into `n` refinement installments of `K/n`
+//! cost over spending `K` at once? The staged path re-emits the
+//! component's (growing) matching set every step, so its overhead is
+//! the emission, not the search — the frontier resumes the search
+//! exactly where it stopped.
+//!
+//! * `confusable8/*` — one 8×8 component (1 441 729 matchings, far past
+//!   exhaustion): budget 512 at once vs 8 × 64 refinements vs one
+//!   64-budget run refined once with 448 extra.
+//! * `mixed-5-3-2/*` — three components of different sizes: a planned
+//!   total budget (`BudgetPlan::Total`) vs the same total spent as
+//!   per-component caps, and top-1 (largest discarded mass first)
+//!   staged refinement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imprecise::datagen::scenarios;
+use imprecise::integrate::{
+    integrate_xml, BudgetPlan, IntegrationOptions, IntegrationOutcome, RefineOptions,
+};
+use imprecise_bench::confusion_oracle;
+use std::hint::black_box;
+
+fn options(budget: usize) -> IntegrationOptions {
+    IntegrationOptions {
+        max_matchings_per_component: budget,
+        ..IntegrationOptions::default()
+    }
+}
+
+/// Integrate a scenario under `budget`, then apply refinement steps of
+/// `extra` matchings each until `target_kept` matchings are kept (or
+/// everything drained). Returns the final outcome.
+fn integrate_then_refine(
+    scenario: &scenarios::MovieScenario,
+    oracle: &imprecise::oracle::Oracle,
+    opts: &IntegrationOptions,
+    extra: usize,
+    steps: usize,
+) -> IntegrationOutcome {
+    let mut outcome = integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        oracle,
+        Some(&scenario.schema),
+        opts,
+    )
+    .expect("integrates");
+    let refine = RefineOptions {
+        extra_matchings: extra,
+        min_retained_mass: None,
+        max_components: usize::MAX,
+    };
+    for _ in 0..steps {
+        if !outcome.is_refinable() {
+            break;
+        }
+        outcome
+            .refine(oracle, Some(&scenario.schema), &refine)
+            .expect("refines");
+    }
+    outcome
+}
+
+fn bench_integrate_refine(c: &mut Criterion) {
+    let oracle = confusion_oracle();
+    let mut group = c.benchmark_group("integrate_refine");
+    group.sample_size(10);
+
+    // One 8×8 component: the scaling cliff only budgets can cross.
+    let c8 = scenarios::confusable(8);
+    group.bench_function("confusable8/one-shot-512", |b| {
+        b.iter(|| {
+            black_box(
+                integrate_xml(
+                    black_box(&c8.mpeg7),
+                    &c8.imdb,
+                    &oracle,
+                    Some(&c8.schema),
+                    &options(512),
+                )
+                .expect("integrates"),
+            )
+        })
+    });
+    group.bench_function("confusable8/staged-8x64", |b| {
+        b.iter(|| {
+            black_box(integrate_then_refine(
+                black_box(&c8),
+                &oracle,
+                &options(64),
+                64,
+                7,
+            ))
+        })
+    });
+    group.bench_function("confusable8/refine-64-plus-448", |b| {
+        b.iter(|| {
+            black_box(integrate_then_refine(
+                black_box(&c8),
+                &oracle,
+                &options(64),
+                448,
+                1,
+            ))
+        })
+    });
+
+    // Heterogeneous components: planned total vs per-component caps,
+    // and worst-component-first staged refinement.
+    let mixed = scenarios::confusable_mixed(&[5, 3, 2]);
+    group.bench_function("mixed-5-3-2/per-component-64", |b| {
+        b.iter(|| {
+            black_box(
+                integrate_xml(
+                    black_box(&mixed.mpeg7),
+                    &mixed.imdb,
+                    &oracle,
+                    Some(&mixed.schema),
+                    &options(64),
+                )
+                .expect("integrates"),
+            )
+        })
+    });
+    group.bench_function("mixed-5-3-2/planned-total-192", |b| {
+        b.iter(|| {
+            black_box(
+                integrate_xml(
+                    black_box(&mixed.mpeg7),
+                    &mixed.imdb,
+                    &oracle,
+                    Some(&mixed.schema),
+                    &IntegrationOptions {
+                        budget_plan: BudgetPlan::Total(192),
+                        ..IntegrationOptions::default()
+                    },
+                )
+                .expect("integrates"),
+            )
+        })
+    });
+    group.bench_function("mixed-5-3-2/staged-top1-x4", |b| {
+        b.iter(|| {
+            let scenario = black_box(&mixed);
+            let mut outcome = integrate_xml(
+                &scenario.mpeg7,
+                &scenario.imdb,
+                &oracle,
+                Some(&scenario.schema),
+                &options(16),
+            )
+            .expect("integrates");
+            let refine = RefineOptions {
+                extra_matchings: 48,
+                min_retained_mass: None,
+                max_components: 1,
+            };
+            for _ in 0..4 {
+                if !outcome.is_refinable() {
+                    break;
+                }
+                outcome
+                    .refine(&oracle, Some(&scenario.schema), &refine)
+                    .expect("refines");
+            }
+            black_box(outcome)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_integrate_refine);
+criterion_main!(benches);

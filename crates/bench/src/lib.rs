@@ -4,7 +4,7 @@
 //! the timings come from the same code paths).
 
 use imprecise::datagen::scenarios::{self, MovieScenario};
-use imprecise::integrate::{integrate_xml, Integration, IntegrationOptions};
+use imprecise::integrate::{integrate_xml, IntegrationOptions, IntegrationOutcome};
 use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig, TableIRuleSet};
 use imprecise::oracle::Oracle;
 use imprecise::quality::{evaluate, QualityReport};
@@ -49,7 +49,7 @@ pub fn measure(
     measurement(label, &result)
 }
 
-fn measurement(label: impl Into<String>, result: &Integration) -> IntegrationMeasurement {
+fn measurement(label: impl Into<String>, result: &IntegrationOutcome) -> IntegrationMeasurement {
     IntegrationMeasurement {
         label: label.into(),
         factored_nodes: result.doc.reachable_count(),
@@ -216,7 +216,7 @@ pub fn integrate_scenario(
     scenario: &MovieScenario,
     oracle: &Oracle,
     options: &IntegrationOptions,
-) -> Integration {
+) -> IntegrationOutcome {
     integrate_xml(
         &scenario.mpeg7,
         &scenario.imdb,
@@ -228,8 +228,8 @@ pub fn integrate_scenario(
 }
 
 /// Build the integrated §VI query database directly (no engine), for
-/// callers that want the raw [`Integration`] statistics.
-pub fn build_query_db() -> Integration {
+/// callers that want the raw [`IntegrationOutcome`] statistics.
+pub fn build_query_db() -> IntegrationOutcome {
     let scenario = scenarios::query_db();
     integrate_xml(
         &scenario.mpeg7,
@@ -409,6 +409,50 @@ mod tests {
         assert_eq!(t.live_pairs, 64);
         assert_eq!(t.kept, 64);
         assert!(t.discarded_mass > 0.0 && t.discarded_mass < 1.0);
+    }
+
+    #[test]
+    fn staged_refinement_equals_the_one_shot_budget() {
+        use imprecise::integrate::RefineOptions;
+        // The integrate_refine bench's premise: spending a budget of 128
+        // as 64 + one 64-matching refinement keeps exactly the same
+        // matchings — and builds the bit-identical document — as
+        // spending 128 at once.
+        let scenario = scenarios::confusable(5);
+        let oracle = confusion_oracle();
+        let one_shot = integrate_scenario(
+            &scenario,
+            &oracle,
+            &IntegrationOptions {
+                max_matchings_per_component: 128,
+                ..IntegrationOptions::default()
+            },
+        );
+        let mut staged = integrate_scenario(
+            &scenario,
+            &oracle,
+            &IntegrationOptions {
+                max_matchings_per_component: 64,
+                ..IntegrationOptions::default()
+            },
+        );
+        staged
+            .refine(
+                &oracle,
+                Some(&scenario.schema),
+                &RefineOptions {
+                    extra_matchings: 64,
+                    min_retained_mass: None,
+                    max_components: usize::MAX,
+                },
+            )
+            .expect("refines");
+        assert_eq!(one_shot.doc.fingerprint(), staged.doc.fingerprint());
+        assert_eq!(
+            one_shot.stats.max_discarded_mass.to_bits(),
+            staged.stats.max_discarded_mass.to_bits(),
+            "exact mass accounting must agree between the two paths"
+        );
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! ```text
 //! imprecise integrate --out merged.xml [--rules FILE|movie|addressbook]
 //!                     [--dtd FILE] [--weights A,B] [--budget K]
-//!                     [--min-mass P] [--strict] [--threads N]
-//!                     a.xml b.xml [c.xml ...]
+//!                     [--budget-total K] [--min-mass P] [--strict]
+//!                     [--threads N] a.xml b.xml [c.xml ...]
+//! imprecise refine --out refined.xml [--rules ...] [--dtd FILE]
+//!                  [--initial-budget K] [--budget K] [--top C]
+//!                  [--steps N] a.xml b.xml [c.xml ...]
 //! imprecise query db.xml QUERY [--threshold P] [--min-probability P]
 //! imprecise explain QUERY [--threshold P]
 //! imprecise stats db.xml
@@ -20,12 +23,32 @@
 //! back in as inputs (incremental integration) or post-processed by any
 //! XML tooling.
 
+use imprecise::integrate::RefineOptions;
 use imprecise::oracle::dsl::{ADDRESSBOOK_RULES, MOVIE_RULES};
 use imprecise::query::QueryPlan;
 use imprecise::{DocHandle, Engine, EngineBuilder};
 use std::fmt;
 use std::io::Write;
 use std::process::ExitCode;
+
+/// The integration knobs shared by `integrate` and `refine`.
+#[derive(Debug, Clone, PartialEq)]
+struct EngineFlags {
+    rules: Option<String>,
+    dtd: Option<String>,
+    weights: (f64, f64),
+    /// Matching budget per candidate-graph component.
+    budget: Option<usize>,
+    /// Total matching budget per tag group, split across its components
+    /// proportionally to live pairs (overrides --budget).
+    budget_total: Option<usize>,
+    /// Early stop once this fraction of each component's mass is kept.
+    min_mass: Option<f64>,
+    /// Fail (classic behaviour) instead of truncating over budget.
+    strict: bool,
+    /// Worker threads for matching enumeration (0 = all cores).
+    threads: Option<usize>,
+}
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,17 +57,20 @@ enum Command {
         /// Two or more source files, integrated by left-fold.
         sources: Vec<String>,
         out: String,
-        rules: Option<String>,
-        dtd: Option<String>,
-        weights: (f64, f64),
-        /// Matching budget per candidate-graph component.
-        budget: Option<usize>,
-        /// Early stop once this fraction of each component's mass is kept.
-        min_mass: Option<f64>,
-        /// Fail (classic behaviour) instead of truncating over budget.
-        strict: bool,
-        /// Worker threads for matching enumeration (0 = all cores).
-        threads: Option<usize>,
+        engine: EngineFlags,
+    },
+    Refine {
+        /// Two or more source files: integrated under the initial
+        /// budget, then refined in place step by step.
+        sources: Vec<String>,
+        out: String,
+        engine: EngineFlags,
+        /// Extra matchings per refined component per step.
+        extra: usize,
+        /// Components refined per step (largest discarded mass first).
+        top: usize,
+        /// Refinement steps (default: until exhausted).
+        steps: Option<usize>,
     },
     Query {
         db: String,
@@ -95,8 +121,13 @@ imprecise — probabilistic XML data integration (IMPrECISE reproduction)
 USAGE:
   imprecise integrate --out FILE [--rules FILE|movie|addressbook]
                       [--dtd FILE] [--weights A,B]
-                      [--budget K] [--min-mass P] [--strict] [--threads N]
+                      [--budget K] [--budget-total K] [--min-mass P]
+                      [--strict] [--threads N]
                       A.xml B.xml [C.xml ...]
+  imprecise refine --out FILE [--rules FILE|movie|addressbook] [--dtd FILE]
+                   [--weights A,B] [--initial-budget K] [--budget K]
+                   [--top C] [--steps N] [--threads N]
+                   A.xml B.xml [C.xml ...]
   imprecise query DB.xml QUERY [--threshold P] [--min-probability P]
   imprecise explain QUERY [--threshold P]
   imprecise stats DB.xml
@@ -118,12 +149,11 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let value = match name {
                 // flags with a value
                 "out" | "rules" | "dtd" | "weights" | "min-probability" | "threshold" | "limit"
-                | "epsilon" | "query" | "value" | "verdict" | "budget" | "min-mass" | "threads" => {
-                    Some(
-                        it.next()
-                            .ok_or_else(|| UsageError(format!("--{name} needs a value")))?,
-                    )
-                }
+                | "epsilon" | "query" | "value" | "verdict" | "budget" | "budget-total"
+                | "initial-budget" | "min-mass" | "threads" | "top" | "steps" => Some(
+                    it.next()
+                        .ok_or_else(|| UsageError(format!("--{name} needs a value")))?,
+                ),
                 // boolean flags
                 "strict" => None,
                 other => return Err(UsageError(format!("unknown flag --{other}"))),
@@ -148,54 +178,95 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             .map(|s| s.to_string())
             .ok_or_else(|| UsageError(format!("missing {what}")))
     };
+    let parse_weights = |w: Option<&str>| -> Result<(f64, f64), UsageError> {
+        match w {
+            None => Ok((0.5, 0.5)),
+            Some(w) => {
+                let (a, b) = w
+                    .split_once(',')
+                    .ok_or_else(|| UsageError(format!("--weights wants A,B, got {w:?}")))?;
+                let pa: f64 = a
+                    .trim()
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad weight {a:?}")))?;
+                let pb: f64 = b
+                    .trim()
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad weight {b:?}")))?;
+                if pa <= 0.0 || pb <= 0.0 {
+                    return Err(UsageError("weights must be positive".into()));
+                }
+                Ok((pa, pb))
+            }
+        }
+    };
+    // The shared integrate/refine knobs; `budget_flag` names the flag
+    // holding the per-component cap (`refine` repurposes --budget for
+    // the per-step extra, so its initial cap is --initial-budget).
+    let engine_flags = |budget_flag: &str| -> Result<EngineFlags, UsageError> {
+        let min_mass = parse_opt_f64_flag(flag("min-mass"), "min-mass")?;
+        if let Some(m) = min_mass {
+            if !(m > 0.0 && m <= 1.0) {
+                return Err(UsageError(format!("--min-mass must be in (0, 1], got {m}")));
+            }
+        }
+        let budget = parse_opt_usize_flag(flag(budget_flag), budget_flag)?;
+        if budget == Some(0) {
+            return Err(UsageError(format!("--{budget_flag} must be at least 1")));
+        }
+        let budget_total = parse_opt_usize_flag(flag("budget-total"), "budget-total")?;
+        if budget_total == Some(0) {
+            return Err(UsageError("--budget-total must be at least 1".into()));
+        }
+        Ok(EngineFlags {
+            rules: flag("rules").map(str::to_string),
+            dtd: flag("dtd").map(str::to_string),
+            weights: parse_weights(flag("weights"))?,
+            budget,
+            budget_total,
+            min_mass,
+            strict: has_flag("strict"),
+            threads: parse_opt_usize_flag(flag("threads"), "threads")?,
+        })
+    };
+    let source_files = |cmd: &str| -> Result<Vec<String>, UsageError> {
+        let sources: Vec<String> = positional.iter().map(|s| s.to_string()).collect();
+        if sources.len() < 2 {
+            return Err(UsageError(format!("{cmd} needs at least two source files")));
+        }
+        Ok(sources)
+    };
     match sub {
-        "integrate" => {
-            let weights = match flag("weights") {
-                None => (0.5, 0.5),
-                Some(w) => {
-                    let (a, b) = w
-                        .split_once(',')
-                        .ok_or_else(|| UsageError(format!("--weights wants A,B, got {w:?}")))?;
-                    let pa: f64 = a
-                        .trim()
-                        .parse()
-                        .map_err(|_| UsageError(format!("bad weight {a:?}")))?;
-                    let pb: f64 = b
-                        .trim()
-                        .parse()
-                        .map_err(|_| UsageError(format!("bad weight {b:?}")))?;
-                    if pa <= 0.0 || pb <= 0.0 {
-                        return Err(UsageError("weights must be positive".into()));
-                    }
-                    (pa, pb)
-                }
-            };
-            let sources: Vec<String> = positional.iter().map(|s| s.to_string()).collect();
-            if sources.len() < 2 {
-                return Err(UsageError(
-                    "integrate needs at least two source files".into(),
-                ));
-            }
-            let min_mass = parse_opt_f64_flag(flag("min-mass"), "min-mass")?;
-            if let Some(m) = min_mass {
-                if !(m > 0.0 && m <= 1.0) {
-                    return Err(UsageError(format!("--min-mass must be in (0, 1], got {m}")));
-                }
-            }
-            let budget = parse_opt_usize_flag(flag("budget"), "budget")?;
-            if budget == Some(0) {
+        "integrate" => Ok(Command::Integrate {
+            sources: source_files("integrate")?,
+            out: required("out")?,
+            engine: engine_flags("budget")?,
+        }),
+        "refine" => {
+            let extra = parse_usize_flag(flag("budget"), 1024, "budget")?;
+            if extra == 0 {
                 return Err(UsageError("--budget must be at least 1".into()));
             }
-            Ok(Command::Integrate {
-                sources,
+            let top = parse_usize_flag(flag("top"), usize::MAX, "top")?;
+            if top == 0 {
+                return Err(UsageError("--top must be at least 1".into()));
+            }
+            let mut engine = engine_flags("initial-budget")?;
+            if engine.strict {
+                return Err(UsageError(
+                    "--strict never truncates, so there is nothing to refine".into(),
+                ));
+            }
+            // A refinement demo wants a visible initial truncation;
+            // default the initial cap to a small budget.
+            engine.budget = engine.budget.or(Some(64));
+            Ok(Command::Refine {
+                sources: source_files("refine")?,
                 out: required("out")?,
-                rules: flag("rules").map(str::to_string),
-                dtd: flag("dtd").map(str::to_string),
-                weights,
-                budget,
-                min_mass,
-                strict: has_flag("strict"),
-                threads: parse_opt_usize_flag(flag("threads"), "threads")?,
+                engine,
+                extra,
+                top,
+                steps: parse_opt_usize_flag(flag("steps"), "steps")?,
             })
         }
         "query" => Ok(Command::Query {
@@ -303,49 +374,90 @@ fn load(engine: &Engine, name: &str, path: &str) -> Result<DocHandle, String> {
         .map_err(|e| format!("{path}: {e}"))
 }
 
+/// Build an engine from the shared integrate/refine flags.
+fn build_engine(flags: &EngineFlags) -> Result<Engine, String> {
+    let mut builder = EngineBuilder::new();
+    if let Some(r) = &flags.rules {
+        let text = rules_text(r)?;
+        builder = builder.rules(&text).map_err(|e| e.to_string())?;
+    }
+    if let Some(d) = &flags.dtd {
+        let text = std::fs::read_to_string(d).map_err(|e| format!("cannot read {d}: {e}"))?;
+        builder = builder.schema_text(&text).map_err(|e| e.to_string())?;
+    }
+    let defaults = imprecise::integrate::IntegrationOptions::default();
+    Ok(builder
+        .options(imprecise::integrate::IntegrationOptions {
+            source_weights: flags.weights,
+            max_matchings_per_component: flags
+                .budget
+                .unwrap_or(defaults.max_matchings_per_component),
+            budget_plan: match flags.budget_total {
+                Some(total) => imprecise::integrate::BudgetPlan::Total(total),
+                None => imprecise::integrate::BudgetPlan::PerComponent,
+            },
+            min_retained_mass: flags.min_mass,
+            strict_matchings: flags.strict,
+            parallelism: flags.threads.unwrap_or(defaults.parallelism),
+            ..defaults
+        })
+        .build())
+}
+
+/// Load the source files and fold them into a document named `result`.
+fn integrate_sources(
+    engine: &Engine,
+    sources: &[String],
+) -> Result<(DocHandle, Vec<imprecise::integrate::IntegrationStats>), String> {
+    let handles = sources
+        .iter()
+        .enumerate()
+        .map(|(i, path)| load(engine, &format!("source-{i}"), path))
+        .collect::<Result<Vec<_>, _>>()?;
+    engine
+        .integrate_many(&handles, "result")
+        .map_err(|e| e.to_string())
+}
+
+/// Print the budget-truncation summary of a fold, flagging which
+/// truncated components are resumable (frontier persisted with the
+/// published document — `imprecise refine` picks them up).
+fn report_truncations(steps: &[imprecise::integrate::IntegrationStats], budget_note: &str) {
+    let truncated: usize = steps.iter().map(|s| s.components_truncated()).sum();
+    if truncated == 0 {
+        return;
+    }
+    let max_discarded = steps
+        .iter()
+        .map(|s| s.max_discarded_mass)
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "budget: {truncated} component(s) truncated, max discarded mass {max_discarded:.4}{budget_note}",
+    );
+    for step in steps {
+        for t in &step.truncated_components {
+            let resumable = if t.frontier_nodes > 0 {
+                format!(", resumable ({} open frontier nodes)", t.frontier_nodes)
+            } else {
+                ", not resumable (intermediate fold step)".to_string()
+            };
+            eprintln!(
+                "  {} — {} live pairs, kept {} matchings, discarded mass {:.4}{resumable}",
+                t.path, t.live_pairs, t.kept, t.discarded_mass
+            );
+        }
+    }
+}
+
 fn run(cmd: Command) -> Result<(), String> {
     match cmd {
         Command::Integrate {
             sources,
             out,
-            rules,
-            dtd,
-            weights,
-            budget,
-            min_mass,
-            strict,
-            threads,
+            engine: flags,
         } => {
-            let mut builder = EngineBuilder::new();
-            if let Some(r) = rules {
-                let text = rules_text(&r)?;
-                builder = builder.rules(&text).map_err(|e| e.to_string())?;
-            }
-            if let Some(d) = dtd {
-                let text =
-                    std::fs::read_to_string(&d).map_err(|e| format!("cannot read {d}: {e}"))?;
-                builder = builder.schema_text(&text).map_err(|e| e.to_string())?;
-            }
-            let defaults = imprecise::integrate::IntegrationOptions::default();
-            let engine = builder
-                .options(imprecise::integrate::IntegrationOptions {
-                    source_weights: weights,
-                    max_matchings_per_component: budget
-                        .unwrap_or(defaults.max_matchings_per_component),
-                    min_retained_mass: min_mass,
-                    strict_matchings: strict,
-                    parallelism: threads.unwrap_or(defaults.parallelism),
-                    ..defaults
-                })
-                .build();
-            let handles = sources
-                .iter()
-                .enumerate()
-                .map(|(i, path)| load(&engine, &format!("source-{i}"), path))
-                .collect::<Result<Vec<_>, _>>()?;
-            let (result, steps) = engine
-                .integrate_many(&handles, "result")
-                .map_err(|e| e.to_string())?;
+            let engine = build_engine(&flags)?;
+            let (result, steps) = integrate_sources(&engine, &sources)?;
             let snapshot = engine.snapshot(&result).map_err(|e| e.to_string())?;
             std::fs::write(&out, snapshot.export())
                 .map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -354,11 +466,6 @@ fn run(cmd: Command) -> Result<(), String> {
             let sum = |f: fn(&imprecise::integrate::IntegrationStats) -> usize| -> usize {
                 steps.iter().map(f).sum()
             };
-            let truncated = sum(|s| s.components_truncated());
-            let max_discarded = steps
-                .iter()
-                .map(|s| s.max_discarded_mass)
-                .fold(0.0f64, f64::max);
             eprintln!(
                 "integrated: {} pairs judged ({} match / {} non-match / {} undecided), \
                  {} possible worlds, {} nodes -> {out}",
@@ -369,23 +476,77 @@ fn run(cmd: Command) -> Result<(), String> {
                 doc_stats.worlds,
                 doc_stats.breakdown.total(),
             );
-            if truncated > 0 {
-                eprintln!(
-                    "budget: {} component(s) truncated, max discarded mass {:.4}; \
-                     matchings kept per component <= {}",
-                    truncated,
-                    max_discarded,
-                    engine.options().max_matchings_per_component,
-                );
-                for step in &steps {
-                    for t in &step.truncated_components {
-                        eprintln!(
-                            "  {} — {} live pairs, kept {} matchings, discarded mass {:.4}",
-                            t.path, t.live_pairs, t.kept, t.discarded_mass
-                        );
-                    }
+            report_truncations(
+                &steps,
+                &format!(
+                    "; matchings kept per component <= {}",
+                    engine.options().max_matchings_per_component
+                ),
+            );
+            Ok(())
+        }
+        Command::Refine {
+            sources,
+            out,
+            engine: flags,
+            extra,
+            top,
+            steps: max_steps,
+        } => {
+            let engine = build_engine(&flags)?;
+            let (result, steps) = integrate_sources(&engine, &sources)?;
+            report_truncations(&steps, "");
+            let options = RefineOptions {
+                extra_matchings: extra,
+                min_retained_mass: None,
+                max_components: top,
+            };
+            let mut step_no = 0usize;
+            loop {
+                if max_steps.is_some_and(|limit| step_no >= limit) {
+                    break;
                 }
+                let step = engine
+                    .refine(&result, &options)
+                    .map_err(|e| e.to_string())?;
+                if step.refined.is_empty() {
+                    break;
+                }
+                step_no += 1;
+                for r in &step.refined {
+                    eprintln!(
+                        "refine step {step_no}: {} — kept {} -> {} matchings, \
+                         discarded mass {:.4} -> {:.4}{}",
+                        r.path,
+                        r.kept_before,
+                        r.kept_after,
+                        r.discarded_before,
+                        r.discarded_after,
+                        if r.exhausted { " (exhausted)" } else { "" },
+                    );
+                }
+                if step.remaining == 0 {
+                    eprintln!("refine: document is exact now ({step_no} step(s))");
+                    break;
+                }
+                eprintln!(
+                    "refine step {step_no}: {} component(s) still open, \
+                     max discarded mass {:.4}",
+                    step.remaining, step.max_discarded_mass,
+                );
             }
+            if step_no == 0 {
+                eprintln!("refine: nothing to refine (no component was truncated)");
+            }
+            let snapshot = engine.snapshot(&result).map_err(|e| e.to_string())?;
+            std::fs::write(&out, snapshot.export())
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            let doc_stats = snapshot.stats();
+            eprintln!(
+                "refined: {} possible worlds, {} nodes -> {out}",
+                doc_stats.worlds,
+                doc_stats.breakdown.total(),
+            );
             Ok(())
         }
         Command::Query {
@@ -557,13 +718,16 @@ mod tests {
             Command::Integrate {
                 sources: vec!["a.xml".into(), "b.xml".into()],
                 out: "m.xml".into(),
-                rules: Some("movie".into()),
-                dtd: None,
-                weights: (0.8, 0.2),
-                budget: None,
-                min_mass: None,
-                strict: false,
-                threads: None,
+                engine: EngineFlags {
+                    rules: Some("movie".into()),
+                    dtd: None,
+                    weights: (0.8, 0.2),
+                    budget: None,
+                    budget_total: None,
+                    min_mass: None,
+                    strict: false,
+                    threads: None,
+                },
             }
         );
     }
@@ -576,6 +740,8 @@ mod tests {
             "m.xml",
             "--budget",
             "64",
+            "--budget-total",
+            "640",
             "--min-mass",
             "0.95",
             "--strict",
@@ -589,26 +755,98 @@ mod tests {
         .unwrap();
         match cmd {
             Command::Integrate {
-                sources,
-                budget,
-                min_mass,
-                strict,
-                threads,
-                ..
+                sources, engine, ..
             } => {
                 assert_eq!(sources.len(), 4);
-                assert_eq!(budget, Some(64));
-                assert_eq!(min_mass, Some(0.95));
-                assert!(strict);
-                assert_eq!(threads, Some(0));
+                assert_eq!(engine.budget, Some(64));
+                assert_eq!(engine.budget_total, Some(640));
+                assert_eq!(engine.min_mass, Some(0.95));
+                assert!(engine.strict);
+                assert_eq!(engine.threads, Some(0));
             }
             other => panic!("{other:?}"),
         }
         assert!(parse(&["integrate", "--out", "m.xml", "--budget", "lots", "a", "b"]).is_err());
+        assert!(parse(&[
+            "integrate",
+            "--out",
+            "m.xml",
+            "--budget-total",
+            "0",
+            "a",
+            "b"
+        ])
+        .is_err());
         assert!(parse(&["integrate", "--out", "m.xml", "only-one.xml"])
             .unwrap_err()
             .0
             .contains("at least two"));
+    }
+
+    #[test]
+    fn refine_command_parses_with_defaults() {
+        let cmd = parse(&["refine", "--out", "r.xml", "a.xml", "b.xml"]).unwrap();
+        match cmd {
+            Command::Refine {
+                sources,
+                out,
+                engine,
+                extra,
+                top,
+                steps,
+            } => {
+                assert_eq!(sources.len(), 2);
+                assert_eq!(out, "r.xml");
+                // The initial integrate defaults to a small truncating cap.
+                assert_eq!(engine.budget, Some(64));
+                assert_eq!(extra, 1024);
+                assert_eq!(top, usize::MAX);
+                assert_eq!(steps, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn refine_flags_parse_and_validate() {
+        let cmd = parse(&[
+            "refine",
+            "--out",
+            "r.xml",
+            "--initial-budget",
+            "16",
+            "--budget",
+            "128",
+            "--top",
+            "2",
+            "--steps",
+            "5",
+            "a.xml",
+            "b.xml",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Refine {
+                engine,
+                extra,
+                top,
+                steps,
+                ..
+            } => {
+                assert_eq!(engine.budget, Some(16));
+                assert_eq!(extra, 128);
+                assert_eq!(top, 2);
+                assert_eq!(steps, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Strict mode never truncates: nothing to refine.
+        assert!(parse(&["refine", "--out", "r.xml", "--strict", "a", "b"])
+            .unwrap_err()
+            .0
+            .contains("nothing to refine"));
+        assert!(parse(&["refine", "--out", "r.xml", "--top", "0", "a", "b"]).is_err());
+        assert!(parse(&["refine", "--out", "r.xml", "--budget", "0", "a", "b"]).is_err());
     }
 
     #[test]

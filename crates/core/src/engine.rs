@@ -56,7 +56,8 @@
 use crate::error::ImpreciseError;
 use imprecise_feedback::{apply_feedback, FeedbackReport};
 use imprecise_integrate::{
-    integrate_many_px, integrate_px, IntegrateError, IntegrationOptions, IntegrationStats,
+    integrate_many_px, integrate_px_shared, IntegrateError, IntegrationOptions, IntegrationOutcome,
+    IntegrationStats, RefineOptions, RefineState, RefineStep,
 };
 use imprecise_oracle::Oracle;
 use imprecise_pxml::{parse_annotated, to_annotated_xml, NodeBreakdown, PxDoc};
@@ -338,11 +339,17 @@ impl PreparedQuery {
 /// recompute would otherwise starve the writer indefinitely.
 const OPTIMISTIC_ROUNDS: usize = 8;
 
-/// One catalog slot: the current version of a named document.
+/// One catalog slot: the current version of a named document, plus —
+/// when that version came out of a budget-truncated integration — the
+/// refinable state (persisted enumeration frontiers and retained
+/// sources) belonging to *exactly* that version. Every publish replaces
+/// both together, so a frontier can never be applied to a document it
+/// does not point into.
 struct Slot {
     name: Arc<str>,
     version: u64,
     doc: Arc<PxDoc>,
+    refine: Option<Arc<RefineState>>,
 }
 
 /// The versioned document catalog behind the engine's `RwLock`.
@@ -373,12 +380,21 @@ impl Catalog {
     }
 
     /// Publish `doc` under `name`: into the existing slot (bumping its
-    /// version) if the name is taken, else into a fresh slot.
-    fn publish(&mut self, name: &str, doc: Arc<PxDoc>) -> DocHandle {
+    /// version) if the name is taken, else into a fresh slot. `refine`
+    /// is the refinable state belonging to this version (`None` for
+    /// exact documents); whatever state the previous version carried is
+    /// replaced with it.
+    fn publish(
+        &mut self,
+        name: &str,
+        doc: Arc<PxDoc>,
+        refine: Option<Arc<RefineState>>,
+    ) -> DocHandle {
         if let Some(&id) = self.by_name.get(name) {
             let slot = self.slots.get_mut(&id).expect("name index points at slot");
             slot.version += 1;
             slot.doc = doc;
+            slot.refine = refine;
             return DocHandle {
                 engine_id: self.engine_id,
                 id,
@@ -394,6 +410,7 @@ impl Catalog {
                 name: Arc::clone(&name),
                 version: 1,
                 doc,
+                refine,
             },
         );
         self.by_name.insert(Arc::clone(&name), id);
@@ -622,7 +639,7 @@ impl Engine {
     /// [`DocSnapshot::doc_arc`]).
     pub fn insert_arc(&self, name: &str, doc: Arc<PxDoc>) -> DocHandle {
         let mut catalog = self.shared.catalog.write().expect("catalog lock");
-        catalog.publish(name, doc)
+        catalog.publish(name, doc, None)
     }
 
     /// Pin the current version of a document for reading.
@@ -643,6 +660,11 @@ impl Engine {
     /// statistics. Runs on snapshots of `a` and `b`: the catalog lock is
     /// not held during the integration itself.
     ///
+    /// If the configured budget truncated components, the published
+    /// version carries their persisted enumeration frontiers:
+    /// [`refine`](Self::refine) can then spend more budget on exactly
+    /// those components without re-integrating.
+    ///
     /// When `out` republishes one of the *inputs* (incremental
     /// integration, e.g. `integrate(&merged, &late, "merged")`), the
     /// publish is a read-modify-write of that slot and gets the same
@@ -661,15 +683,14 @@ impl Engine {
         for _ in 0..OPTIMISTIC_ROUNDS {
             let da = self.snapshot(a)?;
             let db = self.snapshot(b)?;
-            let result = self.integrate_docs(da.doc(), db.doc())?;
+            let result = self.integrate_docs(&da.doc_arc(), &db.doc_arc())?;
             let mut catalog = self.shared.catalog.write().expect("catalog lock");
             let stale = catalog.by_name.get(out).is_some_and(|&out_id| {
                 (out_id == a.id && catalog.slots[&a.id].version != da.version())
                     || (out_id == b.id && catalog.slots[&b.id].version != db.version())
             });
             if !stale {
-                let handle = catalog.publish(out, Arc::new(result.doc));
-                return Ok((handle, result.stats));
+                return Ok(Self::publish_outcome(&mut catalog, out, result));
             }
             // An input we are republishing moved; retry on its new version.
         }
@@ -683,8 +704,20 @@ impl Engine {
         };
         let (da, db) = (slot(a)?, slot(b)?);
         let result = self.integrate_docs(&da, &db)?;
-        let handle = catalog.publish(out, Arc::new(result.doc));
-        Ok((handle, result.stats))
+        Ok(Self::publish_outcome(&mut catalog, out, result))
+    }
+
+    /// Publish an integration outcome: the document and — for truncated
+    /// runs — the refinable state, versioned together.
+    fn publish_outcome(
+        catalog: &mut Catalog,
+        out: &str,
+        mut outcome: IntegrationOutcome,
+    ) -> (DocHandle, IntegrationStats) {
+        let state = outcome.detach_refine_state();
+        let stats = outcome.stats;
+        let handle = catalog.publish(out, Arc::new(outcome.doc), state.map(Arc::new));
+        (handle, stats)
     }
 
     /// Integrate any number of source documents by left-fold
@@ -727,7 +760,7 @@ impl Engine {
                     .any(|(h, s)| out_id == h.id && catalog.slots[&h.id].version != s.version())
             });
             if !stale {
-                let handle = catalog.publish(out, Arc::new(result.doc));
+                let (handle, _) = Self::publish_outcome(&mut catalog, out, result.outcome);
                 return Ok((handle, result.steps));
             }
             // An input we are republishing moved; retry on its new version.
@@ -750,18 +783,152 @@ impl Engine {
             shared.schema.as_ref(),
             &shared.options,
         )?;
-        let handle = catalog.publish(out, Arc::new(result.doc));
+        let (handle, _) = Self::publish_outcome(&mut catalog, out, result.outcome);
         Ok((handle, result.steps))
+    }
+
+    /// The *incremental* mode of [`integrate_many`](Self::integrate_many):
+    /// publish a queryable version of `out` after **every** fold step
+    /// instead of once at the end — the paper's pay-as-you-go loop, where
+    /// readers work with partial folds while later sources arrive.
+    ///
+    /// The first source is published as version 1 of `out`; every further
+    /// step folds the slot's *current* version with the next source and
+    /// publishes the result. Because each step reads the current version
+    /// under the same lost-update protection as
+    /// [`integrate`](Self::integrate), a [`refine`](Self::refine) or
+    /// [`feedback`](Self::feedback) applied between steps is folded in
+    /// rather than overwritten. Each published version carries its own
+    /// truncation frontiers, so partial folds are refinable too.
+    pub fn integrate_many_incremental(
+        &self,
+        sources: &[DocHandle],
+        out: &str,
+    ) -> Result<(DocHandle, Vec<IntegrationStats>), ImpreciseError> {
+        let (first, rest) = sources
+            .split_first()
+            .ok_or(ImpreciseError::Integrate(IntegrateError::NoSources))?;
+        let seed = self.snapshot(first)?;
+        seed.doc().validate().map_err(IntegrateError::from)?;
+        let mut handle = self.insert_arc(out, seed.doc_arc());
+        let mut steps = Vec::with_capacity(rest.len());
+        for source in rest {
+            let (next, stats) = self.integrate(&handle, source, out)?;
+            handle = next;
+            steps.push(stats);
+        }
+        Ok((handle, steps))
+    }
+
+    /// Spend an additional matching budget on the document's truncated
+    /// components — largest discarded mass first — and publish the
+    /// refined result as a new version of the same slot.
+    ///
+    /// This is the pay-as-you-go half of [`integrate`](Self::integrate):
+    /// a budgeted integration keeps each truncated component's
+    /// enumeration frontier next to the published version; `refine`
+    /// resumes those frontiers, grafts the extended matching sets into
+    /// the existing document, and re-publishes. Repeated calls converge
+    /// to the exact integration (bit-identical to an unbudgeted run);
+    /// each step's [`RefineStep`] reports the shrinking discarded mass.
+    ///
+    /// Returns an empty step when the document has nothing to refine
+    /// (exact, foreign-produced, or finalized by feedback). Writers race
+    /// safely: the same optimistic version-check-and-retry as
+    /// [`feedback`](Self::feedback) protects against lost updates, and a
+    /// refinement computed against a stale version is discarded and
+    /// recomputed rather than published.
+    pub fn refine(
+        &self,
+        handle: &DocHandle,
+        options: &RefineOptions,
+    ) -> Result<RefineStep, ImpreciseError> {
+        let shared = &self.shared;
+        for _ in 0..OPTIMISTIC_ROUNDS {
+            let (version, doc, state) = {
+                let catalog = shared.catalog.read().expect("catalog lock");
+                let slot = catalog
+                    .slot_of(handle)
+                    .ok_or_else(|| ImpreciseError::NoSuchDocument(handle.name.to_string()))?;
+                (slot.version, Arc::clone(&slot.doc), slot.refine.clone())
+            };
+            let Some(state) = state else {
+                return Ok(Self::nothing_to_refine());
+            };
+            let (refined_doc, next_state, step) = self.refine_version(&doc, &state, options)?;
+            let mut catalog = shared.catalog.write().expect("catalog lock");
+            let slot = catalog.slot_mut_of(handle)?;
+            if slot.version == version {
+                slot.version += 1;
+                slot.doc = Arc::new(refined_doc);
+                slot.refine = next_state.map(Arc::new);
+                return Ok(step);
+            }
+            // A writer raced us; retry against the published version.
+        }
+        // Contended slot: refine under the write lock so nothing races.
+        let mut catalog = shared.catalog.write().expect("catalog lock");
+        let slot = catalog.slot_mut_of(handle)?;
+        let Some(state) = slot.refine.clone() else {
+            return Ok(Self::nothing_to_refine());
+        };
+        let doc = Arc::clone(&slot.doc);
+        let (refined_doc, next_state, step) = self.refine_version(&doc, &state, options)?;
+        slot.version += 1;
+        slot.doc = Arc::new(refined_doc);
+        slot.refine = next_state.map(Arc::new);
+        Ok(step)
+    }
+
+    /// The step `refine` reports for a version with no refinable state.
+    fn nothing_to_refine() -> RefineStep {
+        RefineStep {
+            refined: Vec::new(),
+            remaining: 0,
+            max_discarded_mass: 0.0,
+        }
+    }
+
+    /// Refine one pinned (document, state) pair outside any lock,
+    /// returning the refined document, the state belonging to it, and
+    /// the step report. Shared by the optimistic rounds and the
+    /// write-lock fallback so the two paths cannot drift apart.
+    fn refine_version(
+        &self,
+        doc: &Arc<PxDoc>,
+        state: &Arc<RefineState>,
+        options: &RefineOptions,
+    ) -> Result<(PxDoc, Option<RefineState>, RefineStep), ImpreciseError> {
+        let shared = &self.shared;
+        let mut outcome = IntegrationOutcome::with_refine_state((**doc).clone(), (**state).clone());
+        let step = outcome.refine(&shared.oracle, shared.schema.as_ref(), options)?;
+        let next_state = outcome.detach_refine_state();
+        Ok((outcome.doc, next_state, step))
+    }
+
+    /// The refinable state of the document's current version, if any:
+    /// how many components are still truncated and how much mass the
+    /// worst of them discarded. `None` means the version is exact (or
+    /// not refinable).
+    pub fn refine_state(&self, handle: &DocHandle) -> Result<Option<(usize, f64)>, ImpreciseError> {
+        let catalog = self.shared.catalog.read().expect("catalog lock");
+        let slot = catalog
+            .slot_of(handle)
+            .ok_or_else(|| ImpreciseError::NoSuchDocument(handle.name.to_string()))?;
+        Ok(slot
+            .refine
+            .as_ref()
+            .map(|s| (s.open_components(), s.max_discarded_mass())))
     }
 
     /// The configured integration of two pinned documents.
     fn integrate_docs(
         &self,
-        a: &PxDoc,
-        b: &PxDoc,
-    ) -> Result<imprecise_integrate::Integration, ImpreciseError> {
+        a: &Arc<PxDoc>,
+        b: &Arc<PxDoc>,
+    ) -> Result<IntegrationOutcome, ImpreciseError> {
         let shared = &self.shared;
-        Ok(integrate_px(
+        Ok(integrate_px_shared(
             a,
             b,
             &shared.oracle,
@@ -866,6 +1033,10 @@ impl Engine {
             if slot.version == snapshot.version() {
                 slot.version += 1;
                 slot.doc = Arc::new(conditioned);
+                // Conditioning rebuilds the document: any persisted
+                // integration frontiers point into the old arena and are
+                // finalized here.
+                slot.refine = None;
                 return Ok(report);
             }
             // A writer raced us; retry against the published version.
@@ -876,6 +1047,7 @@ impl Engine {
         let (conditioned, report) = condition(&slot.doc)?;
         slot.version += 1;
         slot.doc = Arc::new(conditioned);
+        slot.refine = None;
         Ok(report)
     }
 
@@ -1167,5 +1339,157 @@ mod tests {
         assert_eq!(a.name(), "a");
         assert_eq!(engine.handle("a"), Some(a));
         assert_eq!(engine.handle("ghost"), None);
+    }
+
+    /// An engine over the confusable movie workload (one n×n
+    /// all-undecided component) with the given per-component budget,
+    /// plus the two loaded sources.
+    fn confusable_engine_n(n: usize, budget: usize) -> (Engine, DocHandle, DocHandle) {
+        use imprecise_oracle::presets::{movie_oracle, MovieOracleConfig};
+        let scenario = imprecise_datagen::scenarios::confusable(n);
+        let engine = Engine::builder()
+            .oracle(movie_oracle(MovieOracleConfig {
+                title_rule: false,
+                ..MovieOracleConfig::default()
+            }))
+            .schema(scenario.schema)
+            .options(IntegrationOptions {
+                max_matchings_per_component: budget,
+                ..IntegrationOptions::default()
+            })
+            .build();
+        let a = engine
+            .load_xml("a", &imprecise_xmlkit::to_string(&scenario.mpeg7))
+            .unwrap();
+        let b = engine
+            .load_xml("b", &imprecise_xmlkit::to_string(&scenario.imdb))
+            .unwrap();
+        (engine, a, b)
+    }
+
+    /// The 5×5 block (1546 matchings): big enough for staged refinement.
+    fn confusable_engine(budget: usize) -> (Engine, DocHandle, DocHandle) {
+        confusable_engine_n(5, budget)
+    }
+
+    #[test]
+    fn refine_converges_to_the_one_shot_unbudgeted_result() {
+        // Ground truth: the same workload integrated without a budget.
+        let (exact_engine, xa, xb) = confusable_engine(usize::MAX);
+        let (exact, exact_stats) = exact_engine.integrate(&xa, &xb, "db").unwrap();
+        assert!(exact_stats.is_exact());
+        assert_eq!(exact_engine.refine_state(&exact).unwrap(), None);
+        let truth = exact_engine.snapshot(&exact).unwrap().doc().fingerprint();
+
+        let (engine, a, b) = confusable_engine(8);
+        let (db, stats) = engine.integrate(&a, &b, "db").unwrap();
+        assert_eq!(stats.components_truncated(), 1);
+        let (open, worst) = engine.refine_state(&db).unwrap().expect("truncated");
+        assert_eq!(open, 1);
+        assert!(worst > 0.0);
+        let before = engine.snapshot(&db).unwrap();
+        assert_ne!(before.doc().fingerprint(), truth);
+
+        // Staged refinement: every step publishes a new version with a
+        // smaller worst-case discarded mass, until the doc is exact.
+        let mut last_mass = worst;
+        let mut rounds = 0;
+        loop {
+            let step = engine
+                .refine(
+                    &db,
+                    &RefineOptions {
+                        extra_matchings: 512,
+                        ..RefineOptions::default()
+                    },
+                )
+                .unwrap();
+            assert!(step.max_discarded_mass <= last_mass + 1e-12);
+            last_mass = step.max_discarded_mass;
+            rounds += 1;
+            if step.remaining == 0 {
+                break;
+            }
+            assert!(rounds < 100, "failed to converge");
+        }
+        assert!(rounds >= 2, "1546 matchings at 8+512 per step need stages");
+        assert_eq!(engine.refine_state(&db).unwrap(), None);
+        let after = engine.snapshot(&db).unwrap();
+        assert_eq!(after.doc().fingerprint(), truth, "refined ≡ one-shot");
+        assert_eq!(after.version(), before.version() + rounds);
+        // The pre-refinement snapshot still reads the budgeted version.
+        assert_ne!(before.doc().fingerprint(), truth);
+        // Refining an exact document is a cheap no-op.
+        let noop = engine.refine(&db, &RefineOptions::default()).unwrap();
+        assert!(noop.refined.is_empty());
+        assert_eq!(engine.snapshot(&db).unwrap().version(), after.version());
+    }
+
+    #[test]
+    fn refine_improves_query_answers_in_place() {
+        // 3×3: 34 matchings — the query side stays cheap at exhaustive.
+        let (engine, a, b) = confusable_engine_n(3, 4);
+        let (db, _) = engine.integrate(&a, &b, "db").unwrap();
+        let q = engine.prepare("//movie/title").unwrap();
+        let before = q.run(&engine.snapshot(&db).unwrap()).unwrap();
+        engine.refine(&db, &RefineOptions::to_exhaustive()).unwrap();
+        let after = q.run(&engine.snapshot(&db).unwrap()).unwrap();
+        // Same answers, different (exact) probabilities: the truncated
+        // distribution over-weighted the kept heavy matchings.
+        assert_eq!(before.len(), after.len());
+        assert!(
+            before
+                .items
+                .iter()
+                .any(|ans| (ans.probability - after.probability_of(&ans.value)).abs() > 1e-9),
+            "refinement must move at least one answer probability"
+        );
+    }
+
+    #[test]
+    fn feedback_finalizes_refinable_documents() {
+        let (engine, a, b) = confusable_engine(8);
+        let (db, _) = engine.integrate(&a, &b, "db").unwrap();
+        assert!(engine.refine_state(&db).unwrap().is_some());
+        let q = engine.prepare("//movie/title").unwrap();
+        engine.feedback(&db, &q, "Jaws", true).unwrap();
+        // Conditioning rebuilt the document: the frontiers are gone and
+        // refine degrades to a no-op instead of corrupting the doc.
+        assert_eq!(engine.refine_state(&db).unwrap(), None);
+        let step = engine.refine(&db, &RefineOptions::default()).unwrap();
+        assert!(step.refined.is_empty());
+    }
+
+    #[test]
+    fn incremental_fold_publishes_a_version_per_step() {
+        let (engine, a, b) = john_engine();
+        let c = engine
+            .load_xml(
+                "c",
+                "<addressbook><person><nm>Mary</nm><tel>3333</tel></person></addressbook>",
+            )
+            .unwrap();
+        let (batch, batch_steps) = engine
+            .integrate_many(&[a.clone(), b.clone(), c.clone()], "batch")
+            .unwrap();
+        let (inc, inc_steps) = engine
+            .integrate_many_incremental(&[a, b, c], "inc")
+            .unwrap();
+        assert_eq!(batch_steps.len(), 2);
+        assert_eq!(inc_steps.len(), 2);
+        // The incremental slot went through versions 1 (seed), 2, 3…
+        let snapshot = engine.snapshot(&inc).unwrap();
+        assert_eq!(snapshot.version(), 3);
+        assert_eq!(engine.snapshot(&batch).unwrap().version(), 1);
+        // …and the final fold is the same document.
+        assert_eq!(
+            snapshot.doc().fingerprint(),
+            engine.snapshot(&batch).unwrap().doc().fingerprint()
+        );
+        // Empty source lists are rejected like the batch mode.
+        assert!(matches!(
+            engine.integrate_many_incremental(&[], "out"),
+            Err(ImpreciseError::Integrate(IntegrateError::NoSources))
+        ));
     }
 }

@@ -18,6 +18,14 @@ use std::fmt;
 /// Marked `#[non_exhaustive]`: future releases may add variants (e.g. for
 /// persistence or sharding) without a breaking change, so downstream
 /// matches need a wildcard arm.
+///
+/// Refinement (`Engine::refine`) reports through the same surface:
+/// invalid `RefineOptions` and re-emission failures arrive as
+/// [`ImpreciseError::Integrate`] (wrapping
+/// [`IntegrateError::InvalidOptions`] and friends), and refining a
+/// foreign or unknown handle is [`ImpreciseError::NoSuchDocument`] like
+/// every other document operation. A document with nothing to refine is
+/// *not* an error — `refine` returns an empty step.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum ImpreciseError {

@@ -507,6 +507,47 @@ pub fn confusable_grid(groups: usize, n: usize) -> MovieScenario {
     scenario
 }
 
+/// A heterogeneous confusable workload: one [`confusable`]-style block
+/// per entry of `sizes`, each pinned to its own year so the year rule
+/// separates the blocks while nothing separates entries within one —
+/// the candidate graph factors into components of *different* sizes
+/// (`sizes[i]²` live pairs each).
+///
+/// This is the budget-planner and refinement workload: under
+/// `BudgetPlan::Total` the big components should win most of the
+/// budget, and a refinement loop should pick the block with the largest
+/// discarded mass first.
+pub fn confusable_mixed(sizes: &[usize]) -> MovieScenario {
+    let mut mpeg7 = Vec::new();
+    let mut imdb = Vec::new();
+    for (g, &n) in sizes.iter().enumerate() {
+        let fr = &FRANCHISES[g % FRANCHISES.len()];
+        let year = 1900 + 10 * g as u32;
+        for i in 0..n {
+            mpeg7.push(
+                MovieBuilder::new((g * 1000 + i) as u64, fr.title(i + 1), year)
+                    .genre(fr.genres[0])
+                    .director(fr.directors[i % 3])
+                    .build(),
+            );
+            imdb.push(
+                MovieBuilder::new(
+                    (100_000 + g * 1000 + i) as u64,
+                    format!("{} (TV)", fr.title(i + 1)),
+                    year,
+                )
+                .genre(fr.genres[0])
+                .director(fr.directors[(i + 1) % 3])
+                .build(),
+            );
+        }
+    }
+    let mut scenario = build("confusable-mixed", &mpeg7, &imdb, 0);
+    let label: Vec<String> = sizes.iter().map(|n| n.to_string()).collect();
+    scenario.info.name = format!("confusable-mixed-{}", label.join("x"));
+    scenario
+}
+
 fn build(name: &str, mpeg7: &[Movie], imdb: &[Movie], shared: usize) -> MovieScenario {
     MovieScenario {
         mpeg7: catalog_to_xml(mpeg7, SourceStyle::Mpeg7),
@@ -668,6 +709,29 @@ mod tests {
         for year in [1900, 1910, 1920, 1930] {
             assert_eq!(a.matches(&format!("<year>{year}</year>")).count(), 6);
         }
+    }
+
+    #[test]
+    fn confusable_mixed_builds_blocks_of_requested_sizes() {
+        let s = confusable_mixed(&[5, 3, 2]);
+        assert_eq!(s.info.mpeg7_movies, 10);
+        assert_eq!(s.info.imdb_movies, 10);
+        assert_eq!(s.info.name, "confusable-mixed-5x3x2");
+        s.schema.validate(&s.mpeg7).unwrap();
+        s.schema.validate(&s.imdb).unwrap();
+        let a = to_string(&s.mpeg7);
+        // Each block is pinned to its own year, sized as requested.
+        for (year, n) in [(1900, 5), (1910, 3), (1920, 2)] {
+            assert_eq!(
+                a.matches(&format!("<year>{year}</year>")).count(),
+                n,
+                "{year}"
+            );
+        }
+        assert_eq!(
+            to_string(&confusable_mixed(&[5, 3, 2]).imdb),
+            to_string(&s.imdb)
+        );
     }
 
     #[test]

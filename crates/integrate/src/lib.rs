@@ -52,6 +52,26 @@
 //! historical fail-fast behaviour: a component over budget aborts
 //! integration with [`IntegrateError::TooManyMatchings`].
 //!
+//! ## Resumable integration (pay-as-you-go refinement)
+//!
+//! A budgeted run does not discard its search state: every truncated
+//! component's best-first frontier — open prefix decisions, admissible
+//! bounds, retained/discarded mass — persists as a
+//! [`ComponentFrontier`] inside the returned [`IntegrationOutcome`].
+//! [`IntegrationOutcome::refine`] resumes those searches with more
+//! budget, largest discarded mass first, and re-emits only the refined
+//! components' subtrees into the existing document (grafting into the
+//! arena through the merge builder, not rebuilding the document).
+//!
+//! The invariant that makes this safe: budgeted-then-refined-to-
+//! unlimited is **byte-identical** (document fingerprint) to a one-shot
+//! exhaustive integration, and `retained + discarded == 1` per
+//! component at every refinement step — property-tested in
+//! `tests/prop_refine.rs`. Budget *planning* is the third knob:
+//! [`BudgetPlan::Total`] splits one total budget across a tag group's
+//! components proportionally to their live-pair counts
+//! ([`pipeline::plan_budgets`]).
+//!
 //! Inputs may already be probabilistic (incremental integration): choice
 //! points encountered in a child list are locally enumerated (with a cap)
 //! and the alternatives integrated per combination.
@@ -79,14 +99,34 @@ pub mod matching;
 mod merge;
 pub mod pipeline;
 
-pub use matching::{Candidate, Component, MatchBudget, Matching, TooManyMatchings};
-pub use pipeline::ComponentOutcome;
+pub use matching::{
+    Candidate, Component, ComponentFrontier, FrontierEnumerator, MatchBudget, Matching,
+    TooManyMatchings,
+};
+pub use pipeline::{ComponentOutcome, DocFrontier};
 
 use imprecise_oracle::Oracle;
-use imprecise_pxml::{from_xml, PxDoc, PxInvariantError};
+use imprecise_pxml::{from_xml, PxDoc, PxInvariantError, PxNodeId};
 use imprecise_xmlkit::{Schema, XmlDoc};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
+
+/// How the matching budget is applied across the components of a tag
+/// group (the budget-planning knob of the pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetPlan {
+    /// [`IntegrationOptions::max_matchings_per_component`] caps every
+    /// component independently (the historical behaviour).
+    PerComponent,
+    /// Treat this value as a *total* matching budget for each tag group,
+    /// distributed across the group's components proportionally to
+    /// their live-pair counts (see [`pipeline::plan_budgets`]): big
+    /// ambiguous components get most of the budget, trivial ones the
+    /// guaranteed minimum of 1. In this mode
+    /// `max_matchings_per_component` is ignored.
+    Total(usize),
+}
 
 /// Tuning knobs of the integration engine.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +139,10 @@ pub struct IntegrationOptions {
     /// default) keeps the heaviest ones and records the discarded
     /// probability mass; strict mode errors instead.
     pub max_matchings_per_component: usize,
+    /// How the budget is spread over a tag group's components:
+    /// per-component cap (default) or a planned total split
+    /// proportionally to live pairs.
+    pub budget_plan: BudgetPlan,
     /// Optional early stop for budgeted enumeration: a component's
     /// enumeration ends as soon as the kept matchings are guaranteed to
     /// cover this fraction of the component's probability mass. `None`
@@ -129,6 +173,7 @@ impl Default for IntegrationOptions {
         IntegrationOptions {
             source_weights: (0.5, 0.5),
             max_matchings_per_component: 1 << 18,
+            budget_plan: BudgetPlan::PerComponent,
             min_retained_mass: None,
             strict_matchings: false,
             parallelism: 1,
@@ -164,6 +209,11 @@ impl IntegrationOptions {
         if self.max_matchings_per_component == 0 {
             return Err(IntegrateError::InvalidOptions(
                 "max_matchings_per_component must be at least 1".into(),
+            ));
+        }
+        if self.budget_plan == BudgetPlan::Total(0) {
+            return Err(IntegrateError::InvalidOptions(
+                "a total matching budget must be at least 1".into(),
             ));
         }
         Ok(())
@@ -272,6 +322,11 @@ pub struct TruncatedComponent {
     /// Probability mass dropped with the unenumerated matchings — a
     /// conservative upper bound; the kept matchings were renormalised.
     pub discarded_mass: f64,
+    /// Open search states persisted for this component: the size of the
+    /// frontier a [`IntegrationOutcome::refine`] call resumes from
+    /// (0 only when the truncation is not resumable, e.g. an
+    /// intermediate step of an N-source fold).
+    pub frontier_nodes: usize,
 }
 
 /// Counters describing what the engine (and its Oracle) did.
@@ -328,13 +383,398 @@ impl IntegrationStats {
     }
 }
 
-/// An integration result: the probabilistic document plus statistics.
+/// What one [`IntegrationOutcome::refine`] call should spend: the
+/// pay-as-you-go knob. Components are refined largest discarded mass
+/// first — exactly where the next unit of effort buys the most fidelity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineOptions {
+    /// Additional matchings to enumerate per refined component (on top
+    /// of what previous runs kept). `usize::MAX` runs each selected
+    /// component to completion.
+    pub extra_matchings: usize,
+    /// Optional retained-mass target: a refined component's enumeration
+    /// also stops once its kept matchings are guaranteed to cover this
+    /// fraction of its total probability mass.
+    pub min_retained_mass: Option<f64>,
+    /// Refine at most this many components per call, largest discarded
+    /// mass first. `usize::MAX` refines every open component.
+    pub max_components: usize,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            extra_matchings: 1024,
+            min_retained_mass: None,
+            max_components: usize::MAX,
+        }
+    }
+}
+
+impl RefineOptions {
+    /// Run every open component to completion: afterwards the document
+    /// is bit-identical to an unbudgeted integration.
+    pub fn to_exhaustive() -> Self {
+        RefineOptions {
+            extra_matchings: usize::MAX,
+            min_retained_mass: None,
+            max_components: usize::MAX,
+        }
+    }
+
+    fn validate(&self) -> Result<(), IntegrateError> {
+        if self.extra_matchings == 0 && self.min_retained_mass.is_none() {
+            return Err(IntegrateError::InvalidOptions(
+                "refine needs extra_matchings >= 1 or a min_retained_mass target".into(),
+            ));
+        }
+        if let Some(t) = self.min_retained_mass {
+            if !(t > 0.0 && t <= 1.0) {
+                return Err(IntegrateError::InvalidOptions(format!(
+                    "min_retained_mass must be in (0, 1], got {t}"
+                )));
+            }
+        }
+        if self.max_components == 0 {
+            return Err(IntegrateError::InvalidOptions(
+                "refine needs max_components >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One component's before/after numbers in a [`RefineStep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinedComponent {
+    /// Element path of the component's tag group.
+    pub path: String,
+    /// Matchings kept before this refinement.
+    pub kept_before: usize,
+    /// Matchings kept after it.
+    pub kept_after: usize,
+    /// Discarded mass before this refinement.
+    pub discarded_before: f64,
+    /// Discarded mass after it (0 when the component drained).
+    pub discarded_after: f64,
+    /// True when the component's enumeration completed: nothing left to
+    /// refine there.
+    pub exhausted: bool,
+}
+
+/// What one [`IntegrationOutcome::refine`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineStep {
+    /// The components refined in this step, in refinement order
+    /// (largest discarded mass first).
+    pub refined: Vec<RefinedComponent>,
+    /// Components still truncated after the step (frontiers left open).
+    pub remaining: usize,
+    /// Largest per-component discarded mass after the step (0 when the
+    /// document is now exact).
+    pub max_discarded_mass: f64,
+}
+
+/// An integration result: the probabilistic document, statistics, and —
+/// when the budget truncated components — their persisted enumeration
+/// frontiers, so the result can be *refined in place* instead of
+/// re-integrated from scratch.
+///
+/// This type replaces the earlier `Integration {doc, stats}` pair; the
+/// two public fields are unchanged, and exact (untruncated) outcomes
+/// carry no extra state.
+///
+/// A truncated outcome defers document simplification until the last
+/// frontier drains (simplification may restructure the very choice
+/// points refinement grafts into); the deferred pass runs automatically
+/// at the end of the [`refine`](Self::refine) call that makes the
+/// document exact.
 #[derive(Debug, Clone)]
-pub struct Integration {
+pub struct IntegrationOutcome {
     /// The integrated probabilistic document.
     pub doc: PxDoc,
-    /// What happened during integration.
+    /// What happened during integration. Refinement keeps
+    /// [`IntegrationStats::truncated_components`] and
+    /// [`IntegrationStats::max_discarded_mass`] in sync with the live
+    /// frontiers; the enumeration counters describe the initial run.
     pub stats: IntegrationStats,
+    /// Persisted per-component enumeration frontiers, one per truncated
+    /// component still open.
+    frontiers: Vec<DocFrontier>,
+    /// The source documents, retained while any frontier is open
+    /// (re-emission walks them again); dropped once the outcome is
+    /// exact.
+    sources: Option<(Arc<PxDoc>, Arc<PxDoc>)>,
+    /// The options the integration ran under (re-emission must match).
+    options: IntegrationOptions,
+}
+
+/// Former name of [`IntegrationOutcome`]: the result type gained
+/// resumable frontiers and kept its `doc` / `stats` fields.
+#[deprecated(note = "renamed to IntegrationOutcome")]
+pub type Integration = IntegrationOutcome;
+
+impl IntegrationOutcome {
+    /// The persisted enumeration frontiers, largest structures first
+    /// refinable; empty when the result is exact.
+    pub fn frontiers(&self) -> &[DocFrontier] {
+        &self.frontiers
+    }
+
+    /// True when at least one component's frontier is open — a
+    /// [`refine`](Self::refine) call can improve this result in place.
+    pub fn is_refinable(&self) -> bool {
+        !self.frontiers.is_empty()
+    }
+
+    /// Largest per-component discarded mass over the open frontiers
+    /// (0 when the result is exact).
+    pub fn max_discarded_mass(&self) -> f64 {
+        self.frontiers
+            .iter()
+            .map(|f| f.discarded_mass())
+            .fold(0.0, f64::max)
+    }
+
+    /// Spend an additional matching budget on the components with the
+    /// largest discarded mass: resume their best-first enumeration from
+    /// the persisted frontiers and re-emit only those components'
+    /// subtrees into the existing document (grafting into the arena, not
+    /// rebuilding the document).
+    ///
+    /// Mass accounting closes after every step (`retained + discarded ==
+    /// 1` per component) and the largest discarded mass never increases.
+    /// Refining with [`RefineOptions::to_exhaustive`] (or repeatedly,
+    /// until [`is_refinable`](Self::is_refinable) turns false) converges
+    /// to the *exact* integration: the final document is bit-identical —
+    /// by fingerprint — to a one-shot unbudgeted run.
+    ///
+    /// `oracle` and `schema` must be the ones the integration ran under
+    /// (re-emission consults them for the merged pairs' children).
+    ///
+    /// Errors are atomic: if a re-emission trips a resource guard
+    /// ([`IntegrateError::OutputTooLarge`],
+    /// [`IntegrateError::TooManyLocalWorlds`]), every touched choice
+    /// point is rolled back, the nodes this call appended are dropped
+    /// from the arena, and the outcome — document, frontiers, stats —
+    /// is left exactly as it was before the call.
+    pub fn refine(
+        &mut self,
+        oracle: &Oracle,
+        schema: Option<&Schema>,
+        options: &RefineOptions,
+    ) -> Result<RefineStep, IntegrateError> {
+        options.validate()?;
+        if self.frontiers.is_empty() {
+            return Ok(RefineStep {
+                refined: Vec::new(),
+                remaining: 0,
+                max_discarded_mass: 0.0,
+            });
+        }
+        let (src_a, src_b) = self
+            .sources
+            .clone()
+            .expect("open frontiers retain their sources");
+        // Pick the top components by discarded mass (ties: emission
+        // order — deterministic).
+        let mut order: Vec<usize> = (0..self.frontiers.len()).collect();
+        order.sort_by(|&x, &y| {
+            self.frontiers[y]
+                .discarded_mass()
+                .total_cmp(&self.frontiers[x].discarded_mass())
+                .then(x.cmp(&y))
+        });
+        order.truncate(options.max_components);
+        // Nested tag groups encountered during re-emission enumerate
+        // under the refine budget: an exhaustive refinement must not
+        // re-truncate below the refined component, under *either*
+        // budget plan.
+        let exhaustive = options.extra_matchings == usize::MAX;
+        let reemit_options = IntegrationOptions {
+            max_matchings_per_component: if exhaustive {
+                usize::MAX
+            } else {
+                self.options.max_matchings_per_component
+            },
+            budget_plan: if exhaustive {
+                BudgetPlan::PerComponent
+            } else {
+                self.options.budget_plan
+            },
+            min_retained_mass: if exhaustive {
+                None
+            } else {
+                self.options.min_retained_mass
+            },
+            strict_matchings: false,
+            ..self.options
+        };
+        // Node creation only appends to the arena: remembering its
+        // length lets a failed refine drop everything it added.
+        let arena_mark = self.doc.arena_len();
+        let doc = std::mem::take(&mut self.doc);
+        let mut builder =
+            merge::Builder::resume(&src_a, &src_b, oracle, schema, &reemit_options, doc);
+        let mut refined = Vec::with_capacity(order.len());
+        // Frontier replacements are applied only after every re-emission
+        // succeeded, and `rollback` records each re-emitted probability
+        // node's original possibility list — so a mid-refine error
+        // (output-size guard, local-worlds cap) restores the document
+        // and leaves this outcome exactly as it was before the call.
+        let mut updates: Vec<(usize, Option<ComponentFrontier>)> = Vec::with_capacity(order.len());
+        let mut rollback: Vec<(PxNodeId, Vec<PxNodeId>)> = Vec::with_capacity(order.len());
+        let mut failure: Option<IntegrateError> = None;
+        for &i in &order {
+            let df = &self.frontiers[i];
+            let (result, left) = pipeline::resume_component(
+                df.component(),
+                df.component_frontier(),
+                options.extra_matchings,
+                options.min_retained_mass,
+            );
+            if let Err(e) = builder.reemit_component(df, &result.matchings, &mut rollback) {
+                failure = Some(e);
+                break;
+            }
+            refined.push(RefinedComponent {
+                path: df.path().to_string(),
+                kept_before: df.kept(),
+                kept_after: result.matchings.len(),
+                discarded_before: df.discarded_mass(),
+                discarded_after: result.discarded_mass,
+                exhausted: !result.truncated,
+            });
+            updates.push((i, left));
+        }
+        let (mut doc, _stats, nested) = builder.finish_with_frontiers();
+        if let Some(e) = failure {
+            // Undo the re-emissions in reverse order, then drop every
+            // node this call appended: the document — arena included —
+            // is bit-identical to the pre-refine state.
+            for (prob, children) in rollback.into_iter().rev() {
+                doc.reset_children(prob, children);
+            }
+            doc.truncate_arena(arena_mark);
+            self.doc = doc;
+            return Err(e);
+        }
+        self.doc = doc;
+        let mut drained: Vec<usize> = Vec::new();
+        for (i, left) in updates {
+            match left {
+                Some(frontier) => self.frontiers[i].update(frontier),
+                None => drained.push(i),
+            }
+        }
+        // Drop drained frontiers (largest index first so removals don't
+        // shift pending ones), then adopt the frontiers of components
+        // that truncated *inside* the re-emitted subtrees.
+        drained.sort_unstable_by(|a, b| b.cmp(a));
+        for i in drained {
+            self.frontiers.remove(i);
+        }
+        self.frontiers.extend(nested);
+        // Re-emission detached the refined components' old subtrees;
+        // frontiers recorded inside them are gone with their nodes.
+        let reachable: HashSet<PxNodeId> = self.doc.descendants(self.doc.root()).collect();
+        self.frontiers.retain(|f| reachable.contains(&f.prob()));
+        self.sync_truncation_stats();
+        if self.frontiers.is_empty() {
+            // The document is exact now: run the deferred finishing pass
+            // and let go of the retained sources.
+            if self.options.simplify {
+                self.doc.simplify();
+            }
+            self.sources = None;
+        }
+        Ok(RefineStep {
+            refined,
+            remaining: self.frontiers.len(),
+            max_discarded_mass: self.max_discarded_mass(),
+        })
+    }
+
+    /// Detach the refinable state from this outcome, leaving it exact
+    /// and returning `None` when there was nothing to refine.
+    ///
+    /// This is the catalog-storage seam: a versioned store keeps the
+    /// (shared) document and the [`RefineState`] side by side, keyed by
+    /// the same version, and reassembles them with
+    /// [`IntegrationOutcome::with_refine_state`] when a refinement is
+    /// requested.
+    pub fn detach_refine_state(&mut self) -> Option<RefineState> {
+        if self.frontiers.is_empty() {
+            return None;
+        }
+        Some(RefineState {
+            stats: self.stats.clone(),
+            frontiers: std::mem::take(&mut self.frontiers),
+            sources: self
+                .sources
+                .take()
+                .expect("open frontiers retain their sources"),
+            options: self.options,
+        })
+    }
+
+    /// Reassemble an outcome from a document and the [`RefineState`]
+    /// detached from it. `doc` must be the same document version the
+    /// state was detached from — the frontiers point into its arena.
+    pub fn with_refine_state(doc: PxDoc, state: RefineState) -> Self {
+        IntegrationOutcome {
+            doc,
+            stats: state.stats,
+            frontiers: state.frontiers,
+            sources: Some(state.sources),
+            options: state.options,
+        }
+    }
+
+    /// Rewrite the truncation records from the live frontiers (the
+    /// enumeration counters keep describing the initial run).
+    fn sync_truncation_stats(&mut self) {
+        self.stats.truncated_components = self
+            .frontiers
+            .iter()
+            .map(|f| TruncatedComponent {
+                path: f.path().to_string(),
+                live_pairs: f.live_pairs(),
+                kept: f.kept(),
+                discarded_mass: f.discarded_mass(),
+                frontier_nodes: f.open_nodes(),
+            })
+            .collect();
+        self.stats.max_discarded_mass = self.max_discarded_mass();
+    }
+}
+
+/// The document-independent refinable state of a truncated
+/// [`IntegrationOutcome`]: the persisted frontiers, the retained source
+/// documents, the stats and the options the run used. Opaque plain data
+/// (`Send + Sync`), meant to live in a versioned catalog next to the
+/// document it belongs to.
+#[derive(Debug, Clone)]
+pub struct RefineState {
+    stats: IntegrationStats,
+    frontiers: Vec<DocFrontier>,
+    sources: (Arc<PxDoc>, Arc<PxDoc>),
+    options: IntegrationOptions,
+}
+
+impl RefineState {
+    /// Number of truncated components still open.
+    pub fn open_components(&self) -> usize {
+        self.frontiers.len()
+    }
+
+    /// Largest per-component discarded mass over the open frontiers.
+    pub fn max_discarded_mass(&self) -> f64 {
+        self.frontiers
+            .iter()
+            .map(|f| f.discarded_mass())
+            .fold(0.0, f64::max)
+    }
 }
 
 /// Integrate two certain XML documents.
@@ -344,38 +784,112 @@ pub fn integrate_xml(
     oracle: &Oracle,
     schema: Option<&Schema>,
     options: &IntegrationOptions,
-) -> Result<Integration, IntegrateError> {
+) -> Result<IntegrationOutcome, IntegrateError> {
     let pa = from_xml(a);
     let pb = from_xml(b);
     integrate_px(&pa, &pb, oracle, schema, options)
 }
 
 /// Integrate two (possibly already probabilistic) documents.
+///
+/// When the budget truncates components, the returned outcome retains
+/// clones of both sources so it stays refinable; use
+/// [`integrate_px_shared`] to share already-`Arc`ed documents without
+/// copying.
 pub fn integrate_px(
     a: &PxDoc,
     b: &PxDoc,
     oracle: &Oracle,
     schema: Option<&Schema>,
     options: &IntegrationOptions,
-) -> Result<Integration, IntegrateError> {
+) -> Result<IntegrationOutcome, IntegrateError> {
+    integrate_inner(a, b, oracle, schema, options, RetainSources::Clone)
+}
+
+/// [`integrate_px`] over shared documents: a truncated outcome retains
+/// cheap `Arc` clones of the sources instead of deep copies.
+pub fn integrate_px_shared(
+    a: &Arc<PxDoc>,
+    b: &Arc<PxDoc>,
+    oracle: &Oracle,
+    schema: Option<&Schema>,
+    options: &IntegrationOptions,
+) -> Result<IntegrationOutcome, IntegrateError> {
+    integrate_inner(
+        a,
+        b,
+        oracle,
+        schema,
+        options,
+        RetainSources::Shared(Arc::clone(a), Arc::clone(b)),
+    )
+}
+
+/// How a truncated outcome gets hold of its sources for later
+/// refinement.
+enum RetainSources {
+    /// Deep-copy the borrowed inputs (only when actually truncated).
+    Clone,
+    /// Share these `Arc`s.
+    Shared(Arc<PxDoc>, Arc<PxDoc>),
+    /// Drop the frontiers instead: the result is not refinable (used for
+    /// the intermediate steps of a fold, whose documents are consumed by
+    /// the next step anyway).
+    Discard,
+}
+
+fn integrate_inner(
+    a: &PxDoc,
+    b: &PxDoc,
+    oracle: &Oracle,
+    schema: Option<&Schema>,
+    options: &IntegrationOptions,
+    retain: RetainSources,
+) -> Result<IntegrationOutcome, IntegrateError> {
     options.validate()?;
     a.validate()?;
     b.validate()?;
     let mut builder = merge::Builder::new(a, b, oracle, schema, options);
     builder.integrate_roots()?;
-    let (mut doc, stats) = builder.finish();
-    if options.simplify {
+    let (mut doc, mut stats, mut frontiers) = builder.finish_with_frontiers();
+    let sources = if frontiers.is_empty() {
+        None
+    } else {
+        match retain {
+            RetainSources::Clone => Some((Arc::new(a.clone()), Arc::new(b.clone()))),
+            RetainSources::Shared(sa, sb) => Some((sa, sb)),
+            RetainSources::Discard => {
+                frontiers.clear();
+                for t in &mut stats.truncated_components {
+                    t.frontier_nodes = 0;
+                }
+                None
+            }
+        }
+    };
+    // Simplification may merge or collapse the very probability nodes
+    // the frontiers point at, so it is deferred while any frontier is
+    // open; `refine` runs it once the document becomes exact.
+    if options.simplify && frontiers.is_empty() {
         doc.simplify();
     }
-    Ok(Integration { doc, stats })
+    Ok(IntegrationOutcome {
+        doc,
+        stats,
+        frontiers,
+        sources,
+        options: *options,
+    })
 }
 
-/// The result of an N-source fold: the integrated document plus the
+/// The result of an N-source fold: the final integrated outcome plus the
 /// statistics of each pairwise step, in fold order.
 #[derive(Debug, Clone)]
 pub struct ManyIntegration {
-    /// The integrated probabilistic document.
-    pub doc: PxDoc,
+    /// The final fold result. Only the *last* step's truncation
+    /// frontiers are retained (earlier steps' documents were consumed by
+    /// the fold), so refinement applies to the published result.
+    pub outcome: IntegrationOutcome,
     /// One [`IntegrationStats`] per pairwise integration
     /// (`sources.len() - 1` entries; empty for a single source).
     pub steps: Vec<IntegrationStats>,
@@ -387,8 +901,10 @@ pub struct ManyIntegration {
 /// run to a fixpoint over a batch of sources.
 ///
 /// Each intermediate result is already probabilistic, so later steps
-/// exercise the local-worlds machinery; budgets apply per step. Errors
-/// with [`IntegrateError::NoSources`] on an empty slice; a single
+/// exercise the local-worlds machinery; budgets apply per step. The
+/// final step's truncation frontiers are retained on the returned
+/// outcome, so a budget-truncated fold can still be refined in place.
+/// Errors with [`IntegrateError::NoSources`] on an empty slice; a single
 /// source is validated and returned unchanged.
 pub fn integrate_many_px(
     sources: &[&PxDoc],
@@ -399,12 +915,37 @@ pub fn integrate_many_px(
     options.validate()?;
     let (first, rest) = sources.split_first().ok_or(IntegrateError::NoSources)?;
     first.validate()?;
-    let mut doc: PxDoc = (*first).clone();
+    let mut doc: Arc<PxDoc> = Arc::new((*first).clone());
     let mut steps = Vec::with_capacity(rest.len());
-    for source in rest {
-        let integration = integrate_px(&doc, source, oracle, schema, options)?;
-        doc = integration.doc;
-        steps.push(integration.stats);
+    let mut outcome: Option<IntegrationOutcome> = None;
+    for (k, source) in rest.iter().enumerate() {
+        let last = k + 1 == rest.len();
+        if last {
+            let src = Arc::new((**source).clone());
+            let step = integrate_px_shared(&doc, &src, oracle, schema, options)?;
+            steps.push(step.stats.clone());
+            outcome = Some(step);
+        } else {
+            // Intermediate documents are consumed by the next step:
+            // their frontiers would dangle, so they are not retained.
+            let step = integrate_inner(
+                &doc,
+                source,
+                oracle,
+                schema,
+                options,
+                RetainSources::Discard,
+            )?;
+            steps.push(step.stats.clone());
+            doc = Arc::new(step.doc);
+        }
     }
-    Ok(ManyIntegration { doc, steps })
+    let outcome = outcome.unwrap_or_else(|| IntegrationOutcome {
+        doc: Arc::try_unwrap(doc).unwrap_or_else(|arc| (*arc).clone()),
+        stats: IntegrationStats::default(),
+        frontiers: Vec::new(),
+        sources: None,
+        options: *options,
+    });
+    Ok(ManyIntegration { outcome, steps })
 }

@@ -22,6 +22,12 @@
 //!   [`MatchBudget`], renormalising what was kept and accounting the
 //!   probability mass it dropped (the paper's "good is good enough"
 //!   trade, made explicit).
+//!
+//! The budgeted search is implemented by [`FrontierEnumerator`], whose
+//! heap state snapshots into a [`ComponentFrontier`]: a truncated run's
+//! frontier can be persisted and *resumed* later with more budget, and
+//! resuming to an unlimited budget reproduces the exhaustive enumeration
+//! bit for bit — the foundation of pay-as-you-go refinement.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -140,6 +146,9 @@ pub struct BudgetedMatchings {
     pub discarded_mass: f64,
     /// True when the budget cut enumeration short.
     pub truncated: bool,
+    /// Open search states left on the frontier (0 when enumeration
+    /// completed): the size of the state a resumed run would start from.
+    pub frontier_nodes: usize,
 }
 
 /// Split a tag group's candidate graph into connected components.
@@ -273,6 +282,7 @@ pub fn enumerate_matchings(
 
 /// A frontier state of the best-first search: the first `idx` live
 /// candidates are decided, `weight` is the product of their factors.
+#[derive(Clone)]
 struct SearchState {
     /// Admissible bound on the weight of any completion (`weight` times
     /// the best possible remaining factors). Complete states have
@@ -429,6 +439,445 @@ const EXACT_MASS_MAX_SIDE: usize = 16;
 /// pair at p ≥ t would collapse to its match case).
 const MASS_STOP_FLOOR: usize = 16;
 
+/// One open node of a persisted search frontier: the prefix decisions
+/// (`idx` candidates decided, `taken` included), the prefix weight, the
+/// admissible completion bound and the tie-break sequence number. All of
+/// it is plain data — a frontier can cross threads, be stored in a
+/// catalog and resumed sessions later.
+#[derive(Debug, Clone, PartialEq)]
+struct FrontierNode {
+    idx: usize,
+    weight: f64,
+    taken: Vec<(usize, usize)>,
+    bound: f64,
+    seq: u64,
+}
+
+/// The persisted state of one component's truncated enumeration: what a
+/// [`FrontierEnumerator`] needs to *continue* best-first search exactly
+/// where a budgeted run stopped.
+///
+/// The contract that makes resumption safe: restoring a frontier and
+/// running it to [`MatchBudget::UNLIMITED`] produces the same canonical
+/// matching list — bit for bit — as an unbudgeted run from scratch
+/// (prefix weights, pop order and normalisation order are all
+/// preserved), so pay-as-you-go refinement converges to the exhaustive
+/// result instead of merely near it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentFrontier {
+    /// Open search states, in descending pop order.
+    open: Vec<FrontierNode>,
+    /// Next tie-break sequence number (continues the original run's).
+    next_seq: u64,
+    /// Matchings already yielded, raw (unnormalised) weights, in yield
+    /// order. Kept so a resumed run re-emits the *full* matching set.
+    yielded: Vec<Matching>,
+    /// Running sum of the yielded raw weights, in yield order.
+    retained: f64,
+    /// True when `yielded` holds the synthesised all-excluded fallback
+    /// (the expansion valve fired before any real matching was reached);
+    /// a resumed run discards it — the open states still cover the whole
+    /// search space, including that matching.
+    synthetic: bool,
+    /// Digest of the component's forced pairs and live candidates
+    /// (endpoints + probability bits): a frontier only restores against
+    /// the component that produced it.
+    digest: u64,
+    /// Live undecided pairs of the component (consistency check on
+    /// restore).
+    pub live_pairs: usize,
+    /// Mass accounting of the run that produced this frontier
+    /// (`retained_mass + discarded_mass == 1`).
+    pub retained_mass: f64,
+    /// Conservative upper bound on the mass still unenumerated — the
+    /// refinement planner's priority key.
+    pub discarded_mass: f64,
+}
+
+impl ComponentFrontier {
+    /// Number of open search states.
+    pub fn open_nodes(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Number of matchings the producing run kept.
+    pub fn kept(&self) -> usize {
+        self.yielded.len()
+    }
+}
+
+/// FNV-1a digest of a component's matching-relevant content: forced
+/// pairs plus every live candidate's endpoints and probability bits.
+/// Two components whose digests differ can never legally exchange
+/// frontiers; equal digests differ only with hash probability.
+fn component_digest(forced: &[(usize, usize)], live: &[Candidate]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(forced.len() as u64);
+    for &(a, b) in forced {
+        mix(a as u64);
+        mix(b as u64);
+    }
+    for c in live {
+        mix(c.a as u64);
+        mix(c.b as u64);
+        mix(c.p.to_bits());
+    }
+    h
+}
+
+/// A resumable best-first branch-and-bound enumerator over one
+/// component's live candidates.
+///
+/// The enumerator owns the heap of open search states. [`run`] drives it
+/// until a [`MatchBudget`] is satisfied (budgets count *total* kept
+/// matchings, across runs); [`frontier`] snapshots the remaining state
+/// into a [`ComponentFrontier`]; [`restore`] rebuilds an enumerator from
+/// such a snapshot so a later run continues the search bit-identically.
+///
+/// [`run`]: FrontierEnumerator::run
+/// [`frontier`]: FrontierEnumerator::frontier
+/// [`restore`]: FrontierEnumerator::restore
+pub struct FrontierEnumerator<'a> {
+    component: &'a Component,
+    live: Vec<Candidate>,
+    max_take: usize,
+    bounds: SuffixBounds,
+    heap: BinaryHeap<SearchState>,
+    seq: u64,
+    /// Yielded matchings with raw weights, in yield order.
+    yielded: Vec<Matching>,
+    retained: f64,
+    synthetic: bool,
+    /// Mass accounting of the latest [`run`](Self::run).
+    retained_mass: f64,
+    discarded_mass: f64,
+    /// Lazily computed exact total mass (see [`exact_total_mass`]).
+    total_mass_cache: Option<Option<f64>>,
+}
+
+impl<'a> FrontierEnumerator<'a> {
+    /// A fresh enumerator over `component`, nothing yielded yet.
+    pub fn new(component: &'a Component) -> Self {
+        let live = live_candidates(component);
+        // Inclusions can never exceed the free endpoints on either side
+        // (forced pairs already consumed theirs, and live candidates
+        // avoid them by construction).
+        let max_take = component
+            .a_nodes
+            .len()
+            .min(component.b_nodes.len())
+            .saturating_sub(component.forced.len());
+        let bounds = SuffixBounds::new(&live, max_take);
+        let mut heap = BinaryHeap::new();
+        heap.push(SearchState {
+            bound: bounds.remaining(0, max_take),
+            seq: 0,
+            idx: 0,
+            weight: 1.0,
+            taken: Vec::new(),
+        });
+        FrontierEnumerator {
+            component,
+            live,
+            max_take,
+            bounds,
+            heap,
+            seq: 0,
+            yielded: Vec::new(),
+            retained: 0.0,
+            synthetic: false,
+            retained_mass: 1.0,
+            discarded_mass: 0.0,
+            total_mass_cache: None,
+        }
+    }
+
+    /// Rebuild an enumerator from a persisted frontier of the *same*
+    /// component, positioned exactly where the producing run stopped.
+    ///
+    /// # Panics
+    /// Panics if the frontier was produced by a different component —
+    /// different forced pairs, candidate endpoints or probabilities (a
+    /// content digest is checked, not just the live-pair count).
+    pub fn restore(component: &'a Component, frontier: &ComponentFrontier) -> Self {
+        let mut this = Self::new(component);
+        assert_eq!(
+            component_digest(&component.forced, &this.live),
+            frontier.digest,
+            "frontier does not belong to this component"
+        );
+        this.heap = frontier
+            .open
+            .iter()
+            .map(|n| SearchState {
+                bound: n.bound,
+                seq: n.seq,
+                idx: n.idx,
+                weight: n.weight,
+                taken: n.taken.clone(),
+            })
+            .collect();
+        this.seq = frontier.next_seq;
+        this.yielded = frontier.yielded.clone();
+        this.retained = frontier.retained;
+        this.synthetic = frontier.synthetic;
+        this.retained_mass = frontier.retained_mass;
+        this.discarded_mass = frontier.discarded_mass;
+        this
+    }
+
+    /// True when the search space is exhausted: the yielded matchings
+    /// are the complete canonical enumeration.
+    pub fn is_drained(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Snapshot the remaining search state, or `None` when the
+    /// enumeration completed (nothing left to resume).
+    pub fn frontier(&self) -> Option<ComponentFrontier> {
+        if self.is_drained() {
+            return None;
+        }
+        Some(self.make_frontier(self.heap.iter().cloned().collect(), self.yielded.clone()))
+    }
+
+    /// [`frontier`](Self::frontier) without the copies: consume the
+    /// enumerator and *move* its open states and yielded matchings into
+    /// the persisted form. A truncated frontier can hold tens of
+    /// thousands of open states, each with a prefix-decision vector —
+    /// on the integrate hot path this is the difference between
+    /// persisting a pointer move and deep-copying the whole search
+    /// frontier.
+    pub fn into_frontier(mut self) -> Option<ComponentFrontier> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let open = std::mem::take(&mut self.heap).into_vec();
+        let yielded = std::mem::take(&mut self.yielded);
+        Some(self.make_frontier(open, yielded))
+    }
+
+    /// The one serialisation point both snapshot flavours share: open
+    /// states in descending pop order (a deterministic external form
+    /// regardless of heap layout) plus the yield/mass bookkeeping.
+    fn make_frontier(
+        &self,
+        mut open: Vec<SearchState>,
+        yielded: Vec<Matching>,
+    ) -> ComponentFrontier {
+        open.sort_by(|x, y| y.cmp(x));
+        ComponentFrontier {
+            open: open
+                .into_iter()
+                .map(|s| FrontierNode {
+                    idx: s.idx,
+                    weight: s.weight,
+                    taken: s.taken,
+                    bound: s.bound,
+                    seq: s.seq,
+                })
+                .collect(),
+            next_seq: self.seq,
+            yielded,
+            retained: self.retained,
+            synthetic: self.synthetic,
+            digest: component_digest(&self.component.forced, &self.live),
+            live_pairs: self.live.len(),
+            retained_mass: self.retained_mass,
+            discarded_mass: self.discarded_mass,
+        }
+    }
+
+    /// Continue best-first enumeration until `budget` is satisfied and
+    /// return the canonical form of *everything* yielded so far (this
+    /// run and all previous ones): matchings in descending weight,
+    /// renormalised over the kept set, with the unenumerated tail's mass
+    /// accounted.
+    ///
+    /// `budget.max_matchings` counts total kept matchings — a resumed
+    /// run that should add `k` more passes `kept() + k`. With
+    /// [`MatchBudget::UNLIMITED`] the search drains completely and the
+    /// result is bit-identical to [`enumerate_matchings`], no matter how
+    /// many budgeted runs came before.
+    pub fn run(&mut self, budget: &MatchBudget) -> BudgetedMatchings {
+        if self.synthetic {
+            // Discard the synthesised fallback: the open states cover
+            // the entire space (including the all-excluded matching), so
+            // continuing the search re-derives it honestly.
+            self.yielded.clear();
+            self.retained = 0.0;
+            self.synthetic = false;
+        }
+        let live_len = self.live.len();
+        // Fallback frontier bound: each state's subtree mass is at most
+        // its weight (remaining factors sum to at most 1 per candidate,
+        // and injectivity only removes terms). Summed from the heap on
+        // demand — an incrementally maintained running sum would be
+        // destroyed by floating-point absorption once weights shrink
+        // tens of orders of magnitude below the root's 1.0.
+        let frontier_mass =
+            |heap: &BinaryHeap<SearchState>| -> f64 { heap.iter().map(|s| s.weight).sum() };
+        // Without an exact total, early-stop checks cost O(frontier), so
+        // they run at exponentially spaced yield counts — total checking
+        // cost stays linear, at the price of overshooting the requested
+        // mass by at most one doubling of the kept matchings.
+        let mut next_mass_check = MASS_STOP_FLOOR;
+        // Safety valve: with the ratio-capped bound the search dives
+        // almost straight at complete matchings, but a pathological
+        // component could still explore far more partial states than it
+        // yields; cap the expansions (never active when unlimited, never
+        // before the first matching) and fall back to honest mass
+        // accounting for whatever was not reached.
+        let max_expansions = if budget.max_matchings == usize::MAX {
+            usize::MAX
+        } else {
+            budget
+                .max_matchings
+                .saturating_mul(live_len.max(1))
+                .saturating_mul(8)
+                .max(1 << 14)
+        };
+        let mut expansions = 0usize;
+        if self.yielded.len() < budget.max_matchings {
+            while let Some(state) = self.heap.pop() {
+                if state.idx == live_len {
+                    let mut pairs = self.component.forced.clone();
+                    pairs.extend_from_slice(&state.taken);
+                    pairs.sort_unstable();
+                    self.retained += state.weight;
+                    self.yielded.push(Matching {
+                        pairs,
+                        weight: state.weight,
+                    });
+                    if self.yielded.len() >= budget.max_matchings {
+                        break;
+                    }
+                    if let Some(t) = budget.min_retained_mass {
+                        if self.yielded.len() >= MASS_STOP_FLOOR {
+                            match self.total_mass() {
+                                Some(z) => {
+                                    if self.retained >= t * z {
+                                        break;
+                                    }
+                                }
+                                None => {
+                                    if self.yielded.len() >= next_mass_check {
+                                        next_mass_check = self.yielded.len().saturating_mul(2);
+                                        let pending = frontier_mass(&self.heap);
+                                        if self.retained / (self.retained + pending) >= t {
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+                expansions += 1;
+                if expansions > max_expansions {
+                    // Re-queue the popped state so the final accounting
+                    // still sees its subtree mass. (If nothing complete
+                    // was reached yet, the all-excluded matching is
+                    // synthesised below.)
+                    self.heap.push(state);
+                    break;
+                }
+                let c = self.live[state.idx];
+                let takeable = self.max_take - state.taken.len();
+                // Exclude edge idx.
+                let w_excl = state.weight * (1.0 - c.p);
+                self.seq += 1;
+                self.heap.push(SearchState {
+                    bound: w_excl * self.bounds.remaining(state.idx + 1, takeable),
+                    seq: self.seq,
+                    idx: state.idx + 1,
+                    weight: w_excl,
+                    taken: state.taken.clone(),
+                });
+                // Include edge idx when both endpoints are free; a
+                // blocked inclusion's mass never existed among valid
+                // matchings, so it simply vanishes from the frontier
+                // (tightening the bound).
+                let free = takeable > 0 && !state.taken.iter().any(|&(a, b)| a == c.a || b == c.b);
+                if free {
+                    let w_incl = state.weight * c.p;
+                    let mut taken = state.taken;
+                    taken.push((c.a, c.b));
+                    self.seq += 1;
+                    self.heap.push(SearchState {
+                        bound: w_incl * self.bounds.remaining(state.idx + 1, takeable - 1),
+                        seq: self.seq,
+                        idx: state.idx + 1,
+                        weight: w_incl,
+                        taken,
+                    });
+                }
+            }
+        }
+        if self.yielded.is_empty() {
+            // The expansion valve fired before any complete matching was
+            // reached (a pathological bound landscape): fall back to the
+            // one matching that always exists — everything excluded.
+            self.retained = self.bounds.base[0];
+            self.yielded.push(Matching {
+                pairs: self.component.forced.clone(),
+                weight: self.retained,
+            });
+            self.synthetic = true;
+        }
+        // The enumeration is complete exactly when the frontier drained;
+        // then the kept matchings carry everything regardless of float
+        // residue in the mass figures.
+        let truncated = !self.heap.is_empty();
+        let (retained_mass, discarded_mass) = if !truncated {
+            (1.0, 0.0)
+        } else {
+            match self.total_mass() {
+                // Exact: the tail mass is the total minus what was kept
+                // (clamped — the two are summed in different orders).
+                Some(z) if z > 0.0 => {
+                    let kept = (self.retained / z).clamp(0.0, 1.0);
+                    (kept, 1.0 - kept)
+                }
+                // Conservative: the frontier bound over-estimates the
+                // tail.
+                _ => {
+                    let pending = frontier_mass(&self.heap);
+                    let total = self.retained + pending;
+                    (self.retained / total, pending / total)
+                }
+            }
+        };
+        self.retained_mass = retained_mass;
+        self.discarded_mass = discarded_mass;
+        BudgetedMatchings {
+            matchings: canonicalise(self.yielded.clone()),
+            live_pairs: live_len,
+            retained_mass,
+            discarded_mass,
+            truncated,
+            frontier_nodes: self.heap.len(),
+        }
+    }
+
+    /// The exact total matching mass, when the component is small enough
+    /// for the bitmask DP: makes both the `min_retained_mass` stop and
+    /// the final discarded-mass figure exact. Computed lazily — a run
+    /// that completes without truncation (the common case) never pays
+    /// for the DP.
+    fn total_mass(&mut self) -> Option<f64> {
+        let live = &self.live;
+        *self
+            .total_mass_cache
+            .get_or_insert_with(|| exact_total_mass(live))
+    }
+}
+
 /// Enumerate the heaviest matchings of a component under a budget.
 ///
 /// A best-first branch-and-bound search over the live candidates yields
@@ -441,178 +890,11 @@ const MASS_STOP_FLOOR: usize = 16;
 /// conservative frontier upper bound beyond that.
 ///
 /// With [`MatchBudget::UNLIMITED`] the search drains completely and the
-/// result is bit-identical to [`enumerate_matchings`].
+/// result is bit-identical to [`enumerate_matchings`]. This is the
+/// one-shot convenience over [`FrontierEnumerator`], which additionally
+/// persists and resumes the search state.
 pub fn enumerate_budgeted(component: &Component, budget: &MatchBudget) -> BudgetedMatchings {
-    let live = live_candidates(component);
-    // Inclusions can never exceed the free endpoints on either side
-    // (forced pairs already consumed theirs, and live candidates avoid
-    // them by construction).
-    let max_take = component
-        .a_nodes
-        .len()
-        .min(component.b_nodes.len())
-        .saturating_sub(component.forced.len());
-    let bounds = SuffixBounds::new(&live, max_take);
-    let mut heap: BinaryHeap<SearchState> = BinaryHeap::new();
-    let mut seq: u64 = 0;
-    heap.push(SearchState {
-        bound: bounds.remaining(0, max_take),
-        seq,
-        idx: 0,
-        weight: 1.0,
-        taken: Vec::new(),
-    });
-    // The exact total matching mass, when the component is small enough
-    // for the bitmask DP: makes both the `min_retained_mass` stop and
-    // the final discarded-mass figure exact. Computed lazily — a run
-    // that completes without truncation (the common case) never pays
-    // for the DP.
-    let mut total_mass_cache: Option<Option<f64>> = None;
-    let total_mass =
-        |cache: &mut Option<Option<f64>>| *cache.get_or_insert_with(|| exact_total_mass(&live));
-    // Fallback frontier bound: each state's subtree mass is at most its
-    // weight (remaining factors sum to at most 1 per candidate, and
-    // injectivity only removes terms). Summed from the heap on demand —
-    // an incrementally maintained running sum would be destroyed by
-    // floating-point absorption once weights shrink tens of orders of
-    // magnitude below the root's 1.0.
-    let frontier_mass =
-        |heap: &BinaryHeap<SearchState>| -> f64 { heap.iter().map(|s| s.weight).sum() };
-    let mut out: Vec<Matching> = Vec::new();
-    let mut retained: f64 = 0.0;
-    // Without an exact total, early-stop checks cost O(frontier), so
-    // they run at exponentially spaced yield counts — total checking
-    // cost stays linear, at the price of overshooting the requested
-    // mass by at most one doubling of the kept matchings.
-    let mut next_mass_check = MASS_STOP_FLOOR;
-    // Safety valve: with the ratio-capped bound the search dives almost
-    // straight at complete matchings, but a pathological component could
-    // still explore far more partial states than it yields; cap the
-    // expansions (never active when unlimited, never before the first
-    // matching) and fall back to honest mass accounting for whatever
-    // was not reached.
-    let max_expansions = if budget.max_matchings == usize::MAX {
-        usize::MAX
-    } else {
-        budget
-            .max_matchings
-            .saturating_mul(live.len().max(1))
-            .saturating_mul(8)
-            .max(1 << 14)
-    };
-    let mut expansions = 0usize;
-    while let Some(state) = heap.pop() {
-        if state.idx == live.len() {
-            let mut pairs = component.forced.clone();
-            pairs.extend_from_slice(&state.taken);
-            pairs.sort_unstable();
-            retained += state.weight;
-            out.push(Matching {
-                pairs,
-                weight: state.weight,
-            });
-            if out.len() >= budget.max_matchings {
-                break;
-            }
-            if let Some(t) = budget.min_retained_mass {
-                if out.len() >= MASS_STOP_FLOOR {
-                    match total_mass(&mut total_mass_cache) {
-                        Some(z) => {
-                            if retained >= t * z {
-                                break;
-                            }
-                        }
-                        None => {
-                            if out.len() >= next_mass_check {
-                                next_mass_check = out.len().saturating_mul(2);
-                                let pending = frontier_mass(&heap);
-                                if retained / (retained + pending) >= t {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            continue;
-        }
-        expansions += 1;
-        if expansions > max_expansions {
-            // Re-queue the popped state so the final accounting still
-            // sees its subtree mass. (If nothing complete was reached
-            // yet, the all-excluded matching is synthesised below.)
-            heap.push(state);
-            break;
-        }
-        let c = live[state.idx];
-        let takeable = max_take - state.taken.len();
-        // Exclude edge idx.
-        let w_excl = state.weight * (1.0 - c.p);
-        seq += 1;
-        heap.push(SearchState {
-            bound: w_excl * bounds.remaining(state.idx + 1, takeable),
-            seq,
-            idx: state.idx + 1,
-            weight: w_excl,
-            taken: state.taken.clone(),
-        });
-        // Include edge idx when both endpoints are free; a blocked
-        // inclusion's mass never existed among valid matchings, so it
-        // simply vanishes from the frontier (tightening the bound).
-        let free = takeable > 0 && !state.taken.iter().any(|&(a, b)| a == c.a || b == c.b);
-        if free {
-            let w_incl = state.weight * c.p;
-            let mut taken = state.taken;
-            taken.push((c.a, c.b));
-            seq += 1;
-            heap.push(SearchState {
-                bound: w_incl * bounds.remaining(state.idx + 1, takeable - 1),
-                seq,
-                idx: state.idx + 1,
-                weight: w_incl,
-                taken,
-            });
-        }
-    }
-    if out.is_empty() {
-        // The expansion valve fired before any complete matching was
-        // reached (a pathological bound landscape): fall back to the
-        // one matching that always exists — everything excluded.
-        retained = bounds.base[0];
-        out.push(Matching {
-            pairs: component.forced.clone(),
-            weight: retained,
-        });
-    }
-    // The enumeration is complete exactly when the frontier drained;
-    // then the kept matchings carry everything regardless of float
-    // residue in the mass figures.
-    let truncated = !heap.is_empty();
-    let (retained_mass, discarded_mass) = if !truncated {
-        (1.0, 0.0)
-    } else {
-        match total_mass(&mut total_mass_cache) {
-            // Exact: the tail mass is the total minus what was kept
-            // (clamped — the two are summed in different orders).
-            Some(z) if z > 0.0 => {
-                let kept = (retained / z).clamp(0.0, 1.0);
-                (kept, 1.0 - kept)
-            }
-            // Conservative: the frontier bound over-estimates the tail.
-            _ => {
-                let pending = frontier_mass(&heap);
-                let total = retained + pending;
-                (retained / total, pending / total)
-            }
-        }
-    };
-    BudgetedMatchings {
-        matchings: canonicalise(out),
-        live_pairs: live.len(),
-        retained_mass,
-        discarded_mass,
-        truncated,
-    }
+    FrontierEnumerator::new(component).run(budget)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1020,6 +1302,107 @@ mod tests {
         assert!(result.truncated);
         assert!(result.discarded_mass > 0.0);
         assert!((result.retained_mass + result.discarded_mass - 1.0).abs() < 1e-9);
+    }
+
+    fn budget(max: usize) -> MatchBudget {
+        MatchBudget {
+            max_matchings: max,
+            min_retained_mass: None,
+        }
+    }
+
+    #[test]
+    fn resumed_enumeration_matches_exhaustive_bitwise() {
+        for (n, m, p) in [(3, 3, 0.7), (4, 3, 0.35), (4, 4, 0.5)] {
+            let c = full_graph(n, m, p);
+            let exhaustive = enumerate_matchings(&c, usize::MAX).unwrap();
+            // Truncate, persist, restore, run to completion.
+            let mut first = FrontierEnumerator::new(&c);
+            let partial = first.run(&budget(5));
+            assert!(partial.truncated);
+            assert_eq!(
+                partial.frontier_nodes,
+                first.frontier().unwrap().open_nodes()
+            );
+            let frontier = first.frontier().unwrap();
+            assert_eq!(frontier.kept(), 5);
+            let mut resumed = FrontierEnumerator::restore(&c, &frontier);
+            let full = resumed.run(&MatchBudget::UNLIMITED);
+            assert!(resumed.is_drained());
+            assert!(resumed.frontier().is_none());
+            assert!(!full.truncated);
+            assert_eq!(full.frontier_nodes, 0);
+            assert_eq!(full.matchings.len(), exhaustive.len(), "{n}x{m} p={p}");
+            for (a, b) in full.matchings.iter().zip(&exhaustive) {
+                assert_eq!(a.pairs, b.pairs);
+                assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "{n}x{m} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn staged_resumes_shrink_discarded_mass_monotonically() {
+        // A 4×4 graph with distinct probabilities strictly inside (0, 1).
+        let mut possible = Vec::new();
+        for a in 0..4usize {
+            for b in 0..4usize {
+                possible.push(Candidate {
+                    a,
+                    b,
+                    p: 0.15 + 0.05 * (a * 4 + b) as f64,
+                });
+            }
+        }
+        let c = Component {
+            a_nodes: (0..4).collect(),
+            b_nodes: (0..4).collect(),
+            forced: Vec::new(),
+            possible,
+        };
+        let mut en = FrontierEnumerator::new(&c);
+        let mut last = en.run(&budget(3));
+        assert!(last.truncated);
+        let mut steps = 0;
+        // Round-trip through the persisted form every step.
+        while let Some(frontier) = en.frontier() {
+            en = FrontierEnumerator::restore(&c, &frontier);
+            let next = en.run(&budget(frontier.kept() + 7));
+            assert!(
+                next.discarded_mass <= last.discarded_mass + 1e-12,
+                "discarded mass grew: {} -> {}",
+                last.discarded_mass,
+                next.discarded_mass
+            );
+            assert!((next.retained_mass + next.discarded_mass - 1.0).abs() < 1e-9);
+            // Kept weights stay a proper distribution at every stage.
+            let total: f64 = next.matchings.iter().map(|m| m.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            if en.is_drained() {
+                assert_eq!(next.discarded_mass, 0.0);
+                break;
+            }
+            last = next;
+            steps += 1;
+            assert!(steps < 1000, "refinement failed to converge");
+        }
+        assert!(steps >= 1, "budget 3 on 209 matchings must need stages");
+    }
+
+    #[test]
+    fn restore_rejects_foreign_component() {
+        let c = graded_graph(3, 3);
+        let mut en = FrontierEnumerator::new(&c);
+        en.run(&budget(2));
+        let frontier = en.frontier().unwrap();
+        let other = full_graph(2, 2, 0.5);
+        let outcome = std::panic::catch_unwind(|| FrontierEnumerator::restore(&other, &frontier));
+        assert!(outcome.is_err(), "mismatched component must be rejected");
+        // Same shape and live-pair count, different probabilities: the
+        // content digest still rejects it.
+        let lookalike = full_graph(3, 3, 0.4);
+        let outcome =
+            std::panic::catch_unwind(|| FrontierEnumerator::restore(&lookalike, &frontier));
+        assert!(outcome.is_err(), "lookalike component must be rejected");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::combos::{local_combos, prob_alternatives, LocalWorldsOverflow};
 use crate::matching::{Candidate, Component, Matching};
-use crate::pipeline::{self, CandidateSet, ComponentOutcome};
+use crate::pipeline::{self, CandidateSet, ComponentOutcome, DocFrontier};
 use crate::{IntegrateError, IntegrationOptions, IntegrationStats, TruncatedComponent};
 use imprecise_oracle::{Decision, ElemRef, Judgment, Oracle};
 use imprecise_pxml::{px_deep_equal, PxDoc, PxNodeId};
@@ -38,6 +38,9 @@ pub(crate) struct Builder<'a> {
     /// `/<stack>/<group tag>` in errors and truncation records.
     path: Vec<String>,
     stats: IntegrationStats,
+    /// Resumable truncation sites collected during emission: one per
+    /// truncated component, pointing at its output probability node.
+    frontiers: Vec<DocFrontier>,
 }
 
 impl<'a> Builder<'a> {
@@ -67,7 +70,70 @@ impl<'a> Builder<'a> {
             judgments: HashMap::new(),
             path: Vec::new(),
             stats: IntegrationStats::default(),
+            frontiers: Vec::new(),
         }
+    }
+
+    /// A builder positioned over an *existing* output document, for
+    /// refinement: [`reemit_component`](Self::reemit_component) grafts
+    /// resumed components back into the arena instead of rebuilding the
+    /// document. `a` and `b` must be the sources the document was
+    /// integrated from.
+    pub(crate) fn resume(
+        a: &'a PxDoc,
+        b: &'a PxDoc,
+        oracle: &'a Oracle,
+        schema: Option<&'a Schema>,
+        opts: &'a IntegrationOptions,
+        out: PxDoc,
+    ) -> Self {
+        let mut builder = Builder::new(a, b, oracle, schema, opts);
+        builder.out = out;
+        builder
+    }
+
+    /// Replace a truncated component's possibilities with the resumed
+    /// enumeration's full canonical matching set: the old possibility
+    /// subtrees are detached from the component's probability node and
+    /// one fresh possibility per matching is emitted in their place.
+    /// Tag groups truncated *inside* the re-emitted subtrees record new
+    /// frontiers on this builder.
+    ///
+    /// The detached original possibility list is pushed onto `rollback`
+    /// *before* any mutation, so a caller can restore every touched
+    /// probability node (via [`PxDoc::reset_children`]) if a later
+    /// re-emission fails mid-way.
+    pub(crate) fn reemit_component(
+        &mut self,
+        site: &DocFrontier,
+        matchings: &[Matching],
+        rollback: &mut Vec<(PxNodeId, Vec<PxNodeId>)>,
+    ) -> Result<(), IntegrateError> {
+        // Seed the element-tag stack from the frontier's recorded path
+        // (minus the group tag itself, which `merge_pair` pushes), so
+        // nested truncation records carry the same paths as the
+        // original emission.
+        self.path = site
+            .path()
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        self.path.pop();
+        let prob = site.prob();
+        let original = self.out.children(prob).to_vec();
+        for &child in &original {
+            self.out.detach(child);
+        }
+        rollback.push((prob, original));
+        let (ga, gb) = site.groups();
+        for m in matchings {
+            self.guard_size()?;
+            let poss = self.out.add_poss(prob, m.weight);
+            self.emit_matching(poss, ga, gb, site.component(), m)?;
+        }
+        self.path.clear();
+        Ok(())
     }
 
     /// The element path of a tag group under the current merge position.
@@ -82,8 +148,8 @@ impl<'a> Builder<'a> {
         out
     }
 
-    pub(crate) fn finish(self) -> (PxDoc, IntegrationStats) {
-        (self.out, self.stats)
+    pub(crate) fn finish_with_frontiers(self) -> (PxDoc, IntegrationStats, Vec<DocFrontier>) {
+        (self.out, self.stats, self.frontiers)
     }
 
     /// Integrate the two root probability nodes: the cross product of the
@@ -380,9 +446,9 @@ impl<'a> Builder<'a> {
                 }
             })?;
         // Stage 4 — merge the outcomes into the output document.
-        for outcome in &outcomes {
-            self.record_outcome(&group_path, outcome);
-            self.emit_outcome(parent, ga, gb, outcome)?;
+        for outcome in outcomes {
+            self.record_outcome(&group_path, &outcome);
+            self.emit_outcome(parent, ga, gb, outcome, &group_path)?;
         }
         Ok(())
     }
@@ -403,29 +469,49 @@ impl<'a> Builder<'a> {
                 live_pairs: outcome.live_pairs,
                 kept: outcome.matchings.len(),
                 discarded_mass: outcome.discarded_mass,
+                frontier_nodes: outcome.frontier.as_ref().map_or(0, |f| f.open_nodes()),
             });
         }
     }
 
     /// Emit one component outcome: a single certain matching inline, or
     /// a probability node holding one possibility per kept matching.
+    /// Truncated components *always* get a probability node — the stable
+    /// anchor refinement re-emits into — and their persisted frontier is
+    /// recorded against it.
     fn emit_outcome(
         &mut self,
         parent: PxNodeId,
         ga: &[PxNodeId],
         gb: &[PxNodeId],
-        outcome: &ComponentOutcome,
+        outcome: ComponentOutcome,
+        group_path: &str,
     ) -> Result<(), IntegrateError> {
-        let comp = &outcome.component;
-        if outcome.matchings.len() == 1 {
-            return self.emit_matching(parent, ga, gb, comp, &outcome.matchings[0]);
+        let ComponentOutcome {
+            component,
+            matchings,
+            frontier,
+            ..
+        } = outcome;
+        if matchings.len() == 1 && frontier.is_none() {
+            return self.emit_matching(parent, ga, gb, &component, &matchings[0]);
         }
         self.stats.components_with_choice += 1;
         let prob = self.out.add_prob(parent);
-        for m in &outcome.matchings {
+        for m in &matchings {
             self.guard_size()?;
             let poss = self.out.add_poss(prob, m.weight);
-            self.emit_matching(poss, ga, gb, comp, m)?;
+            self.emit_matching(poss, ga, gb, &component, m)?;
+        }
+        if let Some(frontier) = frontier {
+            self.frontiers.push(DocFrontier::new(
+                group_path.to_string(),
+                prob,
+                ga.to_vec(),
+                gb.to_vec(),
+                component,
+                frontier,
+            ));
         }
         Ok(())
     }

@@ -23,10 +23,11 @@
 //! and parallel runs build bit-identical documents.
 
 use crate::matching::{
-    enumerate_budgeted, enumerate_matchings, split_components, Candidate, Component, MatchBudget,
-    Matching, TooManyMatchings,
+    enumerate_matchings, live_candidates, split_components, Candidate, Component,
+    ComponentFrontier, FrontierEnumerator, MatchBudget, Matching, TooManyMatchings,
 };
-use crate::IntegrationOptions;
+use crate::{BudgetPlan, IntegrationOptions};
+use imprecise_pxml::PxNodeId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -104,6 +105,170 @@ pub struct ComponentOutcome {
     pub discarded_mass: f64,
     /// True when the budget cut this component's enumeration short.
     pub truncated: bool,
+    /// The persisted search frontier of a truncated enumeration: what a
+    /// later refinement pass resumes from. `None` when the enumeration
+    /// completed (or ran in strict mode, which never truncates).
+    pub frontier: Option<ComponentFrontier>,
+}
+
+/// A resumable truncation site inside an integrated document: one
+/// truncated component, its persisted [`ComponentFrontier`], and where
+/// its possibilities live — the output probability node plus the source
+/// element groups re-emission walks again.
+///
+/// Everything inside is plain owned data (`Send + Sync`), so frontiers
+/// can be stored in a catalog next to the document version they belong
+/// to and refined from any thread.
+#[derive(Debug, Clone)]
+pub struct DocFrontier {
+    /// Element path of the component's tag group (e.g. `/catalog/movie`).
+    path: String,
+    /// The output document's probability node holding this component's
+    /// possibilities; refinement replaces its children in place.
+    prob: PxNodeId,
+    /// The tag group's element nodes in source a, in group order.
+    ga: Vec<PxNodeId>,
+    /// The tag group's element nodes in source b, in group order.
+    gb: Vec<PxNodeId>,
+    /// The candidate-graph component (needed to restore the enumerator).
+    component: Component,
+    /// The persisted enumeration state.
+    frontier: ComponentFrontier,
+}
+
+impl DocFrontier {
+    pub(crate) fn new(
+        path: String,
+        prob: PxNodeId,
+        ga: Vec<PxNodeId>,
+        gb: Vec<PxNodeId>,
+        component: Component,
+        frontier: ComponentFrontier,
+    ) -> Self {
+        DocFrontier {
+            path,
+            prob,
+            ga,
+            gb,
+            component,
+            frontier,
+        }
+    }
+
+    /// Element path of the truncated component's tag group.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The output probability node the component's possibilities hang
+    /// off.
+    pub fn prob(&self) -> PxNodeId {
+        self.prob
+    }
+
+    /// Conservative upper bound on the probability mass still
+    /// unenumerated — the refinement priority.
+    pub fn discarded_mass(&self) -> f64 {
+        self.frontier.discarded_mass
+    }
+
+    /// Matchings kept so far.
+    pub fn kept(&self) -> usize {
+        self.frontier.kept()
+    }
+
+    /// Open search states on the persisted frontier.
+    pub fn open_nodes(&self) -> usize {
+        self.frontier.open_nodes()
+    }
+
+    /// Live undecided pairs of the component.
+    pub fn live_pairs(&self) -> usize {
+        self.frontier.live_pairs
+    }
+
+    /// The candidate-graph component this frontier belongs to.
+    pub fn component(&self) -> &Component {
+        &self.component
+    }
+
+    /// The persisted enumeration state.
+    pub fn component_frontier(&self) -> &ComponentFrontier {
+        &self.frontier
+    }
+
+    /// The source element groups (left, right) re-emission walks.
+    pub(crate) fn groups(&self) -> (&[PxNodeId], &[PxNodeId]) {
+        (&self.ga, &self.gb)
+    }
+
+    /// Swap in the frontier a resumed run left behind.
+    pub(crate) fn update(&mut self, frontier: ComponentFrontier) {
+        self.frontier = frontier;
+    }
+}
+
+/// Distribute a total matching budget across a tag group's components
+/// proportionally to their live-pair counts ([`BudgetPlan::Total`]).
+///
+/// Every component is guaranteed a budget of at least 1 (the matching
+/// that always exists); the remainder after the proportional floor
+/// split goes to the components with the largest fractional shares
+/// (ties: earlier component first), so the split is deterministic and
+/// sums to `max(total, number of components)`.
+pub fn plan_budgets(live_pairs: &[usize], total: usize) -> Vec<usize> {
+    let n = live_pairs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sum: u128 = live_pairs.iter().map(|&p| p as u128).sum();
+    if sum == 0 {
+        return vec![1; n];
+    }
+    let total = total.max(1) as u128;
+    let mut budgets: Vec<usize> = Vec::with_capacity(n);
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(n);
+    let mut assigned: u128 = 0;
+    for (i, &pairs) in live_pairs.iter().enumerate() {
+        let exact = total * pairs as u128;
+        let floor = exact / sum;
+        budgets.push(floor.min(usize::MAX as u128) as usize);
+        assigned += floor;
+        remainders.push((exact % sum, i));
+    }
+    // Hand the unassigned remainder to the largest fractional shares.
+    let mut leftover = total.saturating_sub(assigned) as usize;
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        budgets[i] = budgets[i].saturating_add(1);
+        leftover -= 1;
+    }
+    // The guaranteed minimum: no component is ever starved below the
+    // one matching it certainly has.
+    for b in &mut budgets {
+        *b = (*b).max(1);
+    }
+    budgets
+}
+
+/// The per-component matching caps of one tag group under the options'
+/// budget plan.
+fn component_budgets(components: &[Component], options: &IntegrationOptions) -> Vec<usize> {
+    match options.budget_plan {
+        BudgetPlan::PerComponent => {
+            vec![options.max_matchings_per_component; components.len()]
+        }
+        BudgetPlan::Total(total) => {
+            let live: Vec<usize> = components
+                .iter()
+                .map(|c| live_candidates(c).len())
+                .collect();
+            plan_budgets(&live, total)
+        }
+    }
 }
 
 /// A component is worth shipping to a worker thread only when its
@@ -141,13 +306,19 @@ pub fn enumerate_components(
     options: &IntegrationOptions,
     path: &str,
 ) -> Result<Vec<ComponentOutcome>, TooManyMatchings> {
+    let budgets = component_budgets(&components, options);
     let threads = effective_parallelism(options.parallelism);
     let busy = components
         .iter()
         .filter(|c| c.possible.len() >= MIN_PARALLEL_PAIRS)
         .count();
     if threads > 1 && busy >= 2 {
-        let results = enumerate_parallel(&components, options, threads.min(components.len()));
+        let results = enumerate_parallel(
+            &components,
+            options,
+            &budgets,
+            threads.min(components.len()),
+        );
         components
             .into_iter()
             .zip(results)
@@ -162,8 +333,9 @@ pub fn enumerate_components(
         // failure short-circuits before later components are enumerated.
         components
             .into_iter()
-            .map(|component| {
-                enumerate_one(&component, options)
+            .zip(&budgets)
+            .map(|(component, &budget)| {
+                enumerate_one(&component, options, budget)
                     .map(|e| e.into_outcome(component))
                     .map_err(|e| e.at_path(path))
             })
@@ -179,6 +351,7 @@ struct Enumerated {
     retained_mass: f64,
     discarded_mass: f64,
     truncated: bool,
+    frontier: Option<ComponentFrontier>,
 }
 
 impl Enumerated {
@@ -190,29 +363,38 @@ impl Enumerated {
             retained_mass: self.retained_mass,
             discarded_mass: self.discarded_mass,
             truncated: self.truncated,
+            frontier: self.frontier,
         }
     }
 }
 
-/// Enumerate one component under the options' policy.
+/// Enumerate one component under the options' policy, capped at
+/// `max_matchings` (the per-component figure the budget plan assigned).
 fn enumerate_one(
     component: &Component,
     options: &IntegrationOptions,
+    max_matchings: usize,
 ) -> Result<Enumerated, TooManyMatchings> {
     if options.strict_matchings {
-        let live_pairs = crate::matching::live_candidates(component).len();
-        let matchings = enumerate_matchings(component, options.max_matchings_per_component)?;
+        let live_pairs = live_candidates(component).len();
+        let matchings = enumerate_matchings(component, max_matchings)?;
         Ok(Enumerated {
             matchings,
             live_pairs,
             retained_mass: 1.0,
             discarded_mass: 0.0,
             truncated: false,
+            frontier: None,
         })
     } else {
-        let budget: MatchBudget = options.match_budget();
-        let result = enumerate_budgeted(component, &budget);
+        let budget = MatchBudget {
+            max_matchings,
+            min_retained_mass: options.min_retained_mass,
+        };
+        let mut enumerator = FrontierEnumerator::new(component);
+        let result = enumerator.run(&budget);
         Ok(Enumerated {
+            frontier: enumerator.into_frontier(),
             matchings: result.matchings,
             live_pairs: result.live_pairs,
             retained_mass: result.retained_mass,
@@ -220,6 +402,33 @@ fn enumerate_one(
             truncated: result.truncated,
         })
     }
+}
+
+/// Resume a persisted frontier with `extra` more matchings of budget
+/// (and/or a retained-mass target), returning the full canonical
+/// matching set enumerated so far and the frontier left open (`None`
+/// when the component drained).
+pub fn resume_component(
+    component: &Component,
+    frontier: &ComponentFrontier,
+    extra: usize,
+    min_retained_mass: Option<f64>,
+) -> (
+    crate::matching::BudgetedMatchings,
+    Option<ComponentFrontier>,
+) {
+    let mut enumerator = FrontierEnumerator::restore(component, frontier);
+    let max_matchings = if extra == usize::MAX {
+        usize::MAX
+    } else {
+        frontier.kept().saturating_add(extra.max(1))
+    };
+    let result = enumerator.run(&MatchBudget {
+        max_matchings,
+        min_retained_mass,
+    });
+    let left = enumerator.into_frontier();
+    (result, left)
 }
 
 /// Fan the components out over scoped worker threads (no extra deps:
@@ -230,6 +439,7 @@ fn enumerate_one(
 fn enumerate_parallel(
     components: &[Component],
     options: &IntegrationOptions,
+    budgets: &[usize],
     threads: usize,
 ) -> Vec<Result<Enumerated, TooManyMatchings>> {
     let next = AtomicUsize::new(0);
@@ -243,7 +453,7 @@ fn enumerate_parallel(
                 if i >= components.len() {
                     break;
                 }
-                let outcome = enumerate_one(&components[i], options);
+                let outcome = enumerate_one(&components[i], options, budgets[i]);
                 if tx.send((i, outcome)).is_err() {
                     break;
                 }
@@ -361,5 +571,82 @@ mod tests {
     fn parallelism_zero_means_all_cores() {
         assert!(effective_parallelism(0) >= 1);
         assert_eq!(effective_parallelism(3), 3);
+    }
+
+    #[test]
+    fn plan_splits_total_proportionally_to_live_pairs() {
+        // 25 + 9 + 2 live pairs, total 36: exact proportional shares.
+        assert_eq!(plan_budgets(&[25, 9, 2], 36), vec![25, 9, 2]);
+        // Uneven split: floors plus largest-remainder distribution
+        // (shares 62.5 / 31.25 / 6.25 — the first fraction wins the
+        // leftover unit).
+        let split = plan_budgets(&[10, 5, 1], 100);
+        assert_eq!(split.iter().sum::<usize>(), 100);
+        assert_eq!(split, vec![63, 31, 6]);
+        // Proportionality is monotone in live pairs.
+        assert!(split[0] > split[1] && split[1] > split[2]);
+    }
+
+    #[test]
+    fn plan_guarantees_one_matching_per_component() {
+        // Total smaller than the component count: everyone still gets 1.
+        assert_eq!(plan_budgets(&[50, 50, 50, 50], 2), vec![1, 1, 1, 1]);
+        // Pair-less components get their single matching without
+        // consuming anything from the busy ones.
+        assert_eq!(plan_budgets(&[0, 12, 0], 10), vec![1, 10, 1]);
+        // No components, no budgets; all-trivial groups get all ones.
+        assert_eq!(plan_budgets(&[], 10), Vec::<usize>::new());
+        assert_eq!(plan_budgets(&[0, 0], 10), vec![1, 1]);
+    }
+
+    #[test]
+    fn plan_remainder_split_is_deterministic() {
+        // Equal live pairs, indivisible total: earlier components win
+        // the remainder, and repeated calls agree.
+        let split = plan_budgets(&[7, 7, 7], 10);
+        assert_eq!(split, vec![4, 3, 3]);
+        assert_eq!(split, plan_budgets(&[7, 7, 7], 10));
+    }
+
+    #[test]
+    fn total_plan_budgets_group_as_a_whole() {
+        // Two busy components under a shared total of 24: the bigger
+        // one gets the bigger share, and the whole group respects the
+        // total (up to the min-1 floor).
+        let components = vec![full_graph(3, 3, 0.4), full_graph(2, 2, 0.4)];
+        let opts = IntegrationOptions {
+            budget_plan: crate::BudgetPlan::Total(24),
+            ..IntegrationOptions::default()
+        };
+        let outcomes = enumerate_components(components, &opts, "/x").unwrap();
+        let kept: Vec<usize> = outcomes.iter().map(|o| o.matchings.len()).collect();
+        // 9 vs 4 live pairs: shares 17 and 7. The 2×2 component only has
+        // 7 matchings total, so it completes exactly under its share.
+        assert_eq!(kept, vec![17, 7]);
+        assert!(outcomes[0].truncated && !outcomes[1].truncated);
+        assert!(outcomes[0].frontier.is_some());
+        assert!(outcomes[1].frontier.is_none());
+    }
+
+    #[test]
+    fn truncated_outcomes_carry_resumable_frontiers() {
+        let components = vec![full_graph(3, 3, 0.5)];
+        let opts = IntegrationOptions {
+            max_matchings_per_component: 10,
+            ..IntegrationOptions::default()
+        };
+        let outcomes = enumerate_components(components, &opts, "/x").unwrap();
+        let frontier = outcomes[0].frontier.as_ref().expect("truncated");
+        assert_eq!(frontier.kept(), 10);
+        assert!(frontier.open_nodes() > 0);
+        // Resuming to completion reproduces the exhaustive enumeration.
+        let (full, left) = resume_component(&outcomes[0].component, frontier, usize::MAX, None);
+        assert!(left.is_none());
+        let exhaustive = enumerate_matchings(&outcomes[0].component, usize::MAX).unwrap();
+        assert_eq!(full.matchings.len(), exhaustive.len());
+        for (a, b) in full.matchings.iter().zip(&exhaustive) {
+            assert_eq!(a.pairs, b.pairs);
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
     }
 }

@@ -1,7 +1,9 @@
 //! End-to-end tests of the integration engine against the behaviours the
 //! paper describes.
 
-use imprecise_integrate::{integrate_px, integrate_xml, IntegrateError, IntegrationOptions};
+use imprecise_integrate::{
+    integrate_px, integrate_xml, BudgetPlan, IntegrateError, IntegrationOptions, RefineOptions,
+};
 use imprecise_oracle::presets::{addressbook_oracle, movie_oracle, MovieOracleConfig};
 use imprecise_oracle::Oracle;
 use imprecise_xmlkit::{parse, to_string, Schema, XmlDoc};
@@ -441,6 +443,384 @@ fn parallel_integration_is_deterministic() {
         "parallel enumeration must not change the result"
     );
     assert_eq!(serial.stats, parallel.stats);
+}
+
+#[test]
+fn refine_to_exhaustive_matches_one_shot_fingerprint() {
+    let schema = movie_schema();
+    let oracle = uninformed_movie_oracle();
+    let (a, b) = confusable_catalogs(4);
+    // The ground truth: one unbudgeted integration.
+    let exact = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
+    assert!(!exact.is_refinable());
+    // A tight budget, then one exhaustive refinement in place.
+    let mut budgeted = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions {
+            max_matchings_per_component: 8,
+            ..IntegrationOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(budgeted.is_refinable());
+    assert_ne!(exact.doc.fingerprint(), budgeted.doc.fingerprint());
+    let step = budgeted
+        .refine(&oracle, Some(&schema), &RefineOptions::to_exhaustive())
+        .unwrap();
+    assert_eq!(step.remaining, 0);
+    assert_eq!(step.max_discarded_mass, 0.0);
+    assert!(step.refined.iter().all(|r| r.exhausted));
+    assert!(!budgeted.is_refinable());
+    assert!(budgeted.stats.is_exact());
+    assert_eq!(
+        exact.doc.fingerprint(),
+        budgeted.doc.fingerprint(),
+        "refined-to-unlimited must be bit-identical to the one-shot run"
+    );
+}
+
+#[test]
+fn staged_refinement_converges_with_closing_mass() {
+    let schema = movie_schema();
+    let oracle = uninformed_movie_oracle();
+    let (a, b) = confusable_catalogs(4);
+    let exact = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
+    let mut outcome = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions {
+            max_matchings_per_component: 5,
+            ..IntegrationOptions::default()
+        },
+    )
+    .unwrap();
+    let mut last_mass = outcome.max_discarded_mass();
+    assert!(last_mass > 0.0);
+    let mut steps = 0;
+    while outcome.is_refinable() {
+        let step = outcome
+            .refine(
+                &oracle,
+                Some(&schema),
+                &RefineOptions {
+                    extra_matchings: 40,
+                    ..RefineOptions::default()
+                },
+            )
+            .unwrap();
+        // Mass accounting closes for every refined component…
+        for r in &step.refined {
+            assert!(
+                r.discarded_after <= r.discarded_before + 1e-12,
+                "{}: {} -> {}",
+                r.path,
+                r.discarded_before,
+                r.discarded_after
+            );
+        }
+        // …and the document stays a valid distribution at every stage.
+        outcome.doc.validate().unwrap();
+        // The headline figure shrinks monotonically.
+        assert!(
+            step.max_discarded_mass <= last_mass + 1e-12,
+            "max discarded mass grew: {last_mass} -> {}",
+            step.max_discarded_mass
+        );
+        last_mass = step.max_discarded_mass;
+        // Stats stay in sync with the live frontiers.
+        assert_eq!(outcome.stats.components_truncated(), step.remaining);
+        steps += 1;
+        assert!(steps < 100, "failed to converge");
+    }
+    assert!(steps >= 2, "209 matchings at 5+40 per step need stages");
+    assert_eq!(exact.doc.fingerprint(), outcome.doc.fingerprint());
+}
+
+#[test]
+fn refine_is_a_noop_on_exact_results_and_rejects_bad_options() {
+    let schema = addressbook_schema();
+    let oracle = addressbook_oracle();
+    let mut result = integrate_xml(
+        &john("1111"),
+        &john("2222"),
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
+    assert!(!result.is_refinable());
+    let step = result
+        .refine(&oracle, Some(&schema), &RefineOptions::default())
+        .unwrap();
+    assert!(step.refined.is_empty());
+    assert_eq!(step.remaining, 0);
+    let err = result
+        .refine(
+            &oracle,
+            Some(&schema),
+            &RefineOptions {
+                extra_matchings: 0,
+                min_retained_mass: None,
+                max_components: usize::MAX,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, IntegrateError::InvalidOptions(_)), "{err}");
+}
+
+#[test]
+fn refine_top_component_picks_largest_discarded_mass() {
+    let schema = movie_schema();
+    // Two year-separated confusable groups of different size: two
+    // components whose discarded mass differs.
+    let mk = |src: usize| {
+        let mut s = String::from("<catalog>");
+        for i in 0..4 {
+            s.push_str(&format!(
+                "<movie><title>Big {src}{i}</title><year>1900</year></movie>"
+            ));
+        }
+        for i in 0..3 {
+            s.push_str(&format!(
+                "<movie><title>Small {src}{i}</title><year>1950</year></movie>"
+            ));
+        }
+        s.push_str("</catalog>");
+        parse(&s).unwrap()
+    };
+    let oracle = movie_oracle(MovieOracleConfig {
+        genre_rule: false,
+        title_rule: false,
+        year_rule: true,
+        graded_prior: false,
+        ..MovieOracleConfig::default()
+    });
+    let mut outcome = integrate_xml(
+        &mk(1),
+        &mk(2),
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions {
+            max_matchings_per_component: 6,
+            ..IntegrationOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.frontiers().len(), 2);
+    let worst = outcome.max_discarded_mass();
+    let step = outcome
+        .refine(
+            &oracle,
+            Some(&schema),
+            &RefineOptions {
+                extra_matchings: 16,
+                min_retained_mass: None,
+                max_components: 1,
+            },
+        )
+        .unwrap();
+    assert_eq!(step.refined.len(), 1);
+    assert!(
+        (step.refined[0].discarded_before - worst).abs() < 1e-15,
+        "must refine the worst component first"
+    );
+    // Both components stay open: the refined one is not exhausted yet
+    // and the other was not touched.
+    assert!(!step.refined[0].exhausted);
+    assert_eq!(step.remaining, 2);
+    assert!(step.max_discarded_mass < worst);
+}
+
+#[test]
+fn exhaustive_refine_under_total_plan_still_converges() {
+    // Movies with two ambiguous directors each: matched movie pairs
+    // carry a nested 2×2 director group (7 matchings). Under
+    // BudgetPlan::Total(4) both the movie group and the nested director
+    // groups truncate — an exhaustive refinement must lift the plan for
+    // its re-emissions too, or the nested groups re-truncate forever.
+    let schema = movie_schema();
+    let mk = |src: usize| {
+        let mut s = String::from("<catalog>");
+        for i in 0..3 {
+            s.push_str(&format!(
+                "<movie><title>M{src}{i}</title><year>1975</year>\
+                 <director>D{src}a</director><director>D{src}b</director></movie>"
+            ));
+        }
+        s.push_str("</catalog>");
+        parse(&s).unwrap()
+    };
+    let oracle = uninformed_movie_oracle();
+    let opts = IntegrationOptions {
+        budget_plan: BudgetPlan::Total(4),
+        ..IntegrationOptions::default()
+    };
+    let exact = integrate_xml(
+        &mk(1),
+        &mk(2),
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions::default(),
+    )
+    .unwrap();
+    let mut budgeted = integrate_xml(&mk(1), &mk(2), &oracle, Some(&schema), &opts).unwrap();
+    assert!(budgeted.is_refinable());
+    // One exhaustive call converges despite the Total plan: re-emitted
+    // nested groups enumerate unbudgeted.
+    let step = budgeted
+        .refine(&oracle, Some(&schema), &RefineOptions::to_exhaustive())
+        .unwrap();
+    assert_eq!(step.remaining, 0, "{step:?}");
+    assert_eq!(exact.doc.fingerprint(), budgeted.doc.fingerprint());
+}
+
+#[test]
+fn failed_refine_rolls_back_to_the_pre_refine_outcome() {
+    let schema = movie_schema();
+    let oracle = uninformed_movie_oracle();
+    let (a, b) = confusable_catalogs(4);
+    // Find the budgeted document's arena size, then re-integrate with an
+    // output cap just above it: integration fits, but an exhaustive
+    // refinement (16 -> 209 matchings) must blow the guard.
+    let probe = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions {
+            max_matchings_per_component: 16,
+            ..IntegrationOptions::default()
+        },
+    )
+    .unwrap();
+    // Headroom for a small refinement (which re-emits the component
+    // once more) but nowhere near the 209-matching exhaustive emission.
+    let cap = probe.doc.arena_len() * 3;
+    let mut outcome = integrate_xml(
+        &a,
+        &b,
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions {
+            max_matchings_per_component: 16,
+            max_output_nodes: cap,
+            ..IntegrationOptions::default()
+        },
+    )
+    .unwrap();
+    let fingerprint = outcome.doc.fingerprint();
+    let frontiers_before: Vec<_> = outcome
+        .frontiers()
+        .iter()
+        .map(|f| (f.path().to_string(), f.kept(), f.open_nodes()))
+        .collect();
+    let arena_before = outcome.doc.arena_len();
+    let err = outcome
+        .refine(&oracle, Some(&schema), &RefineOptions::to_exhaustive())
+        .unwrap_err();
+    assert!(
+        matches!(err, IntegrateError::OutputTooLarge { .. }),
+        "{err}"
+    );
+    // Atomic failure: document (arena included) and frontiers exactly
+    // as before…
+    assert_eq!(outcome.doc.fingerprint(), fingerprint);
+    assert_eq!(outcome.doc.arena_len(), arena_before);
+    outcome.doc.validate().unwrap();
+    let frontiers_after: Vec<_> = outcome
+        .frontiers()
+        .iter()
+        .map(|f| (f.path().to_string(), f.kept(), f.open_nodes()))
+        .collect();
+    assert_eq!(frontiers_before, frontiers_after);
+    // …and still refinable: a smaller installment succeeds.
+    let step = outcome
+        .refine(
+            &oracle,
+            Some(&schema),
+            &RefineOptions {
+                extra_matchings: 4,
+                ..RefineOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(step.refined.len(), 1);
+    outcome.doc.validate().unwrap();
+}
+
+#[test]
+fn total_budget_plan_splits_across_group_components() {
+    let schema = movie_schema();
+    // A 4-movie group and a 2-movie group in different years: two
+    // components with 16 vs 4 live pairs sharing one total budget.
+    let mk = |src: usize| {
+        let mut s = String::from("<catalog>");
+        for i in 0..4 {
+            s.push_str(&format!(
+                "<movie><title>Big {src}{i}</title><year>1900</year></movie>"
+            ));
+        }
+        for i in 0..2 {
+            s.push_str(&format!(
+                "<movie><title>Small {src}{i}</title><year>1950</year></movie>"
+            ));
+        }
+        s.push_str("</catalog>");
+        parse(&s).unwrap()
+    };
+    let oracle = movie_oracle(MovieOracleConfig {
+        genre_rule: false,
+        title_rule: false,
+        year_rule: true,
+        graded_prior: false,
+        ..MovieOracleConfig::default()
+    });
+    let result = integrate_xml(
+        &mk(1),
+        &mk(2),
+        &oracle,
+        Some(&schema),
+        &IntegrationOptions {
+            budget_plan: BudgetPlan::Total(20),
+            ..IntegrationOptions::default()
+        },
+    )
+    .unwrap();
+    result.doc.validate().unwrap();
+    // 16 vs 4 live pairs: shares 16 and 4. The big component truncates
+    // at 16 of its 209 matchings; the small one completes (7 ≤ … no —
+    // budget 4 < 7 matchings, so it truncates at 4).
+    let kept: Vec<usize> = result
+        .stats
+        .truncated_components
+        .iter()
+        .map(|t| t.kept)
+        .collect();
+    assert_eq!(kept, vec![16, 4]);
+    assert!(result
+        .stats
+        .truncated_components
+        .iter()
+        .all(|t| t.frontier_nodes > 0));
 }
 
 #[test]

@@ -334,6 +334,50 @@ impl PxDoc {
         }
     }
 
+    /// Replace `parent`'s child list wholesale: current children are
+    /// detached, every node in `children` is (re-)attached in the given
+    /// order. Used by refinement rollback to restore a choice point's
+    /// original possibilities after a failed re-emission.
+    ///
+    /// Every node in `children` must be detached or already a child of
+    /// `parent` (re-parenting a node that is still linked elsewhere
+    /// would corrupt the other parent's child list).
+    pub fn reset_children(&mut self, parent: PxNodeId, children: Vec<PxNodeId>) {
+        for c in std::mem::take(&mut self.node_mut(parent).children) {
+            self.node_mut(c).parent = None;
+        }
+        for &c in &children {
+            debug_assert!(
+                self.node(c).parent.is_none(),
+                "reset_children child must be detached"
+            );
+            self.node_mut(c).parent = Some(parent);
+        }
+        self.node_mut(parent).children = children;
+    }
+
+    /// Drop every arena slot from index `mark` on — the nodes appended
+    /// since `mark` was read off [`arena_len`](Self::arena_len). Used by
+    /// refinement rollback: node creation only ever appends, so
+    /// truncating back to a recorded mark (after re-linking the
+    /// surviving structure, see [`reset_children`](Self::reset_children))
+    /// restores the arena bit for bit.
+    ///
+    /// # Panics
+    /// Panics in debug builds if a surviving node still references a
+    /// dropped one, or if `mark` would drop the root.
+    pub fn truncate_arena(&mut self, mark: usize) {
+        debug_assert!(mark > self.root.index() && mark <= self.nodes.len());
+        #[cfg(debug_assertions)]
+        for node in &self.nodes[..mark] {
+            debug_assert!(
+                node.children.iter().all(|c| c.index() < mark),
+                "surviving node references a truncated one"
+            );
+        }
+        self.nodes.truncate(mark);
+    }
+
     /// Replace `old` in its parent's child list with `replacements`
     /// (splicing them in at the same position). `old` becomes detached.
     ///
@@ -555,6 +599,26 @@ pub(crate) mod tests {
         px.detach(child);
         assert_eq!(px.reachable_count(), before);
         assert!(px.arena_len() > px.reachable_count());
+    }
+
+    #[test]
+    fn reset_children_restores_a_detached_list() {
+        let mut px = PxDoc::new();
+        let root = px.root();
+        let p1 = px.add_poss(root, 0.5);
+        let p2 = px.add_poss(root, 0.5);
+        let original = px.children(root).to_vec();
+        // Replace the possibilities, then roll back.
+        for c in original.clone() {
+            px.detach(c);
+        }
+        let p3 = px.add_poss(root, 1.0);
+        assert_eq!(px.children(root), [p3]);
+        px.reset_children(root, original.clone());
+        assert_eq!(px.children(root), original.as_slice());
+        assert_eq!(px.parent(p1), Some(root));
+        assert_eq!(px.parent(p2), Some(root));
+        assert_eq!(px.parent(p3), None);
     }
 
     #[test]

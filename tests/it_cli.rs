@@ -334,6 +334,111 @@ fn rule_files_are_read_from_disk() {
 }
 
 #[test]
+fn integrate_flags_resumable_components_and_refine_converges() {
+    let w = Workdir::new("refine");
+    let a = w.write("a.xml", &confusable_catalog(1, 4));
+    let b = w.write("b.xml", &confusable_catalog(2, 4));
+    // Ground truth: the unbudgeted integration.
+    let exact = w.path("exact.xml");
+    let out = imprecise(&[
+        "integrate",
+        "--out",
+        exact.to_str().unwrap(),
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(!stderr(&out).contains("truncated"), "{}", stderr(&out));
+
+    // A budgeted run flags its truncation as resumable.
+    let budgeted = w.path("budgeted.xml");
+    let out = imprecise(&[
+        "integrate",
+        "--out",
+        budgeted.to_str().unwrap(),
+        "--budget",
+        "16",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let log = stderr(&out);
+    assert!(log.contains("1 component(s) truncated"), "{log}");
+    assert!(log.contains("/catalog/movie"), "{log}");
+    assert!(log.contains("kept 16 matchings"), "{log}");
+    assert!(log.contains("resumable ("), "{log}");
+    assert!(log.contains("open frontier nodes"), "{log}");
+
+    // refine: integrate under a small budget, then staged refinement to
+    // exhaustion; the final document equals the unbudgeted one.
+    let refined = w.path("refined.xml");
+    let out = imprecise(&[
+        "refine",
+        "--out",
+        refined.to_str().unwrap(),
+        "--initial-budget",
+        "16",
+        "--budget",
+        "64",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let log = stderr(&out);
+    assert!(log.contains("refine step 1"), "{log}");
+    assert!(log.contains("refine step 2"), "{log}");
+    assert!(log.contains("document is exact now"), "{log}");
+    let exact_text = std::fs::read_to_string(&exact).unwrap();
+    let refined_text = std::fs::read_to_string(&refined).unwrap();
+    assert_eq!(exact_text, refined_text, "refined must equal one-shot");
+
+    // A step limit stops early, leaving an (honest) inexact document.
+    let partial = w.path("partial.xml");
+    let out = imprecise(&[
+        "refine",
+        "--out",
+        partial.to_str().unwrap(),
+        "--initial-budget",
+        "16",
+        "--budget",
+        "8",
+        "--steps",
+        "1",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let log = stderr(&out);
+    assert!(log.contains("refine step 1"), "{log}");
+    assert!(!log.contains("refine step 2"), "{log}");
+    assert!(log.contains("still open"), "{log}");
+}
+
+#[test]
+fn refine_on_exact_integration_reports_nothing_to_do() {
+    let w = Workdir::new("refine-exact");
+    let a = w.write("a.xml", SOURCE_A);
+    let b = w.write("b.xml", SOURCE_B);
+    let refined = w.path("refined.xml");
+    let out = imprecise(&[
+        "refine",
+        "--out",
+        refined.to_str().unwrap(),
+        "--rules",
+        "addressbook",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("nothing to refine"),
+        "{}",
+        stderr(&out)
+    );
+    assert!(refined.exists());
+}
+
+#[test]
 fn usage_errors_exit_nonzero() {
     let out = imprecise(&["frobnicate"]);
     assert!(!out.status.success());

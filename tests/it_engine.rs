@@ -167,6 +167,55 @@ fn errors_are_descriptive() {
 }
 
 #[test]
+fn pay_as_you_go_refinement_cycle() {
+    use imprecise::integrate::{IntegrationOptions, RefineOptions};
+    // The confusable block truncated hard, then refined between queries:
+    // the integrate → query → refine → query loop of the README.
+    let scenario = scenarios::confusable(4);
+    let engine = Engine::builder()
+        .oracle(movie_oracle(MovieOracleConfig {
+            title_rule: false,
+            ..MovieOracleConfig::default()
+        }))
+        .schema(scenario.schema)
+        .options(IntegrationOptions {
+            max_matchings_per_component: 8,
+            ..IntegrationOptions::default()
+        })
+        .build();
+    let a = engine
+        .load_xml("a", &to_string(&scenario.mpeg7))
+        .expect("loads");
+    let b = engine
+        .load_xml("b", &to_string(&scenario.imdb))
+        .expect("loads");
+    let (db, stats) = engine.integrate(&a, &b, "db").expect("integrates");
+    assert_eq!(stats.components_truncated(), 1);
+    let query = engine.prepare("//movie/title").expect("parses");
+    // Queries work on the truncated document…
+    let before = query
+        .run(&engine.snapshot(&db).expect("exists"))
+        .expect("evaluates");
+    assert!(!before.is_empty());
+    // …and keep working, with exact probabilities, after refinement.
+    let step = engine
+        .refine(&db, &RefineOptions::to_exhaustive())
+        .expect("refines");
+    assert_eq!(step.remaining, 0);
+    assert_eq!(engine.refine_state(&db).expect("exists"), None);
+    let after = query
+        .run(&engine.snapshot(&db).expect("exists"))
+        .expect("evaluates");
+    assert_eq!(before.len(), after.len());
+    // The version bump invalidated the prepared query's run cache; the
+    // re-run reflects the refined distribution.
+    assert!(before
+        .items
+        .iter()
+        .any(|ans| (ans.probability - after.probability_of(&ans.value)).abs() > 1e-12));
+}
+
+#[test]
 fn document_names_listed() {
     let (engine, _, _) = movie_engine();
     assert_eq!(engine.document_names(), vec!["imdb", "mpeg7"]);

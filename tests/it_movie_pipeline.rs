@@ -8,7 +8,7 @@ use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig, TableIRuleSet}
 fn integrate(
     scenario: &scenarios::MovieScenario,
     rule_set: TableIRuleSet,
-) -> imprecise::integrate::Integration {
+) -> imprecise::integrate::IntegrationOutcome {
     integrate_xml(
         &scenario.mpeg7,
         &scenario.imdb,

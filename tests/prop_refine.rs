@@ -1,0 +1,193 @@
+//! Property tests of resumable integration (PR 5's tentpole):
+//!
+//! * a budget-truncated integration refined to an unlimited budget is
+//!   **byte-identical** (document fingerprint) to the one-shot
+//!   exhaustive integration — the frontier really does persist the whole
+//!   search state;
+//! * per-component mass accounting closes (`retained + discarded ==
+//!   1 ± 1e-9`) after *every* staged refinement step, not only at the
+//!   ends;
+//! * the worst-case discarded mass shrinks monotonically as refinement
+//!   steps are applied, and staged refinement converges to the same
+//!   exhaustive fingerprint as a single unlimited refinement.
+
+use imprecise::datagen::movies::{catalog_to_xml, movie_schema, Movie, MovieBuilder, SourceStyle};
+use imprecise::integrate::{integrate_px, integrate_xml, IntegrationOptions, RefineOptions};
+use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig};
+use proptest::prelude::*;
+
+const TITLE_POOL: [&str; 5] = ["Jaws", "Jaws 2", "Heat", "Die Hard", "Casino"];
+
+fn movie_from(title: u8, year: u8, rwo: u64) -> Movie {
+    MovieBuilder::new(
+        rwo,
+        TITLE_POOL[title as usize % TITLE_POOL.len()],
+        1970 + u32::from(year % 4),
+    )
+    .genre("Drama")
+    .build()
+}
+
+fn confusion_oracle() -> imprecise::oracle::Oracle {
+    // Title and year rules off: most pairs stay undecided, so even small
+    // catalogs produce components with many matchings.
+    movie_oracle(MovieOracleConfig {
+        genre_rule: false,
+        title_rule: false,
+        year_rule: false,
+        graded_prior: true,
+        ..MovieOracleConfig::default()
+    })
+}
+
+fn catalogs(
+    a_specs: &[(u8, u8)],
+    b_specs: &[(u8, u8)],
+) -> (imprecise::xml::XmlDoc, imprecise::xml::XmlDoc) {
+    let a: Vec<Movie> = a_specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, y))| movie_from(t, y, i as u64))
+        .collect();
+    let b: Vec<Movie> = b_specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, y))| movie_from(t, y, 100 + i as u64))
+        .collect();
+    (
+        catalog_to_xml(&a, SourceStyle::Mpeg7),
+        catalog_to_xml(&b, SourceStyle::Imdb),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn refine_to_unlimited_is_bitwise_exhaustive(
+        a_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..5),
+        b_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..5),
+        budget in 2usize..6,
+    ) {
+        let (doc_a, doc_b) = catalogs(&a_specs, &b_specs);
+        let schema = movie_schema();
+        let oracle = confusion_oracle();
+        let exact = integrate_xml(&doc_a, &doc_b, &oracle, Some(&schema),
+            &IntegrationOptions::default()).expect("exhaustive integrates");
+        prop_assert!(!exact.is_refinable());
+        let mut budgeted = integrate_xml(&doc_a, &doc_b, &oracle, Some(&schema),
+            &IntegrationOptions {
+                max_matchings_per_component: budget,
+                ..IntegrationOptions::default()
+            }).expect("budgeted never errors");
+        let step = budgeted
+            .refine(&oracle, Some(&schema), &RefineOptions::to_exhaustive())
+            .expect("refine succeeds");
+        prop_assert_eq!(step.remaining, 0);
+        prop_assert!(!budgeted.is_refinable());
+        prop_assert!(budgeted.stats.is_exact());
+        prop_assert_eq!(
+            exact.doc.fingerprint(),
+            budgeted.doc.fingerprint(),
+            "refined-to-unlimited differs from the one-shot exhaustive run"
+        );
+    }
+
+    #[test]
+    fn staged_refinement_closes_mass_and_shrinks_monotonically(
+        a_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..5),
+        b_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..5),
+        budget in 2usize..6,
+        extra in 1usize..8,
+        top in 1usize..3,
+    ) {
+        let (doc_a, doc_b) = catalogs(&a_specs, &b_specs);
+        let schema = movie_schema();
+        let oracle = confusion_oracle();
+        let exact = integrate_xml(&doc_a, &doc_b, &oracle, Some(&schema),
+            &IntegrationOptions::default()).expect("exhaustive integrates");
+        let mut outcome = integrate_xml(&doc_a, &doc_b, &oracle, Some(&schema),
+            &IntegrationOptions {
+                max_matchings_per_component: budget,
+                ..IntegrationOptions::default()
+            }).expect("budgeted never errors");
+        let options = RefineOptions {
+            extra_matchings: extra,
+            min_retained_mass: None,
+            max_components: top,
+        };
+        let mut last_mass = outcome.max_discarded_mass();
+        let mut guard = 0usize;
+        while outcome.is_refinable() {
+            let step = outcome
+                .refine(&oracle, Some(&schema), &options)
+                .expect("refine succeeds");
+            // Mass closure per component, after every step.
+            for f in outcome.frontiers() {
+                let cf = f.component_frontier();
+                prop_assert!(
+                    (cf.retained_mass + cf.discarded_mass - 1.0).abs() < 1e-9,
+                    "{}: retained {} + discarded {} != 1",
+                    f.path(), cf.retained_mass, cf.discarded_mass
+                );
+            }
+            // The refined components' own accounting closes too.
+            for r in &step.refined {
+                prop_assert!(r.discarded_after >= 0.0 && r.discarded_after <= 1.0);
+                prop_assert!(r.kept_after >= r.kept_before);
+            }
+            // Monotone convergence of the headline figure.
+            prop_assert!(
+                step.max_discarded_mass <= last_mass + 1e-9,
+                "max discarded mass grew: {last_mass} -> {}",
+                step.max_discarded_mass
+            );
+            last_mass = step.max_discarded_mass;
+            // The intermediate document stays a valid distribution.
+            outcome.doc.validate().expect("valid px invariants");
+            // Stats track the live frontiers.
+            prop_assert_eq!(outcome.stats.components_truncated(), step.remaining);
+            guard += 1;
+            prop_assert!(guard < 10_000, "refinement failed to converge");
+        }
+        prop_assert_eq!(
+            exact.doc.fingerprint(),
+            outcome.doc.fingerprint(),
+            "staged refinement must converge to the exhaustive result"
+        );
+    }
+
+    #[test]
+    fn refining_probabilistic_inputs_converges_too(
+        a_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..4),
+        b_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..4),
+        budget in 3usize..6,
+    ) {
+        // Incremental integration: the (exact) result of one integration
+        // — already probabilistic — integrated against a third source
+        // under a budget, then refined. Truncated components here live
+        // under local-world cross products, the arena sites the frontier
+        // machinery must handle beyond plain element parents.
+        let (doc_a, doc_b) = catalogs(&a_specs, &b_specs);
+        let schema = movie_schema();
+        let oracle = confusion_oracle();
+        let first = integrate_xml(&doc_a, &doc_b, &oracle, Some(&schema),
+            &IntegrationOptions::default()).expect("first step integrates");
+        let third: Vec<Movie> = (0..2)
+            .map(|i| movie_from(i as u8, i as u8, 500 + i as u64))
+            .collect();
+        let doc_c = imprecise::pxml::from_xml(&catalog_to_xml(&third, SourceStyle::Mpeg7));
+        let exact = integrate_px(&first.doc, &doc_c, &oracle, Some(&schema),
+            &IntegrationOptions::default()).expect("exhaustive second step");
+        let mut budgeted = integrate_px(&first.doc, &doc_c, &oracle, Some(&schema),
+            &IntegrationOptions {
+                max_matchings_per_component: budget,
+                ..IntegrationOptions::default()
+            }).expect("budgeted second step");
+        budgeted
+            .refine(&oracle, Some(&schema), &RefineOptions::to_exhaustive())
+            .expect("refine succeeds");
+        prop_assert!(!budgeted.is_refinable());
+        prop_assert_eq!(exact.doc.fingerprint(), budgeted.doc.fingerprint());
+    }
+}
