@@ -1,0 +1,72 @@
+//! Ad-hoc profiling of the staged refinement loop (not part of the
+//! shipped benches): prints per-step wall time plus the frontier and
+//! arena sizes that drive it.
+
+use imprecise::datagen::scenarios;
+use imprecise::integrate::{integrate_xml, IntegrationOptions, RefineOptions};
+use imprecise_bench::confusion_oracle;
+use std::time::Instant;
+
+fn main() {
+    let oracle = confusion_oracle();
+    let c8 = scenarios::confusable(8);
+    let opts = IntegrationOptions {
+        max_matchings_per_component: 64,
+        ..IntegrationOptions::default()
+    };
+    let t = Instant::now();
+    let mut outcome =
+        integrate_xml(&c8.mpeg7, &c8.imdb, &oracle, Some(&c8.schema), &opts).expect("integrates");
+    println!(
+        "integrate@64: {:?}, arena {}, frontier_nodes {:?}",
+        t.elapsed(),
+        outcome.doc.arena_len(),
+        outcome
+            .stats
+            .truncated_components
+            .iter()
+            .map(|t| t.frontier_nodes)
+            .collect::<Vec<_>>()
+    );
+    let refine = RefineOptions {
+        extra_matchings: 64,
+        min_retained_mass: None,
+        max_components: usize::MAX,
+    };
+    for step in 0..7 {
+        let t = Instant::now();
+        let s = outcome
+            .refine(&oracle, Some(&c8.schema), &refine)
+            .expect("refines");
+        println!(
+            "step {step}: {:?}, emitted {}, arena {}/{}, frontier_nodes {:?}",
+            t.elapsed(),
+            s.emitted_nodes,
+            s.arena_live,
+            s.arena_total,
+            outcome
+                .stats
+                .truncated_components
+                .iter()
+                .map(|t| t.frontier_nodes)
+                .collect::<Vec<_>>()
+        );
+    }
+    let t = Instant::now();
+    let one = integrate_xml(
+        &c8.mpeg7,
+        &c8.imdb,
+        &oracle,
+        Some(&c8.schema),
+        &IntegrationOptions {
+            max_matchings_per_component: 512,
+            ..IntegrationOptions::default()
+        },
+    )
+    .expect("integrates");
+    println!(
+        "one-shot@512: {:?}, arena {}",
+        t.elapsed(),
+        one.doc.arena_len()
+    );
+}

@@ -71,6 +71,8 @@ enum Command {
         top: usize,
         /// Refinement steps (default: until exhausted).
         steps: Option<usize>,
+        /// Print per-step emission and arena-occupancy figures.
+        stats: bool,
     },
     Query {
         db: String,
@@ -126,7 +128,7 @@ USAGE:
                       A.xml B.xml [C.xml ...]
   imprecise refine --out FILE [--rules FILE|movie|addressbook] [--dtd FILE]
                    [--weights A,B] [--initial-budget K] [--budget K]
-                   [--top C] [--steps N] [--threads N]
+                   [--top C] [--steps N] [--threads N] [--stats]
                    A.xml B.xml [C.xml ...]
   imprecise query DB.xml QUERY [--threshold P] [--min-probability P]
   imprecise explain QUERY [--threshold P]
@@ -155,7 +157,7 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                         .ok_or_else(|| UsageError(format!("--{name} needs a value")))?,
                 ),
                 // boolean flags
-                "strict" => None,
+                "strict" | "stats" => None,
                 other => return Err(UsageError(format!("unknown flag --{other}"))),
             };
             flags.push((name, value));
@@ -267,6 +269,7 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 extra,
                 top,
                 steps: parse_opt_usize_flag(flag("steps"), "steps")?,
+                stats: has_flag("stats"),
             })
         }
         "query" => Ok(Command::Query {
@@ -436,10 +439,13 @@ fn report_truncations(steps: &[imprecise::integrate::IntegrationStats], budget_n
     );
     for step in steps {
         for t in &step.truncated_components {
-            let resumable = if t.frontier_nodes > 0 {
+            let resumable = if t.resumable {
                 format!(", resumable ({} open frontier nodes)", t.frontier_nodes)
             } else {
-                ", not resumable (intermediate fold step)".to_string()
+                format!(
+                    ", not resumable (intermediate fold step; {} frontier nodes dropped)",
+                    t.frontier_nodes
+                )
             };
             eprintln!(
                 "  {} — {} live pairs, kept {} matchings, discarded mass {:.4}{resumable}",
@@ -492,6 +498,7 @@ fn run(cmd: Command) -> Result<(), String> {
             extra,
             top,
             steps: max_steps,
+            stats,
         } => {
             let engine = build_engine(&flags)?;
             let (result, steps) = integrate_sources(&engine, &sources)?;
@@ -523,6 +530,17 @@ fn run(cmd: Command) -> Result<(), String> {
                         r.discarded_before,
                         r.discarded_after,
                         if r.exhausted { " (exhausted)" } else { "" },
+                    );
+                }
+                if stats {
+                    eprintln!(
+                        "refine step {step_no}: emitted {} node(s), arena {}/{} live \
+                         ({} detached slot(s)){}",
+                        step.emitted_nodes,
+                        step.arena_live,
+                        step.arena_total,
+                        step.arena_total - step.arena_live,
+                        if step.compacted { ", compacted" } else { "" },
                     );
                 }
                 if step.remaining == 0 {
@@ -794,6 +812,7 @@ mod tests {
                 extra,
                 top,
                 steps,
+                stats,
             } => {
                 assert_eq!(sources.len(), 2);
                 assert_eq!(out, "r.xml");
@@ -802,6 +821,7 @@ mod tests {
                 assert_eq!(extra, 1024);
                 assert_eq!(top, usize::MAX);
                 assert_eq!(steps, None);
+                assert!(!stats);
             }
             other => panic!("{other:?}"),
         }
@@ -838,6 +858,11 @@ mod tests {
                 assert_eq!(top, 2);
                 assert_eq!(steps, Some(5));
             }
+            other => panic!("{other:?}"),
+        }
+        // --stats is a boolean flag on refine.
+        match parse(&["refine", "--out", "r.xml", "--stats", "a", "b"]).unwrap() {
+            Command::Refine { stats, .. } => assert!(stats),
             other => panic!("{other:?}"),
         }
         // Strict mode never truncates: nothing to refine.

@@ -339,6 +339,17 @@ impl PreparedQuery {
 /// recompute would otherwise starve the writer indefinitely.
 const OPTIMISTIC_ROUNDS: usize = 8;
 
+/// Arenas below this many total slots are never compacted after a
+/// refine step: walking the document to reclaim a few kilobytes costs
+/// more than the garbage.
+const COMPACT_MIN_SLOTS: usize = 1 << 12;
+
+/// Detached-slot fraction above which a refine step compacts the arena
+/// before republishing: incremental emission leaves garbage only when a
+/// synthetic frontier (or nested re-truncation) replaced subtrees, so a
+/// quarter of the arena dead means real waste, not steady-state churn.
+const COMPACT_DETACHED_FRACTION: f64 = 0.25;
+
 /// One catalog slot: the current version of a named document, plus —
 /// when that version came out of a budget-truncated integration — the
 /// refinable state (persisted enumeration frontiers and retained
@@ -886,6 +897,10 @@ impl Engine {
             refined: Vec::new(),
             remaining: 0,
             max_discarded_mass: 0.0,
+            emitted_nodes: 0,
+            arena_live: 0,
+            arena_total: 0,
+            compacted: false,
         }
     }
 
@@ -893,6 +908,13 @@ impl Engine {
     /// returning the refined document, the state belonging to it, and
     /// the step report. Shared by the optimistic rounds and the
     /// write-lock fallback so the two paths cannot drift apart.
+    ///
+    /// When detached garbage crosses the compaction thresholds, the
+    /// arena is compacted — frontiers re-anchored — before the document
+    /// is handed back for publication, so the published version never
+    /// carries unbounded dead slots. Compaction rides inside the same
+    /// publish (no extra version bump) and is reflected in the step's
+    /// arena figures.
     fn refine_version(
         &self,
         doc: &Arc<PxDoc>,
@@ -901,7 +923,17 @@ impl Engine {
     ) -> Result<(PxDoc, Option<RefineState>, RefineStep), ImpreciseError> {
         let shared = &self.shared;
         let mut outcome = IntegrationOutcome::with_refine_state((**doc).clone(), (**state).clone());
-        let step = outcome.refine(&shared.oracle, shared.schema.as_ref(), options)?;
+        let mut step = outcome.refine(&shared.oracle, shared.schema.as_ref(), options)?;
+        if step.arena_total >= COMPACT_MIN_SLOTS
+            && (step.arena_total - step.arena_live) as f64
+                >= COMPACT_DETACHED_FRACTION * step.arena_total as f64
+        {
+            outcome.compact_arena();
+            let arena = outcome.doc.arena_stats();
+            step.arena_live = arena.live;
+            step.arena_total = arena.total;
+            step.compacted = true;
+        }
         let next_state = outcome.detach_refine_state();
         Ok((outcome.doc, next_state, step))
     }

@@ -110,7 +110,8 @@ use imprecise_pxml::{from_xml, PxDoc, PxInvariantError, PxNodeId};
 use imprecise_xmlkit::{Schema, XmlDoc};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 /// How the matching budget is applied across the components of a tag
 /// group (the budget-planning knob of the pipeline).
@@ -322,11 +323,16 @@ pub struct TruncatedComponent {
     /// Probability mass dropped with the unenumerated matchings — a
     /// conservative upper bound; the kept matchings were renormalised.
     pub discarded_mass: f64,
-    /// Open search states persisted for this component: the size of the
-    /// frontier a [`IntegrationOutcome::refine`] call resumes from
-    /// (0 only when the truncation is not resumable, e.g. an
-    /// intermediate step of an N-source fold).
+    /// Open search states persisted for this component at truncation
+    /// time: the size of the frontier a [`IntegrationOutcome::refine`]
+    /// call resumes from.
     pub frontier_nodes: usize,
+    /// True when the frontier is actually retained on the outcome —
+    /// a [`IntegrationOutcome::refine`] call can resume it. False for
+    /// the intermediate steps of an N-source fold, whose documents are
+    /// consumed by the next step: their `frontier_nodes` still report
+    /// the real frontier size, but the frontier itself is dropped.
+    pub resumable: bool,
 }
 
 /// Counters describing what the engine (and its Oracle) did.
@@ -473,6 +479,19 @@ pub struct RefineStep {
     /// Largest per-component discarded mass after the step (0 when the
     /// document is now exact).
     pub max_discarded_mass: f64,
+    /// Arena nodes this step grafted into the document — the *delta*
+    /// emission cost (incremental emission appends only the new
+    /// possibility subtrees; it never re-emits the kept set).
+    pub emitted_nodes: usize,
+    /// Arena slots reachable from the root after the step.
+    pub arena_live: usize,
+    /// Total arena slots after the step; `arena_total - arena_live`
+    /// slots are detached garbage a [`PxDoc::compact`] would reclaim.
+    pub arena_total: usize,
+    /// True when the caller compacted the arena after this step (set by
+    /// the engine layer, which owns the compaction policy; the arena
+    /// figures above then describe the compacted document).
+    pub compacted: bool,
 }
 
 /// An integration result: the probabilistic document, statistics, and —
@@ -507,12 +526,10 @@ pub struct IntegrationOutcome {
     sources: Option<(Arc<PxDoc>, Arc<PxDoc>)>,
     /// The options the integration ran under (re-emission must match).
     options: IntegrationOptions,
+    /// Cumulative arena nodes grafted by [`refine`](Self::refine) calls
+    /// on this outcome (across catalog round-trips via [`RefineState`]).
+    emitted_nodes: usize,
 }
-
-/// Former name of [`IntegrationOutcome`]: the result type gained
-/// resumable frontiers and kept its `doc` / `stats` fields.
-#[deprecated(note = "renamed to IntegrationOutcome")]
-pub type Integration = IntegrationOutcome;
 
 impl IntegrationOutcome {
     /// The persisted enumeration frontiers, largest structures first
@@ -538,9 +555,17 @@ impl IntegrationOutcome {
 
     /// Spend an additional matching budget on the components with the
     /// largest discarded mass: resume their best-first enumeration from
-    /// the persisted frontiers and re-emit only those components'
-    /// subtrees into the existing document (grafting into the arena, not
-    /// rebuilding the document).
+    /// the persisted frontiers and graft only the *new* matchings'
+    /// possibility subtrees into the existing document, rescaling the
+    /// previously emitted siblings' weights in place. A refine step
+    /// costs the delta emission — not the whole growing kept set — so
+    /// N small installments approach the price of one big budget.
+    ///
+    /// Each refined component is emitted into its own scratch arena
+    /// first (fanning out over threads under
+    /// [`IntegrationOptions::parallelism`], like enumeration) and the
+    /// scratch subtrees are grafted back serially in refinement order,
+    /// so the result is deterministic regardless of thread count.
     ///
     /// Mass accounting closes after every step (`retained + discarded ==
     /// 1` per component) and the largest discarded mass never increases.
@@ -552,12 +577,11 @@ impl IntegrationOutcome {
     /// `oracle` and `schema` must be the ones the integration ran under
     /// (re-emission consults them for the merged pairs' children).
     ///
-    /// Errors are atomic: if a re-emission trips a resource guard
-    /// ([`IntegrateError::OutputTooLarge`],
-    /// [`IntegrateError::TooManyLocalWorlds`]), every touched choice
-    /// point is rolled back, the nodes this call appended are dropped
-    /// from the arena, and the outcome — document, frontiers, stats —
-    /// is left exactly as it was before the call.
+    /// Errors are atomic: every failure mode — enumeration caps, the
+    /// local-worlds cap, the output-size guard — fires during the
+    /// scratch phase, before the document is touched, so a failed call
+    /// leaves the outcome — document, frontiers, stats — exactly as it
+    /// was.
     pub fn refine(
         &mut self,
         oracle: &Oracle,
@@ -566,10 +590,15 @@ impl IntegrationOutcome {
     ) -> Result<RefineStep, IntegrateError> {
         options.validate()?;
         if self.frontiers.is_empty() {
+            let arena = self.doc.arena_stats();
             return Ok(RefineStep {
                 refined: Vec::new(),
                 remaining: 0,
                 max_discarded_mass: 0.0,
+                emitted_nodes: 0,
+                arena_live: arena.live,
+                arena_total: arena.total,
+                compacted: false,
             });
         }
         let (src_a, src_b) = self
@@ -610,56 +639,116 @@ impl IntegrationOutcome {
             strict_matchings: false,
             ..self.options
         };
-        // Node creation only appends to the arena: remembering its
-        // length lets a failed refine drop everything it added.
-        let arena_mark = self.doc.arena_len();
-        let doc = std::mem::take(&mut self.doc);
-        let mut builder =
-            merge::Builder::resume(&src_a, &src_b, oracle, schema, &reemit_options, doc);
-        let mut refined = Vec::with_capacity(order.len());
-        // Frontier replacements are applied only after every re-emission
-        // succeeded, and `rollback` records each re-emitted probability
-        // node's original possibility list — so a mid-refine error
-        // (output-size guard, local-worlds cap) restores the document
-        // and leaves this outcome exactly as it was before the call.
+        // Phase A — resume each selected frontier and emit only its new
+        // matchings' subtrees into a per-component scratch arena. The
+        // document is not touched, so any error returns it untouched;
+        // independent components fan out over worker threads.
+        let prepared = prepare_components(
+            &self.frontiers,
+            &order,
+            &src_a,
+            &src_b,
+            oracle,
+            schema,
+            &reemit_options,
+            options,
+            self.doc.arena_len(),
+        )?;
+        // The per-scratch size guard bounds `doc + one scratch`; with
+        // several components refined at once the grafts land together,
+        // so the aggregate is checked before any of them is applied.
+        let added: usize = prepared
+            .iter()
+            .map(|p| p.scratch.arena_len().saturating_sub(1))
+            .sum();
+        if self.doc.arena_len() + added > self.options.max_output_nodes {
+            return Err(IntegrateError::OutputTooLarge {
+                cap: self.options.max_output_nodes,
+            });
+        }
+        // Phase B — graft the scratch subtrees back, serially and in
+        // refinement order: append the new possibilities under the
+        // component's probability anchor, reorder the children into the
+        // full canonical order (old subtrees are reused, never
+        // re-emitted), and write every sibling's renormalised weight.
+        let mut refined = Vec::with_capacity(prepared.len());
         let mut updates: Vec<(usize, Option<ComponentFrontier>)> = Vec::with_capacity(order.len());
-        let mut rollback: Vec<(PxNodeId, Vec<PxNodeId>)> = Vec::with_capacity(order.len());
-        let mut failure: Option<IntegrateError> = None;
-        for &i in &order {
-            let df = &self.frontiers[i];
-            let (result, left) = pipeline::resume_component(
-                df.component(),
-                df.component_frontier(),
-                options.extra_matchings,
-                options.min_retained_mass,
+        let mut nested_all: Vec<DocFrontier> = Vec::new();
+        let mut emitted_nodes = 0usize;
+        let mut replaced_subtrees = false;
+        for p in prepared {
+            let df = &self.frontiers[p.slot];
+            let prob = df.prob();
+            let before = self.doc.arena_len();
+            // Move the scratch arena under the anchor wholesale (one
+            // linear pass, slots and payloads transferred rather than
+            // re-allocated); the offset map re-anchors nested frontiers
+            // recorded inside the spliced subtrees. The scratch root's
+            // children are exactly the new possibility subtrees, in
+            // emission order.
+            let (grafted, id_map) = self.doc.splice_scratch(prob, p.scratch);
+            assert_eq!(
+                grafted.len(),
+                p.new_poss.len(),
+                "the scratch root holds exactly the new possibility subtrees"
             );
-            if let Err(e) = builder.reemit_component(df, &result.matchings, &mut rollback) {
-                failure = Some(e);
-                break;
+            emitted_nodes += self.doc.arena_len() - before;
+            // Interleave old and new children into canonical order. The
+            // canonical sort is a total order over distinct matchings,
+            // so the old entries' relative order is unchanged — they
+            // consume the existing children positionally. A mismatch
+            // between flagged-old entries and existing children means
+            // the frontier could not vouch for what was emitted before
+            // (a synthetic frontier restarts enumeration from scratch):
+            // the old subtrees are dropped and the full set stands.
+            let old_children: Vec<PxNodeId> = self
+                .doc
+                .children(prob)
+                .iter()
+                .copied()
+                .filter(|c| !grafted.contains(c))
+                .collect();
+            let flagged_old = p.is_new.iter().filter(|&&n| !n).count();
+            let mut final_children = Vec::with_capacity(p.all.matchings.len());
+            if flagged_old == old_children.len() {
+                let mut old_iter = old_children.into_iter();
+                let mut new_iter = grafted.iter().copied();
+                for &fresh in &p.is_new {
+                    let child = if fresh {
+                        new_iter.next().expect("one grafted subtree per new entry")
+                    } else {
+                        old_iter.next().expect("one existing subtree per old entry")
+                    };
+                    final_children.push(child);
+                }
+            } else {
+                debug_assert!(
+                    df.component_frontier().is_synthetic(),
+                    "only a synthetic frontier re-yields previously emitted matchings"
+                );
+                final_children = grafted.clone();
+                replaced_subtrees = true;
+            }
+            self.doc.reset_children(prob, final_children.clone());
+            for (child, m) in final_children.iter().zip(&p.all.matchings) {
+                self.doc.set_poss_prob(*child, m.weight);
             }
             refined.push(RefinedComponent {
                 path: df.path().to_string(),
                 kept_before: df.kept(),
-                kept_after: result.matchings.len(),
+                kept_after: p.all.matchings.len(),
                 discarded_before: df.discarded_mass(),
-                discarded_after: result.discarded_mass,
-                exhausted: !result.truncated,
+                discarded_after: p.all.discarded_mass,
+                exhausted: !p.all.truncated,
             });
-            updates.push((i, left));
-        }
-        let (mut doc, _stats, nested) = builder.finish_with_frontiers();
-        if let Some(e) = failure {
-            // Undo the re-emissions in reverse order, then drop every
-            // node this call appended: the document — arena included —
-            // is bit-identical to the pre-refine state.
-            for (prob, children) in rollback.into_iter().rev() {
-                doc.reset_children(prob, children);
+            updates.push((p.slot, p.left));
+            // Nested frontiers carry scratch-relative probability ids;
+            // their source-document group ids are unchanged.
+            for mut f in p.nested {
+                f.set_prob(id_map.remap(f.prob()));
+                nested_all.push(f);
             }
-            doc.truncate_arena(arena_mark);
-            self.doc = doc;
-            return Err(e);
         }
-        self.doc = doc;
         let mut drained: Vec<usize> = Vec::new();
         for (i, left) in updates {
             match left {
@@ -669,16 +758,20 @@ impl IntegrationOutcome {
         }
         // Drop drained frontiers (largest index first so removals don't
         // shift pending ones), then adopt the frontiers of components
-        // that truncated *inside* the re-emitted subtrees.
+        // that truncated *inside* the grafted subtrees.
         drained.sort_unstable_by(|a, b| b.cmp(a));
         for i in drained {
             self.frontiers.remove(i);
         }
-        self.frontiers.extend(nested);
-        // Re-emission detached the refined components' old subtrees;
-        // frontiers recorded inside them are gone with their nodes.
-        let reachable: HashSet<PxNodeId> = self.doc.descendants(self.doc.root()).collect();
-        self.frontiers.retain(|f| reachable.contains(&f.prob()));
+        self.frontiers.extend(nested_all);
+        // A synthetic replacement detached its old subtrees; frontiers
+        // recorded inside them are gone with their nodes. The normal
+        // incremental path only appends and permutes, so nothing can
+        // become unreachable and the arena-wide scan is skipped.
+        if replaced_subtrees {
+            let reachable: HashSet<PxNodeId> = self.doc.descendants(self.doc.root()).collect();
+            self.frontiers.retain(|f| reachable.contains(&f.prob()));
+        }
         self.sync_truncation_stats();
         if self.frontiers.is_empty() {
             // The document is exact now: run the deferred finishing pass
@@ -688,11 +781,41 @@ impl IntegrationOutcome {
             }
             self.sources = None;
         }
+        self.emitted_nodes += emitted_nodes;
+        let arena = self.doc.arena_stats();
         Ok(RefineStep {
             refined,
             remaining: self.frontiers.len(),
             max_discarded_mass: self.max_discarded_mass(),
+            emitted_nodes,
+            arena_live: arena.live,
+            arena_total: arena.total,
+            compacted: false,
         })
+    }
+
+    /// Cumulative arena nodes grafted by every [`refine`](Self::refine)
+    /// call on this outcome so far.
+    pub fn emitted_nodes(&self) -> usize {
+        self.emitted_nodes
+    }
+
+    /// Drop the arena slots detached by refinement and feedback,
+    /// renumbering the surviving nodes and re-anchoring the open
+    /// frontiers. The document's content — fingerprint, worlds, query
+    /// answers — is unchanged; only node ids move. Returns the remap so
+    /// callers holding their own [`PxNodeId`]s can follow.
+    pub fn compact_arena(&mut self) -> imprecise_pxml::CompactMap {
+        let map = self.doc.compact();
+        if !map.is_identity() {
+            for f in &mut self.frontiers {
+                let prob = map
+                    .remap(f.prob())
+                    .expect("open frontiers anchor reachable probability nodes");
+                f.set_prob(prob);
+            }
+        }
+        map
     }
 
     /// Detach the refinable state from this outcome, leaving it exact
@@ -715,6 +838,7 @@ impl IntegrationOutcome {
                 .take()
                 .expect("open frontiers retain their sources"),
             options: self.options,
+            emitted_nodes: self.emitted_nodes,
         })
     }
 
@@ -728,6 +852,7 @@ impl IntegrationOutcome {
             frontiers: state.frontiers,
             sources: Some(state.sources),
             options: state.options,
+            emitted_nodes: state.emitted_nodes,
         }
     }
 
@@ -743,10 +868,145 @@ impl IntegrationOutcome {
                 kept: f.kept(),
                 discarded_mass: f.discarded_mass(),
                 frontier_nodes: f.open_nodes(),
+                resumable: true,
             })
             .collect();
         self.stats.max_discarded_mass = self.max_discarded_mass();
     }
+}
+
+/// One refined component's Phase-A product: the resumed enumeration and
+/// the scratch arena holding only the *new* matchings' possibility
+/// subtrees, ready to be grafted under the component's probability
+/// anchor.
+struct PreparedComponent {
+    /// Index into the outcome's frontier list.
+    slot: usize,
+    /// The full canonical kept set (weights renormalised).
+    all: matching::BudgetedMatchings,
+    /// Parallel to `all.matchings`: which entries this step yielded.
+    is_new: Vec<bool>,
+    /// The frontier left open, `None` when the component drained.
+    left: Option<ComponentFrontier>,
+    /// Scratch arena: a root probability node whose children are the
+    /// new possibility subtrees.
+    scratch: PxDoc,
+    /// The scratch ids of those subtrees, in canonical (emission) order.
+    new_poss: Vec<PxNodeId>,
+    /// Frontiers of tag groups truncated *inside* the new subtrees,
+    /// with scratch-relative probability ids.
+    nested: Vec<DocFrontier>,
+}
+
+/// Phase A of a refine step for one component: resume the enumeration
+/// and emit the delta into a scratch arena. Touches nothing shared.
+#[allow(clippy::too_many_arguments)]
+fn prepare_one(
+    frontiers: &[DocFrontier],
+    slot: usize,
+    src_a: &PxDoc,
+    src_b: &PxDoc,
+    oracle: &Oracle,
+    schema: Option<&Schema>,
+    reemit_options: &IntegrationOptions,
+    options: &RefineOptions,
+    arena_base: usize,
+) -> Result<PreparedComponent, IntegrateError> {
+    let df = &frontiers[slot];
+    let delta = pipeline::resume_component_delta(
+        df.component(),
+        df.component_frontier(),
+        options.extra_matchings,
+        options.min_retained_mass,
+    );
+    let mut builder =
+        merge::Builder::scratch(src_a, src_b, oracle, schema, reemit_options, arena_base);
+    let new_poss = builder.emit_new_possibilities(df, &delta.all.matchings, &delta.is_new)?;
+    let (scratch, _stats, nested) = builder.finish_with_frontiers();
+    Ok(PreparedComponent {
+        slot,
+        all: delta.all,
+        is_new: delta.is_new,
+        left: delta.left,
+        scratch,
+        new_poss,
+        nested,
+    })
+}
+
+/// Phase A over every selected frontier, fanning out over scoped worker
+/// threads when the options allow and more than one component is
+/// selected. Results come back in selection order and the first error
+/// (in that order) wins, so serial and parallel runs agree exactly.
+#[allow(clippy::too_many_arguments)]
+fn prepare_components(
+    frontiers: &[DocFrontier],
+    order: &[usize],
+    src_a: &PxDoc,
+    src_b: &PxDoc,
+    oracle: &Oracle,
+    schema: Option<&Schema>,
+    reemit_options: &IntegrationOptions,
+    options: &RefineOptions,
+    arena_base: usize,
+) -> Result<Vec<PreparedComponent>, IntegrateError> {
+    let threads = pipeline::effective_parallelism(reemit_options.parallelism).min(order.len());
+    if threads <= 1 || order.len() < 2 {
+        return order
+            .iter()
+            .map(|&i| {
+                prepare_one(
+                    frontiers,
+                    i,
+                    src_a,
+                    src_b,
+                    oracle,
+                    schema,
+                    reemit_options,
+                    options,
+                    arena_base,
+                )
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= order.len() {
+                    break;
+                }
+                let result = prepare_one(
+                    frontiers,
+                    order[k],
+                    src_a,
+                    src_b,
+                    oracle,
+                    schema,
+                    reemit_options,
+                    options,
+                    arena_base,
+                );
+                if tx.send((k, result)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<Result<PreparedComponent, IntegrateError>>> =
+        order.iter().map(|_| None).collect();
+    for (k, result) in rx {
+        slots[k] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every selected component was prepared"))
+        .collect()
 }
 
 /// The document-independent refinable state of a truncated
@@ -760,12 +1020,20 @@ pub struct RefineState {
     frontiers: Vec<DocFrontier>,
     sources: (Arc<PxDoc>, Arc<PxDoc>),
     options: IntegrationOptions,
+    emitted_nodes: usize,
 }
 
 impl RefineState {
     /// Number of truncated components still open.
     pub fn open_components(&self) -> usize {
         self.frontiers.len()
+    }
+
+    /// Cumulative arena nodes grafted by the refine calls this state
+    /// has passed through (the emission side of the pay-as-you-go
+    /// cost).
+    pub fn emitted_nodes(&self) -> usize {
+        self.emitted_nodes
     }
 
     /// Largest per-component discarded mass over the open frontiers.
@@ -860,8 +1128,11 @@ fn integrate_inner(
             RetainSources::Shared(sa, sb) => Some((sa, sb)),
             RetainSources::Discard => {
                 frontiers.clear();
+                // The truncation records keep their real frontier sizes;
+                // only the resumability flag is withdrawn with the
+                // dropped frontiers.
                 for t in &mut stats.truncated_components {
-                    t.frontier_nodes = 0;
+                    t.resumable = false;
                 }
                 None
             }
@@ -879,6 +1150,7 @@ fn integrate_inner(
         frontiers,
         sources,
         options: *options,
+        emitted_nodes: 0,
     })
 }
 
@@ -946,6 +1218,7 @@ pub fn integrate_many_px(
         frontiers: Vec::new(),
         sources: None,
         options: *options,
+        emitted_nodes: 0,
     });
     Ok(ManyIntegration { outcome, steps })
 }

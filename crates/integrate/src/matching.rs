@@ -32,6 +32,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::Arc;
 
 /// An undecided candidate pair with its match probability.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -245,18 +246,37 @@ pub fn live_candidates(component: &Component) -> Vec<Candidate> {
 /// ties broken by the pair list, normalised by a sum taken in that
 /// order. Two enumerators producing the same matching set therefore
 /// produce bit-identical weights.
-fn canonicalise(mut out: Vec<Matching>) -> Vec<Matching> {
-    out.sort_by(|x, y| {
-        y.weight
-            .total_cmp(&x.weight)
-            .then_with(|| x.pairs.cmp(&y.pairs))
+fn canonicalise(out: Vec<Matching>) -> Vec<Matching> {
+    canonicalise_tagged(out, 0).0
+}
+
+/// [`canonicalise`] that additionally reports, per canonical entry,
+/// whether its source index was at or past `watermark` — i.e. whether it
+/// is *new* relative to a previously emitted prefix of `yielded`. The
+/// sort, the normalisation sum (taken in canonical order) and the
+/// divisions are exactly those of [`canonicalise`], so the weights stay
+/// bit-identical; only the provenance flags are extra.
+fn canonicalise_tagged(yielded: Vec<Matching>, watermark: usize) -> (Vec<Matching>, Vec<bool>) {
+    let mut tagged: Vec<(Matching, bool)> = yielded
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| (m, i >= watermark))
+        .collect();
+    tagged.sort_by(|x, y| {
+        y.0.weight
+            .total_cmp(&x.0.weight)
+            .then_with(|| x.0.pairs.cmp(&y.0.pairs))
     });
-    let total: f64 = out.iter().map(|m| m.weight).sum();
+    let total: f64 = tagged.iter().map(|t| t.0.weight).sum();
     debug_assert!(total > 0.0, "at least the empty matching exists");
-    for m in &mut out {
+    let mut out = Vec::with_capacity(tagged.len());
+    let mut is_new = Vec::with_capacity(tagged.len());
+    for (mut m, fresh) in tagged {
         m.weight /= total;
+        out.push(m);
+        is_new.push(fresh);
     }
-    out
+    (out, is_new)
 }
 
 /// Enumerate all injective matchings of a component, normalised, in
@@ -293,7 +313,11 @@ struct SearchState {
     seq: u64,
     idx: usize,
     weight: f64,
-    taken: Vec<(usize, usize)>,
+    /// Included pairs of the prefix. Shared (`Arc`) because every
+    /// exclude-branch child and every frontier snapshot carries its
+    /// parent's inclusions unchanged — with tens of thousands of open
+    /// states, per-state vector clones dominate resume cost otherwise.
+    taken: Arc<[(usize, usize)]>,
 }
 
 impl PartialEq for SearchState {
@@ -377,45 +401,86 @@ impl SuffixBounds {
 
 /// Exact total mass of all injective matchings over the live edges:
 /// `Σ_M Π_{e∈M} p_e · Π_{e∉M} (1−p_e)`, computed *without* enumeration
-/// by a bitmask dynamic program over the smaller side (processing the
-/// larger side node by node, tracking which smaller-side nodes are
-/// matched). `O(larger · 2^smaller · degree)` — exact up to
-/// [`EXACT_MASS_MAX_SIDE`] smaller-side nodes, `None` beyond that
-/// (callers fall back to the conservative frontier bound).
+/// by a bitmask inclusion–exclusion scan over the smaller side
+/// (processing the larger side node by node, tracking which smaller-side
+/// nodes are matched). `O(larger · 2^smaller · degree)` — a dense
+/// ratio-space table up to [`EXACT_MASS_MAX_SIDE`] smaller-side nodes,
+/// then a Ryser-style log-domain scan up to
+/// [`EXACT_MASS_LOG_MAX_SIDE`] (also the fallback when ratio space
+/// over- or underflows), and `None` beyond that (callers fall back to
+/// the conservative frontier bound).
 fn exact_total_mass(live: &[Candidate]) -> Option<f64> {
     if live.is_empty() {
         return Some(1.0);
     }
-    let mut a_ids: Vec<usize> = live.iter().map(|c| c.a).collect();
-    let mut b_ids: Vec<usize> = live.iter().map(|c| c.b).collect();
-    a_ids.sort_unstable();
-    a_ids.dedup();
-    b_ids.sort_unstable();
-    b_ids.dedup();
-    // Mask the smaller side; walk the larger one.
-    let (small, large, small_is_a) = if a_ids.len() <= b_ids.len() {
-        (a_ids, b_ids, true)
-    } else {
-        (b_ids, a_ids, false)
-    };
-    if small.len() > EXACT_MASS_MAX_SIDE {
+    let sides = MassSides::of(live);
+    if sides.small.len() <= EXACT_MASS_MAX_SIDE {
+        let z = exact_total_mass_ratio(live, &sides);
+        if z.is_finite() && z > 0.0 {
+            return Some(z);
+        }
+        // Ratio-space over/underflow (e.g. many near-1 demoted pairs):
+        // redo the inclusion–exclusion in the log domain.
+    } else if sides.small.len() > EXACT_MASS_LOG_MAX_SIDE
+        || (live.len() as u64) << sides.small.len() > EXACT_MASS_LOG_MAX_WORK
+    {
         return None;
     }
+    Some(exact_total_mass_log(live, &sides))
+}
+
+/// The two endpoint sets of the live edges, smaller side first — the DP
+/// masks the smaller side and walks the larger one.
+struct MassSides {
+    small: Vec<usize>,
+    large: Vec<usize>,
+    small_is_a: bool,
+}
+
+impl MassSides {
+    fn of(live: &[Candidate]) -> Self {
+        let mut a_ids: Vec<usize> = live.iter().map(|c| c.a).collect();
+        let mut b_ids: Vec<usize> = live.iter().map(|c| c.b).collect();
+        a_ids.sort_unstable();
+        a_ids.dedup();
+        b_ids.sort_unstable();
+        b_ids.dedup();
+        if a_ids.len() <= b_ids.len() {
+            MassSides {
+                small: a_ids,
+                large: b_ids,
+                small_is_a: true,
+            }
+        } else {
+            MassSides {
+                small: b_ids,
+                large: a_ids,
+                small_is_a: false,
+            }
+        }
+    }
+
+    /// The live edges of larger-side node `l`, as `(small bit, value)`
+    /// with `value = f(p)` (the inclusion ratio, or its log).
+    fn edges_of(&self, live: &[Candidate], l: usize, f: impl Fn(f64) -> f64) -> Vec<(usize, f64)> {
+        let small_index = |id: usize| self.small.binary_search(&id).expect("live endpoint");
+        live.iter()
+            .filter(|c| if self.small_is_a { c.b == l } else { c.a == l })
+            .map(|c| {
+                let s = small_index(if self.small_is_a { c.a } else { c.b });
+                (1usize << s, f(c.p))
+            })
+            .collect()
+    }
+}
+
+fn exact_total_mass_ratio(live: &[Candidate], sides: &MassSides) -> f64 {
     // All-excluded product, factored out so the DP runs in ratio space.
     let base: f64 = live.iter().map(|c| 1.0 - c.p).product();
-    let small_index = |id: usize| small.binary_search(&id).expect("live endpoint");
-    let mut dp = vec![0.0f64; 1 << small.len()];
+    let mut dp = vec![0.0f64; 1 << sides.small.len()];
     dp[0] = 1.0;
-    for &l in &large {
-        // The edges of this larger-side node, as (small bit, ratio).
-        let edges: Vec<(usize, f64)> = live
-            .iter()
-            .filter(|c| if small_is_a { c.b == l } else { c.a == l })
-            .map(|c| {
-                let s = small_index(if small_is_a { c.a } else { c.b });
-                (1usize << s, c.p / (1.0 - c.p))
-            })
-            .collect();
+    for &l in &sides.large {
+        let edges = sides.edges_of(live, l, |p| p / (1.0 - p));
         for mask in (0..dp.len()).rev() {
             if dp[mask] == 0.0 {
                 continue;
@@ -427,11 +492,63 @@ fn exact_total_mass(live: &[Candidate]) -> Option<f64> {
             }
         }
     }
-    Some(base * dp.iter().sum::<f64>())
+    base * dp.iter().sum::<f64>()
 }
 
-/// Largest smaller-side size the exact-mass DP handles (`2^16` masks).
+/// The same subset inclusion–exclusion, Ryser-style in the log domain:
+/// every table entry holds `ln` of its ratio-space value and additions
+/// become `log-sum-exp`, so the scan neither overflows (demoted forced
+/// pairs contribute ratios near `1/ε`) nor underflows (the all-excluded
+/// base is a product of hundreds of `1−p` factors). Extends the exact
+/// accounting to [`EXACT_MASS_LOG_MAX_SIDE`] smaller-side nodes, where
+/// the dense ratio table stops at [`EXACT_MASS_MAX_SIDE`].
+fn exact_total_mass_log(live: &[Candidate], sides: &MassSides) -> f64 {
+    let log_base: f64 = live.iter().map(|c| (1.0 - c.p).ln()).sum();
+    let mut dp = vec![f64::NEG_INFINITY; 1 << sides.small.len()];
+    dp[0] = 0.0;
+    for &l in &sides.large {
+        let edges = sides.edges_of(live, l, |p| p.ln() - (1.0 - p).ln());
+        for mask in (0..dp.len()).rev() {
+            if dp[mask] == f64::NEG_INFINITY {
+                continue;
+            }
+            for &(bit, lr) in &edges {
+                if mask & bit == 0 {
+                    dp[mask | bit] = log_add(dp[mask | bit], dp[mask] + lr);
+                }
+            }
+        }
+    }
+    let log_sum = dp.iter().fold(f64::NEG_INFINITY, |acc, &v| log_add(acc, v));
+    (log_base + log_sum).exp()
+}
+
+/// `ln(e^a + e^b)` without leaving the log domain.
+fn log_add(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Largest smaller-side size the ratio-space exact-mass DP handles
+/// (`2^16` masks of dense `f64`s).
 const EXACT_MASS_MAX_SIDE: usize = 16;
+
+/// Largest smaller side the log-domain scan extends exactness to. The
+/// table is `2^20` entries (8 MiB) and each inner step is a `log-sum-exp`
+/// rather than a fused multiply-add, so a work guard
+/// ([`EXACT_MASS_LOG_MAX_WORK`] table-times-edges steps) keeps worst-case
+/// components from stalling a refine step; past it the conservative
+/// frontier bound applies as before.
+const EXACT_MASS_LOG_MAX_SIDE: usize = 20;
+
+/// Work guard for the log-domain scan: `edges · 2^small` inner steps.
+const EXACT_MASS_LOG_MAX_WORK: u64 = 1 << 26;
 
 /// `min_retained_mass` never truncates a component below this many
 /// matchings: cutting a handful of matchings saves nothing and would
@@ -448,7 +565,7 @@ const MASS_STOP_FLOOR: usize = 16;
 struct FrontierNode {
     idx: usize,
     weight: f64,
-    taken: Vec<(usize, usize)>,
+    taken: Arc<[(usize, usize)]>,
     bound: f64,
     seq: u64,
 }
@@ -503,6 +620,14 @@ impl ComponentFrontier {
     /// Number of matchings the producing run kept.
     pub fn kept(&self) -> usize {
         self.yielded.len()
+    }
+
+    /// True when the kept set is the synthesised all-excluded fallback:
+    /// a resumed run discards it and re-yields the whole set, so a
+    /// delta-aware emitter must replace — not extend — what it emitted
+    /// for this frontier.
+    pub fn is_synthetic(&self) -> bool {
+        self.synthetic
     }
 }
 
@@ -578,7 +703,7 @@ impl<'a> FrontierEnumerator<'a> {
             seq: 0,
             idx: 0,
             weight: 1.0,
-            taken: Vec::new(),
+            taken: Arc::from(Vec::new()),
         });
         FrontierEnumerator {
             component,
@@ -704,6 +829,23 @@ impl<'a> FrontierEnumerator<'a> {
     /// result is bit-identical to [`enumerate_matchings`], no matter how
     /// many budgeted runs came before.
     pub fn run(&mut self, budget: &MatchBudget) -> BudgetedMatchings {
+        self.run_delta(budget).0
+    }
+
+    /// [`run`](Self::run) for incremental emitters: the same canonical
+    /// result (bit-identical weights — the sort and the normalisation sum
+    /// are shared), plus a parallel flag vector marking which canonical
+    /// entries were yielded by *this* call. A caller that already emitted
+    /// the previous kept set only has to materialise the flagged entries
+    /// and rescale the surviving siblings to the returned weights — the
+    /// renormalisation factor is folded into every weight.
+    ///
+    /// When the previous run ended in the synthesised all-excluded
+    /// fallback, that matching is discarded and re-derived honestly, so
+    /// *every* entry comes back flagged new: emitters must replace, not
+    /// extend, what they emitted for a synthetic frontier (they can tell
+    /// by the flagged-old count no longer matching what they hold).
+    pub fn run_delta(&mut self, budget: &MatchBudget) -> (BudgetedMatchings, Vec<bool>) {
         if self.synthetic {
             // Discard the synthesised fallback: the open states cover
             // the entire space (including the all-excluded matching), so
@@ -712,6 +854,7 @@ impl<'a> FrontierEnumerator<'a> {
             self.retained = 0.0;
             self.synthetic = false;
         }
+        let watermark = self.yielded.len();
         let live_len = self.live.len();
         // Fallback frontier bound: each state's subtree mass is at most
         // its weight (remaining factors sum to at most 1 per candidate,
@@ -806,7 +949,8 @@ impl<'a> FrontierEnumerator<'a> {
                 let free = takeable > 0 && !state.taken.iter().any(|&(a, b)| a == c.a || b == c.b);
                 if free {
                     let w_incl = state.weight * c.p;
-                    let mut taken = state.taken;
+                    let mut taken = Vec::with_capacity(state.taken.len() + 1);
+                    taken.extend_from_slice(&state.taken);
                     taken.push((c.a, c.b));
                     self.seq += 1;
                     self.heap.push(SearchState {
@@ -814,7 +958,7 @@ impl<'a> FrontierEnumerator<'a> {
                         seq: self.seq,
                         idx: state.idx + 1,
                         weight: w_incl,
-                        taken,
+                        taken: Arc::from(taken),
                     });
                 }
             }
@@ -855,14 +999,18 @@ impl<'a> FrontierEnumerator<'a> {
         };
         self.retained_mass = retained_mass;
         self.discarded_mass = discarded_mass;
-        BudgetedMatchings {
-            matchings: canonicalise(self.yielded.clone()),
-            live_pairs: live_len,
-            retained_mass,
-            discarded_mass,
-            truncated,
-            frontier_nodes: self.heap.len(),
-        }
+        let (matchings, is_new) = canonicalise_tagged(self.yielded.clone(), watermark);
+        (
+            BudgetedMatchings {
+                matchings,
+                live_pairs: live_len,
+                retained_mass,
+                discarded_mass,
+                truncated,
+                frontier_nodes: self.heap.len(),
+            },
+            is_new,
+        )
     }
 
     /// The exact total matching mass, when the component is small enough
@@ -1438,5 +1586,123 @@ mod tests {
         };
         let matchings = enumerate_matchings(&c, 100).unwrap();
         assert_eq!(matchings.len(), 5);
+    }
+
+    /// A 4×4 graph with distinct probabilities strictly inside (0, 1)
+    /// (unlike `graded_graph(4, 4)`, whose last edges exceed 1).
+    fn proper_graph44() -> Component {
+        let mut possible = Vec::new();
+        for a in 0..4usize {
+            for b in 0..4usize {
+                possible.push(Candidate {
+                    a,
+                    b,
+                    p: 0.15 + 0.05 * (a * 4 + b) as f64,
+                });
+            }
+        }
+        Component {
+            a_nodes: (0..4).collect(),
+            b_nodes: (0..4).collect(),
+            forced: Vec::new(),
+            possible,
+        }
+    }
+
+    #[test]
+    fn run_delta_flags_exactly_the_new_matchings() {
+        let c = proper_graph44();
+        let mut en = FrontierEnumerator::new(&c);
+        let first = en.run(&budget(5));
+        assert!(first.truncated);
+        let first_pairs: Vec<Vec<(usize, usize)>> =
+            first.matchings.iter().map(|m| m.pairs.clone()).collect();
+        let (next, is_new) = en.run_delta(&budget(5 + 4));
+        assert_eq!(next.matchings.len(), 9);
+        assert_eq!(is_new.len(), next.matchings.len());
+        assert_eq!(is_new.iter().filter(|&&n| n).count(), 4);
+        // Old entries are exactly the first run's matchings (same pairs),
+        // rescaled; new ones were not in the first kept set.
+        for (m, &fresh) in next.matchings.iter().zip(&is_new) {
+            assert_eq!(!first_pairs.contains(&m.pairs), fresh, "{:?}", m.pairs);
+        }
+        // Bitwise agreement with a single-shot run over the same budget:
+        // the delta form only adds provenance, never changes weights.
+        let oneshot = FrontierEnumerator::new(&c).run(&budget(9));
+        for (a, b) in next.matchings.iter().zip(&oneshot.matchings) {
+            assert_eq!(a.pairs, b.pairs);
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn run_delta_survives_the_frontier_round_trip() {
+        let c = proper_graph44();
+        let mut en = FrontierEnumerator::new(&c);
+        en.run(&budget(3));
+        let frontier = en.frontier().unwrap();
+        let mut resumed = FrontierEnumerator::restore(&c, &frontier);
+        let (full, is_new) = resumed.run_delta(&MatchBudget::UNLIMITED);
+        assert!(!full.truncated);
+        assert_eq!(is_new.iter().filter(|&&n| !n).count(), 3);
+        let exhaustive = enumerate_matchings(&c, usize::MAX).unwrap();
+        for (a, b) in full.matchings.iter().zip(&exhaustive) {
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn log_domain_mass_agrees_with_the_ratio_table() {
+        for c in [proper_graph44(), full_graph(3, 5, 0.42)] {
+            let live = live_candidates(&c);
+            let sides = MassSides::of(&live);
+            let ratio = exact_total_mass_ratio(&live, &sides);
+            let log = exact_total_mass_log(&live, &sides);
+            assert!(
+                ((ratio - log) / ratio).abs() < 1e-12,
+                "ratio {ratio} vs log {log}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_domain_mass_extends_past_the_dense_cap() {
+        // Six disjoint 3×3 gadgets: an 18-node smaller side (past the
+        // dense ratio table's 16) whose exact mass is the product of the
+        // per-gadget masses, each small enough for the ratio table.
+        let gadget_edges = |g: usize| -> Vec<Candidate> {
+            let mut edges = Vec::new();
+            for i in 0..3usize {
+                for j in 0..3usize {
+                    edges.push(Candidate {
+                        a: 3 * g + i,
+                        b: 3 * g + j,
+                        p: 0.2 + 0.09 * ((g + 3 * i + j) % 7) as f64,
+                    });
+                }
+            }
+            edges
+        };
+        let mut possible = Vec::new();
+        let mut expected = 1.0f64;
+        for g in 0..6 {
+            let edges = gadget_edges(g);
+            let sides = MassSides::of(&edges);
+            expected *= exact_total_mass_ratio(&edges, &sides);
+            possible.extend(edges);
+        }
+        let got = exact_total_mass(&possible).expect("log-domain scan covers 18 nodes");
+        assert!(
+            ((got - expected) / expected).abs() < 1e-9,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn mass_past_the_log_cap_stays_conservative() {
+        // 21 disjoint edges: both sides have 21 nodes, past every exact
+        // cap — callers get the conservative frontier bound.
+        let possible: Vec<Candidate> = (0..21).map(|i| Candidate { a: i, b: i, p: 0.5 }).collect();
+        assert_eq!(exact_total_mass(&possible), None);
     }
 }

@@ -27,6 +27,11 @@ pub(crate) struct Builder<'a> {
     schema: Option<&'a Schema>,
     opts: &'a IntegrationOptions,
     out: PxDoc,
+    /// Arena slots the output document already holds elsewhere when
+    /// `out` is a scratch arena (see [`Builder::scratch`]); counted into
+    /// the size guard so scratch emission respects the same
+    /// `max_output_nodes` cap as direct emission.
+    arena_base: usize,
     /// Normalised source weights.
     w_a: f64,
     w_b: f64,
@@ -65,6 +70,7 @@ impl<'a> Builder<'a> {
             schema,
             opts,
             out: PxDoc::new(),
+            arena_base: 0,
             w_a,
             w_b,
             judgments: HashMap::new(),
@@ -74,41 +80,46 @@ impl<'a> Builder<'a> {
         }
     }
 
-    /// A builder positioned over an *existing* output document, for
-    /// refinement: [`reemit_component`](Self::reemit_component) grafts
-    /// resumed components back into the arena instead of rebuilding the
-    /// document. `a` and `b` must be the sources the document was
-    /// integrated from.
-    pub(crate) fn resume(
+    /// A builder emitting into a fresh *scratch* arena, for refinement:
+    /// [`emit_new_possibilities`](Self::emit_new_possibilities) appends
+    /// a resumed component's delta subtrees here, and the caller grafts
+    /// them back into the real document in deterministic order. Scratch
+    /// emission touches nothing shared, so refined components fan out
+    /// over threads exactly like enumeration does. `a` and `b` must be
+    /// the sources the document was integrated from; `arena_base` is the
+    /// real document's current arena size, counted into the output-size
+    /// guard.
+    pub(crate) fn scratch(
         a: &'a PxDoc,
         b: &'a PxDoc,
         oracle: &'a Oracle,
         schema: Option<&'a Schema>,
         opts: &'a IntegrationOptions,
-        out: PxDoc,
+        arena_base: usize,
     ) -> Self {
         let mut builder = Builder::new(a, b, oracle, schema, opts);
-        builder.out = out;
+        builder.arena_base = arena_base;
         builder
     }
 
-    /// Replace a truncated component's possibilities with the resumed
-    /// enumeration's full canonical matching set: the old possibility
-    /// subtrees are detached from the component's probability node and
-    /// one fresh possibility per matching is emitted in their place.
-    /// Tag groups truncated *inside* the re-emitted subtrees record new
-    /// frontiers on this builder.
+    /// Emit the *new* possibility subtrees of a resumed component — the
+    /// canonical entries flagged in `is_new` — as children of the
+    /// scratch root, in canonical order, each with its final (already
+    /// renormalised) weight. Returns the scratch possibility ids in
+    /// emission order. Tag groups truncated *inside* the new subtrees
+    /// record frontiers on this builder, with scratch-relative node ids
+    /// the caller re-anchors when grafting.
     ///
-    /// The detached original possibility list is pushed onto `rollback`
-    /// *before* any mutation, so a caller can restore every touched
-    /// probability node (via [`PxDoc::reset_children`]) if a later
-    /// re-emission fails mid-way.
-    pub(crate) fn reemit_component(
+    /// This is the append-only half of refinement: previously emitted
+    /// possibilities stay where they are in the real document (the
+    /// caller only rescales their weights in place), so a refine step
+    /// costs the *delta* emission, not the whole growing kept set.
+    pub(crate) fn emit_new_possibilities(
         &mut self,
         site: &DocFrontier,
         matchings: &[Matching],
-        rollback: &mut Vec<(PxNodeId, Vec<PxNodeId>)>,
-    ) -> Result<(), IntegrateError> {
+        is_new: &[bool],
+    ) -> Result<Vec<PxNodeId>, IntegrateError> {
         // Seed the element-tag stack from the frontier's recorded path
         // (minus the group tag itself, which `merge_pair` pushes), so
         // nested truncation records carry the same paths as the
@@ -120,20 +131,20 @@ impl<'a> Builder<'a> {
             .map(String::from)
             .collect();
         self.path.pop();
-        let prob = site.prob();
-        let original = self.out.children(prob).to_vec();
-        for &child in &original {
-            self.out.detach(child);
-        }
-        rollback.push((prob, original));
+        let root = self.out.root();
         let (ga, gb) = site.groups();
-        for m in matchings {
+        let mut new_poss = Vec::with_capacity(is_new.iter().filter(|&&n| n).count());
+        for (m, &fresh) in matchings.iter().zip(is_new) {
+            if !fresh {
+                continue;
+            }
             self.guard_size()?;
-            let poss = self.out.add_poss(prob, m.weight);
+            let poss = self.out.add_poss(root, m.weight);
             self.emit_matching(poss, ga, gb, site.component(), m)?;
+            new_poss.push(poss);
         }
         self.path.clear();
-        Ok(())
+        Ok(new_poss)
     }
 
     /// The element path of a tag group under the current merge position.
@@ -223,7 +234,7 @@ impl<'a> Builder<'a> {
     }
 
     fn guard_size(&self) -> Result<(), IntegrateError> {
-        if self.out.arena_len() > self.opts.max_output_nodes {
+        if self.arena_base + self.out.arena_len() > self.opts.max_output_nodes {
             Err(IntegrateError::OutputTooLarge {
                 cap: self.opts.max_output_nodes,
             })
@@ -470,6 +481,7 @@ impl<'a> Builder<'a> {
                 kept: outcome.matchings.len(),
                 discarded_mass: outcome.discarded_mass,
                 frontier_nodes: outcome.frontier.as_ref().map_or(0, |f| f.open_nodes()),
+                resumable: outcome.frontier.is_some(),
             });
         }
     }

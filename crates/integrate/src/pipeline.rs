@@ -206,6 +206,12 @@ impl DocFrontier {
     pub(crate) fn update(&mut self, frontier: ComponentFrontier) {
         self.frontier = frontier;
     }
+
+    /// Re-anchor the output probability node after an arena compaction
+    /// renumbered the document's ids.
+    pub(crate) fn set_prob(&mut self, prob: PxNodeId) {
+        self.prob = prob;
+    }
 }
 
 /// Distribute a total matching budget across a tag group's components
@@ -276,7 +282,7 @@ fn component_budgets(components: &[Component], options: &IntegrationOptions) -> 
 /// search is cheaper than the scheduling.
 const MIN_PARALLEL_PAIRS: usize = 8;
 
-fn effective_parallelism(parallelism: usize) -> usize {
+pub(crate) fn effective_parallelism(parallelism: usize) -> usize {
     match parallelism {
         0 => {
             // Cached: the pipeline runs once per tag group, and
@@ -417,18 +423,46 @@ pub fn resume_component(
     crate::matching::BudgetedMatchings,
     Option<ComponentFrontier>,
 ) {
+    let delta = resume_component_delta(component, frontier, extra, min_retained_mass);
+    (delta.all, delta.left)
+}
+
+/// A resumed run's result in the form the incremental emitter consumes:
+/// the full canonical kept set (weights carry the renormalisation
+/// factor), provenance flags marking which entries this resume step
+/// yielded, and the frontier left open.
+pub struct ResumedDelta {
+    /// Everything kept so far, canonical order, renormalised.
+    pub all: crate::matching::BudgetedMatchings,
+    /// Parallel to `all.matchings`: `true` for entries yielded by *this*
+    /// resume step (the only ones whose subtrees need emitting).
+    pub is_new: Vec<bool>,
+    /// The frontier left open, `None` when the component drained.
+    pub left: Option<ComponentFrontier>,
+}
+
+/// [`resume_component`] for incremental emitters: identical canonical
+/// result (bit for bit), plus which entries are new this step. A caller
+/// holding the previously emitted possibility subtrees appends only the
+/// flagged ones and rescales the survivors in place.
+pub fn resume_component_delta(
+    component: &Component,
+    frontier: &ComponentFrontier,
+    extra: usize,
+    min_retained_mass: Option<f64>,
+) -> ResumedDelta {
     let mut enumerator = FrontierEnumerator::restore(component, frontier);
     let max_matchings = if extra == usize::MAX {
         usize::MAX
     } else {
         frontier.kept().saturating_add(extra.max(1))
     };
-    let result = enumerator.run(&MatchBudget {
+    let (all, is_new) = enumerator.run_delta(&MatchBudget {
         max_matchings,
         min_retained_mass,
     });
     let left = enumerator.into_frontier();
-    (result, left)
+    ResumedDelta { all, is_new, left }
 }
 
 /// Fan the components out over scoped worker threads (no extra deps:

@@ -84,7 +84,7 @@ pub use convert::{from_xml, parse_annotated, to_annotated_xml};
 pub use count::{NodeBreakdown, UnfactoredError};
 pub use dot::to_dot;
 pub use fingerprint::{px_deep_equal, px_fingerprint};
-pub use node::{PxDoc, PxNodeId, PxNodeKind};
+pub use node::{ArenaStats, CompactMap, PxDoc, PxNodeId, PxNodeKind, SpliceMap};
 pub use prune::PruneStats;
 pub use validate::PxInvariantError;
 pub use weights::ChoiceWeights;

@@ -57,10 +57,88 @@ struct PxNodeData {
 /// Detached nodes can temporarily exist while the integration engine
 /// assembles a result; [`PxDoc::reachable_count`] and the counters in
 /// [`crate::count`] only consider nodes reachable from the root.
+/// [`PxDoc::compact`] reclaims detached slots when they accumulate.
 #[derive(Debug, Clone)]
 pub struct PxDoc {
     nodes: Vec<PxNodeData>,
     root: PxNodeId,
+}
+
+/// Arena occupancy of a [`PxDoc`]: how many slots are reachable from the
+/// root (`live`) out of all allocated slots (`total`). The difference is
+/// detached garbage that [`PxDoc::compact`] can reclaim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Slots reachable from the root.
+    pub live: usize,
+    /// All allocated slots, reachable or not.
+    pub total: usize,
+}
+
+impl ArenaStats {
+    /// Detached (unreachable) slots: `total - live`.
+    #[inline]
+    pub fn detached(self) -> usize {
+        self.total - self.live
+    }
+
+    /// Fraction of slots that are live (`1.0` for an empty arena).
+    pub fn occupancy(self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.live as f64 / self.total as f64
+        }
+    }
+}
+
+/// Stable id-remap returned by [`PxDoc::compact`].
+///
+/// Surviving nodes keep their relative arena order, so the map is
+/// monotone: `old < old'` implies `remap(old) < remap(old')` whenever both
+/// survive. Dropped (detached) nodes map to `None`.
+#[derive(Debug, Clone)]
+pub struct CompactMap {
+    map: Vec<Option<PxNodeId>>,
+    dropped: usize,
+}
+
+impl CompactMap {
+    /// New id of `old`, or `None` if the node was detached and dropped.
+    #[inline]
+    pub fn remap(&self, old: PxNodeId) -> Option<PxNodeId> {
+        self.map.get(old.index()).copied().flatten()
+    }
+
+    /// Number of arena slots reclaimed by the compaction.
+    #[inline]
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// True when the compaction was a no-op (every slot survived with its
+    /// original id).
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        self.dropped == 0
+    }
+}
+
+/// Id offset applied by [`PxDoc::splice_scratch`]: scratch node `i`
+/// (for `i ≥ 1`) became destination node `base + i - 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct SpliceMap {
+    base: usize,
+}
+
+impl SpliceMap {
+    /// Destination id of scratch node `src` (not the scratch root, which
+    /// is never spliced).
+    #[inline]
+    pub fn remap(self, src: PxNodeId) -> PxNodeId {
+        debug_assert!(src.index() > 0, "the scratch root itself is not spliced");
+        PxNodeId((self.base + src.index() - 1) as u32)
+    }
 }
 
 impl Default for PxDoc {
@@ -310,16 +388,67 @@ impl PxDoc {
     /// Deep-copy a subtree of another [`PxDoc`] (or of `self`, via a
     /// snapshot) as a new child of `parent`.
     pub fn graft_px(&mut self, parent: PxNodeId, src: &PxDoc, src_node: PxNodeId) -> PxNodeId {
+        self.graft_px_mapped(parent, src, src_node, &mut |_, _| {})
+    }
+
+    /// [`graft_px`](Self::graft_px) that additionally reports the id each
+    /// source node was copied to, via `on_copy(src_id, new_id)`. Used when
+    /// bookkeeping (e.g. resumable-refinement frontiers) holds ids into
+    /// the source arena that must be re-anchored in the destination.
+    pub fn graft_px_mapped(
+        &mut self,
+        parent: PxNodeId,
+        src: &PxDoc,
+        src_node: PxNodeId,
+        on_copy: &mut impl FnMut(PxNodeId, PxNodeId),
+    ) -> PxNodeId {
         let id = match src.kind(src_node).clone() {
             PxNodeKind::Prob => self.push(parent, PxNodeKind::Prob),
             PxNodeKind::Poss(p) => self.push(parent, PxNodeKind::Poss(p)),
             PxNodeKind::Elem { tag, attrs } => self.push(parent, PxNodeKind::Elem { tag, attrs }),
             PxNodeKind::Text(t) => self.push(parent, PxNodeKind::Text(t)),
         };
+        on_copy(src_node, id);
         for &c in src.children(src_node) {
-            self.graft_px(id, src, c);
+            self.graft_px_mapped(id, src, c, on_copy);
         }
         id
+    }
+
+    /// Splice an entire scratch document into this arena in one linear
+    /// pass. Every non-root node of `src` moves here with its id shifted
+    /// by a constant offset (scratch node `i` becomes node `base + i - 1`
+    /// where `base` was this arena's length), and the scratch root's
+    /// children are appended, in order, to `parent`'s child list.
+    ///
+    /// This is a [`graft_px_mapped`](Self::graft_px_mapped) of every root
+    /// child at once, but by *moving* arena slots instead of recursively
+    /// re-allocating nodes: tags, attributes, text and child vectors
+    /// cross arenas untouched, and the id remap is offset arithmetic. It
+    /// requires (and panics unless) `src` has no detached slots — true by
+    /// construction for a freshly emitted scratch document. Returns the
+    /// remapped former children of the scratch root plus the offset map.
+    pub fn splice_scratch(&mut self, parent: PxNodeId, src: PxDoc) -> (Vec<PxNodeId>, SpliceMap) {
+        assert_eq!(src.root().index(), 0, "scratch root is the first slot");
+        let map = SpliceMap {
+            base: self.nodes.len(),
+        };
+        let mut slots = src.nodes.into_iter();
+        let root = slots.next().expect("scratch has a root");
+        let attached: Vec<PxNodeId> = root.children.iter().map(|&c| map.remap(c)).collect();
+        for mut node in slots {
+            node.parent = Some(match node.parent {
+                Some(p) if p.index() == 0 => parent,
+                Some(p) => map.remap(p),
+                None => panic!("scratch documents have no detached slots"),
+            });
+            for c in &mut node.children {
+                *c = map.remap(*c);
+            }
+            self.nodes.push(node);
+        }
+        self.node_mut(parent).children.extend_from_slice(&attached);
+        (attached, map)
     }
 
     /// Detach `child` from its parent's child list (the node stays in the
@@ -413,6 +542,61 @@ impl PxDoc {
     /// [`crate::count`]).
     pub fn reachable_count(&self) -> usize {
         self.descendants(self.root).count()
+    }
+
+    /// Live-vs-total arena occupancy. `live` counts slots reachable from
+    /// the root; the rest are detached garbage left behind by
+    /// simplification, refinement, or feedback.
+    pub fn arena_stats(&self) -> ArenaStats {
+        ArenaStats {
+            live: self.reachable_count(),
+            total: self.arena_len(),
+        }
+    }
+
+    /// Drop every arena slot not reachable from the root, renumbering the
+    /// survivors densely while preserving their relative order (so the
+    /// returned [`CompactMap`] is monotone and the root keeps id 0).
+    ///
+    /// Document structure, order, and probabilities are untouched — the
+    /// fingerprint, world set, and query answers are identical before and
+    /// after. Only arena ids change; callers holding [`PxNodeId`]s across
+    /// a compaction must translate them through the returned map.
+    pub fn compact(&mut self) -> CompactMap {
+        let n = self.nodes.len();
+        let mut keep = vec![false; n];
+        for id in self.descendants(self.root) {
+            keep[id.index()] = true;
+        }
+        let mut map: Vec<Option<PxNodeId>> = vec![None; n];
+        let mut next: u32 = 0;
+        for (i, &kept) in keep.iter().enumerate() {
+            if kept {
+                map[i] = Some(PxNodeId(next));
+                next += 1;
+            }
+        }
+        let dropped = n - next as usize;
+        if dropped == 0 {
+            return CompactMap { map, dropped };
+        }
+        let old = std::mem::take(&mut self.nodes);
+        self.nodes = old
+            .into_iter()
+            .enumerate()
+            .filter(|&(i, _)| keep[i])
+            .map(|(_, node)| PxNodeData {
+                kind: node.kind,
+                parent: node.parent.and_then(|p| map[p.index()]),
+                children: node
+                    .children
+                    .iter()
+                    .map(|c| map[c.index()].expect("child of a reachable node is reachable"))
+                    .collect(),
+            })
+            .collect();
+        self.root = map[self.root.index()].expect("root always survives compaction");
+        CompactMap { map, dropped }
     }
 
     /// All probability nodes reachable from the root, in document order.
@@ -645,5 +829,97 @@ pub(crate) mod tests {
     fn prob_nodes_lists_reachable_choice_points() {
         let px = fig2();
         assert_eq!(px.prob_nodes().len(), 2); // root + tel choice
+    }
+
+    #[test]
+    fn arena_stats_track_detachment() {
+        let mut px = fig2();
+        let before = px.arena_stats();
+        assert_eq!(before.live, before.total);
+        assert_eq!(before.detached(), 0);
+        assert!((before.occupancy() - 1.0).abs() < 1e-12);
+        let w2 = px.children(px.root())[1];
+        let dropped = px.descendants(w2).count();
+        px.detach(w2);
+        let after = px.arena_stats();
+        assert_eq!(after.total, before.total);
+        assert_eq!(after.detached(), dropped);
+        assert!(after.occupancy() < 1.0);
+    }
+
+    #[test]
+    fn compact_on_fully_live_arena_is_identity() {
+        let mut px = fig2();
+        let ids: Vec<PxNodeId> = px.descendants(px.root()).collect();
+        let map = px.compact();
+        assert!(map.is_identity());
+        assert_eq!(map.dropped(), 0);
+        for id in ids {
+            assert_eq!(map.remap(id), Some(id));
+        }
+    }
+
+    #[test]
+    fn compact_reclaims_detached_slots_and_remaps_monotonically() {
+        let mut px = fig2();
+        let w1 = px.children(px.root())[0];
+        let survivor = px.children(px.root())[1];
+        px.detach(w1);
+        let live = px.reachable_count();
+        let total = px.arena_len();
+        assert!(total > live);
+        let map = px.compact();
+        assert_eq!(map.dropped(), total - live);
+        assert_eq!(px.arena_len(), live);
+        assert_eq!(px.arena_stats().detached(), 0);
+        assert_eq!(map.remap(w1), None);
+        let new_survivor = map.remap(survivor).expect("reachable node survives");
+        assert!(new_survivor.index() <= survivor.index());
+        assert_eq!(px.poss_prob(new_survivor), Some(0.5));
+        px.set_poss_prob(new_survivor, 1.0);
+        // Relative order of surviving ids is preserved.
+        let mut last = None;
+        for old in 0..total {
+            if let Some(new) = map.remap(PxNodeId(old as u32)) {
+                if let Some(prev) = last {
+                    assert!(new.index() > prev);
+                }
+                last = Some(new.index());
+            }
+        }
+        px.validate().expect("compacted doc stays valid");
+    }
+
+    #[test]
+    fn compact_preserves_structure_and_fingerprint() {
+        let mut px = fig2();
+        // Leave some garbage behind, as refinement would.
+        let w = px.add_poss(px.root(), 0.25);
+        let e = px.add_elem(w, "junk");
+        px.add_text(e, "gone");
+        px.detach(w);
+        let fp = px.fingerprint();
+        let worlds_before = px.world_count();
+        px.compact();
+        assert_eq!(px.fingerprint(), fp);
+        assert_eq!(px.world_count(), worlds_before);
+    }
+
+    #[test]
+    fn graft_px_mapped_reports_every_copied_node() {
+        let src = fig2();
+        let mut dst = PxDoc::new();
+        let w = dst.add_poss(dst.root(), 1.0);
+        let src_poss = src.children(src.root())[0];
+        let src_ab = src.children(src_poss)[0];
+        let mut map = std::collections::HashMap::new();
+        let copied = dst.graft_px_mapped(w, &src, src_ab, &mut |from, to| {
+            map.insert(from, to);
+        });
+        assert_eq!(map.get(&src_ab), Some(&copied));
+        assert_eq!(map.len(), src.descendants(src_ab).count());
+        for (&from, &to) in &map {
+            assert_eq!(src.children(from).len(), dst.children(to).len());
+        }
     }
 }

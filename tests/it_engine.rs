@@ -216,6 +216,85 @@ fn pay_as_you_go_refinement_cycle() {
 }
 
 #[test]
+fn staged_refinement_emits_deltas_and_keeps_the_arena_clean() {
+    use imprecise::integrate::{IntegrationOptions, RefineOptions};
+    let scenario = scenarios::confusable(4);
+    let engine = Engine::builder()
+        .oracle(movie_oracle(MovieOracleConfig {
+            title_rule: false,
+            ..MovieOracleConfig::default()
+        }))
+        .schema(scenario.schema)
+        .options(IntegrationOptions {
+            max_matchings_per_component: 8,
+            ..IntegrationOptions::default()
+        })
+        .build();
+    let a = engine
+        .load_xml("a", &to_string(&scenario.mpeg7))
+        .expect("loads");
+    let b = engine
+        .load_xml("b", &to_string(&scenario.imdb))
+        .expect("loads");
+    let (db, stats) = engine.integrate(&a, &b, "db").expect("integrates");
+    assert!(stats.components_truncated() > 0);
+    let options = RefineOptions {
+        extra_matchings: 4,
+        min_retained_mass: None,
+        max_components: usize::MAX,
+    };
+    let mut detached_baseline: Option<usize> = None;
+    let mut steps = 0usize;
+    loop {
+        let step = engine.refine(&db, &options).expect("refines");
+        if step.refined.is_empty() {
+            break;
+        }
+        steps += 1;
+        assert!(steps < 10_000, "refinement failed to converge");
+        // Incremental emission appends only the delta subtrees…
+        assert!(step.emitted_nodes > 0, "a refining step grafts new nodes");
+        assert!(step.arena_live <= step.arena_total);
+        if step.remaining > 0 {
+            // …and detaches nothing while frontiers stay open: arena
+            // garbage does not grow with the number of installments.
+            // (The final step runs the deferred simplification pass,
+            // which legitimately strands nodes — hence the guard.)
+            let detached = step.arena_total - step.arena_live;
+            let base = *detached_baseline.get_or_insert(detached);
+            assert!(
+                detached <= base,
+                "detached slots grew across refine steps: {base} -> {detached}"
+            );
+        }
+        if step.remaining == 0 {
+            break;
+        }
+    }
+    assert!(steps > 1, "budget 8 + extra 4 takes several installments");
+    // Occupancy of the published document stays sane after the cycle —
+    // feedback included (conditioning detaches pruned possibilities but
+    // never grows the arena).
+    let before = engine.snapshot(&db).expect("exists").doc().arena_stats();
+    let title = engine.prepare("//movie/title").expect("parses");
+    let first_title = {
+        let answers = title
+            .run(&engine.snapshot(&db).expect("exists"))
+            .expect("evaluates");
+        answers.items[0].value.clone()
+    };
+    engine
+        .feedback(&db, &title, &first_title, true)
+        .expect("feedback applies");
+    let after = engine.snapshot(&db).expect("exists").doc().arena_stats();
+    assert!(
+        after.total <= before.total,
+        "feedback never grows the arena"
+    );
+    assert!(after.live <= after.total);
+}
+
+#[test]
 fn document_names_listed() {
     let (engine, _, _) = movie_engine();
     assert_eq!(engine.document_names(), vec!["imdb", "mpeg7"]);

@@ -9,11 +9,17 @@
 //!   ends;
 //! * the worst-case discarded mass shrinks monotonically as refinement
 //!   steps are applied, and staged refinement converges to the same
-//!   exhaustive fingerprint as a single unlimited refinement.
+//!   exhaustive fingerprint as a single unlimited refinement;
+//! * arena compaction is invisible to every observer — fingerprint,
+//!   world enumeration, query answers — and interleaving compaction
+//!   with refinement steps does not disturb the bitwise convergence
+//!   (PR 6's incremental emitter + arena hygiene).
 
 use imprecise::datagen::movies::{catalog_to_xml, movie_schema, Movie, MovieBuilder, SourceStyle};
 use imprecise::integrate::{integrate_px, integrate_xml, IntegrationOptions, RefineOptions};
 use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig};
+use imprecise::query::{eval_px, parse_query};
+use imprecise::xml::to_string;
 use proptest::prelude::*;
 
 const TITLE_POOL: [&str; 5] = ["Jaws", "Jaws 2", "Heat", "Die Hard", "Casino"];
@@ -189,5 +195,101 @@ proptest! {
             .expect("refine succeeds");
         prop_assert!(!budgeted.is_refinable());
         prop_assert_eq!(exact.doc.fingerprint(), budgeted.doc.fingerprint());
+    }
+
+    #[test]
+    fn compaction_is_invisible_to_every_observer(
+        a_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..5),
+        b_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..5),
+        budget in 2usize..6,
+    ) {
+        // Refinement-to-exhaustive runs the deferred simplification
+        // pass, which strands the collapsed nodes in the arena: the
+        // compaction target. Compacting must change nothing any reader
+        // can see — fingerprint, world distribution, query answers.
+        let (doc_a, doc_b) = catalogs(&a_specs, &b_specs);
+        let schema = movie_schema();
+        let oracle = confusion_oracle();
+        let mut outcome = integrate_xml(&doc_a, &doc_b, &oracle, Some(&schema),
+            &IntegrationOptions {
+                max_matchings_per_component: budget,
+                ..IntegrationOptions::default()
+            }).expect("budgeted never errors");
+        outcome
+            .refine(&oracle, Some(&schema), &RefineOptions::to_exhaustive())
+            .expect("refine succeeds");
+        let fingerprint = outcome.doc.fingerprint();
+        let worlds = outcome.doc.worlds(1_000_000).expect("bounded");
+        let query = parse_query("//movie/title").expect("parses");
+        let answers = eval_px(&outcome.doc, &query).expect("evaluates");
+        let before = outcome.doc.arena_stats();
+        let map = outcome.compact_arena();
+        prop_assert_eq!(map.dropped(), before.detached(),
+            "compaction reclaims exactly the detached slots");
+        let after = outcome.doc.arena_stats();
+        prop_assert_eq!(after.live, after.total, "no garbage survives");
+        prop_assert_eq!(after.live, before.live, "no live node is lost");
+        outcome.doc.validate().expect("valid px invariants");
+        prop_assert_eq!(fingerprint, outcome.doc.fingerprint(),
+            "compaction must not change the fingerprint");
+        let worlds_after = outcome.doc.worlds(1_000_000).expect("bounded");
+        prop_assert_eq!(worlds.len(), worlds_after.len());
+        for (w, v) in worlds.iter().zip(&worlds_after) {
+            prop_assert_eq!(w.prob.to_bits(), v.prob.to_bits());
+            prop_assert_eq!(to_string(&w.doc), to_string(&v.doc));
+        }
+        let answers_after = eval_px(&outcome.doc, &query).expect("evaluates");
+        prop_assert_eq!(answers.items.len(), answers_after.items.len());
+        for (x, y) in answers.items.iter().zip(&answers_after.items) {
+            prop_assert_eq!(&x.value, &y.value);
+            prop_assert_eq!(x.probability.to_bits(), y.probability.to_bits());
+        }
+    }
+
+    #[test]
+    fn compaction_between_refine_steps_keeps_bitwise_convergence(
+        a_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..5),
+        b_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..5),
+        budget in 2usize..6,
+        extra in 1usize..8,
+    ) {
+        // Compacting mid-flight renumbers the arena under the open
+        // frontiers' feet; the re-anchored frontiers must still drive
+        // the staged refinement to the exact one-shot fingerprint.
+        let (doc_a, doc_b) = catalogs(&a_specs, &b_specs);
+        let schema = movie_schema();
+        let oracle = confusion_oracle();
+        let exact = integrate_xml(&doc_a, &doc_b, &oracle, Some(&schema),
+            &IntegrationOptions::default()).expect("exhaustive integrates");
+        let mut outcome = integrate_xml(&doc_a, &doc_b, &oracle, Some(&schema),
+            &IntegrationOptions {
+                max_matchings_per_component: budget,
+                ..IntegrationOptions::default()
+            }).expect("budgeted never errors");
+        let options = RefineOptions {
+            extra_matchings: extra,
+            min_retained_mass: None,
+            max_components: usize::MAX,
+        };
+        let mut guard = 0usize;
+        while outcome.is_refinable() {
+            let step = outcome
+                .refine(&oracle, Some(&schema), &options)
+                .expect("refine succeeds");
+            // Incremental emission appends without detaching: while
+            // frontiers stay open the arena holds no garbage, so the
+            // interleaved compaction is exercised as both the identity
+            // remap and (after the final simplify) a real reclaim.
+            prop_assert!(step.arena_live <= step.arena_total);
+            outcome.compact_arena();
+            outcome.doc.validate().expect("valid px invariants");
+            guard += 1;
+            prop_assert!(guard < 10_000, "refinement failed to converge");
+        }
+        prop_assert_eq!(
+            exact.doc.fingerprint(),
+            outcome.doc.fingerprint(),
+            "compaction between steps must not disturb convergence"
+        );
     }
 }
