@@ -21,15 +21,15 @@
 //!   staged refinement.
 //!
 //! Under `--bench` the harness ends with a regression gate: staged
-//! 8 × 64 must stay within `GATE_CEILING`× of one-shot 512 (set
+//! 8 × 64 must stay within `STAGED_GATE_CEILING`× of one-shot 512 (set
 //! `IMPRECISE_BENCH_GATE=off` to skip, e.g. on wildly noisy machines).
 
 use criterion::{criterion_group, Criterion};
 use imprecise::datagen::scenarios;
-use imprecise::integrate::{
-    integrate_xml, BudgetPlan, IntegrationOptions, IntegrationOutcome, RefineOptions,
+use imprecise::integrate::{integrate_xml, BudgetPlan, IntegrationOptions, RefineOptions};
+use imprecise_bench::{
+    confusion_oracle, integrate_then_refine, measure_staged_vs_one_shot, STAGED_GATE_CEILING,
 };
-use imprecise_bench::confusion_oracle;
 use std::hint::black_box;
 
 fn options(budget: usize) -> IntegrationOptions {
@@ -37,40 +37,6 @@ fn options(budget: usize) -> IntegrationOptions {
         max_matchings_per_component: budget,
         ..IntegrationOptions::default()
     }
-}
-
-/// Integrate a scenario under `budget`, then apply refinement steps of
-/// `extra` matchings each until `target_kept` matchings are kept (or
-/// everything drained). Returns the final outcome.
-fn integrate_then_refine(
-    scenario: &scenarios::MovieScenario,
-    oracle: &imprecise::oracle::Oracle,
-    opts: &IntegrationOptions,
-    extra: usize,
-    steps: usize,
-) -> IntegrationOutcome {
-    let mut outcome = integrate_xml(
-        &scenario.mpeg7,
-        &scenario.imdb,
-        oracle,
-        Some(&scenario.schema),
-        opts,
-    )
-    .expect("integrates");
-    let refine = RefineOptions {
-        extra_matchings: extra,
-        min_retained_mass: None,
-        max_components: usize::MAX,
-    };
-    for _ in 0..steps {
-        if !outcome.is_refinable() {
-            break;
-        }
-        outcome
-            .refine(oracle, Some(&scenario.schema), &refine)
-            .expect("refines");
-    }
-    outcome
 }
 
 fn bench_integrate_refine(c: &mut Criterion) {
@@ -235,52 +201,24 @@ fn bench_incremental_emission(c: &mut Criterion) {
 }
 
 /// Regression gate for the incremental emitter: staged 8 × 64 must stay
-/// within `GATE_CEILING`× of one-shot 512 on the confusable8 workload.
-/// The pre-incremental emitter sat at ~4.4×; the ceiling leaves the
-/// expected ~1.3× plenty of CI-noise headroom while still catching a
-/// return to detach-and-re-emit behaviour.
-const GATE_CEILING: f64 = 2.5;
-
+/// within [`STAGED_GATE_CEILING`]× of one-shot 512 on the confusable8
+/// workload. The measurement itself lives in `imprecise_bench` so the
+/// `gate` integration test asserts the exact same numbers.
 fn staged_vs_one_shot_gate() {
     if std::env::var("IMPRECISE_BENCH_GATE").is_ok_and(|v| v == "off") {
         println!("gate: skipped (IMPRECISE_BENCH_GATE=off)");
         return;
     }
-    let oracle = confusion_oracle();
-    let c8 = scenarios::confusable(8);
-    fn best_of<F: FnMut()>(mut f: F) -> std::time::Duration {
-        let mut best = std::time::Duration::MAX;
-        for _ in 0..3 {
-            let start = std::time::Instant::now();
-            f();
-            best = best.min(start.elapsed());
-        }
-        best
-    }
-    let one_shot = best_of(|| {
-        black_box(
-            integrate_xml(
-                &c8.mpeg7,
-                &c8.imdb,
-                &oracle,
-                Some(&c8.schema),
-                &options(512),
-            )
-            .expect("integrates"),
-        );
-    });
-    let staged = best_of(|| {
-        black_box(integrate_then_refine(&c8, &oracle, &options(64), 64, 7));
-    });
-    let ratio = staged.as_secs_f64() / one_shot.as_secs_f64().max(1e-9);
+    let m = measure_staged_vs_one_shot();
+    let ratio = m.ratio();
     println!(
-        "gate: staged-8x64 {:?} / one-shot-512 {:?} = {ratio:.2}x (ceiling {GATE_CEILING}x)",
-        staged, one_shot
+        "gate: staged-8x64 {:?} / one-shot-512 {:?} = {ratio:.2}x (ceiling {STAGED_GATE_CEILING}x)",
+        m.staged, m.one_shot
     );
     assert!(
-        ratio <= GATE_CEILING,
+        m.holds(),
         "staged refinement regressed to {ratio:.2}x the one-shot cost \
-         (ceiling {GATE_CEILING}x): incremental emission should keep \
+         (ceiling {STAGED_GATE_CEILING}x): incremental emission should keep \
          installments near the one-shot budget"
     );
 }

@@ -355,6 +355,109 @@ pub fn format_table1(rows: &[IntegrationMeasurement]) -> String {
     out
 }
 
+/// Regression ceiling for the staged-vs-one-shot gate: staged 8 × 64
+/// refinement must stay within this factor of one-shot 512 on the
+/// confusable(8) workload. The pre-incremental emitter sat at ~4.4×;
+/// the ceiling leaves the expected ~1.3× plenty of CI-noise headroom
+/// while still catching a return to detach-and-re-emit behaviour.
+pub const STAGED_GATE_CEILING: f64 = 2.5;
+
+/// Best-of-N wall-clock comparison of staged refinement against a
+/// one-shot budget (see [`measure_staged_vs_one_shot`]).
+#[derive(Debug, Clone, Copy)]
+pub struct StagedGateMeasurement {
+    /// Best wall-clock time to integrate with the full budget at once.
+    pub one_shot: std::time::Duration,
+    /// Best wall-clock time for the same budget split into installments.
+    pub staged: std::time::Duration,
+}
+
+impl StagedGateMeasurement {
+    /// Staged cost as a multiple of the one-shot cost.
+    pub fn ratio(&self) -> f64 {
+        self.staged.as_secs_f64() / self.one_shot.as_secs_f64().max(1e-9)
+    }
+
+    /// Whether the ratio is within [`STAGED_GATE_CEILING`].
+    pub fn holds(&self) -> bool {
+        self.ratio() <= STAGED_GATE_CEILING
+    }
+}
+
+/// Integrate a scenario under `opts`, then apply up to `steps`
+/// refinement installments of `extra` matchings each (stopping early if
+/// the outcome drains). The staged half of the gate; also used by the
+/// `integrate_refine` bench groups.
+pub fn integrate_then_refine(
+    scenario: &MovieScenario,
+    oracle: &Oracle,
+    opts: &IntegrationOptions,
+    extra: usize,
+    steps: usize,
+) -> IntegrationOutcome {
+    use imprecise::integrate::RefineOptions;
+    let mut outcome = integrate_xml(
+        &scenario.mpeg7,
+        &scenario.imdb,
+        oracle,
+        Some(&scenario.schema),
+        opts,
+    )
+    .expect("integrates");
+    let refine = RefineOptions {
+        extra_matchings: extra,
+        min_retained_mass: None,
+        max_components: usize::MAX,
+    };
+    for _ in 0..steps {
+        if !outcome.is_refinable() {
+            break;
+        }
+        outcome
+            .refine(oracle, Some(&scenario.schema), &refine)
+            .expect("refines");
+    }
+    outcome
+}
+
+/// Measure the staged-vs-one-shot gate workload: one-shot budget 512 vs
+/// staged 8 × 64 on confusable(8), each timed best-of-3. Shared by the
+/// `integrate_refine` bench gate and the `gate` integration test so CI
+/// and local runs assert the same numbers.
+pub fn measure_staged_vs_one_shot() -> StagedGateMeasurement {
+    let oracle = confusion_oracle();
+    let c8 = scenarios::confusable(8);
+    let options = |budget: usize| IntegrationOptions {
+        max_matchings_per_component: budget,
+        ..IntegrationOptions::default()
+    };
+    fn best_of<F: FnMut()>(mut f: F) -> std::time::Duration {
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            f();
+            best = best.min(start.elapsed());
+        }
+        best
+    }
+    let one_shot = best_of(|| {
+        std::hint::black_box(
+            integrate_xml(
+                &c8.mpeg7,
+                &c8.imdb,
+                &oracle,
+                Some(&c8.schema),
+                &options(512),
+            )
+            .expect("integrates"),
+        );
+    });
+    let staged = best_of(|| {
+        std::hint::black_box(integrate_then_refine(&c8, &oracle, &options(64), 64, 7));
+    });
+    StagedGateMeasurement { one_shot, staged }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

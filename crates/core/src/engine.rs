@@ -57,7 +57,7 @@ use crate::error::ImpreciseError;
 use imprecise_feedback::{apply_feedback, FeedbackReport};
 use imprecise_integrate::{
     integrate_many_px, integrate_px_shared, IntegrateError, IntegrationOptions, IntegrationOutcome,
-    IntegrationStats, RefineOptions, RefineState, RefineStep,
+    IntegrationStats, InvariantViolation, RefineOptions, RefineState, RefineStep,
 };
 use imprecise_oracle::Oracle;
 use imprecise_pxml::{parse_annotated, to_annotated_xml, NodeBreakdown, PxDoc};
@@ -260,7 +260,10 @@ impl PreparedQuery {
     /// clone) already ran against the same document version.
     pub fn run(&self, snapshot: &DocSnapshot) -> Result<RankedAnswers, ImpreciseError> {
         {
-            let cache = self.cache.lock().expect("prepared-query cache lock");
+            let cache = self
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(cached) = cache.as_ref() {
                 if cached.matches(snapshot) {
                     return Ok((*cached.ranked).clone());
@@ -269,7 +272,10 @@ impl PreparedQuery {
         }
         // Evaluate outside the lock; a racing clone at worst recomputes.
         let ranked = self.plan.collect(snapshot.doc())?;
-        let mut cache = self.cache.lock().expect("prepared-query cache lock");
+        let mut cache = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *cache = Some(CachedRun {
             engine_id: snapshot.handle.engine_id,
             slot: snapshot.handle.id,
@@ -401,16 +407,23 @@ impl Catalog {
         doc: Arc<PxDoc>,
         refine: Option<Arc<RefineState>>,
     ) -> DocHandle {
+        #[cfg(feature = "strict-invariants")]
+        imprecise_integrate::verify::shadow_check_state(&doc, refine.as_deref(), "publish");
         if let Some(&id) = self.by_name.get(name) {
-            let slot = self.slots.get_mut(&id).expect("name index points at slot");
-            slot.version += 1;
-            slot.doc = doc;
-            slot.refine = refine;
-            return DocHandle {
-                engine_id: self.engine_id,
-                id,
-                name: Arc::clone(&slot.name),
-            };
+            // The two indices are updated together, so the slot is
+            // always present; if they ever diverged we self-heal by
+            // minting a fresh slot below (re-pointing the name at it)
+            // instead of panicking mid-publish.
+            if let Some(slot) = self.slots.get_mut(&id) {
+                slot.version += 1;
+                slot.doc = doc;
+                slot.refine = refine;
+                return DocHandle {
+                    engine_id: self.engine_id,
+                    id,
+                    name: Arc::clone(&slot.name),
+                };
+            }
         }
         let name: Arc<str> = Arc::from(name);
         let id = self.next_id;
@@ -458,6 +471,27 @@ struct Shared {
     options: IntegrationOptions,
     feedback_world_cap: usize,
     catalog: RwLock<Catalog>,
+}
+
+impl Shared {
+    /// Catalog read lock. A poisoned lock is recovered rather than
+    /// propagated: every publish swaps fully-built `Arc`s in as its
+    /// last step, so a writer that panicked mid-call cannot leave a
+    /// torn slot behind — the data is consistent even when the flag
+    /// says a panic happened under the lock.
+    fn catalog_read(&self) -> std::sync::RwLockReadGuard<'_, Catalog> {
+        self.catalog
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Catalog write lock; see [`catalog_read`](Self::catalog_read) for
+    /// why poisoning is recovered.
+    fn catalog_write(&self) -> std::sync::RwLockWriteGuard<'_, Catalog> {
+        self.catalog
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// Builds an [`Engine`] from session-wide configuration.
@@ -615,13 +649,13 @@ impl Engine {
 
     /// Names of all stored documents, sorted.
     pub fn document_names(&self) -> Vec<String> {
-        let catalog = self.shared.catalog.read().expect("catalog lock");
+        let catalog = self.shared.catalog_read();
         catalog.by_name.keys().map(|n| n.to_string()).collect()
     }
 
     /// The handle of the document stored under `name`, if any.
     pub fn handle(&self, name: &str) -> Option<DocHandle> {
-        let catalog = self.shared.catalog.read().expect("catalog lock");
+        let catalog = self.shared.catalog_read();
         let &id = catalog.by_name.get(name)?;
         let slot = &catalog.slots[&id];
         Some(DocHandle {
@@ -649,13 +683,13 @@ impl Engine {
     /// without copying it (e.g. one taken from another engine's
     /// [`DocSnapshot::doc_arc`]).
     pub fn insert_arc(&self, name: &str, doc: Arc<PxDoc>) -> DocHandle {
-        let mut catalog = self.shared.catalog.write().expect("catalog lock");
+        let mut catalog = self.shared.catalog_write();
         catalog.publish(name, doc, None)
     }
 
     /// Pin the current version of a document for reading.
     pub fn snapshot(&self, handle: &DocHandle) -> Result<DocSnapshot, ImpreciseError> {
-        let catalog = self.shared.catalog.read().expect("catalog lock");
+        let catalog = self.shared.catalog_read();
         let slot = catalog
             .slot_of(handle)
             .ok_or_else(|| ImpreciseError::NoSuchDocument(handle.name.to_string()))?;
@@ -695,7 +729,7 @@ impl Engine {
             let da = self.snapshot(a)?;
             let db = self.snapshot(b)?;
             let result = self.integrate_docs(&da.doc_arc(), &db.doc_arc())?;
-            let mut catalog = self.shared.catalog.write().expect("catalog lock");
+            let mut catalog = self.shared.catalog_write();
             let stale = catalog.by_name.get(out).is_some_and(|&out_id| {
                 (out_id == a.id && catalog.slots[&a.id].version != da.version())
                     || (out_id == b.id && catalog.slots[&b.id].version != db.version())
@@ -706,7 +740,7 @@ impl Engine {
             // An input we are republishing moved; retry on its new version.
         }
         // Contended slot: compute under the write lock so nothing can race.
-        let mut catalog = self.shared.catalog.write().expect("catalog lock");
+        let mut catalog = self.shared.catalog_write();
         let slot = |h: &DocHandle| {
             catalog
                 .slot_of(h)
@@ -763,7 +797,7 @@ impl Engine {
                 shared.schema.as_ref(),
                 &shared.options,
             )?;
-            let mut catalog = shared.catalog.write().expect("catalog lock");
+            let mut catalog = shared.catalog_write();
             let stale = catalog.by_name.get(out).is_some_and(|&out_id| {
                 sources
                     .iter()
@@ -777,7 +811,7 @@ impl Engine {
             // An input we are republishing moved; retry on its new version.
         }
         // Contended slot: compute under the write lock so nothing can race.
-        let mut catalog = shared.catalog.write().expect("catalog lock");
+        let mut catalog = shared.catalog_write();
         let docs: Vec<Arc<PxDoc>> = sources
             .iter()
             .map(|h| {
@@ -857,7 +891,7 @@ impl Engine {
         let shared = &self.shared;
         for _ in 0..OPTIMISTIC_ROUNDS {
             let (version, doc, state) = {
-                let catalog = shared.catalog.read().expect("catalog lock");
+                let catalog = shared.catalog_read();
                 let slot = catalog
                     .slot_of(handle)
                     .ok_or_else(|| ImpreciseError::NoSuchDocument(handle.name.to_string()))?;
@@ -867,7 +901,7 @@ impl Engine {
                 return Ok(Self::nothing_to_refine());
             };
             let (refined_doc, next_state, step) = self.refine_version(&doc, &state, options)?;
-            let mut catalog = shared.catalog.write().expect("catalog lock");
+            let mut catalog = shared.catalog_write();
             let slot = catalog.slot_mut_of(handle)?;
             if slot.version == version {
                 slot.version += 1;
@@ -878,7 +912,7 @@ impl Engine {
             // A writer raced us; retry against the published version.
         }
         // Contended slot: refine under the write lock so nothing races.
-        let mut catalog = shared.catalog.write().expect("catalog lock");
+        let mut catalog = shared.catalog_write();
         let slot = catalog.slot_mut_of(handle)?;
         let Some(state) = slot.refine.clone() else {
             return Ok(Self::nothing_to_refine());
@@ -935,6 +969,12 @@ impl Engine {
             step.compacted = true;
         }
         let next_state = outcome.detach_refine_state();
+        #[cfg(feature = "strict-invariants")]
+        imprecise_integrate::verify::shadow_check_state(
+            &outcome.doc,
+            next_state.as_ref(),
+            "engine refine",
+        );
         Ok((outcome.doc, next_state, step))
     }
 
@@ -943,7 +983,7 @@ impl Engine {
     /// worst of them discarded. `None` means the version is exact (or
     /// not refinable).
     pub fn refine_state(&self, handle: &DocHandle) -> Result<Option<(usize, f64)>, ImpreciseError> {
-        let catalog = self.shared.catalog.read().expect("catalog lock");
+        let catalog = self.shared.catalog_read();
         let slot = catalog
             .slot_of(handle)
             .ok_or_else(|| ImpreciseError::NoSuchDocument(handle.name.to_string()))?;
@@ -951,6 +991,29 @@ impl Engine {
             .refine
             .as_ref()
             .map(|s| (s.open_components(), s.max_discarded_mass())))
+    }
+
+    /// Run the deep invariant verifier against the current version of a
+    /// document: arena representation ([`PxDoc::deep_check`]) plus — for
+    /// refinable versions — every persisted frontier's anchor, canonical
+    /// ordering, mass accounting, and component digest.
+    ///
+    /// This is the on-demand form of the `strict-invariants` feature,
+    /// which runs the same checks automatically after every publish.
+    /// Runs on a snapshot; the catalog lock is not held during the walk.
+    pub fn check_invariants(&self, handle: &DocHandle) -> Result<(), ImpreciseError> {
+        let (doc, state) = {
+            let catalog = self.shared.catalog_read();
+            let slot = catalog
+                .slot_of(handle)
+                .ok_or_else(|| ImpreciseError::NoSuchDocument(handle.name.to_string()))?;
+            (Arc::clone(&slot.doc), slot.refine.clone())
+        };
+        match state {
+            Some(state) => state.verify(&doc),
+            None => doc.deep_check().map_err(InvariantViolation::from),
+        }
+        .map_err(ImpreciseError::from)
     }
 
     /// The configured integration of two pinned documents.
@@ -1049,18 +1112,23 @@ impl Engine {
         correct: bool,
     ) -> Result<FeedbackReport, ImpreciseError> {
         let condition = |doc: &PxDoc| {
-            apply_feedback(
+            let result = apply_feedback(
                 doc,
                 query.ast(),
                 value,
                 correct,
                 self.shared.feedback_world_cap,
-            )
+            );
+            #[cfg(feature = "strict-invariants")]
+            if let Ok((conditioned, _)) = &result {
+                imprecise_integrate::verify::shadow_check_state(conditioned, None, "feedback");
+            }
+            result
         };
         for _ in 0..OPTIMISTIC_ROUNDS {
             let snapshot = self.snapshot(handle)?;
             let (conditioned, report) = condition(snapshot.doc())?;
-            let mut catalog = self.shared.catalog.write().expect("catalog lock");
+            let mut catalog = self.shared.catalog_write();
             let slot = catalog.slot_mut_of(handle)?;
             if slot.version == snapshot.version() {
                 slot.version += 1;
@@ -1074,7 +1142,7 @@ impl Engine {
             // A writer raced us; retry against the published version.
         }
         // Contended slot: condition under the write lock so nothing races.
-        let mut catalog = self.shared.catalog.write().expect("catalog lock");
+        let mut catalog = self.shared.catalog_write();
         let slot = catalog.slot_mut_of(handle)?;
         let (conditioned, report) = condition(&slot.doc)?;
         slot.version += 1;

@@ -7,7 +7,7 @@
 //! programmatically.
 
 use imprecise_feedback::FeedbackError;
-use imprecise_integrate::IntegrateError;
+use imprecise_integrate::{IntegrateError, InvariantViolation};
 use imprecise_oracle::DslError;
 use imprecise_query::{EvalError, QueryParseError};
 use imprecise_xmlkit::XmlError;
@@ -44,6 +44,10 @@ pub enum ImpreciseError {
     Feedback(FeedbackError),
     /// A rule file could not be parsed.
     Rules(DslError),
+    /// A stored document (or its refinement state) failed the deep
+    /// invariant verifier — see `Engine::check_invariants` and the
+    /// `strict-invariants` feature.
+    Invariant(InvariantViolation),
 }
 
 // Display deliberately embeds the wrapped error's message even though
@@ -62,6 +66,7 @@ impl fmt::Display for ImpreciseError {
             ImpreciseError::Eval(e) => write!(f, "evaluation error: {e}"),
             ImpreciseError::Feedback(e) => write!(f, "feedback error: {e}"),
             ImpreciseError::Rules(e) => write!(f, "{e}"),
+            ImpreciseError::Invariant(e) => write!(f, "invariant violation: {e}"),
         }
     }
 }
@@ -76,6 +81,7 @@ impl std::error::Error for ImpreciseError {
             ImpreciseError::Eval(e) => Some(e),
             ImpreciseError::Feedback(e) => Some(e),
             ImpreciseError::Rules(e) => Some(e),
+            ImpreciseError::Invariant(e) => Some(e),
         }
     }
 }
@@ -108,6 +114,11 @@ impl From<FeedbackError> for ImpreciseError {
 impl From<DslError> for ImpreciseError {
     fn from(e: DslError) -> Self {
         ImpreciseError::Rules(e)
+    }
+}
+impl From<InvariantViolation> for ImpreciseError {
+    fn from(e: InvariantViolation) -> Self {
+        ImpreciseError::Invariant(e)
     }
 }
 

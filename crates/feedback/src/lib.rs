@@ -294,6 +294,7 @@ fn condition_by_expansion(doc: &PxDoc, target: &Event) -> Option<PxDoc> {
             // layered prob-root shape.
             None => {
                 for &src_poss in doc.children(doc.root()) {
+                    // lint:allow(expect-in-lib, holds by construction: root child is poss)
                     let p = doc.poss_prob(src_poss).expect("root child is poss");
                     if p == 0.0 {
                         continue;
@@ -352,12 +353,14 @@ fn copy_restricted_node(
             None => {
                 let prob = dst.add_prob(dst_parent);
                 for &src_poss in src.children(node) {
+                    // lint:allow(expect-in-lib, holds by construction: prob child is poss)
                     let p = src.poss_prob(src_poss).expect("prob child is poss");
                     let poss = dst.add_poss(prob, p);
                     copy_restricted(src, src_poss, dst, poss, sigma);
                 }
             }
         },
+        // lint:allow(panic-in-lib, statically unreachable: poss copied via its prob parent)
         PxNodeKind::Poss(_) => unreachable!("poss copied via its prob parent"),
     }
 }

@@ -45,6 +45,7 @@ pub fn local_combos(
                     return Err(LocalWorldsOverflow { cap });
                 }
             }
+            // lint:allow(panic-in-lib, statically unreachable: poss node in a child item list)
             PxNodeKind::Poss(_) => unreachable!("poss node in a child item list"),
             _ => {
                 for (row, _) in &mut acc {
@@ -66,6 +67,7 @@ pub fn prob_alternatives(
     debug_assert!(doc.is_prob(prob));
     let mut out: Vec<(Vec<PxNodeId>, f64)> = Vec::new();
     for &poss in doc.children(prob) {
+        // lint:allow(expect-in-lib, holds by construction: prob child is poss)
         let w = doc.poss_prob(poss).expect("prob child is poss");
         let inner = local_combos(doc, doc.children(poss), cap)?;
         for (items, iw) in inner {

@@ -98,12 +98,14 @@ pub mod combos;
 pub mod matching;
 mod merge;
 pub mod pipeline;
+pub mod verify;
 
 pub use matching::{
-    Candidate, Component, ComponentFrontier, FrontierEnumerator, MatchBudget, Matching,
-    TooManyMatchings,
+    Candidate, Component, ComponentFrontier, FrontierEnumerator, FrontierMismatch, MatchBudget,
+    Matching, TooManyMatchings,
 };
 pub use pipeline::{ComponentOutcome, DocFrontier};
+pub use verify::{verify_frontier, InvariantViolation};
 
 use imprecise_oracle::Oracle;
 use imprecise_pxml::{from_xml, PxDoc, PxInvariantError, PxNodeId};
@@ -261,6 +263,11 @@ pub enum IntegrateError {
     },
     /// An input document violates the probabilistic XML invariants.
     InvalidInput(PxInvariantError),
+    /// A refine step was handed a persisted frontier that does not
+    /// belong to the component it was restored against (see
+    /// [`matching::FrontierMismatch`]) — refinement state and document
+    /// got out of sync.
+    FrontierMismatch(matching::FrontierMismatch),
 }
 
 impl fmt::Display for IntegrateError {
@@ -299,6 +306,7 @@ impl fmt::Display for IntegrateError {
                 write!(f, "integration result exceeds {cap} nodes")
             }
             IntegrateError::InvalidInput(e) => write!(f, "invalid input document: {e}"),
+            IntegrateError::FrontierMismatch(e) => write!(f, "cannot refine: {e}"),
         }
     }
 }
@@ -308,6 +316,12 @@ impl std::error::Error for IntegrateError {}
 impl From<PxInvariantError> for IntegrateError {
     fn from(e: PxInvariantError) -> Self {
         IntegrateError::InvalidInput(e)
+    }
+}
+
+impl From<matching::FrontierMismatch> for IntegrateError {
+    fn from(e: matching::FrontierMismatch) -> Self {
+        IntegrateError::FrontierMismatch(e)
     }
 }
 
@@ -604,6 +618,7 @@ impl IntegrationOutcome {
         let (src_a, src_b) = self
             .sources
             .clone()
+            // lint:allow(expect-in-lib, holds by construction: open frontiers retain their sources)
             .expect("open frontiers retain their sources");
         // Pick the top components by discarded mass (ties: emission
         // order — deterministic).
@@ -715,8 +730,10 @@ impl IntegrationOutcome {
                 let mut new_iter = grafted.iter().copied();
                 for &fresh in &p.is_new {
                     let child = if fresh {
+                        // lint:allow(expect-in-lib, holds by construction: one grafted subtree per new entry)
                         new_iter.next().expect("one grafted subtree per new entry")
                     } else {
+                        // lint:allow(expect-in-lib, holds by construction: one existing subtree per old entry)
                         old_iter.next().expect("one existing subtree per old entry")
                     };
                     final_children.push(child);
@@ -783,6 +800,8 @@ impl IntegrationOutcome {
         }
         self.emitted_nodes += emitted_nodes;
         let arena = self.doc.arena_stats();
+        #[cfg(feature = "strict-invariants")]
+        verify::shadow_check(self, "refine");
         Ok(RefineStep {
             refined,
             remaining: self.frontiers.len(),
@@ -811,10 +830,13 @@ impl IntegrationOutcome {
             for f in &mut self.frontiers {
                 let prob = map
                     .remap(f.prob())
+                    // lint:allow(expect-in-lib, refine retains only frontiers whose anchors stayed reachable, and compact keeps every reachable node)
                     .expect("open frontiers anchor reachable probability nodes");
                 f.set_prob(prob);
             }
         }
+        #[cfg(feature = "strict-invariants")]
+        verify::shadow_check(self, "compact_arena");
         map
     }
 
@@ -836,6 +858,7 @@ impl IntegrationOutcome {
             sources: self
                 .sources
                 .take()
+                // lint:allow(expect-in-lib, holds by construction: open frontiers retain their sources)
                 .expect("open frontiers retain their sources"),
             options: self.options,
             emitted_nodes: self.emitted_nodes,
@@ -918,7 +941,7 @@ fn prepare_one(
         df.component_frontier(),
         options.extra_matchings,
         options.min_retained_mass,
-    );
+    )?;
     let mut builder =
         merge::Builder::scratch(src_a, src_b, oracle, schema, reemit_options, arena_base);
     let new_poss = builder.emit_new_possibilities(df, &delta.all.matchings, &delta.is_new)?;
@@ -1005,6 +1028,7 @@ fn prepare_components(
     }
     slots
         .into_iter()
+        // lint:allow(expect-in-lib, holds by construction: every selected component was prepared)
         .map(|slot| slot.expect("every selected component was prepared"))
         .collect()
 }
@@ -1144,14 +1168,17 @@ fn integrate_inner(
     if options.simplify && frontiers.is_empty() {
         doc.simplify();
     }
-    Ok(IntegrationOutcome {
+    let outcome = IntegrationOutcome {
         doc,
         stats,
         frontiers,
         sources,
         options: *options,
         emitted_nodes: 0,
-    })
+    };
+    #[cfg(feature = "strict-invariants")]
+    verify::shadow_check(&outcome, "integrate");
+    Ok(outcome)
 }
 
 /// The result of an N-source fold: the final integrated outcome plus the

@@ -214,11 +214,13 @@ pub fn split_components(
     }
     for &(a, b) in forced {
         let root = find(&mut parent, a);
+        // lint:allow(expect-in-lib, holds by construction: component exists)
         let idx = root_to_idx[root].expect("component exists");
         components[idx].forced.push((a, b));
     }
     for c in possible {
         let root = find(&mut parent, c.a);
+        // lint:allow(expect-in-lib, holds by construction: component exists)
         let idx = root_to_idx[root].expect("component exists");
         components[idx].possible.push(*c);
     }
@@ -267,6 +269,7 @@ fn canonicalise_tagged(yielded: Vec<Matching>, watermark: usize) -> (Vec<Matchin
             .total_cmp(&x.0.weight)
             .then_with(|| x.0.pairs.cmp(&y.0.pairs))
     });
+    // lint:allow(float-accumulation, summed in the canonical weight-then-pairs order fixed by the sort_by above, so every run adds in the same order)
     let total: f64 = tagged.iter().map(|t| t.0.weight).sum();
     debug_assert!(total > 0.0, "at least the empty matching exists");
     let mut out = Vec::with_capacity(tagged.len());
@@ -463,6 +466,7 @@ impl MassSides {
     /// The live edges of larger-side node `l`, as `(small bit, value)`
     /// with `value = f(p)` (the inclusion ratio, or its log).
     fn edges_of(&self, live: &[Candidate], l: usize, f: impl Fn(f64) -> f64) -> Vec<(usize, f64)> {
+        // lint:allow(expect-in-lib, holds by construction: live endpoint)
         let small_index = |id: usize| self.small.binary_search(&id).expect("live endpoint");
         live.iter()
             .filter(|c| if self.small_is_a { c.b == l } else { c.a == l })
@@ -492,6 +496,7 @@ fn exact_total_mass_ratio(live: &[Candidate], sides: &MassSides) -> f64 {
             }
         }
     }
+    // lint:allow(float-accumulation, the DP vector is indexed by subset mask, so the summation order is the fixed 0..2^n mask order)
     base * dp.iter().sum::<f64>()
 }
 
@@ -503,6 +508,7 @@ fn exact_total_mass_ratio(live: &[Candidate], sides: &MassSides) -> f64 {
 /// accounting to [`EXACT_MASS_LOG_MAX_SIDE`] smaller-side nodes, where
 /// the dense ratio table stops at [`EXACT_MASS_MAX_SIDE`].
 fn exact_total_mass_log(live: &[Candidate], sides: &MassSides) -> f64 {
+    // lint:allow(float-accumulation, live candidates are a Vec in canonical component order, so the log-sum order is reproducible)
     let log_base: f64 = live.iter().map(|c| (1.0 - c.p).ln()).sum();
     let mut dp = vec![f64::NEG_INFINITY; 1 << sides.small.len()];
     dp[0] = 0.0;
@@ -654,6 +660,35 @@ fn component_digest(forced: &[(usize, usize)], live: &[Candidate]) -> u64 {
     h
 }
 
+/// A persisted frontier was restored against a component it does not
+/// belong to: the component's content digest (forced pairs + live
+/// candidate endpoints and probability bits) differs from the one
+/// recorded at truncation time.
+///
+/// Refinement state is versioned alongside the document it belongs to,
+/// so this error indicates state corruption (or a caller mixing
+/// frontiers across documents) — surfaced as a typed error so an engine
+/// can reject the refine call instead of tearing down the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierMismatch {
+    /// The digest recorded in the persisted frontier.
+    pub expected: u64,
+    /// The digest of the component the restore was attempted against.
+    pub found: u64,
+}
+
+impl fmt::Display for FrontierMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frontier does not belong to this component (digest {:#018x}, component {:#018x})",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for FrontierMismatch {}
+
 /// A resumable best-first branch-and-bound enumerator over one
 /// component's live candidates.
 ///
@@ -724,17 +759,22 @@ impl<'a> FrontierEnumerator<'a> {
     /// Rebuild an enumerator from a persisted frontier of the *same*
     /// component, positioned exactly where the producing run stopped.
     ///
-    /// # Panics
-    /// Panics if the frontier was produced by a different component —
-    /// different forced pairs, candidate endpoints or probabilities (a
-    /// content digest is checked, not just the live-pair count).
-    pub fn restore(component: &'a Component, frontier: &ComponentFrontier) -> Self {
+    /// Fails with [`FrontierMismatch`] if the frontier was produced by a
+    /// different component — different forced pairs, candidate endpoints
+    /// or probabilities (a content digest is checked, not just the
+    /// live-pair count).
+    pub fn restore(
+        component: &'a Component,
+        frontier: &ComponentFrontier,
+    ) -> Result<Self, FrontierMismatch> {
         let mut this = Self::new(component);
-        assert_eq!(
-            component_digest(&component.forced, &this.live),
-            frontier.digest,
-            "frontier does not belong to this component"
-        );
+        let found = component_digest(&component.forced, &this.live);
+        if found != frontier.digest {
+            return Err(FrontierMismatch {
+                expected: frontier.digest,
+                found,
+            });
+        }
         this.heap = frontier
             .open
             .iter()
@@ -752,7 +792,7 @@ impl<'a> FrontierEnumerator<'a> {
         this.synthetic = frontier.synthetic;
         this.retained_mass = frontier.retained_mass;
         this.discarded_mass = frontier.discarded_mass;
-        this
+        Ok(this)
     }
 
     /// True when the search space is exhausted: the yielded matchings
@@ -863,6 +903,7 @@ impl<'a> FrontierEnumerator<'a> {
         // destroyed by floating-point absorption once weights shrink
         // tens of orders of magnitude below the root's 1.0.
         let frontier_mass =
+            // lint:allow(float-accumulation, the heap layout is a pure function of the deterministic push/pop history, so the summation order is reproducible)
             |heap: &BinaryHeap<SearchState>| -> f64 { heap.iter().map(|s| s.weight).sum() };
         // Without an exact total, early-stop checks cost O(frontier), so
         // they run at exponentially spaced yield counts — total checking
@@ -1474,7 +1515,7 @@ mod tests {
             );
             let frontier = first.frontier().unwrap();
             assert_eq!(frontier.kept(), 5);
-            let mut resumed = FrontierEnumerator::restore(&c, &frontier);
+            let mut resumed = FrontierEnumerator::restore(&c, &frontier).expect("same component");
             let full = resumed.run(&MatchBudget::UNLIMITED);
             assert!(resumed.is_drained());
             assert!(resumed.frontier().is_none());
@@ -1513,7 +1554,7 @@ mod tests {
         let mut steps = 0;
         // Round-trip through the persisted form every step.
         while let Some(frontier) = en.frontier() {
-            en = FrontierEnumerator::restore(&c, &frontier);
+            en = FrontierEnumerator::restore(&c, &frontier).expect("same component");
             let next = en.run(&budget(frontier.kept() + 7));
             assert!(
                 next.discarded_mass <= last.discarded_mass + 1e-12,
@@ -1543,14 +1584,18 @@ mod tests {
         en.run(&budget(2));
         let frontier = en.frontier().unwrap();
         let other = full_graph(2, 2, 0.5);
-        let outcome = std::panic::catch_unwind(|| FrontierEnumerator::restore(&other, &frontier));
-        assert!(outcome.is_err(), "mismatched component must be rejected");
+        let err = FrontierEnumerator::restore(&other, &frontier)
+            .err()
+            .expect("mismatched component must be rejected");
+        assert_eq!(err.expected, frontier.digest);
+        assert_ne!(err.expected, err.found);
         // Same shape and live-pair count, different probabilities: the
         // content digest still rejects it.
         let lookalike = full_graph(3, 3, 0.4);
-        let outcome =
-            std::panic::catch_unwind(|| FrontierEnumerator::restore(&lookalike, &frontier));
-        assert!(outcome.is_err(), "lookalike component must be rejected");
+        assert!(
+            FrontierEnumerator::restore(&lookalike, &frontier).is_err(),
+            "lookalike component must be rejected"
+        );
     }
 
     #[test]
@@ -1641,7 +1686,7 @@ mod tests {
         let mut en = FrontierEnumerator::new(&c);
         en.run(&budget(3));
         let frontier = en.frontier().unwrap();
-        let mut resumed = FrontierEnumerator::restore(&c, &frontier);
+        let mut resumed = FrontierEnumerator::restore(&c, &frontier).expect("same component");
         let (full, is_new) = resumed.run_delta(&MatchBudget::UNLIMITED);
         assert!(!full.truncated);
         assert_eq!(is_new.iter().filter(|&&n| !n).count(), 3);

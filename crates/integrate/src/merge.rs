@@ -180,7 +180,9 @@ impl<'a> Builder<'a> {
                 // per alternative.
                 let ea = items_a[0];
                 let eb = items_b[0];
+                // lint:allow(expect-in-lib, holds by construction: root content is an element)
                 let tag_a = self.a.tag(ea).expect("root content is an element");
+                // lint:allow(expect-in-lib, holds by construction: root content is an element)
                 let tag_b = self.b.tag(eb).expect("root content is an element");
                 if tag_a != tag_b {
                     return Err(IntegrateError::RootTagMismatch {
@@ -256,6 +258,7 @@ impl<'a> Builder<'a> {
         let tag = self
             .a
             .tag(ae)
+            // lint:allow(expect-in-lib, holds by construction: merge_pair called on elements)
             .expect("merge_pair called on elements")
             .to_string();
         debug_assert_eq!(self.b.tag(be), Some(tag.as_str()));
@@ -562,6 +565,7 @@ impl<'a> Builder<'a> {
 }
 
 fn tag_of(doc: &PxDoc, node: PxNodeId) -> String {
+    // lint:allow(expect-in-lib, holds by construction: element node)
     doc.tag(node).expect("element node").to_string()
 }
 

@@ -24,7 +24,8 @@
 
 use crate::matching::{
     enumerate_matchings, live_candidates, split_components, Candidate, Component,
-    ComponentFrontier, FrontierEnumerator, MatchBudget, Matching, TooManyMatchings,
+    ComponentFrontier, FrontierEnumerator, FrontierMismatch, MatchBudget, Matching,
+    TooManyMatchings,
 };
 use crate::{BudgetPlan, IntegrationOptions};
 use imprecise_pxml::PxNodeId;
@@ -413,18 +414,22 @@ fn enumerate_one(
 /// Resume a persisted frontier with `extra` more matchings of budget
 /// (and/or a retained-mass target), returning the full canonical
 /// matching set enumerated so far and the frontier left open (`None`
-/// when the component drained).
+/// when the component drained). Fails with [`FrontierMismatch`] when
+/// the frontier does not belong to `component`.
 pub fn resume_component(
     component: &Component,
     frontier: &ComponentFrontier,
     extra: usize,
     min_retained_mass: Option<f64>,
-) -> (
-    crate::matching::BudgetedMatchings,
-    Option<ComponentFrontier>,
-) {
-    let delta = resume_component_delta(component, frontier, extra, min_retained_mass);
-    (delta.all, delta.left)
+) -> Result<
+    (
+        crate::matching::BudgetedMatchings,
+        Option<ComponentFrontier>,
+    ),
+    FrontierMismatch,
+> {
+    let delta = resume_component_delta(component, frontier, extra, min_retained_mass)?;
+    Ok((delta.all, delta.left))
 }
 
 /// A resumed run's result in the form the incremental emitter consumes:
@@ -450,8 +455,8 @@ pub fn resume_component_delta(
     frontier: &ComponentFrontier,
     extra: usize,
     min_retained_mass: Option<f64>,
-) -> ResumedDelta {
-    let mut enumerator = FrontierEnumerator::restore(component, frontier);
+) -> Result<ResumedDelta, FrontierMismatch> {
+    let mut enumerator = FrontierEnumerator::restore(component, frontier)?;
     let max_matchings = if extra == usize::MAX {
         usize::MAX
     } else {
@@ -462,7 +467,7 @@ pub fn resume_component_delta(
         min_retained_mass,
     });
     let left = enumerator.into_frontier();
-    ResumedDelta { all, is_new, left }
+    Ok(ResumedDelta { all, is_new, left })
 }
 
 /// Fan the components out over scoped worker threads (no extra deps:
@@ -500,9 +505,15 @@ fn enumerate_parallel(
     for (i, outcome) in rx {
         slots[i] = Some(outcome);
     }
+    // Every index was claimed exactly once via the atomic counter, so
+    // each slot is filled — unless a worker died before sending (e.g. a
+    // panic unwound across the channel). Enumeration is deterministic,
+    // so re-running the missing component serially yields exactly what
+    // the worker would have produced; no panic, no divergence.
     slots
         .into_iter()
-        .map(|slot| slot.expect("every component was enumerated"))
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| enumerate_one(&components[i], options, budgets[i])))
         .collect()
 }
 
@@ -674,7 +685,8 @@ mod tests {
         assert_eq!(frontier.kept(), 10);
         assert!(frontier.open_nodes() > 0);
         // Resuming to completion reproduces the exhaustive enumeration.
-        let (full, left) = resume_component(&outcomes[0].component, frontier, usize::MAX, None);
+        let (full, left) = resume_component(&outcomes[0].component, frontier, usize::MAX, None)
+            .expect("frontier belongs to its component");
         assert!(left.is_none());
         let exhaustive = enumerate_matchings(&outcomes[0].component, usize::MAX).unwrap();
         assert_eq!(full.matchings.len(), exhaustive.len());

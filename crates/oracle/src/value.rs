@@ -46,6 +46,7 @@ impl<'a> ElemRef<'a> {
     pub fn tag(&self) -> &'a str {
         self.doc
             .tag(self.node)
+            // lint:allow(expect-in-lib, holds by construction: ElemRef points at an element)
             .expect("ElemRef points at an element")
     }
 

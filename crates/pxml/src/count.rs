@@ -169,6 +169,7 @@ impl PxDoc {
                 total
             }
             PxNodeKind::Prob | PxNodeKind::Poss(_) => {
+                // lint:allow(panic-in-lib, statically unreachable: regular count called on choice node)
                 unreachable!("regular count called on choice node")
             }
         }
@@ -194,11 +195,13 @@ impl PxDoc {
                 .children(node)
                 .iter()
                 .map(|&poss| {
+                    // lint:allow(expect-in-lib, holds by construction: prob child is poss)
                     let w = self.poss_prob(poss).expect("prob child is poss");
                     let inner: f64 = self.children(poss).iter().map(|&c| self.ews(c)).sum();
                     w * inner
                 })
                 .sum(),
+            // lint:allow(panic-in-lib, statically unreachable: poss handled by prob)
             PxNodeKind::Poss(_) => unreachable!("poss handled by prob"),
         }
     }
@@ -213,6 +216,7 @@ impl PxDoc {
     ) -> Result<Vec<(Vec<PxNodeId>, f64)>, UnfactoredError> {
         let mut out: Vec<(Vec<PxNodeId>, f64)> = Vec::new();
         for &poss in self.children(prob) {
+            // lint:allow(expect-in-lib, holds by construction: prob child is poss)
             let w = self.poss_prob(poss).expect("prob child is poss");
             // Alternatives contributed by this possibility: cross product
             // over its nested choice points, preserving item order.
@@ -331,6 +335,7 @@ impl PxDoc {
                 Ok(())
             }
             PxNodeKind::Prob | PxNodeKind::Poss(_) => {
+                // lint:allow(panic-in-lib, statically unreachable: unfactor_regular called on a choice node)
                 unreachable!("unfactor_regular called on a choice node")
             }
         }

@@ -71,6 +71,7 @@
 
 pub mod convert;
 pub mod count;
+pub mod deep;
 pub mod dot;
 pub mod fingerprint;
 pub mod node;
@@ -82,6 +83,7 @@ pub mod worlds;
 
 pub use convert::{from_xml, parse_annotated, to_annotated_xml};
 pub use count::{NodeBreakdown, UnfactoredError};
+pub use deep::DeepCheckError;
 pub use dot::to_dot;
 pub use fingerprint::{px_deep_equal, px_fingerprint};
 pub use node::{ArenaStats, CompactMap, PxDoc, PxNodeId, PxNodeKind, SpliceMap};

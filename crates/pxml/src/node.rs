@@ -259,6 +259,7 @@ impl PxDoc {
     pub fn set_poss_prob(&mut self, id: PxNodeId, p: f64) {
         match &mut self.node_mut(id).kind {
             PxNodeKind::Poss(old) => *old = p,
+            // lint:allow(panic-in-lib, documented API contract: panics with set_poss_prob on non-possibility node other:?)
             other => panic!("set_poss_prob on non-possibility node {other:?}"),
         }
     }
@@ -294,6 +295,7 @@ impl PxDoc {
                     attrs.push(Attr { name, value });
                 }
             }
+            // lint:allow(panic-in-lib, documented API contract: panics with set_attr on non-element node other:?)
             other => panic!("set_attr on non-element node {other:?}"),
         }
     }
@@ -434,12 +436,14 @@ impl PxDoc {
             base: self.nodes.len(),
         };
         let mut slots = src.nodes.into_iter();
+        // lint:allow(expect-in-lib, holds by construction: scratch has a root)
         let root = slots.next().expect("scratch has a root");
         let attached: Vec<PxNodeId> = root.children.iter().map(|&c| map.remap(c)).collect();
         for mut node in slots {
             node.parent = Some(match node.parent {
                 Some(p) if p.index() == 0 => parent,
                 Some(p) => map.remap(p),
+                // lint:allow(panic-in-lib, documented API contract: panics with scratch documents have no detached slots)
                 None => panic!("scratch documents have no detached slots"),
             });
             for c in &mut node.children {
@@ -513,12 +517,14 @@ impl PxDoc {
     /// # Panics
     /// Panics if `old` has no parent.
     pub fn splice(&mut self, old: PxNodeId, replacements: &[PxNodeId]) {
+        // lint:allow(expect-in-lib, holds by construction: splice target has a parent)
         let parent = self.node(old).parent.expect("splice target has a parent");
         let pos = self
             .node(parent)
             .children
             .iter()
             .position(|&c| c == old)
+            // lint:allow(expect-in-lib, holds by construction: old is a child of its parent)
             .expect("old is a child of its parent");
         let mut new_children = self.node(parent).children.clone();
         new_children.splice(pos..=pos, replacements.iter().copied());
@@ -591,10 +597,12 @@ impl PxDoc {
                 children: node
                     .children
                     .iter()
+                    // lint:allow(expect-in-lib, holds by construction: child of a reachable node is reachable)
                     .map(|c| map[c.index()].expect("child of a reachable node is reachable"))
                     .collect(),
             })
             .collect();
+        // lint:allow(expect-in-lib, holds by construction: root always survives compaction)
         self.root = map[self.root.index()].expect("root always survives compaction");
         CompactMap { map, dropped }
     }
@@ -624,16 +632,19 @@ impl PxDoc {
         debug_assert!(self.is_prob(prob));
         self.children(prob)
             .iter()
+            // lint:allow(expect-in-lib, holds by construction: prob child is poss)
             .map(|&c| (c, self.poss_prob(c).expect("prob child is poss")))
             .collect()
     }
 
     /// Index of `poss` within its parent probability node's child list.
     pub fn poss_index(&self, poss: PxNodeId) -> usize {
+        // lint:allow(expect-in-lib, holds by construction: poss has a parent)
         let parent = self.parent(poss).expect("poss has a parent");
         self.children(parent)
             .iter()
             .position(|&c| c == poss)
+            // lint:allow(expect-in-lib, holds by construction: poss is a child of its parent)
             .expect("poss is a child of its parent")
     }
 
@@ -675,6 +686,18 @@ impl Iterator for PxDescendants<'_> {
             self.stack.push(c);
         }
         Some(id)
+    }
+}
+
+/// Test-only fault injection for the `deep_check` mutation tests:
+/// append a raw child id to `parent` without back-linking or
+/// bounds-checking it. No public API can create such a link — which is
+/// exactly what those tests need to prove the verifier would catch one
+/// if a future bug did.
+#[cfg(test)]
+impl PxDoc {
+    pub(crate) fn inject_raw_child_for_tests(&mut self, parent: PxNodeId, child: u32) {
+        self.node_mut(parent).children.push(PxNodeId(child));
     }
 }
 

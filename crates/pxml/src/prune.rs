@@ -68,11 +68,7 @@ impl PxDoc {
             // Indices sorted by descending probability (stable: earlier
             // possibilities win ties, matching document order intuition).
             let mut order: Vec<usize> = (0..poss_probs.len()).collect();
-            order.sort_by(|&a, &b| {
-                poss_probs[b]
-                    .partial_cmp(&poss_probs[a])
-                    .expect("finite probabilities")
-            });
+            order.sort_by(|&a, &b| poss_probs[b].total_cmp(&poss_probs[a]));
             order[k..].to_vec()
         })
     }
@@ -94,6 +90,7 @@ impl PxDoc {
             let kids: Vec<PxNodeId> = self.children(prob).to_vec();
             let probs: Vec<f64> = kids
                 .iter()
+                // lint:allow(expect-in-lib, holds by construction: prob child is poss)
                 .map(|&c| self.poss_prob(c).expect("prob child is poss"))
                 .collect();
             let remove = select(&probs);

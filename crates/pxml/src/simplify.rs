@@ -45,6 +45,7 @@ impl PxDoc {
         let total: f64 = self
             .children(prob)
             .iter()
+            // lint:allow(expect-in-lib, holds by construction: prob child is poss)
             .map(|&c| self.poss_prob(c).expect("prob child is poss"))
             .sum();
         assert!(
@@ -52,6 +53,7 @@ impl PxDoc {
             "cannot renormalize: all possibilities have probability 0"
         );
         for c in self.children(prob).to_vec() {
+            // lint:allow(expect-in-lib, holds by construction: prob child is poss)
             let p = self.poss_prob(c).expect("prob child is poss");
             self.set_poss_prob(c, p / total);
         }
@@ -99,6 +101,7 @@ impl PxDoc {
             .children(prob)
             .iter()
             .copied()
+            // lint:allow(expect-in-lib, holds by construction: poss)
             .filter(|&c| self.poss_prob(c).expect("poss") < PROB_EPSILON)
             .collect();
         let keep = self.children(prob).len() - zeros.len();
@@ -127,7 +130,9 @@ impl PxDoc {
             let fp = poss_content_fingerprint(self, k);
             match first_by_fp.get(&fp) {
                 Some(&canonical) => {
+                    // lint:allow(expect-in-lib, holds by construction: poss)
                     let p_dup = self.poss_prob(k).expect("poss");
+                    // lint:allow(expect-in-lib, holds by construction: poss)
                     let p_keep = self.poss_prob(canonical).expect("poss");
                     self.set_poss_prob(canonical, p_keep + p_dup);
                     self.detach(k);
@@ -149,6 +154,7 @@ impl PxDoc {
             return false;
         }
         let poss = kids[0];
+        // lint:allow(expect-in-lib, holds by construction: prob child is poss)
         let p = self.poss_prob(poss).expect("prob child is poss");
         if (p - 1.0).abs() > PROB_EPSILON {
             return false;

@@ -65,6 +65,7 @@ impl PxDoc {
             let id = PxNodeId(index as u32);
             if let PxNodeKind::Prob = self.kind(id) {
                 for &c in self.children(id) {
+                    // lint:allow(expect-in-lib, holds by construction: prob child is poss)
                     values.push(self.poss_prob(c).expect("prob child is poss"));
                 }
             }

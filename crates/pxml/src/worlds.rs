@@ -114,8 +114,10 @@ impl PxDoc {
         for &poss in self.children(self.root()) {
             let bucket = self.world_count_node(poss);
             if rem < bucket {
+                // lint:allow(expect-in-lib, holds by construction: root child is poss)
                 let weight = self.poss_prob(poss).expect("root child is poss");
                 let elem = self.children(poss)[0];
+                // lint:allow(expect-in-lib, holds by construction: root content is an element)
                 let tag = self.tag(elem).expect("root content is an element");
                 let mut doc = XmlDoc::new(tag);
                 for a in self.attrs(elem) {
@@ -128,6 +130,7 @@ impl PxDoc {
             }
             rem -= bucket;
         }
+        // lint:allow(panic-in-lib, statically unreachable: k < world_count implies a bucket holds it)
         unreachable!("k < world_count implies a bucket holds it")
     }
 
@@ -179,14 +182,17 @@ impl PxDoc {
                 for &poss in self.children(node) {
                     let bucket = self.world_count_node(poss);
                     if rem < bucket {
+                        // lint:allow(expect-in-lib, holds by construction: prob child is poss)
                         *prob *= self.poss_prob(poss).expect("prob child is poss");
                         self.decode_children(self.children(poss), rem, doc, parent, prob);
                         return;
                     }
                     rem -= bucket;
                 }
+                // lint:allow(panic-in-lib, statically unreachable: digit < bucket sum by construction)
                 unreachable!("digit < bucket sum by construction")
             }
+            // lint:allow(panic-in-lib, statically unreachable: poss decoded via its prob parent)
             PxNodeKind::Poss(_) => unreachable!("poss decoded via its prob parent"),
         }
     }
@@ -203,6 +209,7 @@ impl PxDoc {
             debug_assert_eq!(frags.len(), 1, "validated root poss holds one element");
             match frags.into_iter().next() {
                 Some(Frag::Elem(doc)) => out.push(World { doc, prob }),
+                // lint:allow(panic-in-lib, statically unreachable: root possibility content is a single element)
                 _ => unreachable!("root possibility content is a single element"),
             }
         }
@@ -227,7 +234,7 @@ impl PxDoc {
                 }
             }
         }
-        order.sort_by(|a, b| b.prob.partial_cmp(&a.prob).expect("finite probabilities"));
+        order.sort_by(|a, b| b.prob.total_cmp(&a.prob));
         Ok(order)
     }
 
@@ -246,6 +253,7 @@ impl PxDoc {
         let prob = best[self.root().index()];
         // The root possibility holds exactly one element (validated).
         let root_elem = self.children(root_poss)[0];
+        // lint:allow(expect-in-lib, holds by construction: root content is an element)
         let tag = self.tag(root_elem).expect("root content is an element");
         let mut doc = XmlDoc::new(tag);
         for a in self.attrs(root_elem) {
@@ -286,11 +294,8 @@ impl PxDoc {
         self.children(prob_node)
             .iter()
             .copied()
-            .max_by(|&a, &b| {
-                best[a.index()]
-                    .partial_cmp(&best[b.index()])
-                    .expect("finite scores")
-            })
+            .max_by(|&a, &b| best[a.index()].total_cmp(&best[b.index()]))
+            // lint:allow(expect-in-lib, holds by construction: probability node has possibilities)
             .expect("probability node has possibilities")
     }
 
@@ -320,6 +325,7 @@ impl PxDoc {
                     self.build_map_world(c, best, doc, parent);
                 }
             }
+            // lint:allow(panic-in-lib, statically unreachable: poss reached outside prob handling)
             PxNodeKind::Poss(_) => unreachable!("poss reached outside prob handling"),
         }
     }
@@ -349,6 +355,7 @@ impl PxDoc {
             PxNodeKind::Prob => {
                 let mut out = Vec::new();
                 for &poss in self.children(node) {
+                    // lint:allow(expect-in-lib, holds by construction: prob child is poss)
                     let weight = self.poss_prob(poss).expect("prob child is poss");
                     let content = self.seq_worlds(self.children(poss), cap)?;
                     for (frags, p) in content {
@@ -360,6 +367,7 @@ impl PxDoc {
                 }
                 Ok(out)
             }
+            // lint:allow(panic-in-lib, statically unreachable: poss handled by its prob parent)
             PxNodeKind::Poss(_) => unreachable!("poss handled by its prob parent"),
         }
     }

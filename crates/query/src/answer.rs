@@ -46,11 +46,7 @@ impl RankedAnswers {
             .into_iter()
             .map(|(value, probability)| RankedAnswer { value, probability })
             .collect();
-        items.sort_by(|a, b| {
-            b.probability
-                .partial_cmp(&a.probability)
-                .expect("finite probabilities")
-        });
+        items.sort_by(|a, b| b.probability.total_cmp(&a.probability));
         // First occurrence wins: should a caller hand in duplicate
         // values, lookups answer with the highest-ranked one (matching
         // the pre-index linear-scan behaviour).

@@ -67,6 +67,7 @@ impl Event {
                 }
                 match out.len() {
                     0 => Event::True,
+                    // lint:allow(expect-in-lib, holds by construction: len checked)
                     1 => out.pop().expect("len checked"),
                     _ => Event::And(out),
                 }
@@ -92,6 +93,7 @@ impl Event {
                 }
                 match out.len() {
                     0 => Event::False,
+                    // lint:allow(expect-in-lib, holds by construction: len checked)
                     1 => out.pop().expect("len checked"),
                     _ => Event::Or(out),
                 }
@@ -195,8 +197,10 @@ pub fn satisfying_assignments(
             other => {
                 let v = other
                     .first_variable()
+                    // lint:allow(expect-in-lib, holds by construction: non-constant event has a variable)
                     .expect("non-constant event has a variable");
                 for (idx, &poss) in doc.children(v).iter().enumerate() {
+                    // lint:allow(expect-in-lib, holds by construction: prob child is poss)
                     let p = doc.poss_prob(poss).expect("prob child is poss");
                     if p == 0.0 {
                         continue;
@@ -246,9 +250,11 @@ pub fn probability(doc: &PxDoc, event: &Event) -> f64 {
         _ => {
             let v = event
                 .first_variable()
+                // lint:allow(expect-in-lib, holds by construction: non-constant event has a variable)
                 .expect("non-constant event has a variable");
             let mut total = 0.0;
             for (idx, &poss) in doc.children(v).iter().enumerate() {
+                // lint:allow(expect-in-lib, holds by construction: prob child is poss)
                 let w = doc.poss_prob(poss).expect("prob child is poss");
                 if w == 0.0 {
                     continue;
@@ -380,6 +386,7 @@ pub fn probability_above(weights: &ChoiceWeights, event: &Event, min_required: f
         _ => {
             let v = event
                 .first_variable()
+                // lint:allow(expect-in-lib, holds by construction: non-constant event has a variable)
                 .expect("non-constant event has a variable");
             let ws = weights.of(v);
             let mut remaining: f64 = ws.iter().sum();
@@ -418,6 +425,7 @@ pub(crate) fn probability_weights(weights: &ChoiceWeights, event: &Event) -> f64
         _ => {
             let v = event
                 .first_variable()
+                // lint:allow(expect-in-lib, holds by construction: non-constant event has a variable)
                 .expect("non-constant event has a variable");
             let mut total = 0.0;
             for (idx, &w) in weights.of(v).iter().enumerate() {

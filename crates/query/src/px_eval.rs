@@ -56,6 +56,7 @@ impl std::error::Error for EvalError {}
 /// condition a document on user confirmation/rejection of an answer.
 pub fn answer_event(doc: &PxDoc, query: &Query, value: &str) -> Result<Option<Event>, EvalError> {
     let events = answer_events(doc, query)?;
+    // lint:allow(hash-iteration, false positive: this events is the Vec from answer_events in document order, not the evaluator hash map, and find is a keyed lookup)
     Ok(events.into_iter().find(|(v, _)| v == value).map(|(_, e)| e))
 }
 
@@ -73,6 +74,7 @@ pub fn answer_events(doc: &PxDoc, query: &Query) -> Result<Vec<(String, Event)>,
 pub fn eval_px(doc: &PxDoc, query: &Query) -> Result<RankedAnswers, EvalError> {
     let events = answer_events(doc, query)?;
     let mut pairs = Vec::with_capacity(events.len());
+    // lint:allow(hash-iteration, false positive: this events is the Vec from answer_events in document order, not the evaluator hash map)
     for (value, ev) in events {
         let p = probability(doc, &ev);
         if p > 0.0 {
@@ -123,6 +125,7 @@ impl<'d> Evaluator<'d> {
         let mut order: Vec<String> = Vec::new();
         let mut events: HashMap<String, Event> = HashMap::new();
         for (node, ctx_event) in contexts {
+            // lint:allow(expect-in-lib, holds by construction: after ≥1 steps contexts are real nodes)
             let node = node.expect("after ≥1 steps contexts are real nodes");
             for (value, val_event) in self.value_events(node)?.iter() {
                 let combined = Event::and(ctx_event.clone(), val_event.clone());
@@ -141,6 +144,7 @@ impl<'d> Evaluator<'d> {
         Ok(order
             .into_iter()
             .map(|v| {
+                // lint:allow(expect-in-lib, holds by construction: collected above)
                 let e = events.remove(&v).expect("collected above");
                 (v, e)
             })
@@ -443,6 +447,7 @@ fn collect_items(
                 }
             }
         }
+        // lint:allow(panic-in-lib, statically unreachable: poss visited outside its prob)
         PxNodeKind::Poss(_) => unreachable!("poss visited outside its prob"),
         _ => visit(node, event),
     }
@@ -481,6 +486,7 @@ fn collect_descendant_elems(
                 }
             }
         }
+        // lint:allow(panic-in-lib, statically unreachable: poss visited outside its prob)
         PxNodeKind::Poss(_) => unreachable!("poss visited outside its prob"),
         PxNodeKind::Elem { .. } => {
             visit(node, event.clone());
@@ -515,6 +521,7 @@ pub fn value_events(doc: &PxDoc, node: PxNodeId) -> Result<Vec<(String, Event)>,
     Ok(order
         .into_iter()
         .map(|v| {
+            // lint:allow(expect-in-lib, holds by construction: inserted above)
             let e = merged.remove(&v).expect("inserted above");
             (v, e)
         })
@@ -540,6 +547,7 @@ fn node_value_events(doc: &PxDoc, node: PxNodeId) -> Result<Vec<(String, Event)>
             }
             Ok(out)
         }
+        // lint:allow(panic-in-lib, statically unreachable: poss visited outside its prob)
         PxNodeKind::Poss(_) => unreachable!("poss visited outside its prob"),
     }
 }

@@ -1,0 +1,7 @@
+// lint-fixture-path: crates/query/src/fixture.rs
+pub fn parallelism() -> usize {
+    match std::env::var("IMPRECISE_THREADS") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}

@@ -1,0 +1,5 @@
+// lint-fixture-path: crates/integrate/src/matching.rs
+pub fn total_weight(weights: &[f64]) -> f64 {
+    // Data-dependent order, no canonical-order justification.
+    weights.iter().copied().sum::<f64>()
+}

@@ -1,0 +1,11 @@
+// lint-fixture-path: crates/integrate/src/fixture.rs
+use std::collections::HashMap;
+
+pub fn emit(pairs: &[(u64, f64)]) -> Vec<u64> {
+    let mut weights: HashMap<u64, f64> = HashMap::new();
+    for (id, w) in pairs {
+        weights.insert(*id, *w);
+    }
+    // Hash-ordered iteration feeding output: the finding.
+    weights.keys().copied().collect()
+}

@@ -1,0 +1,7 @@
+// lint-fixture-path: crates/integrate/src/fixture.rs
+use std::time::Instant;
+
+pub fn budget_elapsed(limit_ms: u128) -> bool {
+    let start = Instant::now();
+    start.elapsed().as_millis() > limit_ms
+}

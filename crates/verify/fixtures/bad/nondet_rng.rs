@@ -1,0 +1,7 @@
+// lint-fixture-path: crates/integrate/src/fixture.rs
+use rand::thread_rng;
+use rand::Rng;
+
+pub fn jitter() -> f64 {
+    thread_rng().gen_range(0.0..1.0)
+}

@@ -1,0 +1,8 @@
+// lint-fixture-path: crates/xmlkit/src/fixture.rs
+pub fn decode(tag: u8) -> &'static str {
+    match tag {
+        0 => "elem",
+        1 => "text",
+        _ => panic!("bad tag {tag}"),
+    }
+}

@@ -1,0 +1,5 @@
+// lint-fixture-path: crates/query/src/fixture.rs
+pub fn rank(mut probs: Vec<f64>) -> Vec<f64> {
+    probs.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    probs
+}

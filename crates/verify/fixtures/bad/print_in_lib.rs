@@ -1,0 +1,4 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+pub fn report(step: usize) {
+    eprintln!("refine step {step}");
+}

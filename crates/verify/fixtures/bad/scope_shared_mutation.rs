@@ -1,0 +1,15 @@
+// lint-fixture-path: crates/integrate/src/fixture.rs
+use std::sync::Mutex;
+
+pub fn fan_out(items: &[u32]) -> Vec<u32> {
+    let out = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for chunk in items.chunks(2) {
+            scope.spawn(|| {
+                // Push order depends on worker timing: the finding.
+                out.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(chunk);
+            });
+        }
+    });
+    out.into_inner().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,9 @@
+// lint-fixture-path: crates/pxml/src/fixture.rs
+use std::time::SystemTime;
+
+pub fn stamp() -> u64 {
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,4 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+pub fn worker_key() -> String {
+    format!("{:?}", std::thread::current().id())
+}

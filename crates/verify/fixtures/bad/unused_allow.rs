@@ -1,0 +1,5 @@
+// lint-fixture-path: crates/pxml/src/fixture.rs
+pub fn add(a: u32, b: u32) -> u32 {
+    // lint:allow(unwrap-in-lib, nothing here unwraps)
+    a + b
+}

@@ -1,0 +1,4 @@
+// lint-fixture-path: crates/pxml/src/fixture.rs
+pub fn first(items: &[u32]) -> u32 {
+    *items.first().unwrap()
+}

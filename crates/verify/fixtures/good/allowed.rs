@@ -1,0 +1,14 @@
+// lint-fixture-path: crates/pxml/src/fixture.rs
+//! Every hazard here carries a reasoned lint:allow, so the file has
+//! findings but zero unallowed ones.
+pub fn root_child(children: &[u32]) -> u32 {
+    // lint:allow(unwrap-in-lib, validate() guarantees the root keeps one child)
+    *children.first().unwrap()
+}
+
+pub fn decode(tag: u8) -> &'static str {
+    match tag {
+        0 => "elem",
+        _ => unreachable!("tags are 0 by construction"), // lint:allow(panic-in-lib, tag enum has one variant today)
+    }
+}

@@ -1,0 +1,15 @@
+// lint-fixture-path: crates/integrate/src/fixture.rs
+//! A file the lint should pass untouched: ordered collections, typed
+//! errors, sorted accumulation.
+use std::collections::BTreeMap;
+
+pub fn emit(pairs: &[(u64, f64)]) -> Result<Vec<u64>, String> {
+    let mut weights: BTreeMap<u64, f64> = BTreeMap::new();
+    for (id, w) in pairs {
+        weights.insert(*id, *w);
+    }
+    if weights.is_empty() {
+        return Err("no pairs".to_owned());
+    }
+    Ok(weights.keys().copied().collect())
+}

@@ -1,0 +1,16 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+//! Hazards that appear only in comments, doc examples, and string
+//! literals must not fire:
+//!
+//! ```
+//! let t = std::time::Instant::now(); // doc example, not library code
+//! let v = maybe.unwrap();
+//! ```
+pub fn describe() -> &'static str {
+    // A comment mentioning weights.keys() and thread_rng() is prose.
+    "call .unwrap() at your own risk; panic!(...) lives in strings"
+}
+
+pub fn raw() -> &'static str {
+    r#"Instant::now() inside a raw string with a "quote" in it"#
+}

@@ -1,0 +1,22 @@
+// lint-fixture-path: crates/query/src/fixture.rs
+//! Hazards confined to #[cfg(test)] are invisible to the lint.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn doubles() {
+        let mut seen: HashMap<u32, u32> = HashMap::new();
+        seen.insert(1, double(1));
+        for (k, v) in seen.iter() {
+            assert_eq!(*v, k * 2, "{:?}", std::time::Instant::now());
+        }
+        let first = seen.values().next().unwrap();
+        assert_eq!(*first, 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! `imprecise-lint` — scan the workspace for determinism/robustness
+//! hazards. See `imprecise-verify`'s crate docs for the rule model.
+//!
+//! Usage:
+//!
+//! ```text
+//! imprecise-lint [--root DIR] [--format text|json] [--show-allowed]
+//! imprecise-lint --list-rules
+//! ```
+//!
+//! Exit status: 0 when every finding is covered by a reasoned
+//! `lint:allow`, 1 when unallowed findings remain, 2 on usage or I/O
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use imprecise_verify::{find_workspace_root, lint_workspace, rules, to_json};
+
+fn main() -> ExitCode {
+    let mut format = String::from("text");
+    let mut root: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut show_allowed = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                _ => return usage("--format takes `text` or `json`"),
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root takes a directory"),
+            },
+            "--list-rules" => list_rules = true,
+            "--show-allowed" => show_allowed = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for rule in rules::RULES {
+            println!("{}\n  what:  {}", rule.id, rule.summary);
+            println!("  where: {}", rule.scope);
+            println!(
+                "  why:   {}\n",
+                rule.rationale
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => return usage("cannot locate workspace root; pass --root"),
+    };
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let unallowed: Vec<_> = findings.iter().filter(|f| f.allowed.is_none()).collect();
+
+    if format == "json" {
+        print!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            if f.allowed.is_none() || show_allowed {
+                println!("{f}");
+            }
+        }
+        let allowed = findings.len() - unallowed.len();
+        println!(
+            "imprecise-lint: {} finding(s), {} allowed, {} unallowed",
+            findings.len(),
+            allowed,
+            unallowed.len()
+        );
+    }
+
+    if unallowed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("imprecise-lint: {problem}");
+    }
+    eprintln!(
+        "usage: imprecise-lint [--root DIR] [--format text|json] [--show-allowed] [--list-rules]"
+    );
+    if problem.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

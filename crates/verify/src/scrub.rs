@@ -1,0 +1,338 @@
+//! A small hand-rolled Rust source scanner.
+//!
+//! The lint rules in this crate operate on *code text only*: comments,
+//! string/char literals, and `#[cfg(test)]` modules are blanked out
+//! (replaced by spaces, newlines preserved) so that substring-level
+//! rules cannot fire on prose, doc examples, or test assertions.
+//! Comments are captured separately so `// lint:allow(rule, reason)`
+//! escape hatches can be parsed out of them.
+//!
+//! This is deliberately not a full Rust lexer: it understands exactly
+//! the token classes that matter for blanking — line comments, nested
+//! block comments, string literals (incl. raw strings with `#` fences
+//! and byte strings), char literals vs. lifetimes — and nothing more.
+
+/// One `// lint:allow(rule, reason)` directive found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the directive *applies to*: the same line when the
+    /// comment trails code, otherwise the next line that carries code.
+    pub target_line: usize,
+    /// 1-based line the comment itself sits on (for diagnostics).
+    pub comment_line: usize,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// The result of scrubbing one source file.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// Code-only text, split into lines. Indexing is 0-based; rule
+    /// findings report `index + 1`.
+    pub lines: Vec<String>,
+    pub allows: Vec<AllowDirective>,
+}
+
+/// A comment captured during scanning, before allow-directive parsing.
+struct RawComment {
+    line: usize, // 1-based line where the comment starts
+    text: String,
+    /// True when some code appears before the comment on its first line.
+    trails_code: bool,
+    /// Doc comments (`///`, `//!`, `/**`, `/*!`) never carry allow
+    /// directives — they describe the syntax, they don't invoke it.
+    is_doc: bool,
+}
+
+pub fn scrub(source: &str) -> Scrubbed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut code = String::with_capacity(source.len());
+    let mut comments: Vec<RawComment> = Vec::new();
+    let mut line = 1usize;
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match c {
+            '\n' => {
+                code.push('\n');
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            '/' if next == Some('/') => {
+                let start_line = line;
+                let trails = line_has_code;
+                let mut text = String::new();
+                while i < bytes.len() && bytes[i] != '\n' {
+                    text.push(bytes[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+                let is_doc = text.starts_with("///") || text.starts_with("//!");
+                comments.push(RawComment {
+                    line: start_line,
+                    text,
+                    trails_code: trails,
+                    is_doc,
+                });
+            }
+            '/' if next == Some('*') => {
+                let start_line = line;
+                let trails = line_has_code;
+                let mut text = String::new();
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    let n = bytes.get(i + 1).copied();
+                    if c == '/' && n == Some('*') {
+                        depth += 1;
+                        text.push_str("/*");
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '*' && n == Some('/') {
+                        depth -= 1;
+                        text.push_str("*/");
+                        code.push_str("  ");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if c == '\n' {
+                            code.push('\n');
+                            line += 1;
+                        } else {
+                            code.push(' ');
+                        }
+                        text.push(c);
+                        i += 1;
+                    }
+                }
+                line_has_code = false;
+                let is_doc = text.starts_with("/**") || text.starts_with("/*!");
+                comments.push(RawComment {
+                    line: start_line,
+                    text,
+                    trails_code: trails,
+                    is_doc,
+                });
+            }
+            '"' => {
+                // Plain string literal (the `b` / `r` prefixes route here
+                // too once the prefix chars have been emitted as code).
+                code.push('"');
+                line_has_code = true;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c == '\\' {
+                        code.push_str("  ");
+                        // A trailing `\<newline>` continuation keeps the
+                        // line structure; treat uniformly.
+                        if bytes.get(i + 1) == Some(&'\n') {
+                            code.pop();
+                            code.pop();
+                            code.push(' ');
+                            code.push('\n');
+                            line += 1;
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        i += 1;
+                        break;
+                    } else if c == '\n' {
+                        code.push('\n');
+                        line += 1;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            'r' if is_raw_string_start(&bytes, i) && !prev_is_ident(&bytes, i) => {
+                i += 1; // past `r`
+                code.push('r');
+                let mut hashes = 0usize;
+                while bytes.get(i) == Some(&'#') {
+                    hashes += 1;
+                    code.push('#');
+                    i += 1;
+                }
+                code.push('"');
+                i += 1; // past opening quote
+                        // Scan until `"` followed by `hashes` hash marks.
+                while i < bytes.len() {
+                    if bytes[i] == '"' && count_hashes(&bytes, i + 1) >= hashes {
+                        code.push('"');
+                        i += 1;
+                        for _ in 0..hashes {
+                            code.push('#');
+                            i += 1;
+                        }
+                        break;
+                    }
+                    if bytes[i] == '\n' {
+                        code.push('\n');
+                        line += 1;
+                    } else {
+                        code.push(' ');
+                    }
+                    i += 1;
+                }
+                line_has_code = true;
+            }
+            '\'' => {
+                // Char literal or lifetime. `'\...'` and `'x'` are char
+                // literals; anything else (e.g. `'static`) is a lifetime
+                // and passes through as code.
+                if next == Some('\\') {
+                    code.push('\'');
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != '\'' {
+                        code.push(' ');
+                        if bytes[i] == '\\' && i + 1 < bytes.len() {
+                            code.push(' ');
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    code.push('\'');
+                    i += 1;
+                } else if bytes.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                    code.push('\'');
+                    code.push(' ');
+                    code.push('\'');
+                    i += 3;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+                line_has_code = true;
+            }
+            _ => {
+                if !c.is_whitespace() {
+                    line_has_code = true;
+                }
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    let mut lines: Vec<String> = code.split('\n').map(str::to_owned).collect();
+    // `split` yields a trailing empty slot for newline-terminated files;
+    // keep it — line counts then match editors.
+    blank_test_modules(&mut lines);
+    let allows = resolve_allows(&lines, &comments);
+    Scrubbed { lines, allows }
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // `r"`, `r#...#"` — caller guarantees bytes[i] == 'r'.
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+fn count_hashes(bytes: &[char], mut i: usize) -> usize {
+    let mut n = 0;
+    while bytes.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+/// Blank every `#[cfg(test)]`-gated item (in practice: the trailing
+/// `mod tests { ... }` blocks) so rules never fire on test code.
+fn blank_test_modules(lines: &mut [String]) {
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let Some(col) = lines[idx].find("#[cfg(test)]") else {
+            idx += 1;
+            continue;
+        };
+        // Locate the end of the gated item: brace-match from the first
+        // `{` that appears at or after the attribute; fall back to the
+        // first `;` for brace-less items like `#[cfg(test)] use ...;`.
+        let mut depth = 0usize;
+        let mut seen_brace = false;
+        let mut li = idx;
+        let mut ci = col + "#[cfg(test)]".len();
+        'scan: while li < lines.len() {
+            let chars: Vec<char> = lines[li].chars().collect();
+            while ci < chars.len() {
+                match chars[ci] {
+                    '{' => {
+                        depth += 1;
+                        seen_brace = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if seen_brace && depth == 0 {
+                            break 'scan;
+                        }
+                    }
+                    ';' if !seen_brace => break 'scan,
+                    _ => {}
+                }
+                ci += 1;
+            }
+            li += 1;
+            ci = 0;
+        }
+        let end = li.min(lines.len() - 1);
+        for blank_line in lines.iter_mut().take(end + 1).skip(idx) {
+            *blank_line = String::new();
+        }
+        idx = end + 1;
+    }
+}
+
+fn resolve_allows(lines: &[String], comments: &[RawComment]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for c in comments {
+        if c.is_doc {
+            continue;
+        }
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            rest = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let inner = &rest[..close];
+            rest = &rest[close + 1..];
+            let (rule, reason) = match inner.split_once(',') {
+                Some((r, why)) => (r.trim().to_owned(), why.trim().to_owned()),
+                None => (inner.trim().to_owned(), String::new()),
+            };
+            let target_line = if c.trails_code {
+                c.line
+            } else {
+                // Standalone comment: applies to the next line with code.
+                let mut t = c.line; // c.line is 1-based; lines[c.line] is the next line
+                while t < lines.len() && lines[t].trim().is_empty() {
+                    t += 1;
+                }
+                t + 1
+            };
+            out.push(AllowDirective {
+                target_line,
+                comment_line: c.line,
+                rule,
+                reason,
+            });
+        }
+    }
+    out
+}

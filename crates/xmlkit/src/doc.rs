@@ -211,6 +211,7 @@ impl XmlDoc {
                     attrs.push(Attr { name, value });
                 }
             }
+            // lint:allow(panic-in-lib, documented API contract: panics with set_attr on a text node)
             NodeKind::Text(_) => panic!("set_attr on a text node"),
         }
     }

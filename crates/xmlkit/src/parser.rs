@@ -179,6 +179,7 @@ impl<'a> Parser<'a> {
                 let name = self.read_name("close tag name")?;
                 self.skip_whitespace();
                 self.expect(b'>')?;
+                // lint:allow(expect-in-lib, holds by construction: content parent is an element)
                 let open = doc.tag(el).expect("content parent is an element");
                 if name != open {
                     return Err(XmlError::MismatchedTag {

@@ -303,6 +303,7 @@ impl Schema {
                 }
                 let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
                 for &c in children {
+                    // lint:allow(expect-in-lib, holds by construction: element child)
                     let child_tag = doc.tag(c).expect("element child");
                     let spec = specs.iter().find(|s| s.tag == child_tag).ok_or_else(|| {
                         XmlError::Invalid {

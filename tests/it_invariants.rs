@@ -140,3 +140,280 @@ fn prune_renormalises_to_unit_mass_at_every_epsilon() {
         assert_unit_mass(&pruned, &format!("prune top-{k}"));
     }
 }
+
+// ---------------------------------------------------------------------
+// Deep invariant verification through the engine (PR 7): the corruption
+// classes `Engine::check_invariants` must report, and the
+// integrate → refine → feedback → compact sweep over every datagen
+// scenario family that must stay verifiably clean end to end. Under
+// `--features strict-invariants` the same sweep additionally
+// shadow-checks every publish.
+
+use imprecise::datagen::{addressbook as ab, scenarios};
+use imprecise::integrate::{InvariantViolation, RefineOptions};
+use imprecise::oracle::Oracle;
+use imprecise::xml::to_string;
+use imprecise::{DocHandle, Engine, ImpreciseError};
+
+/// Drive one scenario end to end, checking invariants between stages:
+/// budgeted fold over the sources, staged refinement (which compacts
+/// when garbage crosses the thresholds), feedback on a real answer,
+/// and a final refine on the conditioned (finalized) document.
+fn drive(engine: &Engine, sources: &[DocHandle], query_text: &str, context: &str) {
+    let (db, _) = engine
+        .integrate_many(sources, "db")
+        .unwrap_or_else(|e| panic!("{context}: fold fails: {e}"));
+    engine
+        .check_invariants(&db)
+        .unwrap_or_else(|e| panic!("{context}: after integrate: {e}"));
+    let step_options = RefineOptions {
+        extra_matchings: 2,
+        ..RefineOptions::default()
+    };
+    for round in 0..3 {
+        engine
+            .refine(&db, &step_options)
+            .unwrap_or_else(|e| panic!("{context}: refine round {round} fails: {e}"));
+        engine
+            .check_invariants(&db)
+            .unwrap_or_else(|e| panic!("{context}: after refine round {round}: {e}"));
+    }
+    let query = engine.prepare(query_text).expect("query parses");
+    let answers = query
+        .run(&engine.snapshot(&db).expect("db exists"))
+        .unwrap_or_else(|e| panic!("{context}: query fails: {e}"));
+    if let Some(answer) = answers.at_least(0.0).next() {
+        let value = answer.value.clone();
+        engine
+            .feedback(&db, &query, &value, true)
+            .unwrap_or_else(|e| panic!("{context}: feedback on {value:?} fails: {e}"));
+        engine
+            .check_invariants(&db)
+            .unwrap_or_else(|e| panic!("{context}: after feedback: {e}"));
+    }
+    // Conditioning finalizes the frontiers; refine must report an empty
+    // step and the document must still verify.
+    engine
+        .refine(&db, &RefineOptions::to_exhaustive())
+        .unwrap_or_else(|e| panic!("{context}: post-feedback refine fails: {e}"));
+    engine
+        .check_invariants(&db)
+        .unwrap_or_else(|e| panic!("{context}: after finalized refine: {e}"));
+}
+
+fn movie_scenario_engine(oracle: Oracle, budget: usize) -> Engine {
+    Engine::builder()
+        .oracle(oracle)
+        .schema_text(imprecise::datagen::movies::movie_schema_text())
+        .expect("schema parses")
+        .options(IntegrationOptions {
+            max_matchings_per_component: budget,
+            ..IntegrationOptions::default()
+        })
+        .build()
+}
+
+fn load_pair(engine: &Engine, scenario: &scenarios::MovieScenario) -> Vec<DocHandle> {
+    vec![
+        engine
+            .load_xml("mpeg7", &to_string(&scenario.mpeg7))
+            .expect("mpeg7 loads"),
+        engine
+            .load_xml("imdb", &to_string(&scenario.imdb))
+            .expect("imdb loads"),
+    ]
+}
+
+#[test]
+fn movie_scenarios_verify_end_to_end() {
+    for (scenario, budget) in [
+        (scenarios::sequels_t1(), 4),
+        (scenarios::typical(), 4),
+        (scenarios::query_db(), 8),
+    ] {
+        let engine = movie_scenario_engine(
+            movie_oracle(MovieOracleConfig {
+                year_rule: false,
+                graded_prior: true,
+                ..MovieOracleConfig::default()
+            }),
+            budget,
+        );
+        let handles = load_pair(&engine, &scenario);
+        drive(
+            &engine,
+            &handles,
+            "//movie/title",
+            &scenario.info.name.clone(),
+        );
+    }
+}
+
+#[test]
+fn confusable_scenarios_verify_end_to_end() {
+    for scenario in [scenarios::confusable(4), scenarios::confusable_grid(2, 2)] {
+        // Title/year rules off: the confusable blocks stay undecided and
+        // the budget of 3 truncates, so refinement has real work.
+        let engine = movie_scenario_engine(
+            movie_oracle(MovieOracleConfig {
+                title_rule: false,
+                year_rule: false,
+                graded_prior: true,
+                ..MovieOracleConfig::default()
+            }),
+            3,
+        );
+        let handles = load_pair(&engine, &scenario);
+        drive(
+            &engine,
+            &handles,
+            "//movie/title",
+            &scenario.info.name.clone(),
+        );
+    }
+}
+
+#[test]
+fn many_sources_scenario_verifies_end_to_end() {
+    let scenario = scenarios::many_sources(3, 1);
+    let engine = Engine::builder()
+        .oracle(movie_oracle(MovieOracleConfig::default()))
+        .schema(scenario.schema.clone())
+        .options(IntegrationOptions {
+            max_matchings_per_component: 3,
+            ..IntegrationOptions::default()
+        })
+        .build();
+    let handles: Vec<DocHandle> = scenario
+        .sources
+        .iter()
+        .enumerate()
+        .map(|(i, doc)| {
+            engine
+                .load_xml(&format!("src-{i}"), &to_string(doc))
+                .expect("source loads")
+        })
+        .collect();
+    drive(&engine, &handles, "//movie/title", &scenario.name);
+}
+
+#[test]
+fn addressbook_scenarios_verify_end_to_end() {
+    let engine = Engine::builder()
+        .oracle(addressbook_oracle())
+        .schema_text(ab::addressbook_schema_text())
+        .expect("schema parses")
+        .options(IntegrationOptions {
+            max_matchings_per_component: 2,
+            ..IntegrationOptions::default()
+        })
+        .build();
+    let (a, b) = ab::fig2_sources();
+    let handles = vec![
+        engine.load_xml("a", &to_string(&a)).expect("a loads"),
+        engine.load_xml("b", &to_string(&b)).expect("b loads"),
+    ];
+    drive(&engine, &handles, "//person/tel", "fig2");
+
+    let (pa, pb) = ab::random_addressbook_pair(7, 6, 4, 0.5);
+    let handles = vec![
+        engine
+            .load_xml("ra", &to_string(&ab::addressbook_to_xml(&pa)))
+            .expect("ra loads"),
+        engine
+            .load_xml("rb", &to_string(&ab::addressbook_to_xml(&pb)))
+            .expect("rb loads"),
+    ];
+    drive(&engine, &handles, "//person/tel", "random-addressbook");
+}
+
+/// A document whose probability sum was broken after construction.
+fn corrupt_doc() -> PxDoc {
+    let mut doc = PxDoc::new();
+    let w = doc.add_poss(doc.root(), 1.0);
+    let e = doc.add_elem(w, "addressbook");
+    let choice = doc.add_prob(e);
+    let p1 = doc.add_poss(choice, 0.5);
+    doc.add_text_elem(p1, "tel", "1111");
+    let p2 = doc.add_poss(choice, 0.5);
+    doc.add_text_elem(p2, "tel", "2222");
+    doc.set_poss_prob(p1, 0.123);
+    doc
+}
+
+// With shadow checks on, the corrupt insert never reaches the catalog:
+// the publish itself aborts. The typed-error path below is the
+// feature-off behaviour.
+#[cfg(feature = "strict-invariants")]
+#[test]
+#[should_panic(expected = "strict-invariants: after publish")]
+fn strict_invariants_refuse_to_publish_corrupt_documents() {
+    let engine = Engine::builder().oracle(addressbook_oracle()).build();
+    engine.insert("corrupt", corrupt_doc());
+}
+
+#[cfg(not(feature = "strict-invariants"))]
+#[test]
+fn check_invariants_reports_corrupt_documents() {
+    let engine = Engine::builder().oracle(addressbook_oracle()).build();
+    // A probability sum broken after the fact: the engine cannot tell at
+    // insert time (insert is unvalidated by design), but
+    // check_invariants must.
+    let handle = engine.insert("corrupt", corrupt_doc());
+    let err = engine
+        .check_invariants(&handle)
+        .expect_err("broken probability sum must be reported");
+    assert!(matches!(
+        err,
+        ImpreciseError::Invariant(InvariantViolation::Doc(_))
+    ));
+    assert!(
+        err.to_string().contains("invariant violation"),
+        "unexpected message: {err}"
+    );
+}
+
+#[test]
+fn foreign_refine_state_is_a_typed_error_not_a_panic() {
+    // The wrong-component-restore path `Engine::refine` runs through:
+    // resuming a persisted frontier against a component it does not
+    // belong to must surface `FrontierMismatch` as a typed error (and
+    // convert cleanly up the `IntegrateError` -> `ImpreciseError`
+    // chain), not panic.
+    use imprecise::integrate::{
+        Candidate, Component, FrontierEnumerator, IntegrateError, MatchBudget,
+    };
+    let component = |p: f64| Component {
+        a_nodes: vec![0, 1],
+        b_nodes: vec![0, 1],
+        forced: Vec::new(),
+        possible: vec![
+            Candidate { a: 0, b: 0, p },
+            Candidate { a: 0, b: 1, p },
+            Candidate { a: 1, b: 0, p },
+            Candidate { a: 1, b: 1, p },
+        ],
+    };
+    let mine = component(0.5);
+    let mut enumerator = FrontierEnumerator::new(&mine);
+    enumerator.run(&MatchBudget {
+        max_matchings: 2,
+        min_retained_mass: None,
+    });
+    let frontier = enumerator.frontier().expect("budget of 2 leaves work open");
+    // Same shape, different candidate probabilities: the content digest
+    // must reject the restore.
+    let foreign = component(0.25);
+    let mismatch = match FrontierEnumerator::restore(&foreign, &frontier) {
+        Err(mismatch) => mismatch,
+        Ok(_) => panic!("foreign restore must fail"),
+    };
+    assert_ne!(mismatch.expected, mismatch.found);
+    let err = ImpreciseError::from(IntegrateError::from(mismatch));
+    assert!(
+        err.to_string().contains("does not belong"),
+        "unexpected message: {err}"
+    );
+    // The genuine owner still restores.
+    FrontierEnumerator::restore(&mine, &frontier).expect("own component restores");
+}
