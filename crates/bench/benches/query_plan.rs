@@ -56,7 +56,9 @@ fn bench_scenario(c: &mut Criterion, scenario: &str, db: &PxDoc, query_text: &st
     // The Engine::prepare path: compiled once, re-bound per snapshot,
     // repeated runs served from the version-keyed binding.
     let engine = Engine::new();
-    let handle = engine.insert(scenario, db.clone());
+    let handle = engine
+        .insert(scenario, db.clone())
+        .expect("store-less insert cannot fail");
     let prepared = engine.prepare(query_text).expect("bench query prepares");
     let snapshot = engine.snapshot(&handle).expect("document exists");
 

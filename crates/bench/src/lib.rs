@@ -171,7 +171,9 @@ pub fn query_engine() -> (Engine, DocHandle) {
         .schema(scenario.schema)
         .options(query_db_options())
         .build();
-    let db = engine.insert("query-db", build_query_db().doc);
+    let db = engine
+        .insert("query-db", build_query_db().doc)
+        .expect("store-less insert cannot fail");
     (engine, db)
 }
 

@@ -5,11 +5,13 @@
 //! imprecise integrate --out merged.xml [--rules FILE|movie|addressbook]
 //!                     [--dtd FILE] [--weights A,B] [--budget K]
 //!                     [--budget-total K] [--min-mass P] [--strict]
-//!                     [--threads N] a.xml b.xml [c.xml ...]
+//!                     [--threads N] [--store FILE]
+//!                     a.xml b.xml [c.xml ...]
 //! imprecise refine --out refined.xml [--rules ...] [--dtd FILE]
 //!                  [--initial-budget K] [--budget K] [--top C]
-//!                  [--steps N] a.xml b.xml [c.xml ...]
+//!                  [--steps N] [--store FILE] [a.xml b.xml [c.xml ...]]
 //! imprecise query db.xml QUERY [--threshold P] [--min-probability P]
+//!                 [--store FILE]
 //! imprecise explain QUERY [--threshold P]
 //! imprecise stats db.xml
 //! imprecise worlds db.xml [--limit N]
@@ -22,6 +24,13 @@
 //! (`px:prob` / `px:poss` elements), so integration outputs can be fed
 //! back in as inputs (incremental integration) or post-processed by any
 //! XML tooling.
+//!
+//! With `--store FILE`, every publish is also durably appended to the
+//! segment file at FILE: a later `refine --store FILE` with *no* source
+//! files reopens the store and resumes refinement of the stored
+//! `result` document exactly where the previous process stopped, and
+//! `query NAME QUERY --store FILE` queries a stored document by name
+//! instead of reading an XML file.
 
 use imprecise::integrate::RefineOptions;
 use imprecise::oracle::dsl::{ADDRESSBOOK_RULES, MOVIE_RULES};
@@ -48,6 +57,9 @@ struct EngineFlags {
     strict: bool,
     /// Worker threads for matching enumeration (0 = all cores).
     threads: Option<usize>,
+    /// Durable store segment file: publishes are appended to it and a
+    /// later run can recover/resume from it.
+    store: Option<String>,
 }
 
 /// A parsed command line.
@@ -75,6 +87,8 @@ enum Command {
         stats: bool,
     },
     Query {
+        /// XML file to query — or, with `store` set, the *name* of a
+        /// document inside the store.
         db: String,
         query: String,
         /// Pushed down into plan execution (prunes before probability
@@ -82,6 +96,8 @@ enum Command {
         threshold: Option<f64>,
         /// Post-filter applied to the printed answers.
         min_probability: f64,
+        /// Query a document recovered from this durable store.
+        store: Option<String>,
     },
     Explain {
         query: String,
@@ -124,13 +140,14 @@ USAGE:
   imprecise integrate --out FILE [--rules FILE|movie|addressbook]
                       [--dtd FILE] [--weights A,B]
                       [--budget K] [--budget-total K] [--min-mass P]
-                      [--strict] [--threads N]
+                      [--strict] [--threads N] [--store FILE]
                       A.xml B.xml [C.xml ...]
   imprecise refine --out FILE [--rules FILE|movie|addressbook] [--dtd FILE]
                    [--weights A,B] [--initial-budget K] [--budget K]
                    [--top C] [--steps N] [--threads N] [--stats]
-                   A.xml B.xml [C.xml ...]
+                   [--store FILE] [A.xml B.xml [C.xml ...]]
   imprecise query DB.xml QUERY [--threshold P] [--min-probability P]
+                  [--store FILE]
   imprecise explain QUERY [--threshold P]
   imprecise stats DB.xml
   imprecise worlds DB.xml [--limit N]
@@ -139,7 +156,13 @@ USAGE:
                      --verdict correct|incorrect --out FILE
 
 Probabilistic documents use px:prob/px:poss annotated XML; plain XML is
-accepted anywhere and treated as certain.";
+accepted anywhere and treated as certain.
+
+--store FILE attaches a durable versioned store (an append-only segment
+file, created on first use): every publish is crash-safely persisted.
+`refine --store FILE` with no source files resumes the stored `result`
+document where the previous process stopped; `query NAME Q --store FILE`
+queries a stored document by name.";
 
 fn parse_args(args: &[String]) -> Result<Command, UsageError> {
     let mut positional: Vec<&str> = Vec::new();
@@ -152,7 +175,7 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 // flags with a value
                 "out" | "rules" | "dtd" | "weights" | "min-probability" | "threshold" | "limit"
                 | "epsilon" | "query" | "value" | "verdict" | "budget" | "budget-total"
-                | "initial-budget" | "min-mass" | "threads" | "top" | "steps" => Some(
+                | "initial-budget" | "min-mass" | "threads" | "top" | "steps" | "store" => Some(
                     it.next()
                         .ok_or_else(|| UsageError(format!("--{name} needs a value")))?,
                 ),
@@ -229,18 +252,21 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             min_mass,
             strict: has_flag("strict"),
             threads: parse_opt_usize_flag(flag("threads"), "threads")?,
+            store: flag("store").map(str::to_string),
         })
     };
-    let source_files = |cmd: &str| -> Result<Vec<String>, UsageError> {
+    // `allow_empty`: `refine --store` may run with no sources at all,
+    // resuming the stored result instead of integrating afresh.
+    let source_files = |cmd: &str, allow_empty: bool| -> Result<Vec<String>, UsageError> {
         let sources: Vec<String> = positional.iter().map(|s| s.to_string()).collect();
-        if sources.len() < 2 {
+        if sources.len() < 2 && !(allow_empty && sources.is_empty()) {
             return Err(UsageError(format!("{cmd} needs at least two source files")));
         }
         Ok(sources)
     };
     match sub {
         "integrate" => Ok(Command::Integrate {
-            sources: source_files("integrate")?,
+            sources: source_files("integrate", false)?,
             out: required("out")?,
             engine: engine_flags("budget")?,
         }),
@@ -263,7 +289,7 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             // default the initial cap to a small budget.
             engine.budget = engine.budget.or(Some(64));
             Ok(Command::Refine {
-                sources: source_files("refine")?,
+                sources: source_files("refine", engine.store.is_some())?,
                 out: required("out")?,
                 engine,
                 extra,
@@ -277,6 +303,7 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             query: pos(1, "query")?,
             threshold: parse_opt_f64_flag(flag("threshold"), "threshold")?,
             min_probability: parse_f64_flag(flag("min-probability"), 0.0, "min-probability")?,
+            store: flag("store").map(str::to_string),
         }),
         "explain" => Ok(Command::Explain {
             query: pos(0, "query")?,
@@ -389,22 +416,22 @@ fn build_engine(flags: &EngineFlags) -> Result<Engine, String> {
         builder = builder.schema_text(&text).map_err(|e| e.to_string())?;
     }
     let defaults = imprecise::integrate::IntegrationOptions::default();
-    Ok(builder
-        .options(imprecise::integrate::IntegrationOptions {
-            source_weights: flags.weights,
-            max_matchings_per_component: flags
-                .budget
-                .unwrap_or(defaults.max_matchings_per_component),
-            budget_plan: match flags.budget_total {
-                Some(total) => imprecise::integrate::BudgetPlan::Total(total),
-                None => imprecise::integrate::BudgetPlan::PerComponent,
-            },
-            min_retained_mass: flags.min_mass,
-            strict_matchings: flags.strict,
-            parallelism: flags.threads.unwrap_or(defaults.parallelism),
-            ..defaults
-        })
-        .build())
+    builder = builder.options(imprecise::integrate::IntegrationOptions {
+        source_weights: flags.weights,
+        max_matchings_per_component: flags.budget.unwrap_or(defaults.max_matchings_per_component),
+        budget_plan: match flags.budget_total {
+            Some(total) => imprecise::integrate::BudgetPlan::Total(total),
+            None => imprecise::integrate::BudgetPlan::PerComponent,
+        },
+        min_retained_mass: flags.min_mass,
+        strict_matchings: flags.strict,
+        parallelism: flags.threads.unwrap_or(defaults.parallelism),
+        ..defaults
+    });
+    match &flags.store {
+        Some(path) => builder.with_store(path).open().map_err(|e| e.to_string()),
+        None => Ok(builder.build()),
+    }
 }
 
 /// Load the source files and fold them into a document named `result`.
@@ -501,8 +528,37 @@ fn run(cmd: Command) -> Result<(), String> {
             stats,
         } => {
             let engine = build_engine(&flags)?;
-            let (result, steps) = integrate_sources(&engine, &sources)?;
-            report_truncations(&steps, "");
+            let result = if sources.is_empty() {
+                // --store resume mode: pick up the stored result where
+                // the previous process stopped.
+                engine.handle("result").ok_or_else(|| {
+                    format!(
+                        "store {:?} holds no `result` document to resume; \
+                         pass source files to integrate first",
+                        flags.store.as_deref().unwrap_or("<none>")
+                    )
+                })?
+            } else {
+                let (result, steps) = integrate_sources(&engine, &sources)?;
+                report_truncations(&steps, "");
+                result
+            };
+            if stats {
+                match engine.refine_state(&result).map_err(|e| e.to_string())? {
+                    None => eprintln!("refine state: none (document is exact)"),
+                    Some(info) => {
+                        let provenance = match info.recovered_at {
+                            Some(v) => format!("recovered from store at version {v}"),
+                            None => "in-memory".to_string(),
+                        };
+                        eprintln!(
+                            "refine state: {provenance}, {} open component(s), \
+                             max discarded mass {:.4}",
+                            info.open_components, info.max_discarded_mass,
+                        );
+                    }
+                }
+            }
             let options = RefineOptions {
                 extra_matchings: extra,
                 min_retained_mass: None,
@@ -572,9 +628,19 @@ fn run(cmd: Command) -> Result<(), String> {
             query,
             threshold,
             min_probability,
+            store,
         } => {
-            let engine = Engine::new();
-            let hdb = load(&engine, "db", &db)?;
+            let engine = match &store {
+                Some(path) => Engine::open(path).map_err(|e| e.to_string())?,
+                None => Engine::new(),
+            };
+            let hdb = match &store {
+                // With a store, DB names a stored document.
+                Some(path) => engine
+                    .handle(&db)
+                    .ok_or_else(|| format!("store {path:?} holds no document named {db:?}"))?,
+                None => load(&engine, "db", &db)?,
+            };
             // --threshold takes the pushdown fast path: the plan prunes
             // sub-threshold candidates before computing probabilities.
             let answers = engine
@@ -648,7 +714,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 .doc()
                 .clone();
             let stats = doc.prune_below(epsilon);
-            let pruned = engine.insert("pruned", doc);
+            let pruned = engine.insert("pruned", doc).map_err(|e| e.to_string())?;
             let text = engine.export(&pruned).map_err(|e| e.to_string())?;
             std::fs::write(&out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
             eprintln!(
@@ -745,6 +811,7 @@ mod tests {
                     min_mass: None,
                     strict: false,
                     threads: None,
+                    store: None,
                 },
             }
         );
@@ -884,6 +951,7 @@ mod tests {
                 query: "//movie/title".into(),
                 threshold: None,
                 min_probability: 0.0,
+                store: None,
             }
         );
     }
@@ -898,9 +966,63 @@ mod tests {
                 query: "//movie/title".into(),
                 threshold: Some(0.5),
                 min_probability: 0.0,
+                store: None,
             }
         );
         assert!(parse(&["query", "db.xml", "q", "--threshold", "high"]).is_err());
+    }
+
+    #[test]
+    fn store_flag_parses_on_integrate_refine_and_query() {
+        match parse(&[
+            "integrate",
+            "--out",
+            "m.xml",
+            "--store",
+            "db.seg",
+            "a.xml",
+            "b.xml",
+        ])
+        .unwrap()
+        {
+            Command::Integrate { engine, .. } => {
+                assert_eq!(engine.store.as_deref(), Some("db.seg"))
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&["refine", "--out", "r.xml", "--store", "db.seg", "a", "b"]).unwrap() {
+            Command::Refine { engine, .. } => assert_eq!(engine.store.as_deref(), Some("db.seg")),
+            other => panic!("{other:?}"),
+        }
+        match parse(&["query", "result", "//movie", "--store", "db.seg"]).unwrap() {
+            Command::Query { db, store, .. } => {
+                assert_eq!(db, "result");
+                assert_eq!(store.as_deref(), Some("db.seg"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["integrate", "--out", "m.xml", "--store"]).is_err());
+    }
+
+    #[test]
+    fn refine_without_sources_requires_a_store() {
+        // Resume mode: with a store attached, no source files are fine.
+        match parse(&["refine", "--out", "r.xml", "--store", "db.seg"]).unwrap() {
+            Command::Refine { sources, .. } => assert!(sources.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        // Without one, refine still needs at least two sources…
+        assert!(parse(&["refine", "--out", "r.xml"])
+            .unwrap_err()
+            .0
+            .contains("at least two"));
+        // …and a single source is always an error, store or not.
+        assert!(
+            parse(&["refine", "--out", "r.xml", "--store", "db.seg", "a"])
+                .unwrap_err()
+                .0
+                .contains("at least two")
+        );
     }
 
     #[test]

@@ -62,9 +62,11 @@ use imprecise_integrate::{
 use imprecise_oracle::Oracle;
 use imprecise_pxml::{parse_annotated, to_annotated_xml, NodeBreakdown, PxDoc};
 use imprecise_query::{parse_query, AnswerStream, Query, QueryPlan, RankedAnswers};
+use imprecise_store::{Durability, Store};
 use imprecise_xmlkit::{parse, to_string, Schema};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Size/uncertainty statistics of one document version.
@@ -80,6 +82,21 @@ pub struct DocStats {
     pub expected_world_size: f64,
     /// True when the document has a single world.
     pub certain: bool,
+}
+
+/// What [`Engine::refine_state`] reports for a refinable version:
+/// the truncation summary plus the state's provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineStateInfo {
+    /// Components whose matching enumeration is still truncated.
+    pub open_components: usize,
+    /// Probability mass discarded by the worst of them.
+    pub max_discarded_mass: f64,
+    /// `Some(version)` when the state was recovered from the durable
+    /// store by [`Engine::open`] (tagged with the recovered version)
+    /// and no in-process publish has replaced it yet; `None` for state
+    /// produced in this process.
+    pub recovered_at: Option<u64>,
 }
 
 /// A typed reference to a document stored in an [`Engine`].
@@ -367,6 +384,13 @@ struct Slot {
     version: u64,
     doc: Arc<PxDoc>,
     refine: Option<Arc<RefineState>>,
+    /// `Some(version)` while the slot's content is exactly what
+    /// [`Engine::open`] recovered from the durable store (tagged with
+    /// the recovered version); cleared by the first in-process publish.
+    /// Surfaced through [`RefineStateInfo::recovered_at`] so callers —
+    /// and `imprecise refine --stats` — can tell resumed state from
+    /// state produced in this process.
+    recovered_at: Option<u64>,
 }
 
 /// The versioned document catalog behind the engine's `RwLock`.
@@ -418,6 +442,7 @@ impl Catalog {
                 slot.version += 1;
                 slot.doc = doc;
                 slot.refine = refine;
+                slot.recovered_at = None;
                 return DocHandle {
                     engine_id: self.engine_id,
                     id,
@@ -435,6 +460,7 @@ impl Catalog {
                 version: 1,
                 doc,
                 refine,
+                recovered_at: None,
             },
         );
         self.by_name.insert(Arc::clone(&name), id);
@@ -443,6 +469,44 @@ impl Catalog {
             id,
             name,
         }
+    }
+
+    /// The version number the *next* publish into `name` will carry —
+    /// what a durable append must record so the store and the catalog
+    /// agree after the in-memory mutation that follows it.
+    fn next_version(&self, name: &str) -> u64 {
+        self.by_name
+            .get(name)
+            .and_then(|id| self.slots.get(id))
+            .map_or(1, |slot| slot.version + 1)
+    }
+
+    /// Install a slot recovered from the durable store: exactly the
+    /// persisted version number (not a fresh `1`), marked
+    /// `recovered_at` so provenance survives until the first in-process
+    /// publish. Recovery runs before the engine is handed out, so the
+    /// name cannot already be taken.
+    fn restore_slot(
+        &mut self,
+        name: &str,
+        version: u64,
+        doc: Arc<PxDoc>,
+        refine: Option<Arc<RefineState>>,
+    ) {
+        let name: Arc<str> = Arc::from(name);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots.insert(
+            id,
+            Slot {
+                name: Arc::clone(&name),
+                version,
+                doc,
+                refine,
+                recovered_at: Some(version),
+            },
+        );
+        self.by_name.insert(name, id);
     }
 
     /// The slot a foreign-checked handle points at, if it is ours.
@@ -471,6 +535,13 @@ struct Shared {
     options: IntegrationOptions,
     feedback_world_cap: usize,
     catalog: RwLock<Catalog>,
+    /// The durable tier, when the engine was built
+    /// [`with_store`](EngineBuilder::with_store). Lock order is
+    /// catalog → store, always: every publish appends to the store
+    /// *while holding the catalog write lock*, immediately before the
+    /// in-memory mutation, so the segment's version order is exactly
+    /// the catalog's publish order.
+    store: Option<Mutex<Store>>,
 }
 
 impl Shared {
@@ -578,8 +649,34 @@ impl EngineBuilder {
         self
     }
 
-    /// Freeze the configuration into an [`Engine`].
+    /// Attach a durable store at `path` (created if absent): every
+    /// publish — integrate, each refine installment, feedback,
+    /// compaction — is appended to the segment file *before* it becomes
+    /// visible in the in-memory catalog, and opening the same path
+    /// later recovers the catalog to the last published versions,
+    /// including open refinement state that resumes bit-for-bit in the
+    /// new process.
+    ///
+    /// Opening a store can fail, so this returns a
+    /// [`DurableEngineBuilder`] whose terminal operation is the
+    /// fallible [`open`](DurableEngineBuilder::open) — the type makes
+    /// "durable engines are opened, not built" a compile-time fact
+    /// rather than a runtime panic.
+    pub fn with_store(self, path: impl AsRef<Path>) -> DurableEngineBuilder {
+        DurableEngineBuilder {
+            inner: self,
+            path: path.as_ref().to_path_buf(),
+            durability: Durability::Always,
+        }
+    }
+
+    /// Freeze the configuration into an [`Engine`]. Infallible: without
+    /// a store there is nothing that can go wrong at construction.
     pub fn build(self) -> Engine {
+        self.into_engine(None)
+    }
+
+    fn into_engine(self, store: Option<Store>) -> Engine {
         Engine {
             shared: Arc::new(Shared {
                 oracle: self.oracle,
@@ -587,8 +684,41 @@ impl EngineBuilder {
                 options: self.options,
                 feedback_world_cap: self.feedback_world_cap,
                 catalog: RwLock::new(Catalog::new()),
+                store: store.map(Mutex::new),
             }),
         }
+    }
+}
+
+/// An [`EngineBuilder`] with a durable store attached; made by
+/// [`EngineBuilder::with_store`].
+#[derive(Debug)]
+pub struct DurableEngineBuilder {
+    inner: EngineBuilder,
+    path: PathBuf,
+    durability: Durability,
+}
+
+impl DurableEngineBuilder {
+    /// When store appends reach stable storage (default
+    /// [`Durability::Always`]: sync on every publish;
+    /// [`Durability::OnClose`] defers to drop).
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Open (or create) the durable store, recover the catalog from it
+    /// — names restored in sorted order, open refinement state
+    /// re-attached so [`Engine::refine`] resumes exactly where the
+    /// previous process stopped — and freeze the configuration into an
+    /// [`Engine`]. Store failures surface as
+    /// [`ImpreciseError::Store`].
+    pub fn open(self) -> Result<Engine, ImpreciseError> {
+        let store = Store::open(&self.path, self.durability)?;
+        let engine = self.inner.into_engine(Some(store));
+        engine.recover_catalog()?;
+        Ok(engine)
     }
 }
 
@@ -632,6 +762,69 @@ impl Engine {
         Self::default()
     }
 
+    /// Open an engine backed by the durable store at `path` (created if
+    /// absent), recovering the catalog to the last published versions —
+    /// including open refinement state, which
+    /// [`refine`](Self::refine) then resumes exactly where the previous
+    /// process stopped. Engine *configuration* (Oracle, schema,
+    /// options) is not persisted: this convenience opens with defaults,
+    /// so sessions that configure any of it should use
+    /// `Engine::builder()…with_store(path).open()` with the same
+    /// configuration every time.
+    pub fn open(path: impl AsRef<Path>) -> Result<Engine, ImpreciseError> {
+        Engine::builder().with_store(path).open()
+    }
+
+    /// Populate the catalog from the attached store (no-op without
+    /// one). Runs before the engine is handed to the caller; names are
+    /// restored in sorted order, so slot ids are deterministic across
+    /// recoveries.
+    fn recover_catalog(&self) -> Result<(), ImpreciseError> {
+        let Some(store) = &self.shared.store else {
+            return Ok(());
+        };
+        let mut store = store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let names: Vec<String> = store.names().map(str::to_string).collect();
+        let mut catalog = self.shared.catalog_write();
+        for name in names {
+            if let Some(rec) = store.load_publish(&name)? {
+                catalog.restore_slot(
+                    &name,
+                    rec.version,
+                    Arc::new(rec.doc),
+                    rec.refine.map(Arc::new),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Durably append one publish *before* the in-memory catalog
+    /// mutation that makes it visible (no-op without a store). Called
+    /// with the catalog write lock held — see [`Shared::store`] for the
+    /// lock order — so an `Err` return means the catalog was **not**
+    /// mutated: the slot still shows the previous version, and the
+    /// at-most-one stray record a failed append may have left behind is
+    /// superseded by the next successful publish of the same version
+    /// number (recovery keeps the last record per name).
+    fn persist(
+        &self,
+        name: &str,
+        version: u64,
+        doc: &PxDoc,
+        refine: Option<&RefineState>,
+    ) -> Result<(), ImpreciseError> {
+        if let Some(store) = &self.shared.store {
+            let mut store = store
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            store.append_publish(name, version, doc, refine)?;
+        }
+        Ok(())
+    }
+
     /// The configured Oracle.
     pub fn oracle(&self) -> &Oracle {
         &self.shared.oracle
@@ -671,20 +864,34 @@ impl Engine {
     pub fn load_xml(&self, name: &str, text: &str) -> Result<DocHandle, ImpreciseError> {
         let doc = parse(text)?;
         let px = parse_annotated(&doc)?;
-        Ok(self.insert(name, px))
+        self.publish_arc(name, Arc::new(px))
     }
 
     /// Publish an already-built probabilistic document under `name`.
-    pub fn insert(&self, name: &str, doc: PxDoc) -> DocHandle {
+    /// Re-using a name publishes a new version into the same slot.
+    ///
+    /// With a durable store attached the append happens before the
+    /// document becomes visible, and a failed append surfaces as
+    /// [`ImpreciseError::Store`]; store-less engines cannot fail here.
+    pub fn insert(&self, name: &str, doc: PxDoc) -> Result<DocHandle, ImpreciseError> {
         self.insert_arc(name, Arc::new(doc))
     }
 
     /// Publish an already-shared probabilistic document under `name`
     /// without copying it (e.g. one taken from another engine's
-    /// [`DocSnapshot::doc_arc`]).
-    pub fn insert_arc(&self, name: &str, doc: Arc<PxDoc>) -> DocHandle {
+    /// [`DocSnapshot::doc_arc`]). Fallible like
+    /// [`insert`](Self::insert).
+    pub fn insert_arc(&self, name: &str, doc: Arc<PxDoc>) -> Result<DocHandle, ImpreciseError> {
+        self.publish_arc(name, doc)
+    }
+
+    /// Durable-then-visible publish of a source document: append to the
+    /// store (when attached) under the catalog write lock, then install
+    /// in the in-memory catalog.
+    fn publish_arc(&self, name: &str, doc: Arc<PxDoc>) -> Result<DocHandle, ImpreciseError> {
         let mut catalog = self.shared.catalog_write();
-        catalog.publish(name, doc, None)
+        self.persist(name, catalog.next_version(name), &doc, None)?;
+        Ok(catalog.publish(name, doc, None))
     }
 
     /// Pin the current version of a document for reading.
@@ -735,7 +942,7 @@ impl Engine {
                     || (out_id == b.id && catalog.slots[&b.id].version != db.version())
             });
             if !stale {
-                return Ok(Self::publish_outcome(&mut catalog, out, result));
+                return self.publish_outcome(&mut catalog, out, result);
             }
             // An input we are republishing moved; retry on its new version.
         }
@@ -749,20 +956,24 @@ impl Engine {
         };
         let (da, db) = (slot(a)?, slot(b)?);
         let result = self.integrate_docs(&da, &db)?;
-        Ok(Self::publish_outcome(&mut catalog, out, result))
+        self.publish_outcome(&mut catalog, out, result)
     }
 
     /// Publish an integration outcome: the document and — for truncated
-    /// runs — the refinable state, versioned together.
+    /// runs — the refinable state, versioned together, durably appended
+    /// to the store (when attached) before becoming visible.
     fn publish_outcome(
+        &self,
         catalog: &mut Catalog,
         out: &str,
         mut outcome: IntegrationOutcome,
-    ) -> (DocHandle, IntegrationStats) {
+    ) -> Result<(DocHandle, IntegrationStats), ImpreciseError> {
         let state = outcome.detach_refine_state();
         let stats = outcome.stats;
-        let handle = catalog.publish(out, Arc::new(outcome.doc), state.map(Arc::new));
-        (handle, stats)
+        let doc = Arc::new(outcome.doc);
+        self.persist(out, catalog.next_version(out), &doc, state.as_ref())?;
+        let handle = catalog.publish(out, doc, state.map(Arc::new));
+        Ok((handle, stats))
     }
 
     /// Integrate any number of source documents by left-fold
@@ -805,7 +1016,7 @@ impl Engine {
                     .any(|(h, s)| out_id == h.id && catalog.slots[&h.id].version != s.version())
             });
             if !stale {
-                let (handle, _) = Self::publish_outcome(&mut catalog, out, result.outcome);
+                let (handle, _) = self.publish_outcome(&mut catalog, out, result.outcome)?;
                 return Ok((handle, result.steps));
             }
             // An input we are republishing moved; retry on its new version.
@@ -828,7 +1039,7 @@ impl Engine {
             shared.schema.as_ref(),
             &shared.options,
         )?;
-        let (handle, _) = Self::publish_outcome(&mut catalog, out, result.outcome);
+        let (handle, _) = self.publish_outcome(&mut catalog, out, result.outcome)?;
         Ok((handle, result.steps))
     }
 
@@ -855,7 +1066,7 @@ impl Engine {
             .ok_or(ImpreciseError::Integrate(IntegrateError::NoSources))?;
         let seed = self.snapshot(first)?;
         seed.doc().validate().map_err(IntegrateError::from)?;
-        let mut handle = self.insert_arc(out, seed.doc_arc());
+        let mut handle = self.publish_arc(out, seed.doc_arc())?;
         let mut steps = Vec::with_capacity(rest.len());
         for source in rest {
             let (next, stats) = self.integrate(&handle, source, out)?;
@@ -904,9 +1115,12 @@ impl Engine {
             let mut catalog = shared.catalog_write();
             let slot = catalog.slot_mut_of(handle)?;
             if slot.version == version {
+                let refined_doc = Arc::new(refined_doc);
+                self.persist(&slot.name, version + 1, &refined_doc, next_state.as_ref())?;
                 slot.version += 1;
-                slot.doc = Arc::new(refined_doc);
+                slot.doc = refined_doc;
                 slot.refine = next_state.map(Arc::new);
+                slot.recovered_at = None;
                 return Ok(step);
             }
             // A writer raced us; retry against the published version.
@@ -919,9 +1133,17 @@ impl Engine {
         };
         let doc = Arc::clone(&slot.doc);
         let (refined_doc, next_state, step) = self.refine_version(&doc, &state, options)?;
+        let refined_doc = Arc::new(refined_doc);
+        self.persist(
+            &slot.name,
+            slot.version + 1,
+            &refined_doc,
+            next_state.as_ref(),
+        )?;
         slot.version += 1;
-        slot.doc = Arc::new(refined_doc);
+        slot.doc = refined_doc;
         slot.refine = next_state.map(Arc::new);
+        slot.recovered_at = None;
         Ok(step)
     }
 
@@ -979,18 +1201,23 @@ impl Engine {
     }
 
     /// The refinable state of the document's current version, if any:
-    /// how many components are still truncated and how much mass the
-    /// worst of them discarded. `None` means the version is exact (or
-    /// not refinable).
-    pub fn refine_state(&self, handle: &DocHandle) -> Result<Option<(usize, f64)>, ImpreciseError> {
+    /// how many components are still truncated, how much mass the worst
+    /// of them discarded, and whether the state was produced in this
+    /// process or recovered from the durable store. `None` means the
+    /// version is exact (or not refinable).
+    pub fn refine_state(
+        &self,
+        handle: &DocHandle,
+    ) -> Result<Option<RefineStateInfo>, ImpreciseError> {
         let catalog = self.shared.catalog_read();
         let slot = catalog
             .slot_of(handle)
             .ok_or_else(|| ImpreciseError::NoSuchDocument(handle.name.to_string()))?;
-        Ok(slot
-            .refine
-            .as_ref()
-            .map(|s| (s.open_components(), s.max_discarded_mass())))
+        Ok(slot.refine.as_ref().map(|s| RefineStateInfo {
+            open_components: s.open_components(),
+            max_discarded_mass: s.max_discarded_mass(),
+            recovered_at: slot.recovered_at,
+        }))
     }
 
     /// Run the deep invariant verifier against the current version of a
@@ -1131,12 +1358,15 @@ impl Engine {
             let mut catalog = self.shared.catalog_write();
             let slot = catalog.slot_mut_of(handle)?;
             if slot.version == snapshot.version() {
+                let conditioned = Arc::new(conditioned);
+                self.persist(&slot.name, slot.version + 1, &conditioned, None)?;
                 slot.version += 1;
-                slot.doc = Arc::new(conditioned);
+                slot.doc = conditioned;
                 // Conditioning rebuilds the document: any persisted
                 // integration frontiers point into the old arena and are
                 // finalized here.
                 slot.refine = None;
+                slot.recovered_at = None;
                 return Ok(report);
             }
             // A writer raced us; retry against the published version.
@@ -1145,9 +1375,12 @@ impl Engine {
         let mut catalog = self.shared.catalog_write();
         let slot = catalog.slot_mut_of(handle)?;
         let (conditioned, report) = condition(&slot.doc)?;
+        let conditioned = Arc::new(conditioned);
+        self.persist(&slot.name, slot.version + 1, &conditioned, None)?;
         slot.version += 1;
-        slot.doc = Arc::new(conditioned);
+        slot.doc = conditioned;
         slot.refine = None;
+        slot.recovered_at = None;
         Ok(report)
     }
 
@@ -1484,15 +1717,16 @@ mod tests {
         let (engine, a, b) = confusable_engine(8);
         let (db, stats) = engine.integrate(&a, &b, "db").unwrap();
         assert_eq!(stats.components_truncated(), 1);
-        let (open, worst) = engine.refine_state(&db).unwrap().expect("truncated");
-        assert_eq!(open, 1);
-        assert!(worst > 0.0);
+        let info = engine.refine_state(&db).unwrap().expect("truncated");
+        assert_eq!(info.open_components, 1);
+        assert!(info.max_discarded_mass > 0.0);
+        assert_eq!(info.recovered_at, None, "state was produced in-process");
         let before = engine.snapshot(&db).unwrap();
         assert_ne!(before.doc().fingerprint(), truth);
 
         // Staged refinement: every step publishes a new version with a
         // smaller worst-case discarded mass, until the doc is exact.
-        let mut last_mass = worst;
+        let mut last_mass = info.max_discarded_mass;
         let mut rounds = 0;
         loop {
             let step = engine
@@ -1558,6 +1792,144 @@ mod tests {
         assert_eq!(engine.refine_state(&db).unwrap(), None);
         let step = engine.refine(&db, &RefineOptions::default()).unwrap();
         assert!(step.refined.is_empty());
+    }
+
+    /// A unique scratch segment path under the system temp dir,
+    /// removed on drop.
+    struct ScratchStore(std::path::PathBuf);
+
+    impl ScratchStore {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            static COUNTER: AtomicUsize = AtomicUsize::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!(
+                "imprecise-engine-{tag}-{}-{n}.seg",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            ScratchStore(path)
+        }
+    }
+
+    impl Drop for ScratchStore {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    /// The confusable-workload configuration of
+    /// [`confusable_engine_n`], as a builder (so tests can bolt a
+    /// durable store on before opening).
+    fn confusable_builder(n: usize, budget: usize) -> EngineBuilder {
+        use imprecise_oracle::presets::{movie_oracle, MovieOracleConfig};
+        let scenario = imprecise_datagen::scenarios::confusable(n);
+        Engine::builder()
+            .oracle(movie_oracle(MovieOracleConfig {
+                title_rule: false,
+                ..MovieOracleConfig::default()
+            }))
+            .schema(scenario.schema)
+            .options(IntegrationOptions {
+                max_matchings_per_component: budget,
+                ..IntegrationOptions::default()
+            })
+    }
+
+    #[test]
+    fn store_backed_engine_recovers_catalog_with_provenance() {
+        let scratch = ScratchStore::new("recover");
+        let scenario = imprecise_datagen::scenarios::confusable(5);
+        let (truth, budgeted_fp) = {
+            let store_engine = confusable_builder(5, 8)
+                .with_store(&scratch.0)
+                .open()
+                .unwrap();
+            let sa = store_engine
+                .load_xml("a", &imprecise_xmlkit::to_string(&scenario.mpeg7))
+                .unwrap();
+            let sb = store_engine
+                .load_xml("b", &imprecise_xmlkit::to_string(&scenario.imdb))
+                .unwrap();
+            let (db, stats) = store_engine.integrate(&sa, &sb, "db").unwrap();
+            assert_eq!(stats.components_truncated(), 1);
+            let budgeted_fp = store_engine.snapshot(&db).unwrap().doc().fingerprint();
+
+            // Ground truth: the exhaustive result of the same workload.
+            let (exact_engine, xa, xb) = confusable_engine(usize::MAX);
+            let (exact, _) = exact_engine.integrate(&xa, &xb, "db").unwrap();
+            (
+                exact_engine.snapshot(&exact).unwrap().doc().fingerprint(),
+                budgeted_fp,
+            )
+        }; // both engines dropped: "the process died"
+
+        let recovered = confusable_builder(5, 8)
+            .with_store(&scratch.0)
+            .open()
+            .unwrap();
+        assert_eq!(recovered.document_names(), vec!["a", "b", "db"]);
+        let db = recovered.handle("db").unwrap();
+        let snapshot = recovered.snapshot(&db).unwrap();
+        assert_eq!(snapshot.version(), 1);
+        assert_eq!(snapshot.doc().fingerprint(), budgeted_fp);
+        // Provenance: the state is flagged as recovered until the first
+        // in-process publish replaces it.
+        let info = recovered.refine_state(&db).unwrap().expect("still open");
+        assert_eq!(info.recovered_at, Some(1));
+        let step = recovered
+            .refine(&db, &RefineOptions::to_exhaustive())
+            .unwrap();
+        assert_eq!(step.remaining, 0);
+        assert_eq!(recovered.refine_state(&db).unwrap(), None);
+        // Cross-process resume converges to the one-shot exhaustive doc.
+        assert_eq!(
+            recovered.snapshot(&db).unwrap().doc().fingerprint(),
+            truth,
+            "recovered refine state must resume bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn store_survives_feedback_and_reopen() {
+        let scratch = ScratchStore::new("feedback");
+        {
+            let engine = Engine::builder()
+                .oracle(addressbook_oracle())
+                .schema_text(
+                    "<!ELEMENT addressbook (person*)><!ELEMENT person (nm, tel?)>\
+                     <!ELEMENT nm (#PCDATA)><!ELEMENT tel (#PCDATA)>",
+                )
+                .unwrap()
+                .with_store(&scratch.0)
+                .open()
+                .unwrap();
+            let sa = engine
+                .load_xml(
+                    "a",
+                    "<addressbook><person><nm>John</nm><tel>1111</tel></person></addressbook>",
+                )
+                .unwrap();
+            let sb = engine
+                .load_xml(
+                    "b",
+                    "<addressbook><person><nm>John</nm><tel>2222</tel></person></addressbook>",
+                )
+                .unwrap();
+            let (merged, _) = engine.integrate(&sa, &sb, "merged").unwrap();
+            let tel = engine.prepare("//person/tel").unwrap();
+            engine.feedback(&merged, &tel, "2222", false).unwrap();
+            assert!(engine.stats(&merged).unwrap().certain);
+        }
+        let engine = Engine::open(&scratch.0).unwrap();
+        let merged = engine.handle("merged").unwrap();
+        // v1 integrate + v2 feedback both reached the segment; the
+        // reopened slot shows the conditioned version.
+        assert_eq!(engine.snapshot(&merged).unwrap().version(), 2);
+        assert!(engine.stats(&merged).unwrap().certain);
+        let tel = engine.prepare("//person/tel").unwrap();
+        let answers = tel.run(&engine.snapshot(&merged).unwrap()).unwrap();
+        assert!((answers.probability_of("1111") - 1.0).abs() < 1e-9);
     }
 
     #[test]

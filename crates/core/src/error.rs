@@ -10,6 +10,7 @@ use imprecise_feedback::FeedbackError;
 use imprecise_integrate::{IntegrateError, InvariantViolation};
 use imprecise_oracle::DslError;
 use imprecise_query::{EvalError, QueryParseError};
+use imprecise_store::StoreError;
 use imprecise_xmlkit::XmlError;
 use std::fmt;
 
@@ -48,6 +49,9 @@ pub enum ImpreciseError {
     /// invariant verifier — see `Engine::check_invariants` and the
     /// `strict-invariants` feature.
     Invariant(InvariantViolation),
+    /// The durable store could not be opened, read, or appended to —
+    /// see `EngineBuilder::with_store` and `Engine::open`.
+    Store(StoreError),
 }
 
 // Display deliberately embeds the wrapped error's message even though
@@ -67,6 +71,7 @@ impl fmt::Display for ImpreciseError {
             ImpreciseError::Feedback(e) => write!(f, "feedback error: {e}"),
             ImpreciseError::Rules(e) => write!(f, "{e}"),
             ImpreciseError::Invariant(e) => write!(f, "invariant violation: {e}"),
+            ImpreciseError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -82,6 +87,7 @@ impl std::error::Error for ImpreciseError {
             ImpreciseError::Feedback(e) => Some(e),
             ImpreciseError::Rules(e) => Some(e),
             ImpreciseError::Invariant(e) => Some(e),
+            ImpreciseError::Store(e) => Some(e),
         }
     }
 }
@@ -119,6 +125,11 @@ impl From<DslError> for ImpreciseError {
 impl From<InvariantViolation> for ImpreciseError {
     fn from(e: InvariantViolation) -> Self {
         ImpreciseError::Invariant(e)
+    }
+}
+impl From<StoreError> for ImpreciseError {
+    fn from(e: StoreError) -> Self {
+        ImpreciseError::Store(e)
     }
 }
 

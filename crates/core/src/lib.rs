@@ -19,6 +19,7 @@
 //! | Query engine (XPath subset, exact ranking) | [`query`] |
 //! | Answer-quality measures (precision/recall) | [`quality`] |
 //! | User feedback (world conditioning) | [`feedback`] |
+//! | Durable versioned store (crash-safe catalog persistence) | [`store`] |
 //! | Synthetic IMDB/MPEG-7 corpora & experiment workloads | [`datagen`] |
 //!
 //! The [`Engine`] type ties the layers together in the shape of the
@@ -71,10 +72,15 @@ pub use imprecise_pxml as pxml;
 pub use imprecise_quality as quality;
 pub use imprecise_query as query;
 pub use imprecise_sim as sim;
+pub use imprecise_store as store;
 pub use imprecise_xmlkit as xml;
 
 pub mod engine;
 pub mod error;
 
-pub use engine::{DocHandle, DocSnapshot, DocStats, Engine, EngineBuilder, PreparedQuery};
+pub use engine::{
+    DocHandle, DocSnapshot, DocStats, DurableEngineBuilder, Engine, EngineBuilder, PreparedQuery,
+    RefineStateInfo,
+};
 pub use error::ImpreciseError;
+pub use imprecise_store::{Durability, StoreError};

@@ -94,6 +94,7 @@
 //! assert_eq!(result.doc.world_count(), 3);
 //! ```
 
+pub mod codec;
 pub mod combos;
 pub mod matching;
 mod merge;
@@ -1066,6 +1067,14 @@ impl RefineState {
             .iter()
             .map(|f| f.discarded_mass())
             .fold(0.0, f64::max)
+    }
+
+    /// The two source documents this state was captured against, in
+    /// integration order. A durable store persists them separately
+    /// (deduplicated — many catalog entries share a source) and hands
+    /// them back to [`codec::decode_refine_state`] on recovery.
+    pub fn sources(&self) -> (&Arc<PxDoc>, &Arc<PxDoc>) {
+        (&self.sources.0, &self.sources.1)
     }
 }
 

@@ -635,6 +635,162 @@ impl ComponentFrontier {
     pub fn is_synthetic(&self) -> bool {
         self.synthetic
     }
+
+    /// True when this frontier's recorded content digest matches
+    /// `component` — the same check [`FrontierEnumerator::restore`]
+    /// enforces, exposed so a decoded frontier can be validated against
+    /// its decoded component before any enumeration is attempted.
+    pub(crate) fn matches_component(&self, component: &Component) -> bool {
+        self.digest == component_digest(&component.forced, &live_candidates(component))
+    }
+
+    /// Serialise the frontier for the durable store (appends to `out`).
+    ///
+    /// Open states are already held in descending pop order (the
+    /// deterministic external form produced by `make_frontier`), so the
+    /// encoding is a pure function of the frontier's logical content.
+    /// `taken` prefix vectors are heavily shared between open states
+    /// (children extend their parent's `Arc`); they are written once
+    /// into a content-deduplicated pool, in first-reference order, and
+    /// each state stores a pool index — the decoder re-shares them.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        use imprecise_pxml::codec::{put_f64, put_len, put_u64, put_u8};
+        let mut pool: Vec<&Arc<[(usize, usize)]>> = Vec::new();
+        let mut by_content: std::collections::HashMap<&[(usize, usize)], usize> =
+            std::collections::HashMap::new();
+        let mut node_prefix: Vec<usize> = Vec::with_capacity(self.open.len());
+        for node in &self.open {
+            let idx = *by_content.entry(&node.taken[..]).or_insert_with(|| {
+                pool.push(&node.taken);
+                pool.len() - 1
+            });
+            node_prefix.push(idx);
+        }
+        put_len(out, pool.len());
+        for prefix in &pool {
+            put_len(out, prefix.len());
+            for &(a, b) in prefix.iter() {
+                put_len(out, a);
+                put_len(out, b);
+            }
+        }
+        put_len(out, self.open.len());
+        for (node, &prefix) in self.open.iter().zip(&node_prefix) {
+            put_len(out, node.idx);
+            put_f64(out, node.weight);
+            put_f64(out, node.bound);
+            put_u64(out, node.seq);
+            put_len(out, prefix);
+        }
+        put_u64(out, self.next_seq);
+        put_len(out, self.yielded.len());
+        for m in &self.yielded {
+            encode_matching(m, out);
+        }
+        put_f64(out, self.retained);
+        put_u8(out, u8::from(self.synthetic));
+        put_u64(out, self.digest);
+        put_len(out, self.live_pairs);
+        put_f64(out, self.retained_mass);
+        put_f64(out, self.discarded_mass);
+    }
+
+    /// Decode a frontier written by [`encode`](Self::encode).
+    ///
+    /// Restores the `Arc` sharing of `taken` prefixes through the pool.
+    /// The recorded component digest is carried through verbatim; the
+    /// caller must still check the frontier against its component (see
+    /// [`matches_component`](Self::matches_component) and
+    /// [`FrontierEnumerator::restore`]).
+    pub(crate) fn decode(
+        r: &mut imprecise_pxml::codec::Reader<'_>,
+    ) -> Result<Self, imprecise_pxml::codec::CodecError> {
+        let n_pool = r.take_len("taken-prefix pool size")?;
+        let mut pool: Vec<Arc<[(usize, usize)]>> = Vec::with_capacity(n_pool.min(1 << 20));
+        for _ in 0..n_pool {
+            let n = r.take_len("taken-prefix length")?;
+            let mut prefix = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let a = r.take_len("taken pair a")?;
+                let b = r.take_len("taken pair b")?;
+                prefix.push((a, b));
+            }
+            pool.push(prefix.into());
+        }
+        let n_open = r.take_len("open state count")?;
+        let mut open = Vec::with_capacity(n_open.min(1 << 20));
+        for _ in 0..n_open {
+            let idx = r.take_len("open state idx")?;
+            let weight = r.take_f64("open state weight")?;
+            let bound = r.take_f64("open state bound")?;
+            let seq = r.take_u64("open state seq")?;
+            let prefix = r.take_len("open state prefix index")?;
+            let taken = pool
+                .get(prefix)
+                .cloned()
+                .ok_or_else(|| r.err("prefix index within pool"))?;
+            open.push(FrontierNode {
+                idx,
+                weight,
+                taken,
+                bound,
+                seq,
+            });
+        }
+        let next_seq = r.take_u64("next_seq")?;
+        let n_yielded = r.take_len("yielded count")?;
+        let mut yielded = Vec::with_capacity(n_yielded.min(1 << 20));
+        for _ in 0..n_yielded {
+            yielded.push(decode_matching(r)?);
+        }
+        let retained = r.take_f64("retained")?;
+        let synthetic = match r.take_u8("synthetic flag")? {
+            0 => false,
+            1 => true,
+            _ => return Err(r.err("synthetic flag")),
+        };
+        let digest = r.take_u64("component digest")?;
+        let live_pairs = r.take_len("live pair count")?;
+        let retained_mass = r.take_f64("retained mass")?;
+        let discarded_mass = r.take_f64("discarded mass")?;
+        Ok(ComponentFrontier {
+            open,
+            next_seq,
+            yielded,
+            retained,
+            synthetic,
+            digest,
+            live_pairs,
+            retained_mass,
+            discarded_mass,
+        })
+    }
+}
+
+/// Serialise one matching (pairs + bit-exact weight). Appends to `out`.
+pub(crate) fn encode_matching(m: &Matching, out: &mut Vec<u8>) {
+    use imprecise_pxml::codec::{put_f64, put_len};
+    put_len(out, m.pairs.len());
+    for &(a, b) in &m.pairs {
+        put_len(out, a);
+        put_len(out, b);
+    }
+    put_f64(out, m.weight);
+}
+
+/// Decode a matching written by [`encode_matching`].
+pub(crate) fn decode_matching(
+    r: &mut imprecise_pxml::codec::Reader<'_>,
+) -> Result<Matching, imprecise_pxml::codec::CodecError> {
+    let n = r.take_len("matching pair count")?;
+    let mut pairs = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let a = r.take_len("matching pair a")?;
+        let b = r.take_len("matching pair b")?;
+        pairs.push((a, b));
+    }
+    let weight = r.take_f64("matching weight")?;
+    Ok(Matching { pairs, weight })
 }
 
 /// FNV-1a digest of a component's matching-relevant content: forced

@@ -138,6 +138,77 @@ pub struct DocFrontier {
 }
 
 impl DocFrontier {
+    /// Serialise this truncation site for the durable store (appends to
+    /// `out`). Node ids are written raw: the store persists the output
+    /// document and both sources alongside the frontier, so the ids
+    /// stay valid across the round-trip.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        use imprecise_pxml::codec::{put_len, put_node_id, put_str};
+        put_str(out, &self.path);
+        put_node_id(out, self.prob);
+        put_len(out, self.ga.len());
+        for &id in &self.ga {
+            put_node_id(out, id);
+        }
+        put_len(out, self.gb.len());
+        for &id in &self.gb {
+            put_node_id(out, id);
+        }
+        crate::codec::encode_component(&self.component, out);
+        self.frontier.encode(out);
+    }
+
+    /// Decode a truncation site written by [`encode`](Self::encode),
+    /// validating every node id against the arenas it points into
+    /// (`doc_len` for the output document, `a_len`/`b_len` for the
+    /// sources) and the frontier's content digest against the decoded
+    /// component — corrupted or mismatched state is a typed error, never
+    /// a latent out-of-bounds id.
+    pub(crate) fn decode(
+        r: &mut imprecise_pxml::codec::Reader<'_>,
+        doc_len: usize,
+        a_len: usize,
+        b_len: usize,
+    ) -> Result<Self, imprecise_pxml::codec::CodecError> {
+        use imprecise_pxml::codec::take_node_id;
+        let path = r.take_str("frontier path")?;
+        let prob = take_node_id(r, "frontier prob node")?;
+        if prob.index() >= doc_len {
+            return Err(r.err("prob node within output arena"));
+        }
+        let n_ga = r.take_len("group-a size")?;
+        let mut ga = Vec::with_capacity(n_ga.min(1 << 20));
+        for _ in 0..n_ga {
+            let id = take_node_id(r, "group-a node")?;
+            if id.index() >= a_len {
+                return Err(r.err("group-a node within source arena"));
+            }
+            ga.push(id);
+        }
+        let n_gb = r.take_len("group-b size")?;
+        let mut gb = Vec::with_capacity(n_gb.min(1 << 20));
+        for _ in 0..n_gb {
+            let id = take_node_id(r, "group-b node")?;
+            if id.index() >= b_len {
+                return Err(r.err("group-b node within source arena"));
+            }
+            gb.push(id);
+        }
+        let component = crate::codec::decode_component(r)?;
+        let frontier = ComponentFrontier::decode(r)?;
+        if !frontier.matches_component(&component) {
+            return Err(r.err("frontier digest matching its component"));
+        }
+        Ok(DocFrontier {
+            path,
+            prob,
+            ga,
+            gb,
+            component,
+            frontier,
+        })
+    }
+
     pub(crate) fn new(
         path: String,
         prob: PxNodeId,

@@ -15,8 +15,9 @@
 //!   — on-demand checks, also surfaced as `Engine::check_invariants`.
 //! * The `strict-invariants` cargo feature — shadow-checks every
 //!   publish (integrate, refine, feedback, compact) by calling
-//!   [`shadow_check`] at the end of each mutation, turning a silent
-//!   corruption into an immediate, located panic.
+//!   `shadow_check` (compiled only under the feature) at the end of
+//!   each mutation, turning a silent corruption into an immediate,
+//!   located panic.
 
 use crate::matching::FrontierEnumerator;
 use crate::pipeline::DocFrontier;

@@ -69,6 +69,7 @@
 //! assert_eq!(px.world_count(), 3); // the paper's three possible worlds
 //! ```
 
+pub mod codec;
 pub mod convert;
 pub mod count;
 pub mod deep;

@@ -43,10 +43,10 @@ impl PxNodeKind {
 }
 
 #[derive(Debug, Clone)]
-struct PxNodeData {
-    kind: PxNodeKind,
-    parent: Option<PxNodeId>,
-    children: Vec<PxNodeId>,
+pub(crate) struct PxNodeData {
+    pub(crate) kind: PxNodeKind,
+    pub(crate) parent: Option<PxNodeId>,
+    pub(crate) children: Vec<PxNodeId>,
 }
 
 /// A probabilistic XML document.
@@ -60,8 +60,8 @@ struct PxNodeData {
 /// [`PxDoc::compact`] reclaims detached slots when they accumulate.
 #[derive(Debug, Clone)]
 pub struct PxDoc {
-    nodes: Vec<PxNodeData>,
-    root: PxNodeId,
+    pub(crate) nodes: Vec<PxNodeData>,
+    pub(crate) root: PxNodeId,
 }
 
 /// Arena occupancy of a [`PxDoc`]: how many slots are reachable from the

@@ -1,0 +1,442 @@
+//! # imprecise-store — the durable versioned catalog store
+//!
+//! IMPrECISE's good-is-good-enough model (ROADMAP item 2) only pays off
+//! if a half-finished, budgeted integration is never thrown away. This
+//! crate is the persistence tier that guarantees it: a tiered storage
+//! layer — the in-memory catalog in `imprecise` (core) in front, this
+//! durable backend behind — whose durable form is one **append-only
+//! segment file**. Every publish of a document version (an integrate, a
+//! refine installment, a feedback application, a compaction) becomes
+//! one appended record; recovery is a scan to the last valid record.
+//!
+//! ## What a publish record carries
+//!
+//! * the document **name** and **version**,
+//! * the [`PxDoc`] arena, bit-exactly (see [`imprecise_pxml::codec`]) —
+//!   `save → load → fingerprint` is bitwise-identical,
+//! * the open [`RefineState`], if the version is still refinable, so a
+//!   fresh process resumes enumeration exactly where this one stopped.
+//!
+//! A refine state points into its two *source* documents. Sources are
+//! persisted once as content-addressed **blob records** (FNV-1a over
+//! the encoded arena) and referenced by offset from every publish that
+//! needs them: the blobs for a publish are always appended *before* the
+//! publish record itself, so the references point backward into the
+//! already-valid prefix and a torn tail can never orphan a publish.
+//!
+//! ## Crash safety
+//!
+//! See [`segment`](self) module docs for the frame format. The policy:
+//! an interrupted append leaves a torn tail that [`Store::open`]
+//! detects (incomplete frame or payload past EOF) and cleanly ignores —
+//! the store reopens at the last fully-written version. Bytes that were
+//! fully written but no longer match their checksum are *corruption*,
+//! reported as [`StoreError::CorruptRecord`]; recovery never panics.
+//!
+//! The [`Durability`] knob picks when appends reach stable storage:
+//! [`Durability::Always`] issues `fdatasync` on every publish (the
+//! honest default the engine uses), [`Durability::OnClose`] defers to
+//! [`Store::sync`]/drop for bulk loads.
+
+mod segment;
+
+use imprecise_integrate::codec::{decode_refine_state, encode_refine_state};
+use imprecise_integrate::RefineState;
+use imprecise_pxml::codec::{
+    decode_doc, encode_doc, fnv1a, put_str, put_u64, put_u8, CodecError, Reader,
+};
+use imprecise_pxml::PxDoc;
+use segment::Segment;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Payload tag of a catalog publish record.
+const KIND_PUBLISH: u8 = 1;
+/// Payload tag of a content-addressed source-document blob.
+const KIND_BLOB: u8 = 2;
+
+/// When appended records reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// `fdatasync` after every publish: a publish that returned `Ok`
+    /// survives any crash. The engine's default.
+    Always,
+    /// Sync only on [`Store::sync`] and on drop: a crash may lose the
+    /// unsynced suffix (but never tears what an earlier sync covered).
+    OnClose,
+}
+
+/// A typed store failure. Recovery and appends never panic; every
+/// failure mode — I/O, foreign or future file formats, corruption,
+/// malformed encodings — surfaces here.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io(std::io::Error),
+    /// The file exists but does not begin with the segment magic.
+    BadHeader,
+    /// The file is a segment of a format generation this build does not
+    /// read.
+    UnsupportedVersion(u32),
+    /// A fully-written record's bytes no longer match its checksum (or
+    /// its structure is impossible): the file was damaged after the
+    /// fact. Distinct from a torn tail, which is recovered silently.
+    CorruptRecord {
+        /// Offset of the offending record's frame from file start.
+        offset: u64,
+        /// What was wrong with it.
+        detail: &'static str,
+    },
+    /// A single record would exceed the frame format's 4 GiB payload
+    /// bound.
+    RecordTooLarge {
+        /// The attempted payload size.
+        len: usize,
+    },
+    /// A checksum-valid record failed to decode — damage that happens
+    /// to preserve the checksum, or a logic error upstream.
+    Codec(CodecError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadHeader => write!(f, "not an imprecise segment file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported segment format version {v}")
+            }
+            StoreError::CorruptRecord { offset, detail } => {
+                write!(f, "corrupt record at offset {offset}: {detail}")
+            }
+            StoreError::RecordTooLarge { len } => {
+                write!(
+                    f,
+                    "record payload of {len} bytes exceeds the frame format limit"
+                )
+            }
+            StoreError::Codec(e) => write!(f, "undecodable record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// One recovered catalog entry: the last published version of a name.
+#[derive(Debug)]
+pub struct RecoveredDoc {
+    /// The version number the publish recorded.
+    pub version: u64,
+    /// The document, bit-identical to the one that was saved.
+    pub doc: PxDoc,
+    /// The open refinement state, re-attached to its (deduplicated)
+    /// source documents — `None` when the version was exact.
+    pub refine: Option<RefineState>,
+}
+
+/// Index entry: where a name's latest publish record lives.
+#[derive(Debug, Clone, Copy)]
+struct PublishEntry {
+    version: u64,
+    offset: u64,
+}
+
+/// The durable tier: an open segment file plus the in-memory offset
+/// index rebuilt from it.
+///
+/// All methods take `&mut self`; the engine serialises access behind
+/// its catalog lock (publishes must hit the store in catalog order
+/// anyway, so finer-grained locking would buy nothing).
+pub struct Store {
+    seg: Segment,
+    path: PathBuf,
+    durability: Durability,
+    /// name → latest publish. `BTreeMap` so [`Store::names`] (and thus
+    /// recovery order) is deterministic.
+    index: BTreeMap<String, PublishEntry>,
+    /// content hash → offset of the blob record holding those bytes.
+    /// Lookup only — never iterated — so ordering is irrelevant.
+    blobs: HashMap<u64, u64>,
+    /// content hash → already-decoded source document, so entries that
+    /// share a source share one `Arc` after recovery, like they did
+    /// before the restart. Lookup only.
+    decoded: HashMap<u64, Arc<PxDoc>>,
+    /// True when records were appended since the last sync.
+    dirty: bool,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("path", &self.path)
+            .field("durability", &self.durability)
+            .field("names", &self.index.len())
+            .field("blobs", &self.blobs.len())
+            .finish()
+    }
+}
+
+impl Store {
+    /// Open (or create) the store at `path`, scanning the segment to
+    /// the last valid record and rebuilding the offset index. A torn
+    /// final record — the signature of a crash mid-append — is cleanly
+    /// ignored; the store reopens at the last fully-written version.
+    pub fn open(path: impl AsRef<Path>, durability: Durability) -> Result<Store, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let (seg, records) = Segment::open(&path)?;
+        let mut index = BTreeMap::new();
+        let mut blobs = HashMap::new();
+        for rec in records {
+            let mut r = Reader::new(&rec.payload);
+            match r.take_u8("record kind")? {
+                KIND_PUBLISH => {
+                    let name = r.take_str("document name")?;
+                    let version = r.take_u64("document version")?;
+                    // The rest of the payload (arena, refine state) is
+                    // decoded lazily by `load_publish`.
+                    index.insert(
+                        name,
+                        PublishEntry {
+                            version,
+                            offset: rec.offset,
+                        },
+                    );
+                }
+                KIND_BLOB => {
+                    let hash = r.take_u64("blob content hash")?;
+                    blobs.insert(hash, rec.offset);
+                }
+                _ => {
+                    return Err(StoreError::CorruptRecord {
+                        offset: rec.offset,
+                        detail: "unknown record kind",
+                    })
+                }
+            }
+        }
+        Ok(Store {
+            seg,
+            path,
+            durability,
+            index,
+            blobs,
+            decoded: HashMap::new(),
+            dirty: false,
+        })
+    }
+
+    /// The file this store persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured durability policy.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Every document name with at least one published version, in
+    /// sorted (deterministic) order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.index.keys().map(String::as_str)
+    }
+
+    /// Latest published version of `name`, if any.
+    pub fn latest_version(&self, name: &str) -> Option<u64> {
+        self.index.get(name).map(|e| e.version)
+    }
+
+    /// Durably append one published version of `name`.
+    ///
+    /// If `refine` is open, its two source documents are persisted
+    /// first as content-addressed blobs (skipped when an identical blob
+    /// is already on file), then the publish record referencing them —
+    /// so by the time the publish is on disk, everything it points at
+    /// is inside the file's valid prefix. Under [`Durability::Always`]
+    /// the append is `fdatasync`ed before returning.
+    pub fn append_publish(
+        &mut self,
+        name: &str,
+        version: u64,
+        doc: &PxDoc,
+        refine: Option<&RefineState>,
+    ) -> Result<(), StoreError> {
+        let mut payload = Vec::new();
+        put_u8(&mut payload, KIND_PUBLISH);
+        put_str(&mut payload, name);
+        put_u64(&mut payload, version);
+        encode_doc(doc, &mut payload);
+        match refine {
+            None => put_u8(&mut payload, 0),
+            Some(state) => {
+                put_u8(&mut payload, 1);
+                let (src_a, src_b) = state.sources();
+                for src in [src_a, src_b] {
+                    let (hash, offset) = self.ensure_blob(src)?;
+                    put_u64(&mut payload, hash);
+                    put_u64(&mut payload, offset);
+                }
+                encode_refine_state(state, &mut payload);
+            }
+        }
+        let offset = self.seg.append(&payload)?;
+        self.dirty = true;
+        if self.durability == Durability::Always {
+            self.sync()?;
+        }
+        self.index
+            .insert(name.to_string(), PublishEntry { version, offset });
+        Ok(())
+    }
+
+    /// Append `doc` as a content-addressed blob unless an identical one
+    /// is already on file; returns its content hash and record offset.
+    fn ensure_blob(&mut self, doc: &Arc<PxDoc>) -> Result<(u64, u64), StoreError> {
+        let mut bytes = Vec::new();
+        encode_doc(doc, &mut bytes);
+        let hash = fnv1a(&bytes);
+        if let Some(&offset) = self.blobs.get(&hash) {
+            return Ok((hash, offset));
+        }
+        let mut payload = Vec::with_capacity(9 + bytes.len());
+        put_u8(&mut payload, KIND_BLOB);
+        put_u64(&mut payload, hash);
+        payload.extend_from_slice(&bytes);
+        let offset = self.seg.append(&payload)?;
+        self.dirty = true;
+        self.blobs.insert(hash, offset);
+        // Newly written sources are usually about to be loaded again by
+        // a recovery or shared by the next publish; cache the decoded
+        // form under the same Arc the caller holds.
+        self.decoded.insert(hash, Arc::clone(doc));
+        Ok((hash, offset))
+    }
+
+    /// Load the latest published version of `name`, or `None` if the
+    /// store has never seen it. The returned document is bit-identical
+    /// to the one saved; an open refine state comes back attached to
+    /// its sources and resumes enumeration bit-for-bit.
+    pub fn load_publish(&mut self, name: &str) -> Result<Option<RecoveredDoc>, StoreError> {
+        let Some(entry) = self.index.get(name).copied() else {
+            return Ok(None);
+        };
+        let payload = self.seg.read_record(entry.offset)?;
+        let mut r = Reader::new(&payload);
+        match r.take_u8("record kind")? {
+            KIND_PUBLISH => {}
+            _ => {
+                return Err(StoreError::CorruptRecord {
+                    offset: entry.offset,
+                    detail: "publish offset does not hold a publish record",
+                })
+            }
+        }
+        let stored_name = r.take_str("document name")?;
+        let version = r.take_u64("document version")?;
+        if stored_name != name || version != entry.version {
+            return Err(StoreError::CorruptRecord {
+                offset: entry.offset,
+                detail: "publish record does not match the index",
+            });
+        }
+        let doc = decode_doc(&mut r)?;
+        let refine = match r.take_u8("refine-state tag")? {
+            0 => None,
+            1 => {
+                let hash_a = r.take_u64("source-a hash")?;
+                let offset_a = r.take_u64("source-a offset")?;
+                let hash_b = r.take_u64("source-b hash")?;
+                let offset_b = r.take_u64("source-b offset")?;
+                let src_a = self.load_blob(hash_a, offset_a)?;
+                let src_b = self.load_blob(hash_b, offset_b)?;
+                Some(decode_refine_state(
+                    &mut r,
+                    (src_a, src_b),
+                    doc.arena_len(),
+                )?)
+            }
+            _ => return Err(r.err("refine-state tag").into()),
+        };
+        r.finish()?;
+        #[cfg(feature = "strict-invariants")]
+        imprecise_integrate::verify::shadow_check_state(&doc, refine.as_ref(), "store recovery");
+        Ok(Some(RecoveredDoc {
+            version,
+            doc,
+            refine,
+        }))
+    }
+
+    /// Load (or fetch from the decode cache) the source blob at
+    /// `offset`, verifying both the stored and the recomputed content
+    /// hash against `hash`.
+    fn load_blob(&mut self, hash: u64, offset: u64) -> Result<Arc<PxDoc>, StoreError> {
+        if let Some(doc) = self.decoded.get(&hash) {
+            return Ok(Arc::clone(doc));
+        }
+        let payload = self.seg.read_record(offset)?;
+        let mut r = Reader::new(&payload);
+        match r.take_u8("record kind")? {
+            KIND_BLOB => {}
+            _ => {
+                return Err(StoreError::CorruptRecord {
+                    offset,
+                    detail: "blob offset does not hold a blob record",
+                })
+            }
+        }
+        let stored_hash = r.take_u64("blob content hash")?;
+        if stored_hash != hash || fnv1a(&payload[9..]) != hash {
+            return Err(StoreError::CorruptRecord {
+                offset,
+                detail: "blob content hash mismatch",
+            });
+        }
+        let doc = Arc::new(decode_doc(&mut r)?);
+        r.finish()?;
+        self.decoded.insert(hash, Arc::clone(&doc));
+        Ok(doc)
+    }
+
+    /// Flush every appended record to stable storage. A no-op when
+    /// nothing was appended since the last sync.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.dirty {
+            self.seg.sync()?;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Store {
+    /// Best-effort final sync for [`Durability::OnClose`] stores. Drop
+    /// cannot report failure; callers that must observe sync errors
+    /// call [`Store::sync`] explicitly before dropping.
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}

@@ -1,0 +1,277 @@
+//! Recovery fault-injection suite: crash shapes against the segment.
+//!
+//! * Torn tail — the file truncated at **every byte offset** of the
+//!   final record — must reopen cleanly at the previous version.
+//! * A flipped payload byte must surface as a typed
+//!   [`StoreError::CorruptRecord`], never a panic.
+//!
+//! Run with `--features strict-invariants` to additionally shadow-check
+//! every recovered document and frontier with the deep verifier.
+
+use imprecise_integrate::{integrate_px, IntegrationOptions, RefineOptions};
+use imprecise_oracle::Oracle;
+use imprecise_pxml::{from_xml, PxDoc};
+use imprecise_store::{Durability, RecoveredDoc, Store, StoreError};
+use imprecise_xmlkit::parse;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A unique scratch file under the system temp dir, removed on drop.
+struct ScratchFile(PathBuf);
+
+impl ScratchFile {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "imprecise-store-{tag}-{}-{n}.seg",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        ScratchFile(path)
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn sources() -> (Arc<PxDoc>, Arc<PxDoc>) {
+    let a = parse(
+        "<addressbook>\
+         <person><nm>John</nm><tel>1111</tel></person>\
+         <person><nm>Jon</nm><tel>2222</tel></person>\
+         <person><nm>Johnny</nm><tel>3333</tel></person>\
+         </addressbook>",
+    )
+    .expect("valid xml");
+    let b = parse(
+        "<addressbook>\
+         <person><nm>John</nm><tel>4444</tel></person>\
+         <person><nm>Jhon</nm><tel>5555</tel></person>\
+         <person><nm>Jonny</nm><tel>6666</tel></person>\
+         </addressbook>",
+    )
+    .expect("valid xml");
+    (Arc::new(from_xml(&a)), Arc::new(from_xml(&b)))
+}
+
+/// Two publishes of "db": v1 exact, v2 budgeted with open refine state.
+/// Returns (bytes of the segment, file length right after v1, the two
+/// published docs).
+fn two_version_segment(scratch: &ScratchFile) -> (Vec<u8>, u64, PxDoc, PxDoc) {
+    let srcs = sources();
+    let oracle = Oracle::uninformed();
+    let exact = integrate_px(
+        &srcs.0,
+        &srcs.1,
+        &oracle,
+        None,
+        &IntegrationOptions::default(),
+    )
+    .expect("integrates");
+    let mut budgeted = integrate_px(
+        &srcs.0,
+        &srcs.1,
+        &oracle,
+        None,
+        &IntegrationOptions {
+            max_matchings_per_component: 2,
+            ..IntegrationOptions::default()
+        },
+    )
+    .expect("integrates");
+    let state = budgeted
+        .detach_refine_state()
+        .expect("test premise: the budget must truncate");
+
+    let mut store = Store::open(&scratch.0, Durability::Always).expect("opens");
+    store
+        .append_publish("db", 1, &exact.doc, None)
+        .expect("publishes v1");
+    let len_after_v1 = std::fs::metadata(&scratch.0).expect("stat").len();
+    store
+        .append_publish("db", 2, &budgeted.doc, Some(&state))
+        .expect("publishes v2");
+    drop(store);
+    let bytes = std::fs::read(&scratch.0).expect("read segment");
+    (bytes, len_after_v1, exact.doc, budgeted.doc)
+}
+
+#[test]
+fn save_load_fingerprint_is_bitwise_identical() {
+    let scratch = ScratchFile::new("roundtrip");
+    let (_, _, v1_doc, v2_doc) = two_version_segment(&scratch);
+    let mut store = Store::open(&scratch.0, Durability::Always).expect("reopens");
+    assert_eq!(store.names().collect::<Vec<_>>(), vec!["db"]);
+    assert_eq!(store.latest_version("db"), Some(2));
+    let RecoveredDoc {
+        version,
+        doc,
+        refine,
+    } = store
+        .load_publish("db")
+        .expect("loads")
+        .expect("db is on file");
+    assert_eq!(version, 2);
+    assert_eq!(doc.fingerprint(), v2_doc.fingerprint());
+    assert!(refine.is_some(), "open refine state must be recovered");
+    // The exact v1 arena also survived bit-for-bit in history.
+    assert_ne!(v1_doc.fingerprint(), v2_doc.fingerprint());
+}
+
+#[test]
+fn recovered_refine_state_resumes_bit_for_bit() {
+    let scratch = ScratchFile::new("resume");
+    let (_, _, v1_doc, _) = two_version_segment(&scratch);
+    let mut store = Store::open(&scratch.0, Durability::Always).expect("reopens");
+    let recovered = store
+        .load_publish("db")
+        .expect("loads")
+        .expect("db is on file");
+    let state = recovered.refine.expect("open refine state");
+    let oracle = Oracle::uninformed();
+    let mut outcome =
+        imprecise_integrate::IntegrationOutcome::with_refine_state(recovered.doc, state);
+    while outcome.is_refinable() {
+        outcome
+            .refine(&oracle, None, &RefineOptions::to_exhaustive())
+            .expect("refines");
+    }
+    // v1 was the one-shot exhaustive run of the same sources: refining
+    // the recovered budgeted state to exhaustion converges to it.
+    assert_eq!(outcome.doc.fingerprint(), v1_doc.fingerprint());
+}
+
+#[test]
+fn truncation_at_every_offset_of_the_final_records_recovers_v1() {
+    let scratch = ScratchFile::new("torn");
+    let (bytes, len_after_v1, v1_doc, _) = two_version_segment(&scratch);
+    let torn = ScratchFile::new("torn-cut");
+    // Everything appended after v1 (source blobs + the v2 publish) is
+    // the crash window: cutting anywhere inside it must reopen at v1
+    // with nothing lost and nothing torn left behind.
+    for cut in len_after_v1 as usize..bytes.len() {
+        std::fs::write(&torn.0, &bytes[..cut]).expect("write truncated copy");
+        let mut store = Store::open(&torn.0, Durability::Always)
+            .unwrap_or_else(|e| panic!("truncation at {cut} must reopen cleanly, got {e}"));
+        assert_eq!(
+            store.latest_version("db"),
+            Some(1),
+            "truncation at {cut} must recover the previous version"
+        );
+        let recovered = store
+            .load_publish("db")
+            .expect("loads v1")
+            .expect("v1 is on file");
+        assert_eq!(recovered.version, 1);
+        assert_eq!(recovered.doc.fingerprint(), v1_doc.fingerprint());
+        assert!(recovered.refine.is_none(), "v1 was exact");
+    }
+}
+
+#[test]
+fn reopened_torn_store_accepts_new_publishes() {
+    let scratch = ScratchFile::new("torn-append");
+    let (bytes, len_after_v1, v1_doc, v2_doc) = two_version_segment(&scratch);
+    let torn = ScratchFile::new("torn-append-cut");
+    // Cut mid-way through the v2 tail, reopen, and re-publish v2: the
+    // stale half-record must not bleed into the fresh append.
+    let cut = (len_after_v1 as usize + bytes.len()) / 2;
+    std::fs::write(&torn.0, &bytes[..cut]).expect("write truncated copy");
+    {
+        let mut store = Store::open(&torn.0, Durability::Always).expect("reopens");
+        assert_eq!(store.latest_version("db"), Some(1));
+        store
+            .append_publish("db", 2, &v2_doc, None)
+            .expect("re-publishes v2");
+    }
+    let mut store = Store::open(&torn.0, Durability::Always).expect("reopens again");
+    assert_eq!(store.latest_version("db"), Some(2));
+    let recovered = store
+        .load_publish("db")
+        .expect("loads")
+        .expect("db is on file");
+    assert_eq!(recovered.doc.fingerprint(), v2_doc.fingerprint());
+    assert_ne!(recovered.doc.fingerprint(), v1_doc.fingerprint());
+}
+
+/// Frame starts of every record in segment order (a test-side scan
+/// mirroring the store's: [u32 len][u64 checksum][payload]).
+fn frame_offsets(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut offsets = Vec::new();
+    let mut pos = 12; // header
+    while pos + 12 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let end = pos + 12 + len;
+        if end > bytes.len() {
+            break;
+        }
+        offsets.push((pos, len));
+        pos = end;
+    }
+    offsets
+}
+
+#[test]
+fn flipped_payload_byte_is_a_typed_corrupt_record_error() {
+    let scratch = ScratchFile::new("flip");
+    let (bytes, _, _, _) = two_version_segment(&scratch);
+    let (last_frame, last_len) = *frame_offsets(&bytes).last().expect("segment has records");
+    let corrupted = ScratchFile::new("flip-cut");
+    // Flip a spread of payload bytes of the final record (first, last,
+    // and every 97th in between): each flip must be caught by the
+    // checksum and reported as CorruptRecord — not a panic, not a
+    // silent skip.
+    let payload_start = last_frame + 12;
+    let positions: Vec<usize> = (0..last_len)
+        .step_by(97)
+        .chain([last_len - 1])
+        .map(|i| payload_start + i)
+        .collect();
+    for at in positions {
+        let mut copy = bytes.clone();
+        copy[at] ^= 0x40;
+        std::fs::write(&corrupted.0, &copy).expect("write corrupted copy");
+        match Store::open(&corrupted.0, Durability::Always) {
+            Err(StoreError::CorruptRecord { offset, .. }) => {
+                assert_eq!(offset, last_frame as u64, "flip at byte {at}");
+            }
+            Err(other) => panic!("flip at byte {at}: expected CorruptRecord, got {other}"),
+            Ok(_) => panic!("flip at byte {at}: corruption must not open cleanly"),
+        }
+    }
+}
+
+#[test]
+fn foreign_file_is_a_bad_header_not_a_panic() {
+    let scratch = ScratchFile::new("foreign");
+    std::fs::write(&scratch.0, b"<xml>this is not a segment file</xml>").expect("write");
+    match Store::open(&scratch.0, Durability::Always) {
+        Err(StoreError::BadHeader) => {}
+        Err(other) => panic!("expected BadHeader, got {other}"),
+        Ok(_) => panic!("a foreign file must not open as a store"),
+    }
+}
+
+#[test]
+fn on_close_durability_syncs_on_drop() {
+    let scratch = ScratchFile::new("onclose");
+    let (_, _, v1_doc, _) = two_version_segment(&scratch);
+    let second = ScratchFile::new("onclose-2");
+    {
+        let mut store = Store::open(&second.0, Durability::OnClose).expect("opens");
+        store
+            .append_publish("db", 1, &v1_doc, None)
+            .expect("publishes");
+    } // drop syncs
+    let mut store = Store::open(&second.0, Durability::OnClose).expect("reopens");
+    let recovered = store
+        .load_publish("db")
+        .expect("loads")
+        .expect("db is on file");
+    assert_eq!(recovered.doc.fingerprint(), v1_doc.fingerprint());
+}

@@ -19,7 +19,7 @@ pub struct RuleDoc {
 /// Crates whose `src/` (excluding `src/bin/`) forms the deterministic
 /// pipeline: published bytes must be identical across runs, thread
 /// counts, and schedules.
-pub const DETERMINISTIC_CRATES: &[&str] = &["pxml", "integrate", "query", "core"];
+pub const DETERMINISTIC_CRATES: &[&str] = &["pxml", "integrate", "query", "store", "core"];
 
 /// Crates held to the no-panic robustness bar. `bench` and `datagen`
 /// are measurement/data harnesses and exempt; binaries are exempt.
@@ -31,6 +31,7 @@ pub const ROBUST_CRATES: &[&str] = &[
     "query",
     "quality",
     "integrate",
+    "store",
     "feedback",
     "core",
     "verify",
@@ -40,7 +41,7 @@ pub const RULES: &[RuleDoc] = &[
     RuleDoc {
         id: "hash-iteration",
         summary: "iterating a HashMap/HashSet declared in this file",
-        scope: "deterministic crates (pxml, integrate, query, core), lib code",
+        scope: "deterministic crates (pxml, integrate, query, store, core), lib code",
         rationale: "Hash iteration order depends on the hasher state and can differ across \
                     runs; anything feeding canonical output must use BTreeMap/BTreeSet or \
                     sort explicitly before emission.",

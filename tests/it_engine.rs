@@ -10,6 +10,27 @@ use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig};
 use imprecise::xml::to_string;
 use imprecise::{DocHandle, Engine, ImpreciseError};
 
+/// Unique temp-file path for durable-store tests, removed on drop.
+struct ScratchStore(std::path::PathBuf);
+
+impl ScratchStore {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("imprecise-it-{tag}-{}-{n}.seg", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        ScratchStore(path)
+    }
+}
+
+impl Drop for ScratchStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
 fn movie_engine() -> (Engine, DocHandle, DocHandle) {
     let scenario = scenarios::query_db();
     let engine = Engine::builder()
@@ -292,6 +313,77 @@ fn staged_refinement_emits_deltas_and_keeps_the_arena_clean() {
         "feedback never grows the arena"
     );
     assert!(after.live <= after.total);
+}
+
+#[test]
+fn durable_store_resumes_refinement_across_processes() {
+    use imprecise::integrate::{IntegrationOptions, RefineOptions};
+    // The full crash-safe cycle of the durable store: integrate under a
+    // tight budget with a store attached, drop the Engine entirely (the
+    // "process" dies mid-refinement), reopen from the segment file in a
+    // fresh Engine, refine to exhaustion, and land bit-for-bit on the
+    // one-shot exhaustive fingerprint.
+    let scratch = ScratchStore::new("resume");
+    // Oracle is not Clone, so each engine rebuilds the configuration.
+    let builder = |budget: usize| {
+        let scenario = scenarios::confusable(4);
+        Engine::builder()
+            .oracle(movie_oracle(MovieOracleConfig {
+                title_rule: false,
+                ..MovieOracleConfig::default()
+            }))
+            .schema(scenario.schema)
+            .options(IntegrationOptions {
+                max_matchings_per_component: budget,
+                ..IntegrationOptions::default()
+            })
+    };
+    let scenario = scenarios::confusable(4);
+    // Ground truth: the same workload integrated exhaustively, no store.
+    let truth = {
+        let engine = builder(usize::MAX).build();
+        let a = engine
+            .load_xml("a", &to_string(&scenario.mpeg7))
+            .expect("loads");
+        let b = engine
+            .load_xml("b", &to_string(&scenario.imdb))
+            .expect("loads");
+        let (db, stats) = engine.integrate(&a, &b, "db").expect("integrates");
+        assert!(stats.is_exact());
+        engine.snapshot(&db).expect("exists").doc().fingerprint()
+    };
+    // "Process one": integrate under budget, publish durably, die.
+    {
+        let engine = builder(8).with_store(&scratch.0).open().expect("opens");
+        let a = engine
+            .load_xml("a", &to_string(&scenario.mpeg7))
+            .expect("loads");
+        let b = engine
+            .load_xml("b", &to_string(&scenario.imdb))
+            .expect("loads");
+        let (db, stats) = engine.integrate(&a, &b, "db").expect("integrates");
+        assert!(stats.components_truncated() > 0, "budget 8 must truncate");
+        assert!(engine.refine_state(&db).expect("exists").is_some());
+    }
+    // "Process two": recover the catalog and the refine frontier.
+    let engine = builder(8).with_store(&scratch.0).open().expect("reopens");
+    let db = engine.handle("db").expect("recovered from the store");
+    let info = engine
+        .refine_state(&db)
+        .expect("exists")
+        .expect("frontier survives recovery");
+    assert_eq!(info.recovered_at, Some(1), "provenance marks the recovery");
+    assert!(info.open_components > 0);
+    let step = engine
+        .refine(&db, &RefineOptions::to_exhaustive())
+        .expect("refines");
+    assert_eq!(step.remaining, 0);
+    assert_eq!(engine.refine_state(&db).expect("exists"), None);
+    assert_eq!(
+        engine.snapshot(&db).expect("exists").doc().fingerprint(),
+        truth,
+        "cross-process resume must converge to the one-shot exhaustive result"
+    );
 }
 
 #[test]

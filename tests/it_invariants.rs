@@ -349,7 +349,7 @@ fn corrupt_doc() -> PxDoc {
 #[should_panic(expected = "strict-invariants: after publish")]
 fn strict_invariants_refuse_to_publish_corrupt_documents() {
     let engine = Engine::builder().oracle(addressbook_oracle()).build();
-    engine.insert("corrupt", corrupt_doc());
+    let _ = engine.insert("corrupt", corrupt_doc());
 }
 
 #[cfg(not(feature = "strict-invariants"))]
@@ -359,7 +359,9 @@ fn check_invariants_reports_corrupt_documents() {
     // A probability sum broken after the fact: the engine cannot tell at
     // insert time (insert is unvalidated by design), but
     // check_invariants must.
-    let handle = engine.insert("corrupt", corrupt_doc());
+    let handle = engine
+        .insert("corrupt", corrupt_doc())
+        .expect("store-less insert cannot fail");
     let err = engine
         .check_invariants(&handle)
         .expect_err("broken probability sum must be reported");

@@ -132,7 +132,9 @@ fn pruning_never_drops_split_mass_answers() {
 #[test]
 fn threshold_zero_through_the_engine_equals_unthresholded() {
     let engine = Engine::new();
-    let db = engine.insert("db", query_db());
+    let db = engine
+        .insert("db", query_db())
+        .expect("store-less insert cannot fail");
     for q in QUERIES {
         let plain = engine.query(&db, q, None).unwrap();
         let at_zero = engine.query(&db, q, Some(0.0)).unwrap();

@@ -20,7 +20,46 @@ use imprecise::integrate::{integrate_px, integrate_xml, IntegrationOptions, Refi
 use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig};
 use imprecise::query::{eval_px, parse_query};
 use imprecise::xml::to_string;
+use imprecise::Engine;
 use proptest::prelude::*;
+
+/// Unique temp-file path for durable-store properties, removed on drop.
+struct ScratchStore(std::path::PathBuf);
+
+impl ScratchStore {
+    fn new() -> Self {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "imprecise-prop-refine-{}-{n}.seg",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        ScratchStore(path)
+    }
+}
+
+impl Drop for ScratchStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// A store-backed engine over the confusion workload; rebuilt per open
+/// because [`imprecise::oracle::Oracle`] is not `Clone`.
+fn store_engine(budget: usize, path: &std::path::Path) -> Engine {
+    Engine::builder()
+        .oracle(confusion_oracle())
+        .schema(movie_schema())
+        .options(IntegrationOptions {
+            max_matchings_per_component: budget,
+            ..IntegrationOptions::default()
+        })
+        .with_store(path)
+        .open()
+        .expect("store opens")
+}
 
 const TITLE_POOL: [&str; 5] = ["Jaws", "Jaws 2", "Heat", "Die Hard", "Casino"];
 
@@ -195,6 +234,64 @@ proptest! {
             .expect("refine succeeds");
         prop_assert!(!budgeted.is_refinable());
         prop_assert_eq!(exact.doc.fingerprint(), budgeted.doc.fingerprint());
+    }
+
+    #[test]
+    fn store_roundtrip_mid_refinement_resumes_bitwise(
+        a_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..5),
+        b_specs in proptest::collection::vec((0u8..5, 0u8..4), 2..5),
+        budget in 2usize..6,
+        extra in 1usize..8,
+    ) {
+        // The durable store dropped mid-staged-refinement must recover a
+        // frontier that resumes exactly where the dead process stopped:
+        // reopen + refine-to-exhaustive lands on the one-shot exhaustive
+        // fingerprint, bit for bit, for arbitrary interruption points.
+        let (doc_a, doc_b) = catalogs(&a_specs, &b_specs);
+        let schema = movie_schema();
+        let oracle = confusion_oracle();
+        let exact = integrate_xml(&doc_a, &doc_b, &oracle, Some(&schema),
+            &IntegrationOptions::default()).expect("exhaustive integrates");
+        let scratch = ScratchStore::new();
+        let options = RefineOptions {
+            extra_matchings: extra,
+            min_retained_mass: None,
+            max_components: usize::MAX,
+        };
+        // "Process one": integrate under budget, apply one partial
+        // installment, die with the frontier still open (usually).
+        let interrupted_fp = {
+            let engine = store_engine(budget, &scratch.0);
+            let a = engine.load_xml("a", &to_string(&doc_a)).expect("loads");
+            let b = engine.load_xml("b", &to_string(&doc_b)).expect("loads");
+            let (db, _) = engine.integrate(&a, &b, "db").expect("integrates");
+            if engine.refine_state(&db).expect("exists").is_some() {
+                engine.refine(&db, &options).expect("refines");
+            }
+            engine.snapshot(&db).expect("exists").doc().fingerprint()
+        };
+        // "Process two": recovery is bitwise-faithful to the interrupted
+        // document, and the recovered frontier finishes the job.
+        let engine = store_engine(budget, &scratch.0);
+        let db = engine.handle("db").expect("recovered");
+        prop_assert_eq!(
+            engine.snapshot(&db).expect("exists").doc().fingerprint(),
+            interrupted_fp,
+            "recovery must reproduce the interrupted document exactly"
+        );
+        if let Some(info) = engine.refine_state(&db).expect("exists") {
+            prop_assert!(info.recovered_at.is_some(),
+                "a recovered frontier carries provenance");
+        }
+        let step = engine
+            .refine(&db, &RefineOptions::to_exhaustive())
+            .expect("refines");
+        prop_assert_eq!(step.remaining, 0);
+        prop_assert_eq!(
+            engine.snapshot(&db).expect("exists").doc().fingerprint(),
+            exact.doc.fingerprint(),
+            "store round-trip mid-refinement must still converge exactly"
+        );
     }
 
     #[test]
