@@ -20,7 +20,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use imprecise::datagen::scenarios;
-use imprecise::integrate::IntegrationOptions;
+use imprecise::integrate::{IntegrationOptions, Parallelism};
 use imprecise::xml::to_string;
 use imprecise::Engine;
 use imprecise_bench::{confusion_oracle, integrate_scenario};
@@ -36,7 +36,7 @@ fn options(
         max_matchings_per_component: budget,
         min_retained_mass: min_mass,
         strict_matchings: strict,
-        parallelism,
+        parallelism: Parallelism::new(parallelism),
         ..IntegrationOptions::default()
     }
 }

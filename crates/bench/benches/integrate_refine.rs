@@ -19,6 +19,11 @@
 //!   total budget (`BudgetPlan::Total`) vs the same total spent as
 //!   per-component caps, and top-1 (largest discarded mass first)
 //!   staged refinement.
+//! * `refine_parallel/*` — the staged 8 × 64 workload with the
+//!   intra-component worker pool at 1/2/4 threads (bit-identical
+//!   output, so the spread is pure wall-clock), and a variant that
+//!   demotes live enumerators to stored frontiers between installments
+//!   to price the resident fast path against the old restore loop.
 //!
 //! Under `--bench` the harness ends with a regression gate: staged
 //! 8 × 64 must stay within `STAGED_GATE_CEILING`× of one-shot 512 (set
@@ -26,7 +31,9 @@
 
 use criterion::{criterion_group, Criterion};
 use imprecise::datagen::scenarios;
-use imprecise::integrate::{integrate_xml, BudgetPlan, IntegrationOptions, RefineOptions};
+use imprecise::integrate::{
+    integrate_xml, BudgetPlan, IntegrationOptions, Parallelism, RefineOptions,
+};
 use imprecise_bench::{
     confusion_oracle, integrate_then_refine, measure_staged_vs_one_shot, STAGED_GATE_CEILING,
 };
@@ -132,6 +139,7 @@ fn bench_integrate_refine(c: &mut Criterion) {
                 extra_matchings: 48,
                 min_retained_mass: None,
                 max_components: 1,
+                threads: None,
             };
             for _ in 0..4 {
                 if !outcome.is_refinable() {
@@ -183,6 +191,7 @@ fn bench_incremental_emission(c: &mut Criterion) {
                 extra_matchings: 64,
                 min_retained_mass: None,
                 max_components: usize::MAX,
+                threads: None,
             };
             for _ in 0..7 {
                 if !outcome.is_refinable() {
@@ -195,6 +204,55 @@ fn bench_incremental_emission(c: &mut Criterion) {
             }
             black_box(outcome)
         })
+    });
+
+    group.finish();
+}
+
+/// The parallel-search and live-enumerator benches (PR 9): the same
+/// staged 8 × 64 confusable8 workload with the intra-component worker
+/// pool at 1/2/4 threads — bit-identical results, so any spread is pure
+/// wall-clock — plus a round-trip variant that demotes every live
+/// enumerator to its stored form between installments, pricing the
+/// resident fast path against the persist/restore loop it replaced.
+fn bench_refine_parallel(c: &mut Criterion) {
+    let oracle = confusion_oracle();
+    let mut group = c.benchmark_group("refine_parallel");
+    group.sample_size(10);
+
+    let c8 = scenarios::confusable(8);
+    // confusable8 is one 64-live-pair component: past the parallel
+    // engagement threshold, so granted threads actually work.
+    let staged = |threads: Option<Parallelism>, round_trip: bool| {
+        let mut outcome =
+            integrate_xml(&c8.mpeg7, &c8.imdb, &oracle, Some(&c8.schema), &options(64))
+                .expect("integrates");
+        let refine = RefineOptions {
+            extra_matchings: 64,
+            min_retained_mass: None,
+            max_components: usize::MAX,
+            threads,
+        };
+        for _ in 0..7 {
+            if !outcome.is_refinable() {
+                break;
+            }
+            if round_trip {
+                outcome.materialise_frontiers();
+            }
+            outcome
+                .refine(&oracle, Some(&c8.schema), &refine)
+                .expect("refines");
+        }
+        outcome
+    };
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("confusable8/staged-8x64-threads-{threads}"), |b| {
+            b.iter(|| black_box(staged(Some(Parallelism::new(black_box(threads))), false)))
+        });
+    }
+    group.bench_function("confusable8/staged-8x64-round-trip-each-step", |b| {
+        b.iter(|| black_box(staged(Some(Parallelism::SERIAL), black_box(true))))
     });
 
     group.finish();
@@ -223,7 +281,12 @@ fn staged_vs_one_shot_gate() {
     );
 }
 
-criterion_group!(benches, bench_integrate_refine, bench_incremental_emission);
+criterion_group!(
+    benches,
+    bench_integrate_refine,
+    bench_incremental_emission,
+    bench_refine_parallel
+);
 
 fn main() {
     benches();

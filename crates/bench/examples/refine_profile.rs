@@ -32,6 +32,7 @@ fn main() {
         extra_matchings: 64,
         min_retained_mass: None,
         max_components: usize::MAX,
+        threads: None,
     };
     for step in 0..7 {
         let t = Instant::now();
@@ -39,7 +40,7 @@ fn main() {
             .refine(&oracle, Some(&c8.schema), &refine)
             .expect("refines");
         println!(
-            "step {step}: {:?}, emitted {}, arena {}/{}, frontier_nodes {:?}",
+            "step {step}: {:?}, emitted {}, arena {}/{}, frontier_nodes {:?}, search {:?}",
             t.elapsed(),
             s.emitted_nodes,
             s.arena_live,
@@ -49,7 +50,8 @@ fn main() {
                 .truncated_components
                 .iter()
                 .map(|t| t.frontier_nodes)
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>(),
+            s.search,
         );
     }
     let t = Instant::now();

@@ -360,17 +360,21 @@ pub fn format_table1(rows: &[IntegrationMeasurement]) -> String {
 /// Regression ceiling for the staged-vs-one-shot gate: staged 8 × 64
 /// refinement must stay within this factor of one-shot 512 on the
 /// confusable(8) workload. The pre-incremental emitter sat at ~4.4×;
-/// the ceiling leaves the expected ~1.3× plenty of CI-noise headroom
-/// while still catching a return to detach-and-re-emit behaviour.
-pub const STAGED_GATE_CEILING: f64 = 2.5;
+/// with live resident enumerators, O(1) per-step arena stats, and
+/// arena-splice grafting the staged path measures ~1.05–1.10×, so the
+/// ceiling both enforces the live-enumerator budget and still catches
+/// a return to detach-and-re-emit behaviour. Measurement noise is
+/// handled by the paired min-of-ratios protocol in
+/// [`measure_staged_vs_one_shot`], not by slack in the ceiling.
+pub const STAGED_GATE_CEILING: f64 = 1.15;
 
-/// Best-of-N wall-clock comparison of staged refinement against a
+/// Paired wall-clock comparison of staged refinement against a
 /// one-shot budget (see [`measure_staged_vs_one_shot`]).
 #[derive(Debug, Clone, Copy)]
 pub struct StagedGateMeasurement {
-    /// Best wall-clock time to integrate with the full budget at once.
+    /// One-shot (full budget at once) time of the cleanest pair.
     pub one_shot: std::time::Duration,
-    /// Best wall-clock time for the same budget split into installments.
+    /// Staged (same budget in installments) time of the same pair.
     pub staged: std::time::Duration,
 }
 
@@ -410,6 +414,7 @@ pub fn integrate_then_refine(
         extra_matchings: extra,
         min_retained_mass: None,
         max_components: usize::MAX,
+        threads: None,
     };
     for _ in 0..steps {
         if !outcome.is_refinable() {
@@ -423,9 +428,18 @@ pub fn integrate_then_refine(
 }
 
 /// Measure the staged-vs-one-shot gate workload: one-shot budget 512 vs
-/// staged 8 × 64 on confusable(8), each timed best-of-3. Shared by the
-/// `integrate_refine` bench gate and the `gate` integration test so CI
-/// and local runs assert the same numbers.
+/// staged 8 × 64 on confusable(8). Shared by the `integrate_refine`
+/// bench gate and the `gate` integration test so CI and local runs
+/// assert the same numbers.
+///
+/// The two halves are timed as *interleaved pairs* and the pair with
+/// the smallest staged/one-shot ratio wins. A load spike on a busy
+/// (or single-core CI) machine inflates both halves of the pair it
+/// lands in; taking the cleanest pair rejects that noise, where a
+/// best-of-N on each half independently would happily divide a noisy
+/// numerator by a quiet denominator (or vice versa) and report a
+/// phantom regression. One quiet window out of five is enough for a
+/// faithful ratio.
 pub fn measure_staged_vs_one_shot() -> StagedGateMeasurement {
     let oracle = confusion_oracle();
     let c8 = scenarios::confusable(8);
@@ -433,16 +447,9 @@ pub fn measure_staged_vs_one_shot() -> StagedGateMeasurement {
         max_matchings_per_component: budget,
         ..IntegrationOptions::default()
     };
-    fn best_of<F: FnMut()>(mut f: F) -> std::time::Duration {
-        let mut best = std::time::Duration::MAX;
-        for _ in 0..3 {
-            let start = std::time::Instant::now();
-            f();
-            best = best.min(start.elapsed());
-        }
-        best
-    }
-    let one_shot = best_of(|| {
+    let mut best: Option<StagedGateMeasurement> = None;
+    for _ in 0..5 {
+        let start = std::time::Instant::now();
         std::hint::black_box(
             integrate_xml(
                 &c8.mpeg7,
@@ -453,11 +460,16 @@ pub fn measure_staged_vs_one_shot() -> StagedGateMeasurement {
             )
             .expect("integrates"),
         );
-    });
-    let staged = best_of(|| {
+        let one_shot = start.elapsed();
+        let start = std::time::Instant::now();
         std::hint::black_box(integrate_then_refine(&c8, &oracle, &options(64), 64, 7));
-    });
-    StagedGateMeasurement { one_shot, staged }
+        let staged = start.elapsed();
+        let pair = StagedGateMeasurement { one_shot, staged };
+        if best.is_none_or(|b| pair.ratio() < b.ratio()) {
+            best = Some(pair);
+        }
+    }
+    best.expect("at least one measurement pair")
 }
 
 #[cfg(test)]
@@ -549,6 +561,7 @@ mod tests {
                     extra_matchings: 64,
                     min_retained_mass: None,
                     max_components: usize::MAX,
+                    threads: None,
                 },
             )
             .expect("refines");

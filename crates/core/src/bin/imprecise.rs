@@ -32,7 +32,7 @@
 //! `query NAME QUERY --store FILE` queries a stored document by name
 //! instead of reading an XML file.
 
-use imprecise::integrate::RefineOptions;
+use imprecise::integrate::{Parallelism, RefineOptions};
 use imprecise::oracle::dsl::{ADDRESSBOOK_RULES, MOVIE_RULES};
 use imprecise::query::QueryPlan;
 use imprecise::{DocHandle, Engine, EngineBuilder};
@@ -425,7 +425,10 @@ fn build_engine(flags: &EngineFlags) -> Result<Engine, String> {
         },
         min_retained_mass: flags.min_mass,
         strict_matchings: flags.strict,
-        parallelism: flags.threads.unwrap_or(defaults.parallelism),
+        parallelism: flags
+            .threads
+            .map(Parallelism::new)
+            .unwrap_or(defaults.parallelism),
         ..defaults
     });
     match &flags.store {
@@ -563,6 +566,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 extra_matchings: extra,
                 min_retained_mass: None,
                 max_components: top,
+                threads: flags.threads.map(Parallelism::new),
             };
             let mut step_no = 0usize;
             loop {
@@ -597,6 +601,15 @@ fn run(cmd: Command) -> Result<(), String> {
                         step.arena_total,
                         step.arena_total - step.arena_live,
                         if step.compacted { ", compacted" } else { "" },
+                    );
+                    eprintln!(
+                        "refine step {step_no}: search popped {} state(s), \
+                         expanded {}, {} bound cutoff(s), {} round(s) on {} worker(s)",
+                        step.search.popped,
+                        step.search.expanded,
+                        step.search.cutoffs,
+                        step.search.rounds,
+                        step.search.workers,
                     );
                 }
                 if step.remaining == 0 {

@@ -1157,6 +1157,7 @@ impl Engine {
             arena_live: 0,
             arena_total: 0,
             compacted: false,
+            search: Default::default(),
         }
     }
 

@@ -135,7 +135,7 @@ fn encode_options(o: &IntegrationOptions, out: &mut Vec<u8>) {
         }
     }
     put_bool(out, o.strict_matchings);
-    put_len(out, o.parallelism);
+    put_len(out, o.parallelism.raw());
     put_len(out, o.max_local_worlds);
     put_len(out, o.max_output_nodes);
     put_bool(out, o.simplify);
@@ -158,7 +158,7 @@ fn decode_options(r: &mut Reader<'_>) -> Result<IntegrationOptions, CodecError> 
         _ => return Err(r.err("min retained mass tag")),
     };
     let strict_matchings = take_bool(r, "strict matchings flag")?;
-    let parallelism = r.take_len("parallelism")?;
+    let parallelism = crate::Parallelism::new(r.take_len("parallelism")?);
     let max_local_worlds = r.take_len("max local worlds")?;
     let max_output_nodes = r.take_len("max output nodes")?;
     let simplify = take_bool(r, "simplify flag")?;

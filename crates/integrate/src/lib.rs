@@ -103,7 +103,7 @@ pub mod verify;
 
 pub use matching::{
     Candidate, Component, ComponentFrontier, FrontierEnumerator, FrontierMismatch, MatchBudget,
-    Matching, TooManyMatchings,
+    Matching, Parallelism, SearchStats, TooManyMatchings,
 };
 pub use pipeline::{ComponentOutcome, DocFrontier};
 pub use verify::{verify_frontier, InvariantViolation};
@@ -156,11 +156,12 @@ pub struct IntegrationOptions {
     /// truncating when a component exceeds the budget (the historical
     /// behaviour; exact or nothing).
     pub strict_matchings: bool,
-    /// Worker threads for per-component matching enumeration: `1` is
-    /// serial, `0` uses all available cores. Results are deterministic
-    /// regardless of the setting — components are independent and
-    /// reassembled in document order.
-    pub parallelism: usize,
+    /// Worker threads for matching enumeration ([`Parallelism::SERIAL`]
+    /// by default, [`Parallelism::AUTO`] uses all available cores).
+    /// Several busy components fan out across threads; a single busy
+    /// component spends the same budget inside its best-first search.
+    /// Results are bit-identical regardless of the setting.
+    pub parallelism: Parallelism,
     /// Hard cap on locally enumerated alternative combinations when an
     /// input child list contains choice points (incremental integration).
     pub max_local_worlds: usize,
@@ -180,7 +181,7 @@ impl Default for IntegrationOptions {
             budget_plan: BudgetPlan::PerComponent,
             min_retained_mass: None,
             strict_matchings: false,
-            parallelism: 1,
+            parallelism: Parallelism::SERIAL,
             max_local_worlds: 4096,
             max_output_nodes: 40_000_000,
             simplify: true,
@@ -420,6 +421,13 @@ pub struct RefineOptions {
     /// Refine at most this many components per call, largest discarded
     /// mass first. `usize::MAX` refines every open component.
     pub max_components: usize,
+    /// Worker threads for this refine call, overriding the outcome's
+    /// [`IntegrationOptions::parallelism`] when set. The budget goes
+    /// across components first (one thread each), and the remainder
+    /// *into* each component's best-first search — a step refining one
+    /// big component spends every thread inside its search. Results are
+    /// bit-identical at every value.
+    pub threads: Option<Parallelism>,
 }
 
 impl Default for RefineOptions {
@@ -428,6 +436,7 @@ impl Default for RefineOptions {
             extra_matchings: 1024,
             min_retained_mass: None,
             max_components: usize::MAX,
+            threads: None,
         }
     }
 }
@@ -440,6 +449,7 @@ impl RefineOptions {
             extra_matchings: usize::MAX,
             min_retained_mass: None,
             max_components: usize::MAX,
+            threads: None,
         }
     }
 
@@ -507,6 +517,10 @@ pub struct RefineStep {
     /// the engine layer, which owns the compaction policy; the arena
     /// figures above then describe the compacted document).
     pub compacted: bool,
+    /// Search-side work this step's enumerations did (states popped,
+    /// bound cutoffs, expansion rounds, worker threads) — the cost of
+    /// the step that `emitted_nodes` does not show.
+    pub search: SearchStats,
 }
 
 /// An integration result: the probabilistic document, statistics, and —
@@ -557,6 +571,18 @@ impl IntegrationOutcome {
     /// [`refine`](Self::refine) call can improve this result in place.
     pub fn is_refinable(&self) -> bool {
         !self.frontiers.is_empty()
+    }
+
+    /// Demote every live resident enumerator back to its plain-data
+    /// stored form, as if the outcome had been round-tripped through
+    /// the codec. The next refine step pays the restore (re-heapify)
+    /// price a fresh process would. A no-op on already-stored
+    /// frontiers; used by the `refine_parallel` bench to price the
+    /// live-enumerator fast path against the persist/restore loop.
+    pub fn materialise_frontiers(&mut self) {
+        for f in &mut self.frontiers {
+            f.materialise();
+        }
     }
 
     /// Largest per-component discarded mass over the open frontiers
@@ -614,6 +640,7 @@ impl IntegrationOutcome {
                 arena_live: arena.live,
                 arena_total: arena.total,
                 compacted: false,
+                search: SearchStats::default(),
             });
         }
         let (src_a, src_b) = self
@@ -688,11 +715,13 @@ impl IntegrationOutcome {
         // full canonical order (old subtrees are reused, never
         // re-emitted), and write every sibling's renormalised weight.
         let mut refined = Vec::with_capacity(prepared.len());
-        let mut updates: Vec<(usize, Option<ComponentFrontier>)> = Vec::with_capacity(order.len());
+        let mut updates: Vec<(usize, Option<FrontierEnumerator>)> = Vec::with_capacity(order.len());
         let mut nested_all: Vec<DocFrontier> = Vec::new();
         let mut emitted_nodes = 0usize;
         let mut replaced_subtrees = false;
+        let mut search = SearchStats::default();
         for p in prepared {
+            search.absorb(&p.all.search);
             let df = &self.frontiers[p.slot];
             let prob = df.prob();
             let before = self.doc.arena_len();
@@ -741,7 +770,7 @@ impl IntegrationOutcome {
                 }
             } else {
                 debug_assert!(
-                    df.component_frontier().is_synthetic(),
+                    df.is_synthetic(),
                     "only a synthetic frontier re-yields previously emitted matchings"
                 );
                 final_children = grafted.clone();
@@ -767,10 +796,13 @@ impl IntegrationOutcome {
                 nested_all.push(f);
             }
         }
+        // Components still open keep their *advanced enumerator* resident:
+        // the next step resumes it with a cheap clone instead of a
+        // persist/restore round-trip. Drained components drop out.
         let mut drained: Vec<usize> = Vec::new();
         for (i, left) in updates {
             match left {
-                Some(frontier) => self.frontiers[i].update(frontier),
+                Some(en) => self.frontiers[i].install(en),
                 None => drained.push(i),
             }
         }
@@ -811,6 +843,7 @@ impl IntegrationOutcome {
             arena_live: arena.live,
             arena_total: arena.total,
             compacted: false,
+            search,
         })
     }
 
@@ -910,8 +943,9 @@ struct PreparedComponent {
     all: matching::BudgetedMatchings,
     /// Parallel to `all.matchings`: which entries this step yielded.
     is_new: Vec<bool>,
-    /// The frontier left open, `None` when the component drained.
-    left: Option<ComponentFrontier>,
+    /// The advanced enumerator, still open — installed back on the
+    /// site when the step commits. `None` when the component drained.
+    left: Option<FrontierEnumerator>,
     /// Scratch arena: a root probability node whose children are the
     /// new possibility subtrees.
     scratch: PxDoc,
@@ -923,7 +957,10 @@ struct PreparedComponent {
 }
 
 /// Phase A of a refine step for one component: resume the enumeration
-/// and emit the delta into a scratch arena. Touches nothing shared.
+/// (on a clone of the site's resident enumerator, or a restore of its
+/// stored frontier) with up to `threads` expansion workers, and emit
+/// the delta into a scratch arena. Touches nothing shared — the site
+/// itself is only updated when the step commits, so errors stay atomic.
 #[allow(clippy::too_many_arguments)]
 fn prepare_one(
     frontiers: &[DocFrontier],
@@ -935,23 +972,32 @@ fn prepare_one(
     reemit_options: &IntegrationOptions,
     options: &RefineOptions,
     arena_base: usize,
+    threads: usize,
 ) -> Result<PreparedComponent, IntegrateError> {
     let df = &frontiers[slot];
-    let delta = pipeline::resume_component_delta(
-        df.component(),
-        df.component_frontier(),
-        options.extra_matchings,
-        options.min_retained_mass,
-    )?;
+    let mut en = df.enumerator()?;
+    let max_matchings = if options.extra_matchings == usize::MAX {
+        usize::MAX
+    } else {
+        en.kept().saturating_add(options.extra_matchings.max(1))
+    };
+    let (all, is_new) = en.run_delta(
+        &MatchBudget {
+            max_matchings,
+            min_retained_mass: options.min_retained_mass,
+        },
+        threads,
+    );
+    let left = if en.is_drained() { None } else { Some(en) };
     let mut builder =
         merge::Builder::scratch(src_a, src_b, oracle, schema, reemit_options, arena_base);
-    let new_poss = builder.emit_new_possibilities(df, &delta.all.matchings, &delta.is_new)?;
+    let new_poss = builder.emit_new_possibilities(df, &all.matchings, &is_new)?;
     let (scratch, _stats, nested) = builder.finish_with_frontiers();
     Ok(PreparedComponent {
         slot,
-        all: delta.all,
-        is_new: delta.is_new,
-        left: delta.left,
+        all,
+        is_new,
+        left,
         scratch,
         new_poss,
         nested,
@@ -974,8 +1020,16 @@ fn prepare_components(
     options: &RefineOptions,
     arena_base: usize,
 ) -> Result<Vec<PreparedComponent>, IntegrateError> {
-    let threads = pipeline::effective_parallelism(reemit_options.parallelism).min(order.len());
-    if threads <= 1 || order.len() < 2 {
+    // The thread budget goes across components first, and what is left
+    // over goes *into* each component's search — one big component gets
+    // every thread inside its best-first expansion.
+    let total = options
+        .threads
+        .unwrap_or(reemit_options.parallelism)
+        .effective();
+    let outer = total.min(order.len()).max(1);
+    let inner = (total / outer).max(1);
+    if outer <= 1 || order.len() < 2 {
         return order
             .iter()
             .map(|&i| {
@@ -989,6 +1043,7 @@ fn prepare_components(
                     reemit_options,
                     options,
                     arena_base,
+                    inner,
                 )
             })
             .collect();
@@ -996,7 +1051,7 @@ fn prepare_components(
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for _ in 0..outer {
             let tx = tx.clone();
             let next = &next;
             scope.spawn(move || loop {
@@ -1014,6 +1069,7 @@ fn prepare_components(
                     reemit_options,
                     options,
                     arena_base,
+                    inner,
                 );
                 if tx.send((k, result)).is_err() {
                     break;

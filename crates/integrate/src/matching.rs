@@ -32,7 +32,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, OnceLock};
 
 /// An undecided candidate pair with its match probability.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,6 +150,90 @@ pub struct BudgetedMatchings {
     /// Open search states left on the frontier (0 when enumeration
     /// completed): the size of the state a resumed run would start from.
     pub frontier_nodes: usize,
+    /// Search-side work counters of the run that produced this result.
+    pub search: SearchStats,
+}
+
+/// The one parallelism knob, shared by the component-level fan-out and
+/// the intra-component search: `0` means "all available cores"
+/// (resolved once and cached — `available_parallelism` is a
+/// cgroup/sysfs read), `1` is serial, `N` pins the thread count.
+///
+/// Thread counts are pure *scheduling* hints in this pipeline: every
+/// parallel stage reassembles results in deterministic order, so
+/// published bytes are identical at every value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism(usize);
+
+impl Parallelism {
+    /// Serial execution (the default).
+    pub const SERIAL: Parallelism = Parallelism(1);
+    /// Use every core `available_parallelism` reports.
+    pub const AUTO: Parallelism = Parallelism(0);
+
+    /// Wrap a raw `0|1|N` knob value (`0` = all cores).
+    pub fn new(raw: usize) -> Self {
+        Parallelism(raw)
+    }
+
+    /// The raw `0|1|N` value (what the CLI accepted and the codec
+    /// stores — *not* resolved against the host's core count).
+    pub fn raw(self) -> usize {
+        self.0
+    }
+
+    /// The concrete thread count: `0` resolves to the cached core count.
+    pub fn effective(self) -> usize {
+        match self.0 {
+            0 => {
+                static CORES: OnceLock<usize> = OnceLock::new();
+                *CORES.get_or_init(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                })
+            }
+            n => n,
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::SERIAL
+    }
+}
+
+/// Search-side work counters of one [`FrontierEnumerator`] run,
+/// aggregated upward into [`RefineStep`](crate::RefineStep) so the
+/// cost of a refine step is observable without a profiler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// States popped off the best-first heap (complete and incomplete).
+    pub popped: u64,
+    /// Incomplete states expanded into children.
+    pub expanded: u64,
+    /// Rounds whose expansion batch was cut short by the shared bound:
+    /// a complete matching surfaced at the heap top, so everything
+    /// below it was left unexpanded until the certified phase ruled on
+    /// it.
+    pub cutoffs: u64,
+    /// Expansion rounds driven (each round is one worker fan-out).
+    pub rounds: u64,
+    /// Worker threads that expanded batches (1 = serial).
+    pub workers: usize,
+}
+
+impl SearchStats {
+    /// Fold another run's counters into this one: counters add, the
+    /// worker count reports the maximum seen.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.popped += other.popped;
+        self.expanded += other.expanded;
+        self.cutoffs += other.cutoffs;
+        self.rounds += other.rounds;
+        self.workers = self.workers.max(other.workers);
+    }
 }
 
 /// Split a tag group's candidate graph into connected components.
@@ -305,7 +389,7 @@ pub fn enumerate_matchings(
 
 /// A frontier state of the best-first search: the first `idx` live
 /// candidates are decided, `weight` is the product of their factors.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 struct SearchState {
     /// Admissible bound on the weight of any completion (`weight` times
     /// the best possible remaining factors). Complete states have
@@ -359,6 +443,7 @@ impl Ord for SearchState {
 /// the most any `k` inclusions could multiply the all-excluded weight
 /// by, ignoring which endpoints they need. This is what makes the
 /// search dive instead of drowning in high-probability dense graphs.
+#[derive(Debug, Clone)]
 struct SuffixBounds {
     base: Vec<f64>,
     gain: Vec<Vec<f64>>,
@@ -848,17 +933,23 @@ impl std::error::Error for FrontierMismatch {}
 /// A resumable best-first branch-and-bound enumerator over one
 /// component's live candidates.
 ///
-/// The enumerator owns the heap of open search states. [`run`] drives it
-/// until a [`MatchBudget`] is satisfied (budgets count *total* kept
-/// matchings, across runs); [`frontier`] snapshots the remaining state
-/// into a [`ComponentFrontier`]; [`restore`] rebuilds an enumerator from
-/// such a snapshot so a later run continues the search bit-identically.
+/// The enumerator owns its component (`Arc`-shared with the pipeline)
+/// and the heap of open search states, so it can stay *resident* across
+/// refine steps instead of round-tripping through the persisted form.
+/// [`run`] drives it until a [`MatchBudget`] is satisfied (budgets count
+/// *total* kept matchings, across runs); [`frontier`] snapshots the
+/// remaining state into a [`ComponentFrontier`]; [`restore`] rebuilds an
+/// enumerator from such a snapshot so a later run continues the search
+/// bit-identically. Cloning is cheap relative to a snapshot round-trip:
+/// the open states' `taken` prefixes are `Arc`-shared, and no
+/// sort-into-canonical-order or re-heapify is paid.
 ///
 /// [`run`]: FrontierEnumerator::run
 /// [`frontier`]: FrontierEnumerator::frontier
 /// [`restore`]: FrontierEnumerator::restore
-pub struct FrontierEnumerator<'a> {
-    component: &'a Component,
+#[derive(Debug, Clone)]
+pub struct FrontierEnumerator {
+    component: Arc<Component>,
     live: Vec<Candidate>,
     max_take: usize,
     bounds: SuffixBounds,
@@ -875,10 +966,10 @@ pub struct FrontierEnumerator<'a> {
     total_mass_cache: Option<Option<f64>>,
 }
 
-impl<'a> FrontierEnumerator<'a> {
+impl FrontierEnumerator {
     /// A fresh enumerator over `component`, nothing yielded yet.
-    pub fn new(component: &'a Component) -> Self {
-        let live = live_candidates(component);
+    pub fn new(component: Arc<Component>) -> Self {
+        let live = live_candidates(&component);
         // Inclusions can never exceed the free endpoints on either side
         // (forced pairs already consumed theirs, and live candidates
         // avoid them by construction).
@@ -920,11 +1011,11 @@ impl<'a> FrontierEnumerator<'a> {
     /// or probabilities (a content digest is checked, not just the
     /// live-pair count).
     pub fn restore(
-        component: &'a Component,
+        component: Arc<Component>,
         frontier: &ComponentFrontier,
     ) -> Result<Self, FrontierMismatch> {
         let mut this = Self::new(component);
-        let found = component_digest(&component.forced, &this.live);
+        let found = component_digest(&this.component.forced, &this.live);
         if found != frontier.digest {
             return Err(FrontierMismatch {
                 expected: frontier.digest,
@@ -955,6 +1046,51 @@ impl<'a> FrontierEnumerator<'a> {
     /// are the complete canonical enumeration.
     pub fn is_drained(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// The component this enumerator searches.
+    pub fn component(&self) -> &Arc<Component> {
+        &self.component
+    }
+
+    /// Matchings yielded so far — what a snapshot's kept set would hold.
+    pub fn kept(&self) -> usize {
+        self.yielded.len()
+    }
+
+    /// Open search states on the heap.
+    pub fn open_nodes(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Live undecided pairs the search runs over.
+    pub fn live_pairs(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Retained-mass figure of the latest run (`1.0` before any run).
+    pub fn retained_mass(&self) -> f64 {
+        self.retained_mass
+    }
+
+    /// Discarded-mass figure of the latest run (`0.0` before any run).
+    pub fn discarded_mass(&self) -> f64 {
+        self.discarded_mass
+    }
+
+    /// True when the latest run ended in the synthesised all-excluded
+    /// fallback matching (see [`run_delta`](Self::run_delta)).
+    pub fn is_synthetic(&self) -> bool {
+        self.synthetic
+    }
+
+    /// Snapshot the search state unconditionally — unlike
+    /// [`frontier`](Self::frontier) this works on a drained enumerator
+    /// too (yielding a frontier with no open states). This is where a
+    /// *live* enumerator materialises into the plain-data form for the
+    /// durable store codec and invariant verification.
+    pub fn snapshot_frontier(&self) -> ComponentFrontier {
+        self.make_frontier(self.heap.iter().cloned().collect(), self.yielded.clone())
     }
 
     /// Snapshot the remaining search state, or `None` when the
@@ -1025,7 +1161,14 @@ impl<'a> FrontierEnumerator<'a> {
     /// result is bit-identical to [`enumerate_matchings`], no matter how
     /// many budgeted runs came before.
     pub fn run(&mut self, budget: &MatchBudget) -> BudgetedMatchings {
-        self.run_delta(budget).0
+        self.run_delta(budget, 1).0
+    }
+
+    /// [`run`](Self::run) with an expansion worker pool of up to
+    /// `threads` threads. Bitwise-identical results at every thread
+    /// count — see [`run_delta`](Self::run_delta).
+    pub fn run_with(&mut self, budget: &MatchBudget, threads: usize) -> BudgetedMatchings {
+        self.run_delta(budget, threads).0
     }
 
     /// [`run`](Self::run) for incremental emitters: the same canonical
@@ -1041,7 +1184,31 @@ impl<'a> FrontierEnumerator<'a> {
     /// *every* entry comes back flagged new: emitters must replace, not
     /// extend, what they emitted for a synthetic frontier (they can tell
     /// by the flagged-old count no longer matching what they hold).
-    pub fn run_delta(&mut self, budget: &MatchBudget) -> (BudgetedMatchings, Vec<bool>) {
+    ///
+    /// # Determinism across thread counts
+    ///
+    /// The search proceeds in *rounds*: a sequential "certified" phase
+    /// yields complete matchings while one sits at the top of the heap
+    /// (no unexpanded state's admissible bound outranks it — the shared
+    /// bound every worker's output is certified against), then a batch
+    /// — the maximal run of consecutive incomplete states at the top of
+    /// the heap, capped at [`EXPAND_BATCH`] — is popped and
+    /// expanded — serially or split across `threads` workers — and the
+    /// children are merged back in batch order with sequentially
+    /// assigned tie-break numbers. Batch composition, `seq` numbering
+    /// and every stop decision are pure functions of the heap's pop
+    /// order, never of worker timing, so the yielded matchings, the
+    /// mass sums and the frontier snapshot are **bitwise identical** at
+    /// every `threads` value (`run_delta(b, 1)` and `run_delta(b, 7)`
+    /// agree bit for bit). Stops (budget, retained-mass, expansion
+    /// valve) only ever fire between rounds with the heap intact, which
+    /// is also what makes a staged stop-and-resume replay the one-shot
+    /// run exactly.
+    pub fn run_delta(
+        &mut self,
+        budget: &MatchBudget,
+        threads: usize,
+    ) -> (BudgetedMatchings, Vec<bool>) {
         if self.synthetic {
             // Discard the synthesised fallback: the open states cover
             // the entire space (including the all-excluded matching), so
@@ -1052,20 +1219,6 @@ impl<'a> FrontierEnumerator<'a> {
         }
         let watermark = self.yielded.len();
         let live_len = self.live.len();
-        // Fallback frontier bound: each state's subtree mass is at most
-        // its weight (remaining factors sum to at most 1 per candidate,
-        // and injectivity only removes terms). Summed from the heap on
-        // demand — an incrementally maintained running sum would be
-        // destroyed by floating-point absorption once weights shrink
-        // tens of orders of magnitude below the root's 1.0.
-        let frontier_mass =
-            // lint:allow(float-accumulation, the heap layout is a pure function of the deterministic push/pop history, so the summation order is reproducible)
-            |heap: &BinaryHeap<SearchState>| -> f64 { heap.iter().map(|s| s.weight).sum() };
-        // Without an exact total, early-stop checks cost O(frontier), so
-        // they run at exponentially spaced yield counts — total checking
-        // cost stays linear, at the price of overshooting the requested
-        // mass by at most one doubling of the kept matchings.
-        let mut next_mass_check = MASS_STOP_FLOOR;
         // Safety valve: with the ratio-capped bound the search dives
         // almost straight at complete matchings, but a pathological
         // component could still explore far more partial states than it
@@ -1080,84 +1233,58 @@ impl<'a> FrontierEnumerator<'a> {
                 .saturating_mul(live_len.max(1))
                 .saturating_mul(8)
                 .max(1 << 14)
+                // Round-based expansion explores up to one batch of
+                // breadth per depth level before the first completion
+                // (a uniform-p tie plateau is the worst case), so the
+                // valve floor must scale with the batch size too.
+                .max(
+                    EXPAND_BATCH
+                        .saturating_mul(live_len.max(1))
+                        .saturating_mul(4),
+                )
         };
-        let mut expansions = 0usize;
+        let workers = if threads > 1 && live_len >= MIN_PARALLEL_LIVE {
+            threads
+        } else {
+            1
+        };
+        let mut stats = SearchStats {
+            workers,
+            ..SearchStats::default()
+        };
         if self.yielded.len() < budget.max_matchings {
-            while let Some(state) = self.heap.pop() {
-                if state.idx == live_len {
-                    let mut pairs = self.component.forced.clone();
-                    pairs.extend_from_slice(&state.taken);
-                    pairs.sort_unstable();
-                    self.retained += state.weight;
-                    self.yielded.push(Matching {
-                        pairs,
-                        weight: state.weight,
-                    });
-                    if self.yielded.len() >= budget.max_matchings {
-                        break;
-                    }
-                    if let Some(t) = budget.min_retained_mass {
-                        if self.yielded.len() >= MASS_STOP_FLOOR {
-                            match self.total_mass() {
-                                Some(z) => {
-                                    if self.retained >= t * z {
-                                        break;
-                                    }
-                                }
-                                None => {
-                                    if self.yielded.len() >= next_mass_check {
-                                        next_mass_check = self.yielded.len().saturating_mul(2);
-                                        let pending = frontier_mass(&self.heap);
-                                        if self.retained / (self.retained + pending) >= t {
-                                            break;
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    continue;
-                }
-                expansions += 1;
-                if expansions > max_expansions {
-                    // Re-queue the popped state so the final accounting
-                    // still sees its subtree mass. (If nothing complete
-                    // was reached yet, the all-excluded matching is
-                    // synthesised below.)
-                    self.heap.push(state);
-                    break;
-                }
-                let c = self.live[state.idx];
-                let takeable = self.max_take - state.taken.len();
-                // Exclude edge idx.
-                let w_excl = state.weight * (1.0 - c.p);
-                self.seq += 1;
-                self.heap.push(SearchState {
-                    bound: w_excl * self.bounds.remaining(state.idx + 1, takeable),
-                    seq: self.seq,
-                    idx: state.idx + 1,
-                    weight: w_excl,
-                    taken: state.taken.clone(),
+            let FrontierEnumerator {
+                ref component,
+                ref live,
+                max_take,
+                ref bounds,
+                ref mut heap,
+                ref mut seq,
+                ref mut yielded,
+                ref mut retained,
+                ref mut total_mass_cache,
+                ..
+            } = *self;
+            let mut cursor = SearchCursor {
+                forced: &component.forced,
+                live,
+                bounds,
+                max_take,
+                heap,
+                seq,
+                yielded,
+                retained,
+                total_mass_cache,
+            };
+            if workers > 1 {
+                expand_pooled(&mut cursor, budget, max_expansions, workers, &mut stats);
+            } else {
+                cursor.drive(budget, max_expansions, &mut stats, &mut |batch| {
+                    batch
+                        .into_iter()
+                        .map(|s| expand_state(s, live, bounds, max_take))
+                        .collect()
                 });
-                // Include edge idx when both endpoints are free; a
-                // blocked inclusion's mass never existed among valid
-                // matchings, so it simply vanishes from the frontier
-                // (tightening the bound).
-                let free = takeable > 0 && !state.taken.iter().any(|&(a, b)| a == c.a || b == c.b);
-                if free {
-                    let w_incl = state.weight * c.p;
-                    let mut taken = Vec::with_capacity(state.taken.len() + 1);
-                    taken.extend_from_slice(&state.taken);
-                    taken.push((c.a, c.b));
-                    self.seq += 1;
-                    self.heap.push(SearchState {
-                        bound: w_incl * self.bounds.remaining(state.idx + 1, takeable - 1),
-                        seq: self.seq,
-                        idx: state.idx + 1,
-                        weight: w_incl,
-                        taken: Arc::from(taken),
-                    });
-                }
             }
         }
         if self.yielded.is_empty() {
@@ -1205,6 +1332,7 @@ impl<'a> FrontierEnumerator<'a> {
                 discarded_mass,
                 truncated,
                 frontier_nodes: self.heap.len(),
+                search: stats,
             },
             is_new,
         )
@@ -1223,6 +1351,359 @@ impl<'a> FrontierEnumerator<'a> {
     }
 }
 
+/// How many of the best open (incomplete) states one expansion round
+/// pops for simultaneous expansion. The batch is what parallel workers
+/// split; it is a fixed constant — NOT derived from the thread count —
+/// so the pop/expansion schedule (and with it every yielded matching,
+/// mass sum and frontier snapshot) is bitwise-identical at every
+/// `threads` value.
+const EXPAND_BATCH: usize = 256;
+
+/// How many *exactly tied* `(bound, depth)` states one batch may take
+/// before cutting the round short. On tie plateaus this reproduces the
+/// sequential search's depth-first dive — this many branches abreast —
+/// instead of materialising the plateau's exponential breadth. A fixed
+/// constant for the same reason as [`EXPAND_BATCH`]: the batch schedule
+/// must be a pure function of the heap's pop order.
+const TIE_WIDTH: usize = 8;
+
+/// Components with fewer live pairs than this expand serially even when
+/// more threads are offered: the per-round channel round-trip would cost
+/// more than the expansion arithmetic it parallelises. Purely a
+/// scheduling gate — both paths run the identical round algorithm, so
+/// the gate cannot affect results.
+const MIN_PARALLEL_LIVE: usize = 16;
+
+/// Fallback frontier bound: each open state's subtree mass is at most
+/// its weight (remaining factors sum to at most 1 per candidate, and
+/// injectivity only removes terms). The weights are summed in ascending
+/// `total_cmp` order — a canonical order independent of the heap's
+/// physical layout, which differs between a live resident enumerator
+/// and one restored from a persisted frontier (heapify) even when the
+/// open set is identical; sorting first keeps the mass figures bitwise
+/// equal across that boundary. Recomputed from the heap on demand — an
+/// incrementally maintained running sum would be destroyed by
+/// floating-point absorption once weights shrink tens of orders of
+/// magnitude below the root's 1.0.
+fn frontier_mass(heap: &BinaryHeap<SearchState>) -> f64 {
+    let mut weights: Vec<f64> = heap.iter().map(|s| s.weight).collect();
+    weights.sort_unstable_by(|a, b| a.total_cmp(b));
+    // lint:allow(float-accumulation, summed in ascending total_cmp order — canonical and independent of heap layout)
+    weights.iter().sum::<f64>()
+}
+
+/// The children of one expanded incomplete state, computed as pure
+/// arithmetic over shared read-only tables so a batch can fan out to
+/// worker threads. Heap pushes and `seq` assignment stay with the
+/// sequential merge, so tie-break numbering is independent of worker
+/// timing.
+struct Expanded {
+    /// The expanded parent (owns the `taken` prefix its exclude child
+    /// reuses).
+    state: SearchState,
+    excl_weight: f64,
+    excl_bound: f64,
+    /// The include child, when both endpoints are free.
+    incl: Option<InclChild>,
+}
+
+/// An include child's `(weight, bound, taken-prefix extended by the new
+/// pair)`.
+type InclChild = (f64, f64, Arc<[(usize, usize)]>);
+
+/// Expand one incomplete state into its exclude/include children.
+///
+/// Pure and panic-free (the driver guarantees `state.idx` indexes
+/// `live`): workers run it with no shared mutable state, so the scoped
+/// pool only ever computes and joins — no locks, no result races.
+fn expand_state(
+    state: SearchState,
+    live: &[Candidate],
+    bounds: &SuffixBounds,
+    max_take: usize,
+) -> Expanded {
+    let c = live[state.idx];
+    let takeable = max_take - state.taken.len();
+    // Exclude edge idx.
+    let w_excl = state.weight * (1.0 - c.p);
+    let excl_bound = w_excl * bounds.remaining(state.idx + 1, takeable);
+    // Include edge idx when both endpoints are free; a blocked
+    // inclusion's mass never existed among valid matchings, so it simply
+    // vanishes from the frontier (tightening the bound).
+    let free = takeable > 0 && !state.taken.iter().any(|&(a, b)| a == c.a || b == c.b);
+    let incl: Option<InclChild> = if free {
+        let w_incl = state.weight * c.p;
+        let mut taken = Vec::with_capacity(state.taken.len() + 1);
+        taken.extend_from_slice(&state.taken);
+        taken.push((c.a, c.b));
+        Some((
+            w_incl,
+            w_incl * bounds.remaining(state.idx + 1, takeable - 1),
+            Arc::from(taken),
+        ))
+    } else {
+        None
+    };
+    Expanded {
+        state,
+        excl_weight: w_excl,
+        excl_bound,
+        incl,
+    }
+}
+
+/// Split borrows of the enumerator fields the sequential side of the
+/// round algorithm mutates, separated from the read-only search tables
+/// (`live`, `bounds`) that worker threads borrow for the lifetime of
+/// the pool's scope.
+struct SearchCursor<'e> {
+    forced: &'e [(usize, usize)],
+    live: &'e [Candidate],
+    bounds: &'e SuffixBounds,
+    max_take: usize,
+    heap: &'e mut BinaryHeap<SearchState>,
+    seq: &'e mut u64,
+    yielded: &'e mut Vec<Matching>,
+    retained: &'e mut f64,
+    total_mass_cache: &'e mut Option<Option<f64>>,
+}
+
+impl SearchCursor<'_> {
+    /// The round loop of [`FrontierEnumerator::run_delta`]: certified
+    /// yields, batch selection, expansion via `expand` (inline or a
+    /// worker pool — the only pluggable part), sequential merge.
+    fn drive(
+        &mut self,
+        budget: &MatchBudget,
+        max_expansions: usize,
+        stats: &mut SearchStats,
+        expand: &mut dyn FnMut(Vec<SearchState>) -> Vec<Expanded>,
+    ) {
+        let live_len = self.live.len();
+        // Without an exact total, early-stop checks cost O(frontier), so
+        // they run at exponentially spaced yield counts — total checking
+        // cost stays linear, at the price of overshooting the requested
+        // mass by at most one doubling of the kept matchings.
+        let mut next_mass_check = MASS_STOP_FLOOR;
+        let mut expansions = 0usize;
+        loop {
+            // Certified phase: while the globally best open state is a
+            // complete matching, no unexpanded state's admissible bound
+            // outranks it — yield it. Every stop (budget, retained
+            // mass, valve) fires between rounds with the heap intact
+            // and no half-expanded batch in flight, so a staged
+            // stop-and-resume replays the remaining rounds bit for bit.
+            while self.heap.peek().is_some_and(|s| s.idx == live_len) {
+                let Some(state) = self.heap.pop() else { break };
+                stats.popped += 1;
+                let mut pairs = self.forced.to_vec();
+                pairs.extend_from_slice(&state.taken);
+                pairs.sort_unstable();
+                *self.retained += state.weight;
+                self.yielded.push(Matching {
+                    pairs,
+                    weight: state.weight,
+                });
+                if self.yielded.len() >= budget.max_matchings {
+                    return;
+                }
+                if let Some(t) = budget.min_retained_mass {
+                    if self.yielded.len() >= MASS_STOP_FLOOR {
+                        match self.total_mass() {
+                            Some(z) => {
+                                if *self.retained >= t * z {
+                                    return;
+                                }
+                            }
+                            None => {
+                                if self.yielded.len() >= next_mass_check {
+                                    next_mass_check = self.yielded.len().saturating_mul(2);
+                                    let pending = frontier_mass(self.heap);
+                                    if *self.retained / (*self.retained + pending) >= t {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Batch selection: pop a run of *consecutive* incomplete
+            // states off the top of the heap, capped at the batch size.
+            // Two canonical cutoffs keep the batch work-optimal:
+            //
+            // * a complete matching surfacing at the top ends the run —
+            //   the shared bound: every batched incomplete outranked it
+            //   (pop order descends under admissible bounds), but
+            //   nothing below it can outrank it except this batch's own
+            //   children, so expanding past it would do work the
+            //   certified phase may be about to make unnecessary;
+            // * an exact `(bound, idx)` tie run longer than
+            //   [`TIE_WIDTH`] ends the run — on a tie plateau (uniform
+            //   probabilities make these common) the sequential search
+            //   dives depth-first through one tied branch at a time,
+            //   and a wide batch would instead materialise the whole
+            //   exponential breadth of the plateau; capping the tied
+            //   take reproduces the dive, [`TIE_WIDTH`] branches
+            //   abreast.
+            //
+            // Both cutoffs read only the heap's pop order and
+            // constants — never the budget, the thread count, or worker
+            // timing — so the expansion schedule (and with it every seq
+            // number, yield and frontier) stays a canonical property of
+            // the component, identical across stagings and thread
+            // counts.
+            let target = EXPAND_BATCH.min(max_expansions - expansions);
+            if target == 0 {
+                // The expansion valve fired. The heap is intact, so the
+                // final accounting still sees every subtree's mass. (If
+                // nothing complete was reached yet, the caller
+                // synthesises the all-excluded matching.)
+                return;
+            }
+            let mut batch = Vec::with_capacity(TIE_WIDTH.min(self.heap.len()));
+            let mut tie_key = (0u64, 0usize);
+            let mut tie_run = 0usize;
+            while batch.len() < target {
+                match self.heap.peek() {
+                    Some(s) if s.idx == live_len => {
+                        // The certified phase pops completes off the
+                        // top, so a cutoff always strikes a non-empty
+                        // batch.
+                        stats.cutoffs += 1;
+                        break;
+                    }
+                    Some(s) => {
+                        let key = (s.bound.to_bits(), s.idx);
+                        if tie_run > 0 && key == tie_key {
+                            tie_run += 1;
+                            if tie_run > TIE_WIDTH {
+                                break;
+                            }
+                        } else {
+                            tie_key = key;
+                            tie_run = 1;
+                        }
+                        let Some(s) = self.heap.pop() else { break };
+                        stats.popped += 1;
+                        batch.push(s);
+                    }
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                // Drained: the certified phase consumed every complete
+                // state above this point, so an empty batch means an
+                // empty heap.
+                return;
+            }
+            expansions += batch.len();
+            stats.expanded += batch.len() as u64;
+            stats.rounds += 1;
+            let results = expand(batch);
+            // Merge, sequential and in batch order: `seq` numbering is
+            // a pure function of the pop history, independent of how
+            // many workers computed the expansions.
+            for ex in results {
+                *self.seq += 1;
+                self.heap.push(SearchState {
+                    bound: ex.excl_bound,
+                    seq: *self.seq,
+                    idx: ex.state.idx + 1,
+                    weight: ex.excl_weight,
+                    taken: ex.state.taken,
+                });
+                if let Some((weight, bound, taken)) = ex.incl {
+                    *self.seq += 1;
+                    self.heap.push(SearchState {
+                        bound,
+                        seq: *self.seq,
+                        idx: ex.state.idx + 1,
+                        weight,
+                        taken,
+                    });
+                }
+            }
+        }
+    }
+
+    /// See [`FrontierEnumerator::total_mass`] — same lazy cache, reached
+    /// through the split borrow.
+    fn total_mass(&mut self) -> Option<f64> {
+        let live = self.live;
+        *self
+            .total_mass_cache
+            .get_or_insert_with(|| exact_total_mass(live))
+    }
+}
+
+/// Drive the round algorithm with a persistent expansion pool: `workers`
+/// scoped threads each own a job channel, the driver splits every batch
+/// into contiguous per-worker chunks, and results are reassembled in
+/// worker-index order — the deterministic-reassembly pattern (atomic-free
+/// here: plain channels, no shared mutable state inside the scope), so
+/// worker timing cannot reorder anything the merge sees. The pool
+/// persists across all rounds of one run: spawning threads per round
+/// would swamp the expansions they compute.
+fn expand_pooled(
+    cursor: &mut SearchCursor<'_>,
+    budget: &MatchBudget,
+    max_expansions: usize,
+    workers: usize,
+    stats: &mut SearchStats,
+) {
+    let live = cursor.live;
+    let bounds = cursor.bounds;
+    let max_take = cursor.max_take;
+    std::thread::scope(|s| {
+        let (res_tx, res_rx) = mpsc::channel::<(usize, Vec<Expanded>)>();
+        let mut jobs: Vec<mpsc::Sender<Vec<SearchState>>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (job_tx, job_rx) = mpsc::channel::<Vec<SearchState>>();
+            jobs.push(job_tx);
+            let res_tx = res_tx.clone();
+            s.spawn(move || {
+                while let Ok(chunk) = job_rx.recv() {
+                    let out: Vec<Expanded> = chunk
+                        .into_iter()
+                        .map(|st| expand_state(st, live, bounds, max_take))
+                        .collect();
+                    if res_tx.send((w, out)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        cursor.drive(budget, max_expansions, stats, &mut |batch| {
+            // Contiguous ceil-div chunks: every worker gets a (possibly
+            // empty) chunk, so exactly `workers` results come back and
+            // index-ordered reassembly restores the original batch
+            // order.
+            let expected = batch.len();
+            let per = expected.div_ceil(workers);
+            let mut items = batch.into_iter();
+            for job in &jobs {
+                let chunk: Vec<SearchState> = items.by_ref().take(per).collect();
+                // Workers only exit when `jobs` drops at scope end, and
+                // `expand_state` is panic-free, so sends and receives
+                // cannot fail here.
+                let _ = job.send(chunk);
+            }
+            let mut slots: Vec<Vec<Expanded>> = (0..workers).map(|_| Vec::new()).collect();
+            for _ in 0..workers {
+                if let Ok((w, out)) = res_rx.recv() {
+                    slots[w] = out;
+                }
+            }
+            let merged: Vec<Expanded> = slots.into_iter().flatten().collect();
+            debug_assert_eq!(merged.len(), expected, "a worker dropped expansions");
+            merged
+        });
+        // Dropping `jobs` closes the channels; the scope joins the pool.
+    });
+}
+
 /// Enumerate the heaviest matchings of a component under a budget.
 ///
 /// A best-first branch-and-bound search over the live candidates yields
@@ -1239,7 +1720,7 @@ impl<'a> FrontierEnumerator<'a> {
 /// one-shot convenience over [`FrontierEnumerator`], which additionally
 /// persists and resumes the search state.
 pub fn enumerate_budgeted(component: &Component, budget: &MatchBudget) -> BudgetedMatchings {
-    FrontierEnumerator::new(component).run(budget)
+    FrontierEnumerator::new(Arc::new(component.clone())).run(budget)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1662,7 +2143,7 @@ mod tests {
             let c = full_graph(n, m, p);
             let exhaustive = enumerate_matchings(&c, usize::MAX).unwrap();
             // Truncate, persist, restore, run to completion.
-            let mut first = FrontierEnumerator::new(&c);
+            let mut first = FrontierEnumerator::new(Arc::new(c.clone()));
             let partial = first.run(&budget(5));
             assert!(partial.truncated);
             assert_eq!(
@@ -1671,7 +2152,8 @@ mod tests {
             );
             let frontier = first.frontier().unwrap();
             assert_eq!(frontier.kept(), 5);
-            let mut resumed = FrontierEnumerator::restore(&c, &frontier).expect("same component");
+            let mut resumed = FrontierEnumerator::restore(Arc::new(c.clone()), &frontier)
+                .expect("same component");
             let full = resumed.run(&MatchBudget::UNLIMITED);
             assert!(resumed.is_drained());
             assert!(resumed.frontier().is_none());
@@ -1704,13 +2186,14 @@ mod tests {
             forced: Vec::new(),
             possible,
         };
-        let mut en = FrontierEnumerator::new(&c);
+        let mut en = FrontierEnumerator::new(Arc::new(c.clone()));
         let mut last = en.run(&budget(3));
         assert!(last.truncated);
         let mut steps = 0;
         // Round-trip through the persisted form every step.
         while let Some(frontier) = en.frontier() {
-            en = FrontierEnumerator::restore(&c, &frontier).expect("same component");
+            en = FrontierEnumerator::restore(Arc::new(c.clone()), &frontier)
+                .expect("same component");
             let next = en.run(&budget(frontier.kept() + 7));
             assert!(
                 next.discarded_mass <= last.discarded_mass + 1e-12,
@@ -1736,20 +2219,19 @@ mod tests {
     #[test]
     fn restore_rejects_foreign_component() {
         let c = graded_graph(3, 3);
-        let mut en = FrontierEnumerator::new(&c);
+        let mut en = FrontierEnumerator::new(Arc::new(c.clone()));
         en.run(&budget(2));
         let frontier = en.frontier().unwrap();
         let other = full_graph(2, 2, 0.5);
-        let err = FrontierEnumerator::restore(&other, &frontier)
-            .err()
-            .expect("mismatched component must be rejected");
+        let err = FrontierEnumerator::restore(Arc::new(other.clone()), &frontier)
+            .expect_err("mismatched component must be rejected");
         assert_eq!(err.expected, frontier.digest);
         assert_ne!(err.expected, err.found);
         // Same shape and live-pair count, different probabilities: the
         // content digest still rejects it.
         let lookalike = full_graph(3, 3, 0.4);
         assert!(
-            FrontierEnumerator::restore(&lookalike, &frontier).is_err(),
+            FrontierEnumerator::restore(Arc::new(lookalike.clone()), &frontier).is_err(),
             "lookalike component must be rejected"
         );
     }
@@ -1813,12 +2295,12 @@ mod tests {
     #[test]
     fn run_delta_flags_exactly_the_new_matchings() {
         let c = proper_graph44();
-        let mut en = FrontierEnumerator::new(&c);
+        let mut en = FrontierEnumerator::new(Arc::new(c.clone()));
         let first = en.run(&budget(5));
         assert!(first.truncated);
         let first_pairs: Vec<Vec<(usize, usize)>> =
             first.matchings.iter().map(|m| m.pairs.clone()).collect();
-        let (next, is_new) = en.run_delta(&budget(5 + 4));
+        let (next, is_new) = en.run_delta(&budget(5 + 4), 1);
         assert_eq!(next.matchings.len(), 9);
         assert_eq!(is_new.len(), next.matchings.len());
         assert_eq!(is_new.iter().filter(|&&n| n).count(), 4);
@@ -1829,7 +2311,7 @@ mod tests {
         }
         // Bitwise agreement with a single-shot run over the same budget:
         // the delta form only adds provenance, never changes weights.
-        let oneshot = FrontierEnumerator::new(&c).run(&budget(9));
+        let oneshot = FrontierEnumerator::new(Arc::new(c.clone())).run(&budget(9));
         for (a, b) in next.matchings.iter().zip(&oneshot.matchings) {
             assert_eq!(a.pairs, b.pairs);
             assert_eq!(a.weight.to_bits(), b.weight.to_bits());
@@ -1839,11 +2321,12 @@ mod tests {
     #[test]
     fn run_delta_survives_the_frontier_round_trip() {
         let c = proper_graph44();
-        let mut en = FrontierEnumerator::new(&c);
+        let mut en = FrontierEnumerator::new(Arc::new(c.clone()));
         en.run(&budget(3));
         let frontier = en.frontier().unwrap();
-        let mut resumed = FrontierEnumerator::restore(&c, &frontier).expect("same component");
-        let (full, is_new) = resumed.run_delta(&MatchBudget::UNLIMITED);
+        let mut resumed =
+            FrontierEnumerator::restore(Arc::new(c.clone()), &frontier).expect("same component");
+        let (full, is_new) = resumed.run_delta(&MatchBudget::UNLIMITED, 1);
         assert!(!full.truncated);
         assert_eq!(is_new.iter().filter(|&&n| !n).count(), 3);
         let exhaustive = enumerate_matchings(&c, usize::MAX).unwrap();
@@ -1905,5 +2388,148 @@ mod tests {
         // cap — callers get the conservative frontier bound.
         let possible: Vec<Candidate> = (0..21).map(|i| Candidate { a: i, b: i, p: 0.5 }).collect();
         assert_eq!(exact_total_mass(&possible), None);
+    }
+
+    /// Shared-state audit: a live enumerator is kept resident inside
+    /// `RefineState`, which crosses threads behind an `Arc` in the
+    /// engine — it must be plain `Send + Sync` data (its `Arc`-shared
+    /// prefixes are immutable; nothing inside locks).
+    #[test]
+    fn enumerator_is_plain_shared_data() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrontierEnumerator>();
+        assert_send_sync::<ComponentFrontier>();
+        assert_send_sync::<SearchStats>();
+        assert_send_sync::<Parallelism>();
+    }
+
+    /// A 5×5 graph with distinct probabilities: 25 live pairs (past the
+    /// parallel scheduling gate) and a unique top-K at every budget.
+    fn parallel_graph55() -> Component {
+        let mut possible = Vec::new();
+        for a in 0..5usize {
+            for b in 0..5usize {
+                possible.push(Candidate {
+                    a,
+                    b,
+                    p: 0.10 + 0.031 * (a * 5 + b) as f64,
+                });
+            }
+        }
+        Component {
+            a_nodes: (0..5).collect(),
+            b_nodes: (0..5).collect(),
+            forced: Vec::new(),
+            possible,
+        }
+    }
+
+    #[test]
+    fn parallel_search_is_bitwise_identical_at_every_thread_count() {
+        let c = Arc::new(parallel_graph55());
+        // Two staged installments plus a snapshot, at each thread count.
+        let staged = |threads: usize| {
+            let mut en = FrontierEnumerator::new(Arc::clone(&c));
+            let (first, first_new) = en.run_delta(&budget(40), threads);
+            let (second, second_new) = en.run_delta(&budget(40 + 33), threads);
+            let mut bytes = Vec::new();
+            en.frontier().expect("still truncated").encode(&mut bytes);
+            (first, first_new, second, second_new, bytes)
+        };
+        let (s1, sn1, s2, sn2, sbytes) = staged(1);
+        assert_eq!(s1.search.workers, 1);
+        assert!(s1.search.popped > 0 && s1.search.expanded > 0);
+        for threads in [2, 4, 7] {
+            let (p1, pn1, p2, pn2, pbytes) = staged(threads);
+            assert_eq!(p1.search.workers, threads, "pool must engage");
+            for (serial, parallel) in [(&s1, &p1), (&s2, &p2)] {
+                assert_eq!(serial.matchings.len(), parallel.matchings.len());
+                for (a, b) in serial.matchings.iter().zip(&parallel.matchings) {
+                    assert_eq!(a.pairs, b.pairs, "threads={threads}");
+                    assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "threads={threads}");
+                }
+                assert_eq!(
+                    serial.retained_mass.to_bits(),
+                    parallel.retained_mass.to_bits()
+                );
+                assert_eq!(
+                    serial.discarded_mass.to_bits(),
+                    parallel.discarded_mass.to_bits()
+                );
+                assert_eq!(serial.frontier_nodes, parallel.frontier_nodes);
+                // The schedule itself is thread-count independent, so
+                // the work counters agree exactly too.
+                assert_eq!(serial.search.popped, parallel.search.popped);
+                assert_eq!(serial.search.expanded, parallel.search.expanded);
+                assert_eq!(serial.search.cutoffs, parallel.search.cutoffs);
+                assert_eq!(serial.search.rounds, parallel.search.rounds);
+            }
+            assert_eq!(sn1, pn1, "threads={threads}");
+            assert_eq!(sn2, pn2, "threads={threads}");
+            assert_eq!(sbytes, pbytes, "snapshot bytes, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_resume_from_snapshot_matches_serial_continuation() {
+        let c = Arc::new(parallel_graph55());
+        let mut en = FrontierEnumerator::new(Arc::clone(&c));
+        en.run(&budget(25));
+        let snapshot = en.frontier().expect("truncated");
+        // Continue the live enumerator serially…
+        let live = en.run_with(&MatchBudget::UNLIMITED, 1);
+        // …and a restored one with a worker pool.
+        let mut restored =
+            FrontierEnumerator::restore(Arc::clone(&c), &snapshot).expect("same component");
+        let resumed = restored.run_with(&MatchBudget::UNLIMITED, 4);
+        assert!(!live.truncated && !resumed.truncated);
+        assert_eq!(live.matchings.len(), resumed.matchings.len());
+        for (a, b) in live.matchings.iter().zip(&resumed.matchings) {
+            assert_eq!(a.pairs, b.pairs);
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn conservative_mass_is_layout_independent_across_restore() {
+        // 21 disjoint edges: past every exact-mass cap, so truncated
+        // accounting takes the conservative frontier bound — the one
+        // path whose float sum ranges over the whole open heap. A live
+        // enumerator's heap layout differs from a restored (re-heapified)
+        // one even with an identical open set; the canonical-order sum
+        // must make the mass figures agree bit for bit anyway.
+        let possible: Vec<Candidate> = (0..21)
+            .map(|i| Candidate {
+                a: i,
+                b: i,
+                p: 0.30 + 0.02 * (i % 10) as f64,
+            })
+            .collect();
+        let c = Arc::new(Component {
+            a_nodes: (0..21).collect(),
+            b_nodes: (0..21).collect(),
+            forced: Vec::new(),
+            possible,
+        });
+        let mut live_en = FrontierEnumerator::new(Arc::clone(&c));
+        live_en.run(&budget(32));
+        let snapshot = live_en.frontier().expect("2^21 matchings stay truncated");
+        let live = live_en.run(&budget(64));
+        let mut restored =
+            FrontierEnumerator::restore(Arc::clone(&c), &snapshot).expect("same component");
+        let resumed = restored.run(&budget(64));
+        assert!(live.truncated && resumed.truncated);
+        assert_eq!(
+            live.retained_mass.to_bits(),
+            resumed.retained_mass.to_bits()
+        );
+        assert_eq!(
+            live.discarded_mass.to_bits(),
+            resumed.discarded_mass.to_bits()
+        );
+        for (a, b) in live.matchings.iter().zip(&resumed.matchings) {
+            assert_eq!(a.pairs, b.pairs);
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
     }
 }

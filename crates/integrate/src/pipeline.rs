@@ -30,7 +30,7 @@ use crate::matching::{
 use crate::{BudgetPlan, IntegrationOptions};
 use imprecise_pxml::PxNodeId;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 /// Stage-1 output: the judged cross product of one tag group.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -91,8 +91,9 @@ pub fn split(set: &CandidateSet, n_a: usize, n_b: usize) -> Vec<Component> {
 /// budgeted, serial or parallel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComponentOutcome {
-    /// The component these matchings belong to.
-    pub component: Component,
+    /// The component these matchings belong to (shared with the live
+    /// enumerator a truncated outcome's refinement keeps resident).
+    pub component: Arc<Component>,
     /// Matchings in canonical (descending weight) order, weights
     /// normalised to sum to 1 over the *kept* matchings.
     pub matchings: Vec<Matching>,
@@ -112,14 +113,35 @@ pub struct ComponentOutcome {
     pub frontier: Option<ComponentFrontier>,
 }
 
+/// The enumeration state a [`DocFrontier`] carries: either a resident
+/// [`FrontierEnumerator`] that the staged refinement path advances
+/// directly, or the plain persisted [`ComponentFrontier`] that the
+/// codec decodes and integration produces.
+///
+/// The two forms are interchangeable bit for bit: a live enumerator
+/// materialises into exactly the stored frontier a snapshot round-trip
+/// would have produced, and restoring that snapshot rebuilds the same
+/// enumerator. Keeping the live form resident just skips paying the
+/// snapshot (canonical sort) + restore (re-heapify) round-trip on every
+/// refine step.
+#[derive(Debug, Clone)]
+enum FrontierForm {
+    /// A resident enumerator, advanced in place by refinement.
+    Live(FrontierEnumerator),
+    /// Plain persisted data, upgraded to `Live` on first refinement.
+    Stored(ComponentFrontier),
+}
+
 /// A resumable truncation site inside an integrated document: one
-/// truncated component, its persisted [`ComponentFrontier`], and where
-/// its possibilities live — the output probability node plus the source
+/// truncated component, its enumeration state, and where its
+/// possibilities live — the output probability node plus the source
 /// element groups re-emission walks again.
 ///
-/// Everything inside is plain owned data (`Send + Sync`), so frontiers
-/// can be stored in a catalog next to the document version they belong
-/// to and refined from any thread.
+/// Everything inside is owned data (`Send + Sync`), so frontiers can be
+/// stored in a catalog next to the document version they belong to and
+/// refined from any thread. Serialisation always goes through the
+/// plain-data [`ComponentFrontier`] form regardless of which form is
+/// resident in memory.
 #[derive(Debug, Clone)]
 pub struct DocFrontier {
     /// Element path of the component's tag group (e.g. `/catalog/movie`).
@@ -131,10 +153,10 @@ pub struct DocFrontier {
     ga: Vec<PxNodeId>,
     /// The tag group's element nodes in source b, in group order.
     gb: Vec<PxNodeId>,
-    /// The candidate-graph component (needed to restore the enumerator).
-    component: Component,
-    /// The persisted enumeration state.
-    frontier: ComponentFrontier,
+    /// The candidate-graph component, shared with the live enumerator.
+    component: Arc<Component>,
+    /// The enumeration state, live or stored.
+    form: FrontierForm,
 }
 
 impl DocFrontier {
@@ -155,7 +177,13 @@ impl DocFrontier {
             put_node_id(out, id);
         }
         crate::codec::encode_component(&self.component, out);
-        self.frontier.encode(out);
+        match &self.form {
+            FrontierForm::Stored(frontier) => frontier.encode(out),
+            // A live enumerator materialises through the same canonical
+            // snapshot a stored frontier was made from, so the bytes are
+            // identical whichever form happened to be resident.
+            FrontierForm::Live(en) => en.snapshot_frontier().encode(out),
+        }
     }
 
     /// Decode a truncation site written by [`encode`](Self::encode),
@@ -204,8 +232,8 @@ impl DocFrontier {
             prob,
             ga,
             gb,
-            component,
-            frontier,
+            component: Arc::new(component),
+            form: FrontierForm::Stored(frontier),
         })
     }
 
@@ -214,7 +242,7 @@ impl DocFrontier {
         prob: PxNodeId,
         ga: Vec<PxNodeId>,
         gb: Vec<PxNodeId>,
-        component: Component,
+        component: Arc<Component>,
         frontier: ComponentFrontier,
     ) -> Self {
         DocFrontier {
@@ -223,7 +251,7 @@ impl DocFrontier {
             ga,
             gb,
             component,
-            frontier,
+            form: FrontierForm::Stored(frontier),
         }
     }
 
@@ -241,32 +269,76 @@ impl DocFrontier {
     /// Conservative upper bound on the probability mass still
     /// unenumerated — the refinement priority.
     pub fn discarded_mass(&self) -> f64 {
-        self.frontier.discarded_mass
+        match &self.form {
+            FrontierForm::Live(en) => en.discarded_mass(),
+            FrontierForm::Stored(f) => f.discarded_mass,
+        }
     }
 
     /// Matchings kept so far.
     pub fn kept(&self) -> usize {
-        self.frontier.kept()
+        match &self.form {
+            FrontierForm::Live(en) => en.kept(),
+            FrontierForm::Stored(f) => f.kept(),
+        }
     }
 
-    /// Open search states on the persisted frontier.
+    /// Open search states on the frontier.
     pub fn open_nodes(&self) -> usize {
-        self.frontier.open_nodes()
+        match &self.form {
+            FrontierForm::Live(en) => en.open_nodes(),
+            FrontierForm::Stored(f) => f.open_nodes(),
+        }
     }
 
     /// Live undecided pairs of the component.
     pub fn live_pairs(&self) -> usize {
-        self.frontier.live_pairs
+        match &self.form {
+            FrontierForm::Live(en) => en.live_pairs(),
+            FrontierForm::Stored(f) => f.live_pairs,
+        }
+    }
+
+    /// True when the enumeration state is the synthesised all-excluded
+    /// fallback (see [`FrontierEnumerator::run_delta`]).
+    pub fn is_synthetic(&self) -> bool {
+        match &self.form {
+            FrontierForm::Live(en) => en.is_synthetic(),
+            FrontierForm::Stored(f) => f.is_synthetic(),
+        }
+    }
+
+    /// True when a live enumerator is resident (the staged path has
+    /// refined this site at least once since it was decoded/integrated).
+    pub fn is_live(&self) -> bool {
+        matches!(self.form, FrontierForm::Live(_))
     }
 
     /// The candidate-graph component this frontier belongs to.
-    pub fn component(&self) -> &Component {
+    pub fn component(&self) -> &Arc<Component> {
         &self.component
     }
 
-    /// The persisted enumeration state.
-    pub fn component_frontier(&self) -> &ComponentFrontier {
-        &self.frontier
+    /// Materialise the enumeration state into its plain persisted form
+    /// (clones the stored form; snapshots the live one).
+    pub fn snapshot_frontier(&self) -> ComponentFrontier {
+        match &self.form {
+            FrontierForm::Live(en) => en.snapshot_frontier(),
+            FrontierForm::Stored(f) => f.clone(),
+        }
+    }
+
+    /// An enumerator positioned exactly where this site's enumeration
+    /// stopped: a cheap clone of the resident one (open states share
+    /// their `taken` prefixes), or a restore of the stored frontier.
+    /// Advancing the result does not touch this site — refinement
+    /// installs the advanced enumerator back via [`install`] only after
+    /// the step commits ([`Self::install`]).
+    pub(crate) fn enumerator(&self) -> Result<FrontierEnumerator, FrontierMismatch> {
+        match &self.form {
+            FrontierForm::Live(en) => Ok(en.clone()),
+            FrontierForm::Stored(f) => FrontierEnumerator::restore(Arc::clone(&self.component), f),
+        }
     }
 
     /// The source element groups (left, right) re-emission walks.
@@ -274,9 +346,19 @@ impl DocFrontier {
         (&self.ga, &self.gb)
     }
 
-    /// Swap in the frontier a resumed run left behind.
-    pub(crate) fn update(&mut self, frontier: ComponentFrontier) {
-        self.frontier = frontier;
+    /// Keep the enumerator a resumed run advanced resident for the next
+    /// step — the staged path stops paying the snapshot/restore
+    /// round-trip from here on.
+    pub(crate) fn install(&mut self, en: FrontierEnumerator) {
+        self.form = FrontierForm::Live(en);
+    }
+
+    /// Demote a resident enumerator back to the plain persisted form
+    /// (measurement hook: the round-trip cost the live form avoids).
+    pub fn materialise(&mut self) {
+        if let FrontierForm::Live(en) = &self.form {
+            self.form = FrontierForm::Stored(en.snapshot_frontier());
+        }
     }
 
     /// Re-anchor the output probability node after an arena compaction
@@ -354,24 +436,14 @@ fn component_budgets(components: &[Component], options: &IntegrationOptions) -> 
 /// search is cheaper than the scheduling.
 const MIN_PARALLEL_PAIRS: usize = 8;
 
-pub(crate) fn effective_parallelism(parallelism: usize) -> usize {
-    match parallelism {
-        0 => {
-            // Cached: the pipeline runs once per tag group, and
-            // `available_parallelism` is a cgroup/sysfs read.
-            static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-            *CORES.get_or_init(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-        }
-        n => n,
-    }
-}
-
 /// Stage 3: enumerate the matchings of every component under the
 /// options' budget, in parallel when allowed and worthwhile.
+///
+/// With several busy components the fan-out is *across* components
+/// (each enumeration self-contained and serial); with one busy
+/// component the thread budget goes *into* its best-first search
+/// instead ([`FrontierEnumerator::run_with`]). Either way results are
+/// bit-identical to the serial path.
 ///
 /// In budgeted mode (the default) this never fails: over-budget
 /// components are truncated to their heaviest matchings with the
@@ -385,7 +457,8 @@ pub fn enumerate_components(
     path: &str,
 ) -> Result<Vec<ComponentOutcome>, TooManyMatchings> {
     let budgets = component_budgets(&components, options);
-    let threads = effective_parallelism(options.parallelism);
+    let components: Vec<Arc<Component>> = components.into_iter().map(Arc::new).collect();
+    let threads = options.parallelism.effective();
     let busy = components
         .iter()
         .filter(|c| c.possible.len() >= MIN_PARALLEL_PAIRS)
@@ -407,13 +480,15 @@ pub fn enumerate_components(
             })
             .collect()
     } else {
-        // Serial: components move into their outcomes, and a strict-mode
-        // failure short-circuits before later components are enumerated.
+        // Serial over components: a strict-mode failure short-circuits
+        // before later components are enumerated. A single busy
+        // component still gets the whole thread budget, inside its
+        // search.
         components
             .into_iter()
             .zip(&budgets)
             .map(|(component, &budget)| {
-                enumerate_one(&component, options, budget)
+                enumerate_one(&component, options, budget, threads)
                     .map(|e| e.into_outcome(component))
                     .map_err(|e| e.at_path(path))
             })
@@ -433,7 +508,7 @@ struct Enumerated {
 }
 
 impl Enumerated {
-    fn into_outcome(self, component: Component) -> ComponentOutcome {
+    fn into_outcome(self, component: Arc<Component>) -> ComponentOutcome {
         ComponentOutcome {
             component,
             matchings: self.matchings,
@@ -447,11 +522,13 @@ impl Enumerated {
 }
 
 /// Enumerate one component under the options' policy, capped at
-/// `max_matchings` (the per-component figure the budget plan assigned).
+/// `max_matchings` (the per-component figure the budget plan assigned),
+/// with up to `threads` expansion workers inside the search.
 fn enumerate_one(
-    component: &Component,
+    component: &Arc<Component>,
     options: &IntegrationOptions,
     max_matchings: usize,
+    threads: usize,
 ) -> Result<Enumerated, TooManyMatchings> {
     if options.strict_matchings {
         let live_pairs = live_candidates(component).len();
@@ -469,8 +546,8 @@ fn enumerate_one(
             max_matchings,
             min_retained_mass: options.min_retained_mass,
         };
-        let mut enumerator = FrontierEnumerator::new(component);
-        let result = enumerator.run(&budget);
+        let mut enumerator = FrontierEnumerator::new(Arc::clone(component));
+        let result = enumerator.run_with(&budget, threads);
         Ok(Enumerated {
             frontier: enumerator.into_frontier(),
             matchings: result.matchings,
@@ -488,7 +565,7 @@ fn enumerate_one(
 /// when the component drained). Fails with [`FrontierMismatch`] when
 /// the frontier does not belong to `component`.
 pub fn resume_component(
-    component: &Component,
+    component: &Arc<Component>,
     frontier: &ComponentFrontier,
     extra: usize,
     min_retained_mass: Option<f64>,
@@ -522,21 +599,24 @@ pub struct ResumedDelta {
 /// holding the previously emitted possibility subtrees appends only the
 /// flagged ones and rescales the survivors in place.
 pub fn resume_component_delta(
-    component: &Component,
+    component: &Arc<Component>,
     frontier: &ComponentFrontier,
     extra: usize,
     min_retained_mass: Option<f64>,
 ) -> Result<ResumedDelta, FrontierMismatch> {
-    let mut enumerator = FrontierEnumerator::restore(component, frontier)?;
+    let mut enumerator = FrontierEnumerator::restore(Arc::clone(component), frontier)?;
     let max_matchings = if extra == usize::MAX {
         usize::MAX
     } else {
         frontier.kept().saturating_add(extra.max(1))
     };
-    let (all, is_new) = enumerator.run_delta(&MatchBudget {
-        max_matchings,
-        min_retained_mass,
-    });
+    let (all, is_new) = enumerator.run_delta(
+        &MatchBudget {
+            max_matchings,
+            min_retained_mass,
+        },
+        1,
+    );
     let left = enumerator.into_frontier();
     Ok(ResumedDelta { all, is_new, left })
 }
@@ -547,7 +627,7 @@ pub fn resume_component_delta(
 /// and the results are reassembled in component order, so the output is
 /// identical to the serial path.
 fn enumerate_parallel(
-    components: &[Component],
+    components: &[Arc<Component>],
     options: &IntegrationOptions,
     budgets: &[usize],
     threads: usize,
@@ -563,7 +643,7 @@ fn enumerate_parallel(
                 if i >= components.len() {
                     break;
                 }
-                let outcome = enumerate_one(&components[i], options, budgets[i]);
+                let outcome = enumerate_one(&components[i], options, budgets[i], 1);
                 if tx.send((i, outcome)).is_err() {
                     break;
                 }
@@ -584,7 +664,9 @@ fn enumerate_parallel(
     slots
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| slot.unwrap_or_else(|| enumerate_one(&components[i], options, budgets[i])))
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| enumerate_one(&components[i], options, budgets[i], 1))
+        })
         .collect()
 }
 
@@ -663,11 +745,11 @@ mod tests {
             .collect();
         let serial_opts = IntegrationOptions {
             max_matchings_per_component: 12,
-            parallelism: 1,
+            parallelism: crate::Parallelism::SERIAL,
             ..IntegrationOptions::default()
         };
         let parallel_opts = IntegrationOptions {
-            parallelism: 4,
+            parallelism: crate::Parallelism::new(4),
             ..serial_opts
         };
         let serial = enumerate_components(components.clone(), &serial_opts, "/x").unwrap();
@@ -685,8 +767,9 @@ mod tests {
 
     #[test]
     fn parallelism_zero_means_all_cores() {
-        assert!(effective_parallelism(0) >= 1);
-        assert_eq!(effective_parallelism(3), 3);
+        assert!(crate::Parallelism::AUTO.effective() >= 1);
+        assert_eq!(crate::Parallelism::new(3).effective(), 3);
+        assert_eq!(crate::Parallelism::default(), crate::Parallelism::SERIAL);
     }
 
     #[test]

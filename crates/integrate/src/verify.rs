@@ -201,7 +201,9 @@ pub fn verify_frontier(doc: &PxDoc, df: &DocFrontier) -> Result<(), InvariantVio
             prob: anchor.index(),
         });
     }
-    let cf = df.component_frontier();
+    // Materialise the enumeration state: a resident live enumerator is
+    // checked through exactly the snapshot the codec would persist.
+    let cf = df.snapshot_frontier();
     let kids = doc.children(anchor);
     if kids.len() != cf.kept() {
         return Err(InvariantViolation::KeptMismatch {
@@ -229,7 +231,7 @@ pub fn verify_frontier(doc: &PxDoc, df: &DocFrontier) -> Result<(), InvariantVio
             discarded: cf.discarded_mass,
         });
     }
-    if let Err(mismatch) = FrontierEnumerator::restore(df.component(), cf) {
+    if let Err(mismatch) = FrontierEnumerator::restore(std::sync::Arc::clone(df.component()), &cf) {
         return Err(InvariantViolation::DigestMismatch {
             path: path(),
             mismatch,

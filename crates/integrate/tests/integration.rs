@@ -2,7 +2,8 @@
 //! paper describes.
 
 use imprecise_integrate::{
-    integrate_px, integrate_xml, BudgetPlan, IntegrateError, IntegrationOptions, RefineOptions,
+    integrate_px, integrate_xml, BudgetPlan, IntegrateError, IntegrationOptions, Parallelism,
+    RefineOptions,
 };
 use imprecise_oracle::presets::{addressbook_oracle, movie_oracle, MovieOracleConfig};
 use imprecise_oracle::Oracle;
@@ -428,7 +429,7 @@ fn parallel_integration_is_deterministic() {
             Some(&schema),
             &IntegrationOptions {
                 max_matchings_per_component: 64,
-                parallelism,
+                parallelism: Parallelism::new(parallelism),
                 ..IntegrationOptions::default()
             },
         )
@@ -581,6 +582,7 @@ fn refine_is_a_noop_on_exact_results_and_rejects_bad_options() {
                 extra_matchings: 0,
                 min_retained_mass: None,
                 max_components: usize::MAX,
+                threads: None,
             },
         )
         .unwrap_err();
@@ -635,6 +637,7 @@ fn refine_top_component_picks_largest_discarded_mass() {
                 extra_matchings: 16,
                 min_retained_mass: None,
                 max_components: 1,
+                threads: None,
             },
         )
         .unwrap();

@@ -324,9 +324,19 @@ pub fn decode_doc(r: &mut Reader<'_>) -> Result<PxDoc, CodecError> {
             children,
         });
     }
+    // A persisted document may legitimately carry detached slots (the
+    // producer is not required to compact before encoding); a cheap
+    // parent-link scan decides whether the decoded arena is fully live,
+    // so its `arena_stats` stay O(1) when it is. Detachment always
+    // leaves a `None` parent on the subtree root, so the scan is exact.
+    let maybe_detached = nodes
+        .iter()
+        .enumerate()
+        .any(|(i, n)| i != root_raw as usize && n.parent.is_none());
     Ok(PxDoc {
         nodes,
         root: PxNodeId(root_raw),
+        maybe_detached,
     })
 }
 

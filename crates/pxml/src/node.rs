@@ -62,6 +62,15 @@ pub(crate) struct PxNodeData {
 pub struct PxDoc {
     pub(crate) nodes: Vec<PxNodeData>,
     pub(crate) root: PxNodeId,
+    /// Conservative detachment marker: `false` guarantees every arena
+    /// slot is reachable from the root, so [`PxDoc::arena_stats`] can
+    /// answer in O(1) instead of walking the document. Set by the
+    /// detaching mutators ([`detach`](PxDoc::detach),
+    /// [`splice`](PxDoc::splice), a [`reset_children`](PxDoc::reset_children)
+    /// that leaves a former child behind), cleared by
+    /// [`compact`](PxDoc::compact). `true` only means a detach *may*
+    /// have left garbage — the slow count remains the authority.
+    pub(crate) maybe_detached: bool,
 }
 
 /// Arena occupancy of a [`PxDoc`]: how many slots are reachable from the
@@ -158,6 +167,7 @@ impl PxDoc {
                 children: Vec::new(),
             }],
             root: PxNodeId(0),
+            maybe_detached: false,
         }
     }
 
@@ -435,6 +445,7 @@ impl PxDoc {
         let map = SpliceMap {
             base: self.nodes.len(),
         };
+        self.nodes.reserve(src.nodes.len() - 1);
         let mut slots = src.nodes.into_iter();
         // lint:allow(expect-in-lib, holds by construction: scratch has a root)
         let root = slots.next().expect("scratch has a root");
@@ -464,6 +475,7 @@ impl PxDoc {
                 list.remove(pos);
             }
             self.node_mut(child).parent = None;
+            self.maybe_detached = true;
         }
     }
 
@@ -476,7 +488,8 @@ impl PxDoc {
     /// `parent` (re-parenting a node that is still linked elsewhere
     /// would corrupt the other parent's child list).
     pub fn reset_children(&mut self, parent: PxNodeId, children: Vec<PxNodeId>) {
-        for c in std::mem::take(&mut self.node_mut(parent).children) {
+        let old = std::mem::take(&mut self.node_mut(parent).children);
+        for &c in &old {
             self.node_mut(c).parent = None;
         }
         for &c in &children {
@@ -487,6 +500,11 @@ impl PxDoc {
             self.node_mut(c).parent = Some(parent);
         }
         self.node_mut(parent).children = children;
+        // Only a former child that was *not* re-attached leaves garbage
+        // behind; the common refine-commit call re-attaches every one.
+        if old.iter().any(|&c| self.node(c).parent.is_none()) {
+            self.maybe_detached = true;
+        }
     }
 
     /// Drop every arena slot from index `mark` on — the nodes appended
@@ -530,6 +548,7 @@ impl PxDoc {
         new_children.splice(pos..=pos, replacements.iter().copied());
         self.node_mut(parent).children = new_children;
         self.node_mut(old).parent = None;
+        self.maybe_detached = true;
         for &r in replacements {
             self.node_mut(r).parent = Some(parent);
         }
@@ -554,9 +573,20 @@ impl PxDoc {
     /// the root; the rest are detached garbage left behind by
     /// simplification, refinement, or feedback.
     pub fn arena_stats(&self) -> ArenaStats {
+        let total = self.arena_len();
+        // Documents that never detached anything are fully live — no
+        // need to walk the arena to prove it. Refinement is append-only,
+        // so its per-step stats hit this path. A wrongly cleared marker
+        // cannot hide: [`deep_check`](Self::deep_check) compares this
+        // figure against its own independent walk
+        // (`ArenaAccountingDrift`), and the strict-invariants shadow
+        // checks run that after every mutation.
+        if !self.maybe_detached {
+            return ArenaStats { live: total, total };
+        }
         ArenaStats {
             live: self.reachable_count(),
-            total: self.arena_len(),
+            total,
         }
     }
 
@@ -583,6 +613,8 @@ impl PxDoc {
             }
         }
         let dropped = n - next as usize;
+        // Either way the arena is fully live from here on.
+        self.maybe_detached = false;
         if dropped == 0 {
             return CompactMap { map, dropped };
         }
@@ -926,6 +958,23 @@ pub(crate) mod tests {
         px.compact();
         assert_eq!(px.fingerprint(), fp);
         assert_eq!(px.world_count(), worlds_before);
+    }
+
+    /// Shared-state audit for the parallel refinement path: worker
+    /// threads hold `&PxDoc` references to both sources while scoped
+    /// expansion workers race inside a component's search, so every
+    /// arena type must be free of interior mutability (`Send + Sync`
+    /// by plain data, not by locking). A `Cell`/`RefCell` smuggled into
+    /// a node payload would fail this at compile time.
+    #[test]
+    fn arena_types_are_plain_shared_data() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PxDoc>();
+        assert_send_sync::<PxNodeId>();
+        assert_send_sync::<PxNodeKind>();
+        assert_send_sync::<ArenaStats>();
+        assert_send_sync::<CompactMap>();
+        assert_send_sync::<SpliceMap>();
     }
 
     #[test]

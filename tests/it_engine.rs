@@ -263,6 +263,7 @@ fn staged_refinement_emits_deltas_and_keeps_the_arena_clean() {
         extra_matchings: 4,
         min_retained_mass: None,
         max_components: usize::MAX,
+        threads: None,
     };
     let mut detached_baseline: Option<usize> = None;
     let mut steps = 0usize;

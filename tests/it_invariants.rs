@@ -396,8 +396,8 @@ fn foreign_refine_state_is_a_typed_error_not_a_panic() {
             Candidate { a: 1, b: 1, p },
         ],
     };
-    let mine = component(0.5);
-    let mut enumerator = FrontierEnumerator::new(&mine);
+    let mine = std::sync::Arc::new(component(0.5));
+    let mut enumerator = FrontierEnumerator::new(mine.clone());
     enumerator.run(&MatchBudget {
         max_matchings: 2,
         min_retained_mass: None,
@@ -405,8 +405,8 @@ fn foreign_refine_state_is_a_typed_error_not_a_panic() {
     let frontier = enumerator.frontier().expect("budget of 2 leaves work open");
     // Same shape, different candidate probabilities: the content digest
     // must reject the restore.
-    let foreign = component(0.25);
-    let mismatch = match FrontierEnumerator::restore(&foreign, &frontier) {
+    let foreign = std::sync::Arc::new(component(0.25));
+    let mismatch = match FrontierEnumerator::restore(foreign, &frontier) {
         Err(mismatch) => mismatch,
         Ok(_) => panic!("foreign restore must fail"),
     };
@@ -417,5 +417,5 @@ fn foreign_refine_state_is_a_typed_error_not_a_panic() {
         "unexpected message: {err}"
     );
     // The genuine owner still restores.
-    FrontierEnumerator::restore(&mine, &frontier).expect("own component restores");
+    FrontierEnumerator::restore(mine, &frontier).expect("own component restores");
 }

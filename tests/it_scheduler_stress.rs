@@ -14,7 +14,7 @@
 //! Run with `--features strict-invariants` to additionally shadow-check
 //! every publish these schedules produce.
 
-use imprecise::integrate::{IntegrationOptions, RefineOptions};
+use imprecise::integrate::{IntegrationOptions, Parallelism, RefineOptions};
 use imprecise::oracle::presets::addressbook_oracle;
 use imprecise::xml::parse;
 use imprecise::{DocHandle, Engine};
@@ -34,14 +34,15 @@ impl Lcg {
     }
 }
 
-/// Two three-John address books: one all-undecided 3×3 matching
-/// component with 34 matchings — dozens of distinct refinement
-/// schedules under small budgets.
-fn engine_with_sources(budget: usize) -> (Engine, DocHandle, DocHandle) {
-    let book = |tels: &[&str]| {
-        let persons: String = tels
-            .iter()
-            .map(|t| format!("<person><nm>John</nm><tel>{t}</tel></person>"))
+/// Two n-John address books: one all-undecided n×n matching component —
+/// dozens of distinct refinement schedules under small budgets. `n = 3`
+/// gives 34 matchings; `n = 4` gives 209 *and* crosses the
+/// intra-component parallel threshold (16 live pairs), so refine steps
+/// actually engage the in-search worker pool when threads are granted.
+fn engine_with_sized_sources(budget: usize, n: usize) -> (Engine, DocHandle, DocHandle) {
+    let book = |prefix: usize| {
+        let persons: String = (0..n)
+            .map(|i| format!("<person><nm>John</nm><tel>{prefix}{i:03}</tel></person>"))
             .collect();
         format!("<addressbook>{persons}</addressbook>")
     };
@@ -57,21 +58,25 @@ fn engine_with_sources(budget: usize) -> (Engine, DocHandle, DocHandle) {
             ..IntegrationOptions::default()
         })
         .build();
-    let a = engine
-        .load_xml("a", &book(&["1111", "2222", "3333"]))
-        .expect("a loads");
-    let b = engine
-        .load_xml("b", &book(&["4444", "5555", "6666"]))
-        .expect("b loads");
+    let a = engine.load_xml("a", &book(1)).expect("a loads");
+    let b = engine.load_xml("b", &book(2)).expect("b loads");
     (engine, a, b)
 }
 
+fn engine_with_sources(budget: usize) -> (Engine, DocHandle, DocHandle) {
+    engine_with_sized_sources(budget, 3)
+}
+
 /// The one-shot exhaustive fingerprint every schedule must converge to.
-fn exhaustive_fingerprint() -> u64 {
-    let (engine, a, b) = engine_with_sources(usize::MAX);
+fn sized_exhaustive_fingerprint(n: usize) -> u64 {
+    let (engine, a, b) = engine_with_sized_sources(usize::MAX, n);
     let (db, stats) = engine.integrate(&a, &b, "db").expect("integrates");
     assert!(stats.is_exact(), "unbudgeted run is exact");
     engine.snapshot(&db).expect("db exists").doc().fingerprint()
+}
+
+fn exhaustive_fingerprint() -> u64 {
+    sized_exhaustive_fingerprint(3)
 }
 
 #[test]
@@ -178,4 +183,81 @@ fn racing_refiners_and_readers_converge_to_the_exhaustive_fingerprint() {
     // not merely a matching fingerprint.
     let exported = engine.export(&db).expect("exports");
     parse(&exported).expect("exported document re-parses");
+}
+
+/// Engine-level half of the serial ≡ parallel contract: the *same*
+/// staged refinement schedule, re-run with 2/4/7 intra-component
+/// workers, publishes a bit-identical document after every installment
+/// — not just at convergence.
+#[test]
+fn intra_component_thread_counts_are_bitwise_identical() {
+    let run = |threads: usize| {
+        // 4×4 book: one 16-live-pair component, past the parallel gate.
+        let (engine, a, b) = engine_with_sized_sources(3, 4);
+        let (db, stats) = engine.integrate(&a, &b, "db").expect("integrates");
+        assert!(!stats.is_exact(), "budget of 3 truncates the 4×4 book");
+        let options = RefineOptions {
+            extra_matchings: 7,
+            threads: Some(Parallelism::new(threads)),
+            ..RefineOptions::default()
+        };
+        let mut fingerprints = Vec::new();
+        loop {
+            let step = engine.refine(&db, &options).expect("refine succeeds");
+            fingerprints.push(engine.snapshot(&db).expect("db exists").doc().fingerprint());
+            if step.remaining == 0 && step.refined.is_empty() {
+                break;
+            }
+            assert!(fingerprints.len() < 1000, "failed to converge");
+        }
+        fingerprints
+    };
+    let serial = run(1);
+    assert_eq!(
+        *serial.last().expect("at least one step"),
+        sized_exhaustive_fingerprint(4),
+        "staged refinement converges to the one-shot document"
+    );
+    for threads in [2, 4, 7] {
+        assert_eq!(
+            run(threads),
+            serial,
+            "{threads} workers diverged from the serial installment sequence"
+        );
+    }
+}
+
+/// Racing refiners that each bring their *own* intra-component worker
+/// pool: optimistic engine rounds interleave parallel searches over the
+/// same component, and the result must still converge to the exhaustive
+/// fingerprint.
+#[test]
+fn racing_intra_component_workers_converge_to_the_exhaustive_fingerprint() {
+    let expected = sized_exhaustive_fingerprint(4);
+    let (engine, a, b) = engine_with_sized_sources(3, 4);
+    let (db, _) = engine.integrate(&a, &b, "db").expect("integrates");
+    std::thread::scope(|scope| {
+        for threads in [2, 4, 7] {
+            let engine = engine.clone();
+            let db = db.clone();
+            scope.spawn(move || loop {
+                let step = engine
+                    .refine(
+                        &db,
+                        &RefineOptions {
+                            extra_matchings: 5,
+                            threads: Some(Parallelism::new(threads)),
+                            ..RefineOptions::default()
+                        },
+                    )
+                    .expect("refine succeeds");
+                if step.remaining == 0 && step.refined.is_empty() {
+                    return;
+                }
+            });
+        }
+    });
+    engine.check_invariants(&db).expect("invariants hold");
+    let got = engine.snapshot(&db).expect("db exists").doc().fingerprint();
+    assert_eq!(got, expected, "racing parallel searches diverged");
 }

@@ -153,7 +153,7 @@ proptest! {
         prop_assert_eq!(&strict.stats, &budgeted.stats);
         // And the parallel path changes nothing either.
         let parallel = integrate_xml(&doc_a, &doc_b, &oracle, Some(&schema), &IntegrationOptions {
-            parallelism: 0,
+            parallelism: imprecise::integrate::Parallelism::AUTO,
             ..IntegrationOptions::default()
         }).expect("never errors");
         prop_assert_eq!(budgeted.doc.fingerprint(), parallel.doc.fingerprint());

@@ -160,6 +160,7 @@ proptest! {
             extra_matchings: extra,
             min_retained_mass: None,
             max_components: top,
+            threads: None,
         };
         let mut last_mass = outcome.max_discarded_mass();
         let mut guard = 0usize;
@@ -169,7 +170,7 @@ proptest! {
                 .expect("refine succeeds");
             // Mass closure per component, after every step.
             for f in outcome.frontiers() {
-                let cf = f.component_frontier();
+                let cf = f.snapshot_frontier();
                 prop_assert!(
                     (cf.retained_mass + cf.discarded_mass - 1.0).abs() < 1e-9,
                     "{}: retained {} + discarded {} != 1",
@@ -257,6 +258,7 @@ proptest! {
             extra_matchings: extra,
             min_retained_mass: None,
             max_components: usize::MAX,
+            threads: None,
         };
         // "Process one": integrate under budget, apply one partial
         // installment, die with the frontier still open (usually).
@@ -367,6 +369,7 @@ proptest! {
             extra_matchings: extra,
             min_retained_mass: None,
             max_components: usize::MAX,
+            threads: None,
         };
         let mut guard = 0usize;
         while outcome.is_refinable() {
