@@ -4,9 +4,12 @@
 //! the timings come from the same code paths).
 
 use imprecise::datagen::scenarios::{self, MovieScenario};
-use imprecise::integrate::{integrate_xml, IntegrationOptions, IntegrationOutcome};
+use imprecise::integrate::{
+    block_candidates, integrate_xml, BlockingMode, IntegrationOptions, IntegrationOutcome,
+};
 use imprecise::oracle::presets::{movie_oracle, MovieOracleConfig, TableIRuleSet};
-use imprecise::oracle::Oracle;
+use imprecise::oracle::{Decision, ElemRef, Oracle};
+use imprecise::pxml::{from_xml, PxDoc, PxNodeId};
 use imprecise::quality::{evaluate, QualityReport};
 use imprecise::query::RankedAnswers;
 use imprecise::{DocHandle, Engine};
@@ -465,6 +468,249 @@ pub fn measure_staged_vs_one_shot() -> StagedGateMeasurement {
         std::hint::black_box(integrate_then_refine(&c8, &oracle, &options(64), 64, 7));
         let staged = start.elapsed();
         let pair = StagedGateMeasurement { one_shot, staged };
+        if best.is_none_or(|b| pair.ratio() < b.ratio()) {
+            best = Some(pair);
+        }
+    }
+    best.expect("at least one measurement pair")
+}
+
+/// The default movie oracle (title + year + genre rules), whose blocking
+/// plan carries both a year equality join and a title-similarity bound —
+/// the configuration the candidate-generation benches and gate measure.
+pub fn blocking_oracle() -> Oracle {
+    movie_oracle(MovieOracleConfig::default())
+}
+
+/// A candidate-generation workload: one `large_source(n)` scenario
+/// converted to probabilistic documents with the `movie` element rows
+/// collected per side, so the generation stage can be driven in
+/// isolation from the rest of the pipeline.
+#[derive(Debug)]
+pub struct CandidateWorkload {
+    /// Probabilistic form of the MPEG-7 side.
+    pub a: PxDoc,
+    /// Probabilistic form of the IMDB side.
+    pub b: PxDoc,
+    /// `movie` elements of `a` in document order.
+    pub ga: Vec<PxNodeId>,
+    /// `movie` elements of `b` in document order.
+    pub gb: Vec<PxNodeId>,
+}
+
+fn movie_elems(doc: &PxDoc) -> Vec<PxNodeId> {
+    let mut out = Vec::new();
+    let mut stack = vec![doc.root()];
+    while let Some(n) = stack.pop() {
+        if doc.tag(n) == Some("movie") {
+            out.push(n);
+            continue;
+        }
+        for &c in doc.children(n).iter().rev() {
+            stack.push(c);
+        }
+    }
+    out
+}
+
+/// Build the `large_source(n)` candidate workload (n movies per side).
+pub fn candidate_workload(n: usize) -> CandidateWorkload {
+    let s = scenarios::large_source(n);
+    let a = from_xml(&s.mpeg7);
+    let b = from_xml(&s.imdb);
+    let ga = movie_elems(&a);
+    let gb = movie_elems(&b);
+    CandidateWorkload { a, b, ga, gb }
+}
+
+/// What one candidate-generation strategy did on a workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CandidateGeneration {
+    /// Pairs put to the Oracle (scored).
+    pub scored: usize,
+    /// Scored pairs the Oracle did not reject (the candidates).
+    pub survivors: usize,
+    /// Pairs dismissed by the blocking prefilter without scoring.
+    pub pruned: usize,
+    /// Pairs never examined at all (heuristic windowing only).
+    pub windowed_out: usize,
+}
+
+/// Baseline: every cross pair scored with one Oracle call at a time.
+pub fn generate_pairwise(w: &CandidateWorkload, oracle: &Oracle) -> CandidateGeneration {
+    let mut gen = CandidateGeneration::default();
+    for &an in &w.ga {
+        let a_ref = ElemRef {
+            doc: &w.a,
+            node: an,
+        };
+        for &bn in &w.gb {
+            let j = oracle.judge(
+                &a_ref,
+                &ElemRef {
+                    doc: &w.b,
+                    node: bn,
+                },
+            );
+            gen.scored += 1;
+            if !matches!(j.decision, Decision::NonMatch) {
+                gen.survivors += 1;
+            }
+        }
+    }
+    gen
+}
+
+/// Every cross pair scored, but row-at-a-time through
+/// [`Oracle::judge_row`] so rules amortise their left-hand
+/// preprocessing and the SIMD kernels see batches.
+pub fn generate_batched(w: &CandidateWorkload, oracle: &Oracle) -> CandidateGeneration {
+    let mut gen = CandidateGeneration::default();
+    let b_refs: Vec<ElemRef<'_>> =
+        w.gb.iter()
+            .map(|&bn| ElemRef {
+                doc: &w.b,
+                node: bn,
+            })
+            .collect();
+    for &an in &w.ga {
+        let a_ref = ElemRef {
+            doc: &w.a,
+            node: an,
+        };
+        let judged = oracle.judge_row(&a_ref, &b_refs);
+        gen.scored += judged.len();
+        gen.survivors += judged
+            .iter()
+            .filter(|j| !matches!(j.decision, Decision::NonMatch))
+            .count();
+    }
+    gen
+}
+
+/// Blocked generation: [`block_candidates`] first, then only the
+/// surviving pairs are scored (batched, row at a time).
+pub fn generate_blocked(
+    w: &CandidateWorkload,
+    oracle: &Oracle,
+    mode: BlockingMode,
+) -> CandidateGeneration {
+    let blocked = block_candidates(&w.a, &w.ga, &w.b, &w.gb, oracle, "movie", mode);
+    let mut gen = CandidateGeneration {
+        pruned: blocked.pruned,
+        windowed_out: blocked.windowed_out,
+        ..CandidateGeneration::default()
+    };
+    let pairs = &blocked.pairs;
+    let mut i = 0;
+    while i < pairs.len() {
+        let ai = pairs[i].0;
+        let mut j = i;
+        while j < pairs.len() && pairs[j].0 == ai {
+            j += 1;
+        }
+        let a_ref = ElemRef {
+            doc: &w.a,
+            node: w.ga[ai],
+        };
+        let b_refs: Vec<ElemRef<'_>> = pairs[i..j]
+            .iter()
+            .map(|&(_, bi)| ElemRef {
+                doc: &w.b,
+                node: w.gb[bi],
+            })
+            .collect();
+        let judged = oracle.judge_row(&a_ref, &b_refs);
+        gen.scored += judged.len();
+        gen.survivors += judged
+            .iter()
+            .filter(|jd| !matches!(jd.decision, Decision::NonMatch))
+            .count();
+        i = j;
+    }
+    gen
+}
+
+/// Scaling ceiling for recall-safe blocked candidate generation:
+/// t(n=10 000) as a multiple of t(n=1 000) on `large_source`. A
+/// quadratic generator grows 100× across that decade; the hash-join
+/// blocker leaves a year-bucketed residual (~n²/120 cheap prefilter
+/// probes) plus a near-linear scored set, which measures well under
+/// half the quadratic growth. As with the staged gate, noise is
+/// handled by the paired min-of-ratios protocol in
+/// [`measure_candidate_scaling`], not by slack in the ceiling.
+pub const CANDIDATE_GATE_CEILING: f64 = 50.0;
+
+/// Fraction of the 10k² cross product the blocked generator may score.
+pub const CANDIDATE_COVERAGE_CEILING: f64 = 0.10;
+
+/// Paired wall-clock comparison of blocked candidate generation at
+/// n=1 000 vs n=10 000 (see [`measure_candidate_scaling`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateGateMeasurement {
+    /// Blocked generation time at n=1 000 of the cleanest pair.
+    pub small: std::time::Duration,
+    /// Blocked generation time at n=10 000 of the same pair.
+    pub large: std::time::Duration,
+    /// Pairs the n=10 000 run scored (out of 10 000² cross pairs).
+    pub large_scored: usize,
+}
+
+impl CandidateGateMeasurement {
+    /// Large-workload cost as a multiple of the small-workload cost.
+    pub fn ratio(&self) -> f64 {
+        self.large.as_secs_f64() / self.small.as_secs_f64().max(1e-9)
+    }
+
+    /// Whether the growth is within [`CANDIDATE_GATE_CEILING`].
+    pub fn holds(&self) -> bool {
+        self.ratio() <= CANDIDATE_GATE_CEILING
+    }
+
+    /// Fraction of the n=10 000 cross product that was scored.
+    pub fn coverage(&self) -> f64 {
+        self.large_scored as f64 / (10_000.0 * 10_000.0)
+    }
+
+    /// Whether blocking kept scoring under [`CANDIDATE_COVERAGE_CEILING`].
+    pub fn coverage_holds(&self) -> bool {
+        self.coverage() < CANDIDATE_COVERAGE_CEILING
+    }
+}
+
+/// Measure the candidate-generation scaling gate: recall-safe blocked
+/// generation on `large_source(1_000)` vs `large_source(10_000)`.
+///
+/// The two sizes are timed as *interleaved pairs* and the pair with the
+/// smallest large/small ratio wins, for the same reason as
+/// [`measure_staged_vs_one_shot`]: a load spike inflates both halves of
+/// the pair it lands in, so the cleanest pair rejects the noise that
+/// independent best-of-N runs would keep.
+pub fn measure_candidate_scaling() -> CandidateGateMeasurement {
+    let oracle = blocking_oracle();
+    let small_w = candidate_workload(1_000);
+    let large_w = candidate_workload(10_000);
+    let mut best: Option<CandidateGateMeasurement> = None;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        std::hint::black_box(generate_blocked(
+            &small_w,
+            &oracle,
+            BlockingMode::RecallSafe,
+        ));
+        let small = start.elapsed();
+        let start = std::time::Instant::now();
+        let gen = std::hint::black_box(generate_blocked(
+            &large_w,
+            &oracle,
+            BlockingMode::RecallSafe,
+        ));
+        let large = start.elapsed();
+        let pair = CandidateGateMeasurement {
+            small,
+            large,
+            large_scored: gen.scored,
+        };
         if best.is_none_or(|b| pair.ratio() < b.ratio()) {
             best = Some(pair);
         }

@@ -6,6 +6,7 @@
 //!                     [--dtd FILE] [--weights A,B] [--budget K]
 //!                     [--budget-total K] [--min-mass P] [--strict]
 //!                     [--threads N] [--store FILE]
+//!                     [--blocking off|safe|window:N]
 //!                     a.xml b.xml [c.xml ...]
 //! imprecise refine --out refined.xml [--rules ...] [--dtd FILE]
 //!                  [--initial-budget K] [--budget K] [--top C]
@@ -32,7 +33,7 @@
 //! `query NAME QUERY --store FILE` queries a stored document by name
 //! instead of reading an XML file.
 
-use imprecise::integrate::{Parallelism, RefineOptions};
+use imprecise::integrate::{BlockingMode, Parallelism, RefineOptions};
 use imprecise::oracle::dsl::{ADDRESSBOOK_RULES, MOVIE_RULES};
 use imprecise::query::QueryPlan;
 use imprecise::{DocHandle, Engine, EngineBuilder};
@@ -57,6 +58,9 @@ struct EngineFlags {
     strict: bool,
     /// Worker threads for matching enumeration (0 = all cores).
     threads: Option<usize>,
+    /// Candidate blocking: off, recall-safe prefilters, or
+    /// sorted-neighbourhood windowing.
+    blocking: BlockingMode,
     /// Durable store segment file: publishes are appended to it and a
     /// later run can recover/resume from it.
     store: Option<String>,
@@ -141,11 +145,13 @@ USAGE:
                       [--dtd FILE] [--weights A,B]
                       [--budget K] [--budget-total K] [--min-mass P]
                       [--strict] [--threads N] [--store FILE]
+                      [--blocking off|safe|window:N]
                       A.xml B.xml [C.xml ...]
   imprecise refine --out FILE [--rules FILE|movie|addressbook] [--dtd FILE]
                    [--weights A,B] [--initial-budget K] [--budget K]
                    [--top C] [--steps N] [--threads N] [--stats]
-                   [--store FILE] [A.xml B.xml [C.xml ...]]
+                   [--store FILE] [--blocking off|safe|window:N]
+                   [A.xml B.xml [C.xml ...]]
   imprecise query DB.xml QUERY [--threshold P] [--min-probability P]
                   [--store FILE]
   imprecise explain QUERY [--threshold P]
@@ -175,7 +181,8 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 // flags with a value
                 "out" | "rules" | "dtd" | "weights" | "min-probability" | "threshold" | "limit"
                 | "epsilon" | "query" | "value" | "verdict" | "budget" | "budget-total"
-                | "initial-budget" | "min-mass" | "threads" | "top" | "steps" | "store" => Some(
+                | "initial-budget" | "min-mass" | "threads" | "top" | "steps" | "store"
+                | "blocking" => Some(
                     it.next()
                         .ok_or_else(|| UsageError(format!("--{name} needs a value")))?,
                 ),
@@ -253,6 +260,7 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             strict: has_flag("strict"),
             threads: parse_opt_usize_flag(flag("threads"), "threads")?,
             store: flag("store").map(str::to_string),
+            blocking: parse_blocking_flag(flag("blocking"))?,
         })
     };
     // `allow_empty`: `refine --store` may run with no sources at all,
@@ -385,6 +393,24 @@ fn parse_opt_usize_flag(v: Option<&str>, name: &str) -> Result<Option<usize>, Us
     .transpose()
 }
 
+/// Parse `--blocking off|safe|window:N` (default off).
+fn parse_blocking_flag(v: Option<&str>) -> Result<BlockingMode, UsageError> {
+    match v {
+        None | Some("off") => Ok(BlockingMode::Off),
+        Some("safe") => Ok(BlockingMode::RecallSafe),
+        Some(s) => {
+            let window = s
+                .strip_prefix("window:")
+                .and_then(|w| w.parse::<usize>().ok())
+                .filter(|&w| w >= 1)
+                .ok_or_else(|| {
+                    UsageError(format!("--blocking wants off, safe or window:N, got {s:?}"))
+                })?;
+            Ok(BlockingMode::Heuristic { window })
+        }
+    }
+}
+
 /// Resolve a `--rules` argument: a named preset or a file path.
 fn rules_text(arg: &str) -> Result<String, String> {
     match arg {
@@ -429,6 +455,7 @@ fn build_engine(flags: &EngineFlags) -> Result<Engine, String> {
             .threads
             .map(Parallelism::new)
             .unwrap_or(defaults.parallelism),
+        blocking: flags.blocking,
         ..defaults
     });
     match &flags.store {
@@ -825,6 +852,7 @@ mod tests {
                     strict: false,
                     threads: None,
                     store: None,
+                    blocking: BlockingMode::Off,
                 },
             }
         );

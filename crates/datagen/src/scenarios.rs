@@ -548,6 +548,106 @@ pub fn confusable_mixed(sizes: &[usize]) -> MovieScenario {
     scenario
 }
 
+/// The splitmix64 finaliser: the deterministic bit mixer behind the
+/// [`large_source`] title generator (no RNG state, just arithmetic, so
+/// the scenario stays reproducible byte for byte).
+fn ls_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pseudo-word title for movie index `k`: two or three consonant–vowel
+/// words whose syllables are drawn from a hash of `k`. Distinct indices
+/// get pairwise-dissimilar titles — random syllables share no tokens and
+/// almost no character bigrams — so the only similar-title pairs in a
+/// [`large_source`] catalog are the ones built on the *same* title
+/// (exact and typo'd duplicates). A shared word pool ("The …") would
+/// instead create quadratically many accidentally-similar pairs, which
+/// no recall-safe blocker could avoid scoring.
+fn ls_title(k: usize) -> String {
+    const CONSONANTS: &[u8] = b"bcdfghjklmnprstvz";
+    const VOWELS: &[u8] = b"aeiouy";
+    let mut state = (k as u64) ^ 0xD6E8_FEB8_6659_FD93;
+    let mut title = String::new();
+    for w in 0..2 + k % 2 {
+        if w > 0 {
+            title.push(' ');
+        }
+        state = ls_mix(state);
+        let mut r = state;
+        let start = title.len();
+        for _ in 0..2 + (r % 3) {
+            let c = CONSONANTS[(r >> 2) as usize % CONSONANTS.len()];
+            let v = VOWELS[(r >> 7) as usize % VOWELS.len()];
+            title.push(c as char);
+            title.push(v as char);
+            r >>= 10;
+        }
+        title[start..start + 1].make_ascii_uppercase();
+    }
+    title
+}
+
+/// A large synthetic two-source catalog for candidate-generation scaling
+/// work: `n` movies per source with years spread over 120 buckets (so a
+/// year-keyed blocking join keeps every bucket small), ~25% exact
+/// duplicates, ~25% typo'd duplicates (near-identical titles a
+/// recall-safe similarity filter must keep), and ~50% unrelated entries
+/// with their own titles and shifted years. Deterministic in `n`.
+pub fn large_source(n: usize) -> MovieScenario {
+    let title = ls_title;
+    let year = |k: usize| 1900 + ((k * 7) % 120) as u32;
+    // Swap the 2nd and 3rd characters ("Bakori" → "Bkaori"): an
+    // edit-distance-2 typo that keeps the title far above the similarity
+    // threshold.
+    let typo = |t: &str| {
+        let mut cs: Vec<char> = t.chars().collect();
+        cs.swap(1, 2);
+        cs.into_iter().collect::<String>()
+    };
+    let mut mpeg7 = Vec::with_capacity(n);
+    let mut imdb = Vec::with_capacity(n);
+    let mut shared = 0usize;
+    for k in 0..n {
+        let fr = &FRANCHISES[k % FRANCHISES.len()];
+        mpeg7.push(
+            MovieBuilder::new(k as u64, title(k), year(k))
+                .genre(fr.genres[k % 2])
+                .director(fr.directors[k % 3])
+                .build(),
+        );
+        let movie = match k % 4 {
+            0 => {
+                // Exact duplicate: the certain deep-equal backbone.
+                shared += 1;
+                MovieBuilder::new(k as u64, title(k), year(k))
+                    .genre(fr.genres[k % 2])
+                    .director(fr.directors[k % 3])
+                    .build()
+            }
+            1 => {
+                // Same rwo, typo'd title: survives recall-safe blocking,
+                // left for the similarity rule / prior to weigh.
+                shared += 1;
+                MovieBuilder::new(k as u64, typo(&title(k)), year(k))
+                    .genre(fr.genres[k % 2])
+                    .director(fr.directors[k % 3])
+                    .build()
+            }
+            _ => MovieBuilder::new((1_000_000 + k) as u64, title(k + n), year(k + 1))
+                .genre(fr.genres[(k + 1) % 2])
+                .director(fr.directors[(k + 1) % 3])
+                .build(),
+        };
+        imdb.push(movie);
+    }
+    let mut scenario = build("large-source", &mpeg7, &imdb, shared);
+    scenario.info.name = format!("large-source-n{n}");
+    scenario
+}
+
 fn build(name: &str, mpeg7: &[Movie], imdb: &[Movie], shared: usize) -> MovieScenario {
     MovieScenario {
         mpeg7: catalog_to_xml(mpeg7, SourceStyle::Mpeg7),
@@ -732,6 +832,35 @@ mod tests {
             to_string(&confusable_mixed(&[5, 3, 2]).imdb),
             to_string(&s.imdb)
         );
+    }
+
+    #[test]
+    fn large_source_structure() {
+        let s = large_source(400);
+        assert_eq!(s.info.mpeg7_movies, 400);
+        assert_eq!(s.info.imdb_movies, 400);
+        assert_eq!(s.info.shared_rwos, 200); // 25% exact + 25% typo'd
+        s.schema.validate(&s.mpeg7).unwrap();
+        s.schema.validate(&s.imdb).unwrap();
+        let a = to_string(&s.mpeg7);
+        let b = to_string(&s.imdb);
+        // Typo'd duplicates are present and recognisable: index 1 is a
+        // k % 4 == 1 entry, so IMDB carries the swapped-character title.
+        let original = ls_title(1);
+        let typod: String = {
+            let mut cs: Vec<char> = original.chars().collect();
+            cs.swap(1, 2);
+            cs.into_iter().collect()
+        };
+        assert!(a.contains(&original) && !a.contains(&typod));
+        assert!(b.contains(&typod));
+        // Distinct indices get dissimilar pseudo-word titles.
+        assert_ne!(ls_title(0), ls_title(1));
+        assert!(ls_title(0).len() >= 9 && ls_title(0).is_ascii());
+        // Years spread across many buckets.
+        assert!(a.contains("<year>1900</year>") && a.contains("<year>2019</year>"));
+        // Deterministic.
+        assert_eq!(to_string(&large_source(400).imdb), b);
     }
 
     #[test]

@@ -139,6 +139,14 @@ fn encode_options(o: &IntegrationOptions, out: &mut Vec<u8>) {
     put_len(out, o.max_local_worlds);
     put_len(out, o.max_output_nodes);
     put_bool(out, o.simplify);
+    match o.blocking {
+        crate::BlockingMode::Off => put_u8(out, 0),
+        crate::BlockingMode::RecallSafe => put_u8(out, 1),
+        crate::BlockingMode::Heuristic { window } => {
+            put_u8(out, 2);
+            put_len(out, window);
+        }
+    }
 }
 
 fn decode_options(r: &mut Reader<'_>) -> Result<IntegrationOptions, CodecError> {
@@ -162,6 +170,14 @@ fn decode_options(r: &mut Reader<'_>) -> Result<IntegrationOptions, CodecError> 
     let max_local_worlds = r.take_len("max local worlds")?;
     let max_output_nodes = r.take_len("max output nodes")?;
     let simplify = take_bool(r, "simplify flag")?;
+    let blocking = match r.take_u8("blocking mode tag")? {
+        0 => crate::BlockingMode::Off,
+        1 => crate::BlockingMode::RecallSafe,
+        2 => crate::BlockingMode::Heuristic {
+            window: r.take_len("blocking window")?,
+        },
+        _ => return Err(r.err("blocking mode tag")),
+    };
     Ok(IntegrationOptions {
         source_weights,
         max_matchings_per_component,
@@ -172,6 +188,7 @@ fn decode_options(r: &mut Reader<'_>) -> Result<IntegrationOptions, CodecError> 
         max_local_worlds,
         max_output_nodes,
         simplify,
+        blocking,
     })
 }
 
@@ -189,6 +206,8 @@ fn encode_stats(s: &IntegrationStats, out: &mut Vec<u8>) {
     put_len(out, s.value_conflicts);
     put_len(out, s.attr_conflicts);
     put_len(out, s.demoted_forced);
+    put_len(out, s.pairs_pruned);
+    put_len(out, s.pairs_windowed_out);
     put_len(out, s.truncated_components.len());
     for t in &s.truncated_components {
         put_str(out, &t.path);
@@ -215,6 +234,8 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<IntegrationStats, CodecError> {
     let value_conflicts = r.take_len("value conflicts")?;
     let attr_conflicts = r.take_len("attr conflicts")?;
     let demoted_forced = r.take_len("demoted forced")?;
+    let pairs_pruned = r.take_len("pairs pruned")?;
+    let pairs_windowed_out = r.take_len("pairs windowed out")?;
     let n_truncated = r.take_len("truncated component count")?;
     let mut truncated_components = Vec::with_capacity(n_truncated.min(1 << 20));
     for _ in 0..n_truncated {
@@ -242,6 +263,8 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<IntegrationStats, CodecError> {
         value_conflicts,
         attr_conflicts,
         demoted_forced,
+        pairs_pruned,
+        pairs_windowed_out,
         truncated_components,
         max_discarded_mass,
     })

@@ -105,7 +105,7 @@ pub use matching::{
     Candidate, Component, ComponentFrontier, FrontierEnumerator, FrontierMismatch, MatchBudget,
     Matching, Parallelism, SearchStats, TooManyMatchings,
 };
-pub use pipeline::{ComponentOutcome, DocFrontier};
+pub use pipeline::{block_candidates, BlockedPairs, ComponentOutcome, DocFrontier};
 pub use verify::{verify_frontier, InvariantViolation};
 
 use imprecise_oracle::Oracle;
@@ -130,6 +130,30 @@ pub enum BudgetPlan {
     /// guaranteed minimum of 1. In this mode
     /// `max_matchings_per_component` is ignored.
     Total(usize),
+}
+
+/// How candidate generation prunes cross-source pairs before the Oracle
+/// sees them (see [`pipeline::block_candidates`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockingMode {
+    /// Judge every cross pair (the historical behaviour).
+    #[default]
+    Off,
+    /// Prune only pairs the oracle-derived [`imprecise_oracle::BlockingPlan`]
+    /// proves are `NonMatch`es: the result is bit-identical to [`Off`](Self::Off)
+    /// (property-tested), only faster. Pruned counts land in
+    /// [`IntegrationStats::pairs_pruned`].
+    RecallSafe,
+    /// [`RecallSafe`](Self::RecallSafe) plus sorted-neighbourhood
+    /// windowing: elements are ordered by a normalised key and only
+    /// pairs within `window` positions of each other are considered.
+    /// This can drop true matches (reported in
+    /// [`IntegrationStats::pairs_windowed_out`]) in exchange for strictly
+    /// linear pair generation.
+    Heuristic {
+        /// Sorted-neighbourhood window size (≥ 1).
+        window: usize,
+    },
 }
 
 /// Tuning knobs of the integration engine.
@@ -171,6 +195,8 @@ pub struct IntegrationOptions {
     /// Run pxml simplification on the result (drop zero-probability
     /// possibilities, merge equal ones, collapse certain choice points).
     pub simplify: bool,
+    /// Candidate blocking ahead of oracle judging (off by default).
+    pub blocking: BlockingMode,
 }
 
 impl Default for IntegrationOptions {
@@ -185,6 +211,7 @@ impl Default for IntegrationOptions {
             max_local_worlds: 4096,
             max_output_nodes: 40_000_000,
             simplify: true,
+            blocking: BlockingMode::Off,
         }
     }
 }
@@ -219,6 +246,11 @@ impl IntegrationOptions {
         if self.budget_plan == BudgetPlan::Total(0) {
             return Err(IntegrateError::InvalidOptions(
                 "a total matching budget must be at least 1".into(),
+            ));
+        }
+        if self.blocking == (BlockingMode::Heuristic { window: 0 }) {
+            return Err(IntegrateError::InvalidOptions(
+                "a sorted-neighbourhood window must be at least 1".into(),
             ));
         }
         Ok(())
@@ -384,6 +416,12 @@ pub struct IntegrationStats {
     /// conflicted with another forced pair on the same element
     /// (contradictory knowledge in the sources).
     pub demoted_forced: usize,
+    /// Cross pairs the blocking prefilters proved to be `NonMatch`es and
+    /// dropped before any oracle call (recall-safe: never a lost match).
+    pub pairs_pruned: usize,
+    /// Cross pairs dropped by heuristic sorted-neighbourhood windowing —
+    /// these *could* have been matches ([`BlockingMode::Heuristic`] only).
+    pub pairs_windowed_out: usize,
     /// Components whose matching enumeration hit the budget: what was
     /// dropped, where, and how much mass it carried.
     pub truncated_components: Vec<TruncatedComponent>,

@@ -1192,7 +1192,7 @@ impl FrontierEnumerator {
     /// (no unexpanded state's admissible bound outranks it — the shared
     /// bound every worker's output is certified against), then a batch
     /// — the maximal run of consecutive incomplete states at the top of
-    /// the heap, capped at [`EXPAND_BATCH`] — is popped and
+    /// the heap, capped at `EXPAND_BATCH` — is popped and
     /// expanded — serially or split across `threads` workers — and the
     /// children are merged back in batch order with sequentially
     /// assigned tie-break numbers. Batch composition, `seq` numbering

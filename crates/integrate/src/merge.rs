@@ -20,6 +20,10 @@ impl From<LocalWorldsOverflow> for IntegrateError {
     }
 }
 
+/// A tag group's identity for the blocking cache: the two sides'
+/// element lists in document order.
+type GroupKey = (Vec<PxNodeId>, Vec<PxNodeId>);
+
 pub(crate) struct Builder<'a> {
     a: &'a PxDoc,
     b: &'a PxDoc,
@@ -38,6 +42,11 @@ pub(crate) struct Builder<'a> {
     /// Judgment cache: the same element pair is judged once even when it
     /// participates in thousands of enumerated matchings.
     judgments: HashMap<(PxNodeId, PxNodeId), Judgment>,
+    /// Blocking cache: one tag group is blocked once even though
+    /// `integrate_group` re-runs for it per enumerated world, so the
+    /// pruned/windowed counters tally unique pairs exactly like
+    /// `pairs_judged` tallies unique judgments.
+    blocked_groups: HashMap<GroupKey, Vec<(usize, usize)>>,
     /// Element-tag stack from the root to the pair currently being
     /// merged; tag groups report their position as
     /// `/<stack>/<group tag>` in errors and truncation records.
@@ -74,6 +83,7 @@ impl<'a> Builder<'a> {
             w_a,
             w_b,
             judgments: HashMap::new(),
+            blocked_groups: HashMap::new(),
             path: Vec::new(),
             stats: IntegrationStats::default(),
             frontiers: Vec::new(),
@@ -213,6 +223,49 @@ impl<'a> Builder<'a> {
                 node: bn,
             },
         );
+        self.note_judgment(an, bn, &j);
+        j
+    }
+
+    /// Consult the Oracle about one left element against many right
+    /// elements, through the cache. Bit-identical to calling
+    /// [`Builder::judge`] per pair (including every stats counter), but
+    /// uncached pairs go through [`Oracle::judge_row`] so rules amortise
+    /// their left-hand preprocessing across the row.
+    fn judge_row(&mut self, an: PxNodeId, bns: &[PxNodeId]) -> Vec<Judgment> {
+        let mut out: Vec<Option<Judgment>> = bns
+            .iter()
+            .map(|bn| self.judgments.get(&(an, *bn)).cloned())
+            .collect();
+        let missing: Vec<usize> = (0..bns.len()).filter(|&i| out[i].is_none()).collect();
+        if !missing.is_empty() {
+            let a_ref = ElemRef {
+                doc: self.a,
+                node: an,
+            };
+            let b_refs: Vec<ElemRef<'_>> = missing
+                .iter()
+                .map(|&i| ElemRef {
+                    doc: self.b,
+                    node: bns[i],
+                })
+                .collect();
+            let judged = self.oracle.judge_row(&a_ref, &b_refs);
+            for (&i, j) in missing.iter().zip(judged) {
+                self.note_judgment(an, bns[i], &j);
+                out[i] = Some(j);
+            }
+        }
+        out.into_iter()
+            .map(|j| {
+                // lint:allow(expect-in-lib, holds by construction: every empty slot was filled from the batch judgment above)
+                j.expect("judge_row filled every slot")
+            })
+            .collect()
+    }
+
+    /// Record one fresh judgment into the stats counters and the cache.
+    fn note_judgment(&mut self, an: PxNodeId, bn: PxNodeId, j: &Judgment) {
         self.stats.pairs_judged += 1;
         match j.decision {
             Decision::Match => self.stats.judged_match += 1,
@@ -232,7 +285,6 @@ impl<'a> Builder<'a> {
             *self.stats.rule_decisions.entry(rule.clone()).or_insert(0) += 1;
         }
         self.judgments.insert((an, bn), j.clone());
-        j
     }
 
     fn guard_size(&self) -> Result<(), IntegrateError> {
@@ -432,16 +484,59 @@ impl<'a> Builder<'a> {
         // Multi-valued: run the staged matching pipeline.
         //
         // Stage 1 — candidate generation: consult the Oracle about every
-        // cross pair, then make the forced set injective.
+        // cross pair (or, under blocking, only the pairs that survive the
+        // prefilters — recall-safe pruning drops provable `NonMatch`es, so
+        // it cannot change what lands in `forced_raw`/`possible`), then
+        // make the forced set injective.
         let mut forced_raw: Vec<(usize, usize)> = Vec::new();
         let mut possible: Vec<Candidate> = Vec::new();
-        for (ai, &an) in ga.iter().enumerate() {
-            for (bi, &bn) in gb.iter().enumerate() {
-                match self.judge(an, bn).decision {
-                    Decision::Match => forced_raw.push((ai, bi)),
-                    Decision::NonMatch => {}
-                    Decision::Possible(p) => possible.push(Candidate { a: ai, b: bi, p }),
+        if self.opts.blocking == crate::BlockingMode::Off {
+            for (ai, &an) in ga.iter().enumerate() {
+                for (bi, &bn) in gb.iter().enumerate() {
+                    match self.judge(an, bn).decision {
+                        Decision::Match => forced_raw.push((ai, bi)),
+                        Decision::NonMatch => {}
+                        Decision::Possible(p) => possible.push(Candidate { a: ai, b: bi, p }),
+                    }
                 }
+            }
+        } else {
+            let key = (ga.to_vec(), gb.to_vec());
+            if !self.blocked_groups.contains_key(&key) {
+                let blocked = pipeline::block_candidates(
+                    self.a,
+                    ga,
+                    self.b,
+                    gb,
+                    self.oracle,
+                    tag,
+                    self.opts.blocking,
+                );
+                self.stats.pairs_pruned += blocked.pruned;
+                self.stats.pairs_windowed_out += blocked.windowed_out;
+                self.blocked_groups.insert(key.clone(), blocked.pairs);
+            }
+            let pairs = self.blocked_groups.get(&key).cloned().unwrap_or_default();
+            // Judge the survivors row by row (they are in row-major
+            // order) so the oracle amortises per-row preprocessing.
+            let mut start = 0;
+            while start < pairs.len() {
+                let ai = pairs[start].0;
+                let mut end = start;
+                while end < pairs.len() && pairs[end].0 == ai {
+                    end += 1;
+                }
+                let row = &pairs[start..end];
+                let bns: Vec<PxNodeId> = row.iter().map(|&(_, bi)| gb[bi]).collect();
+                let judgments = self.judge_row(ga[ai], &bns);
+                for (&(_, bi), judgment) in row.iter().zip(judgments) {
+                    match judgment.decision {
+                        Decision::Match => forced_raw.push((ai, bi)),
+                        Decision::NonMatch => {}
+                        Decision::Possible(p) => possible.push(Candidate { a: ai, b: bi, p }),
+                    }
+                }
+                start = end;
             }
         }
         let candidates = CandidateSet::resolve(forced_raw, possible);

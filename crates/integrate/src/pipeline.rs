@@ -27,8 +27,11 @@ use crate::matching::{
     ComponentFrontier, FrontierEnumerator, FrontierMismatch, MatchBudget, Matching,
     TooManyMatchings,
 };
-use crate::{BudgetPlan, IntegrationOptions};
-use imprecise_pxml::PxNodeId;
+use crate::{BlockingMode, BudgetPlan, IntegrationOptions};
+use imprecise_oracle::value::PossibleValues;
+use imprecise_oracle::{BlockingPlan, ElemRef, ElementFeatures, Oracle, PruneFilter};
+use imprecise_pxml::{PxDoc, PxNodeId};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -83,6 +86,231 @@ impl CandidateSet {
 /// independent connected components.
 pub fn split(set: &CandidateSet, n_a: usize, n_b: usize) -> Vec<Component> {
     split_components(n_a, n_b, &set.forced, &set.possible)
+}
+
+/// Stage-0 output: the pairs of one tag group that survive blocking.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlockedPairs {
+    /// Surviving `(a_index, b_index)` pairs in row-major order — exactly
+    /// the iteration order of the unblocked double loop.
+    pub pairs: Vec<(usize, usize)>,
+    /// Pairs dropped by recall-safe filters (provable `NonMatch`es).
+    pub pruned: usize,
+    /// Pairs dropped unexamined by heuristic windowing (recall risk).
+    pub windowed_out: usize,
+}
+
+/// Stage 0 (optional): generate the candidate pairs of one tag group
+/// without judging the full cross product.
+///
+/// In [`BlockingMode::RecallSafe`] the surviving pairs contain every
+/// pair the oracle would not certainly reject: the plan's equality
+/// filter (if any) becomes a hash join over certain key values and the
+/// remaining filters run on cheap precomputed features, so generation
+/// is sub-quadratic whenever keys spread the group into small buckets.
+/// Pruned pairs are provably `NonMatch` (see
+/// [`imprecise_oracle::BlockingPlan`]), so downstream output is
+/// bit-identical to judging everything.
+///
+/// [`BlockingMode::Heuristic`] additionally restricts candidates to a
+/// sorted-neighbourhood window and may therefore miss true matches; the
+/// unexamined count is reported as `windowed_out`.
+pub fn block_candidates(
+    a: &PxDoc,
+    ga: &[PxNodeId],
+    b: &PxDoc,
+    gb: &[PxNodeId],
+    oracle: &Oracle,
+    tag: &str,
+    mode: BlockingMode,
+) -> BlockedPairs {
+    let total = ga.len() * gb.len();
+    if mode == BlockingMode::Off {
+        return BlockedPairs {
+            pairs: cross_product(ga.len(), gb.len()),
+            pruned: 0,
+            windowed_out: 0,
+        };
+    }
+    let plan = oracle.blocking_plan(tag);
+    let fa: Vec<ElementFeatures> = ga
+        .iter()
+        .map(|&n| plan.features(&ElemRef { doc: a, node: n }))
+        .collect();
+    let fb: Vec<ElementFeatures> = gb
+        .iter()
+        .map(|&n| plan.features(&ElemRef { doc: b, node: n }))
+        .collect();
+    if let BlockingMode::Heuristic { window } = mode {
+        let considered = window_pairs(&plan, a, ga, b, gb, window);
+        let windowed_out = total - considered.len();
+        let mut pairs = Vec::with_capacity(considered.len());
+        let mut pruned = 0;
+        for (ai, bi) in considered {
+            if plan.prunes(&fa[ai], &fb[bi]) {
+                pruned += 1;
+            } else {
+                pairs.push((ai, bi));
+            }
+        }
+        BlockedPairs {
+            pairs,
+            pruned,
+            windowed_out,
+        }
+    } else {
+        let pairs = recall_safe_pairs(&plan, &fa, &fb);
+        BlockedPairs {
+            pruned: total - pairs.len(),
+            windowed_out: 0,
+            pairs,
+        }
+    }
+}
+
+fn cross_product(n_a: usize, n_b: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(n_a * n_b);
+    for ai in 0..n_a {
+        for bi in 0..n_b {
+            pairs.push((ai, bi));
+        }
+    }
+    pairs
+}
+
+/// Every pair the plan cannot prove `NonMatch`, in row-major order.
+fn recall_safe_pairs(
+    plan: &BlockingPlan,
+    fa: &[ElementFeatures],
+    fb: &[ElementFeatures],
+) -> Vec<(usize, usize)> {
+    if plan.is_empty() {
+        return cross_product(fa.len(), fb.len());
+    }
+    let Some(join) = plan.join_filter() else {
+        // No equality filter to join on: scan the cross product with the
+        // cheap feature predicate (still zero oracle calls per pruned pair).
+        let mut pairs = Vec::new();
+        for (ai, ffa) in fa.iter().enumerate() {
+            for (bi, ffb) in fb.iter().enumerate() {
+                if !plan.prunes(ffa, ffb) {
+                    pairs.push((ai, bi));
+                }
+            }
+        }
+        return pairs;
+    };
+    // Hash-join on the equality filter's certain keys. Elements without
+    // certain keys are "wild": that filter can never prune them, so they
+    // pair with everything.
+    let mut buckets: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut wild_b: Vec<usize> = Vec::new();
+    for (bi, f) in fb.iter().enumerate() {
+        match f.join_keys(join) {
+            Some(ks) => {
+                for k in ks {
+                    buckets.entry(k.as_str()).or_default().push(bi);
+                }
+            }
+            None => wild_b.push(bi),
+        }
+    }
+    let mut pairs = Vec::new();
+    let mut cands: Vec<usize> = Vec::new();
+    for (ai, ffa) in fa.iter().enumerate() {
+        cands.clear();
+        match ffa.join_keys(join) {
+            None => cands.extend(0..fb.len()),
+            Some(ks) => {
+                cands.extend(wild_b.iter().copied());
+                for k in ks {
+                    if let Some(bs) = buckets.get(k.as_str()) {
+                        cands.extend(bs.iter().copied());
+                    }
+                }
+                // Multi-valued keys (or wild overlap) can enqueue a
+                // candidate twice; sorted-dedup keeps row-major order
+                // without a tree insert per candidate.
+                cands.sort_unstable();
+                cands.dedup();
+            }
+        }
+        for &bi in &cands {
+            if !plan.prunes(ffa, &fb[bi]) {
+                pairs.push((ai, bi));
+            }
+        }
+    }
+    pairs
+}
+
+/// Sorted-neighbourhood candidates: both groups sort together on a
+/// normalised key; only pairs within `window` positions of each other in
+/// the combined order are considered. Returned in row-major order.
+fn window_pairs(
+    plan: &BlockingPlan,
+    a: &PxDoc,
+    ga: &[PxNodeId],
+    b: &PxDoc,
+    gb: &[PxNodeId],
+    window: usize,
+) -> Vec<(usize, usize)> {
+    // (key, side, index): side and index break key ties deterministically.
+    let mut entries: Vec<(String, u8, usize)> = Vec::with_capacity(ga.len() + gb.len());
+    for (ai, &n) in ga.iter().enumerate() {
+        entries.push((window_key(plan, &ElemRef { doc: a, node: n }), 0, ai));
+    }
+    for (bi, &n) in gb.iter().enumerate() {
+        entries.push((window_key(plan, &ElemRef { doc: b, node: n }), 1, bi));
+    }
+    entries.sort();
+    let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (i, (_, side_i, idx_i)) in entries.iter().enumerate() {
+        for (_, side_j, idx_j) in entries.iter().skip(i + 1).take(window) {
+            match (side_i, side_j) {
+                (0, 1) => {
+                    pairs.insert((*idx_i, *idx_j));
+                }
+                (1, 0) => {
+                    pairs.insert((*idx_j, *idx_i));
+                }
+                _ => {}
+            }
+        }
+    }
+    pairs.into_iter().collect()
+}
+
+/// The key heuristic windowing sorts elements by: the first value of the
+/// plan's first similarity filter (where near-matches share prefixes),
+/// else the first equality key, else the element's own text.
+fn window_key(plan: &BlockingPlan, e: &ElemRef<'_>) -> String {
+    const KEY_CAP: usize = 4;
+    let first_value = |path: &str| match e.possible_values_at(path, KEY_CAP) {
+        PossibleValues::Values(vs) => vs.into_iter().next(),
+        _ => None,
+    };
+    let key = plan
+        .filters()
+        .iter()
+        .find_map(|f| match f {
+            PruneFilter::SimilarityBelow { value_path, .. } => first_value(value_path),
+            _ => None,
+        })
+        .or_else(|| {
+            plan.filters().iter().find_map(|f| match f {
+                PruneFilter::KeyDiffers { value_path } => first_value(value_path),
+                PruneFilter::TextDiffers => e
+                    .possible_own_texts(KEY_CAP)
+                    .and_then(|t| t.into_iter().next()),
+                PruneFilter::SimilarityBelow { .. } => None,
+            })
+        })
+        .or_else(|| {
+            e.possible_own_texts(KEY_CAP)
+                .and_then(|t| t.into_iter().next())
+        });
+    key.unwrap_or_default().trim().to_lowercase()
 }
 
 /// Stage-3 output: one component's enumerated matchings plus the mass

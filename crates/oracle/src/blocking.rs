@@ -1,0 +1,806 @@
+//! Blocking plans: recall-safe prefilters derived from an Oracle's rules.
+//!
+//! Candidate generation judges every cross-source pair, which is O(n·m)
+//! oracle calls. A [`BlockingPlan`] extracts, from the configured rule
+//! list, cheap per-element features (normalised keys, token sets, q-gram
+//! profiles) and a pairwise `prunes` predicate with one guarantee:
+//!
+//! > If the plan prunes a pair, the oracle judges that pair `NonMatch`.
+//!
+//! Pruned pairs can therefore be dropped *before* any oracle call without
+//! changing the integration result — the recall-safe property the
+//! blocking property tests check bitwise.
+//!
+//! # How soundness is derived
+//!
+//! Each rule reports a [`BlockingHint`]. Walking the rule list in
+//! consultation order for one element tag:
+//!
+//! * [`BlockingHint::Transparent`] rules (deep-equal) only ever `Match`
+//!   content-identical pairs. No filter below can prune such a pair —
+//!   equality filters see a shared value pairing, and similarity filters
+//!   bound `sim(x, x) = 1 ≥ threshold` — so collection continues.
+//! * Tag-gated rules for a *different* tag abstain on every pair of this
+//!   tag; collection continues.
+//! * Tag-gated rules for *this* tag contribute their `NonMatch` condition
+//!   as a [`PruneFilter`] (an under-approximation: the filter fires only
+//!   where the rule certainly fires). A rule that can also `Match`
+//!   (exact-text) ends collection after contributing, because a later
+//!   filter could otherwise prune a pair this rule would have matched.
+//! * Unknown ([`BlockingHint::Opaque`]) rules end collection.
+//!
+//! Similarity filters compare *upper bounds*: exact values where the
+//! measure is set arithmetic (Jaccard, Dice), and length/q-gram/character
+//! -multiset bounds for the edit-based measures, padded with a slack that
+//! absorbs any f64 rounding asymmetry. When a cheap bound is too loose to
+//! prune, the edit-based filters fall back to evaluating the measure
+//! itself on the precomputed (normalised) values — still a fraction of a
+//! full oracle consultation, and the price of keeping the scored set
+//! near-linear on workloads the q-gram bound cannot separate. A pair is
+//! pruned only when every possible-value pairing is provably below the
+//! rule's threshold.
+
+use crate::rules::{Rule, SimMeasure};
+use crate::value::{ElemRef, PossibleValues};
+use imprecise_sim as sim;
+use std::collections::BTreeSet;
+
+/// Variant budget for feature extraction — must equal the rules' own cap
+/// so "certain values" means the same thing on both paths.
+use crate::rules::VALUE_VARIANT_CAP;
+
+/// Safety margin added to every similarity upper bound: pruning uses a
+/// strict `ub < threshold` comparison, so the margin only ever *keeps*
+/// borderline pairs, never drops them.
+const UB_SLACK: f64 = 1e-9;
+
+/// How a rule behaves for blocking purposes. See the module docs for how
+/// the plan derivation consumes these.
+#[derive(Debug, Clone)]
+pub enum BlockingHint {
+    /// Decides `Match` only on content-identical pairs and never decides
+    /// `NonMatch`; invisible to every filter below it.
+    Transparent,
+    /// Abstains unless both elements have `tag`; may decide `NonMatch`
+    /// exactly where `filter` fires, and can decide `Match` at all only
+    /// if `decides_match`.
+    TagGated {
+        /// Tag the rule is gated on.
+        tag: String,
+        /// Sound under-approximation of the rule's `NonMatch` condition,
+        /// if one is extractable.
+        filter: Option<PruneFilter>,
+        /// Whether the rule can ever decide `Match`.
+        decides_match: bool,
+    },
+    /// Behaviour unknown; blocks filter collection at this point.
+    Opaque,
+}
+
+/// One prunable `NonMatch` condition, evaluated on cached features.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PruneFilter {
+    /// Every pairing of trimmed key values differs (key-inequality rules).
+    KeyDiffers {
+        /// Path from the element to the key value.
+        value_path: String,
+    },
+    /// Every pairing of own-text values differs (exact-text rules).
+    TextDiffers,
+    /// Every pairing of values is provably below the threshold.
+    SimilarityBelow {
+        /// Path from the element to the compared value.
+        value_path: String,
+        /// The rule's threshold.
+        threshold: f64,
+        /// The rule's measure (selects the upper-bound features).
+        measure: SimMeasure,
+    },
+}
+
+impl PruneFilter {
+    /// Whether this filter prunes on pure value equality, making it
+    /// usable as a hash-join key by the candidate generator.
+    pub fn is_equality(&self) -> bool {
+        matches!(
+            self,
+            PruneFilter::KeyDiffers { .. } | PruneFilter::TextDiffers
+        )
+    }
+}
+
+/// The prefilters that are sound for one element tag under one oracle.
+#[derive(Debug, Clone)]
+pub struct BlockingPlan {
+    tag: String,
+    filters: Vec<PruneFilter>,
+}
+
+impl BlockingPlan {
+    /// Derive the plan for `tag` by walking `rules` in consultation order.
+    pub(crate) fn derive(rules: &[Box<dyn Rule>], tag: &str) -> BlockingPlan {
+        let mut filters = Vec::new();
+        for rule in rules {
+            match rule.blocking_hint() {
+                BlockingHint::Transparent => continue,
+                BlockingHint::TagGated { tag: t, .. } if t != tag => continue,
+                BlockingHint::TagGated {
+                    filter,
+                    decides_match,
+                    ..
+                } => {
+                    if let Some(f) = filter {
+                        filters.push(f);
+                    }
+                    if decides_match {
+                        break;
+                    }
+                }
+                BlockingHint::Opaque => break,
+            }
+        }
+        BlockingPlan {
+            tag: tag.to_string(),
+            filters,
+        }
+    }
+
+    /// Tag this plan applies to.
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// The collected filters, in rule-consultation order.
+    pub fn filters(&self) -> &[PruneFilter] {
+        &self.filters
+    }
+
+    /// Whether the plan can prune anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Index of the first equality filter — the natural hash-join key for
+    /// sub-quadratic pair generation.
+    pub fn join_filter(&self) -> Option<usize> {
+        self.filters.iter().position(PruneFilter::is_equality)
+    }
+
+    /// Extract this plan's per-element features. Cheap for elements of
+    /// another tag (every filter becomes inapplicable and never prunes).
+    pub fn features(&self, e: &ElemRef<'_>) -> ElementFeatures {
+        if e.tag() != self.tag {
+            return ElementFeatures {
+                per_filter: vec![FilterFeatures::Inapplicable; self.filters.len()],
+            };
+        }
+        let per_filter = self
+            .filters
+            .iter()
+            .map(|f| match f {
+                PruneFilter::KeyDiffers { value_path } => {
+                    match e.possible_values_at(value_path, VALUE_VARIANT_CAP) {
+                        PossibleValues::Values(vs) if !vs.is_empty() => FilterFeatures::Equality(
+                            vs.iter().map(|v| v.trim().to_string()).collect(),
+                        ),
+                        _ => FilterFeatures::Inapplicable,
+                    }
+                }
+                PruneFilter::TextDiffers => match e.possible_own_texts(VALUE_VARIANT_CAP) {
+                    Some(ts) if !ts.is_empty() => FilterFeatures::Equality(ts),
+                    _ => FilterFeatures::Inapplicable,
+                },
+                PruneFilter::SimilarityBelow {
+                    value_path,
+                    measure,
+                    ..
+                } => match e.possible_values_at(value_path, VALUE_VARIANT_CAP) {
+                    PossibleValues::Values(vs) if !vs.is_empty() => FilterFeatures::Similarity(
+                        vs.iter().map(|v| SimFeature::new(*measure, v)).collect(),
+                    ),
+                    _ => FilterFeatures::Inapplicable,
+                },
+            })
+            .collect();
+        ElementFeatures { per_filter }
+    }
+
+    /// Whether the pair `(a, b)` is provably a `NonMatch` for the oracle
+    /// this plan was derived from.
+    pub fn prunes(&self, a: &ElementFeatures, b: &ElementFeatures) -> bool {
+        self.filters
+            .iter()
+            .zip(a.per_filter.iter().zip(&b.per_filter))
+            .any(|(f, (fa, fb))| filter_fires(f, fa, fb))
+    }
+}
+
+/// Per-element cached inputs to one plan's filters, index-aligned with
+/// [`BlockingPlan::filters`].
+#[derive(Debug, Clone)]
+pub struct ElementFeatures {
+    per_filter: Vec<FilterFeatures>,
+}
+
+impl ElementFeatures {
+    /// Join keys for an equality filter: `Some(values)` when the element
+    /// has certain values there, `None` when the filter cannot prune this
+    /// element (uncertain/missing value — must pair with everything).
+    pub fn join_keys(&self, filter_idx: usize) -> Option<&[String]> {
+        match self.per_filter.get(filter_idx) {
+            Some(FilterFeatures::Equality(ks)) => Some(ks),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum FilterFeatures {
+    /// The filter abstains for this element (wrong tag, missing or
+    /// uncertain value) and must never prune a pair involving it.
+    Inapplicable,
+    /// Certain values for an equality filter, trimmed where the rule
+    /// trims.
+    Equality(Vec<String>),
+    /// Upper-bound features, one per possible value.
+    Similarity(Vec<SimFeature>),
+}
+
+fn filter_fires(f: &PruneFilter, a: &FilterFeatures, b: &FilterFeatures) -> bool {
+    match (f, a, b) {
+        (
+            PruneFilter::KeyDiffers { .. } | PruneFilter::TextDiffers,
+            FilterFeatures::Equality(ka),
+            FilterFeatures::Equality(kb),
+        ) => ka.iter().all(|x| kb.iter().all(|y| x != y)),
+        (
+            PruneFilter::SimilarityBelow { threshold, .. },
+            FilterFeatures::Similarity(sa),
+            FilterFeatures::Similarity(sb),
+        ) => sa.iter().all(|x| {
+            sb.iter().all(|y| {
+                x.upper_bound(y) < *threshold
+                    || x.exact(y).is_some_and(|v| v + UB_SLACK < *threshold)
+            })
+        }),
+        _ => false,
+    }
+}
+
+/// Character-bigram multiset of a string — each edit operation disturbs
+/// at most two bigrams, giving the q-gram edit-distance lower bound.
+/// Stored as a sorted run-length vector: the prefilter intersects these
+/// pairwise on every hash-join candidate, and a two-pointer merge over
+/// short sorted slices beats a tree lookup per gram by an order of
+/// magnitude.
+type Bigrams = Vec<((char, char), usize)>;
+
+fn sorted_counts<K: Ord + Copy>(mut keys: Vec<K>) -> Vec<(K, usize)> {
+    keys.sort_unstable();
+    let mut out: Vec<(K, usize)> = Vec::with_capacity(keys.len());
+    for k in keys {
+        match out.last_mut() {
+            Some((last, n)) if *last == k => *n += 1,
+            _ => out.push((k, 1)),
+        }
+    }
+    out
+}
+
+fn bigrams(s: &str) -> Bigrams {
+    let chars: Vec<char> = s.chars().collect();
+    sorted_counts(chars.windows(2).map(|w| (w[0], w[1])).collect())
+}
+
+fn multiset_common<K: Ord + Copy>(a: &[(K, usize)], b: &[(K, usize)]) -> usize {
+    let (mut i, mut j, mut common) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += a[i].1.min(b[j].1);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    common
+}
+
+fn char_counts(s: &str) -> Vec<(char, usize)> {
+    sorted_counts(s.chars().collect())
+}
+
+/// Jaccard over sorted, deduplicated token vectors — the same
+/// intersection and union counts (and therefore the same f64 bits) as
+/// [`sim::jaccard_token_sets`] on the corresponding sets, via a
+/// two-pointer merge instead of tree walks.
+fn jaccard_sorted(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (mut i, mut j, mut common) = (0, 0, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - common;
+    common as f64 / union as f64
+}
+
+/// Upper bound on `1 − d/max_len` from two edit-distance lower bounds:
+/// the length difference and the q-gram (q = 2) bound
+/// `d ≥ ⌈(max_grams − common_grams) / 2⌉`.
+fn lev_similarity_ub(ca: usize, cb: usize, ba: &Bigrams, bb: &Bigrams) -> f64 {
+    let max_len = ca.max(cb);
+    if max_len == 0 {
+        return 1.0;
+    }
+    let len_lb = ca.abs_diff(cb);
+    let max_grams = ca.saturating_sub(1).max(cb.saturating_sub(1));
+    let qgram_lb = (max_grams - multiset_common(ba, bb)).div_ceil(2);
+    let d_lb = len_lb.max(qgram_lb);
+    1.0 - d_lb as f64 / max_len as f64
+}
+
+/// Precomputed per-value features for one similarity measure, supporting
+/// a sound (never smaller than the true similarity) pairwise upper bound.
+#[derive(Debug, Clone)]
+enum SimFeature {
+    Title {
+        norm: String,
+        tokens: Vec<String>,
+        chars: usize,
+        grams: Bigrams,
+    },
+    PersonName {
+        norm: String,
+        chars: usize,
+        counts: Vec<(char, usize)>,
+    },
+    Levenshtein {
+        value: String,
+        chars: usize,
+        grams: Bigrams,
+    },
+    JaroWinkler {
+        value: String,
+        chars: usize,
+        counts: Vec<(char, usize)>,
+    },
+    TokenJaccard {
+        tokens: Vec<String>,
+    },
+    TrigramDice {
+        lower: String,
+        trigrams: BTreeSet<Vec<char>>,
+    },
+}
+
+impl SimFeature {
+    fn new(measure: SimMeasure, v: &str) -> SimFeature {
+        match measure {
+            SimMeasure::Title => {
+                let n = sim::normalize_title(v);
+                SimFeature::Title {
+                    tokens: sim::token_set(&n).into_iter().collect(),
+                    chars: n.chars().count(),
+                    grams: bigrams(&n),
+                    norm: n,
+                }
+            }
+            SimMeasure::PersonName => {
+                let n = sim::normalize_person_name(v);
+                SimFeature::PersonName {
+                    chars: n.chars().count(),
+                    counts: char_counts(&n),
+                    norm: n,
+                }
+            }
+            SimMeasure::Levenshtein => SimFeature::Levenshtein {
+                value: v.to_string(),
+                chars: v.chars().count(),
+                grams: bigrams(v),
+            },
+            SimMeasure::JaroWinkler => SimFeature::JaroWinkler {
+                value: v.to_string(),
+                chars: v.chars().count(),
+                counts: char_counts(v),
+            },
+            SimMeasure::TokenJaccard => SimFeature::TokenJaccard {
+                tokens: sim::token_set(v).into_iter().collect(),
+            },
+            SimMeasure::TrigramDice => {
+                let lower = v.to_lowercase();
+                let trigrams = sim::token::trigram_set(&lower);
+                SimFeature::TrigramDice { lower, trigrams }
+            }
+        }
+    }
+
+    /// An upper bound on the measure applied to the two underlying
+    /// values. Mismatched feature kinds (impossible through
+    /// [`BlockingPlan::features`]) return `1.0`, which never prunes.
+    fn upper_bound(&self, other: &SimFeature) -> f64 {
+        match (self, other) {
+            (
+                SimFeature::Title {
+                    tokens: ta,
+                    chars: ca,
+                    grams: ga,
+                    ..
+                },
+                SimFeature::Title {
+                    tokens: tb,
+                    chars: cb,
+                    grams: gb,
+                    ..
+                },
+            ) => {
+                // title_similarity = max(token Jaccard, Levenshtein sim)
+                // on the normalised titles: Jaccard is exact here, the
+                // edit part is bounded.
+                let jac = jaccard_sorted(ta, tb);
+                jac.max(lev_similarity_ub(*ca, *cb, ga, gb)) + UB_SLACK
+            }
+            (
+                SimFeature::PersonName {
+                    chars: ca,
+                    counts: na,
+                    ..
+                },
+                SimFeature::PersonName {
+                    chars: cb,
+                    counts: nb,
+                    ..
+                },
+            )
+            | (
+                SimFeature::JaroWinkler {
+                    chars: ca,
+                    counts: na,
+                    ..
+                },
+                SimFeature::JaroWinkler {
+                    chars: cb,
+                    counts: nb,
+                    ..
+                },
+            ) => jaro_winkler_ub(*ca, *cb, na, nb),
+            (
+                SimFeature::Levenshtein {
+                    chars: ca,
+                    grams: ga,
+                    ..
+                },
+                SimFeature::Levenshtein {
+                    chars: cb,
+                    grams: gb,
+                    ..
+                },
+            ) => lev_similarity_ub(*ca, *cb, ga, gb) + UB_SLACK,
+            (SimFeature::TokenJaccard { tokens: ta }, SimFeature::TokenJaccard { tokens: tb }) => {
+                jaccard_sorted(ta, tb) + UB_SLACK
+            }
+            (
+                SimFeature::TrigramDice {
+                    lower: la,
+                    trigrams: ta,
+                },
+                SimFeature::TrigramDice {
+                    lower: lb,
+                    trigrams: tb,
+                },
+            ) => sim::token::dice_trigram_sets(la, ta, lb, tb) + UB_SLACK,
+            _ => 1.0,
+        }
+    }
+
+    /// The measure itself, evaluated on the stored (already-normalised)
+    /// values — the tight fallback [`filter_fires`] uses when the cheap
+    /// bound cannot prune. `None` for the set-arithmetic measures, whose
+    /// "bound" already *is* the measure, and for mismatched kinds.
+    ///
+    /// Each arm replays exactly what [`SimMeasure::apply`] computes after
+    /// its normalisation step (including the both-empty short-circuits),
+    /// so the returned value equals the rule's own similarity bitwise.
+    fn exact(&self, other: &SimFeature) -> Option<f64> {
+        match (self, other) {
+            (
+                SimFeature::Title {
+                    norm: na,
+                    tokens: ta,
+                    ..
+                },
+                SimFeature::Title {
+                    norm: nb,
+                    tokens: tb,
+                    ..
+                },
+            ) => {
+                if na.is_empty() && nb.is_empty() {
+                    return Some(1.0);
+                }
+                Some(jaccard_sorted(ta, tb).max(sim::levenshtein_similarity(na, nb)))
+            }
+            (SimFeature::PersonName { norm: na, .. }, SimFeature::PersonName { norm: nb, .. }) => {
+                if na.is_empty() && nb.is_empty() {
+                    return Some(1.0);
+                }
+                Some(sim::jaro_winkler(na, nb))
+            }
+            (
+                SimFeature::Levenshtein { value: va, .. },
+                SimFeature::Levenshtein { value: vb, .. },
+            ) => Some(sim::levenshtein_similarity(va, vb)),
+            (
+                SimFeature::JaroWinkler { value: va, .. },
+                SimFeature::JaroWinkler { value: vb, .. },
+            ) => Some(sim::jaro_winkler(va, vb)),
+            _ => None,
+        }
+    }
+}
+
+/// Jaro-Winkler upper bound from character multisets: Jaro's match count
+/// is an injective pairing of equal characters, so `m ≤ |multiset
+/// intersection|`, and the transposition term is at most 1; Winkler's
+/// boost is maximal at a full 4-character prefix.
+fn jaro_winkler_ub(ca: usize, cb: usize, na: &[(char, usize)], nb: &[(char, usize)]) -> f64 {
+    if ca == 0 || cb == 0 {
+        // Both empty is exactly 1.0 (and `person_name_similarity` short-
+        // circuits to 1.0 before Jaro); one empty side scores 0.0, but
+        // 1.0 is still a sound bound and keeps the edge case trivial.
+        return 1.0;
+    }
+    let c = multiset_common(na, nb);
+    if c == 0 {
+        // No shared character: no Jaro matches and no shared prefix.
+        return UB_SLACK;
+    }
+    let c = c as f64;
+    let ub_jaro = (c / ca as f64 + c / cb as f64 + 1.0) / 3.0;
+    let ub_jaro = ub_jaro.min(1.0);
+    ub_jaro + 0.4 * (1.0 - ub_jaro) + UB_SLACK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{DeepEqualRule, ExactTextRule, KeyInequalityRule, SimilarityThresholdRule};
+    use crate::Oracle;
+    use imprecise_pxml::{from_xml, PxDoc};
+    use imprecise_xmlkit::parse;
+
+    fn px(xml: &str) -> PxDoc {
+        from_xml(&parse(xml).unwrap())
+    }
+
+    fn root_elem(doc: &PxDoc) -> ElemRef<'_> {
+        let poss = doc.children(doc.root())[0];
+        ElemRef {
+            doc,
+            node: doc.children(poss)[0],
+        }
+    }
+
+    fn movie_oracle_like() -> Oracle {
+        let mut o = Oracle::uninformed();
+        o.push_rule(Box::new(DeepEqualRule));
+        o.push_rule(Box::new(ExactTextRule::new("genre")));
+        o.push_rule(Box::new(SimilarityThresholdRule::movie_title(0.55)));
+        o.push_rule(Box::new(KeyInequalityRule::movie_year()));
+        o
+    }
+
+    #[test]
+    fn plan_collects_movie_filters_past_transparent_rules() {
+        let plan = movie_oracle_like().blocking_plan("movie");
+        assert_eq!(plan.filters().len(), 2, "title similarity + year key");
+        assert!(matches!(
+            plan.filters()[0],
+            PruneFilter::SimilarityBelow { .. }
+        ));
+        assert!(matches!(plan.filters()[1], PruneFilter::KeyDiffers { .. }));
+        assert_eq!(plan.join_filter(), Some(1));
+    }
+
+    #[test]
+    fn plan_stops_at_match_capable_rules() {
+        // The genre exact-text rule can Match, so for the `genre` tag only
+        // its own filter is collected even with later genre-gated rules.
+        let mut o = movie_oracle_like();
+        o.push_rule(Box::new(KeyInequalityRule {
+            rule_name: "genre-key".into(),
+            tag: "genre".into(),
+            value_path: ".".into(),
+        }));
+        let plan = o.blocking_plan("genre");
+        assert_eq!(plan.filters(), &[PruneFilter::TextDiffers]);
+    }
+
+    #[test]
+    fn unknown_rules_block_collection() {
+        struct Mystery;
+        impl Rule for Mystery {
+            fn name(&self) -> &str {
+                "mystery"
+            }
+            fn judge(&self, _: &ElemRef<'_>, _: &ElemRef<'_>) -> Option<crate::Decision> {
+                None
+            }
+        }
+        let mut o = Oracle::uninformed();
+        o.push_rule(Box::new(Mystery));
+        o.push_rule(Box::new(SimilarityThresholdRule::movie_title(0.55)));
+        let plan = o.blocking_plan("movie");
+        assert!(plan.is_empty(), "opaque rule must stop collection");
+    }
+
+    #[test]
+    fn over_unit_thresholds_emit_no_filter() {
+        // threshold > 1 makes the rule reject even identical titles,
+        // which conflicts with deep-equal transparency — no filter.
+        let mut o = Oracle::uninformed();
+        o.push_rule(Box::new(DeepEqualRule));
+        o.push_rule(Box::new(SimilarityThresholdRule {
+            rule_name: "impossible".into(),
+            tag: "movie".into(),
+            value_path: "title".into(),
+            threshold: 1.5,
+            measure: SimMeasure::Title,
+        }));
+        assert!(o.blocking_plan("movie").is_empty());
+    }
+
+    /// The central soundness property on concrete documents: whenever the
+    /// plan prunes, the oracle says NonMatch.
+    #[test]
+    fn pruning_implies_nonmatch() {
+        let oracle = movie_oracle_like();
+        let plan = oracle.blocking_plan("movie");
+        let docs: Vec<PxDoc> = [
+            "<movie><title>Jaws</title><year>1975</year></movie>",
+            "<movie><title>Jaws 2</title><year>1978</year></movie>",
+            "<movie><title>Die Hard: With a Vengeance</title><year>1995</year></movie>",
+            "<movie><title>Die Hard</title><year>1988</year></movie>",
+            "<movie><title>Mission: Impossible II</title><year>2000</year></movie>",
+            "<movie><title>Mission Impossible 2</title><year>2000</year></movie>",
+            "<movie><title>jaws</title></movie>",
+            "<movie><year>1975</year></movie>",
+        ]
+        .iter()
+        .map(|x| px(x))
+        .collect();
+        let mut pruned = 0;
+        for da in &docs {
+            for db in &docs {
+                let (a, b) = (root_elem(da), root_elem(db));
+                let fa = plan.features(&a);
+                let fb = plan.features(&b);
+                if plan.prunes(&fa, &fb) {
+                    pruned += 1;
+                    let j = oracle.judge(&a, &b);
+                    assert_eq!(
+                        j.decision,
+                        crate::Decision::NonMatch,
+                        "pruned a pair the oracle would not reject"
+                    );
+                }
+            }
+        }
+        assert!(pruned > 0, "plan should prune at least the obvious pairs");
+    }
+
+    #[test]
+    fn similarity_upper_bounds_dominate_the_measures() {
+        let values = [
+            "Jaws",
+            "Jaws 2",
+            "Die Hard: With a Vengeance",
+            "Mission: Impossible II",
+            "mission impossible 2",
+            "McTiernan, John",
+            "John Woo",
+            "",
+            "tv",
+        ];
+        for measure in [
+            SimMeasure::Title,
+            SimMeasure::PersonName,
+            SimMeasure::Levenshtein,
+            SimMeasure::JaroWinkler,
+            SimMeasure::TokenJaccard,
+            SimMeasure::TrigramDice,
+        ] {
+            for a in values {
+                let fa = SimFeature::new(measure, a);
+                for b in values {
+                    let fb = SimFeature::new(measure, b);
+                    let ub = fa.upper_bound(&fb);
+                    let actual = measure.apply(a, b);
+                    assert!(
+                        ub >= actual,
+                        "{measure:?} ub {ub} < actual {actual} for {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_fallback_matches_the_measure_bitwise() {
+        let values = [
+            "Jaws",
+            "Jaws 2",
+            "Die Hard: With a Vengeance",
+            "Mission: Impossible II",
+            "mission impossible 2",
+            "McTiernan, John",
+            "John Woo",
+            "",
+            "tv",
+        ];
+        // The edit-based measures must offer the exact fallback, and it
+        // must reproduce the rule's own similarity to the bit — that is
+        // what makes pruning on it recall-safe.
+        for measure in [
+            SimMeasure::Title,
+            SimMeasure::PersonName,
+            SimMeasure::Levenshtein,
+            SimMeasure::JaroWinkler,
+        ] {
+            for a in values {
+                let fa = SimFeature::new(measure, a);
+                for b in values {
+                    let fb = SimFeature::new(measure, b);
+                    let exact = fa
+                        .exact(&fb)
+                        .unwrap_or_else(|| panic!("{measure:?} must provide an exact fallback"));
+                    let actual = measure.apply(a, b);
+                    assert_eq!(
+                        exact.to_bits(),
+                        actual.to_bits(),
+                        "{measure:?} exact {exact} != measure {actual} for {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+        // Set-arithmetic measures already bound exactly; no fallback.
+        for measure in [SimMeasure::TokenJaccard, SimMeasure::TrigramDice] {
+            let fa = SimFeature::new(measure, "Jaws");
+            let fb = SimFeature::new(measure, "Jaws 2");
+            assert_eq!(fa.exact(&fb), None);
+        }
+    }
+
+    #[test]
+    fn join_keys_surface_trimmed_certain_values() {
+        let plan = movie_oracle_like().blocking_plan("movie");
+        let d = px("<movie><title>Jaws</title><year> 1975 </year></movie>");
+        let f = plan.features(&root_elem(&d));
+        assert_eq!(f.join_keys(1), Some(&["1975".to_string()][..]));
+        let missing = px("<movie><title>Jaws</title></movie>");
+        let fm = plan.features(&root_elem(&missing));
+        assert_eq!(fm.join_keys(1), None, "missing year must stay wild");
+    }
+
+    #[test]
+    fn other_tag_features_never_prune() {
+        let plan = movie_oracle_like().blocking_plan("movie");
+        let movie = px("<movie><title>Jaws</title><year>1975</year></movie>");
+        let person = px("<person><nm>Jaws</nm></person>");
+        let fm = plan.features(&root_elem(&movie));
+        let fp = plan.features(&root_elem(&person));
+        assert!(!plan.prunes(&fm, &fp));
+        assert!(!plan.prunes(&fp, &fm));
+    }
+}

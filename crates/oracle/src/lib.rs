@@ -24,6 +24,7 @@
 //! [`presets`] assembles the exact §V configurations used by the Table I /
 //! Figure 5 experiments.
 
+pub mod blocking;
 pub mod decision;
 pub mod dsl;
 pub mod prior;
@@ -32,6 +33,7 @@ pub mod value;
 
 pub mod presets;
 
+pub use blocking::{BlockingHint, BlockingPlan, ElementFeatures, PruneFilter};
 pub use decision::{Decision, Judgment};
 pub use dsl::{parse_rules, DslError};
 pub use prior::{PriorModel, SimilarityPrior, UniformPrior};
@@ -98,6 +100,53 @@ impl Oracle {
             decision: Decision::Possible(p),
             rule: None,
         }
+    }
+
+    /// Judge one left element against a whole row of right elements.
+    ///
+    /// Semantically identical to calling [`Oracle::judge`] per pair —
+    /// same decisions, same deciding rules, same prior probabilities, bit
+    /// for bit — but rules get to amortise their left-hand preprocessing
+    /// across the row via [`Rule::judge_row`].
+    pub fn judge_row(&self, a: &ElemRef<'_>, bs: &[ElemRef<'_>]) -> Vec<Judgment> {
+        let mut decisions: Vec<Option<Decision>> = vec![None; bs.len()];
+        let mut deciders: Vec<Option<&str>> = vec![None; bs.len()];
+        let mut undecided = bs.len();
+        for rule in &self.rules {
+            if undecided == 0 {
+                break;
+            }
+            let before: Vec<bool> = decisions.iter().map(Option::is_some).collect();
+            rule.judge_row(a, bs, &mut decisions);
+            for (i, was_decided) in before.iter().enumerate() {
+                if !was_decided && decisions[i].is_some() {
+                    deciders[i] = Some(rule.name());
+                    undecided -= 1;
+                }
+            }
+        }
+        bs.iter()
+            .zip(decisions.into_iter().zip(deciders))
+            .map(|(b, (decision, decider))| match decision {
+                Some(decision) => Judgment {
+                    decision,
+                    rule: decider.map(str::to_string),
+                },
+                None => {
+                    let p = self.prior.probability(a, b).clamp(1e-6, 1.0 - 1e-6);
+                    Judgment {
+                        decision: Decision::Possible(p),
+                        rule: None,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// The recall-safe blocking plan this rule configuration supports for
+    /// elements of `tag` (see [`blocking`]).
+    pub fn blocking_plan(&self, tag: &str) -> BlockingPlan {
+        BlockingPlan::derive(&self.rules, tag)
     }
 }
 
@@ -179,6 +228,45 @@ mod tests {
         match oracle.judge(&elem_of(&a), &elem_of(&b)).decision {
             Decision::Possible(p) => assert!(p < 1.0 && p > 0.0),
             other => panic!("expected Possible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn judge_row_is_bit_identical_to_per_pair_judging() {
+        let mut oracle = Oracle::uninformed();
+        oracle.set_prior(Box::new(SimilarityPrior::movie_title(0.1, 0.9)));
+        oracle.push_rule(Box::new(DeepEqualRule));
+        oracle.push_rule(Box::new(rules::ExactTextRule::new("genre")));
+        oracle.push_rule(Box::new(SimilarityThresholdRule::movie_title(0.55)));
+        oracle.push_rule(Box::new(rules::KeyInequalityRule::movie_year()));
+        let docs: Vec<PxDoc> = [
+            "<movie><title>Jaws</title><year>1975</year></movie>",
+            "<movie><title>Jaws</title><year>1975</year></movie>",
+            "<movie><title>Jaws 2</title><year>1978</year></movie>",
+            "<movie><title>Die Hard</title><year>1988</year></movie>",
+            "<movie><title>Mission: Impossible II</title></movie>",
+            "<genre>Horror</genre>",
+            "<genre>Action</genre>",
+            "<person><nm>John Woo</nm></person>",
+        ]
+        .iter()
+        .map(|x| px(x))
+        .collect();
+        for da in &docs {
+            let a = elem_of(da);
+            let row: Vec<ElemRef<'_>> = docs.iter().map(elem_of).collect();
+            let batched = oracle.judge_row(&a, &row);
+            assert_eq!(batched.len(), row.len());
+            for (b, got) in row.iter().zip(batched) {
+                let expect = oracle.judge(&a, b);
+                assert_eq!(got.rule, expect.rule);
+                match (got.decision, expect.decision) {
+                    (Decision::Possible(p), Decision::Possible(q)) => {
+                        assert_eq!(p.to_bits(), q.to_bits());
+                    }
+                    (g, e) => assert_eq!(g, e),
+                }
+            }
         }
     }
 

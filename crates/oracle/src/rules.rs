@@ -6,6 +6,7 @@
 //! one sentence of domain knowledge; a rule either decides a pair with
 //! certainty or abstains.
 
+use crate::blocking::{BlockingHint, PruneFilter};
 use crate::decision::Decision;
 use crate::value::{ElemRef, PossibleValues};
 use imprecise_pxml::{px_deep_equal, px_fingerprint};
@@ -13,7 +14,7 @@ use imprecise_sim as sim;
 
 /// Variant budget when a rule inspects values through choice points. An
 /// element whose value takes more variants than this makes rules abstain.
-const VALUE_VARIANT_CAP: usize = 16;
+pub(crate) const VALUE_VARIANT_CAP: usize = 16;
 
 /// A knowledge rule consulted by the Oracle.
 pub trait Rule: Send + Sync {
@@ -22,6 +23,28 @@ pub trait Rule: Send + Sync {
 
     /// Judge the pair, or abstain with `None`.
     fn judge(&self, a: &ElemRef<'_>, b: &ElemRef<'_>) -> Option<Decision>;
+
+    /// Judge one left element against a row of right elements, writing
+    /// into the `None` slots of `out` (a decided slot belongs to an
+    /// earlier rule and must be left alone).
+    ///
+    /// The default is the per-pair loop; rules whose left-hand work is
+    /// amortisable (normalisation, tokenisation) override this. Overrides
+    /// must stay *bit-identical* to per-pair judging.
+    fn judge_row(&self, a: &ElemRef<'_>, bs: &[ElemRef<'_>], out: &mut [Option<Decision>]) {
+        for (b, slot) in bs.iter().zip(out.iter_mut()) {
+            if slot.is_none() {
+                *slot = self.judge(a, b);
+            }
+        }
+    }
+
+    /// How this rule behaves for blocking-plan derivation (see
+    /// [`crate::blocking`]). The conservative default marks the rule
+    /// opaque, which stops prefilter collection at it — always sound.
+    fn blocking_hint(&self) -> BlockingHint {
+        BlockingHint::Opaque
+    }
 }
 
 /// Generic rule: *two deep-equal elements refer to the same rwo*.
@@ -46,6 +69,11 @@ impl Rule for DeepEqualRule {
         } else {
             None
         }
+    }
+
+    fn blocking_hint(&self) -> BlockingHint {
+        // Matches only content-identical pairs; never non-matches.
+        BlockingHint::Transparent
     }
 }
 
@@ -84,6 +112,16 @@ impl Rule for ExactTextRule {
         let ta = a.possible_own_texts(VALUE_VARIANT_CAP)?;
         let tb = b.possible_own_texts(VALUE_VARIANT_CAP)?;
         decide_over_pairs(&ta, &tb, |x, y| x == y)
+    }
+
+    fn blocking_hint(&self) -> BlockingHint {
+        BlockingHint::TagGated {
+            tag: self.tag.clone(),
+            filter: Some(PruneFilter::TextDiffers),
+            // Equal texts decide Match, so no later filter may prune
+            // pairs this rule would accept.
+            decides_match: true,
+        }
     }
 }
 
@@ -147,6 +185,35 @@ impl SimMeasure {
             SimMeasure::JaroWinkler => sim::jaro_winkler(a, b),
             SimMeasure::TokenJaccard => sim::jaccard_tokens(a, b),
             SimMeasure::TrigramDice => sim::dice_trigram(a, b),
+        }
+    }
+
+    /// Preprocess the left-hand string for repeated one-vs-many
+    /// application. `prepared.apply(y)` is bit-identical to
+    /// `measure.apply(x, y)`.
+    fn prepare(&self, x: &str) -> PreparedMeasure {
+        match self {
+            SimMeasure::Title => PreparedMeasure::Title(sim::PreparedTitle::new(x)),
+            SimMeasure::PersonName => PreparedMeasure::PersonName(sim::PreparedPersonName::new(x)),
+            other => PreparedMeasure::Other(*other, x.to_string()),
+        }
+    }
+}
+
+/// A [`SimMeasure`] with the left-hand operand preprocessed (normalised,
+/// tokenised) once, for batch judging.
+enum PreparedMeasure {
+    Title(sim::PreparedTitle),
+    PersonName(sim::PreparedPersonName),
+    Other(SimMeasure, String),
+}
+
+impl PreparedMeasure {
+    fn apply(&self, y: &str) -> f64 {
+        match self {
+            PreparedMeasure::Title(p) => p.similarity(y),
+            PreparedMeasure::PersonName(p) => p.similarity(y),
+            PreparedMeasure::Other(measure, x) => measure.apply(x, y),
         }
     }
 }
@@ -224,6 +291,50 @@ impl Rule for SimilarityThresholdRule {
             _ => None,
         }
     }
+
+    /// Batch path: normalise/tokenise each of `a`'s possible values once
+    /// and reuse them across the whole row. Bit-identical to [`Rule::judge`]
+    /// per pair because `PreparedMeasure::apply` is bit-identical to
+    /// [`SimMeasure::apply`].
+    fn judge_row(&self, a: &ElemRef<'_>, bs: &[ElemRef<'_>], out: &mut [Option<Decision>]) {
+        if a.tag() != self.tag {
+            return;
+        }
+        let va = match a.possible_values_at(&self.value_path, VALUE_VARIANT_CAP) {
+            PossibleValues::Values(va) => va,
+            _ => return,
+        };
+        let prepared: Vec<PreparedMeasure> = va.iter().map(|x| self.measure.prepare(x)).collect();
+        for (b, slot) in bs.iter().zip(out.iter_mut()) {
+            if slot.is_some() || b.tag() != self.tag {
+                continue;
+            }
+            if let PossibleValues::Values(vb) =
+                b.possible_values_at(&self.value_path, VALUE_VARIANT_CAP)
+            {
+                let all_below = prepared
+                    .iter()
+                    .all(|x| vb.iter().all(|y| x.apply(y) < self.threshold));
+                if all_below {
+                    *slot = Some(Decision::NonMatch);
+                }
+            }
+        }
+    }
+
+    fn blocking_hint(&self) -> BlockingHint {
+        BlockingHint::TagGated {
+            tag: self.tag.clone(),
+            // A threshold above 1 rejects even identical values, which
+            // contradicts deep-equal transparency — emit no filter there.
+            filter: (self.threshold <= 1.0).then(|| PruneFilter::SimilarityBelow {
+                value_path: self.value_path.clone(),
+                threshold: self.threshold,
+                measure: self.measure,
+            }),
+            decides_match: false,
+        }
+    }
 }
 
 /// Key-inequality rule, like the paper's year rule: *two `tag` elements
@@ -276,6 +387,16 @@ impl Rule for KeyInequalityRule {
                 }
             }
             _ => None,
+        }
+    }
+
+    fn blocking_hint(&self) -> BlockingHint {
+        BlockingHint::TagGated {
+            tag: self.tag.clone(),
+            filter: Some(PruneFilter::KeyDiffers {
+                value_path: self.value_path.clone(),
+            }),
+            decides_match: false,
         }
     }
 }

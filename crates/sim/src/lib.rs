@@ -14,12 +14,15 @@
 pub mod edit;
 pub mod jaro;
 pub mod normalize;
+pub mod simd;
 pub mod token;
 
-pub use edit::{levenshtein, levenshtein_similarity};
+pub use edit::{levenshtein, levenshtein_batch, levenshtein_similarity, similarity_batch};
 pub use jaro::{jaro, jaro_winkler};
 pub use normalize::{normalize_person_name, normalize_title, normalize_token};
-pub use token::{dice_trigram, jaccard_tokens, tokenize};
+pub use token::{dice_trigram, jaccard_token_sets, jaccard_tokens, token_set, tokenize};
+
+use std::collections::BTreeSet;
 
 /// Similarity between two movie titles in `[0, 1]`.
 ///
@@ -53,9 +56,131 @@ pub fn person_name_similarity(a: &str, b: &str) -> f64 {
     jaro_winkler(&na, &nb)
 }
 
+/// One movie title preprocessed for one-vs-many comparison.
+///
+/// Normalisation and tokenisation of the left-hand title happen once at
+/// construction; [`PreparedTitle::similarity`] then produces exactly the
+/// same bits as [`title_similarity`] for every right-hand title, and
+/// [`PreparedTitle::similarity_batch`] additionally routes the
+/// character-level comparisons through the active SIMD kernel.
+#[derive(Debug, Clone)]
+pub struct PreparedTitle {
+    norm: String,
+    tokens: BTreeSet<String>,
+}
+
+impl PreparedTitle {
+    pub fn new(a: &str) -> Self {
+        let norm = normalize_title(a);
+        let tokens = token_set(&norm);
+        PreparedTitle { norm, tokens }
+    }
+
+    /// Bit-identical to `title_similarity(a, b)`.
+    pub fn similarity(&self, b: &str) -> f64 {
+        let nb = normalize_title(b);
+        if self.norm.is_empty() && nb.is_empty() {
+            return 1.0;
+        }
+        let token_sim = jaccard_token_sets(&self.tokens, &token_set(&nb));
+        let char_sim = levenshtein_similarity(&self.norm, &nb);
+        token_sim.max(char_sim)
+    }
+
+    /// One-vs-many [`PreparedTitle::similarity`], batching the edit
+    /// distances through the active kernel. Bit-identical per element.
+    pub fn similarity_batch(&self, bs: &[&str]) -> Vec<f64> {
+        let nbs: Vec<String> = bs.iter().map(|b| normalize_title(b)).collect();
+        let refs: Vec<&str> = nbs.iter().map(String::as_str).collect();
+        let char_sims = similarity_batch(&self.norm, &refs);
+        nbs.iter()
+            .zip(char_sims)
+            .map(|(nb, char_sim)| {
+                if self.norm.is_empty() && nb.is_empty() {
+                    1.0
+                } else {
+                    jaccard_token_sets(&self.tokens, &token_set(nb)).max(char_sim)
+                }
+            })
+            .collect()
+    }
+}
+
+/// One person name preprocessed for one-vs-many comparison: the
+/// normalisation of the left-hand name is done once. Bit-identical to
+/// [`person_name_similarity`] per right-hand name.
+#[derive(Debug, Clone)]
+pub struct PreparedPersonName {
+    norm: String,
+}
+
+impl PreparedPersonName {
+    pub fn new(a: &str) -> Self {
+        PreparedPersonName {
+            norm: normalize_person_name(a),
+        }
+    }
+
+    /// Bit-identical to `person_name_similarity(a, b)`.
+    pub fn similarity(&self, b: &str) -> f64 {
+        let nb = normalize_person_name(b);
+        if self.norm.is_empty() && nb.is_empty() {
+            return 1.0;
+        }
+        jaro_winkler(&self.norm, &nb)
+    }
+
+    /// One-vs-many [`PreparedPersonName::similarity`]. Jaro-Winkler has no
+    /// vector kernel; this amortises the left-hand normalisation only.
+    pub fn similarity_batch(&self, bs: &[&str]) -> Vec<f64> {
+        bs.iter().map(|b| self.similarity(b)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prepared_title_matches_the_free_function() {
+        let lhs = [
+            "Mission: Impossible II",
+            "Jaws",
+            "",
+            "Die Hard: With a Vengeance",
+        ];
+        let rhs = [
+            "Mission Impossible 2",
+            "Jaws 2",
+            "",
+            "Die Hard",
+            "Live Free or Die Hard",
+        ];
+        for a in lhs {
+            let prep = PreparedTitle::new(a);
+            let batch = prep.similarity_batch(&rhs);
+            for (b, batched) in rhs.iter().zip(batch) {
+                let expect = title_similarity(a, b);
+                assert_eq!(prep.similarity(b).to_bits(), expect.to_bits(), "{a} vs {b}");
+                assert_eq!(batched.to_bits(), expect.to_bits(), "{a} vs {b} (batch)");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_person_name_matches_the_free_function() {
+        let lhs = ["McTiernan, John", "John Woo", ""];
+        let rhs = ["John McTiernan", "Woo, John", "Jan de Bont", ""];
+        for a in lhs {
+            let prep = PreparedPersonName::new(a);
+            let batch = prep.similarity_batch(&rhs);
+            for (b, batched) in rhs.iter().zip(batch) {
+                let expect = person_name_similarity(a, b);
+                assert_eq!(prep.similarity(b).to_bits(), expect.to_bits(), "{a} vs {b}");
+                assert_eq!(batched.to_bits(), expect.to_bits(), "{a} vs {b} (batch)");
+            }
+        }
+    }
 
     #[test]
     fn identical_titles_score_one() {

@@ -1,0 +1,169 @@
+//! AVX2 kernel: four Myers lanes at once, one pattern vs four texts.
+//!
+//! The pattern's match masks are shared across lanes (they only depend on
+//! the pattern), so a 256-bit register holds the `pv`/`mv` column state of
+//! four independent texts and every step of the recurrence becomes a
+//! handful of 64-bit-lane vector ops. `_mm256_add_epi64` keeps carries
+//! inside each lane, which is exactly the per-text isolation Myers needs —
+//! the integer recurrence is the scalar one, four copies wide, so the
+//! distances are bit-identical to [`super::generic`] by construction.
+//!
+//! Texts of different lengths run in the same batch: a lane goes inactive
+//! once its text is exhausted and its state/score updates are masked out
+//! from then on.
+
+use super::generic::MyersPattern;
+use super::EditKernel;
+use std::arch::x86_64::{
+    __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_blendv_epi8, _mm256_cmpeq_epi64,
+    _mm256_cmpgt_epi64, _mm256_or_si256, _mm256_set1_epi64x, _mm256_set_epi64x,
+    _mm256_setzero_si256, _mm256_slli_epi64, _mm256_storeu_si256, _mm256_sub_epi64,
+    _mm256_xor_si256,
+};
+
+/// The AVX2 implementation; constructible only via [`Avx2Kernel::detect`],
+/// so a live instance proves the ISA is present.
+#[derive(Debug)]
+pub struct Avx2Kernel {
+    _proof: (),
+}
+
+static AVX2: Avx2Kernel = Avx2Kernel { _proof: () };
+
+impl Avx2Kernel {
+    /// The AVX2 kernel if this CPU supports it, `None` otherwise.
+    pub fn detect() -> Option<&'static Avx2Kernel> {
+        // lint:allow(sim-isa-dispatch, single CPUID probe; callers cache the resulting kernel in simd::active's OnceLock and the kernel is bit-identical to generic, so detection cannot alter results)
+        if std::is_x86_feature_detected!("avx2") {
+            Some(&AVX2)
+        } else {
+            None
+        }
+    }
+}
+
+impl EditKernel for Avx2Kernel {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn levenshtein_ascii_batch(&self, a: &[u8], bs: &[&[u8]], out: &mut Vec<usize>) {
+        let pre = MyersPattern::new(a);
+        out.reserve(bs.len());
+        let mut chunks = bs.chunks_exact(4);
+        for four in chunks.by_ref() {
+            // SAFETY: an `Avx2Kernel` only exists after `detect()` saw
+            // `avx2`, satisfying `myers4`'s target-feature requirement.
+            // lint:allow(sim-unsafe, target-feature call gated by the detect() constructor proof; inputs are plain slices with no other invariants)
+            let d = unsafe { myers4(&pre, four[0], four[1], four[2], four[3]) };
+            out.extend_from_slice(&d);
+        }
+        for b in chunks.remainder() {
+            out.push(pre.distance(b));
+        }
+    }
+}
+
+/// Four Myers columns in parallel: distance of the preprocessed pattern
+/// against each of `t0..t3`.
+///
+/// # Safety
+///
+/// Requires AVX2 (enforced by the `Avx2Kernel::detect` constructor path).
+#[target_feature(enable = "avx2")]
+// lint:allow(sim-unsafe, the only unsafe operations are AVX2 intrinsics on register values and an aligned-free storeu into a local array; lane arithmetic is pure integer work)
+unsafe fn myers4(pre: &MyersPattern, t0: &[u8], t1: &[u8], t2: &[u8], t3: &[u8]) -> [usize; 4] {
+    let all_ones = _mm256_set1_epi64x(-1);
+    let one = _mm256_set1_epi64x(1);
+    let high = _mm256_set1_epi64x(pre.high_bit() as i64);
+    let mut pv = all_ones;
+    let mut mv = _mm256_setzero_si256();
+    let mut score = _mm256_set1_epi64x(pre.len() as i64);
+    let lens = _mm256_set_epi64x(
+        t3.len() as i64,
+        t2.len() as i64,
+        t1.len() as i64,
+        t0.len() as i64,
+    );
+    let max_len = t0.len().max(t1.len()).max(t2.len()).max(t3.len());
+    let lane = |t: &[u8], j: usize| -> i64 {
+        // Exhausted lanes read mask 0 at a neutral byte; their updates
+        // are blended away below, so the value never reaches the score.
+        pre.eq_mask(t.get(j).copied().unwrap_or(0)) as i64
+    };
+    for j in 0..max_len {
+        let eq = _mm256_set_epi64x(lane(t3, j), lane(t2, j), lane(t1, j), lane(t0, j));
+        let active = _mm256_cmpgt_epi64(lens, _mm256_set1_epi64x(j as i64));
+
+        // The scalar recurrence, four lanes wide.
+        let xv = _mm256_or_si256(eq, mv);
+        let sum = _mm256_add_epi64(_mm256_and_si256(eq, pv), pv);
+        let xh = _mm256_or_si256(_mm256_xor_si256(sum, pv), eq);
+        let ph = _mm256_or_si256(mv, _mm256_xor_si256(_mm256_or_si256(xh, pv), all_ones));
+        let mh = _mm256_and_si256(pv, xh);
+
+        // score += (ph has the high bit) − (mh has the high bit), but
+        // only in lanes whose text still has characters.
+        let ph_hit = _mm256_cmpeq_epi64(_mm256_and_si256(ph, high), high);
+        let mh_hit = _mm256_cmpeq_epi64(_mm256_and_si256(mh, high), high);
+        let delta = _mm256_sub_epi64(_mm256_and_si256(ph_hit, one), _mm256_and_si256(mh_hit, one));
+        score = _mm256_add_epi64(score, _mm256_and_si256(delta, active));
+
+        let ph = _mm256_or_si256(_mm256_slli_epi64(ph, 1), one);
+        let mh = _mm256_slli_epi64(mh, 1);
+        let next_pv = _mm256_or_si256(mh, _mm256_xor_si256(_mm256_or_si256(xv, ph), all_ones));
+        let next_mv = _mm256_and_si256(ph, xv);
+        pv = _mm256_blendv_epi8(pv, next_pv, active);
+        mv = _mm256_blendv_epi8(mv, next_mv, active);
+    }
+    let mut lanes = [0i64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), score);
+    [
+        lanes[0] as usize,
+        lanes[1] as usize,
+        lanes[2] as usize,
+        lanes[3] as usize,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avx2_agrees_with_scalar_when_present() {
+        let Some(kernel) = Avx2Kernel::detect() else {
+            return; // Nothing to test on this CPU.
+        };
+        let pat = b"mission impossible";
+        let texts: Vec<&[u8]> = vec![
+            b"mission impossible 2",
+            b"",
+            b"mision imposible",
+            b"jaws",
+            b"die hard with a vengeance",
+            b"mission impossible",
+            b"m",
+        ];
+        let mut got = Vec::new();
+        kernel.levenshtein_ascii_batch(pat, &texts, &mut got);
+        let pre = MyersPattern::new(pat);
+        let want: Vec<usize> = texts.iter().map(|t| pre.distance(t)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mixed_length_lanes_mask_correctly() {
+        let Some(kernel) = Avx2Kernel::detect() else {
+            return;
+        };
+        // Lengths 0, 1, 64, 200 in one chunk: exercises lane masking on
+        // both the shortest and far-past-pattern texts.
+        let pat = [b'q'; 64];
+        let long = vec![b'q'; 200];
+        let texts: Vec<&[u8]> = vec![b"", b"q", &pat, &long];
+        let mut got = Vec::new();
+        kernel.levenshtein_ascii_batch(&pat, &texts, &mut got);
+        assert_eq!(got, vec![64, 63, 0, 136]);
+    }
+}

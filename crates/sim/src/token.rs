@@ -21,17 +21,27 @@ pub fn tokenize(s: &str) -> Vec<String> {
     tokens
 }
 
-/// Jaccard similarity of the token *sets* of two strings, in `[0, 1]`.
-/// Two strings with no tokens at all are fully similar.
-pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
-    let sa: BTreeSet<String> = tokenize(a).into_iter().collect();
-    let sb: BTreeSet<String> = tokenize(b).into_iter().collect();
+/// The token *set* of a string: [`tokenize`] deduplicated and ordered.
+pub fn token_set(s: &str) -> BTreeSet<String> {
+    tokenize(s).into_iter().collect()
+}
+
+/// Jaccard similarity of two precomputed token sets, in `[0, 1]`. This is
+/// the set arithmetic behind [`jaccard_tokens`]; callers that cache
+/// [`token_set`] per element get the same bits without re-tokenising.
+pub fn jaccard_token_sets(sa: &BTreeSet<String>, sb: &BTreeSet<String>) -> f64 {
     if sa.is_empty() && sb.is_empty() {
         return 1.0;
     }
-    let intersection = sa.intersection(&sb).count();
-    let union = sa.union(&sb).count();
+    let intersection = sa.intersection(sb).count();
+    let union = sa.union(sb).count();
     intersection as f64 / union as f64
+}
+
+/// Jaccard similarity of the token *sets* of two strings, in `[0, 1]`.
+/// Two strings with no tokens at all are fully similar.
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    jaccard_token_sets(&token_set(a), &token_set(b))
 }
 
 /// Dice coefficient over character trigrams of the lowercased input, in
@@ -40,16 +50,28 @@ pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
 pub fn dice_trigram(a: &str, b: &str) -> f64 {
     let la = a.to_lowercase();
     let lb = b.to_lowercase();
-    let ta = trigrams(&la);
-    let tb = trigrams(&lb);
+    dice_trigram_sets(&la, &trigram_set(&la), &lb, &trigram_set(&lb))
+}
+
+/// Dice coefficient from precomputed lowercase forms and trigram sets —
+/// the arithmetic behind [`dice_trigram`], for callers that cache
+/// [`trigram_set`] per element.
+pub fn dice_trigram_sets(
+    la: &str,
+    ta: &BTreeSet<Vec<char>>,
+    lb: &str,
+    tb: &BTreeSet<Vec<char>>,
+) -> f64 {
     if ta.is_empty() || tb.is_empty() {
         return if la == lb { 1.0 } else { 0.0 };
     }
-    let intersection = ta.intersection(&tb).count();
+    let intersection = ta.intersection(tb).count();
     2.0 * intersection as f64 / (ta.len() + tb.len()) as f64
 }
 
-fn trigrams(s: &str) -> BTreeSet<Vec<char>> {
+/// Character trigram set of a string (empty for strings shorter than
+/// three characters — callers fall back to equality there).
+pub fn trigram_set(s: &str) -> BTreeSet<Vec<char>> {
     let chars: Vec<char> = s.chars().collect();
     if chars.len() < 3 {
         return BTreeSet::new();

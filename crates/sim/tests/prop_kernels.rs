@@ -1,0 +1,124 @@
+//! Property tests for the SIMD kernel contract: every kernel computes the
+//! same integers as the scalar reference, on arbitrary ASCII and Unicode
+//! input, so every derived `f64` similarity is bit-identical.
+//!
+//! `IMPRECISE_SIM_FORCE` selects the *process-wide* kernel (CI runs this
+//! suite once per value); these tests additionally compare the explicit
+//! `generic_kernel()` and `detected_kernel()` instances directly, so a
+//! single run on an AVX2 machine still exercises both implementations
+//! against each other.
+
+use imprecise_sim::edit::levenshtein_batch_with;
+use imprecise_sim::simd::{active, detected_kernel, generic_kernel};
+use imprecise_sim::{
+    levenshtein, levenshtein_batch, levenshtein_similarity, similarity_batch, PreparedTitle,
+};
+use proptest::prelude::*;
+
+/// Reference two-row DP over Unicode scalars — independent of every
+/// implementation under test.
+fn reference_levenshtein(a: &str, b: &str) -> usize {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=bc.len()).collect();
+    let mut cur = vec![0usize; bc.len() + 1];
+    for (i, ca) in ac.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in bc.iter().enumerate() {
+            cur[j + 1] = (prev[j] + usize::from(ca != cb))
+                .min(cur[j] + 1)
+                .min(prev[j + 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[bc.len()]
+}
+
+fn ascii_string(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..128, 0..=max_len)
+        .prop_map(|bytes| bytes.into_iter().map(|b| b as char).collect())
+}
+
+fn unicode_string(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x2FFF, 0..=max_len).prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect::<String>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The single-pair entry point agrees with the reference DP on ASCII —
+    /// this covers the Myers tier (pattern ≤ 64 bytes) and the byte DP.
+    #[test]
+    fn ascii_pair_matches_reference(a in ascii_string(90), b in ascii_string(90)) {
+        prop_assert_eq!(levenshtein(&a, &b), reference_levenshtein(&a, &b));
+    }
+
+    /// ... and on arbitrary Unicode (the char DP tier).
+    #[test]
+    fn unicode_pair_matches_reference(a in unicode_string(40), b in unicode_string(40)) {
+        prop_assert_eq!(levenshtein(&a, &b), reference_levenshtein(&a, &b));
+    }
+
+    /// Forced-generic, detected, and process-active kernels produce the
+    /// same integers as each other and as the per-pair path, on batches of
+    /// mixed ASCII texts.
+    #[test]
+    fn kernels_are_bit_identical_on_ascii_batches(
+        a in ascii_string(64),
+        bs in proptest::collection::vec(ascii_string(120), 0..24),
+    ) {
+        let refs: Vec<&str> = bs.iter().map(String::as_str).collect();
+        let mut generic_out = Vec::new();
+        levenshtein_batch_with(generic_kernel(), &a, &refs, &mut generic_out);
+        let mut detected_out = Vec::new();
+        levenshtein_batch_with(detected_kernel(), &a, &refs, &mut detected_out);
+        let mut active_out = Vec::new();
+        levenshtein_batch_with(active(), &a, &refs, &mut active_out);
+        let pairwise: Vec<usize> = refs.iter().map(|b| reference_levenshtein(&a, b)).collect();
+        prop_assert_eq!(&generic_out, &pairwise);
+        prop_assert_eq!(&detected_out, &pairwise);
+        prop_assert_eq!(&active_out, &pairwise);
+        prop_assert_eq!(levenshtein_batch(&a, &refs), pairwise);
+    }
+
+    /// Batches containing Unicode take the scalar fallback per element but
+    /// must still agree with the per-pair path exactly.
+    #[test]
+    fn kernels_are_bit_identical_on_mixed_batches(
+        a in unicode_string(30),
+        bs in proptest::collection::vec(unicode_string(50), 0..12),
+    ) {
+        let refs: Vec<&str> = bs.iter().map(String::as_str).collect();
+        let mut generic_out = Vec::new();
+        levenshtein_batch_with(generic_kernel(), &a, &refs, &mut generic_out);
+        let mut detected_out = Vec::new();
+        levenshtein_batch_with(detected_kernel(), &a, &refs, &mut detected_out);
+        let pairwise: Vec<usize> = refs.iter().map(|b| reference_levenshtein(&a, b)).collect();
+        prop_assert_eq!(&generic_out, &pairwise);
+        prop_assert_eq!(&detected_out, &pairwise);
+    }
+
+    /// Derived f64 similarities are bit-identical between the batched and
+    /// per-pair paths — the property the pipeline's determinism rests on.
+    #[test]
+    fn similarities_are_bit_identical(
+        a in ascii_string(64),
+        bs in proptest::collection::vec(ascii_string(80), 0..16),
+    ) {
+        let refs: Vec<&str> = bs.iter().map(String::as_str).collect();
+        let batched = similarity_batch(&a, &refs);
+        for (b, s) in refs.iter().zip(batched) {
+            prop_assert_eq!(s.to_bits(), levenshtein_similarity(&a, b).to_bits());
+        }
+        let prep = PreparedTitle::new(&a);
+        let titles = prep.similarity_batch(&refs);
+        for (b, s) in refs.iter().zip(titles) {
+            prop_assert_eq!(s.to_bits(), imprecise_sim::title_similarity(&a, b).to_bits());
+        }
+    }
+}

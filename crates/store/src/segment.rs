@@ -45,7 +45,9 @@ use std::path::Path;
 /// File magic: "IMPX" segment, format generation 1.
 pub(crate) const MAGIC: &[u8; 8] = b"IMPXSEG1";
 /// On-disk format version (bumped on incompatible layout changes).
-pub(crate) const FORMAT_VERSION: u32 = 1;
+/// Version 2: refine-state payloads carry the blocking mode and the
+/// pruned/windowed pair counters.
+pub(crate) const FORMAT_VERSION: u32 = 2;
 /// Header size: magic + version.
 pub(crate) const HEADER_LEN: u64 = 12;
 /// Frame overhead per record: payload length + checksum.

@@ -1,0 +1,8 @@
+// lint-fixture-path: crates/sim/src/simd/fixture.rs
+pub fn pick_kernel() -> &'static str {
+    if std::is_x86_feature_detected!("avx2") {
+        "avx2"
+    } else {
+        "generic"
+    }
+}

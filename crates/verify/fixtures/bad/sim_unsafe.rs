@@ -1,0 +1,6 @@
+// lint-fixture-path: crates/sim/src/simd/fixture.rs
+pub fn distance(a: &[u8]) -> usize {
+    // An unannotated unsafe block in kernel code: the safety proof is
+    // missing, so the lint must flag it.
+    unsafe { *a.as_ptr() as usize }
+}

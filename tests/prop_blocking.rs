@@ -1,0 +1,213 @@
+//! Recall-safe blocking is invisible: integrating with
+//! `BlockingMode::RecallSafe` must produce the bit-identical document
+//! (same fingerprint, same serialized bytes) as integrating with
+//! blocking off, on every workload — named scenarios and random ones.
+//! The only permitted difference is *work*: fewer oracle calls, with
+//! the pruned pairs accounted in `IntegrationStats::pairs_pruned`.
+
+use imprecise::datagen::addressbook::{addressbook_schema, addressbook_to_xml, fig2_sources};
+use imprecise::datagen::scenarios::{confusable, large_source, sequels_t1, MovieScenario};
+use imprecise::integrate::{integrate_xml, BlockingMode, IntegrationOptions, IntegrationOutcome};
+use imprecise::oracle::presets::{addressbook_oracle, movie_oracle, MovieOracleConfig};
+use imprecise::oracle::Oracle;
+use imprecise::pxml::px_fingerprint;
+use imprecise::xml::XmlDoc;
+use proptest::prelude::*;
+
+fn opts(blocking: BlockingMode) -> IntegrationOptions {
+    IntegrationOptions {
+        blocking,
+        ..IntegrationOptions::default()
+    }
+}
+
+fn run(
+    a: &XmlDoc,
+    b: &XmlDoc,
+    oracle: &Oracle,
+    schema: Option<&imprecise::xml::Schema>,
+    blocking: BlockingMode,
+) -> IntegrationOutcome {
+    integrate_xml(a, b, oracle, schema, &opts(blocking)).expect("integration succeeds")
+}
+
+/// Assert blocked ≡ unblocked bitwise and return (unblocked, blocked).
+fn assert_recall_safe(
+    a: &XmlDoc,
+    b: &XmlDoc,
+    oracle: &Oracle,
+    schema: Option<&imprecise::xml::Schema>,
+    label: &str,
+) -> (IntegrationOutcome, IntegrationOutcome) {
+    let off = run(a, b, oracle, schema, BlockingMode::Off);
+    let safe = run(a, b, oracle, schema, BlockingMode::RecallSafe);
+    assert_eq!(
+        px_fingerprint(&off.doc, off.doc.root()),
+        px_fingerprint(&safe.doc, safe.doc.root()),
+        "{label}: recall-safe blocking changed the integrated document"
+    );
+    // Match/possible tallies are judgments that actually reached the
+    // candidate set — pruning must not remove any of those.
+    assert_eq!(off.stats.judged_match, safe.stats.judged_match, "{label}");
+    assert_eq!(
+        off.stats.judged_possible, safe.stats.judged_possible,
+        "{label}"
+    );
+    assert_eq!(
+        safe.stats.pairs_judged + safe.stats.pairs_pruned,
+        off.stats.pairs_judged,
+        "{label}: every skipped judgment must be accounted as pruned"
+    );
+    assert_eq!(safe.stats.pairs_windowed_out, 0, "{label}");
+    (off, safe)
+}
+
+fn movie_scenario_oracle() -> Oracle {
+    movie_oracle(MovieOracleConfig::default())
+}
+
+fn check_movie_scenario(s: &MovieScenario) {
+    assert_recall_safe(
+        &s.mpeg7,
+        &s.imdb,
+        &movie_scenario_oracle(),
+        Some(&s.schema),
+        &s.info.name,
+    );
+}
+
+#[test]
+fn movies_sequels_fingerprints_match() {
+    check_movie_scenario(&sequels_t1());
+}
+
+#[test]
+fn movies_confusable_fingerprints_match() {
+    check_movie_scenario(&confusable(6));
+}
+
+#[test]
+fn addressbook_fingerprints_match() {
+    let (a, b) = fig2_sources();
+    assert_recall_safe(
+        &a,
+        &b,
+        &addressbook_oracle(),
+        Some(&addressbook_schema()),
+        "fig2-addressbook",
+    );
+}
+
+#[test]
+fn large_source_fingerprints_match_and_pruning_bites() {
+    let s = large_source(240);
+    let (off, safe) = assert_recall_safe(
+        &s.mpeg7,
+        &s.imdb,
+        &movie_scenario_oracle(),
+        Some(&s.schema),
+        &s.info.name,
+    );
+    // The whole point: on the year-bucketed large workload the plan
+    // prunes the vast majority of the cross product.
+    assert!(
+        safe.stats.pairs_pruned * 2 > off.stats.pairs_judged,
+        "pruned only {} of {} pairs",
+        safe.stats.pairs_pruned,
+        off.stats.pairs_judged
+    );
+}
+
+#[test]
+fn heuristic_windowing_reports_dropped_pairs() {
+    let s = large_source(240);
+    let oracle = movie_scenario_oracle();
+    let windowed = run(
+        &s.mpeg7,
+        &s.imdb,
+        &oracle,
+        Some(&s.schema),
+        BlockingMode::Heuristic { window: 8 },
+    );
+    let off = run(
+        &s.mpeg7,
+        &s.imdb,
+        &oracle,
+        Some(&s.schema),
+        BlockingMode::Off,
+    );
+    // Heuristic mode is honest about its recall risk: the unexamined
+    // pairs are reported, and it does strictly less judging work.
+    assert!(windowed.stats.pairs_windowed_out > 0);
+    assert!(windowed.stats.pairs_judged < off.stats.pairs_judged);
+    windowed.doc.validate().expect("valid px document");
+}
+
+// Random persons exercise the addressbook plan (similarity filter only —
+// no equality join), random movies the movie plan (year join + title
+// bound + genre text filter).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_addressbooks_are_blocking_invariant(
+        names_a in proptest::collection::vec((0usize..8, 0usize..26), 0..5),
+        names_b in proptest::collection::vec((0usize..8, 0usize..26), 0..5),
+    ) {
+        use imprecise::datagen::addressbook::Person;
+        const FIRST: [&str; 8] = [
+            "John", "Jon", "Mary", "Maria", "Alice", "Bob", "Carol", "Dave",
+        ];
+        let mk = |specs: &[(usize, usize)], base: u64| -> Vec<Person> {
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(f, l))| Person {
+                    rwo: base + i as u64,
+                    name: format!("{} {}", FIRST[f], (b'A' + l as u8) as char),
+                    tel: Some(format!("{}", 1000 + 7 * (f + 13 * l))),
+                })
+                .collect()
+        };
+        let a = addressbook_to_xml(&mk(&names_a, 0));
+        let b = addressbook_to_xml(&mk(&names_b, 100));
+        assert_recall_safe(
+            &a,
+            &b,
+            &addressbook_oracle(),
+            Some(&addressbook_schema()),
+            "random-addressbook",
+        );
+    }
+
+    #[test]
+    fn random_movie_catalogs_are_blocking_invariant(
+        specs_a in proptest::collection::vec((0usize..6, 0u32..6, 0usize..3), 0..5),
+        specs_b in proptest::collection::vec((0usize..6, 0u32..6, 0usize..3), 0..5),
+    ) {
+        use imprecise::datagen::movies::{catalog_to_xml, movie_schema, Movie, MovieBuilder, SourceStyle};
+        const TITLES: [&str; 6] = ["Jaws", "Jaws 2", "Heat", "Fargo", "Die Hard", "Casino"];
+        const GENRES: [&str; 3] = ["Horror", "Action", "Crime"];
+        let mk = |specs: &[(usize, u32, usize)], base: u64| -> Vec<Movie> {
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, y, g))| {
+                    MovieBuilder::new(base + i as u64, TITLES[t], 1970 + y)
+                        .genre(GENRES[g])
+                        .build()
+                })
+                .collect()
+        };
+        let a = catalog_to_xml(&mk(&specs_a, 0), SourceStyle::Mpeg7);
+        let b = catalog_to_xml(&mk(&specs_b, 100), SourceStyle::Imdb);
+        let schema = movie_schema();
+        assert_recall_safe(
+            &a,
+            &b,
+            &movie_scenario_oracle(),
+            Some(&schema),
+            "random-movies",
+        );
+    }
+}
